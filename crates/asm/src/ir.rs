@@ -1,0 +1,286 @@
+//! Assembler infrastructure shared between the AArch64 and RV64 encoders:
+//! errors, and a two-pass program builder with labels and `.org`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// An immediate field does not fit its encoding.
+    ImmediateOutOfRange {
+        /// Which field.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A branch offset is not instruction-aligned.
+    MisalignedOffset {
+        /// Which field.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::ImmediateOutOfRange { what, value } => {
+                write!(f, "{what} out of range: {value}")
+            }
+            AsmError::MisalignedOffset { what, value } => {
+                write!(f, "{what} misaligned: {value}")
+            }
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled program: `(address, opcode)` pairs plus the label map.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instructions in address order.
+    pub instrs: Vec<(u64, u32)>,
+    /// Label addresses.
+    pub labels: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Address of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unknown (builder guarantees presence for
+    /// labels it resolved; this accessor is for test convenience).
+    #[must_use]
+    pub fn label(&self, name: &str) -> u64 {
+        *self.labels.get(name).unwrap_or_else(|| panic!("unknown label `{name}`"))
+    }
+
+    /// Number of instructions — the "asm" size column of Fig. 12.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True iff the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+type Fixup = Box<dyn FnOnce(i64) -> Result<u32, AsmError>>;
+
+enum Item {
+    Word(u64, u32),
+    Patch {
+        addr: u64,
+        target: String,
+        fixup: Fixup,
+    },
+}
+
+/// A two-pass assembler: emit instructions and label references, then
+/// [`Asm::finish`] resolves offsets.
+///
+/// # Examples
+///
+/// ```
+/// use islaris_asm::{aarch64 as a64, Asm};
+///
+/// let mut asm = Asm::new(0x1000);
+/// asm.label("loop");
+/// asm.put(a64::nop());
+/// asm.branch_to("loop", |off| a64::b(off)); // b loop
+/// let prog = asm.finish()?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok::<(), islaris_asm::AsmError>(())
+/// ```
+pub struct Asm {
+    pc: u64,
+    items: Vec<Item>,
+    labels: HashMap<String, u64>,
+    errors: Vec<AsmError>,
+}
+
+impl Asm {
+    /// Starts assembling at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        Asm { pc: base, items: Vec::new(), labels: HashMap::new(), errors: Vec::new() }
+    }
+
+    /// Current location counter.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.pc
+    }
+
+    /// Moves the location counter (like `.org`; must not go backwards over
+    /// emitted code — not checked, matching assembler behaviour loosely).
+    pub fn org(&mut self, addr: u64) {
+        self.pc = addr;
+    }
+
+    /// Defines a label at the current location.
+    pub fn label(&mut self, name: &str) {
+        if self.labels.insert(name.to_owned(), self.pc).is_some() {
+            self.errors.push(AsmError::DuplicateLabel(name.to_owned()));
+        }
+    }
+
+    /// Emits one instruction word.
+    pub fn put(&mut self, opcode: u32) {
+        self.items.push(Item::Word(self.pc, opcode));
+        self.pc += 4;
+    }
+
+    /// Emits several instruction words.
+    pub fn put_all<I: IntoIterator<Item = u32>>(&mut self, opcodes: I) {
+        for op in opcodes {
+            self.put(op);
+        }
+    }
+
+    /// Emits a fallible encoding, deferring the error to [`Asm::finish`].
+    pub fn put_or(&mut self, op: Result<u32, AsmError>) {
+        match op {
+            Ok(w) => self.put(w),
+            Err(e) => {
+                self.errors.push(e);
+                self.pc += 4;
+            }
+        }
+    }
+
+    /// Emits a PC-relative instruction targeting `label`; `encode` is
+    /// called with the byte offset (target − this instruction's address).
+    pub fn branch_to(
+        &mut self,
+        label: &str,
+        encode: impl FnOnce(i64) -> Result<u32, AsmError> + 'static,
+    ) {
+        self.items.push(Item::Patch {
+            addr: self.pc,
+            target: label.to_owned(),
+            fixup: Box::new(encode),
+        });
+        self.pc += 4;
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accumulated error (bad immediate, unknown or
+    /// duplicate label, misaligned offset).
+    pub fn finish(self) -> Result<Program, AsmError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut instrs = Vec::with_capacity(self.items.len());
+        for item in self.items {
+            match item {
+                Item::Word(addr, op) => instrs.push((addr, op)),
+                Item::Patch { addr, target, fixup } => {
+                    let Some(dest) = self.labels.get(&target) else {
+                        return Err(AsmError::UnknownLabel(target));
+                    };
+                    let off = *dest as i64 - addr as i64;
+                    instrs.push((addr, fixup(off)?));
+                }
+            }
+        }
+        instrs.sort_by_key(|(a, _)| *a);
+        Ok(Program { instrs, labels: self.labels })
+    }
+}
+
+/// Condition-code mnemonic table (index = encoding).
+#[must_use]
+pub fn cond_name(code: u32) -> &'static str {
+    match code {
+        0 => "eq",
+        1 => "ne",
+        2 => "cs",
+        3 => "cc",
+        4 => "mi",
+        5 => "pl",
+        6 => "vs",
+        7 => "vc",
+        8 => "hi",
+        9 => "ls",
+        10 => "ge",
+        11 => "lt",
+        12 => "gt",
+        13 => "le",
+        _ => "al",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forwards_and_backwards() {
+        let mut asm = Asm::new(0x1000);
+        asm.label("start");
+        asm.put(0x1111_1111);
+        asm.branch_to("end", |off| {
+            assert_eq!(off, 8);
+            Ok(0x2222_2222)
+        });
+        asm.branch_to("start", |off| {
+            assert_eq!(off, -8);
+            Ok(0x3333_3333)
+        });
+        asm.label("end");
+        asm.put(0x4444_4444);
+        let p = asm.finish().expect("assembles");
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(p.label("start"), 0x1000);
+        assert_eq!(p.label("end"), 0x100c);
+    }
+
+    #[test]
+    fn org_places_code() {
+        let mut asm = Asm::new(0x8_0000);
+        asm.put(1);
+        asm.org(0x9_0000);
+        asm.label("enter_el1");
+        asm.put(2);
+        let p = asm.finish().expect("assembles");
+        assert_eq!(p.instrs, vec![(0x8_0000, 1), (0x9_0000, 2)]);
+        assert_eq!(p.label("enter_el1"), 0x9_0000);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_labels_error() {
+        let mut asm = Asm::new(0);
+        asm.branch_to("nowhere", |_| Ok(0));
+        let err = asm.finish().expect_err("fails");
+        assert!(matches!(err, AsmError::UnknownLabel(_)));
+
+        let mut asm = Asm::new(0);
+        asm.label("a");
+        asm.label("a");
+        assert!(matches!(asm.finish(), Err(AsmError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn deferred_errors_surface() {
+        let mut asm = Asm::new(0);
+        asm.put_or(Err(AsmError::ImmediateOutOfRange { what: "imm12", value: 9999 }));
+        assert!(asm.finish().is_err());
+    }
+}

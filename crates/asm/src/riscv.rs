@@ -1,0 +1,338 @@
+//! RV64I encoder for the case-study instruction subset.
+
+use crate::ir::AsmError;
+
+/// An RV64 integer register `x0`–`x31`. ABI aliases provided as consts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gpr(pub u8);
+
+#[allow(missing_docs)]
+impl Gpr {
+    pub const ZERO: Gpr = Gpr(0);
+    pub const RA: Gpr = Gpr(1);
+    pub const SP: Gpr = Gpr(2);
+    pub const T0: Gpr = Gpr(5);
+    pub const T1: Gpr = Gpr(6);
+    pub const T2: Gpr = Gpr(7);
+    pub const A0: Gpr = Gpr(10);
+    pub const A1: Gpr = Gpr(11);
+    pub const A2: Gpr = Gpr(12);
+    pub const A3: Gpr = Gpr(13);
+    pub const A4: Gpr = Gpr(14);
+    pub const A5: Gpr = Gpr(15);
+
+    fn idx(self) -> u32 {
+        assert!(self.0 <= 31, "register x{} out of range", self.0);
+        u32::from(self.0)
+    }
+}
+
+fn check_imm12(imm: i32, what: &'static str) -> Result<u32, AsmError> {
+    if (-2048..=2047).contains(&imm) {
+        Ok((imm as u32) & 0xfff)
+    } else {
+        Err(AsmError::ImmediateOutOfRange { what, value: i64::from(imm) })
+    }
+}
+
+fn itype(imm: i32, rs1: Gpr, funct3: u32, rd: Gpr, opcode: u32, what: &'static str) -> Result<u32, AsmError> {
+    Ok(check_imm12(imm, what)? << 20 | rs1.idx() << 15 | funct3 << 12 | rd.idx() << 7 | opcode)
+}
+
+fn rtype(funct7: u32, rs2: Gpr, rs1: Gpr, funct3: u32, rd: Gpr, opcode: u32) -> u32 {
+    funct7 << 25 | rs2.idx() << 20 | rs1.idx() << 15 | funct3 << 12 | rd.idx() << 7 | opcode
+}
+
+fn stype(imm: i32, rs2: Gpr, rs1: Gpr, funct3: u32, what: &'static str) -> Result<u32, AsmError> {
+    let imm = check_imm12(imm, what)?;
+    Ok((imm >> 5) << 25 | rs2.idx() << 20 | rs1.idx() << 15 | funct3 << 12 | (imm & 0x1f) << 7 | 0b0100011)
+}
+
+fn btype(offset: i64, rs2: Gpr, rs1: Gpr, funct3: u32, what: &'static str) -> Result<u32, AsmError> {
+    if offset % 2 != 0 {
+        return Err(AsmError::MisalignedOffset { what, value: offset });
+    }
+    if !(-4096..=4094).contains(&offset) {
+        return Err(AsmError::ImmediateOutOfRange { what, value: offset });
+    }
+    let imm = offset as u32;
+    Ok((imm >> 12 & 1) << 31
+        | (imm >> 5 & 0x3f) << 25
+        | rs2.idx() << 20
+        | rs1.idx() << 15
+        | funct3 << 12
+        | (imm >> 1 & 0xf) << 8
+        | (imm >> 11 & 1) << 7
+        | 0b1100011)
+}
+
+/// `lui rd, imm20` (upper 20 bits).
+pub fn lui(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
+    if !(-(1 << 19)..(1 << 19)).contains(&imm20) {
+        return Err(AsmError::ImmediateOutOfRange { what: "lui imm20", value: i64::from(imm20) });
+    }
+    Ok(((imm20 as u32) & 0xfffff) << 12 | rd.idx() << 7 | 0b0110111)
+}
+
+/// `auipc rd, imm20`.
+pub fn auipc(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
+    if !(-(1 << 19)..(1 << 19)).contains(&imm20) {
+        return Err(AsmError::ImmediateOutOfRange { what: "auipc imm20", value: i64::from(imm20) });
+    }
+    Ok(((imm20 as u32) & 0xfffff) << 12 | rd.idx() << 7 | 0b0010111)
+}
+
+/// `jal rd, offset` (byte offset).
+pub fn jal(rd: Gpr, offset: i64) -> Result<u32, AsmError> {
+    if offset % 2 != 0 {
+        return Err(AsmError::MisalignedOffset { what: "jal offset", value: offset });
+    }
+    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+        return Err(AsmError::ImmediateOutOfRange { what: "jal offset", value: offset });
+    }
+    let imm = offset as u32;
+    Ok((imm >> 20 & 1) << 31
+        | (imm >> 1 & 0x3ff) << 21
+        | (imm >> 11 & 1) << 20
+        | (imm >> 12 & 0xff) << 12
+        | rd.idx() << 7
+        | 0b1101111)
+}
+
+/// `jalr rd, imm(rs1)`.
+pub fn jalr(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b000, rd, 0b1100111, "jalr imm")
+}
+
+/// `ret` = `jalr x0, 0(x1)`.
+#[must_use]
+pub fn ret() -> u32 {
+    jalr(Gpr::ZERO, Gpr::RA, 0).expect("zero immediate")
+}
+
+/// `beq rs1, rs2, offset`.
+pub fn beq(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b000, "beq offset")
+}
+
+/// `bne rs1, rs2, offset`.
+pub fn bne(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b001, "bne offset")
+}
+
+/// `blt rs1, rs2, offset` (signed).
+pub fn blt(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b100, "blt offset")
+}
+
+/// `bge rs1, rs2, offset` (signed).
+pub fn bge(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b101, "bge offset")
+}
+
+/// `bltu rs1, rs2, offset`.
+pub fn bltu(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b110, "bltu offset")
+}
+
+/// `bgeu rs1, rs2, offset`.
+pub fn bgeu(rs1: Gpr, rs2: Gpr, offset: i64) -> Result<u32, AsmError> {
+    btype(offset, rs2, rs1, 0b111, "bgeu offset")
+}
+
+/// `lb rd, imm(rs1)`.
+pub fn lb(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b000, rd, 0b0000011, "lb imm")
+}
+
+/// `lbu rd, imm(rs1)`.
+pub fn lbu(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b100, rd, 0b0000011, "lbu imm")
+}
+
+/// `ld rd, imm(rs1)`.
+pub fn ld(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b011, rd, 0b0000011, "ld imm")
+}
+
+/// `lw rd, imm(rs1)`.
+pub fn lw(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b010, rd, 0b0000011, "lw imm")
+}
+
+/// `sb rs2, imm(rs1)`.
+pub fn sb(rs2: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    stype(imm, rs2, rs1, 0b000, "sb imm")
+}
+
+/// `sd rs2, imm(rs1)`.
+pub fn sd(rs2: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    stype(imm, rs2, rs1, 0b011, "sd imm")
+}
+
+/// `sw rs2, imm(rs1)`.
+pub fn sw(rs2: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    stype(imm, rs2, rs1, 0b010, "sw imm")
+}
+
+/// `addi rd, rs1, imm`.
+pub fn addi(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b000, rd, 0b0010011, "addi imm")
+}
+
+/// `sltiu rd, rs1, imm`.
+pub fn sltiu(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b011, rd, 0b0010011, "sltiu imm")
+}
+
+/// `andi rd, rs1, imm`.
+pub fn andi(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b111, rd, 0b0010011, "andi imm")
+}
+
+/// `ori rd, rs1, imm`.
+pub fn ori(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b110, rd, 0b0010011, "ori imm")
+}
+
+/// `xori rd, rs1, imm`.
+pub fn xori(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
+    itype(imm, rs1, 0b100, rd, 0b0010011, "xori imm")
+}
+
+/// `slli rd, rs1, shamt` (0–63).
+pub fn slli(rd: Gpr, rs1: Gpr, shamt: u8) -> Result<u32, AsmError> {
+    if shamt > 63 {
+        return Err(AsmError::ImmediateOutOfRange { what: "slli shamt", value: i64::from(shamt) });
+    }
+    Ok(u32::from(shamt) << 20 | rs1.idx() << 15 | 0b001 << 12 | rd.idx() << 7 | 0b0010011)
+}
+
+/// `srli rd, rs1, shamt`.
+pub fn srli(rd: Gpr, rs1: Gpr, shamt: u8) -> Result<u32, AsmError> {
+    if shamt > 63 {
+        return Err(AsmError::ImmediateOutOfRange { what: "srli shamt", value: i64::from(shamt) });
+    }
+    Ok(u32::from(shamt) << 20 | rs1.idx() << 15 | 0b101 << 12 | rd.idx() << 7 | 0b0010011)
+}
+
+/// `add rd, rs1, rs2`.
+#[must_use]
+pub fn add(rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
+    rtype(0, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sub rd, rs1, rs2`.
+#[must_use]
+pub fn sub(rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
+    rtype(0b0100000, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sltu rd, rs1, rs2`.
+#[must_use]
+pub fn sltu(rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
+    rtype(0, rs2, rs1, 0b011, rd, 0b0110011)
+}
+
+/// `and rd, rs1, rs2`.
+#[must_use]
+pub fn and(rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
+    rtype(0, rs2, rs1, 0b111, rd, 0b0110011)
+}
+
+/// `or rd, rs1, rs2`.
+#[must_use]
+pub fn or(rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
+    rtype(0, rs2, rs1, 0b110, rd, 0b0110011)
+}
+
+/// `mv rd, rs` = `addi rd, rs, 0`.
+#[must_use]
+pub fn mv(rd: Gpr, rs: Gpr) -> u32 {
+    addi(rd, rs, 0).expect("zero immediate")
+}
+
+/// `li rd, value` for values reachable with `lui`+`addi` (32-bit signed
+/// range with sign-extension semantics).
+pub fn li(rd: Gpr, value: i64) -> Result<Vec<u32>, AsmError> {
+    if (-2048..=2047).contains(&value) {
+        return Ok(vec![addi(rd, Gpr::ZERO, value as i32)?]);
+    }
+    if i64::from(value as i32) != value {
+        return Err(AsmError::ImmediateOutOfRange { what: "li value", value });
+    }
+    let value = value as i32;
+    let lo = (value << 20) >> 20; // low 12, sign-extended
+    let hi = (value - lo) >> 12;
+    let mut out = vec![lui(rd, hi)?];
+    if lo != 0 {
+        out.push(addi(rd, rd, lo)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 42 = 0x02A00093.
+        assert_eq!(addi(Gpr(1), Gpr(0), 42).unwrap(), 0x02A0_0093);
+        // ret = jalr x0, 0(x1) = 0x00008067.
+        assert_eq!(ret(), 0x0000_8067);
+        // add x3, x1, x2 = 0x002081B3.
+        assert_eq!(add(Gpr(3), Gpr(1), Gpr(2)), 0x0020_81B3);
+        // lb x3, 0(x1) = 0x00008183.
+        assert_eq!(lb(Gpr(3), Gpr(1), 0).unwrap(), 0x0000_8183);
+        // sb x3, 0(x2) = 0x00310023.
+        assert_eq!(sb(Gpr(3), Gpr(2), 0).unwrap(), 0x0031_0023);
+        // lui x1, 0xA0 = 0x000A00B7.
+        assert_eq!(lui(Gpr(1), 0xA0).unwrap(), 0x000A_00B7);
+    }
+
+    #[test]
+    fn branch_encodings() {
+        // beq x10, x11, +8: known encoding 0x00B50463.
+        assert_eq!(beq(Gpr(10), Gpr(11), 8).unwrap(), 0x00B5_0463);
+        // bne backwards.
+        let op = bne(Gpr(12), Gpr(0), -20).unwrap();
+        assert_eq!(op & 0x7f, 0b1100011);
+        assert_eq!((op >> 12) & 7, 0b001);
+        assert!(beq(Gpr(0), Gpr(0), 3).is_err());
+        assert!(beq(Gpr(0), Gpr(0), 5000).is_err());
+    }
+
+    #[test]
+    fn jal_jalr_encode() {
+        // jal x0, +16 — check opcode and rd.
+        let op = jal(Gpr::ZERO, 16).unwrap();
+        assert_eq!(op & 0x7f, 0b1101111);
+        assert_eq!((op >> 7) & 0x1f, 0);
+        assert!(jal(Gpr::ZERO, 1).is_err());
+        let op = jalr(Gpr::RA, Gpr(5), 0).unwrap();
+        assert_eq!(op & 0x7f, 0b1100111);
+        assert_eq!((op >> 15) & 0x1f, 5);
+    }
+
+    #[test]
+    fn li_composes() {
+        assert_eq!(li(Gpr(1), 42).unwrap().len(), 1);
+        assert_eq!(li(Gpr(1), 0x2000).unwrap().len(), 1); // lui only
+        assert_eq!(li(Gpr(1), 0x2004).unwrap().len(), 2);
+        assert!(li(Gpr(1), i64::MAX).is_err());
+        // Negative low part borrows from the upper immediate.
+        let ops = li(Gpr(1), 0x2fff).unwrap();
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn imm_bounds() {
+        assert!(addi(Gpr(0), Gpr(0), 2047).is_ok());
+        assert!(addi(Gpr(0), Gpr(0), 2048).is_err());
+        assert!(addi(Gpr(0), Gpr(0), -2048).is_ok());
+        assert!(addi(Gpr(0), Gpr(0), -2049).is_err());
+        assert!(slli(Gpr(0), Gpr(0), 63).is_ok());
+        assert!(slli(Gpr(0), Gpr(0), 64).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benches: one group per Figure-12 row, measuring the full
+//! pipeline (assemble → trace → verify → check certificate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+macro_rules! case_bench {
+    ($fn_name:ident, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group(stringify!($module));
+            g.sample_size(10);
+            g.warm_up_time(std::time::Duration::from_millis(500));
+            g.measurement_time(std::time::Duration::from_secs(3));
+            g.bench_function("end_to_end", |b| {
+                b.iter(|| islaris_cases::$module::run())
+            });
+            g.finish();
+        }
+    };
+}
+
+case_bench!(bench_memcpy_arm, memcpy_arm);
+case_bench!(bench_memcpy_riscv, memcpy_riscv);
+case_bench!(bench_hvc, hvc);
+case_bench!(bench_pkvm, pkvm);
+case_bench!(bench_unaligned, unaligned);
+case_bench!(bench_uart, uart);
+case_bench!(bench_rbit, rbit);
+case_bench!(bench_binsearch_arm, binsearch_arm);
+case_bench!(bench_binsearch_riscv, binsearch_riscv);
+
+criterion_group!(
+    fig12,
+    bench_memcpy_arm,
+    bench_memcpy_riscv,
+    bench_hvc,
+    bench_pkvm,
+    bench_unaligned,
+    bench_uart,
+    bench_rbit,
+    bench_binsearch_arm,
+    bench_binsearch_riscv
+);
+criterion_main!(fig12);

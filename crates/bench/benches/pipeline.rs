@@ -1,0 +1,90 @@
+//! Criterion benches for the pipeline stages in isolation (the paper's
+//! Isla-vs-Coq time subdivision), plus solver ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use islaris_bv::Bv;
+use islaris_core::{check_certificate, Verifier};
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_models::ARM;
+use islaris_smt::{entails, BvCmp, Expr, SolverConfig, Sort, Var};
+
+/// Isla column: trace generation for the Fig. 3 opcode (constrained) and
+/// unconstrained (5-way banked-SP split).
+fn bench_isla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isla");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("add_sp_constrained", |b| {
+        let cfg = IslaConfig::new(ARM)
+            .assume_reg("PSTATE.EL", Bv::new(2, 2))
+            .assume_reg("PSTATE.SP", Bv::new(1, 1));
+        b.iter(|| trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).unwrap());
+    });
+    g.bench_function("add_sp_unconstrained", |b| {
+        let cfg = IslaConfig::new(ARM);
+        b.iter(|| trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).unwrap());
+    });
+    g.finish();
+}
+
+/// Lithium/automation column: verification only (traces pre-generated).
+fn bench_automation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let art = islaris_cases::memcpy_arm::build_case();
+    g.bench_function("memcpy_arm_verify", |b| {
+        b.iter(|| {
+            let v = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+            v.verify_all().unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// Qed column: certificate re-checking only.
+fn bench_qed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qed");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let art = islaris_cases::memcpy_arm::build_case();
+    let v = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+    let report = v.verify_all().unwrap();
+    g.bench_function("memcpy_arm_certificates", |b| {
+        b.iter(|| {
+            for block in &report.blocks {
+                check_certificate(&block.cert).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Solver ablation: a representative side condition with and without the
+/// RUP-checked paranoid mode.
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let sorts = |v: Var| (v.0 < 8).then_some(Sort::BitVec(64));
+    let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+    let facts = vec![
+        Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+        Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
+    ];
+    let goal = Expr::cmp(BvCmp::Ult, x, z);
+    g.bench_function("ult_transitivity_64", |b| {
+        let cfg = SolverConfig::new();
+        b.iter(|| entails(&facts, &goal, &sorts, &cfg));
+    });
+    g.bench_function("ult_transitivity_64_checked", |b| {
+        let cfg = SolverConfig::paranoid();
+        b.iter(|| entails(&facts, &goal, &sorts, &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(pipeline, bench_isla, bench_automation, bench_qed, bench_solver);
+criterion_main!(pipeline);

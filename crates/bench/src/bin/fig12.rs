@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 12 ("Example sizes and times").
+//!
+//! Columns: asm = instructions; ITL = trace events; Spec = spec atoms;
+//! Proof = annotations + pure hints; Isla(s) = trace generation;
+//! Auto(s) = proof automation; Qed(s) = certificate re-check;
+//! SMT = solver queries during verification; Oblig = logged obligations.
+
+fn main() {
+    let outcomes = islaris_bench::all_cases();
+    println!("{}", islaris_bench::fig12_table(&outcomes));
+}

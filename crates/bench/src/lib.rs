@@ -1,0 +1,41 @@
+//! Benchmark harness regenerating the paper's evaluation (Figure 12).
+//!
+//! The `fig12` binary prints one row per case study with the size and
+//! time columns of the paper's table; the Criterion benches under
+//! `benches/` measure the two pipeline halves (trace generation =
+//! the paper's "Isla" column; verification = the "Coq" column's
+//! automation/side-condition/Qed subdivision) per case.
+
+use islaris_cases::{
+    binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
+    CaseOutcome,
+};
+
+/// Runs every case study in the paper's Fig. 12 row order.
+#[must_use]
+pub fn all_cases() -> Vec<CaseOutcome> {
+    vec![
+        memcpy_arm::run(),
+        memcpy_riscv::run(),
+        hvc::run(),
+        pkvm::run(),
+        unaligned::run(),
+        uart::run(),
+        rbit::run(),
+        binsearch_arm::run(),
+        binsearch_riscv::run(),
+    ]
+}
+
+/// Renders the regenerated Fig. 12 table.
+#[must_use]
+pub fn fig12_table(outcomes: &[CaseOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&CaseOutcome::header());
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&o.row());
+        out.push('\n');
+    }
+    out
+}

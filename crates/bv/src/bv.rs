@@ -1,0 +1,609 @@
+//! The [`Bv`] type and its operations.
+
+use std::fmt;
+
+/// Maximum supported bitvector width, in bits.
+pub const MAX_WIDTH: u32 = 128;
+
+/// Error raised when constructing or combining bitvectors with an invalid
+/// or mismatched width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthError {
+    /// The offending width.
+    pub width: u32,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bitvector width {}", self.width)
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+/// A fixed-width bitvector of 1 to 128 bits.
+///
+/// Bits above the width are always kept zero (a maintained invariant), so
+/// equality and hashing are structural. All arithmetic is modular in the
+/// width, matching SMT-LIB `QF_BV`.
+///
+/// Operations taking two bitvectors panic if the widths differ; callers
+/// (the SMT layer, the mini-Sail checker) enforce width agreement
+/// statically, so a mismatch here is a bug, not an input error.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bv {
+    width: u32,
+    bits: u128,
+}
+
+impl Bv {
+    /// Creates a bitvector of `width` bits holding `bits` truncated to the
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn new(width: u32, bits: u128) -> Self {
+        assert!(
+            width >= 1 && width <= MAX_WIDTH,
+            "bitvector width {width} out of range 1..=128"
+        );
+        Bv { width, bits: bits & mask(width) }
+    }
+
+    /// Fallible constructor: like [`Bv::new`] but returns an error instead
+    /// of panicking on an invalid width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn try_new(width: u32, bits: u128) -> Result<Self, WidthError> {
+        if width >= 1 && width <= MAX_WIDTH {
+            Ok(Bv { width, bits: bits & mask(width) })
+        } else {
+            Err(WidthError { width })
+        }
+    }
+
+    /// The all-zero bitvector of `width` bits.
+    #[must_use]
+    pub fn zero(width: u32) -> Self {
+        Bv::new(width, 0)
+    }
+
+    /// The all-one bitvector of `width` bits.
+    #[must_use]
+    pub fn ones(width: u32) -> Self {
+        Bv::new(width, u128::MAX)
+    }
+
+    /// A single-bit bitvector: `#b1` if `b`, else `#b0`.
+    #[must_use]
+    pub fn bit(b: bool) -> Self {
+        Bv::new(1, u128::from(b))
+    }
+
+    /// Builds a bitvector from a little-endian byte slice (lowest byte
+    /// first), `bytes.len() * 8` bits wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty or longer than 16.
+    #[must_use]
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        assert!(!bytes.is_empty() && bytes.len() <= 16, "1..=16 bytes required");
+        let mut bits = 0u128;
+        for (i, b) in bytes.iter().enumerate() {
+            bits |= u128::from(*b) << (8 * i);
+        }
+        Bv::new(bytes.len() as u32 * 8, bits)
+    }
+
+    /// Little-endian byte encoding `enc(b)` from the paper's memory model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of 8.
+    #[must_use]
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        assert!(self.width % 8 == 0, "width {} is not byte-sized", self.width);
+        (0..self.width / 8).map(|i| (self.bits >> (8 * i)) as u8).collect()
+    }
+
+    /// The width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The number of bytes in the little-endian encoding (`|b|` in the
+    /// paper), i.e. `width / 8` for byte-sized vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of 8.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        assert!(self.width % 8 == 0, "width {} is not byte-sized", self.width);
+        (self.width / 8) as usize
+    }
+
+    /// The raw bits, zero-extended to `u128`.
+    #[must_use]
+    pub fn to_u128(&self) -> u128 {
+        self.bits
+    }
+
+    /// The value as `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in 64 bits.
+    #[must_use]
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.bits <= u128::from(u64::MAX), "bitvector value exceeds u64");
+        self.bits as u64
+    }
+
+    /// The value interpreted as a two's-complement signed integer.
+    #[must_use]
+    pub fn to_i128(&self) -> i128 {
+        let sign = self.bits >> (self.width - 1) & 1;
+        if sign == 1 {
+            (self.bits | !mask(self.width)) as i128
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// True iff every bit is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Bit `i` (0 = least significant) as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn get_bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    // ----- arithmetic (modular in the width) -----
+
+    /// `bvadd`: modular addition.
+    #[must_use]
+    pub fn add(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, u128::wrapping_add)
+    }
+
+    /// `bvsub`: modular subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, u128::wrapping_sub)
+    }
+
+    /// `bvmul`: modular multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, u128::wrapping_mul)
+    }
+
+    /// `bvneg`: two's-complement negation.
+    #[must_use]
+    pub fn neg(&self) -> Bv {
+        Bv::new(self.width, self.bits.wrapping_neg())
+    }
+
+    /// `bvudiv`: unsigned division; division by zero yields all-ones
+    /// (SMT-LIB convention).
+    #[must_use]
+    pub fn udiv(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        if rhs.bits == 0 {
+            Bv::ones(self.width)
+        } else {
+            Bv::new(self.width, self.bits / rhs.bits)
+        }
+    }
+
+    /// `bvurem`: unsigned remainder; remainder by zero yields the dividend
+    /// (SMT-LIB convention).
+    #[must_use]
+    pub fn urem(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        if rhs.bits == 0 {
+            *self
+        } else {
+            Bv::new(self.width, self.bits % rhs.bits)
+        }
+    }
+
+    // ----- bitwise -----
+
+    /// `bvand`.
+    #[must_use]
+    pub fn and(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, |a, b| a & b)
+    }
+
+    /// `bvor`.
+    #[must_use]
+    pub fn or(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, |a, b| a | b)
+    }
+
+    /// `bvxor`.
+    #[must_use]
+    pub fn xor(&self, rhs: &Bv) -> Bv {
+        self.binop(rhs, |a, b| a ^ b)
+    }
+
+    /// `bvnot`: bitwise complement.
+    #[must_use]
+    pub fn not(&self) -> Bv {
+        Bv::new(self.width, !self.bits)
+    }
+
+    // ----- shifts (SMT-LIB: shift amount is a bitvector of equal width;
+    //        oversized amounts flush to the fill value) -----
+
+    /// `bvshl`: logical left shift.
+    #[must_use]
+    pub fn shl(&self, amount: &Bv) -> Bv {
+        self.check_width(amount);
+        if amount.bits >= u128::from(self.width) {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.bits << amount.bits)
+        }
+    }
+
+    /// `bvlshr`: logical right shift.
+    #[must_use]
+    pub fn lshr(&self, amount: &Bv) -> Bv {
+        self.check_width(amount);
+        if amount.bits >= u128::from(self.width) {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.bits >> amount.bits)
+        }
+    }
+
+    /// `bvashr`: arithmetic right shift (sign fill).
+    #[must_use]
+    pub fn ashr(&self, amount: &Bv) -> Bv {
+        self.check_width(amount);
+        let sign = self.get_bit(self.width - 1);
+        if amount.bits >= u128::from(self.width) {
+            return if sign { Bv::ones(self.width) } else { Bv::zero(self.width) };
+        }
+        let n = amount.bits as u32;
+        let shifted = self.bits >> n;
+        let filled = if sign { shifted | (mask(self.width) << (self.width - n)) } else { shifted };
+        Bv::new(self.width, filled)
+    }
+
+    // ----- structure -----
+
+    /// `((_ extract hi lo) x)`: bits `hi..=lo`, `hi - lo + 1` bits wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi < width`.
+    #[must_use]
+    pub fn extract(&self, hi: u32, lo: u32) -> Bv {
+        assert!(lo <= hi && hi < self.width, "extract [{hi}:{lo}] out of range for width {}", self.width);
+        Bv::new(hi - lo + 1, self.bits >> lo)
+    }
+
+    /// `concat`: `self` becomes the *high* bits, `low` the low bits —
+    /// matching SMT-LIB `(concat self low)` and Sail's `@`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(&self, low: &Bv) -> Bv {
+        let width = self.width + low.width;
+        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
+        Bv::new(width, (self.bits << low.width) | low.bits)
+    }
+
+    /// `((_ zero_extend n) x)`: widen by `n` zero bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn zero_extend(&self, extra: u32) -> Bv {
+        Bv::new(self.width + extra, self.bits)
+    }
+
+    /// `((_ sign_extend n) x)`: widen by `n` copies of the sign bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn sign_extend(&self, extra: u32) -> Bv {
+        let width = self.width + extra;
+        assert!(width <= MAX_WIDTH, "sign_extend width {width} exceeds {MAX_WIDTH}");
+        if self.get_bit(self.width - 1) {
+            Bv::new(width, self.bits | (mask(width) & !mask(self.width)))
+        } else {
+            Bv::new(width, self.bits)
+        }
+    }
+
+    /// Truncates or zero-extends to exactly `width` bits.
+    #[must_use]
+    pub fn resize_zero(&self, width: u32) -> Bv {
+        if width <= self.width {
+            self.extract(width - 1, 0)
+        } else {
+            self.zero_extend(width - self.width)
+        }
+    }
+
+    /// Reverses the bit order (Arm `rbit`).
+    #[must_use]
+    pub fn reverse_bits(&self) -> Bv {
+        let mut out = 0u128;
+        for i in 0..self.width {
+            if (self.bits >> i) & 1 == 1 {
+                out |= 1 << (self.width - 1 - i);
+            }
+        }
+        Bv::new(self.width, out)
+    }
+
+    /// Replicates the vector `n` times (Sail `replicate_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the result exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn replicate(&self, n: u32) -> Bv {
+        assert!(n >= 1, "replicate count must be at least 1");
+        let mut out = *self;
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    // ----- comparisons -----
+
+    /// `bvult`: unsigned less-than.
+    #[must_use]
+    pub fn ult(&self, rhs: &Bv) -> bool {
+        self.check_width(rhs);
+        self.bits < rhs.bits
+    }
+
+    /// `bvule`: unsigned less-or-equal.
+    #[must_use]
+    pub fn ule(&self, rhs: &Bv) -> bool {
+        self.check_width(rhs);
+        self.bits <= rhs.bits
+    }
+
+    /// `bvslt`: signed less-than.
+    #[must_use]
+    pub fn slt(&self, rhs: &Bv) -> bool {
+        self.check_width(rhs);
+        self.to_i128() < rhs.to_i128()
+    }
+
+    /// `bvsle`: signed less-or-equal.
+    #[must_use]
+    pub fn sle(&self, rhs: &Bv) -> bool {
+        self.check_width(rhs);
+        self.to_i128() <= rhs.to_i128()
+    }
+
+    fn binop(&self, rhs: &Bv, f: impl FnOnce(u128, u128) -> u128) -> Bv {
+        self.check_width(rhs);
+        Bv::new(self.width, f(self.bits, rhs.bits))
+    }
+
+    fn check_width(&self, rhs: &Bv) {
+        assert_eq!(
+            self.width, rhs.width,
+            "bitvector width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+}
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+impl fmt::Display for Bv {
+    /// Renders in SMT-LIB concrete syntax: `#x…` when the width is a
+    /// multiple of 4, `#b…` otherwise — the format Isla traces use.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width % 4 == 0 {
+            write!(f, "#x{:0width$x}", self.bits, width = (self.width / 4) as usize)
+        } else {
+            write!(f, "#b{:0width$b}", self.bits, width = self.width as usize)
+        }
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bv({}'{self})", self.width)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::UpperHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Octal for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_truncates_to_width() {
+        assert_eq!(Bv::new(8, 0x1ff).to_u128(), 0xff);
+        assert_eq!(Bv::new(1, 3).to_u128(), 1);
+        assert_eq!(Bv::new(128, u128::MAX).to_u128(), u128::MAX);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_widths() {
+        assert_eq!(Bv::try_new(0, 0), Err(WidthError { width: 0 }));
+        assert_eq!(Bv::try_new(129, 0), Err(WidthError { width: 129 }));
+        assert!(Bv::try_new(64, 7).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0")]
+    fn new_panics_on_zero_width() {
+        let _ = Bv::new(0, 0);
+    }
+
+    #[test]
+    fn modular_arithmetic_wraps() {
+        let x = Bv::new(8, 0xff);
+        assert_eq!(x.add(&Bv::new(8, 1)), Bv::zero(8));
+        assert_eq!(Bv::zero(8).sub(&Bv::new(8, 1)), Bv::ones(8));
+        assert_eq!(Bv::new(8, 16).mul(&Bv::new(8, 16)), Bv::zero(8));
+        assert_eq!(Bv::new(8, 1).neg(), Bv::ones(8));
+    }
+
+    #[test]
+    fn division_by_zero_follows_smtlib() {
+        let x = Bv::new(16, 1234);
+        assert_eq!(x.udiv(&Bv::zero(16)), Bv::ones(16));
+        assert_eq!(x.urem(&Bv::zero(16)), x);
+        assert_eq!(Bv::new(16, 7).udiv(&Bv::new(16, 2)), Bv::new(16, 3));
+        assert_eq!(Bv::new(16, 7).urem(&Bv::new(16, 2)), Bv::new(16, 1));
+    }
+
+    #[test]
+    fn shifts_handle_oversized_amounts() {
+        let x = Bv::new(8, 0b1000_0001);
+        assert_eq!(x.shl(&Bv::new(8, 9)), Bv::zero(8));
+        assert_eq!(x.lshr(&Bv::new(8, 200)), Bv::zero(8));
+        assert_eq!(x.ashr(&Bv::new(8, 200)), Bv::ones(8));
+        assert_eq!(Bv::new(8, 1).ashr(&Bv::new(8, 200)), Bv::zero(8));
+        assert_eq!(x.shl(&Bv::new(8, 1)), Bv::new(8, 0b0000_0010));
+        assert_eq!(x.lshr(&Bv::new(8, 1)), Bv::new(8, 0b0100_0000));
+        assert_eq!(x.ashr(&Bv::new(8, 1)), Bv::new(8, 0b1100_0000));
+    }
+
+    #[test]
+    fn extract_and_concat_roundtrip() {
+        let x = Bv::new(32, 0xdead_beef);
+        let hi = x.extract(31, 16);
+        let lo = x.extract(15, 0);
+        assert_eq!(hi, Bv::new(16, 0xdead));
+        assert_eq!(lo, Bv::new(16, 0xbeef));
+        assert_eq!(hi.concat(&lo), x);
+    }
+
+    #[test]
+    fn extensions() {
+        let x = Bv::new(8, 0x80);
+        assert_eq!(x.zero_extend(8), Bv::new(16, 0x0080));
+        assert_eq!(x.sign_extend(8), Bv::new(16, 0xff80));
+        assert_eq!(Bv::new(8, 0x7f).sign_extend(8), Bv::new(16, 0x007f));
+        assert_eq!(x.resize_zero(4), Bv::new(4, 0));
+        assert_eq!(x.resize_zero(12), Bv::new(12, 0x080));
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Bv::new(8, 0xff).to_i128(), -1);
+        assert_eq!(Bv::new(8, 0x80).to_i128(), -128);
+        assert_eq!(Bv::new(8, 0x7f).to_i128(), 127);
+        assert_eq!(Bv::new(128, u128::MAX).to_i128(), -1);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bv::new(8, 0x01);
+        let b = Bv::new(8, 0xff);
+        assert!(a.ult(&b));
+        assert!(a.ule(&a));
+        assert!(b.slt(&a)); // 0xff is -1 signed
+        assert!(b.sle(&b));
+    }
+
+    #[test]
+    fn le_bytes_roundtrip() {
+        let x = Bv::new(32, 0x1234_5678);
+        assert_eq!(x.to_le_bytes(), vec![0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(Bv::from_le_bytes(&x.to_le_bytes()), x);
+        assert_eq!(x.byte_len(), 4);
+    }
+
+    #[test]
+    fn reverse_bits_matches_rbit() {
+        assert_eq!(Bv::new(8, 0b0000_0001).reverse_bits(), Bv::new(8, 0b1000_0000));
+        assert_eq!(Bv::new(4, 0b0011).reverse_bits(), Bv::new(4, 0b1100));
+        let x = Bv::new(64, 0x0123_4567_89ab_cdef);
+        assert_eq!(x.reverse_bits().reverse_bits(), x);
+    }
+
+    #[test]
+    fn replicate_repeats_pattern() {
+        assert_eq!(Bv::new(2, 0b10).replicate(3), Bv::new(6, 0b101010));
+        assert_eq!(Bv::new(8, 0xab).replicate(1), Bv::new(8, 0xab));
+    }
+
+    #[test]
+    fn display_uses_smtlib_syntax() {
+        assert_eq!(Bv::new(64, 0x40).to_string(), "#x0000000000000040");
+        assert_eq!(Bv::new(2, 0b10).to_string(), "#b10");
+        assert_eq!(Bv::new(1, 1).to_string(), "#b1");
+        assert_eq!(Bv::new(12, 0xabc).to_string(), "#xabc");
+    }
+
+    #[test]
+    fn get_bit_indexes_from_lsb() {
+        let x = Bv::new(8, 0b0010_0000);
+        assert!(x.get_bit(5));
+        assert!(!x.get_bit(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let _ = Bv::new(8, 1).add(&Bv::new(16, 1));
+    }
+}

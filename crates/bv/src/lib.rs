@@ -1,0 +1,29 @@
+//! Fixed-width bitvectors for ISA semantics.
+//!
+//! Every value flowing through the Islaris pipeline — register contents,
+//! memory bytes, immediate operands, SMT constants — is a [`Bv`]: a
+//! bitvector of an explicit width between 1 and 128 bits. The 128-bit
+//! ceiling matches the widest arithmetic the Armv8-A model performs
+//! (`AddWithCarry` zero-extends its 64-bit operands to 128 bits, exactly
+//! like the Sail excerpt in Fig. 2 of the paper).
+//!
+//! Semantics follow SMT-LIB `QF_BV`: arithmetic is modular in the width,
+//! oversized shifts yield zero / sign fill, and division by zero follows
+//! the SMT-LIB convention (`bvudiv x 0 = all-ones`, `bvurem x 0 = x`).
+//!
+//! # Examples
+//!
+//! ```
+//! use islaris_bv::Bv;
+//!
+//! let sp = Bv::new(64, 0x8_0000);
+//! let bumped = sp.add(&Bv::new(64, 64));
+//! assert_eq!(bumped, Bv::new(64, 0x8_0040));
+//! assert_eq!(bumped.to_string(), "#x0000000000080040");
+//! ```
+
+mod bv;
+mod parse;
+
+pub use bv::{Bv, WidthError, MAX_WIDTH};
+pub use parse::ParseBvError;

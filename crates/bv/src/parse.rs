@@ -1,0 +1,101 @@
+//! Parsing bitvector literals in SMT-LIB concrete syntax (`#x…`, `#b…`),
+//! the format used throughout Isla traces.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::bv::{Bv, MAX_WIDTH};
+
+/// Error parsing a bitvector literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBvError {
+    /// The literal did not start with `#x` or `#b`.
+    MissingPrefix,
+    /// The digits were empty or contained an invalid character.
+    InvalidDigits,
+    /// The implied width was zero or above [`MAX_WIDTH`].
+    WidthOutOfRange(u32),
+}
+
+impl fmt::Display for ParseBvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBvError::MissingPrefix => write!(f, "expected `#x` or `#b` prefix"),
+            ParseBvError::InvalidDigits => write!(f, "invalid or empty digit sequence"),
+            ParseBvError::WidthOutOfRange(w) => {
+                write!(f, "literal width {w} out of range 1..={MAX_WIDTH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBvError {}
+
+impl FromStr for Bv {
+    type Err = ParseBvError;
+
+    /// Parses `#x1f2e…` (4 bits per digit) or `#b0101…` (1 bit per digit).
+    ///
+    /// ```
+    /// use islaris_bv::Bv;
+    /// let b: Bv = "#x0000000000000040".parse()?;
+    /// assert_eq!(b, Bv::new(64, 0x40));
+    /// # Ok::<(), islaris_bv::ParseBvError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (digits, bits_per_digit, radix) = if let Some(rest) = s.strip_prefix("#x") {
+            (rest, 4u32, 16u32)
+        } else if let Some(rest) = s.strip_prefix("#b") {
+            (rest, 1u32, 2u32)
+        } else {
+            return Err(ParseBvError::MissingPrefix);
+        };
+        if digits.is_empty() {
+            return Err(ParseBvError::InvalidDigits);
+        }
+        let width = digits.len() as u32 * bits_per_digit;
+        if width == 0 || width > MAX_WIDTH {
+            return Err(ParseBvError::WidthOutOfRange(width));
+        }
+        let value = u128::from_str_radix(digits, radix).map_err(|_| ParseBvError::InvalidDigits)?;
+        Ok(Bv::new(width, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hex_literals() {
+        assert_eq!("#x40".parse::<Bv>().unwrap(), Bv::new(8, 0x40));
+        assert_eq!(
+            "#xfffffffffffffff0".parse::<Bv>().unwrap(),
+            Bv::new(64, 0xffff_ffff_ffff_fff0)
+        );
+    }
+
+    #[test]
+    fn parses_binary_literals() {
+        assert_eq!("#b10".parse::<Bv>().unwrap(), Bv::new(2, 0b10));
+        assert_eq!("#b1".parse::<Bv>().unwrap(), Bv::new(1, 1));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!("40".parse::<Bv>(), Err(ParseBvError::MissingPrefix));
+        assert_eq!("#x".parse::<Bv>(), Err(ParseBvError::InvalidDigits));
+        assert_eq!("#xzz".parse::<Bv>(), Err(ParseBvError::InvalidDigits));
+        assert!(matches!(
+            "#x0123456789abcdef0123456789abcdef0".parse::<Bv>(),
+            Err(ParseBvError::WidthOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for bv in [Bv::new(64, 0xdead_beef), Bv::new(3, 0b101), Bv::new(1, 0), Bv::new(128, u128::MAX)] {
+            assert_eq!(bv.to_string().parse::<Bv>().unwrap(), bv);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! The Islaris case studies (§2 and §6 of the paper), as a library used by
+//! the examples, integration tests, and the Fig. 12 benchmark harness.
+
+pub mod binsearch_arm;
+pub mod binsearch_riscv;
+pub mod hvc;
+pub mod memcpy_arm;
+pub mod rbit;
+pub mod uart;
+pub mod unaligned;
+pub mod memcpy_riscv;
+pub mod pkvm;
+pub mod report;
+
+pub use report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};

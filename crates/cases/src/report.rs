@@ -1,0 +1,168 @@
+//! Case-study artefacts and the Fig. 12 measurement harness.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islaris_asm::Program;
+use islaris_core::{check_certificate, ProgramSpec, Protocol, Report, Verifier};
+use islaris_isla::{trace_opcode, IslaConfig, IslaStats, Opcode};
+use islaris_itl::Trace;
+
+/// Everything built for one case study, before verification.
+pub struct CaseArtifacts {
+    /// Case name (the "Test" column of Fig. 12).
+    pub name: &'static str,
+    /// ISA ("Arm" / "RV").
+    pub isa: &'static str,
+    /// The assembled machine code.
+    pub program: Program,
+    /// The program spec: traces, annotations, named specs.
+    pub prog_spec: ProgramSpec,
+    /// MMIO protocol.
+    pub protocol: Arc<dyn Protocol>,
+    /// Trace-generation statistics.
+    pub isla_stats: IslaStats,
+}
+
+/// Measurements for one Fig. 12 row.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Case name.
+    pub name: &'static str,
+    /// ISA.
+    pub isa: &'static str,
+    /// Instructions (Fig. 12 "asm" size).
+    pub asm_instrs: usize,
+    /// Total trace events (Fig. 12 "ITL" size).
+    pub itl_events: usize,
+    /// Spec size: atoms over all named specs (Fig. 12 "Spec").
+    pub spec_atoms: usize,
+    /// Proof size: annotation count + pure hint atoms (Fig. 12 "Proof").
+    pub proof_hints: usize,
+    /// Trace generation time (Fig. 12 "Isla").
+    pub isla_time: Duration,
+    /// SMT queries during trace generation.
+    pub isla_smt: u64,
+    /// Verification (automation) time — the paper's Lithium column.
+    pub verify_time: Duration,
+    /// SMT queries during verification — the side-condition effort.
+    pub verify_smt: u64,
+    /// LIA queries during verification.
+    pub lia_queries: u64,
+    /// Obligations in the certificates.
+    pub obligations: usize,
+    /// Certificate re-check time — the paper's Qed column.
+    pub cert_time: Duration,
+}
+
+impl CaseOutcome {
+    /// One row of the regenerated Fig. 12 table.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>6}",
+            self.name,
+            self.isa,
+            self.asm_instrs,
+            self.itl_events,
+            self.spec_atoms,
+            self.proof_hints,
+            self.isla_time.as_secs_f64(),
+            self.verify_time.as_secs_f64(),
+            self.cert_time.as_secs_f64(),
+            self.verify_smt,
+            self.obligations,
+        )
+    }
+
+    /// The table header matching [`CaseOutcome::row`].
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>9} {:>9} {:>9} {:>6} {:>6}",
+            "Test", "ISA", "asm", "ITL", "Spec", "Proof", "Isla(s)", "Auto(s)", "Qed(s)", "SMT", "Oblig"
+        )
+    }
+}
+
+/// Builds the instruction map for a program under one Isla configuration.
+///
+/// # Panics
+///
+/// Panics if trace generation fails (bundled case studies must trace).
+#[must_use]
+pub fn trace_program_map(
+    cfg: &IslaConfig,
+    program: &Program,
+) -> (BTreeMap<u64, Arc<Trace>>, IslaStats) {
+    let mut map = BTreeMap::new();
+    let mut stats = IslaStats::default();
+    for (addr, op) in &program.instrs {
+        let r = trace_opcode(cfg, &Opcode::Concrete(*op))
+            .unwrap_or_else(|e| panic!("tracing {op:#010x} at {addr:#x}: {e}"));
+        stats.runs += r.stats.runs;
+        stats.smt_queries += r.stats.smt_queries;
+        stats.time += r.stats.time;
+        stats.events += r.stats.events;
+        map.insert(*addr, Arc::new(r.trace));
+    }
+    (map, stats)
+}
+
+/// Verifies a case study and collects the Fig. 12 measurements.
+///
+/// # Panics
+///
+/// Panics if verification or certificate checking fails — the bundled case
+/// studies are expected to verify (tests rely on this).
+#[must_use]
+pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
+    let verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+    let t0 = Instant::now();
+    let report = verifier
+        .verify_all()
+        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+    let verify_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    for block in &report.blocks {
+        check_certificate(&block.cert)
+            .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+    }
+    let cert_time = t1.elapsed();
+
+    let spec_atoms: usize =
+        art.prog_spec.specs.defs().iter().map(|d| d.atoms.len()).sum();
+    // "Proof" effort analogue: annotations (invariants and exit points)
+    // plus pure hint atoms (no-wrap facts, bound facts) across the specs.
+    let proof_hints = art.prog_spec.blocks.len()
+        + art
+            .prog_spec
+            .specs
+            .defs()
+            .iter()
+            .flat_map(|d| d.atoms.iter())
+            .filter(|a| {
+                matches!(a, islaris_core::Atom::Pure(_) | islaris_core::Atom::LenEq(_, _))
+            })
+            .count();
+    let outcome = CaseOutcome {
+        name: art.name,
+        isa: art.isa,
+        asm_instrs: art.program.len(),
+        itl_events: art.prog_spec.instrs.values().map(|t| t.event_count()).sum(),
+        spec_atoms,
+        proof_hints,
+        isla_time: art.isla_stats.time,
+        isla_smt: art.isla_stats.smt_queries,
+        verify_time,
+        verify_smt: report.smt_queries(),
+        lia_queries: report.blocks.iter().map(|b| b.stats.lia_queries).sum(),
+        obligations: report.obligations(),
+        cert_time,
+    };
+    (outcome, report)
+}
+
+

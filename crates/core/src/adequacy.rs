@@ -1,0 +1,79 @@
+//! The adequacy theorem in executable form (Theorem 1 of the paper).
+//!
+//! A successful verification guarantees: executions from a matching
+//! initial state never reach ⊥ (all Isla assumptions hold), and the
+//! produced labels satisfy `spec(s)`. This module *runs* that guarantee:
+//! build an ITL machine from concrete initial data, execute it, and check
+//! the outcome. Case-study tests call this after verifying, closing the
+//! loop between the program logic and the operational semantics.
+
+use std::sync::Arc;
+
+use islaris_itl::{run, IoOracle, Label, Machine, PcName, Reg, RunResult, Stop};
+
+use crate::iospec::{accepts, Protocol};
+
+/// Result of an adequacy run.
+#[derive(Debug)]
+pub struct AdequacyResult {
+    /// The raw run result.
+    pub run: RunResult,
+    /// Did execution avoid ⊥?
+    pub no_bottom: bool,
+    /// Did the emitted labels satisfy the protocol?
+    pub labels_ok: bool,
+}
+
+impl AdequacyResult {
+    /// True iff both adequacy conclusions hold.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.no_bottom && self.labels_ok
+    }
+}
+
+/// Runs the machine and checks both conclusions of the adequacy theorem.
+/// `max_instrs` bounds the run (the theorem itself is about all finite
+/// prefixes; a fuel-bounded run checks one).
+pub fn check(
+    machine: &mut Machine,
+    pc: &Reg,
+    io: &mut dyn IoOracle,
+    protocol: &dyn Protocol,
+    start_state: usize,
+    max_instrs: u64,
+) -> AdequacyResult {
+    let run = run(machine, &PcName(pc.clone()), io, max_instrs);
+    let no_bottom = !matches!(run.stop, Stop::Fail(_));
+    let labels_ok = accepts(protocol, start_state, &run.labels);
+    AdequacyResult { run, no_bottom, labels_ok }
+}
+
+/// Convenience: build a machine from registers, instruction traces, and
+/// mapped memory.
+#[must_use]
+pub fn machine(
+    regs: &[(Reg, islaris_bv::Bv)],
+    instrs: &std::collections::BTreeMap<u64, Arc<islaris_itl::Trace>>,
+    mem: &[(u64, Vec<u8>)],
+) -> Machine {
+    let mut m = Machine::new();
+    for (r, v) in regs {
+        m.set_reg(r.clone(), *v);
+    }
+    m.instrs = instrs.clone();
+    for (addr, bytes) in mem {
+        m.store_bytes(*addr, bytes);
+    }
+    m
+}
+
+/// The labels of a run, for assertions in tests.
+#[must_use]
+pub fn mmio_labels(run: &RunResult) -> Vec<Label> {
+    run.labels
+        .iter()
+        .filter(|l| !matches!(l, Label::End(_)))
+        .cloned()
+        .collect()
+}

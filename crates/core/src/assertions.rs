@@ -1,0 +1,271 @@
+//! The assertion language of the Islaris separation logic (§2.3, §4.1).
+//!
+//! Specifications are flat separating conjunctions of [`Atom`]s with
+//! quantified parameters: at a verification start the parameters are
+//! universal (fresh ghosts); when a spec is the *goal* of an entailment
+//! (`hoare-instr-pre` / loop re-entry) unbound parameters are existential
+//! and instantiated deterministically from the context, which is exactly
+//! the Lithium insight of §4.3 — the separation-logic context, not
+//! backtracking, resolves the choices.
+
+use std::sync::Arc;
+
+use islaris_itl::{Reg, Trace};
+use islaris_smt::{Expr, Sort, Var};
+
+use crate::seq::{SeqExpr, SeqVar};
+
+/// A quantified specification parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Param {
+    /// A bitvector or boolean ghost.
+    Bv(Var, Sort),
+    /// An abstract sequence ghost.
+    Seq(SeqVar),
+}
+
+/// An instantiation argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A bitvector/boolean expression.
+    Bv(Expr),
+    /// A sequence expression.
+    Seq(SeqExpr),
+}
+
+/// One separation-logic atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `r ↦R v` — register points-to.
+    Reg(Reg, Expr),
+    /// `a ↦M v` — a `bytes`-sized memory cell holding `v` (little-endian).
+    Mem {
+        /// Address expression.
+        addr: Expr,
+        /// Value expression (width `8·bytes`).
+        value: Expr,
+        /// Cell size in bytes.
+        bytes: u32,
+    },
+    /// `a ↦*M B` — an array of `elem_bytes`-sized cells holding the
+    /// sequence `B`.
+    MemArray {
+        /// Base address expression.
+        addr: Expr,
+        /// The sequence of element values.
+        seq: SeqExpr,
+        /// Element size in bytes.
+        elem_bytes: u32,
+    },
+    /// `a ↦IO n` — an unmapped (memory-mapped IO) region of `bytes` bytes
+    /// at the concrete address `addr`.
+    Mmio {
+        /// Concrete device address.
+        addr: u64,
+        /// Region size in bytes.
+        bytes: u32,
+    },
+    /// `a @@ name(args)` — the code at address `a` has been verified
+    /// against the named spec instantiated at `args` (Fig. 5,
+    /// `instr-pre-intro`); used for return addresses and function
+    /// pointers.
+    CodeSpec {
+        /// Address expression.
+        addr: Expr,
+        /// Spec name in the [`SpecTable`].
+        spec: String,
+        /// Instantiation.
+        args: Vec<Arg>,
+    },
+    /// `⌜e⌝` — a pure boolean fact.
+    Pure(Expr),
+    /// `⌜n = |B|⌝` — a length fact linking a bitvector to a sequence.
+    LenEq(Expr, SeqVar),
+    /// `spec(s)` at protocol state `state` — the externally visible
+    /// behaviour obligation (§4.2); the protocol itself is fixed per
+    /// verification.
+    Io(usize),
+}
+
+/// A named specification definition.
+#[derive(Debug, Clone)]
+pub struct SpecDef {
+    /// Name (referenced by [`Atom::CodeSpec`] and block annotations).
+    pub name: String,
+    /// Quantified parameters, in binding order: an atom may only mention
+    /// parameters that an *earlier* atom can bind (or that are
+    /// instantiated by the caller).
+    pub params: Vec<Param>,
+    /// The separating conjunction.
+    pub atoms: Vec<Atom>,
+}
+
+/// The table of specification definitions for one verification.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTable {
+    defs: Vec<SpecDef>,
+}
+
+impl SpecTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SpecTable::default()
+    }
+
+    /// Adds a definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add(&mut self, def: SpecDef) {
+        assert!(
+            self.get(&def.name).is_none(),
+            "duplicate spec `{}`",
+            def.name
+        );
+        self.defs.push(def);
+    }
+
+    /// Looks up a definition.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SpecDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// All definitions.
+    #[must_use]
+    pub fn defs(&self) -> &[SpecDef] {
+        &self.defs
+    }
+
+    /// The largest bitvector variable index used anywhere (for fresh
+    /// ghost allocation).
+    #[must_use]
+    pub fn max_var(&self) -> u32 {
+        let mut max = 0;
+        for d in &self.defs {
+            for p in &d.params {
+                if let Param::Bv(v, _) = p {
+                    max = max.max(v.0 + 1);
+                }
+            }
+            for a in &d.atoms {
+                for e in atom_exprs(a) {
+                    for v in e.free_vars() {
+                        max = max.max(v.0 + 1);
+                    }
+                }
+            }
+        }
+        max
+    }
+
+    /// The largest sequence variable index used anywhere.
+    #[must_use]
+    pub fn max_seq_var(&self) -> u32 {
+        let mut max = 0;
+        for d in &self.defs {
+            for p in &d.params {
+                if let Param::Seq(b) = p {
+                    max = max.max(b.0 + 1);
+                }
+            }
+        }
+        max
+    }
+}
+
+fn atom_exprs(a: &Atom) -> Vec<&Expr> {
+    match a {
+        Atom::Reg(_, e) | Atom::Pure(e) | Atom::LenEq(e, _) => vec![e],
+        Atom::Mem { addr, value, .. } => vec![addr, value],
+        Atom::MemArray { addr, .. } => vec![addr],
+        Atom::CodeSpec { addr, args, .. } => {
+            let mut out = vec![addr];
+            for a in args {
+                if let Arg::Bv(e) = a {
+                    out.push(e);
+                }
+            }
+            out
+        }
+        Atom::Mmio { .. } | Atom::Io(_) => vec![],
+    }
+}
+
+/// A cut-point annotation: the code at `addr` satisfies the named spec
+/// (`addr @@ spec`, with the spec's parameters quantified).
+#[derive(Debug, Clone)]
+pub struct BlockAnn {
+    /// Spec name.
+    pub spec: String,
+    /// If true, the block is verified by executing from it; if false it
+    /// is an *exit point*: reaching it with the spec proven ends the
+    /// path (e.g. the paper's "upon reaching line 16, x0 = 42").
+    pub verify: bool,
+}
+
+/// Helpers for building common atoms.
+pub mod build {
+    use super::{Arg, Atom, Expr, Reg, SeqExpr};
+    use islaris_smt::{BvBinop, Var};
+
+    /// `r ↦R v` with a register name.
+    #[must_use]
+    pub fn reg(name: &str, v: Expr) -> Atom {
+        Atom::Reg(Reg::new(name), v)
+    }
+
+    /// `r ↦R ghost`.
+    #[must_use]
+    pub fn reg_var(name: &str, v: Var) -> Atom {
+        Atom::Reg(Reg::new(name), Expr::var(v))
+    }
+
+    /// `PSTATE.f ↦R v`.
+    #[must_use]
+    pub fn field(name: &str, f: &str, v: Expr) -> Atom {
+        Atom::Reg(Reg::field(name, f), v)
+    }
+
+    /// A byte array `a ↦*M B`.
+    #[must_use]
+    pub fn byte_array(addr: Expr, seq: SeqExpr) -> Atom {
+        Atom::MemArray { addr, seq, elem_bytes: 1 }
+    }
+
+    /// `a @@ name(args)`.
+    #[must_use]
+    pub fn code_spec(addr: Expr, name: &str, args: Vec<Arg>) -> Atom {
+        Atom::CodeSpec { addr, spec: name.to_owned(), args }
+    }
+
+    /// The no-wrap fact for `base + len`: the 65-bit sum has no carry.
+    /// Specs include this so the int bridge can convert address
+    /// arithmetic (the paper omits the analogous "valid ranges of memory
+    /// addresses" side conditions only for presentation).
+    #[must_use]
+    pub fn no_wrap_add(base: Expr, len: Expr) -> Atom {
+        let wide = Expr::binop(
+            BvBinop::Add,
+            Expr::zero_extend(1, base),
+            Expr::zero_extend(1, len),
+        );
+        Atom::Pure(Expr::eq(Expr::extract(64, 64, wide), Expr::bv(1, 0)))
+    }
+}
+
+/// Everything the verifier needs about one program: traces, annotations,
+/// spec table. (Defined here to keep `engine` focused on the algorithm.)
+#[derive(Clone)]
+pub struct ProgramSpec {
+    /// The PC register of the architecture.
+    pub pc: Reg,
+    /// Instruction map (from `islaris-isla`).
+    pub instrs: std::collections::BTreeMap<u64, Arc<Trace>>,
+    /// Cut-point annotations.
+    pub blocks: std::collections::BTreeMap<u64, BlockAnn>,
+    /// Named specs.
+    pub specs: SpecTable,
+}

@@ -1,0 +1,121 @@
+//! Proof certificates: the "Qed check" analogue.
+//!
+//! The automation of [`crate::engine`] is untrusted search. Every side
+//! condition it discharges is logged as an [`Obligation`]; checking a
+//! [`Certificate`] re-proves each obligation independently, with the
+//! paranoid solver configuration (models verified by evaluation, RUP
+//! refutation proofs replayed) for the bitvector obligations and the
+//! Fourier–Motzkin procedure for the integer obligations. This mirrors the
+//! paper's division between Lithium proof search and the Coq kernel's
+//! final check of the generated proof term.
+
+use islaris_smt::lia::{implies, LinAtom};
+use islaris_smt::{entails, Expr, Sort, SolverConfig, Var};
+
+/// One discharged side condition.
+#[derive(Debug, Clone)]
+pub enum Obligation {
+    /// Bitvector entailment: `facts ⟹ goal`.
+    Bv {
+        /// Hypotheses (the pure context at discharge time).
+        facts: Vec<Expr>,
+        /// The proven goal.
+        goal: Expr,
+        /// Sorts of the variables involved.
+        sorts: Vec<(Var, Sort)>,
+    },
+    /// Linear integer arithmetic entailment.
+    Lia {
+        /// Hypotheses.
+        facts: Vec<LinAtom>,
+        /// The proven goal.
+        goal: LinAtom,
+    },
+}
+
+/// A certificate: the ordered list of discharged obligations of one block
+/// verification.
+#[derive(Debug, Clone, Default)]
+pub struct Certificate {
+    /// The obligations.
+    pub obligations: Vec<Obligation>,
+}
+
+/// A certificate-check failure: obligation `index` did not re-prove.
+#[derive(Debug, Clone)]
+pub struct CertError {
+    /// Index of the failing obligation.
+    pub index: usize,
+    /// Rendered obligation.
+    pub obligation: String,
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certificate check failed at obligation {}: {}", self.index, self.obligation)
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Re-proves every obligation with checked (paranoid) solvers.
+///
+/// # Errors
+///
+/// Returns the first obligation that fails to re-prove.
+pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
+    let cfg = SolverConfig::paranoid();
+    for (index, ob) in cert.obligations.iter().enumerate() {
+        let ok = match ob {
+            Obligation::Bv { facts, goal, sorts } => {
+                let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
+                entails(facts, goal, &lookup, &cfg)
+            }
+            Obligation::Lia { facts, goal } => implies(facts, goal),
+        };
+        if !ok {
+            return Err(CertError { index, obligation: format!("{ob:?}") });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_smt::lia::LinTerm;
+    use islaris_smt::BvCmp;
+
+    #[test]
+    fn valid_certificate_checks() {
+        let x = Expr::var(Var(0));
+        let cert = Certificate {
+            obligations: vec![
+                Obligation::Bv {
+                    facts: vec![Expr::eq(x.clone(), Expr::bv(64, 5))],
+                    goal: Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 6)),
+                    sorts: vec![(Var(0), Sort::BitVec(64))],
+                },
+                Obligation::Lia {
+                    facts: vec![LinAtom::Le(LinTerm::constant(0), LinTerm::constant(1))],
+                    goal: LinAtom::Le(LinTerm::constant(0), LinTerm::constant(2)),
+                },
+            ],
+        };
+        assert!(check_certificate(&cert).is_ok());
+    }
+
+    #[test]
+    fn tampered_certificate_fails() {
+        let x = Expr::var(Var(0));
+        let cert = Certificate {
+            obligations: vec![Obligation::Bv {
+                facts: vec![],
+                goal: Expr::eq(x, Expr::bv(64, 5)), // not valid without facts
+                sorts: vec![(Var(0), Sort::BitVec(64))],
+            }],
+        };
+        let err = check_certificate(&cert).expect_err("must fail");
+        assert_eq!(err.index, 0);
+    }
+}

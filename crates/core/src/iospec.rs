@@ -1,0 +1,206 @@
+//! Protocols for externally visible behaviour: the `spec(s)` assertion of
+//! §4.2, used by `hoare-read-mem-mmio` and its write counterpart.
+//!
+//! A protocol is a guarded automaton over MMIO labels. The UART spec of §6,
+//!
+//! ```text
+//! srec(R. ∃b. scons(R(LSR,b), b[5] ? scons(W(IO,c), s) : R))
+//! ```
+//!
+//! is the two-state automaton: in the polling state, a read of `LSR`
+//! yields an arbitrary `b` and moves to the writing state if `b[5]` is
+//! set, else back to polling (the least-fixpoint `srec` loop); in the
+//! writing state, a write to `IO` must carry exactly `c`.
+
+use islaris_bv::Bv;
+use islaris_smt::{eval_bool, Expr, Value, Var};
+
+use islaris_itl::Label;
+
+/// A guarded transition for an MMIO *read*: the environment chooses the
+/// value (bound to a fresh ghost by the verifier), and each `(guard,
+/// next)` pair is verified under the guard. Guards must cover all values.
+pub type ReadBranches = Vec<(Expr, usize)>;
+
+/// The transition for an MMIO *write*: an obligation the verifier must
+/// prove about the written value, and the successor state.
+pub type WriteTransition = (Expr, usize);
+
+/// A protocol over MMIO labels.
+///
+/// `value` is an expression for the transferred value (a fresh ghost
+/// variable during verification; a concrete bitvector when checking an
+/// executed label sequence for adequacy).
+pub trait Protocol: Send + Sync {
+    /// Transitions for a read at `addr`; `None` = reads not allowed here.
+    fn on_read(&self, state: usize, addr: u64, bytes: u32, value: &Expr) -> Option<ReadBranches>;
+    /// Transition for a write at `addr`; `None` = writes not allowed.
+    fn on_write(&self, state: usize, addr: u64, bytes: u32, value: &Expr)
+        -> Option<WriteTransition>;
+}
+
+/// Checks a concrete label sequence against a protocol (the `κs ∈ s` side
+/// of the adequacy theorem). `End` labels are always accepted.
+#[must_use]
+pub fn accepts(protocol: &dyn Protocol, mut state: usize, labels: &[Label]) -> bool {
+    let concrete = |e: &Expr| -> Option<bool> {
+        match eval_bool(e, &|_: Var| None) {
+            Ok(b) => Some(b),
+            Err(_) => None,
+        }
+    };
+    for label in labels {
+        match label {
+            Label::End(_) => {}
+            Label::Read { addr, value } => {
+                let ve = Expr::bits(*value);
+                let Some(branches) =
+                    protocol.on_read(state, *addr, value.byte_len() as u32, &ve)
+                else {
+                    return false;
+                };
+                let mut taken = None;
+                for (guard, next) in branches {
+                    if concrete(&guard) == Some(true) {
+                        taken = Some(next);
+                        break;
+                    }
+                }
+                match taken {
+                    Some(next) => state = next,
+                    None => return false,
+                }
+            }
+            Label::Write { addr, value } => {
+                let ve = Expr::bits(*value);
+                let Some((obligation, next)) =
+                    protocol.on_write(state, *addr, value.byte_len() as u32, &ve)
+                else {
+                    return false;
+                };
+                if concrete(&obligation) != Some(true) {
+                    return false;
+                }
+                state = next;
+            }
+        }
+    }
+    true
+}
+
+/// The UART transmit protocol of the paper's §6 case study.
+///
+/// State 0: polling — reads of the line-status register are always
+/// allowed; if the TX-empty bit (bit 5) is set, move to state 1, else stay.
+/// State 1: write the character `c` to the IO register, then accept no
+/// further MMIO (state 2).
+#[derive(Debug, Clone)]
+pub struct UartProtocol {
+    /// Line status register address.
+    pub lsr: u64,
+    /// IO (transmit) register address.
+    pub io: u64,
+    /// The character that must be transmitted (as a 32-bit value; the
+    /// paper's `(u32) c`).
+    pub c: Expr,
+}
+
+impl Protocol for UartProtocol {
+    fn on_read(&self, state: usize, addr: u64, bytes: u32, value: &Expr) -> Option<ReadBranches> {
+        if state != 0 || addr != self.lsr || bytes != 4 {
+            return None;
+        }
+        // b[5] set → ready (state 1); else keep polling (state 0).
+        let bit5 = Expr::eq(Expr::extract(5, 5, value.clone()), Expr::bv(1, 1));
+        Some(vec![(bit5.clone(), 1), (Expr::not(bit5), 0)])
+    }
+
+    fn on_write(
+        &self,
+        state: usize,
+        addr: u64,
+        bytes: u32,
+        value: &Expr,
+    ) -> Option<WriteTransition> {
+        if state != 1 || addr != self.io || bytes != 4 {
+            return None;
+        }
+        Some((Expr::eq(value.clone(), self.c.clone()), 2))
+    }
+}
+
+/// A protocol that forbids all MMIO (the default when a verification has
+/// no `Io` atom but owns no MMIO regions either).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIo;
+
+impl Protocol for NoIo {
+    fn on_read(&self, _: usize, _: u64, _: u32, _: &Expr) -> Option<ReadBranches> {
+        None
+    }
+
+    fn on_write(&self, _: usize, _: u64, _: u32, _: &Expr) -> Option<WriteTransition> {
+        None
+    }
+}
+
+/// Helper: build a `UartProtocol` transmitting the concrete byte `c`.
+#[must_use]
+pub fn uart(lsr: u64, io: u64, c: u8) -> UartProtocol {
+    UartProtocol { lsr, io, c: Expr::bits(Bv::new(32, u128::from(c))) }
+}
+
+/// Helper: evaluate whether a closed guard holds for a concrete value.
+#[must_use]
+pub fn guard_holds(guard: &Expr, value: Bv, hole: Var) -> bool {
+    let env = move |v: Var| (v == hole).then_some(Value::Bits(value));
+    eval_bool(guard, &env).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_accepts_polling_then_write() {
+        let p = uart(0x9000, 0x9004, b'A');
+        let labels = vec![
+            Label::Read { addr: 0x9000, value: Bv::new(32, 0) }, // busy
+            Label::Read { addr: 0x9000, value: Bv::new(32, 0) }, // busy
+            Label::Read { addr: 0x9000, value: Bv::new(32, 1 << 5) }, // ready
+            Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'A')) },
+            Label::End(0x1010),
+        ];
+        assert!(accepts(&p, 0, &labels));
+    }
+
+    #[test]
+    fn uart_rejects_wrong_character() {
+        let p = uart(0x9000, 0x9004, b'A');
+        let labels = vec![
+            Label::Read { addr: 0x9000, value: Bv::new(32, 1 << 5) },
+            Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'B')) },
+        ];
+        assert!(!accepts(&p, 0, &labels));
+    }
+
+    #[test]
+    fn uart_rejects_write_before_ready() {
+        let p = uart(0x9000, 0x9004, b'A');
+        let labels = vec![Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'A')) }];
+        assert!(!accepts(&p, 0, &labels));
+    }
+
+    #[test]
+    fn uart_rejects_unknown_addresses() {
+        let p = uart(0x9000, 0x9004, b'A');
+        let labels = vec![Label::Read { addr: 0xdead, value: Bv::new(32, 0) }];
+        assert!(!accepts(&p, 0, &labels));
+    }
+
+    #[test]
+    fn no_io_rejects_everything_but_end() {
+        assert!(accepts(&NoIo, 0, &[Label::End(0)]));
+        assert!(!accepts(&NoIo, 0, &[Label::Read { addr: 0, value: Bv::new(8, 0) }]));
+    }
+}

@@ -1,0 +1,450 @@
+//! Sequence theory for memory arrays (`a ↦*M B`).
+//!
+//! The memcpy verification (§2.5 of the paper) needs list reasoning for
+//! its loop invariant: after `m` iterations the destination holds
+//! `take m Bs ++ drop m Bd`, and the inductive step is
+//! `update(take m Bs ++ drop m Bd, m, Bs[m]) = take (m+1) Bs ++ drop (m+1) Bd`
+//! under `0 ≤ m < n`. The paper discharges this with manual "pure
+//! reasoning about lists"; here it is decided automatically by normalising
+//! sequence terms to lists of *segments* (slices of base sequences and
+//! point elements) whose boundaries are linear integer terms, and
+//! comparing them pointwise with LIA queries.
+
+use std::fmt;
+
+use islaris_smt::lia::{LinAtom, LinTerm};
+use islaris_smt::{Expr, Var};
+
+/// A sequence variable (an abstract list of bitvector elements, like the
+/// `Bs`/`Bd` of the memcpy spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqVar(pub u32);
+
+impl fmt::Display for SeqVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Spec-level sequence expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeqExpr {
+    /// An abstract sequence.
+    Var(SeqVar),
+    /// An explicit list of elements.
+    Lit(Vec<Expr>),
+    /// First `k` elements (`k` is a bitvector expression, read unsigned).
+    Take(Box<SeqExpr>, Expr),
+    /// All but the first `k` elements.
+    Drop(Box<SeqExpr>, Expr),
+    /// Concatenation.
+    App(Box<SeqExpr>, Box<SeqExpr>),
+    /// Point update at index `i`.
+    Update(Box<SeqExpr>, Expr, Expr),
+}
+
+impl SeqExpr {
+    /// `take k self`.
+    #[must_use]
+    pub fn take(self, k: Expr) -> SeqExpr {
+        SeqExpr::Take(Box::new(self), k)
+    }
+
+    /// `drop k self`.
+    #[must_use]
+    pub fn drop(self, k: Expr) -> SeqExpr {
+        SeqExpr::Drop(Box::new(self), k)
+    }
+
+    /// `self ++ other`.
+    #[must_use]
+    pub fn app(self, other: SeqExpr) -> SeqExpr {
+        SeqExpr::App(Box::new(self), Box::new(other))
+    }
+
+    /// `update self i v`.
+    #[must_use]
+    pub fn update(self, i: Expr, v: Expr) -> SeqExpr {
+        SeqExpr::Update(Box::new(self), i, v)
+    }
+}
+
+/// One segment of a normalised sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// `base[lo..hi)` — a slice of an abstract sequence.
+    Slice {
+        /// The base sequence.
+        base: SeqVar,
+        /// Inclusive lower index.
+        lo: LinTerm,
+        /// Exclusive upper index.
+        hi: LinTerm,
+    },
+    /// A single known element.
+    Point(Expr),
+}
+
+/// A normalised sequence: concatenation of segments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeqNorm {
+    /// The segments in order.
+    pub segs: Vec<Segment>,
+}
+
+/// Proof services the sequence engine needs from its environment: LIA
+/// entailment from the current facts, bitvector entailment, the length
+/// variable of abstract sequences, conversion of bitvector index
+/// expressions to integer terms, and cached `select` terms for elements of
+/// abstract sequences.
+pub trait SeqCtx {
+    /// Does the current fact set imply the linear atom?
+    fn prove_int(&mut self, goal: &LinAtom) -> bool;
+    /// Does the current fact set imply the (boolean) bitvector goal?
+    fn prove_bv(&mut self, goal: &Expr) -> bool;
+    /// The integer term for `|B|`.
+    fn seq_len(&mut self, base: SeqVar) -> LinTerm;
+    /// Converts a bitvector expression to an integer term (with
+    /// no-overflow side conditions proved internally); `None` if outside
+    /// the convertible fragment.
+    fn to_int(&mut self, e: &Expr) -> Option<LinTerm>;
+    /// The (cached) element variable `base[idx]`, of `width` bits.
+    fn select(&mut self, base: SeqVar, idx: &LinTerm, width: u32) -> Var;
+    /// Resolves a sequence variable bound (by entailment instantiation)
+    /// to a concrete normal form.
+    fn resolve(&mut self, base: SeqVar) -> Option<SeqNorm> {
+        let _ = base;
+        None
+    }
+    /// If `v` is a select variable, its `(base, index)`.
+    fn select_info(&self, v: Var) -> Option<(SeqVar, LinTerm)> {
+        let _ = v;
+        None
+    }
+}
+
+/// Semantic element comparison: syntactic equality, select-aware index
+/// equality (two selects of the same base at LIA-equal indices), then the
+/// bitvector solver.
+fn elems_equal(a: &Expr, b: &Expr, cx: &mut dyn SeqCtx) -> bool {
+    if a == b {
+        return true;
+    }
+    if let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) {
+        if let (Some((ba, ia)), Some((bb, ib))) = (cx.select_info(va), cx.select_info(vb)) {
+            if ba == bb && cx.prove_int(&LinAtom::Eq(ia, ib)) {
+                return true;
+            }
+        }
+    }
+    cx.prove_bv(&Expr::eq(a.clone(), b.clone()))
+}
+
+/// Errors from sequence normalisation/comparison: the engine could not
+/// decide where an index falls. Verification reports these as failed side
+/// conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sequence reasoning failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+fn seq_err<T>(msg: impl Into<String>) -> Result<T, SeqError> {
+    Err(SeqError { message: msg.into() })
+}
+
+impl Segment {
+    fn len(&self) -> LinTerm {
+        match self {
+            Segment::Slice { lo, hi, .. } => hi.sub(lo),
+            Segment::Point(_) => LinTerm::constant(1),
+        }
+    }
+}
+
+impl SeqNorm {
+    /// A slice of a whole abstract sequence.
+    #[must_use]
+    pub fn whole(base: SeqVar, len: LinTerm) -> SeqNorm {
+        SeqNorm {
+            segs: vec![Segment::Slice { base, lo: LinTerm::constant(0), hi: len }],
+        }
+    }
+
+    /// The total length.
+    #[must_use]
+    pub fn len(&self) -> LinTerm {
+        self.segs
+            .iter()
+            .fold(LinTerm::constant(0), |acc, s| acc.add(&s.len()))
+    }
+
+    /// Drops provably-empty segments.
+    fn prune(mut self, cx: &mut dyn SeqCtx) -> SeqNorm {
+        self.segs.retain(|s| match s {
+            Segment::Point(_) => true,
+            Segment::Slice { lo, hi, .. } => {
+                !cx.prove_int(&LinAtom::Le(hi.clone(), lo.clone()))
+            }
+        });
+        self
+    }
+}
+
+/// Normalises a sequence expression.
+///
+/// # Errors
+///
+/// Fails when an index cannot be converted to an integer term or cannot be
+/// located within the sequence using the available facts.
+pub fn normalize(e: &SeqExpr, cx: &mut dyn SeqCtx) -> Result<SeqNorm, SeqError> {
+    let norm = match e {
+        SeqExpr::Var(b) => match cx.resolve(*b) {
+            Some(n) => n,
+            None => {
+                let len = cx.seq_len(*b);
+                SeqNorm::whole(*b, len)
+            }
+        },
+        SeqExpr::Lit(elems) => SeqNorm {
+            segs: elems.iter().map(|e| Segment::Point(e.clone())).collect(),
+        },
+        SeqExpr::App(a, b) => {
+            let mut n = normalize(a, cx)?;
+            n.segs.extend(normalize(b, cx)?.segs);
+            n
+        }
+        SeqExpr::Take(s, k) => {
+            let n = normalize(s, cx)?;
+            let k = to_index(k, cx)?;
+            split_at(&n, &k, cx)?.0
+        }
+        SeqExpr::Drop(s, k) => {
+            let n = normalize(s, cx)?;
+            let k = to_index(k, cx)?;
+            split_at(&n, &k, cx)?.1
+        }
+        SeqExpr::Update(s, i, v) => {
+            let n = normalize(s, cx)?;
+            let i = to_index(i, cx)?;
+            update_norm(&n, &i, v.clone(), cx)?
+        }
+    };
+    Ok(norm.prune(cx))
+}
+
+fn to_index(e: &Expr, cx: &mut dyn SeqCtx) -> Result<LinTerm, SeqError> {
+    cx.to_int(e)
+        .ok_or_else(|| SeqError { message: format!("index `{e}` is not linear") })
+}
+
+/// Splits a normalised sequence at position `k` (absolute index from the
+/// start): returns (first k elements, rest).
+pub fn split_at(
+    n: &SeqNorm,
+    k: &LinTerm,
+    cx: &mut dyn SeqCtx,
+) -> Result<(SeqNorm, SeqNorm), SeqError> {
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    let mut offset = LinTerm::constant(0);
+    let mut splitting_done = false;
+    for seg in &n.segs {
+        if splitting_done {
+            after.push(seg.clone());
+            continue;
+        }
+        let seg_end = offset.add(&seg.len());
+        if cx.prove_int(&LinAtom::Le(seg_end.clone(), k.clone())) {
+            before.push(seg.clone());
+        } else if cx.prove_int(&LinAtom::Le(k.clone(), offset.clone())) {
+            splitting_done = true;
+            after.push(seg.clone());
+        } else {
+            // k falls strictly inside this segment.
+            match seg {
+                Segment::Point(_) => {
+                    return seq_err(format!(
+                        "cannot place split point {k} around a point at offset {offset}"
+                    ))
+                }
+                Segment::Slice { base, lo, .. } => {
+                    // Relative position: lo + (k - offset).
+                    let mid = lo.add(&k.sub(&offset));
+                    let (s_lo, s_hi) = match seg {
+                        Segment::Slice { lo, hi, .. } => (lo.clone(), hi.clone()),
+                        Segment::Point(_) => unreachable!(),
+                    };
+                    // Verify lo ≤ mid ≤ hi follows (it does by construction
+                    // given the two failed checks above only when the facts
+                    // locate k; re-check to be safe).
+                    if !cx.prove_int(&LinAtom::Le(s_lo.clone(), mid.clone()))
+                        || !cx.prove_int(&LinAtom::Le(mid.clone(), s_hi.clone()))
+                    {
+                        return seq_err(format!(
+                            "cannot locate split point {k} within segment [{s_lo}, {s_hi})"
+                        ));
+                    }
+                    before.push(Segment::Slice { base: *base, lo: s_lo, hi: mid.clone() });
+                    after.push(Segment::Slice { base: *base, lo: mid, hi: s_hi });
+                    splitting_done = true;
+                }
+            }
+        }
+        offset = seg_end;
+    }
+    if !splitting_done {
+        // k must equal the total length.
+        if !cx.prove_int(&LinAtom::Le(k.clone(), offset.clone())) {
+            return seq_err(format!("split point {k} beyond sequence length {offset}"));
+        }
+    }
+    Ok((SeqNorm { segs: before }, SeqNorm { segs: after }))
+}
+
+/// Point-updates a normalised sequence at absolute index `i`.
+pub fn update_norm(
+    n: &SeqNorm,
+    i: &LinTerm,
+    v: Expr,
+    cx: &mut dyn SeqCtx,
+) -> Result<SeqNorm, SeqError> {
+    let (before, rest) = split_at(n, i, cx)?;
+    // `rest` starts at logical index i; drop its first element (split at
+    // relative position 1) and replace it with the point.
+    let (_old, after) = split_at(&rest, &LinTerm::constant(1), cx)?;
+    let mut segs = before.segs;
+    segs.push(Segment::Point(v));
+    segs.extend(after.segs);
+    Ok(SeqNorm { segs })
+}
+
+/// Reads the element at absolute index `i`.
+pub fn index_norm(
+    n: &SeqNorm,
+    i: &LinTerm,
+    elem_bits: u32,
+    cx: &mut dyn SeqCtx,
+) -> Result<Expr, SeqError> {
+    let mut offset = LinTerm::constant(0);
+    for seg in &n.segs {
+        let seg_end = offset.add(&seg.len());
+        let inside_lo = cx.prove_int(&LinAtom::Le(offset.clone(), i.clone()));
+        let inside_hi = cx.prove_int(&LinAtom::lt(i.clone(), seg_end.clone()));
+        if inside_lo && inside_hi {
+            return Ok(match seg {
+                Segment::Point(e) => e.clone(),
+                Segment::Slice { base, lo, .. } => {
+                    let idx = lo.add(&i.sub(&offset));
+                    Expr::var(cx.select(*base, &idx, elem_bits))
+                }
+            });
+        }
+        // Otherwise the index must be provably past this segment.
+        if !cx.prove_int(&LinAtom::Le(seg_end.clone(), i.clone())) {
+            return seq_err(format!(
+                "cannot locate index {i} relative to segment ending at {seg_end}"
+            ));
+        }
+        offset = seg_end;
+    }
+    seq_err(format!("index {i} out of range"))
+}
+
+/// Decides extensional equality of two normalised sequences.
+pub fn eq_norm(
+    a: &SeqNorm,
+    b: &SeqNorm,
+    elem_bits: u32,
+    cx: &mut dyn SeqCtx,
+) -> Result<bool, SeqError> {
+    let mut xs: Vec<Segment> = a.segs.clone();
+    let mut ys: Vec<Segment> = b.segs.clone();
+    xs.reverse(); // use as stacks (pop from the front = pop from the back)
+    ys.reverse();
+    loop {
+        // Drop provably-empty heads.
+        while let Some(Segment::Slice { lo, hi, .. }) = xs.last() {
+            if cx.prove_int(&LinAtom::Le(hi.clone(), lo.clone())) {
+                xs.pop();
+            } else {
+                break;
+            }
+        }
+        while let Some(Segment::Slice { lo, hi, .. }) = ys.last() {
+            if cx.prove_int(&LinAtom::Le(hi.clone(), lo.clone())) {
+                ys.pop();
+            } else {
+                break;
+            }
+        }
+        match (xs.pop(), ys.pop()) {
+            (None, None) => return Ok(true),
+            (None, Some(_)) | (Some(_), None) => return Ok(false),
+            (Some(x), Some(y)) => match (x, y) {
+                (Segment::Point(e1), Segment::Point(e2)) => {
+                    if !elems_equal(&e1, &e2, cx) {
+                        return Ok(false);
+                    }
+                }
+                (
+                    Segment::Slice { base: b1, lo: l1, hi: h1 },
+                    Segment::Slice { base: b2, lo: l2, hi: h2 },
+                ) => {
+                    if b1 != b2
+                        || !cx.prove_int(&LinAtom::Eq(l1.clone(), l2.clone()))
+                    {
+                        return Ok(false);
+                    }
+                    // Align lengths: shorter side consumes fully; longer
+                    // side keeps a tail.
+                    if cx.prove_int(&LinAtom::Eq(h1.clone(), h2.clone())) {
+                        // equal: both consumed
+                    } else if cx.prove_int(&LinAtom::Le(h1.clone(), h2.clone())) {
+                        ys.push(Segment::Slice { base: b2, lo: h1, hi: h2 });
+                    } else if cx.prove_int(&LinAtom::Le(h2.clone(), h1.clone())) {
+                        xs.push(Segment::Slice { base: b1, lo: h2, hi: h1 });
+                    } else {
+                        return seq_err(format!(
+                            "cannot order slice ends {h1} and {h2}"
+                        ));
+                    }
+                }
+                (Segment::Slice { base, lo, hi }, Segment::Point(e)) => {
+                    // Compare the slice's first element with the point and
+                    // keep the slice's tail on the x side.
+                    if !cx.prove_int(&LinAtom::lt(lo.clone(), hi.clone())) {
+                        return seq_err(format!(
+                            "cannot show slice [{lo}, {hi}) non-empty against a point"
+                        ));
+                    }
+                    let sel = Expr::var(cx.select(base, &lo, elem_bits));
+                    if !elems_equal(&sel, &e, cx) {
+                        return Ok(false);
+                    }
+                    xs.push(Segment::Slice { base, lo: lo.offset(1), hi });
+                }
+                (Segment::Point(e), Segment::Slice { base, lo, hi }) => {
+                    if !cx.prove_int(&LinAtom::lt(lo.clone(), hi.clone())) {
+                        return seq_err(format!(
+                            "cannot show slice [{lo}, {hi}) non-empty against a point"
+                        ));
+                    }
+                    let sel = Expr::var(cx.select(base, &lo, elem_bits));
+                    if !elems_equal(&sel, &e, cx) {
+                        return Ok(false);
+                    }
+                    ys.push(Segment::Slice { base, lo: lo.offset(1), hi });
+                }
+            },
+        }
+    }
+}

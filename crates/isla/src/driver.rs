@@ -1,0 +1,185 @@
+//! The exploration driver: builds the full `Cases` tree for one opcode by
+//! deterministic replay, and assembles instruction maps for programs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islaris_itl::{Event, Trace};
+use islaris_smt::{Expr, Sort, Var};
+
+use crate::exec::{IslaConfig, IslaError, RunStatus, SymExec};
+use crate::simplify::simplify_trace;
+
+/// An opcode to trace: fully concrete, or partially symbolic (the paper's
+/// pKVM relocation patching uses `movz`/`movk` with symbolic immediates).
+pub enum Opcode {
+    /// A concrete 32-bit opcode.
+    Concrete(u32),
+    /// A partially symbolic opcode expression (32 bits wide; typically a
+    /// `concat` of literal fields and parameter variables), with the
+    /// parameter variables and sorts. Parameters stay free in the trace.
+    Symbolic {
+        /// The 32-bit opcode expression.
+        expr: Expr,
+        /// Free parameters of the opcode (and of the resulting trace).
+        params: Vec<(Var, Sort)>,
+        /// Extra assumptions over the parameters, in force during
+        /// feasibility pruning (e.g. constraining an immediate's range).
+        assumptions: Vec<Expr>,
+    },
+}
+
+impl Opcode {
+    fn expr(&self) -> Expr {
+        match self {
+            Opcode::Concrete(op) => Expr::bv(32, u128::from(*op)),
+            Opcode::Symbolic { expr, .. } => expr.clone(),
+        }
+    }
+
+    fn params(&self) -> &[(Var, Sort)] {
+        match self {
+            Opcode::Concrete(_) => &[],
+            Opcode::Symbolic { params, .. } => params,
+        }
+    }
+
+    fn assumptions(&self) -> &[Expr] {
+        match self {
+            Opcode::Concrete(_) => &[],
+            Opcode::Symbolic { assumptions, .. } => assumptions,
+        }
+    }
+}
+
+/// Statistics from tracing one opcode.
+#[derive(Debug, Clone, Default)]
+pub struct IslaStats {
+    /// Symbolic execution runs (paths explored, including replays).
+    pub runs: u64,
+    /// SMT feasibility queries issued.
+    pub smt_queries: u64,
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Events in the final simplified trace.
+    pub events: usize,
+}
+
+/// A generated trace plus metadata.
+pub struct TraceResult {
+    /// The simplified trace.
+    pub trace: Trace,
+    /// Free parameter variables (for symbolic opcodes).
+    pub params: Vec<(Var, Sort)>,
+    /// Statistics.
+    pub stats: IslaStats,
+}
+
+const MAX_PATHS: u64 = 512;
+
+/// Symbolically executes one opcode under the configuration, producing its
+/// Isla trace (the `Isla` box of Fig. 1).
+pub fn trace_opcode(cfg: &IslaConfig, opcode: &Opcode) -> Result<TraceResult, IslaError> {
+    let start = Instant::now();
+    let params: Vec<(Var, Sort)> = opcode.params().to_vec();
+    let first_var = params.iter().map(|(v, _)| v.0 + 1).max().unwrap_or(0);
+    let mut stats = IslaStats::default();
+    let mut forced: Vec<bool> = Vec::new();
+    let raw = build(cfg, opcode, &params, first_var, &mut forced, 0, &mut stats)?;
+    let sorts = collect_sorts(&raw, &params);
+    let trace = simplify_trace(&raw, &sorts);
+    stats.time = start.elapsed();
+    stats.events = trace.event_count();
+    Ok(TraceResult { trace, params, stats })
+}
+
+fn collect_sorts(t: &Trace, params: &[(Var, Sort)]) -> std::collections::HashMap<Var, Sort> {
+    let mut sorts: std::collections::HashMap<Var, Sort> = params.iter().copied().collect();
+    collect_sorts_into(t, &mut sorts);
+    sorts
+}
+
+fn collect_sorts_into(t: &Trace, out: &mut std::collections::HashMap<Var, Sort>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            if let Event::DeclareConst(v, s) = ev {
+                out.insert(*v, *s);
+            }
+            collect_sorts_into(rest, out);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_sorts_into(t, out);
+            }
+        }
+    }
+}
+
+/// Recursive tree construction by replay: one run per leaf plus one per
+/// internal node of the `Cases` tree.
+fn build(
+    cfg: &IslaConfig,
+    opcode: &Opcode,
+    params: &[(Var, Sort)],
+    first_var: u32,
+    forced: &mut Vec<bool>,
+    start: usize,
+    stats: &mut IslaStats,
+) -> Result<Trace, IslaError> {
+    stats.runs += 1;
+    if stats.runs > MAX_PATHS {
+        return Err(IslaError::TooManyPaths);
+    }
+    let exec = SymExec::new(cfg, forced, opcode.assumptions(), first_var, params)?;
+    let out = exec.run(opcode.expr())?;
+    stats.smt_queries += out.smt_queries;
+    match out.status {
+        RunStatus::Completed => Ok(Trace::linear(out.events[start..].to_vec())),
+        RunStatus::Dead => {
+            // The path condition is unsatisfiable: mark the branch vacuous.
+            Ok(Trace::linear(vec![Event::Assert(Expr::bool(false))]))
+        }
+        RunStatus::Pending(cond) => {
+            let fork_at = out.events.len();
+            forced.push(true);
+            let t = build(cfg, opcode, params, first_var, forced, fork_at, stats)?;
+            forced.pop();
+            forced.push(false);
+            let f = build(cfg, opcode, params, first_var, forced, fork_at, stats)?;
+            forced.pop();
+            let t = Trace::Cons(Event::Assert(cond.clone()), Arc::new(t));
+            let f = Trace::Cons(Event::Assert(Expr::not(cond)), Arc::new(f));
+            let shared = out.events[start..fork_at].to_vec();
+            Ok(Trace::from_events(shared, Trace::Cases(vec![t, f])))
+        }
+    }
+}
+
+/// A program's instruction traces: the Coq-embedding analogue of the
+/// Islaris frontend (one trace per opcode, installed at its address).
+pub struct ProgramTraces {
+    /// Address → trace.
+    pub instrs: std::collections::BTreeMap<u64, Arc<Trace>>,
+    /// Aggregated statistics.
+    pub stats: IslaStats,
+}
+
+/// Traces every instruction of a program given as `(address, opcode)`
+/// pairs, all under the same configuration.
+pub fn trace_program(
+    cfg: &IslaConfig,
+    program: &[(u64, u32)],
+) -> Result<ProgramTraces, IslaError> {
+    let mut instrs = std::collections::BTreeMap::new();
+    let mut stats = IslaStats::default();
+    for (addr, op) in program {
+        let r = trace_opcode(cfg, &Opcode::Concrete(*op))?;
+        stats.runs += r.stats.runs;
+        stats.smt_queries += r.stats.smt_queries;
+        stats.time += r.stats.time;
+        stats.events += r.stats.events;
+        instrs.insert(*addr, Arc::new(r.trace));
+    }
+    Ok(ProgramTraces { instrs, stats })
+}

@@ -1,0 +1,41 @@
+//! The Isla analogue: SMT-based symbolic execution of mini-Sail ISA models
+//! producing Isla traces (the `Isla` box of Fig. 1 in the paper).
+//!
+//! Given an opcode (possibly with symbolic immediate fields) and
+//! constraints on the machine state, [`trace_opcode`] symbolically
+//! evaluates the model, pruning branches that are unreachable under the
+//! constraints with the SMT solver, and emits a [`islaris_itl::Trace`]:
+//! the instruction's register and memory accesses, with `Cases` trees for
+//! residual branching and `AssumeReg`/`Assume` events recording the
+//! constraints that were used (which become proof obligations during
+//! verification).
+//!
+//! # Examples
+//!
+//! Reproduce the paper's Fig. 3: `add sp, sp, #0x40` at EL2 with SP=1
+//! collapses to a linear trace over `SP_EL2`.
+//!
+//! ```
+//! use islaris_bv::Bv;
+//! use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+//! use islaris_models::ARM;
+//!
+//! let cfg = IslaConfig::new(ARM)
+//!     .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+//!     .assume_reg("PSTATE.SP", Bv::new(1, 0b1));
+//! let r = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff))?;
+//! let text = islaris_itl::print_trace(&r.trace);
+//! assert!(text.contains("(read-reg |SP_EL2| nil"));
+//! assert!(text.contains("(write-reg |SP_EL2| nil"));
+//! # Ok::<(), islaris_isla::IslaError>(())
+//! ```
+
+pub mod driver;
+pub mod exec;
+pub mod simplify;
+pub mod sym;
+
+pub use driver::{trace_opcode, trace_program, IslaStats, Opcode, ProgramTraces, TraceResult};
+pub use exec::{ConstraintFn, IslaConfig, IslaError};
+pub use simplify::simplify_trace;
+pub use sym::{RegKey, SymVal};

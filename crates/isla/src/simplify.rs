@@ -1,0 +1,249 @@
+//! Trace simplification: expression simplification, dead-definition
+//! elimination, and deterministic renumbering — the trace-level
+//! improvements to Isla listed at the end of §3 of the paper.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use islaris_itl::{Event, Trace};
+use islaris_smt::{simplify_with, Expr, Sort, Var};
+
+/// Simplifies a trace: simplify all expressions (with the widths of
+/// declared variables), drop unused `declare-const`/`define-const`s, and
+/// renumber the remaining variables in first-occurrence order.
+#[must_use]
+pub fn simplify_trace(t: &Trace, sorts: &HashMap<Var, Sort>) -> Trace {
+    let ws = |v: Var| match sorts.get(&v) {
+        Some(Sort::BitVec(w)) => Some(*w),
+        _ => None,
+    };
+    let mut out = map_exprs(t, &|e| simplify_with(e, &ws));
+    // Dead definition elimination to a fixpoint.
+    loop {
+        let mut used = BTreeSet::new();
+        collect_uses(&out, &mut used);
+        let before = count_defs(&out);
+        out = drop_dead(&out, &used);
+        if count_defs(&out) == before {
+            break;
+        }
+    }
+    renumber(&out)
+}
+
+fn map_exprs(t: &Trace, f: &dyn Fn(&Expr) -> Expr) -> Trace {
+    match t {
+        Trace::Nil => Trace::Nil,
+        Trace::Cons(ev, rest) => {
+            let ev = match ev {
+                Event::ReadReg(r, v) => Event::ReadReg(r.clone(), f(v)),
+                Event::WriteReg(r, v) => Event::WriteReg(r.clone(), f(v)),
+                Event::AssumeReg(r, v) => Event::AssumeReg(r.clone(), f(v)),
+                Event::ReadMem { value, addr, bytes } => {
+                    Event::ReadMem { value: f(value), addr: f(addr), bytes: *bytes }
+                }
+                Event::WriteMem { addr, value, bytes } => {
+                    Event::WriteMem { addr: f(addr), value: f(value), bytes: *bytes }
+                }
+                Event::Assume(e) => Event::Assume(f(e)),
+                Event::Assert(e) => Event::Assert(f(e)),
+                Event::DeclareConst(v, s) => Event::DeclareConst(*v, *s),
+                Event::DefineConst(v, e) => Event::DefineConst(*v, f(e)),
+            };
+            Trace::Cons(ev, Arc::new(map_exprs(rest, f)))
+        }
+        Trace::Cases(ts) => Trace::Cases(ts.iter().map(|t| map_exprs(t, f)).collect()),
+    }
+}
+
+/// Collects variables used anywhere other than their own binder.
+fn collect_uses(t: &Trace, used: &mut BTreeSet<Var>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            match ev {
+                Event::ReadReg(_, v) | Event::WriteReg(_, v) | Event::AssumeReg(_, v) => {
+                    v.free_vars_into(used);
+                }
+                Event::ReadMem { value, addr, .. } | Event::WriteMem { addr, value, .. } => {
+                    value.free_vars_into(used);
+                    addr.free_vars_into(used);
+                }
+                Event::Assume(e) | Event::Assert(e) => e.free_vars_into(used),
+                Event::DeclareConst(_, _) => {}
+                Event::DefineConst(_, e) => e.free_vars_into(used),
+            }
+            collect_uses(rest, used);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_uses(t, used);
+            }
+        }
+    }
+}
+
+fn count_defs(t: &Trace) -> usize {
+    match t {
+        Trace::Nil => 0,
+        Trace::Cons(ev, rest) => {
+            let here = usize::from(matches!(
+                ev,
+                Event::DeclareConst(_, _) | Event::DefineConst(_, _)
+            ));
+            here + count_defs(rest)
+        }
+        Trace::Cases(ts) => ts.iter().map(count_defs).sum(),
+    }
+}
+
+fn drop_dead(t: &Trace, used: &BTreeSet<Var>) -> Trace {
+    match t {
+        Trace::Nil => Trace::Nil,
+        Trace::Cons(ev, rest) => {
+            let dead = match ev {
+                Event::DeclareConst(v, _) | Event::DefineConst(v, _) => !used.contains(v),
+                _ => false,
+            };
+            if dead {
+                drop_dead(rest, used)
+            } else {
+                Trace::Cons(ev.clone(), Arc::new(drop_dead(rest, used)))
+            }
+        }
+        Trace::Cases(ts) => Trace::Cases(ts.iter().map(|t| drop_dead(t, used)).collect()),
+    }
+}
+
+/// Renumbers bound variables in first-occurrence (pre-order) order,
+/// leaving free variables (spec parameters) untouched.
+fn renumber(t: &Trace) -> Trace {
+    // Collect bound variables in pre-order.
+    let mut bound = Vec::new();
+    collect_bound(t, &mut bound);
+    let free_guard: BTreeSet<Var> = bound.iter().copied().collect();
+    // Allocate new indices after the maximum free variable to avoid
+    // collisions with parameters.
+    let mut all_vars = BTreeSet::new();
+    collect_all_vars(t, &mut all_vars);
+    let max_free = all_vars
+        .iter()
+        .filter(|v| !free_guard.contains(v))
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let map: HashMap<Var, Var> = bound
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, Var(max_free + i as u32)))
+        .collect();
+    map_vars(t, &|v| map.get(&v).copied().unwrap_or(v))
+}
+
+fn collect_bound(t: &Trace, out: &mut Vec<Var>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            if let Event::DeclareConst(v, _) | Event::DefineConst(v, _) = ev {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            collect_bound(rest, out);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_bound(t, out);
+            }
+        }
+    }
+}
+
+fn collect_all_vars(t: &Trace, out: &mut BTreeSet<Var>) {
+    collect_uses(t, out);
+    let mut bound = Vec::new();
+    collect_bound(t, &mut bound);
+    out.extend(bound);
+}
+
+fn map_vars(t: &Trace, f: &dyn Fn(Var) -> Var) -> Trace {
+    let subst = |e: &Expr| e.subst(&|v| Some(Expr::var(f(v))));
+    match t {
+        Trace::Nil => Trace::Nil,
+        Trace::Cons(ev, rest) => {
+            let ev = match ev {
+                Event::DeclareConst(v, s) => Event::DeclareConst(f(*v), *s),
+                Event::DefineConst(v, e) => Event::DefineConst(f(*v), subst(e)),
+                other => other.subst(&|v| Some(Expr::var(f(v)))),
+            };
+            Trace::Cons(ev, Arc::new(map_vars(rest, f)))
+        }
+        Trace::Cases(ts) => Trace::Cases(ts.iter().map(|t| map_vars(t, f)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_itl::Reg;
+
+    #[test]
+    fn dead_definitions_are_dropped() {
+        let t = Trace::linear([
+            Event::DeclareConst(Var(0), Sort::BitVec(64)),
+            Event::DefineConst(Var(1), Expr::add(Expr::var(Var(0)), Expr::bv(64, 1))),
+            Event::DeclareConst(Var(2), Sort::BitVec(64)), // dead
+            Event::DefineConst(Var(3), Expr::var(Var(2))), // dead after v2 dies? no: uses v2
+            Event::WriteReg(Reg::new("R0"), Expr::var(Var(1))),
+        ]);
+        let simplified = simplify_trace(&t, &HashMap::new());
+        // v3 is unused → dropped; then v2 unused → dropped.
+        assert_eq!(simplified.event_count(), 3);
+    }
+
+    #[test]
+    fn renumbering_is_deterministic_and_dense() {
+        let t = Trace::linear([
+            Event::DeclareConst(Var(17), Sort::BitVec(64)),
+            Event::DefineConst(Var(99), Expr::add(Expr::var(Var(17)), Expr::bv(64, 4))),
+            Event::WriteReg(Reg::new("_PC"), Expr::var(Var(99))),
+        ]);
+        let s = simplify_trace(&t, &HashMap::new());
+        match &s {
+            Trace::Cons(Event::DeclareConst(v, _), rest) => {
+                assert_eq!(*v, Var(0));
+                match &**rest {
+                    Trace::Cons(Event::DefineConst(v2, _), _) => assert_eq!(*v2, Var(1)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_parameters_survive() {
+        // Var(5) is free (a spec parameter): must not be renamed or dropped.
+        let t = Trace::linear([
+            Event::DefineConst(Var(9), Expr::add(Expr::var(Var(5)), Expr::bv(64, 4))),
+            Event::WriteReg(Reg::new("R0"), Expr::var(Var(9))),
+        ]);
+        let s = simplify_trace(&t, &HashMap::new());
+        let mut used = BTreeSet::new();
+        collect_uses(&s, &mut used);
+        assert!(used.contains(&Var(5)), "parameter must stay free");
+    }
+
+    #[test]
+    fn expressions_are_simplified() {
+        let t = Trace::linear([Event::Assert(Expr::eq(
+            Expr::add(Expr::bv(8, 1), Expr::bv(8, 1)),
+            Expr::bv(8, 2),
+        ))]);
+        let s = simplify_trace(&t, &HashMap::new());
+        match &s {
+            Trace::Cons(Event::Assert(e), _) => assert_eq!(e.as_bool(), Some(true)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

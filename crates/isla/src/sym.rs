@@ -1,0 +1,182 @@
+//! Symbolic values and the per-run symbolic state.
+
+use std::collections::{BTreeMap, HashMap};
+
+use islaris_bv::Bv;
+use islaris_itl::{Event, Reg};
+use islaris_smt::{simplify_with, Expr, Sort, Var, VarGen};
+
+/// A symbolic runtime value of the mini-Sail evaluator.
+#[derive(Debug, Clone)]
+pub enum SymVal {
+    /// A bitvector-sorted expression with its width.
+    Bits(Expr, u32),
+    /// A boolean-sorted expression.
+    Bool(Expr),
+    /// A concrete integer (register indices must be concrete, as Isla
+    /// specialises on the opcode).
+    Int(i128),
+    /// `()`.
+    Unit,
+}
+
+impl SymVal {
+    /// Extracts the expression and width of a bits value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants (unreachable for checked models).
+    #[must_use]
+    pub fn bits(&self) -> (Expr, u32) {
+        match self {
+            SymVal::Bits(e, w) => (e.clone(), *w),
+            other => panic!("expected bits, found {other:?}"),
+        }
+    }
+
+    /// Extracts the boolean expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants.
+    #[must_use]
+    pub fn boolean(&self) -> Expr {
+        match self {
+            SymVal::Bool(e) => e.clone(),
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    /// Extracts the concrete integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants.
+    #[must_use]
+    pub fn int(&self) -> i128 {
+        match self {
+            SymVal::Int(i) => *i,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+}
+
+/// Key of a model-level register cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegKey {
+    /// A plain or field register, by model name (`SP_EL2`, `PSTATE.EL`).
+    Plain(String),
+    /// A register-array element.
+    Array(String, usize),
+}
+
+impl RegKey {
+    /// The ITL register for this cell, using the architecture's array
+    /// element naming.
+    #[must_use]
+    pub fn to_itl(&self, arch: &islaris_models::Arch) -> Reg {
+        match self {
+            RegKey::Plain(name) => match name.split_once('.') {
+                Some((base, field)) => Reg::field(base, field),
+                None => Reg::new(name),
+            },
+            RegKey::Array(array, idx) => {
+                let name = arch
+                    .array_reg_name(array, *idx)
+                    .unwrap_or_else(|| format!("{array}{idx}"));
+                Reg::new(&name)
+            }
+        }
+    }
+}
+
+/// The symbolic state of one instruction run.
+#[derive(Debug)]
+pub struct SymState {
+    /// Emitted trace events, in order.
+    pub events: Vec<Event>,
+    /// Path condition conjuncts (branch decisions and register-constraint
+    /// assumptions).
+    pub path: Vec<Expr>,
+    /// Fresh-variable generator.
+    pub vars: VarGen,
+    /// Sorts of all generated variables (for the solver).
+    pub sorts: HashMap<Var, Sort>,
+    /// Cached current value per register cell (reads after the first, and
+    /// reads after writes, consult this instead of emitting events).
+    pub reg_cache: BTreeMap<RegKey, (Expr, u32)>,
+    /// Registers for which an `AssumeReg` was already emitted.
+    pub assumed: BTreeMap<RegKey, ()>,
+    /// Branch decisions consumed so far (depth in the fork tree).
+    pub depth: usize,
+    /// Number of SMT feasibility queries issued.
+    pub smt_queries: u64,
+}
+
+impl SymState {
+    /// Fresh state with the variable counter starting above `first_var`.
+    #[must_use]
+    pub fn new(first_var: u32) -> Self {
+        SymState {
+            events: Vec::new(),
+            path: Vec::new(),
+            vars: VarGen::starting_at(first_var),
+            sorts: HashMap::new(),
+            reg_cache: BTreeMap::new(),
+            assumed: BTreeMap::new(),
+            depth: 0,
+            smt_queries: 0,
+        }
+    }
+
+    /// Allocates a fresh variable of the given sort (no event emitted).
+    pub fn fresh(&mut self, sort: Sort) -> Var {
+        let v = self.vars.fresh();
+        self.sorts.insert(v, sort);
+        v
+    }
+
+    /// Allocates a fresh variable and emits its `DeclareConst`.
+    pub fn declare(&mut self, sort: Sort) -> Var {
+        let v = self.fresh(sort);
+        self.events.push(Event::DeclareConst(v, sort));
+        v
+    }
+
+    /// A sort oracle over all variables seen so far (including spec
+    /// parameters installed by the driver).
+    #[must_use]
+    pub fn sort_of(&self, v: Var) -> Option<Sort> {
+        self.sorts.get(&v).copied()
+    }
+
+    /// Simplifies an expression with the width oracle from [`SymState::sorts`].
+    #[must_use]
+    pub fn simp(&self, e: &Expr) -> Expr {
+        let ws = |v: Var| match self.sorts.get(&v) {
+            Some(Sort::BitVec(w)) => Some(*w),
+            _ => None,
+        };
+        simplify_with(e, &ws)
+    }
+
+    /// Emits a `DefineConst` naming `e`, returning the name as an
+    /// expression — unless `e` is already atomic (literal or variable).
+    pub fn name_value(&mut self, e: Expr, sort: Sort) -> Expr {
+        use islaris_smt::ExprKind;
+        match e.kind() {
+            ExprKind::Val(_) | ExprKind::Var(_) => e,
+            _ => {
+                let v = self.fresh(sort);
+                self.events.push(Event::DefineConst(v, e));
+                Expr::var(v)
+            }
+        }
+    }
+}
+
+/// Convenience: a constant bitvector expression.
+#[must_use]
+pub fn const_bits(b: Bv) -> Expr {
+    Expr::bits(b)
+}

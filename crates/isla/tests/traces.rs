@@ -1,0 +1,305 @@
+//! End-to-end symbolic execution tests: the figures of the paper, plus
+//! trace/interpreter agreement.
+
+use std::sync::Arc;
+
+use islaris_bv::Bv;
+use islaris_isla::{trace_opcode, trace_program, IslaConfig, Opcode};
+use islaris_itl::{print_trace, run, Event, Machine, PcName, Reg, Stop, Trace, ZeroIo};
+use islaris_models::{ARM, RISCV};
+use islaris_smt::{Expr, Sort, Var};
+
+fn arm_el2_cfg() -> IslaConfig {
+    IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+        .assume_reg("PSTATE.SP", Bv::new(1, 0b1))
+        .assume_reg("SCTLR_EL2", Bv::zero(64))
+}
+
+/// Fig. 3: add sp, sp, #0x40 (opcode 0x910103ff) under EL=2, SP=1.
+#[test]
+fn fig3_add_sp_trace_shape() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
+    let text = print_trace(&r.trace);
+    // Assumptions recorded.
+    assert!(text.contains("(assume-reg |PSTATE| ((_ field |EL|)) #b10)"), "{text}");
+    assert!(text.contains("(assume-reg |PSTATE| ((_ field |SP|)) #b1)"), "{text}");
+    // The banked stack pointer collapsed to SP_EL2, read then written.
+    assert!(text.contains("(read-reg |SP_EL2| nil"), "{text}");
+    assert!(text.contains("(write-reg |SP_EL2| nil"), "{text}");
+    // PC increment.
+    assert!(text.contains("(read-reg |_PC| nil"), "{text}");
+    assert!(text.contains("(write-reg |_PC| nil"), "{text}");
+    // Linear: no residual cases.
+    assert!(!text.contains("(cases"), "{text}");
+    // The 0x40 immediate appears.
+    assert!(text.contains("#x0000000000000040"), "{text}");
+}
+
+/// Without the EL/SP constraints the banked-SP selection forks: one case
+/// for SP=0 and one per exception level (the five cases described in
+/// §2.1 of the paper).
+#[test]
+fn unconstrained_add_sp_has_five_cases() {
+    let cfg = IslaConfig::new(ARM);
+    let r = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(cases"), "expected case split: {text}");
+    // All four banked stack pointers are reachable.
+    for sp in ["SP_EL0", "SP_EL1", "SP_EL2", "SP_EL3"] {
+        assert!(text.contains(sp), "missing {sp}: {text}");
+    }
+}
+
+/// Fig. 6: beq (b.eq) has a Cases split on PSTATE.Z.
+#[test]
+fn fig6_beq_trace_shape() {
+    // b.eq #-16: cond=0000, imm19 = -4.
+    let imm19 = (-4i32 as u32) & 0x7ffff;
+    let beq = 0x54000000u32 | (imm19 << 5);
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(beq)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(read-reg |PSTATE| ((_ field |Z|))"), "{text}");
+    assert!(text.contains("(cases"), "{text}");
+    // The backwards offset appears as a canonical subtraction
+    // (bvadd pc 0xfff…f0 is rewritten to bvsub pc 0x10).
+    assert!(
+        text.contains("#xfffffffffffffff0") || text.contains("(bvsub v") ,
+        "backwards offset: {text}"
+    );
+    match &r.trace {
+        t => {
+            assert!(count_cases(t) == 1, "exactly one case split: {text}");
+        }
+    }
+}
+
+fn count_cases(t: &Trace) -> usize {
+    match t {
+        Trace::Nil => 0,
+        Trace::Cons(_, rest) => count_cases(rest),
+        Trace::Cases(ts) => 1 + ts.iter().map(count_cases).sum::<usize>(),
+    }
+}
+
+/// The generated trace, executed by the ITL machine, agrees with the
+/// concrete mini-Sail interpreter (a small translation validation).
+#[test]
+fn trace_execution_matches_model_semantics() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
+    let mut m = Machine::new();
+    m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 2));
+    m.set_reg(Reg::field("PSTATE", "SP"), Bv::new(1, 1));
+    m.set_reg(Reg::new("SP_EL2"), Bv::new(64, 0x8_0000));
+    m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+    m.set_instr(0x1000, Arc::new(r.trace));
+    let out = run(&mut m, &PcName(Reg::new("_PC")), &mut ZeroIo, 4);
+    assert_eq!(out.stop, Stop::End(0x1004));
+    assert_eq!(
+        m.reg(&Reg::new("SP_EL2")),
+        Some(islaris_smt::Value::Bits(Bv::new(64, 0x8_0040)))
+    );
+}
+
+/// Assumption mismatch at runtime reaches ⊥, per the ITL semantics.
+#[test]
+fn assumption_violation_fails_at_runtime() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
+    let mut m = Machine::new();
+    m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 1)); // not the assumed EL2
+    m.set_reg(Reg::field("PSTATE", "SP"), Bv::new(1, 1));
+    m.set_reg(Reg::new("SP_EL2"), Bv::new(64, 0x8_0000));
+    m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+    m.set_instr(0x1000, Arc::new(r.trace));
+    let out = run(&mut m, &PcName(Reg::new("_PC")), &mut ZeroIo, 4);
+    assert!(matches!(out.stop, Stop::Fail(_)));
+}
+
+/// memcpy's ldrb with symbolic base and index registers produces a
+/// symbolic-address read-mem.
+#[test]
+fn ldrb_register_offset_symbolic_address() {
+    // ldrb w4, [x1, x3]
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x38636824)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(read-mem"), "{text}");
+    assert!(text.contains("(read-reg |R1| nil"), "{text}");
+    assert!(text.contains("(read-reg |R3| nil"), "{text}");
+    assert!(text.contains("(write-reg |R4| nil"), "{text}");
+}
+
+/// Partially symbolic opcodes (pKVM relocation patching): movz with a
+/// symbolic imm16 leaves the parameter free in the trace.
+#[test]
+fn symbolic_movz_immediate_is_parametric() {
+    // movz x0, #imm16 : sf=1 opc=10 100101 hw=00 imm16 Rd=00000
+    let imm = Var(0);
+    let expr = Expr::concat(
+        Expr::bv(11, 0b11010010100), // sf opc 100101 hw
+        Expr::concat(Expr::var(imm), Expr::bv(5, 0)),
+    );
+    let opcode = Opcode::Symbolic {
+        expr,
+        params: vec![(imm, Sort::BitVec(16))],
+        assumptions: vec![],
+    };
+    let r = trace_opcode(&arm_el2_cfg(), &opcode).expect("traces");
+    let text = print_trace(&r.trace);
+    assert_eq!(r.params, vec![(imm, Sort::BitVec(16))]);
+    assert!(text.contains("v0"), "parameter appears in trace: {text}");
+    assert!(text.contains("(write-reg |R0| nil"), "{text}");
+    // No declare-const for the parameter: it stays free.
+    assert!(!text.contains("(declare-const v0 "), "{text}");
+}
+
+/// Unaligned str under an alignment-enforcing config goes down the fault
+/// path when the address is constrained to be misaligned.
+#[test]
+fn unaligned_store_takes_fault_path() {
+    let cfg = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+        .assume_reg("PSTATE.SP", Bv::new(1, 0b1))
+        .assume_reg("PSTATE.N", Bv::new(1, 0))
+        .assume_reg("PSTATE.Z", Bv::new(1, 0))
+        .assume_reg("PSTATE.C", Bv::new(1, 0))
+        .assume_reg("PSTATE.V", Bv::new(1, 0))
+        .assume_reg("PSTATE.D", Bv::new(1, 0))
+        .assume_reg("PSTATE.A", Bv::new(1, 0))
+        .assume_reg("PSTATE.I", Bv::new(1, 0))
+        .assume_reg("PSTATE.F", Bv::new(1, 0))
+        .assume_reg("PSTATE.nRW", Bv::new(1, 0))
+        .assume_reg("SCTLR_EL2", Bv::new(64, 0b10))
+        .assume_reg("R1", Bv::new(64, 0x2001)); // misaligned base
+    // str x0, [x1]
+    let r = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
+    let text = print_trace(&r.trace);
+    // The fault path writes the syndrome and fault-address registers and
+    // jumps via VBAR_EL2; no data write happens.
+    assert!(text.contains("(write-reg |ESR_EL2| nil"), "{text}");
+    assert!(text.contains("(write-reg |FAR_EL2| nil"), "{text}");
+    assert!(text.contains("(read-reg |VBAR_EL2| nil"), "{text}");
+    assert!(!text.contains("(write-mem"), "{text}");
+}
+
+/// Aligned str under the same config stores normally.
+#[test]
+fn aligned_store_stores() {
+    let cfg = arm_el2_cfg()
+        .assume_reg("R1", Bv::new(64, 0x2000));
+    let r = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(write-mem"), "{text}");
+    assert!(!text.contains("ESR_EL2"), "{text}");
+}
+
+/// RISC-V traces come out of the same machinery (§2.7: the tooling is
+/// architecture-independent).
+#[test]
+fn riscv_addi_trace() {
+    let cfg = IslaConfig::new(RISCV);
+    // addi x1, x2, 42
+    let addi = (42u32 << 20) | (2 << 15) | (1 << 7) | 0b0010011;
+    let r = trace_opcode(&cfg, &Opcode::Concrete(addi)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(read-reg |x2| nil"), "{text}");
+    assert!(text.contains("(write-reg |x1| nil"), "{text}");
+    assert!(text.contains("(read-reg |PC| nil"), "{text}");
+}
+
+/// Writes to x0 produce no register write beyond the PC.
+#[test]
+fn riscv_x0_writes_disappear() {
+    let cfg = IslaConfig::new(RISCV);
+    // addi x0, x1, 1
+    let addi = (1u32 << 20) | (1 << 15) | 0b0010011;
+    let r = trace_opcode(&cfg, &Opcode::Concrete(addi)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(!text.contains("(write-reg |x0|"), "{text}");
+}
+
+/// trace_program builds an instruction map whose concrete execution
+/// copies a byte (a two-instruction memcpy fragment).
+#[test]
+fn program_traces_execute() {
+    // RISC-V: lb x3, 0(x1); sb x3, 0(x2); then fall off the program.
+    let lb = (1u32 << 15) | (3 << 7) | 0b0000011;
+    let sb = (3u32 << 20) | (2 << 15) | 0b0100011;
+    let cfg = IslaConfig::new(RISCV);
+    let pt = trace_program(&cfg, &[(0x1000, lb), (0x1004, sb)]).expect("traces");
+    let mut m = Machine::new();
+    m.instrs = pt.instrs;
+    m.set_reg(Reg::new("PC"), Bv::new(64, 0x1000));
+    m.set_reg(Reg::new("x1"), Bv::new(64, 0x2000));
+    m.set_reg(Reg::new("x2"), Bv::new(64, 0x3000));
+    m.set_reg(Reg::new("x3"), Bv::zero(64));
+    m.store_bytes(0x2000, &[0x7f]);
+    m.store_bytes(0x3000, &[0x00]);
+    let out = run(&mut m, &PcName(Reg::new("PC")), &mut ZeroIo, 8);
+    assert_eq!(out.stop, Stop::End(0x1008));
+    assert_eq!(m.load_le(0x3000, 1), Some(Bv::new(8, 0x7f)));
+}
+
+/// The relaxed-constraint mechanism of the pKVM case study: constrain
+/// SPSR_EL2 to one of two concrete values and trace eret; both return
+/// targets must appear as cases (or resolved occurrences).
+#[test]
+fn eret_with_disjunctive_spsr_constraint() {
+    let a = Bv::new(64, 0x3c5); // return to EL1 with SP_EL1 (0b0101), DAIF set
+    let b = Bv::new(64, 0x3c9); // return to EL2 with SP_EL2 (0b1001)
+    let cfg = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+        .assume_reg("PSTATE.SP", Bv::new(1, 0b1))
+        .assume_reg("HCR_EL2", Bv::new(64, 0x8000_0000))
+        .constrain_reg("SPSR_EL2", move |e| {
+            Expr::or(
+                Expr::eq(e.clone(), Expr::bits(a)),
+                Expr::eq(e.clone(), Expr::bits(b)),
+            )
+        });
+    let r = trace_opcode(&cfg, &Opcode::Concrete(0xD69F03E0)).expect("traces");
+    let text = print_trace(&r.trace);
+    assert!(text.contains("(assume (or"), "constraint recorded: {text}");
+    assert!(text.contains("(read-reg |ELR_EL2| nil"), "{text}");
+    // PSTATE.EL is written along every surviving path.
+    assert!(text.contains("(write-reg |PSTATE| ((_ field |EL|))"), "{text}");
+}
+
+/// Event counts stay in a plausible range (Fig. 12 reports 169 events for
+/// the eight-instruction Arm memcpy; single instructions are tens).
+#[test]
+fn event_counts_are_reasonable() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
+    let n = r.trace.event_count();
+    assert!((6..=40).contains(&n), "add sp trace has {n} events");
+    assert!(r.stats.events == n);
+}
+
+/// Undefined opcodes produce an empty-ish trace (decode exits), not an
+/// error: they are simply outside the fragment.
+#[test]
+fn undefined_opcode_exits() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0xFFFF_FFFF)).expect("traces");
+    // No register writes at all.
+    let text = print_trace(&r.trace);
+    assert!(!text.contains("write-reg"), "{text}");
+}
+
+/// DefineConst events appear for named intermediates, as in Fig. 3.
+#[test]
+fn traces_contain_define_const() {
+    let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
+    let mut found = false;
+    fn walk(t: &Trace, found: &mut bool) {
+        match t {
+            Trace::Nil => {}
+            Trace::Cons(Event::DefineConst(_, _), rest) => {
+                *found = true;
+                walk(rest, found);
+            }
+            Trace::Cons(_, rest) => walk(rest, found),
+            Trace::Cases(ts) => ts.iter().for_each(|t| walk(t, found)),
+        }
+    }
+    walk(&r.trace, &mut found);
+    assert!(found, "expected define-const events");
+}

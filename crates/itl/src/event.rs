@@ -1,0 +1,180 @@
+//! The Isla trace language (ITL): events `j` and traces `t` of Fig. 4.
+
+use std::sync::Arc;
+
+use islaris_smt::{Expr, Sort, Var};
+
+use crate::reg::Reg;
+
+/// A trace event `j` (Fig. 4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `ReadReg(r, v)` — constrains `v` to the current value of `r`.
+    ReadReg(Reg, Expr),
+    /// `WriteReg(r, v)` — updates `r` to `v`.
+    WriteReg(Reg, Expr),
+    /// `ReadMem(v_d, v_a, n)` — reads `n` bytes at `v_a` into `v_d`.
+    ReadMem {
+        /// The value read.
+        value: Expr,
+        /// The address.
+        addr: Expr,
+        /// Number of bytes.
+        bytes: u32,
+    },
+    /// `WriteMem(v_a, v_d, n)` — writes `n` bytes of `v_d` at `v_a`.
+    WriteMem {
+        /// The address.
+        addr: Expr,
+        /// The value written.
+        value: Expr,
+        /// Number of bytes.
+        bytes: u32,
+    },
+    /// `AssumeReg(r, v)` — an Isla assumption about `r`; a proof
+    /// obligation during verification (reaching ⊥ if violated).
+    AssumeReg(Reg, Expr),
+    /// `Assume(e)` — an Isla assumption; proof obligation.
+    Assume(Expr),
+    /// `Assert(e)` — proven by Isla's symbolic execution, an *assumption*
+    /// for verification (branch conditions after `Cases`).
+    Assert(Expr),
+    /// `DeclareConst(x, τ)` — introduces a symbolic constant.
+    DeclareConst(Var, Sort),
+    /// `DefineConst(x, e)` — names the value of `e`.
+    DefineConst(Var, Expr),
+}
+
+impl Event {
+    /// Substitutes variables in the event's expressions.
+    #[must_use]
+    pub fn subst(&self, map: &dyn Fn(Var) -> Option<Expr>) -> Event {
+        match self {
+            Event::ReadReg(r, v) => Event::ReadReg(r.clone(), v.subst(map)),
+            Event::WriteReg(r, v) => Event::WriteReg(r.clone(), v.subst(map)),
+            Event::ReadMem { value, addr, bytes } => Event::ReadMem {
+                value: value.subst(map),
+                addr: addr.subst(map),
+                bytes: *bytes,
+            },
+            Event::WriteMem { addr, value, bytes } => Event::WriteMem {
+                addr: addr.subst(map),
+                value: value.subst(map),
+                bytes: *bytes,
+            },
+            Event::AssumeReg(r, v) => Event::AssumeReg(r.clone(), v.subst(map)),
+            Event::Assume(e) => Event::Assume(e.subst(map)),
+            Event::Assert(e) => Event::Assert(e.subst(map)),
+            Event::DeclareConst(x, t) => Event::DeclareConst(*x, *t),
+            Event::DefineConst(x, e) => Event::DefineConst(*x, e.subst(map)),
+        }
+    }
+}
+
+/// A trace `t ::= [] | j :: t | Cases(t₁, …, tₙ)` (Fig. 4).
+///
+/// Traces are trees: `Cases` expresses intra-instruction branching (§2.4),
+/// with each subtrace starting with an `Assert` of its branch condition.
+/// Tails are `Arc`-shared so suffixes can be reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trace {
+    /// The empty trace `[]`: instruction finished, fetch the next one.
+    Nil,
+    /// `j :: t`.
+    Cons(Event, Arc<Trace>),
+    /// `Cases(t₁, …, tₙ)`.
+    Cases(Vec<Trace>),
+}
+
+impl Trace {
+    /// Builds a linear trace from a sequence of events.
+    #[must_use]
+    pub fn linear<I: IntoIterator<Item = Event>>(events: I) -> Trace {
+        Self::from_events(events, Trace::Nil)
+    }
+
+    /// Builds `events… :: tail`.
+    #[must_use]
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I, tail: Trace) -> Trace {
+        let evs: Vec<Event> = events.into_iter().collect();
+        evs.into_iter()
+            .rev()
+            .fold(tail, |acc, ev| Trace::Cons(ev, Arc::new(acc)))
+    }
+
+    /// Number of events in the trace, counting all `Cases` branches —
+    /// the "ITL size" column of Fig. 12.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        match self {
+            Trace::Nil => 0,
+            Trace::Cons(_, t) => 1 + t.event_count(),
+            Trace::Cases(ts) => ts.iter().map(Trace::event_count).sum(),
+        }
+    }
+
+    /// Substitutes variables throughout the trace.
+    #[must_use]
+    pub fn subst(&self, map: &dyn Fn(Var) -> Option<Expr>) -> Trace {
+        match self {
+            Trace::Nil => Trace::Nil,
+            Trace::Cons(ev, t) => Trace::Cons(ev.subst(map), Arc::new(t.subst(map))),
+            Trace::Cases(ts) => Trace::Cases(ts.iter().map(|t| t.subst(map)).collect()),
+        }
+    }
+
+    /// Substitutes a single variable by a value-expression (used by the
+    /// operational rules `step-declare-const` / `step-define-const`).
+    #[must_use]
+    pub fn subst_var(&self, v: Var, e: &Expr) -> Trace {
+        self.subst(&|w| (w == v).then(|| e.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_smt::Expr;
+
+    fn rr(name: &str, var: u32) -> Event {
+        Event::ReadReg(Reg::new(name), Expr::var(Var(var)))
+    }
+
+    #[test]
+    fn linear_builds_cons_chain() {
+        let t = Trace::linear([rr("X0", 0), rr("X1", 1)]);
+        match &t {
+            Trace::Cons(Event::ReadReg(r, _), rest) => {
+                assert_eq!(r.name(), "X0");
+                assert!(matches!(**rest, Trace::Cons(Event::ReadReg(_, _), _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.event_count(), 2);
+    }
+
+    #[test]
+    fn event_count_sums_cases() {
+        let branch = |n| Trace::linear((0..n).map(|i| rr("X0", i)));
+        let t = Trace::from_events(
+            [rr("PC", 9)],
+            Trace::Cases(vec![branch(2), branch(3)]),
+        );
+        assert_eq!(t.event_count(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn subst_var_replaces_throughout() {
+        let t = Trace::linear([
+            Event::DefineConst(Var(1), Expr::add(Expr::var(Var(0)), Expr::bv(64, 4))),
+            Event::WriteReg(Reg::new("PC"), Expr::var(Var(1))),
+        ]);
+        let t2 = t.subst_var(Var(0), &Expr::bv(64, 0x1000));
+        match &t2 {
+            Trace::Cons(Event::DefineConst(_, e), _) => {
+                assert_eq!(e.to_string(), "(bvadd #x0000000000001000 #x0000000000000004)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

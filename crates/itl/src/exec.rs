@@ -1,0 +1,524 @@
+//! Executable operational semantics of ITL (Fig. 10 of the paper).
+//!
+//! The paper's semantics is heavily non-deterministic: `DeclareConst` picks
+//! an arbitrary value, later restricted by `ReadReg`/`Assert`; `Cases`
+//! picks a subtrace, restricted by its leading `Assert`s. Executions that
+//! violate a restriction terminate in ⊤ ("this execution need not be
+//! considered"), while violated *assumptions* (`Assume`, `AssumeReg`) or
+//! stuck configurations terminate in ⊥.
+//!
+//! This module resolves the non-determinism *by the constraints
+//! themselves* (oracle-guided execution): a `ReadReg(r, x)` with `x` a not
+//! yet bound variable binds `x := Σ[r]`; `Cases` branches are tried in
+//! order and the unique branch whose `Assert`s hold is taken. This yields a
+//! deterministic interpreter that realises exactly the executions the
+//! verification cares about (the ones not ending in ⊤ early), and is the
+//! execution side of the adequacy theorem (Theorem 1) and of translation
+//! validation (§5).
+
+use std::collections::HashMap;
+#[cfg(test)]
+use std::sync::Arc;
+
+use islaris_bv::Bv;
+use islaris_smt::{eval, EvalError, Expr, Value, Var};
+
+use crate::event::{Event, Trace};
+use crate::machine::{Label, Machine};
+use crate::reg::Reg;
+
+/// Environment responses for MMIO reads (the `R(a, v)` labels of §3 leave
+/// the read value to the environment).
+pub trait IoOracle {
+    /// The value an MMIO read of `bytes` bytes at `addr` returns.
+    fn read(&mut self, addr: u64, bytes: u32) -> Bv;
+}
+
+/// An oracle that answers every MMIO read with zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroIo;
+
+impl IoOracle for ZeroIo {
+    fn read(&mut self, _addr: u64, bytes: u32) -> Bv {
+        Bv::zero(bytes * 8)
+    }
+}
+
+/// An oracle replaying a scripted list of read values (for testing device
+/// interactions such as the UART case study).
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedIo {
+    values: Vec<Bv>,
+    next: usize,
+}
+
+impl ScriptedIo {
+    /// Creates an oracle that replays `values` in order, then zeroes.
+    #[must_use]
+    pub fn new(values: Vec<Bv>) -> Self {
+        ScriptedIo { values, next: 0 }
+    }
+}
+
+impl IoOracle for ScriptedIo {
+    fn read(&mut self, _addr: u64, bytes: u32) -> Bv {
+        match self.values.get(self.next) {
+            Some(v) => {
+                self.next += 1;
+                assert_eq!(v.width(), bytes * 8, "scripted IO width mismatch");
+                *v
+            }
+            None => Bv::zero(bytes * 8),
+        }
+    }
+}
+
+/// Why an execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// ⊤ with an `E(a)` label: fetched from an unmapped instruction
+    /// address — normal termination.
+    End(u64),
+    /// ⊥: a violated Isla assumption or a stuck configuration
+    /// (`step-fail`). Verified programs never reach this.
+    Fail(String),
+    /// The step budget was exhausted (the program may diverge).
+    OutOfFuel,
+}
+
+/// Result of running the machine: the stop reason plus the emitted labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why execution stopped.
+    pub stop: Stop,
+    /// The visible trace `κs` (MMIO events; `End` is in `stop`).
+    pub labels: Vec<Label>,
+    /// Number of instructions executed.
+    pub instructions: u64,
+}
+
+/// The register holding the program counter. The paper notes this is the
+/// single model-specific element of the operational semantics.
+#[derive(Debug, Clone)]
+pub struct PcName(pub Reg);
+
+/// Runs the ITL machine from `⟨[], Σ⟩` until ⊤, ⊥, or `max_instrs`.
+pub fn run(
+    machine: &mut Machine,
+    pc: &PcName,
+    io: &mut dyn IoOracle,
+    max_instrs: u64,
+) -> RunResult {
+    let mut labels = Vec::new();
+    let mut instructions = 0;
+    loop {
+        if instructions >= max_instrs {
+            return RunResult { stop: Stop::OutOfFuel, labels, instructions };
+        }
+        // step-nil / step-nil-end: fetch.
+        let pc_val = match machine.reg(&pc.0) {
+            Some(Value::Bits(b)) => b.to_u64(),
+            other => {
+                return RunResult {
+                    stop: Stop::Fail(format!("PC register unreadable: {other:?}")),
+                    labels,
+                    instructions,
+                }
+            }
+        };
+        let Some(trace) = machine.instrs.get(&pc_val).cloned() else {
+            labels.push(Label::End(pc_val));
+            return RunResult { stop: Stop::End(pc_val), labels, instructions };
+        };
+        instructions += 1;
+        let mut bindings = Bindings::default();
+        if let Err(fail) = exec_trace(&trace, machine, io, &mut labels, &mut bindings) {
+            return RunResult { stop: Stop::Fail(fail), labels, instructions };
+        }
+    }
+}
+
+/// Executes a single instruction trace against the machine (one
+/// instruction of `run`). Exposed for translation validation.
+pub fn exec_instr(
+    trace: &Trace,
+    machine: &mut Machine,
+    io: &mut dyn IoOracle,
+    labels: &mut Vec<Label>,
+) -> Result<(), String> {
+    let mut bindings = Bindings::default();
+    exec_trace(trace, machine, io, labels, &mut bindings)
+}
+
+/// Lazily-resolved variable bindings: `DeclareConst` registers a variable,
+/// later constraining events bind it.
+#[derive(Debug, Clone, Default)]
+struct Bindings {
+    bound: HashMap<Var, Value>,
+    declared: HashMap<Var, islaris_smt::Sort>,
+}
+
+impl Bindings {
+    fn env(&self) -> impl Fn(Var) -> Option<Value> + '_ {
+        |v| self.bound.get(&v).copied()
+    }
+
+    fn eval(&self, e: &Expr) -> Result<Value, EvalError> {
+        eval(e, &self.env())
+    }
+}
+
+fn exec_trace(
+    trace: &Trace,
+    machine: &mut Machine,
+    io: &mut dyn IoOracle,
+    labels: &mut Vec<Label>,
+    b: &mut Bindings,
+) -> Result<(), String> {
+    let mut cur: &Trace = trace;
+    loop {
+        match cur {
+            Trace::Nil => return Ok(()),
+            Trace::Cases(branches) => {
+                // step-cases + step-assert-*: take the branch whose leading
+                // asserts hold. Branch asserts partition, so at most one
+                // survives; ⊤-terminating branches are skipped.
+                for br in branches {
+                    match branch_viable(br, b) {
+                        Viability::Viable => {
+                            return exec_branch(br, machine, io, labels, b);
+                        }
+                        Viability::Pruned => continue,
+                        Viability::Stuck(msg) => return Err(msg),
+                    }
+                }
+                // All branches assert false: every execution ends in ⊤.
+                return Ok(());
+            }
+            Trace::Cons(ev, rest) => {
+                match exec_event(ev, machine, io, labels, b)? {
+                    EventOutcome::Continue => cur = rest,
+                    EventOutcome::Top => return Ok(()),
+                }
+            }
+        }
+    }
+}
+
+fn exec_branch(
+    br: &Trace,
+    machine: &mut Machine,
+    io: &mut dyn IoOracle,
+    labels: &mut Vec<Label>,
+    b: &mut Bindings,
+) -> Result<(), String> {
+    exec_trace(br, machine, io, labels, b)
+}
+
+enum Viability {
+    Viable,
+    Pruned,
+    Stuck(String),
+}
+
+/// Checks the leading `Assert`s of a branch (skipping definitions) without
+/// committing any state.
+fn branch_viable(br: &Trace, b: &Bindings) -> Viability {
+    let mut scratch = b.clone();
+    let mut cur = br;
+    loop {
+        match cur {
+            Trace::Cons(Event::Assert(e), rest) => match scratch.eval(e) {
+                Ok(Value::Bool(true)) => cur = rest,
+                Ok(Value::Bool(false)) => return Viability::Pruned,
+                Ok(Value::Bits(_)) => return Viability::Stuck("assert of bitvector".into()),
+                Err(e) => return Viability::Stuck(format!("assert unevaluable: {e}")),
+            },
+            Trace::Cons(Event::DefineConst(x, e), rest) => match scratch.eval(e) {
+                Ok(v) => {
+                    scratch.bound.insert(*x, v);
+                    cur = rest;
+                }
+                Err(_) => return Viability::Viable, // defer to real execution
+            },
+            Trace::Cons(Event::DeclareConst(x, t), rest) => {
+                scratch.declared.insert(*x, *t);
+                cur = rest;
+            }
+            _ => return Viability::Viable,
+        }
+    }
+}
+
+enum EventOutcome {
+    Continue,
+    /// ⊤ reached mid-trace (e.g. a failed `Assert` outside `Cases`).
+    Top,
+}
+
+fn exec_event(
+    ev: &Event,
+    machine: &mut Machine,
+    io: &mut dyn IoOracle,
+    labels: &mut Vec<Label>,
+    b: &mut Bindings,
+) -> Result<EventOutcome, String> {
+    match ev {
+        Event::DeclareConst(x, t) => {
+            b.declared.insert(*x, *t);
+            Ok(EventOutcome::Continue)
+        }
+        Event::DefineConst(x, e) => {
+            let v = b.eval(e).map_err(|e| format!("define-const: {e}"))?;
+            b.bound.insert(*x, v);
+            Ok(EventOutcome::Continue)
+        }
+        Event::ReadReg(r, v) => {
+            // step-read-reg-eq / -neq, with oracle-guided binding.
+            let Some(actual) = machine.reg(r) else {
+                return Err(format!("read of unmapped register {r} (step-fail)"));
+            };
+            match v.as_var() {
+                Some(x) if !b.bound.contains_key(&x) => {
+                    b.bound.insert(x, actual);
+                    Ok(EventOutcome::Continue)
+                }
+                _ => match b.eval(v) {
+                    Ok(expected) if expected == actual => Ok(EventOutcome::Continue),
+                    Ok(_) => Ok(EventOutcome::Top), // step-read-reg-neq
+                    Err(e) => Err(format!("read-reg value unevaluable: {e}")),
+                },
+            }
+        }
+        Event::WriteReg(r, v) => {
+            let val = b.eval(v).map_err(|e| format!("write-reg: {e}"))?;
+            machine.regs.insert(r.clone(), val);
+            Ok(EventOutcome::Continue)
+        }
+        Event::AssumeReg(r, v) => {
+            // step-assume-reg-true; otherwise ⊥ (step-fail).
+            let Some(actual) = machine.reg(r) else {
+                return Err(format!("assume-reg of unmapped register {r}"));
+            };
+            let expected = b.eval(v).map_err(|e| format!("assume-reg: {e}"))?;
+            if expected == actual {
+                Ok(EventOutcome::Continue)
+            } else {
+                Err(format!(
+                    "assumption violated: {r} = {actual:?}, Isla assumed {expected:?}"
+                ))
+            }
+        }
+        Event::Assume(e) => match b.eval(e) {
+            Ok(Value::Bool(true)) => Ok(EventOutcome::Continue),
+            Ok(Value::Bool(false)) => Err(format!("assumption violated: {e}")),
+            Ok(Value::Bits(_)) => Err("assume of bitvector".into()),
+            Err(err) => Err(format!("assume unevaluable: {err}")),
+        },
+        Event::Assert(e) => match b.eval(e) {
+            Ok(Value::Bool(true)) => Ok(EventOutcome::Continue),
+            Ok(Value::Bool(false)) => Ok(EventOutcome::Top), // step-assert-false
+            Ok(Value::Bits(_)) => Err("assert of bitvector".into()),
+            Err(err) => Err(format!("assert unevaluable: {err}")),
+        },
+        Event::ReadMem { value, addr, bytes } => {
+            let a = eval_addr(addr, b)?;
+            let n = *bytes as usize;
+            if machine.is_mapped(a, n) {
+                // step-read-mem-eq / -neq
+                let actual = machine.load_le(a, n).expect("mapped");
+                bind_or_compare(value, Value::Bits(actual), b)
+            } else {
+                // step-read-mem-event: MMIO.
+                let v = io.read(a, *bytes);
+                assert_eq!(v.width(), bytes * 8, "IO oracle width");
+                labels.push(Label::Read { addr: a, value: v });
+                bind_or_compare(value, Value::Bits(v), b)
+            }
+        }
+        Event::WriteMem { addr, value, bytes } => {
+            let a = eval_addr(addr, b)?;
+            let n = *bytes as usize;
+            let v = match b.eval(value).map_err(|e| format!("write-mem: {e}"))? {
+                Value::Bits(bv) if bv.width() == bytes * 8 => bv,
+                other => return Err(format!("write-mem value ill-sized: {other:?}")),
+            };
+            if machine.is_mapped(a, n) {
+                machine.store_le(a, v);
+            } else {
+                labels.push(Label::Write { addr: a, value: v });
+            }
+            Ok(EventOutcome::Continue)
+        }
+    }
+}
+
+fn eval_addr(addr: &Expr, b: &Bindings) -> Result<u64, String> {
+    match b.eval(addr).map_err(|e| format!("address unevaluable: {e}"))? {
+        Value::Bits(bv) if bv.width() == 64 => Ok(bv.to_u64()),
+        other => Err(format!("address ill-sized: {other:?}")),
+    }
+}
+
+fn bind_or_compare(v: &Expr, actual: Value, b: &mut Bindings) -> Result<EventOutcome, String> {
+    match v.as_var() {
+        Some(x) if !b.bound.contains_key(&x) => {
+            b.bound.insert(x, actual);
+            Ok(EventOutcome::Continue)
+        }
+        _ => match b.eval(v) {
+            Ok(expected) if expected == actual => Ok(EventOutcome::Continue),
+            Ok(_) => Ok(EventOutcome::Top),
+            Err(e) => Err(format!("memory value unevaluable: {e}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_smt::Sort;
+
+    fn pc() -> PcName {
+        PcName(Reg::new("_PC"))
+    }
+
+    /// The Fig. 3 trace: add sp, sp, 64 at EL2 with SP=1.
+    fn add_sp_trace() -> Trace {
+        crate::sexp::parse_trace(
+            "(trace
+              (assume-reg |PSTATE| ((_ field |EL|)) #b10)
+              (assume-reg |PSTATE| ((_ field |SP|)) #b1)
+              (declare-const v38 (_ BitVec 64))
+              (read-reg |SP_EL2| nil v38)
+              (define-const v61 (bvadd ((_ extract 63 0) ((_ zero_extend 64) v38)) #x0000000000000040))
+              (write-reg |SP_EL2| nil v61)
+              (declare-const v62 (_ BitVec 64))
+              (read-reg |_PC| nil v62)
+              (define-const v63 (bvadd v62 #x0000000000000004))
+              (write-reg |_PC| nil v63))",
+        )
+        .expect("parses")
+    }
+
+    fn base_machine() -> Machine {
+        let mut m = Machine::new();
+        m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 2));
+        m.set_reg(Reg::field("PSTATE", "SP"), Bv::new(1, 1));
+        m.set_reg(Reg::new("SP_EL2"), Bv::new(64, 0x8_0000));
+        m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+        m
+    }
+
+    #[test]
+    fn add_sp_updates_stack_pointer_and_pc() {
+        let mut m = base_machine();
+        m.set_instr(0x1000, Arc::new(add_sp_trace()));
+        let r = run(&mut m, &pc(), &mut ZeroIo, 10);
+        assert_eq!(r.stop, Stop::End(0x1004));
+        assert_eq!(r.instructions, 1);
+        assert_eq!(m.reg(&Reg::new("SP_EL2")), Some(Value::Bits(Bv::new(64, 0x8_0040))));
+    }
+
+    #[test]
+    fn violated_assumption_reaches_bottom() {
+        let mut m = base_machine();
+        // Run at EL1 instead of the assumed EL2.
+        m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 1));
+        m.set_instr(0x1000, Arc::new(add_sp_trace()));
+        let r = run(&mut m, &pc(), &mut ZeroIo, 10);
+        assert!(matches!(r.stop, Stop::Fail(_)), "got {:?}", r.stop);
+    }
+
+    #[test]
+    fn cases_takes_the_asserted_branch() {
+        // The Fig. 6 beq -16 trace: with Z set, PC decreases by 16.
+        let t = crate::sexp::parse_trace(
+            "(trace
+              (declare-const v27 (_ BitVec 1))
+              (read-reg |PSTATE| ((_ field |Z|)) v27)
+              (define-const v37 (= v27 #b1))
+              (cases
+                (trace (assert v37)
+                       (declare-const v38 (_ BitVec 64))
+                       (read-reg |_PC| nil v38)
+                       (define-const v39 (bvadd v38 #xfffffffffffffff0))
+                       (write-reg |_PC| nil v39))
+                (trace (assert (not v37))
+                       (declare-const v38 (_ BitVec 64))
+                       (read-reg |_PC| nil v38)
+                       (define-const v39 (bvadd v38 #x0000000000000004))
+                       (write-reg |_PC| nil v39))))",
+        )
+        .expect("parses");
+        for (z, expected_pc) in [(1u128, 0x0ff0u128), (0, 0x1004)] {
+            let mut m = Machine::new();
+            m.set_reg(Reg::field("PSTATE", "Z"), Bv::new(1, z));
+            m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+            m.set_instr(0x1000, Arc::new(t.clone()));
+            let r = run(&mut m, &pc(), &mut ZeroIo, 1);
+            assert!(matches!(r.stop, Stop::End(_) | Stop::OutOfFuel), "{:?}", r.stop);
+            assert_eq!(m.reg(&Reg::new("_PC")), Some(Value::Bits(Bv::new(64, expected_pc))));
+        }
+    }
+
+    #[test]
+    fn mmio_read_and_write_emit_labels() {
+        let t = Trace::linear([
+            Event::DeclareConst(Var(0), Sort::BitVec(32)),
+            Event::ReadMem { value: Expr::var(Var(0)), addr: Expr::bv(64, 0x9000), bytes: 4 },
+            Event::WriteMem { addr: Expr::bv(64, 0x9004), value: Expr::var(Var(0)), bytes: 4 },
+            Event::DeclareConst(Var(1), Sort::BitVec(64)),
+            Event::ReadReg(Reg::new("_PC"), Expr::var(Var(1))),
+            Event::WriteReg(Reg::new("_PC"), Expr::add(Expr::var(Var(1)), Expr::bv(64, 4))),
+        ]);
+        let mut m = Machine::new();
+        m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+        m.set_instr(0x1000, Arc::new(t));
+        let mut io = ScriptedIo::new(vec![Bv::new(32, 0x55)]);
+        let r = run(&mut m, &pc(), &mut io, 2);
+        assert_eq!(
+            r.labels,
+            vec![
+                Label::Read { addr: 0x9000, value: Bv::new(32, 0x55) },
+                Label::Write { addr: 0x9004, value: Bv::new(32, 0x55) },
+                Label::End(0x1004),
+            ]
+        );
+    }
+
+    #[test]
+    fn mapped_memory_reads_do_not_emit_labels() {
+        let t = Trace::linear([
+            Event::DeclareConst(Var(0), Sort::BitVec(8)),
+            Event::ReadMem { value: Expr::var(Var(0)), addr: Expr::bv(64, 0x2000), bytes: 1 },
+            Event::WriteMem { addr: Expr::bv(64, 0x2001), value: Expr::var(Var(0)), bytes: 1 },
+            Event::DeclareConst(Var(1), Sort::BitVec(64)),
+            Event::ReadReg(Reg::new("_PC"), Expr::var(Var(1))),
+            Event::WriteReg(Reg::new("_PC"), Expr::add(Expr::var(Var(1)), Expr::bv(64, 4))),
+        ]);
+        let mut m = Machine::new();
+        m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+        m.store_bytes(0x2000, &[0xab, 0x00]);
+        m.set_instr(0x1000, Arc::new(t));
+        let r = run(&mut m, &pc(), &mut ZeroIo, 2);
+        assert_eq!(r.labels, vec![Label::End(0x1004)]);
+        assert_eq!(m.load_le(0x2001, 1), Some(Bv::new(8, 0xab)));
+    }
+
+    #[test]
+    fn out_of_fuel_on_loops() {
+        // b .: an instruction that jumps to itself.
+        let t = Trace::linear([
+            Event::DeclareConst(Var(0), Sort::BitVec(64)),
+            Event::ReadReg(Reg::new("_PC"), Expr::var(Var(0))),
+            Event::WriteReg(Reg::new("_PC"), Expr::var(Var(0))),
+        ]);
+        let mut m = Machine::new();
+        m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+        m.set_instr(0x1000, Arc::new(t));
+        let r = run(&mut m, &pc(), &mut ZeroIo, 100);
+        assert_eq!(r.stop, Stop::OutOfFuel);
+        assert_eq!(r.instructions, 100);
+    }
+}

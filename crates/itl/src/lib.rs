@@ -1,0 +1,41 @@
+//! The Isla trace language (ITL): syntax, concrete S-expression format, and
+//! operational semantics (§3 and Fig. 10 of the Islaris paper).
+//!
+//! Traces are the interface between the symbolic executor
+//! (`islaris-isla`) and the separation logic (`islaris-core`): a trace
+//! describes one instruction's register and memory accesses, constrained
+//! by SMT formulas, with `Cases` trees for intra-instruction branching.
+//!
+//! # Examples
+//!
+//! Parse the paper's Fig. 3 trace and execute it:
+//!
+//! ```
+//! # use std::sync::Arc;
+//! use islaris_bv::Bv;
+//! use islaris_itl::{parse_trace, run, Machine, PcName, Reg, Stop, ZeroIo};
+//!
+//! let t = parse_trace(
+//!     "(trace (declare-const v0 (_ BitVec 64))
+//!             (read-reg |_PC| nil v0)
+//!             (write-reg |_PC| nil (bvadd v0 #x0000000000000004)))",
+//! )?;
+//! let mut m = Machine::new();
+//! m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
+//! m.set_instr(0x1000, Arc::new(t));
+//! let r = run(&mut m, &PcName(Reg::new("_PC")), &mut ZeroIo, 10);
+//! assert_eq!(r.stop, Stop::End(0x1004));
+//! # Ok::<(), islaris_itl::ParseError>(())
+//! ```
+
+pub mod event;
+pub mod exec;
+pub mod machine;
+pub mod reg;
+pub mod sexp;
+
+pub use event::{Event, Trace};
+pub use exec::{exec_instr, run, IoOracle, PcName, RunResult, ScriptedIo, Stop, ZeroIo};
+pub use machine::{Label, Machine};
+pub use reg::Reg;
+pub use sexp::{parse_sexp, parse_trace, print_trace, ParseError, Sexp};

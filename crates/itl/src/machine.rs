@@ -1,0 +1,131 @@
+//! Machine configurations for the ITL operational semantics (§3).
+//!
+//! A machine state `Σ = (R, I, M)` is a triple of finite partial maps: the
+//! register map, the instruction map (addresses to traces), and the byte
+//! memory. Addresses are 64-bit.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use islaris_bv::Bv;
+use islaris_smt::Value;
+
+use crate::event::Trace;
+use crate::reg::Reg;
+
+/// Externally visible labels `κ ::= R(a, v) | W(a, v) | E(a)` (§3):
+/// reads/writes to unmapped memory (memory-mapped IO) and termination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label {
+    /// MMIO read of `value` at `addr`.
+    Read {
+        /// Address read.
+        addr: u64,
+        /// Value read (supplied by the environment).
+        value: Bv,
+    },
+    /// MMIO write of `value` at `addr`.
+    Write {
+        /// Address written.
+        addr: u64,
+        /// Value written.
+        value: Bv,
+    },
+    /// Termination: fetch from an address with no instruction.
+    End(u64),
+}
+
+/// The machine state `Σ = (R, I, M)`.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    /// Register map `R : Reg ⇀ Val`.
+    pub regs: BTreeMap<Reg, Value>,
+    /// Instruction map `I : Addr ⇀ Trace`.
+    pub instrs: BTreeMap<u64, Arc<Trace>>,
+    /// Memory map `M : Addr ⇀ Byte`.
+    pub mem: BTreeMap<u64, u8>,
+}
+
+impl Machine {
+    /// An empty machine.
+    #[must_use]
+    pub fn new() -> Self {
+        Machine::default()
+    }
+
+    /// Sets a register to a bitvector value.
+    pub fn set_reg(&mut self, r: Reg, v: Bv) {
+        self.regs.insert(r, Value::Bits(v));
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: &Reg) -> Option<Value> {
+        self.regs.get(r).copied()
+    }
+
+    /// Installs an instruction trace at an address.
+    pub fn set_instr(&mut self, addr: u64, t: Arc<Trace>) {
+        self.instrs.insert(addr, t);
+    }
+
+    /// Writes bytes into memory starting at `addr`.
+    pub fn store_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.mem.insert(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `n` bytes if the whole range is mapped (`Σ[a..a+n] ≠ ⊥`).
+    #[must_use]
+    pub fn load_bytes(&self, addr: u64, n: usize) -> Option<Vec<u8>> {
+        (0..n).map(|i| self.mem.get(&(addr + i as u64)).copied()).collect()
+    }
+
+    /// True iff every byte of the range is mapped.
+    #[must_use]
+    pub fn is_mapped(&self, addr: u64, n: usize) -> bool {
+        (0..n).all(|i| self.mem.contains_key(&(addr + i as u64)))
+    }
+
+    /// Reads a little-endian bitvector of `n` bytes, if mapped.
+    #[must_use]
+    pub fn load_le(&self, addr: u64, n: usize) -> Option<Bv> {
+        self.load_bytes(addr, n).map(|bs| Bv::from_le_bytes(&bs))
+    }
+
+    /// Stores a bitvector little-endian (`enc(b)` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value's width is not a multiple of 8.
+    pub fn store_le(&mut self, addr: u64, value: Bv) {
+        self.store_bytes(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut m = Machine::new();
+        m.store_le(0x1000, Bv::new(32, 0xdead_beef));
+        assert_eq!(m.load_le(0x1000, 4), Some(Bv::new(32, 0xdead_beef)));
+        assert_eq!(m.load_le(0x1002, 2), Some(Bv::new(16, 0xdead)));
+        assert!(m.load_le(0x0fff, 4).is_none(), "partially unmapped range");
+        assert!(!m.is_mapped(0x1003, 2));
+        assert!(m.is_mapped(0x1000, 4));
+    }
+
+    #[test]
+    fn registers_store_values() {
+        let mut m = Machine::new();
+        m.set_reg(Reg::new("X0"), Bv::new(64, 7));
+        m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 2));
+        assert_eq!(m.reg(&Reg::new("X0")), Some(Value::Bits(Bv::new(64, 7))));
+        assert_eq!(m.reg(&Reg::field("PSTATE", "EL")), Some(Value::Bits(Bv::new(2, 2))));
+        assert_eq!(m.reg(&Reg::new("X1")), None);
+    }
+}

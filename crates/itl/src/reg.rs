@@ -1,0 +1,69 @@
+//! Register names, possibly with a field accessor.
+//!
+//! The trace language addresses registers as `r ::= ρ | ρ.f` (Fig. 4):
+//! either a whole register (`SP_EL2`) or a named field of a struct-valued
+//! register (`PSTATE.EL`). Fields are independent state cells in the
+//! machine state, exactly as in the paper's register map `R`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A register reference: a name plus an optional field.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    name: Arc<str>,
+    field: Option<Arc<str>>,
+}
+
+impl Reg {
+    /// A whole register, e.g. `Reg::new("SP_EL2")`.
+    #[must_use]
+    pub fn new(name: &str) -> Reg {
+        Reg { name: name.into(), field: None }
+    }
+
+    /// A field of a struct register, e.g. `Reg::field("PSTATE", "EL")`.
+    #[must_use]
+    pub fn field(name: &str, field: &str) -> Reg {
+        Reg { name: name.into(), field: Some(field.into()) }
+    }
+
+    /// The register name (without the field).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field accessor, if any.
+    #[must_use]
+    pub fn field_name(&self) -> Option<&str> {
+        self.field.as_deref()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.field {
+            None => write!(f, "{}", self.name),
+            Some(fld) => write!(f, "{}.{}", self.name, fld),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_field() {
+        assert_eq!(Reg::new("SP_EL2").to_string(), "SP_EL2");
+        assert_eq!(Reg::field("PSTATE", "EL").to_string(), "PSTATE.EL");
+    }
+
+    #[test]
+    fn equality_distinguishes_fields() {
+        assert_ne!(Reg::field("PSTATE", "EL"), Reg::field("PSTATE", "SP"));
+        assert_ne!(Reg::new("PSTATE"), Reg::field("PSTATE", "EL"));
+        assert_eq!(Reg::new("X0"), Reg::new("X0"));
+    }
+}

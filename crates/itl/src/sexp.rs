@@ -1,0 +1,785 @@
+//! S-expression concrete syntax for Isla traces.
+//!
+//! This is the on-the-wire format of Figs. 3 and 6 in the paper:
+//!
+//! ```text
+//! (trace
+//!   (assume-reg |PSTATE| ((_ field |EL|)) #b10)
+//!   (declare-const v38 (_ BitVec 64))
+//!   (read-reg |SP_EL2| nil v38)
+//!   (define-const v61 (bvadd ((_ extract 63 0) ((_ zero_extend 64) v38))
+//!                            #x0000000000000040))
+//!   (write-reg |SP_EL2| nil v61)
+//!   (cases (trace (assert v37) …) (trace (assert (not v37)) …)))
+//! ```
+//!
+//! Dialect notes (documented divergences from Isla's output): field reads
+//! carry the field value directly rather than a `(_ struct …)` wrapper, and
+//! memory events are `(read-mem value addr bytes)` / `(write-mem addr value
+//! bytes)`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use islaris_smt::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, Var};
+
+use crate::event::{Event, Trace};
+use crate::reg::Reg;
+
+/// A parsed S-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    /// An atom: symbol, literal, or `|quoted|` name.
+    Atom(String),
+    /// A parenthesised list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    fn atom(s: &str) -> Sexp {
+        Sexp::Atom(s.to_owned())
+    }
+
+    fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(a) => Some(a),
+            Sexp::List(_) => None,
+        }
+    }
+
+    fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(l) => Some(l),
+            Sexp::Atom(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(a) => write!(f, "{a}"),
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { offset, message: message.into() })
+}
+
+/// Tokenises and parses one S-expression from `input`.
+pub fn parse_sexp(input: &str) -> Result<Sexp, ParseError> {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let sexp = parser.parse()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return err(parser.pos, "trailing input after S-expression");
+    }
+    Ok(sexp)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() {
+            match self.input[self.pos] {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b';' => {
+                    while self.pos < self.input.len() && self.input[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn parse(&mut self) -> Result<Sexp, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.input.len() {
+            return err(self.pos, "unexpected end of input");
+        }
+        match self.input[self.pos] {
+            b'(' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.pos >= self.input.len() {
+                        return err(self.pos, "unterminated list");
+                    }
+                    if self.input[self.pos] == b')' {
+                        self.pos += 1;
+                        return Ok(Sexp::List(items));
+                    }
+                    items.push(self.parse()?);
+                }
+            }
+            b')' => err(self.pos, "unexpected `)`"),
+            b'|' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.input.len() && self.input[self.pos] != b'|' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.input.len() {
+                    return err(start, "unterminated `|` atom");
+                }
+                self.pos += 1;
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| ParseError { offset: start, message: "invalid UTF-8".into() })?;
+                Ok(Sexp::Atom(text.to_owned()))
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && !matches!(self.input[self.pos], b' ' | b'\t' | b'\n' | b'\r' | b'(' | b')')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| ParseError { offset: start, message: "invalid UTF-8".into() })?;
+                Ok(Sexp::Atom(text.to_owned()))
+            }
+        }
+    }
+}
+
+// ----- printing -----
+
+fn quote(name: &str) -> Sexp {
+    Sexp::Atom(format!("|{name}|"))
+}
+
+fn reg_accessor(r: &Reg) -> Sexp {
+    match r.field_name() {
+        None => Sexp::atom("nil"),
+        Some(f) => Sexp::list(vec![Sexp::list(vec![
+            Sexp::atom("_"),
+            Sexp::atom("field"),
+            quote(f),
+        ])]),
+    }
+}
+
+/// Renders an expression as an S-expression (SMT-LIB concrete syntax).
+#[must_use]
+pub fn expr_to_sexp(e: &Expr) -> Sexp {
+    match e.kind() {
+        ExprKind::Val(v) => Sexp::Atom(v.to_string()),
+        ExprKind::Var(v) => Sexp::Atom(v.to_string()),
+        ExprKind::Not(a) => Sexp::list(vec![Sexp::atom("not"), expr_to_sexp(a)]),
+        ExprKind::And(a, b) => {
+            Sexp::list(vec![Sexp::atom("and"), expr_to_sexp(a), expr_to_sexp(b)])
+        }
+        ExprKind::Or(a, b) => {
+            Sexp::list(vec![Sexp::atom("or"), expr_to_sexp(a), expr_to_sexp(b)])
+        }
+        ExprKind::Eq(a, b) => Sexp::list(vec![Sexp::atom("="), expr_to_sexp(a), expr_to_sexp(b)]),
+        ExprKind::Ite(c, t, f) => Sexp::list(vec![
+            Sexp::atom("ite"),
+            expr_to_sexp(c),
+            expr_to_sexp(t),
+            expr_to_sexp(f),
+        ]),
+        ExprKind::Unop(op, a) => Sexp::list(vec![
+            Sexp::atom(match op {
+                BvUnop::Not => "bvnot",
+                BvUnop::Neg => "bvneg",
+                BvUnop::Rev => "bvrev",
+            }),
+            expr_to_sexp(a),
+        ]),
+        ExprKind::Binop(op, a, b) => Sexp::list(vec![
+            Sexp::atom(match op {
+                BvBinop::Add => "bvadd",
+                BvBinop::Sub => "bvsub",
+                BvBinop::Mul => "bvmul",
+                BvBinop::Udiv => "bvudiv",
+                BvBinop::Urem => "bvurem",
+                BvBinop::And => "bvand",
+                BvBinop::Or => "bvor",
+                BvBinop::Xor => "bvxor",
+                BvBinop::Shl => "bvshl",
+                BvBinop::Lshr => "bvlshr",
+                BvBinop::Ashr => "bvashr",
+            }),
+            expr_to_sexp(a),
+            expr_to_sexp(b),
+        ]),
+        ExprKind::Cmp(op, a, b) => Sexp::list(vec![
+            Sexp::atom(match op {
+                BvCmp::Ult => "bvult",
+                BvCmp::Ule => "bvule",
+                BvCmp::Slt => "bvslt",
+                BvCmp::Sle => "bvsle",
+            }),
+            expr_to_sexp(a),
+            expr_to_sexp(b),
+        ]),
+        ExprKind::Extract(hi, lo, a) => Sexp::list(vec![
+            Sexp::list(vec![
+                Sexp::atom("_"),
+                Sexp::atom("extract"),
+                Sexp::Atom(hi.to_string()),
+                Sexp::Atom(lo.to_string()),
+            ]),
+            expr_to_sexp(a),
+        ]),
+        ExprKind::ZeroExtend(n, a) => Sexp::list(vec![
+            Sexp::list(vec![Sexp::atom("_"), Sexp::atom("zero_extend"), Sexp::Atom(n.to_string())]),
+            expr_to_sexp(a),
+        ]),
+        ExprKind::SignExtend(n, a) => Sexp::list(vec![
+            Sexp::list(vec![Sexp::atom("_"), Sexp::atom("sign_extend"), Sexp::Atom(n.to_string())]),
+            expr_to_sexp(a),
+        ]),
+        ExprKind::Concat(a, b) => {
+            Sexp::list(vec![Sexp::atom("concat"), expr_to_sexp(a), expr_to_sexp(b)])
+        }
+    }
+}
+
+fn sort_to_sexp(s: Sort) -> Sexp {
+    match s {
+        Sort::Bool => Sexp::atom("Bool"),
+        Sort::BitVec(n) => Sexp::list(vec![
+            Sexp::atom("_"),
+            Sexp::atom("BitVec"),
+            Sexp::Atom(n.to_string()),
+        ]),
+    }
+}
+
+fn event_to_sexp(ev: &Event) -> Sexp {
+    match ev {
+        Event::ReadReg(r, v) => Sexp::list(vec![
+            Sexp::atom("read-reg"),
+            quote(r.name()),
+            reg_accessor(r),
+            expr_to_sexp(v),
+        ]),
+        Event::WriteReg(r, v) => Sexp::list(vec![
+            Sexp::atom("write-reg"),
+            quote(r.name()),
+            reg_accessor(r),
+            expr_to_sexp(v),
+        ]),
+        Event::AssumeReg(r, v) => Sexp::list(vec![
+            Sexp::atom("assume-reg"),
+            quote(r.name()),
+            reg_accessor(r),
+            expr_to_sexp(v),
+        ]),
+        Event::ReadMem { value, addr, bytes } => Sexp::list(vec![
+            Sexp::atom("read-mem"),
+            expr_to_sexp(value),
+            expr_to_sexp(addr),
+            Sexp::Atom(bytes.to_string()),
+        ]),
+        Event::WriteMem { addr, value, bytes } => Sexp::list(vec![
+            Sexp::atom("write-mem"),
+            expr_to_sexp(addr),
+            expr_to_sexp(value),
+            Sexp::Atom(bytes.to_string()),
+        ]),
+        Event::Assume(e) => Sexp::list(vec![Sexp::atom("assume"), expr_to_sexp(e)]),
+        Event::Assert(e) => Sexp::list(vec![Sexp::atom("assert"), expr_to_sexp(e)]),
+        Event::DeclareConst(x, t) => Sexp::list(vec![
+            Sexp::atom("declare-const"),
+            Sexp::Atom(x.to_string()),
+            sort_to_sexp(*t),
+        ]),
+        Event::DefineConst(x, e) => Sexp::list(vec![
+            Sexp::atom("define-const"),
+            Sexp::Atom(x.to_string()),
+            expr_to_sexp(e),
+        ]),
+    }
+}
+
+/// Renders a trace in Isla's `(trace …)` concrete syntax.
+#[must_use]
+pub fn trace_to_sexp(t: &Trace) -> Sexp {
+    let mut items = vec![Sexp::atom("trace")];
+    push_trace(t, &mut items);
+    Sexp::List(items)
+}
+
+fn push_trace(t: &Trace, out: &mut Vec<Sexp>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            out.push(event_to_sexp(ev));
+            push_trace(rest, out);
+        }
+        Trace::Cases(branches) => {
+            let mut cases = vec![Sexp::atom("cases")];
+            cases.extend(branches.iter().map(trace_to_sexp));
+            out.push(Sexp::List(cases));
+        }
+    }
+}
+
+/// Renders a trace as a string.
+#[must_use]
+pub fn print_trace(t: &Trace) -> String {
+    trace_to_sexp(t).to_string()
+}
+
+// ----- parsing back -----
+
+fn unquote(s: &str) -> &str {
+    s.strip_prefix('|').and_then(|x| x.strip_suffix('|')).unwrap_or(s)
+}
+
+fn parse_reg(name: &Sexp, accessor: &Sexp, at: &str) -> Result<Reg, ParseError> {
+    let n = name
+        .as_atom()
+        .ok_or_else(|| ParseError { offset: 0, message: format!("{at}: register name") })?;
+    let n = unquote(n);
+    match accessor {
+        Sexp::Atom(a) if a == "nil" => Ok(Reg::new(n)),
+        Sexp::List(items) if items.len() == 1 => {
+            let inner = items[0]
+                .as_list()
+                .ok_or_else(|| ParseError { offset: 0, message: format!("{at}: accessor") })?;
+            match inner {
+                [Sexp::Atom(u), Sexp::Atom(f), Sexp::Atom(fld)] if u == "_" && f == "field" => {
+                    Ok(Reg::field(n, unquote(fld)))
+                }
+                _ => err(0, format!("{at}: unsupported accessor")),
+            }
+        }
+        _ => err(0, format!("{at}: unsupported accessor")),
+    }
+}
+
+/// Parses an expression from an S-expression.
+pub fn sexp_to_expr(s: &Sexp) -> Result<Expr, ParseError> {
+    match s {
+        Sexp::Atom(a) => {
+            if a == "true" {
+                return Ok(Expr::bool(true));
+            }
+            if a == "false" {
+                return Ok(Expr::bool(false));
+            }
+            if a.starts_with("#x") || a.starts_with("#b") {
+                let bv = a
+                    .parse::<islaris_bv::Bv>()
+                    .map_err(|e| ParseError { offset: 0, message: e.to_string() })?;
+                return Ok(Expr::bits(bv));
+            }
+            if let Some(num) = a.strip_prefix('v') {
+                if let Ok(n) = num.parse::<u32>() {
+                    return Ok(Expr::var(Var(n)));
+                }
+            }
+            err(0, format!("unknown atom `{a}` in expression"))
+        }
+        Sexp::List(items) => {
+            let head = items
+                .first()
+                .ok_or_else(|| ParseError { offset: 0, message: "empty expression".into() })?;
+            match head {
+                Sexp::Atom(op) => {
+                    let args: Vec<Expr> =
+                        items[1..].iter().map(sexp_to_expr).collect::<Result<_, _>>()?;
+                    parse_application(op, args)
+                }
+                Sexp::List(indexed) => {
+                    // ((_ extract hi lo) e) and friends.
+                    let strs: Vec<&str> =
+                        indexed.iter().filter_map(Sexp::as_atom).collect();
+                    if items.len() != 2 {
+                        return err(0, "indexed operator expects one argument");
+                    }
+                    let arg = sexp_to_expr(&items[1])?;
+                    match strs.as_slice() {
+                        ["_", "extract", hi, lo] => {
+                            let hi: u32 = hi.parse().map_err(|_| ParseError {
+                                offset: 0,
+                                message: "bad extract index".into(),
+                            })?;
+                            let lo: u32 = lo.parse().map_err(|_| ParseError {
+                                offset: 0,
+                                message: "bad extract index".into(),
+                            })?;
+                            Ok(Expr::extract(hi, lo, arg))
+                        }
+                        ["_", "zero_extend", n] => {
+                            let n: u32 = n.parse().map_err(|_| ParseError {
+                                offset: 0,
+                                message: "bad zero_extend".into(),
+                            })?;
+                            Ok(Expr::zero_extend(n, arg))
+                        }
+                        ["_", "sign_extend", n] => {
+                            let n: u32 = n.parse().map_err(|_| ParseError {
+                                offset: 0,
+                                message: "bad sign_extend".into(),
+                            })?;
+                            Ok(Expr::sign_extend(n, arg))
+                        }
+                        _ => err(0, "unsupported indexed operator"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_application(op: &str, mut args: Vec<Expr>) -> Result<Expr, ParseError> {
+    let arity_err = |n: usize| ParseError {
+        offset: 0,
+        message: format!("operator `{op}` expects {n} arguments"),
+    };
+    let bin = |op2: BvBinop, mut args: Vec<Expr>| {
+        if args.len() != 2 {
+            return Err(arity_err(2));
+        }
+        let b = args.pop().expect("len checked");
+        let a = args.pop().expect("len checked");
+        Ok(Expr::binop(op2, a, b))
+    };
+    let cmp = |op2: BvCmp, mut args: Vec<Expr>| {
+        if args.len() != 2 {
+            return Err(arity_err(2));
+        }
+        let b = args.pop().expect("len checked");
+        let a = args.pop().expect("len checked");
+        Ok(Expr::cmp(op2, a, b))
+    };
+    match op {
+        "not" => {
+            if args.len() != 1 {
+                return Err(arity_err(1));
+            }
+            Ok(Expr::not(args.pop().expect("len checked")))
+        }
+        "and" => Ok(Expr::and_all(args)),
+        "or" => {
+            let mut it = args.into_iter();
+            let first = it.next().ok_or_else(|| arity_err(2))?;
+            Ok(it.fold(first, Expr::or))
+        }
+        "=" => {
+            if args.len() != 2 {
+                return Err(arity_err(2));
+            }
+            let b = args.pop().expect("len checked");
+            let a = args.pop().expect("len checked");
+            Ok(Expr::eq(a, b))
+        }
+        "ite" => {
+            if args.len() != 3 {
+                return Err(arity_err(3));
+            }
+            let e = args.pop().expect("len checked");
+            let t = args.pop().expect("len checked");
+            let c = args.pop().expect("len checked");
+            Ok(Expr::ite(c, t, e))
+        }
+        "concat" => {
+            if args.len() != 2 {
+                return Err(arity_err(2));
+            }
+            let b = args.pop().expect("len checked");
+            let a = args.pop().expect("len checked");
+            Ok(Expr::concat(a, b))
+        }
+        "bvnot" => {
+            if args.len() != 1 {
+                return Err(arity_err(1));
+            }
+            Ok(Expr::unop(BvUnop::Not, args.pop().expect("len checked")))
+        }
+        "bvneg" => {
+            if args.len() != 1 {
+                return Err(arity_err(1));
+            }
+            Ok(Expr::unop(BvUnop::Neg, args.pop().expect("len checked")))
+        }
+        "bvrev" => {
+            if args.len() != 1 {
+                return Err(arity_err(1));
+            }
+            Ok(Expr::unop(BvUnop::Rev, args.pop().expect("len checked")))
+        }
+        "bvadd" => bin(BvBinop::Add, args),
+        "bvsub" => bin(BvBinop::Sub, args),
+        "bvmul" => bin(BvBinop::Mul, args),
+        "bvudiv" => bin(BvBinop::Udiv, args),
+        "bvurem" => bin(BvBinop::Urem, args),
+        "bvand" => bin(BvBinop::And, args),
+        "bvor" => bin(BvBinop::Or, args),
+        "bvxor" => bin(BvBinop::Xor, args),
+        "bvshl" => bin(BvBinop::Shl, args),
+        "bvlshr" => bin(BvBinop::Lshr, args),
+        "bvashr" => bin(BvBinop::Ashr, args),
+        "bvult" => cmp(BvCmp::Ult, args),
+        "bvule" => cmp(BvCmp::Ule, args),
+        "bvslt" => cmp(BvCmp::Slt, args),
+        "bvsle" => cmp(BvCmp::Sle, args),
+        _ => err(0, format!("unknown operator `{op}`")),
+    }
+}
+
+fn sexp_to_sort(s: &Sexp) -> Result<Sort, ParseError> {
+    match s {
+        Sexp::Atom(a) if a == "Bool" => Ok(Sort::Bool),
+        Sexp::List(items) => {
+            let strs: Vec<&str> = items.iter().filter_map(Sexp::as_atom).collect();
+            match strs.as_slice() {
+                ["_", "BitVec", n] => {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| ParseError { offset: 0, message: "bad width".into() })?;
+                    Ok(Sort::BitVec(n))
+                }
+                _ => err(0, "unknown sort"),
+            }
+        }
+        _ => err(0, "unknown sort"),
+    }
+}
+
+fn parse_var(s: &Sexp) -> Result<Var, ParseError> {
+    let a = s
+        .as_atom()
+        .ok_or_else(|| ParseError { offset: 0, message: "expected variable".into() })?;
+    a.strip_prefix('v')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(Var)
+        .ok_or_else(|| ParseError { offset: 0, message: format!("bad variable `{a}`") })
+}
+
+fn sexp_to_event(items: &[Sexp]) -> Result<Event, ParseError> {
+    let head = items[0]
+        .as_atom()
+        .ok_or_else(|| ParseError { offset: 0, message: "event head".into() })?;
+    match head {
+        "read-reg" | "write-reg" | "assume-reg" => {
+            if items.len() != 4 {
+                return err(0, format!("{head} expects 3 arguments"));
+            }
+            let reg = parse_reg(&items[1], &items[2], head)?;
+            let v = sexp_to_expr(&items[3])?;
+            Ok(match head {
+                "read-reg" => Event::ReadReg(reg, v),
+                "write-reg" => Event::WriteReg(reg, v),
+                _ => Event::AssumeReg(reg, v),
+            })
+        }
+        "read-mem" | "write-mem" => {
+            if items.len() != 4 {
+                return err(0, format!("{head} expects 3 arguments"));
+            }
+            let a = sexp_to_expr(&items[1])?;
+            let b = sexp_to_expr(&items[2])?;
+            let bytes: u32 = items[3]
+                .as_atom()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError { offset: 0, message: "bad byte count".into() })?;
+            Ok(if head == "read-mem" {
+                Event::ReadMem { value: a, addr: b, bytes }
+            } else {
+                Event::WriteMem { addr: a, value: b, bytes }
+            })
+        }
+        "assume" => Ok(Event::Assume(sexp_to_expr(&items[1])?)),
+        "assert" => Ok(Event::Assert(sexp_to_expr(&items[1])?)),
+        "declare-const" => {
+            if items.len() != 3 {
+                return err(0, "declare-const expects 2 arguments");
+            }
+            Ok(Event::DeclareConst(parse_var(&items[1])?, sexp_to_sort(&items[2])?))
+        }
+        "define-const" => {
+            if items.len() != 3 {
+                return err(0, "define-const expects 2 arguments");
+            }
+            Ok(Event::DefineConst(parse_var(&items[1])?, sexp_to_expr(&items[2])?))
+        }
+        other => err(0, format!("unknown event `{other}`")),
+    }
+}
+
+/// Parses a `(trace …)` S-expression into a [`Trace`].
+pub fn sexp_to_trace(s: &Sexp) -> Result<Trace, ParseError> {
+    let items = s
+        .as_list()
+        .ok_or_else(|| ParseError { offset: 0, message: "expected (trace …)".into() })?;
+    if items.first().and_then(Sexp::as_atom) != Some("trace") {
+        return err(0, "expected (trace …)");
+    }
+    build_trace(&items[1..])
+}
+
+fn build_trace(items: &[Sexp]) -> Result<Trace, ParseError> {
+    match items.split_first() {
+        None => Ok(Trace::Nil),
+        Some((first, rest)) => {
+            let list = first
+                .as_list()
+                .ok_or_else(|| ParseError { offset: 0, message: "expected event".into() })?;
+            if list.first().and_then(Sexp::as_atom) == Some("cases") {
+                if !rest.is_empty() {
+                    return err(0, "cases must be the last trace element");
+                }
+                let branches: Vec<Trace> =
+                    list[1..].iter().map(sexp_to_trace).collect::<Result<_, _>>()?;
+                return Ok(Trace::Cases(branches));
+            }
+            let ev = sexp_to_event(list)?;
+            Ok(Trace::Cons(ev, Arc::new(build_trace(rest)?)))
+        }
+    }
+}
+
+/// Parses a trace from its string form.
+pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
+    sexp_to_trace(&parse_sexp(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The add sp, sp, 64 trace from Fig. 3 of the paper (our dialect).
+    const FIG3: &str = "(trace
+      (assume-reg |PSTATE| ((_ field |EL|)) #b10)
+      (assume-reg |PSTATE| ((_ field |SP|)) #b1)
+      (declare-const v38 (_ BitVec 64))
+      (read-reg |SP_EL2| nil v38)
+      (define-const v61 (bvadd ((_ extract 63 0) ((_ zero_extend 64) v38)) #x0000000000000040))
+      (write-reg |SP_EL2| nil v61)
+      (declare-const v62 (_ BitVec 64))
+      (read-reg |_PC| nil v62)
+      (define-const v63 (bvadd v62 #x0000000000000004))
+      (write-reg |_PC| nil v63))";
+
+    #[test]
+    fn parses_fig3_trace() {
+        let t = parse_trace(FIG3).expect("parses");
+        assert_eq!(t.event_count(), 10);
+        match &t {
+            Trace::Cons(Event::AssumeReg(r, v), _) => {
+                assert_eq!(*r, Reg::field("PSTATE", "EL"));
+                assert_eq!(v.to_string(), "#b10");
+            }
+            other => panic!("unexpected head {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let t = parse_trace(FIG3).expect("parses");
+        let printed = print_trace(&t);
+        let t2 = parse_trace(&printed).expect("round-trips");
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parses_fig6_cases() {
+        // The beq -16 trace of Fig. 6 (simplified).
+        let input = "(trace
+          (declare-const v27 (_ BitVec 1))
+          (read-reg |PSTATE| ((_ field |Z|)) v27)
+          (define-const v37 (= v27 #b1))
+          (cases
+            (trace (assert v37)
+                   (declare-const v38 (_ BitVec 64))
+                   (read-reg |_PC| nil v38)
+                   (define-const v39 (bvadd v38 #xfffffffffffffff0))
+                   (write-reg |_PC| nil v39))
+            (trace (assert (not v37))
+                   (declare-const v38 (_ BitVec 64))
+                   (read-reg |_PC| nil v38)
+                   (define-const v39 (bvadd v38 #x0000000000000004))
+                   (write-reg |_PC| nil v39))))";
+        let t = parse_trace(input).expect("parses");
+        assert_eq!(t.event_count(), 3 + 5 + 5);
+        let printed = print_trace(&t);
+        assert_eq!(parse_trace(&printed).expect("round-trips"), t);
+    }
+
+    #[test]
+    fn parses_memory_events() {
+        let input =
+            "(trace (declare-const v1 (_ BitVec 8)) (read-mem v1 #x0000000000001000 1) (write-mem #x0000000000002000 v1 1))";
+        let t = parse_trace(input).expect("parses");
+        assert_eq!(t.event_count(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_trace("(trace (flub x))").is_err());
+        assert!(parse_trace("(nottrace)").is_err());
+        assert!(parse_sexp("(unclosed").is_err());
+        assert!(parse_sexp("a b").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let input = "(trace ; a comment\n (assume true))";
+        assert_eq!(parse_trace(input).expect("parses").event_count(), 1);
+    }
+
+    #[test]
+    fn expr_roundtrip_covers_operators() {
+        let exprs = [
+            "(bvadd v1 #x00ff)",
+            "(ite (bvult v1 v2) v1 v2)",
+            "((_ extract 7 0) v3)",
+            "((_ sign_extend 8) v3)",
+            "(concat v1 v2)",
+            "(bvrev v9)",
+            "(and (= v1 v2) (not (bvsle v1 v2)))",
+        ];
+        for src in exprs {
+            let s = parse_sexp(src).expect("sexp parses");
+            let e = sexp_to_expr(&s).expect("expr parses");
+            let back = expr_to_sexp(&e).to_string();
+            let e2 = sexp_to_expr(&parse_sexp(&back).expect("reparse")).expect("expr reparses");
+            assert_eq!(e, e2, "{src}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Abstract syntax of mini-Sail.
+//!
+//! Mini-Sail is a deliberately small ISA definition language in the style
+//! of Sail: first-order functions over bitvectors with register and memory
+//! effects, used to write the Armv8-A and RISC-V model fragments in
+//! `islaris-models`. Compared to full Sail it has no polymorphic bitvector
+//! widths, no loops (Isla unrolls/specialises those anyway), and immutable
+//! locals; it keeps Sail's decode-dispatch structure, register arrays,
+//! field registers, literal-pattern `match`, and early instruction
+//! termination (`exit()`) for exception entry.
+
+use islaris_bv::Bv;
+
+/// Types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// `bits(N)`.
+    Bits(u32),
+    /// `bool`.
+    Bool,
+    /// Mathematical integer (register indices, `UInt` results). Must be
+    /// concrete during symbolic execution.
+    Int,
+    /// `unit`.
+    Unit,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Bits(n) => write!(f, "bits({n})"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int => write!(f, "int"),
+            Ty::Unit => write!(f, "unit"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unop {
+    /// Boolean `!`.
+    Not,
+    /// Bitwise `~`.
+    BitNot,
+    /// Integer negation `-`.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binop {
+    /// `+` (bits of equal width, or int).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `&` bitwise (or `&&` on bool — normalised to [`Binop::BoolAnd`]).
+    BitAnd,
+    /// `|` bitwise.
+    BitOr,
+    /// `^` bitwise.
+    BitXor,
+    /// `<<` logical shift left (shift amount: int literal or bits).
+    Shl,
+    /// `>>` logical shift right.
+    Shr,
+    /// `>>_a` arithmetic shift right.
+    AShr,
+    /// `@` concatenation (left operand = high bits).
+    Concat,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` unsigned on bits, ordinary on int.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `<_s` signed.
+    SLt,
+    /// `<=_s` signed.
+    SLe,
+    /// `&&`.
+    BoolAnd,
+    /// `||`.
+    BoolOr,
+}
+
+/// Patterns of a `match` arm: literals or the wildcard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// A bitvector literal.
+    Bits(Bv),
+    /// An integer literal.
+    Int(i128),
+    /// `_`.
+    Wildcard,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Bitvector literal (`0x…`, `0b…`).
+    LitBits(Bv),
+    /// `true` / `false`.
+    LitBool(bool),
+    /// Decimal integer literal.
+    LitInt(i128),
+    /// `()`.
+    Unit,
+    /// A local variable or parameter.
+    Var(String),
+    /// A whole register (or register field, e.g. `PSTATE.EL`), or a
+    /// global constant.
+    Global(String),
+    /// `X[e]` — register array element.
+    RegIdx(String, Box<Expr>),
+    /// `e[hi .. lo]` — bit slice with literal indices.
+    Slice(Box<Expr>, u32, u32),
+    /// Unary operation.
+    Unop(Unop, Box<Expr>),
+    /// Binary operation.
+    Binop(Binop, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// `if c then e₁ else e₂`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `match e { pat => e, … }`.
+    Match(Box<Expr>, Vec<(Pattern, Expr)>),
+    /// `{ stmt; …; e? }` — value is the final expression, or `()`.
+    Block(Vec<Stmt>, Option<Box<Expr>>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A register (or field register).
+    Reg(String),
+    /// A register array element `X[e]`.
+    RegIdx(String, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x : ty = e;` — immutable local binding.
+    Let(String, Ty, Expr),
+    /// `reg = e;` / `X[e] = e;`.
+    Assign(LValue, Expr),
+    /// An expression in statement position (calls, `if` without value).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameters with types.
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body.
+    pub body: Expr,
+}
+
+/// A register declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDecl {
+    /// Name, possibly with a field dot (`PSTATE.EL`).
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// `Some(len)` for `vector(len, bits(w))` register arrays.
+    pub array_len: Option<u32>,
+}
+
+/// A global constant (`let NAME : ty = e` at top level; the initialiser
+/// must be a literal expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Initialiser.
+    pub init: Expr,
+}
+
+/// A complete mini-Sail model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Model {
+    /// Register declarations.
+    pub registers: Vec<RegisterDecl>,
+    /// Global constants.
+    pub consts: Vec<ConstDecl>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+impl Model {
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a register declaration by name.
+    #[must_use]
+    pub fn register(&self, name: &str) -> Option<&RegisterDecl> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up a global constant by name.
+    #[must_use]
+    pub fn constant(&self, name: &str) -> Option<&ConstDecl> {
+        self.consts.iter().find(|c| c.name == name)
+    }
+
+    /// Total number of non-whitespace source lines is not tracked here;
+    /// this counts definitions as a crude size metric.
+    #[must_use]
+    pub fn num_definitions(&self) -> usize {
+        self.registers.len() + self.consts.len() + self.functions.len()
+    }
+}

@@ -1,0 +1,695 @@
+//! Static checking and name resolution for mini-Sail models.
+//!
+//! The checker validates scoping, arity, and bitvector widths, and rewrites
+//! the AST so that every identifier is resolved: after checking,
+//! [`Expr::Var`] always names a local, [`Expr::Global`] a register or
+//! constant, and every call site matches a function or builtin signature.
+//! Both the concrete interpreter and the symbolic executor run only
+//! checked models, so they can treat sort errors as unreachable.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{
+    Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, Stmt, Ty, Unop,
+};
+
+/// A checking error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Which function (or top-level item) the error is in.
+    pub context: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The builtin functions of mini-Sail.
+///
+/// * `ZeroExtend(e, N)` / `SignExtend(e, N)` — extend *to* `N` bits;
+/// * `UInt(e)` / `SInt(e)` — bits to integer;
+/// * `to_bits(N, e)` — integer to `bits(N)` (truncating two's complement);
+/// * `read_mem(addr, N)` — read `N` bytes, little-endian, `bits(8·N)`;
+/// * `write_mem(addr, N, v)` — write `N` bytes;
+/// * `reverse_bits(e)` — bit reversal (Arm `rbit`);
+/// * `exit()` — terminate the instruction (exception entry taken);
+/// * `undefined_bits(N)` — an unconstrained value (symbolically: a fresh
+///   variable; concretely: zero).
+pub const BUILTINS: &[&str] = &[
+    "ZeroExtend",
+    "SignExtend",
+    "UInt",
+    "SInt",
+    "to_bits",
+    "read_mem",
+    "write_mem",
+    "reverse_bits",
+    "exit",
+    "undefined_bits",
+];
+
+/// Signature information collected from a model.
+#[derive(Debug, Clone)]
+pub struct Globals {
+    /// Register name → (element type, array length if an array).
+    pub registers: HashMap<String, (Ty, Option<u32>)>,
+    /// Constant name → type.
+    pub consts: HashMap<String, Ty>,
+    /// Function name → (param types, return type).
+    pub functions: HashMap<String, (Vec<Ty>, Ty)>,
+}
+
+/// A model that passed checking, with resolved names.
+#[derive(Debug, Clone)]
+pub struct CheckedModel {
+    /// The rewritten model.
+    pub model: Model,
+    /// Collected signatures.
+    pub globals: Globals,
+}
+
+/// Checks a model, resolving names and validating types.
+pub fn check_model(model: &Model) -> Result<CheckedModel, CheckError> {
+    let mut globals = Globals {
+        registers: HashMap::new(),
+        consts: HashMap::new(),
+        functions: HashMap::new(),
+    };
+    for r in &model.registers {
+        if globals.registers.insert(r.name.clone(), (r.ty, r.array_len)).is_some() {
+            return Err(CheckError {
+                context: "registers".into(),
+                message: format!("duplicate register `{}`", r.name),
+            });
+        }
+        if r.array_len.is_some() && !matches!(r.ty, Ty::Bits(_)) {
+            return Err(CheckError {
+                context: "registers".into(),
+                message: format!("register array `{}` must hold bits", r.name),
+            });
+        }
+    }
+    for c in &model.consts {
+        if globals.consts.contains_key(&c.name) || globals.registers.contains_key(&c.name) {
+            return Err(CheckError {
+                context: "constants".into(),
+                message: format!("duplicate global `{}`", c.name),
+            });
+        }
+        globals.consts.insert(c.name.clone(), c.ty);
+    }
+    for f in &model.functions {
+        if BUILTINS.contains(&f.name.as_str()) {
+            return Err(CheckError {
+                context: f.name.clone(),
+                message: "function name shadows a builtin".into(),
+            });
+        }
+        if globals
+            .functions
+            .insert(f.name.clone(), (f.params.iter().map(|(_, t)| *t).collect(), f.ret))
+            .is_some()
+        {
+            return Err(CheckError {
+                context: f.name.clone(),
+                message: "duplicate function".into(),
+            });
+        }
+    }
+
+    let mut checked = Model::default();
+    checked.registers = model.registers.clone();
+    for c in &model.consts {
+        let mut cx = Cx { globals: &globals, locals: HashMap::new(), context: c.name.clone() };
+        let (init, ty) = cx.check_expr(&c.init)?;
+        if ty != c.ty {
+            return Err(cx.error(format!("constant has type {ty}, declared {}", c.ty)));
+        }
+        checked.consts.push(ConstDecl { name: c.name.clone(), ty: c.ty, init });
+    }
+    for f in &model.functions {
+        let mut cx = Cx {
+            globals: &globals,
+            locals: f.params.iter().cloned().collect(),
+            context: f.name.clone(),
+        };
+        let (body, ty) = cx.check_expr(&f.body)?;
+        if ty != f.ret {
+            return Err(cx.error(format!("body has type {ty}, declared return {}", f.ret)));
+        }
+        checked.functions.push(Function {
+            name: f.name.clone(),
+            params: f.params.clone(),
+            ret: f.ret,
+            body,
+        });
+    }
+    Ok(CheckedModel { model: checked, globals })
+}
+
+struct Cx<'g> {
+    globals: &'g Globals,
+    locals: HashMap<String, Ty>,
+    context: String,
+}
+
+impl Cx<'_> {
+    fn error(&self, message: impl Into<String>) -> CheckError {
+        CheckError { context: self.context.clone(), message: message.into() }
+    }
+
+    fn bits_width(&self, ty: Ty, what: &str) -> Result<u32, CheckError> {
+        match ty {
+            Ty::Bits(w) => Ok(w),
+            other => Err(self.error(format!("{what} must be bits, found {other}"))),
+        }
+    }
+
+    /// Checks an expression, returning the resolved expression and type.
+    fn check_expr(&mut self, e: &Expr) -> Result<(Expr, Ty), CheckError> {
+        match e {
+            Expr::LitBits(b) => Ok((e.clone(), Ty::Bits(b.width()))),
+            Expr::LitBool(_) => Ok((e.clone(), Ty::Bool)),
+            Expr::LitInt(_) => Ok((e.clone(), Ty::Int)),
+            Expr::Unit => Ok((e.clone(), Ty::Unit)),
+            Expr::Var(name) => {
+                if let Some(ty) = self.locals.get(name) {
+                    return Ok((Expr::Var(name.clone()), *ty));
+                }
+                if let Some((ty, arr)) = self.globals.registers.get(name) {
+                    if arr.is_some() {
+                        return Err(self.error(format!(
+                            "register array `{name}` must be indexed"
+                        )));
+                    }
+                    return Ok((Expr::Global(name.clone()), *ty));
+                }
+                if let Some(ty) = self.globals.consts.get(name) {
+                    return Ok((Expr::Global(name.clone()), *ty));
+                }
+                Err(self.error(format!("unknown identifier `{name}`")))
+            }
+            Expr::Global(_) => unreachable!("Global only appears after resolution"),
+            Expr::RegIdx(name, idx) => {
+                let Some((ty, Some(_len))) = self.globals.registers.get(name) else {
+                    return Err(self.error(format!("`{name}` is not a register array")));
+                };
+                let elem_ty = *ty;
+                let (idx, ity) = self.check_expr(idx)?;
+                if ity != Ty::Int {
+                    return Err(self.error("register index must be int"));
+                }
+                Ok((Expr::RegIdx(name.clone(), Box::new(idx)), elem_ty))
+            }
+            Expr::Slice(base, hi, lo) => {
+                let (base, bty) = self.check_expr(base)?;
+                let w = self.bits_width(bty, "slice operand")?;
+                if *hi >= w {
+                    return Err(self.error(format!("slice [{hi} .. {lo}] exceeds width {w}")));
+                }
+                Ok((Expr::Slice(Box::new(base), *hi, *lo), Ty::Bits(hi - lo + 1)))
+            }
+            Expr::Unop(op, a) => {
+                let (a, ty) = self.check_expr(a)?;
+                let rty = match op {
+                    Unop::Not => {
+                        if ty != Ty::Bool {
+                            return Err(self.error("`!` needs bool"));
+                        }
+                        Ty::Bool
+                    }
+                    Unop::BitNot => Ty::Bits(self.bits_width(ty, "`~`")?),
+                    Unop::Neg => {
+                        if ty != Ty::Int {
+                            return Err(self.error("unary `-` needs int"));
+                        }
+                        Ty::Int
+                    }
+                };
+                Ok((Expr::Unop(*op, Box::new(a)), rty))
+            }
+            Expr::Binop(op, a, b) => {
+                let (a, ta) = self.check_expr(a)?;
+                let (b, tb) = self.check_expr(b)?;
+                let rty = self.binop_type(*op, ta, tb)?;
+                Ok((Expr::Binop(*op, Box::new(a), Box::new(b)), rty))
+            }
+            Expr::Call(name, args) => self.check_call(name, args),
+            Expr::If(c, t, f) => {
+                let (c, tc) = self.check_expr(c)?;
+                if tc != Ty::Bool {
+                    return Err(self.error("if condition must be bool"));
+                }
+                let (t, tt) = self.check_expr(t)?;
+                let (f, tf) = self.check_expr(f)?;
+                if tt != tf {
+                    return Err(self.error(format!("if branches disagree: {tt} vs {tf}")));
+                }
+                Ok((Expr::If(Box::new(c), Box::new(t), Box::new(f)), tt))
+            }
+            Expr::Match(s, arms) => {
+                let (s, ts) = self.check_expr(s)?;
+                if !matches!(arms.last(), Some((Pattern::Wildcard, _))) {
+                    return Err(self.error("match must end with a `_` arm"));
+                }
+                let mut checked_arms = Vec::with_capacity(arms.len());
+                let mut arm_ty: Option<Ty> = None;
+                for (pat, body) in arms {
+                    match (pat, ts) {
+                        (Pattern::Wildcard, _) => {}
+                        (Pattern::Bits(pb), Ty::Bits(w)) if pb.width() == w => {}
+                        (Pattern::Int(_), Ty::Int) => {}
+                        (pat, ts) => {
+                            return Err(self.error(format!(
+                                "pattern {pat:?} does not match scrutinee type {ts}"
+                            )))
+                        }
+                    }
+                    let (body, tb) = self.check_expr(body)?;
+                    match arm_ty {
+                        None => arm_ty = Some(tb),
+                        Some(t) if t == tb => {}
+                        Some(t) => {
+                            return Err(self.error(format!("match arms disagree: {t} vs {tb}")))
+                        }
+                    }
+                    checked_arms.push((pat.clone(), body));
+                }
+                Ok((
+                    Expr::Match(Box::new(s), checked_arms),
+                    arm_ty.expect("at least one arm"),
+                ))
+            }
+            Expr::Block(stmts, value) => {
+                let saved_locals = self.locals.clone();
+                let mut checked_stmts = Vec::with_capacity(stmts.len());
+                for stmt in stmts {
+                    match stmt {
+                        Stmt::Let(name, ty, init) => {
+                            let (init, ti) = self.check_expr(init)?;
+                            if ti != *ty {
+                                return Err(self.error(format!(
+                                    "let `{name}`: initialiser has type {ti}, declared {ty}"
+                                )));
+                            }
+                            self.locals.insert(name.clone(), *ty);
+                            checked_stmts.push(Stmt::Let(name.clone(), *ty, init));
+                        }
+                        Stmt::Assign(lv, rhs) => {
+                            let (lv, lty) = self.check_lvalue(lv)?;
+                            let (rhs, rty) = self.check_expr(rhs)?;
+                            if lty != rty {
+                                return Err(self.error(format!(
+                                    "assignment type mismatch: {lty} vs {rty}"
+                                )));
+                            }
+                            checked_stmts.push(Stmt::Assign(lv, rhs));
+                        }
+                        Stmt::Expr(e) => {
+                            let (e, ty) = self.check_expr(e)?;
+                            if ty != Ty::Unit {
+                                return Err(self.error(format!(
+                                    "expression statement must be unit, found {ty}"
+                                )));
+                            }
+                            checked_stmts.push(Stmt::Expr(e));
+                        }
+                    }
+                }
+                let (value, vty) = match value {
+                    None => (None, Ty::Unit),
+                    Some(v) => {
+                        let (v, ty) = self.check_expr(v)?;
+                        (Some(Box::new(v)), ty)
+                    }
+                };
+                self.locals = saved_locals;
+                Ok((Expr::Block(checked_stmts, value), vty))
+            }
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: &LValue) -> Result<(LValue, Ty), CheckError> {
+        match lv {
+            LValue::Reg(name) => match self.globals.registers.get(name) {
+                Some((ty, None)) => Ok((LValue::Reg(name.clone()), *ty)),
+                Some((_, Some(_))) => {
+                    Err(self.error(format!("register array `{name}` must be indexed")))
+                }
+                None => Err(self.error(format!("unknown register `{name}`"))),
+            },
+            LValue::RegIdx(name, idx) => {
+                let Some((ty, Some(_))) = self.globals.registers.get(name) else {
+                    return Err(self.error(format!("`{name}` is not a register array")));
+                };
+                let elem = *ty;
+                let (idx, ity) = self.check_expr(idx)?;
+                if ity != Ty::Int {
+                    return Err(self.error("register index must be int"));
+                }
+                Ok((LValue::RegIdx(name.clone(), Box::new(idx)), elem))
+            }
+        }
+    }
+
+    fn binop_type(&self, op: Binop, ta: Ty, tb: Ty) -> Result<Ty, CheckError> {
+        use Binop::*;
+        match op {
+            BoolAnd | BoolOr => {
+                if ta == Ty::Bool && tb == Ty::Bool {
+                    Ok(Ty::Bool)
+                } else {
+                    Err(self.error("boolean connective needs bool operands"))
+                }
+            }
+            Eq | Ne => {
+                if ta == tb && ta != Ty::Unit {
+                    Ok(Ty::Bool)
+                } else {
+                    Err(self.error(format!("`==`/`!=` operands disagree: {ta} vs {tb}")))
+                }
+            }
+            Lt | Le => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x == y => Ok(Ty::Bool),
+                (Ty::Int, Ty::Int) => Ok(Ty::Bool),
+                _ => Err(self.error(format!("comparison operands disagree: {ta} vs {tb}"))),
+            },
+            SLt | SLe => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x == y => Ok(Ty::Bool),
+                _ => Err(self.error("signed comparison needs equal-width bits")),
+            },
+            Add | Sub | Mul => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x == y => Ok(Ty::Bits(x)),
+                (Ty::Int, Ty::Int) => Ok(Ty::Int),
+                _ => Err(self.error(format!("arithmetic operands disagree: {ta} vs {tb}"))),
+            },
+            BitAnd | BitOr | BitXor => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x == y => Ok(Ty::Bits(x)),
+                _ => Err(self.error("bitwise operator needs equal-width bits")),
+            },
+            Shl | Shr | AShr => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x == y => Ok(Ty::Bits(x)),
+                (Ty::Bits(x), Ty::Int) => Ok(Ty::Bits(x)),
+                _ => Err(self.error("shift needs bits on the left, bits or int amount")),
+            },
+            Concat => match (ta, tb) {
+                (Ty::Bits(x), Ty::Bits(y)) if x + y <= 128 => Ok(Ty::Bits(x + y)),
+                (Ty::Bits(_), Ty::Bits(_)) => Err(self.error("concat exceeds 128 bits")),
+                _ => Err(self.error("`@` needs bits operands")),
+            },
+        }
+    }
+
+    fn check_call(&mut self, name: &str, args: &[Expr]) -> Result<(Expr, Ty), CheckError> {
+        // Builtins first.
+        match name {
+            "ZeroExtend" | "SignExtend" => {
+                if args.len() != 2 {
+                    return Err(self.error(format!("{name} expects 2 arguments")));
+                }
+                let (a, ta) = self.check_expr(&args[0])?;
+                let w = self.bits_width(ta, name)?;
+                let Expr::LitInt(n) = args[1] else {
+                    return Err(self.error(format!("{name} target width must be a literal")));
+                };
+                if n < i128::from(w) || n > 128 {
+                    return Err(self.error(format!(
+                        "{name} target width {n} invalid for operand width {w}"
+                    )));
+                }
+                let target = n as u32;
+                Ok((
+                    Expr::Call(name.to_owned(), vec![a, Expr::LitInt(n)]),
+                    Ty::Bits(target),
+                ))
+            }
+            "UInt" | "SInt" => {
+                if args.len() != 1 {
+                    return Err(self.error(format!("{name} expects 1 argument")));
+                }
+                let (a, ta) = self.check_expr(&args[0])?;
+                self.bits_width(ta, name)?;
+                Ok((Expr::Call(name.to_owned(), vec![a]), Ty::Int))
+            }
+            "to_bits" => {
+                if args.len() != 2 {
+                    return Err(self.error("to_bits expects 2 arguments"));
+                }
+                let Expr::LitInt(n) = args[0] else {
+                    return Err(self.error("to_bits width must be a literal"));
+                };
+                if !(1..=128).contains(&n) {
+                    return Err(self.error("to_bits width out of range"));
+                }
+                let (a, ta) = self.check_expr(&args[1])?;
+                if ta != Ty::Int {
+                    return Err(self.error("to_bits operand must be int"));
+                }
+                Ok((
+                    Expr::Call(name.to_owned(), vec![Expr::LitInt(n), a]),
+                    Ty::Bits(n as u32),
+                ))
+            }
+            "read_mem" => {
+                if args.len() != 2 {
+                    return Err(self.error("read_mem expects 2 arguments"));
+                }
+                let (a, ta) = self.check_expr(&args[0])?;
+                if ta != Ty::Bits(64) {
+                    return Err(self.error("read_mem address must be bits(64)"));
+                }
+                let Expr::LitInt(n) = args[1] else {
+                    return Err(self.error("read_mem size must be a literal"));
+                };
+                if !(1..=16).contains(&n) {
+                    return Err(self.error("read_mem size out of range 1..=16"));
+                }
+                Ok((
+                    Expr::Call(name.to_owned(), vec![a, Expr::LitInt(n)]),
+                    Ty::Bits(8 * n as u32),
+                ))
+            }
+            "write_mem" => {
+                if args.len() != 3 {
+                    return Err(self.error("write_mem expects 3 arguments"));
+                }
+                let (a, ta) = self.check_expr(&args[0])?;
+                if ta != Ty::Bits(64) {
+                    return Err(self.error("write_mem address must be bits(64)"));
+                }
+                let Expr::LitInt(n) = args[1] else {
+                    return Err(self.error("write_mem size must be a literal"));
+                };
+                if !(1..=16).contains(&n) {
+                    return Err(self.error("write_mem size out of range 1..=16"));
+                }
+                let (v, tv) = self.check_expr(&args[2])?;
+                if tv != Ty::Bits(8 * n as u32) {
+                    return Err(self.error(format!(
+                        "write_mem value must be bits({}), found {tv}",
+                        8 * n
+                    )));
+                }
+                Ok((
+                    Expr::Call(name.to_owned(), vec![a, Expr::LitInt(n), v]),
+                    Ty::Unit,
+                ))
+            }
+            "reverse_bits" => {
+                if args.len() != 1 {
+                    return Err(self.error("reverse_bits expects 1 argument"));
+                }
+                let (a, ta) = self.check_expr(&args[0])?;
+                let w = self.bits_width(ta, name)?;
+                Ok((Expr::Call(name.to_owned(), vec![a]), Ty::Bits(w)))
+            }
+            "exit" => {
+                if !args.is_empty() {
+                    return Err(self.error("exit expects no arguments"));
+                }
+                Ok((Expr::Call(name.to_owned(), Vec::new()), Ty::Unit))
+            }
+            "undefined_bits" => {
+                if args.len() != 1 {
+                    return Err(self.error("undefined_bits expects 1 argument"));
+                }
+                let Expr::LitInt(n) = args[0] else {
+                    return Err(self.error("undefined_bits width must be a literal"));
+                };
+                if !(1..=128).contains(&n) {
+                    return Err(self.error("undefined_bits width out of range"));
+                }
+                Ok((
+                    Expr::Call(name.to_owned(), vec![Expr::LitInt(n)]),
+                    Ty::Bits(n as u32),
+                ))
+            }
+            _ => {
+                let Some((param_tys, ret)) = self.globals.functions.get(name).cloned() else {
+                    return Err(self.error(format!("unknown function `{name}`")));
+                };
+                if args.len() != param_tys.len() {
+                    return Err(self.error(format!(
+                        "`{name}` expects {} arguments, got {}",
+                        param_tys.len(),
+                        args.len()
+                    )));
+                }
+                let mut checked = Vec::with_capacity(args.len());
+                for (arg, expected) in args.iter().zip(&param_tys) {
+                    let (a, ta) = self.check_expr(arg)?;
+                    if ta != *expected {
+                        return Err(self.error(format!(
+                            "argument to `{name}` has type {ta}, expected {expected}"
+                        )));
+                    }
+                    checked.push(a);
+                }
+                Ok((Expr::Call(name.to_owned(), checked), ret))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+
+    fn check(src: &str) -> Result<CheckedModel, CheckError> {
+        check_model(&parse_model(src).expect("parses"))
+    }
+
+    #[test]
+    fn resolves_registers_to_globals() {
+        let cm = check(
+            "register _PC : bits(64)
+             function bump() -> unit = { _PC = _PC + 0x0000000000000004; }",
+        )
+        .expect("checks");
+        let f = cm.model.function("bump").expect("defined");
+        match &f.body {
+            Expr::Block(stmts, None) => match &stmts[0] {
+                Stmt::Assign(LValue::Reg(r), rhs) => {
+                    assert_eq!(r, "_PC");
+                    assert!(matches!(rhs, Expr::Binop(Binop::Add, a, _) if matches!(**a, Expr::Global(_))));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let err = check(
+            "register R : bits(64)
+             function f() -> unit = { R = 0xff; }",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let err = check("function f() -> unit = { mystery = 0xff; }").expect_err("fails");
+        assert!(err.message.contains("unknown register"), "{err}");
+    }
+
+    #[test]
+    fn register_array_indexing() {
+        let cm = check(
+            "register X : vector(31, bits(64))
+             function get(n : int) -> bits(64) = X[n]",
+        )
+        .expect("checks");
+        assert!(cm.globals.registers.contains_key("X"));
+        // Unindexed use of an array is an error.
+        let err = check(
+            "register X : vector(31, bits(64))
+             function f() -> unit = { X = 0x0000000000000000; }",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("indexed"), "{err}");
+    }
+
+    #[test]
+    fn builtins_are_typed() {
+        let cm = check(
+            "function f(x : bits(8)) -> bits(64) = ZeroExtend(x, 64)
+             function g(a : bits(64)) -> bits(32) = read_mem(a, 4)
+             function h(a : bits(64), v : bits(16)) -> unit = write_mem(a, 2, v)
+             function k(x : bits(8)) -> int = UInt(x)
+             function m(n : int) -> bits(5) = to_bits(5, n)",
+        );
+        cm.expect("checks");
+        // ZeroExtend cannot shrink.
+        let err = check("function f(x : bits(64)) -> bits(8) = ZeroExtend(x, 8)")
+            .expect_err("fails");
+        assert!(err.message.contains("invalid"), "{err}");
+        // write_mem width must match size.
+        let err = check(
+            "function f(a : bits(64), v : bits(8)) -> unit = write_mem(a, 2, v)",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("bits(16)"), "{err}");
+    }
+
+    #[test]
+    fn match_requires_wildcard_and_agreement() {
+        let err = check(
+            "function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, 0b01 => 0x02 }",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("`_`"), "{err}");
+        let ok = check(
+            "function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, _ => 0x02 }",
+        );
+        ok.expect("checks");
+    }
+
+    #[test]
+    fn statement_expressions_must_be_unit() {
+        let err = check(
+            "function f(x : bits(8)) -> unit = { x + x; }",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("unit"), "{err}");
+    }
+
+    #[test]
+    fn if_branch_types_must_agree() {
+        let err = check(
+            "function f(c : bool) -> bits(8) = if c then 0x01 else 0b1",
+        )
+        .expect_err("fails");
+        assert!(err.message.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(check("register R : bits(8)\nregister R : bits(8)").is_err());
+        assert!(check(
+            "function f() -> unit = ()
+             function f() -> unit = ()"
+        )
+        .is_err());
+        assert!(check("function exit() -> unit = ()").is_err());
+    }
+
+    #[test]
+    fn locals_scope_to_blocks() {
+        let err = check(
+            "function f() -> int = { { let a : int = 1; () }; a }",
+        );
+        // `a` out of scope at the block value position.
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,662 @@
+//! Concrete interpreter for checked mini-Sail models.
+//!
+//! This is the "direct semantics" side of translation validation (§5 of
+//! the paper): executing the model itself, one instruction at a time,
+//! against a register/memory state — the analogue of running the
+//! Sail-generated Coq definitions.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use islaris_bv::Bv;
+
+use crate::ast::{Binop, Expr, LValue, Pattern, Stmt, Ty, Unop};
+use crate::check::CheckedModel;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CVal {
+    /// A bitvector.
+    Bits(Bv),
+    /// A boolean.
+    Bool(bool),
+    /// A mathematical integer.
+    Int(i128),
+    /// `()`.
+    Unit,
+}
+
+impl CVal {
+    /// Extracts a bitvector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants (unreachable for checked models).
+    #[must_use]
+    pub fn bits(self) -> Bv {
+        match self {
+            CVal::Bits(b) => b,
+            other => panic!("expected bits, found {other:?}"),
+        }
+    }
+
+    /// Extracts a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants (unreachable for checked models).
+    #[must_use]
+    pub fn boolean(self) -> bool {
+        match self {
+            CVal::Bool(b) => b,
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    /// Extracts an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other variants (unreachable for checked models).
+    #[must_use]
+    pub fn int(self) -> i128 {
+        match self {
+            CVal::Int(i) => i,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+}
+
+/// Register state of a mini-Sail model run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SailState {
+    /// Plain (and field) registers.
+    pub regs: BTreeMap<String, Bv>,
+    /// Register arrays (`X[i]`).
+    pub arrays: BTreeMap<String, Vec<Bv>>,
+}
+
+impl SailState {
+    /// Empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        SailState::default()
+    }
+
+    /// Initialises every declared register of `cm` to zero.
+    #[must_use]
+    pub fn zeroed(cm: &CheckedModel) -> Self {
+        let mut s = SailState::new();
+        for r in &cm.model.registers {
+            let w = match r.ty {
+                Ty::Bits(w) => w,
+                _ => continue,
+            };
+            match r.array_len {
+                None => {
+                    s.regs.insert(r.name.clone(), Bv::zero(w));
+                }
+                Some(len) => {
+                    s.arrays.insert(r.name.clone(), vec![Bv::zero(w); len as usize]);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Memory interface for the interpreter.
+pub trait SailMem {
+    /// Reads `n` bytes little-endian.
+    fn read(&mut self, addr: u64, n: u32) -> Bv;
+    /// Writes `n` bytes little-endian.
+    fn write(&mut self, addr: u64, n: u32, value: Bv);
+}
+
+/// A flat `BTreeMap` memory, suitable for tests and translation validation.
+#[derive(Debug, Clone, Default)]
+pub struct MapMem {
+    /// Byte contents.
+    pub bytes: BTreeMap<u64, u8>,
+}
+
+impl SailMem for MapMem {
+    fn read(&mut self, addr: u64, n: u32) -> Bv {
+        let bs: Vec<u8> = (0..n)
+            .map(|i| self.bytes.get(&(addr + u64::from(i))).copied().unwrap_or(0))
+            .collect();
+        Bv::from_le_bytes(&bs)
+    }
+
+    fn write(&mut self, addr: u64, n: u32, value: Bv) {
+        for (i, b) in value.to_le_bytes().iter().take(n as usize).enumerate() {
+            self.bytes.insert(addr + i as u64, *b);
+        }
+    }
+}
+
+/// A runtime error (out-of-range register index, missing register, call
+/// depth). Checked models cannot produce sort errors, but indices are
+/// data-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn rt_err<T>(msg: impl Into<String>) -> Result<T, InterpError> {
+    Err(InterpError { message: msg.into() })
+}
+
+/// How a call completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Normal return.
+    Done,
+    /// `exit()` was executed: the instruction terminated early (e.g.
+    /// exception entry taken).
+    Exited,
+}
+
+enum Flow {
+    Val(CVal),
+    Exit,
+}
+
+const MAX_CALL_DEPTH: u32 = 64;
+
+/// The interpreter for a checked model.
+pub struct Interp<'m> {
+    cm: &'m CheckedModel,
+    consts: HashMap<String, CVal>,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter, evaluating global constants.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a constant initialiser fails to evaluate.
+    pub fn new(cm: &'m CheckedModel) -> Result<Self, InterpError> {
+        let mut interp = Interp { cm, consts: HashMap::new() };
+        // Constants may refer to earlier constants.
+        for c in &cm.model.consts {
+            let mut frame = Frame {
+                locals: HashMap::new(),
+                state: &mut SailState::new(),
+                mem: &mut MapMem::default(),
+                depth: 0,
+            };
+            let v = match interp.eval(&c.init, &mut frame)? {
+                Flow::Val(v) => v,
+                Flow::Exit => return rt_err("exit() in constant initialiser"),
+            };
+            interp.consts.insert(c.name.clone(), v);
+        }
+        Ok(interp)
+    }
+
+    /// Calls a model function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] on runtime errors (bad register index,
+    /// unknown register in state, call depth exceeded).
+    pub fn call(
+        &self,
+        name: &str,
+        args: &[CVal],
+        state: &mut SailState,
+        mem: &mut dyn SailMem,
+    ) -> Result<(CVal, Completion), InterpError> {
+        let Some(f) = self.cm.model.function(name) else {
+            return rt_err(format!("unknown function `{name}`"));
+        };
+        if f.params.len() != args.len() {
+            return rt_err(format!("arity mismatch calling `{name}`"));
+        }
+        let locals: HashMap<String, CVal> = f
+            .params
+            .iter()
+            .zip(args)
+            .map(|((p, _), v)| (p.clone(), *v))
+            .collect();
+        let mut frame = Frame { locals, state, mem, depth: 0 };
+        match self.eval(&f.body, &mut frame)? {
+            Flow::Val(v) => Ok((v, Completion::Done)),
+            Flow::Exit => Ok((CVal::Unit, Completion::Exited)),
+        }
+    }
+
+    fn eval(&self, e: &Expr, fr: &mut Frame<'_, '_>) -> Result<Flow, InterpError> {
+        macro_rules! val {
+            ($e:expr) => {
+                match self.eval($e, fr)? {
+                    Flow::Val(v) => v,
+                    Flow::Exit => return Ok(Flow::Exit),
+                }
+            };
+        }
+        Ok(Flow::Val(match e {
+            Expr::LitBits(b) => CVal::Bits(*b),
+            Expr::LitBool(b) => CVal::Bool(*b),
+            Expr::LitInt(n) => CVal::Int(*n),
+            Expr::Unit => CVal::Unit,
+            Expr::Var(name) => match fr.locals.get(name) {
+                Some(v) => *v,
+                None => return rt_err(format!("unbound local `{name}`")),
+            },
+            Expr::Global(name) => {
+                if let Some(v) = self.consts.get(name) {
+                    *v
+                } else if let Some(b) = fr.state.regs.get(name) {
+                    CVal::Bits(*b)
+                } else {
+                    return rt_err(format!("register `{name}` not in state"));
+                }
+            }
+            Expr::RegIdx(name, idx) => {
+                let i = val!(idx).int();
+                let Some(arr) = fr.state.arrays.get(name) else {
+                    return rt_err(format!("register array `{name}` not in state"));
+                };
+                let Some(v) = usize::try_from(i).ok().and_then(|i| arr.get(i)) else {
+                    return rt_err(format!("register index {i} out of range for `{name}`"));
+                };
+                CVal::Bits(*v)
+            }
+            Expr::Slice(base, hi, lo) => CVal::Bits(val!(base).bits().extract(*hi, *lo)),
+            Expr::Unop(op, a) => {
+                let v = val!(a);
+                match op {
+                    Unop::Not => CVal::Bool(!v.boolean()),
+                    Unop::BitNot => CVal::Bits(v.bits().not()),
+                    Unop::Neg => CVal::Int(-v.int()),
+                }
+            }
+            Expr::Binop(op, a, b) => {
+                // Short-circuit booleans first.
+                match op {
+                    Binop::BoolAnd => {
+                        let va = val!(a).boolean();
+                        return Ok(Flow::Val(CVal::Bool(va && val!(b).boolean())));
+                    }
+                    Binop::BoolOr => {
+                        let va = val!(a).boolean();
+                        return Ok(Flow::Val(CVal::Bool(va || val!(b).boolean())));
+                    }
+                    _ => {}
+                }
+                let va = val!(a);
+                let vb = val!(b);
+                eval_binop(*op, va, vb)?
+            }
+            Expr::Call(name, args) => return self.eval_call(name, args, fr),
+            Expr::If(c, t, f) => {
+                if val!(c).boolean() {
+                    return self.eval(t, fr);
+                }
+                return self.eval(f, fr);
+            }
+            Expr::Match(s, arms) => {
+                let v = val!(s);
+                for (pat, body) in arms {
+                    let hit = match (pat, v) {
+                        (Pattern::Wildcard, _) => true,
+                        (Pattern::Bits(pb), CVal::Bits(vb)) => *pb == vb,
+                        (Pattern::Int(pi), CVal::Int(vi)) => *pi == vi,
+                        _ => false,
+                    };
+                    if hit {
+                        return self.eval(body, fr);
+                    }
+                }
+                unreachable!("checked match ends with wildcard");
+            }
+            Expr::Block(stmts, value) => {
+                let saved: Vec<(String, Option<CVal>)> = Vec::new();
+                let _ = saved;
+                let mut shadowed: Vec<(String, Option<CVal>)> = Vec::new();
+                for stmt in stmts {
+                    match stmt {
+                        Stmt::Let(name, _ty, init) => {
+                            let v = val!(init);
+                            shadowed.push((name.clone(), fr.locals.insert(name.clone(), v)));
+                        }
+                        Stmt::Assign(lv, rhs) => {
+                            let v = val!(rhs);
+                            match lv {
+                                LValue::Reg(name) => {
+                                    fr.state.regs.insert(name.clone(), v.bits());
+                                }
+                                LValue::RegIdx(name, idx) => {
+                                    let i = val!(idx).int();
+                                    let Some(arr) = fr.state.arrays.get_mut(name) else {
+                                        return rt_err(format!("array `{name}` not in state"));
+                                    };
+                                    let Some(slot) =
+                                        usize::try_from(i).ok().and_then(|i| arr.get_mut(i))
+                                    else {
+                                        return rt_err(format!(
+                                            "register index {i} out of range for `{name}`"
+                                        ));
+                                    };
+                                    *slot = v.bits();
+                                }
+                            }
+                        }
+                        Stmt::Expr(e) => {
+                            let _ = val!(e);
+                        }
+                    }
+                }
+                let result = match value {
+                    None => CVal::Unit,
+                    Some(v) => val!(v),
+                };
+                for (name, old) in shadowed.into_iter().rev() {
+                    match old {
+                        Some(v) => {
+                            fr.locals.insert(name, v);
+                        }
+                        None => {
+                            fr.locals.remove(&name);
+                        }
+                    }
+                }
+                result
+            }
+        }))
+    }
+
+    fn eval_call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        fr: &mut Frame<'_, '_>,
+    ) -> Result<Flow, InterpError> {
+        macro_rules! val {
+            ($e:expr) => {
+                match self.eval($e, fr)? {
+                    Flow::Val(v) => v,
+                    Flow::Exit => return Ok(Flow::Exit),
+                }
+            };
+        }
+        match name {
+            "exit" => return Ok(Flow::Exit),
+            "ZeroExtend" => {
+                let v = val!(&args[0]).bits();
+                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                return Ok(Flow::Val(CVal::Bits(v.zero_extend(n as u32 - v.width()))));
+            }
+            "SignExtend" => {
+                let v = val!(&args[0]).bits();
+                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                return Ok(Flow::Val(CVal::Bits(v.sign_extend(n as u32 - v.width()))));
+            }
+            "UInt" => {
+                let v = val!(&args[0]).bits();
+                return Ok(Flow::Val(CVal::Int(v.to_u128() as i128)));
+            }
+            "SInt" => {
+                let v = val!(&args[0]).bits();
+                return Ok(Flow::Val(CVal::Int(v.to_i128())));
+            }
+            "to_bits" => {
+                let Expr::LitInt(n) = args[0] else { unreachable!("checked") };
+                let v = val!(&args[1]).int();
+                return Ok(Flow::Val(CVal::Bits(Bv::new(n as u32, v as u128))));
+            }
+            "read_mem" => {
+                let addr = val!(&args[0]).bits();
+                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let v = fr.mem.read(addr.to_u64(), n as u32);
+                return Ok(Flow::Val(CVal::Bits(v)));
+            }
+            "write_mem" => {
+                let addr = val!(&args[0]).bits();
+                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let v = val!(&args[2]).bits();
+                fr.mem.write(addr.to_u64(), n as u32, v);
+                return Ok(Flow::Val(CVal::Unit));
+            }
+            "reverse_bits" => {
+                let v = val!(&args[0]).bits();
+                return Ok(Flow::Val(CVal::Bits(v.reverse_bits())));
+            }
+            "undefined_bits" => {
+                let Expr::LitInt(n) = args[0] else { unreachable!("checked") };
+                // Concrete semantics: an arbitrary value; we pick zero.
+                return Ok(Flow::Val(CVal::Bits(Bv::zero(n as u32))));
+            }
+            _ => {}
+        }
+        // User function.
+        if fr.depth >= MAX_CALL_DEPTH {
+            return rt_err(format!("call depth exceeded calling `{name}`"));
+        }
+        let Some(f) = self.cm.model.function(name) else {
+            return rt_err(format!("unknown function `{name}`"));
+        };
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(val!(a));
+        }
+        let locals: HashMap<String, CVal> = f
+            .params
+            .iter()
+            .zip(vals)
+            .map(|((p, _), v)| (p.clone(), v))
+            .collect();
+        let mut inner = Frame { locals, state: fr.state, mem: fr.mem, depth: fr.depth + 1 };
+        self.eval(&f.body, &mut inner)
+    }
+}
+
+struct Frame<'s, 'mm> {
+    locals: HashMap<String, CVal>,
+    state: &'s mut SailState,
+    mem: &'mm mut dyn SailMem,
+    depth: u32,
+}
+
+fn eval_binop(op: Binop, a: CVal, b: CVal) -> Result<CVal, InterpError> {
+    use Binop::*;
+    Ok(match (op, a, b) {
+        (Add, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.add(&y)),
+        (Sub, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.sub(&y)),
+        (Mul, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.mul(&y)),
+        (Add, CVal::Int(x), CVal::Int(y)) => CVal::Int(x + y),
+        (Sub, CVal::Int(x), CVal::Int(y)) => CVal::Int(x - y),
+        (Mul, CVal::Int(x), CVal::Int(y)) => CVal::Int(x * y),
+        (BitAnd, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.and(&y)),
+        (BitOr, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.or(&y)),
+        (BitXor, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.xor(&y)),
+        (Shl, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.shl(&y)),
+        (Shr, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.lshr(&y)),
+        (AShr, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.ashr(&y)),
+        (Shl, CVal::Bits(x), CVal::Int(n)) => CVal::Bits(x.shl(&amount(x, n))),
+        (Shr, CVal::Bits(x), CVal::Int(n)) => CVal::Bits(x.lshr(&amount(x, n))),
+        (AShr, CVal::Bits(x), CVal::Int(n)) => CVal::Bits(x.ashr(&amount(x, n))),
+        (Concat, CVal::Bits(x), CVal::Bits(y)) => CVal::Bits(x.concat(&y)),
+        (Eq, x, y) => CVal::Bool(x == y),
+        (Ne, x, y) => CVal::Bool(x != y),
+        (Lt, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.ult(&y)),
+        (Le, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.ule(&y)),
+        (Lt, CVal::Int(x), CVal::Int(y)) => CVal::Bool(x < y),
+        (Le, CVal::Int(x), CVal::Int(y)) => CVal::Bool(x <= y),
+        (SLt, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.slt(&y)),
+        (SLe, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.sle(&y)),
+        (op, a, b) => {
+            return rt_err(format!("ill-typed binop {op:?} on {a:?}, {b:?} (checker bug)"))
+        }
+    })
+}
+
+fn amount(x: Bv, n: i128) -> Bv {
+    Bv::new(x.width(), n.clamp(0, 255) as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_model;
+    use crate::parser::parse_model;
+
+    fn setup(src: &str) -> CheckedModel {
+        check_model(&parse_model(src).expect("parses")).expect("checks")
+    }
+
+    #[test]
+    fn add_sp_model_executes() {
+        let cm = setup(
+            "register SP_EL2 : bits(64)
+             register _PC : bits(64)
+             function add_sp(imm : bits(64)) -> unit = {
+               SP_EL2 = SP_EL2 + imm;
+               _PC = _PC + 0x0000000000000004;
+             }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        st.regs.insert("SP_EL2".into(), Bv::new(64, 0x8_0000));
+        st.regs.insert("_PC".into(), Bv::new(64, 0x1000));
+        let mut mem = MapMem::default();
+        let (v, c) = interp
+            .call("add_sp", &[CVal::Bits(Bv::new(64, 64))], &mut st, &mut mem)
+            .expect("runs");
+        assert_eq!(v, CVal::Unit);
+        assert_eq!(c, Completion::Done);
+        assert_eq!(st.regs["SP_EL2"], Bv::new(64, 0x8_0040));
+        assert_eq!(st.regs["_PC"], Bv::new(64, 0x1004));
+    }
+
+    #[test]
+    fn register_arrays_read_and_write() {
+        let cm = setup(
+            "register X : vector(31, bits(64))
+             function mov(d : int, s : int) -> unit = { X[d] = X[s]; }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        st.arrays.get_mut("X").expect("X")[3] = Bv::new(64, 42);
+        let mut mem = MapMem::default();
+        interp
+            .call("mov", &[CVal::Int(5), CVal::Int(3)], &mut st, &mut mem)
+            .expect("runs");
+        assert_eq!(st.arrays["X"][5], Bv::new(64, 42));
+    }
+
+    #[test]
+    fn out_of_range_index_is_runtime_error() {
+        let cm = setup(
+            "register X : vector(31, bits(64))
+             function get(n : int) -> bits(64) = X[n]",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        let mut mem = MapMem::default();
+        let err = interp.call("get", &[CVal::Int(31)], &mut st, &mut mem).expect_err("fails");
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn exit_terminates_early() {
+        let cm = setup(
+            "register R : bits(8)
+             function f(fault : bool) -> unit = {
+               if fault then { R = 0xff; exit(); };
+               R = 0x01;
+             }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut mem = MapMem::default();
+        let mut st = SailState::zeroed(&cm);
+        let (_, c) = interp.call("f", &[CVal::Bool(true)], &mut st, &mut mem).expect("runs");
+        assert_eq!(c, Completion::Exited);
+        assert_eq!(st.regs["R"], Bv::new(8, 0xff), "writes before exit persist");
+        let (_, c) = interp.call("f", &[CVal::Bool(false)], &mut st, &mut mem).expect("runs");
+        assert_eq!(c, Completion::Done);
+        assert_eq!(st.regs["R"], Bv::new(8, 0x01));
+    }
+
+    #[test]
+    fn memory_builtins_work() {
+        let cm = setup(
+            "function copy_byte(s : bits(64), d : bits(64)) -> unit = {
+               let b : bits(8) = read_mem(s, 1);
+               write_mem(d, 1, b);
+             }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::new();
+        let mut mem = MapMem::default();
+        mem.bytes.insert(0x100, 0xab);
+        interp
+            .call(
+                "copy_byte",
+                &[CVal::Bits(Bv::new(64, 0x100)), CVal::Bits(Bv::new(64, 0x200))],
+                &mut st,
+                &mut mem,
+            )
+            .expect("runs");
+        assert_eq!(mem.bytes.get(&0x200), Some(&0xab));
+    }
+
+    #[test]
+    fn constants_are_available() {
+        let cm = setup(
+            "let MAGIC : bits(64) = 0x0000000000000040
+             register R : bits(64)
+             function f() -> unit = { R = MAGIC; }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        let mut mem = MapMem::default();
+        interp.call("f", &[], &mut st, &mut mem).expect("runs");
+        assert_eq!(st.regs["R"], Bv::new(64, 0x40));
+    }
+
+    #[test]
+    fn match_and_builtins_compose() {
+        let cm = setup(
+            "function widen(shift : bits(2), imm : bits(12)) -> bits(64) =
+               match shift {
+                 0b00 => ZeroExtend(imm, 64),
+                 0b01 => ZeroExtend(imm, 64) << 12,
+                 _ => 0x0000000000000000
+               }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::new();
+        let mut mem = MapMem::default();
+        let (v, _) = interp
+            .call(
+                "widen",
+                &[CVal::Bits(Bv::new(2, 1)), CVal::Bits(Bv::new(12, 0xabc))],
+                &mut st,
+                &mut mem,
+            )
+            .expect("runs");
+        assert_eq!(v, CVal::Bits(Bv::new(64, 0xabc000)));
+    }
+
+    #[test]
+    fn recursion_is_bounded() {
+        let cm = setup("function f() -> unit = f()");
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::new();
+        let mut mem = MapMem::default();
+        let err = interp.call("f", &[], &mut st, &mut mem).expect_err("fails");
+        assert!(err.message.contains("depth"), "{err}");
+    }
+}

@@ -1,0 +1,481 @@
+//! Lexer for mini-Sail.
+
+use std::fmt;
+
+use islaris_bv::Bv;
+
+/// A token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords resolved by the parser); may
+    /// contain dots (`PSTATE.EL`).
+    Ident(String),
+    /// Bitvector literal.
+    Bits(Bv),
+    /// Decimal integer literal.
+    Int(i128),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<_s`
+    SLt,
+    /// `<=_s`
+    SLe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>_a`
+    AShr,
+    /// `@`
+    At,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Bits(b) => write!(f, "{b}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::SLt => write!(f, "<_s"),
+            Tok::SLe => write!(f, "<=_s"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Amp => write!(f, "&"),
+            Tok::AmpAmp => write!(f, "&&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::PipePipe => write!(f, "||"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Shl => write!(f, "<<"),
+            Tok::Shr => write!(f, ">>"),
+            Tok::AShr => write!(f, ">>_a"),
+            Tok::At => write!(f, "@"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Arrow => write!(f, "->"),
+            Tok::FatArrow => write!(f, "=>"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises mini-Sail source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let push = |out: &mut Vec<Token>, kind: Tok, line: u32| out.push(Token { kind, line });
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                push(&mut out, Tok::LParen, line);
+                i += 1;
+            }
+            b')' => {
+                push(&mut out, Tok::RParen, line);
+                i += 1;
+            }
+            b'{' => {
+                push(&mut out, Tok::LBrace, line);
+                i += 1;
+            }
+            b'}' => {
+                push(&mut out, Tok::RBrace, line);
+                i += 1;
+            }
+            b'[' => {
+                push(&mut out, Tok::LBracket, line);
+                i += 1;
+            }
+            b']' => {
+                push(&mut out, Tok::RBracket, line);
+                i += 1;
+            }
+            b',' => {
+                push(&mut out, Tok::Comma, line);
+                i += 1;
+            }
+            b';' => {
+                push(&mut out, Tok::Semi, line);
+                i += 1;
+            }
+            b':' => {
+                push(&mut out, Tok::Colon, line);
+                i += 1;
+            }
+            b'@' => {
+                push(&mut out, Tok::At, line);
+                i += 1;
+            }
+            b'~' => {
+                push(&mut out, Tok::Tilde, line);
+                i += 1;
+            }
+            b'^' => {
+                push(&mut out, Tok::Caret, line);
+                i += 1;
+            }
+            b'+' => {
+                push(&mut out, Tok::Plus, line);
+                i += 1;
+            }
+            b'*' => {
+                push(&mut out, Tok::Star, line);
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push(&mut out, Tok::Arrow, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Minus, line);
+                    i += 1;
+                }
+            }
+            b'=' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    push(&mut out, Tok::EqEq, line);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    push(&mut out, Tok::FatArrow, line);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, Tok::Assign, line);
+                    i += 1;
+                }
+            },
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Tok::NotEq, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Bang, line);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push(&mut out, Tok::AmpAmp, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Amp, line);
+                    i += 1;
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push(&mut out, Tok::PipePipe, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Pipe, line);
+                    i += 1;
+                }
+            }
+            b'<' => match (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)) {
+                (Some(b'<'), _, _) => {
+                    push(&mut out, Tok::Shl, line);
+                    i += 2;
+                }
+                (Some(b'='), Some(b'_'), Some(b's')) => {
+                    push(&mut out, Tok::SLe, line);
+                    i += 4;
+                }
+                (Some(b'='), _, _) => {
+                    push(&mut out, Tok::Le, line);
+                    i += 2;
+                }
+                (Some(b'_'), Some(b's'), _) => {
+                    push(&mut out, Tok::SLt, line);
+                    i += 3;
+                }
+                _ => {
+                    push(&mut out, Tok::Lt, line);
+                    i += 1;
+                }
+            },
+            b'>' => match (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)) {
+                (Some(b'>'), Some(b'_'), Some(b'a')) => {
+                    push(&mut out, Tok::AShr, line);
+                    i += 4;
+                }
+                (Some(b'>'), _, _) => {
+                    push(&mut out, Tok::Shr, line);
+                    i += 2;
+                }
+                (Some(b'='), _, _) => {
+                    push(&mut out, Tok::Ge, line);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, Tok::Gt, line);
+                    i += 1;
+                }
+            },
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push(&mut out, Tok::DotDot, line);
+                    i += 2;
+                } else {
+                    return Err(LexError { line, message: "stray `.`".into() });
+                }
+            }
+            b'0' if matches!(bytes.get(i + 1), Some(b'x') | Some(b'b')) => {
+                let radix = if bytes[i + 1] == b'x' { 16 } else { 2 };
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let digits: String = src[start..j].chars().filter(|c| *c != '_').collect();
+                if digits.is_empty() {
+                    return Err(LexError { line, message: "empty bitvector literal".into() });
+                }
+                let width = digits.len() as u32 * if radix == 16 { 4 } else { 1 };
+                if width > 128 {
+                    return Err(LexError {
+                        line,
+                        message: format!("literal wider than 128 bits ({width})"),
+                    });
+                }
+                let value = u128::from_str_radix(&digits, radix)
+                    .map_err(|e| LexError { line, message: format!("bad literal: {e}") })?;
+                push(&mut out, Tok::Bits(Bv::new(width, value)), line);
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let value: i128 = src[start..j]
+                    .parse()
+                    .map_err(|e| LexError { line, message: format!("bad integer: {e}") })?;
+                push(&mut out, Tok::Int(value), line);
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    // Don't swallow `..` range punctuation after a name.
+                    if bytes[j] == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                push(&mut out, Tok::Ident(src[start..j].to_owned()), line);
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds("0x40 0b10 42"),
+            vec![Tok::Bits(Bv::new(8, 0x40)), Tok::Bits(Bv::new(2, 0b10)), Tok::Int(42)]
+        );
+        // Underscores group digits.
+        assert_eq!(kinds("0x0000_0040"), vec![Tok::Bits(Bv::new(32, 0x40))]);
+    }
+
+    #[test]
+    fn lexes_dotted_identifiers_but_not_ranges() {
+        assert_eq!(
+            kinds("PSTATE.EL x[7 .. 0]"),
+            vec![
+                Tok::Ident("PSTATE.EL".into()),
+                Tok::Ident("x".into()),
+                Tok::LBracket,
+                Tok::Int(7),
+                Tok::DotDot,
+                Tok::Int(0),
+                Tok::RBracket,
+            ]
+        );
+        // A name directly followed by `..` stops before the dots.
+        assert_eq!(
+            kinds("x[hi .. 0]")[2],
+            Tok::Ident("hi".into()),
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("== != <= < <_s <=_s << >> >>_a && || -> => .. @"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Lt,
+                Tok::SLt,
+                Tok::SLe,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AShr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Arrow,
+                Tok::FatArrow,
+                Tok::DotDot,
+                Tok::At,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb").expect("lexes");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("$").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex(".").is_err());
+    }
+
+    #[test]
+    fn wide_literal_rejected() {
+        let long = format!("0x{}", "0".repeat(33));
+        assert!(lex(&long).is_err());
+    }
+}

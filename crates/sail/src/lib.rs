@@ -1,0 +1,38 @@
+//! Mini-Sail: a small ISA definition language in the style of Sail.
+//!
+//! The Islaris paper builds on the full Sail models of Armv8-A (113k lines)
+//! and RISC-V (14k lines). This crate provides the language those models'
+//! *fragments* are written in for this reproduction (`islaris-models`):
+//! a lexer, parser, static checker with name resolution, and a concrete
+//! interpreter. The symbolic executor over the same AST lives in
+//! `islaris-isla`.
+//!
+//! # Examples
+//!
+//! ```
+//! use islaris_bv::Bv;
+//! use islaris_sail::{check_model, parse_model, CVal, Interp, MapMem, SailState};
+//!
+//! let model = parse_model(
+//!     "register _PC : bits(64)
+//!      function bump() -> unit = { _PC = _PC + 0x0000000000000004; }",
+//! )?;
+//! let cm = check_model(&model)?;
+//! let interp = Interp::new(&cm)?;
+//! let mut st = SailState::zeroed(&cm);
+//! interp.call("bump", &[], &mut st, &mut MapMem::default())?;
+//! assert_eq!(st.regs["_PC"], Bv::new(64, 4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop};
+pub use check::{check_model, CheckError, CheckedModel, Globals, BUILTINS};
+pub use interp::{CVal, Completion, Interp, InterpError, MapMem, SailMem, SailState};
+pub use lexer::{lex, LexError, Tok, Token};
+pub use parser::{parse_expr, parse_model, SailParseError};

@@ -1,0 +1,616 @@
+//! Recursive-descent / precedence-climbing parser for mini-Sail.
+
+use std::fmt;
+
+use crate::ast::{Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop};
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SailParseError {
+    /// 1-based source line (0 if end of input).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SailParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SailParseError {}
+
+impl From<LexError> for SailParseError {
+    fn from(e: LexError) -> Self {
+        SailParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a complete mini-Sail model.
+pub fn parse_model(src: &str) -> Result<Model, SailParseError> {
+    let tokens = lex(src)?;
+    let mut p = P { toks: &tokens, pos: 0 };
+    let mut model = Model::default();
+    while !p.at_end() {
+        match p.peek_ident() {
+            Some("register") => model.registers.push(p.register()?),
+            Some("let") => model.consts.push(p.const_decl()?),
+            Some("function") => model.functions.push(p.function()?),
+            _ => return p.fail("expected `register`, `let`, or `function`"),
+        }
+    }
+    Ok(model)
+}
+
+/// Parses a single expression (used by tests and the REPL-style tools).
+pub fn parse_expr(src: &str) -> Result<Expr, SailParseError> {
+    let tokens = lex(src)?;
+    let mut p = P { toks: &tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return p.fail("trailing tokens after expression");
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "register", "function", "let", "if", "then", "else", "match", "true", "false", "bits",
+    "bool", "int", "unit", "vector",
+];
+
+impl P<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(0, |t| t.line)
+    }
+
+    fn fail<T>(&self, msg: impl Into<String>) -> Result<T, SailParseError> {
+        let found = self
+            .toks
+            .get(self.pos)
+            .map_or("end of input".to_owned(), |t| format!("`{}`", t.kind));
+        Err(SailParseError {
+            line: self.line(),
+            message: format!("{} (found {found})", msg.into()),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), SailParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(format!("expected `{tok}`"))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SailParseError> {
+        if self.peek_ident() == Some(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(format!("expected `{kw}`"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SailParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.fail("expected identifier"),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i128, SailParseError> {
+        match self.peek() {
+            Some(Tok::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => self.fail("expected integer literal"),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, SailParseError> {
+        match self.peek_ident() {
+            Some("bits") => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let n = self.int_lit()?;
+                self.expect(&Tok::RParen)?;
+                if !(1..=128).contains(&n) {
+                    return self.fail("bits width must be in 1..=128");
+                }
+                Ok(Ty::Bits(n as u32))
+            }
+            Some("bool") => {
+                self.pos += 1;
+                Ok(Ty::Bool)
+            }
+            Some("int") => {
+                self.pos += 1;
+                Ok(Ty::Int)
+            }
+            Some("unit") => {
+                self.pos += 1;
+                Ok(Ty::Unit)
+            }
+            _ => self.fail("expected a type"),
+        }
+    }
+
+    fn register(&mut self) -> Result<RegisterDecl, SailParseError> {
+        self.expect_kw("register")?;
+        let name = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        if self.peek_ident() == Some("vector") {
+            self.pos += 1;
+            self.expect(&Tok::LParen)?;
+            let len = self.int_lit()?;
+            self.expect(&Tok::Comma)?;
+            let ty = self.ty()?;
+            self.expect(&Tok::RParen)?;
+            if len <= 0 {
+                return self.fail("vector length must be positive");
+            }
+            Ok(RegisterDecl { name, ty, array_len: Some(len as u32) })
+        } else {
+            let ty = self.ty()?;
+            Ok(RegisterDecl { name, ty, array_len: None })
+        }
+    }
+
+    fn const_decl(&mut self) -> Result<ConstDecl, SailParseError> {
+        self.expect_kw("let")?;
+        let name = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&Tok::Assign)?;
+        let init = self.expr()?;
+        Ok(ConstDecl { name, ty, init })
+    }
+
+    fn function(&mut self) -> Result<Function, SailParseError> {
+        self.expect_kw("function")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Arrow)?;
+        let ret = self.ty()?;
+        self.expect(&Tok::Assign)?;
+        let body = self.expr()?;
+        Ok(Function { name, params, ret, body })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, SailParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, SailParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((prec, op, swap)) = self.peek().and_then(binop_of) else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = if swap {
+                Expr::Binop(op, Box::new(rhs), Box::new(lhs))
+            } else {
+                Expr::Binop(op, Box::new(lhs), Box::new(rhs))
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, SailParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unop(Unop::Not, Box::new(self.unary()?)))
+            }
+            Some(Tok::Tilde) => {
+                self.pos += 1;
+                Ok(Expr::Unop(Unop::BitNot, Box::new(self.unary()?)))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unop(Unop::Neg, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, SailParseError> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let first = self.expr()?;
+            if self.peek() == Some(&Tok::DotDot) {
+                self.pos += 1;
+                let lo = self.int_lit()?;
+                self.expect(&Tok::RBracket)?;
+                let hi = match first {
+                    Expr::LitInt(n) => n,
+                    _ => return self.fail("slice bounds must be integer literals"),
+                };
+                if hi < lo || !(0..=127).contains(&hi) || !(0..=127).contains(&lo) {
+                    return self.fail("invalid slice bounds");
+                }
+                e = Expr::Slice(Box::new(e), hi as u32, lo as u32);
+            } else {
+                self.expect(&Tok::RBracket)?;
+                match e {
+                    Expr::Var(name) => e = Expr::RegIdx(name, Box::new(first)),
+                    _ => return self.fail("indexing is only supported on register arrays"),
+                }
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SailParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Bits(b)) => {
+                self.pos += 1;
+                Ok(Expr::LitBits(b))
+            }
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::LitInt(n))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                if self.peek() == Some(&Tok::RParen) {
+                    self.pos += 1;
+                    return Ok(Expr::Unit);
+                }
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::LBrace) => self.block(),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => {
+                    self.pos += 1;
+                    Ok(Expr::LitBool(true))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Expr::LitBool(false))
+                }
+                "if" => self.if_expr(),
+                "match" => self.match_expr(),
+                kw if KEYWORDS.contains(&kw) => self.fail("unexpected keyword"),
+                _ => {
+                    self.pos += 1;
+                    if self.peek() == Some(&Tok::LParen) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.peek() == Some(&Tok::Comma) {
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Call(id, args))
+                    } else {
+                        Ok(Expr::Var(id))
+                    }
+                }
+            },
+            _ => self.fail("expected expression"),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, SailParseError> {
+        self.expect_kw("if")?;
+        let c = self.expr()?;
+        self.expect_kw("then")?;
+        let t = self.expr()?;
+        let e = if self.peek_ident() == Some("else") {
+            self.pos += 1;
+            self.expr()?
+        } else {
+            Expr::Unit
+        };
+        Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+    }
+
+    fn match_expr(&mut self) -> Result<Expr, SailParseError> {
+        self.expect_kw("match")?;
+        let scrutinee = self.expr()?;
+        self.expect(&Tok::LBrace)?;
+        let mut arms = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let pat = match self.peek().cloned() {
+                Some(Tok::Bits(b)) => {
+                    self.pos += 1;
+                    Pattern::Bits(b)
+                }
+                Some(Tok::Int(n)) => {
+                    self.pos += 1;
+                    Pattern::Int(n)
+                }
+                Some(Tok::Ident(id)) if id == "_" => {
+                    self.pos += 1;
+                    Pattern::Wildcard
+                }
+                _ => return self.fail("expected pattern (literal or `_`)"),
+            };
+            self.expect(&Tok::FatArrow)?;
+            let body = self.expr()?;
+            arms.push((pat, body));
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        if arms.is_empty() {
+            return self.fail("match must have at least one arm");
+        }
+        Ok(Expr::Match(Box::new(scrutinee), arms))
+    }
+
+    fn block(&mut self) -> Result<Expr, SailParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts: Vec<Stmt> = Vec::new();
+        let mut value: Option<Box<Expr>> = None;
+        loop {
+            if self.peek() == Some(&Tok::RBrace) {
+                self.pos += 1;
+                return Ok(Expr::Block(stmts, value));
+            }
+            if value.is_some() {
+                return self.fail("expected `}` after block value");
+            }
+            // let-binding?
+            if self.peek_ident() == Some("let") {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.ty()?;
+                self.expect(&Tok::Assign)?;
+                let init = self.expr()?;
+                stmts.push(Stmt::Let(name, ty, init));
+                self.expect(&Tok::Semi)?;
+                continue;
+            }
+            let e = self.expr()?;
+            if self.peek() == Some(&Tok::Assign) {
+                self.pos += 1;
+                let lv = match e {
+                    Expr::Var(name) => LValue::Reg(name),
+                    Expr::RegIdx(name, idx) => LValue::RegIdx(name, idx),
+                    _ => return self.fail("invalid assignment target"),
+                };
+                let rhs = self.expr()?;
+                stmts.push(Stmt::Assign(lv, rhs));
+                self.expect(&Tok::Semi)?;
+                continue;
+            }
+            if self.peek() == Some(&Tok::Semi) {
+                self.pos += 1;
+                stmts.push(Stmt::Expr(e));
+            } else {
+                value = Some(Box::new(e));
+            }
+        }
+    }
+}
+
+/// Returns (precedence, op, swap-operands) for a binary operator token.
+fn binop_of(tok: &Tok) -> Option<(u8, Binop, bool)> {
+    Some(match tok {
+        Tok::PipePipe => (1, Binop::BoolOr, false),
+        Tok::AmpAmp => (2, Binop::BoolAnd, false),
+        Tok::EqEq => (3, Binop::Eq, false),
+        Tok::NotEq => (3, Binop::Ne, false),
+        Tok::Lt => (3, Binop::Lt, false),
+        Tok::Le => (3, Binop::Le, false),
+        Tok::Gt => (3, Binop::Lt, true),
+        Tok::Ge => (3, Binop::Le, true),
+        Tok::SLt => (3, Binop::SLt, false),
+        Tok::SLe => (3, Binop::SLe, false),
+        Tok::At => (4, Binop::Concat, false),
+        Tok::Pipe => (5, Binop::BitOr, false),
+        Tok::Caret => (6, Binop::BitXor, false),
+        Tok::Amp => (7, Binop::BitAnd, false),
+        Tok::Shl => (8, Binop::Shl, false),
+        Tok::Shr => (8, Binop::Shr, false),
+        Tok::AShr => (8, Binop::AShr, false),
+        Tok::Plus => (9, Binop::Add, false),
+        Tok::Minus => (9, Binop::Sub, false),
+        Tok::Star => (10, Binop::Mul, false),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_bv::Bv;
+
+    #[test]
+    fn parses_register_declarations() {
+        let m = parse_model(
+            "register SP_EL2 : bits(64)\n\
+             register PSTATE.EL : bits(2)\n\
+             register X : vector(31, bits(64))",
+        )
+        .expect("parses");
+        assert_eq!(m.registers.len(), 3);
+        assert_eq!(m.registers[1].name, "PSTATE.EL");
+        assert_eq!(m.registers[2].array_len, Some(31));
+    }
+
+    #[test]
+    fn parses_function_with_block() {
+        let m = parse_model(
+            "function bump_pc() -> unit = {
+               let pc : bits(64) = _PC;
+               _PC = pc + 0x0000000000000004;
+             }",
+        )
+        .expect("parses");
+        let f = m.function("bump_pc").expect("defined");
+        assert_eq!(f.ret, Ty::Unit);
+        match &f.body {
+            Expr::Block(stmts, value) => {
+                assert_eq!(stmts.len(), 2);
+                assert!(value.is_none());
+                assert!(matches!(&stmts[1], Stmt::Assign(LValue::Reg(r), _) if r == "_PC"));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        // a + b * c == d parses as ((a + (b*c)) == d)
+        let e = parse_expr("a + b * c == d").expect("parses");
+        match e {
+            Expr::Binop(Binop::Eq, lhs, _) => match *lhs {
+                Expr::Binop(Binop::Add, _, rhs) => {
+                    assert!(matches!(*rhs, Expr::Binop(Binop::Mul, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greater_than_swaps_operands() {
+        let e = parse_expr("a > b").expect("parses");
+        match e {
+            Expr::Binop(Binop::Lt, lhs, rhs) => {
+                assert_eq!(*lhs, Expr::Var("b".into()));
+                assert_eq!(*rhs, Expr::Var("a".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_slices_and_indexing() {
+        let e = parse_expr("opcode[4 .. 0]").expect("parses");
+        assert!(matches!(e, Expr::Slice(_, 4, 0)));
+        let e = parse_expr("X[UInt(Rd)]").expect("parses");
+        match e {
+            Expr::RegIdx(name, idx) => {
+                assert_eq!(name, "X");
+                assert!(matches!(*idx, Expr::Call(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_match() {
+        let e = parse_expr(
+            "match shift { 0b00 => x, 0b01 => y, _ => z }",
+        )
+        .expect("parses");
+        match e {
+            Expr::Match(_, arms) => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[0].0, Pattern::Bits(Bv::new(2, 0)));
+                assert_eq!(arms[2].0, Pattern::Wildcard);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_chains() {
+        let e = parse_expr(
+            "if a == 0b1 then f(x) else if b then g() else ()",
+        )
+        .expect("parses");
+        assert!(matches!(e, Expr::If(_, _, _)));
+    }
+
+    #[test]
+    fn if_without_else_is_unit() {
+        let e = parse_expr("if c then f()").expect("parses");
+        match e {
+            Expr::If(_, _, els) => assert_eq!(*els, Expr::Unit),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_value_is_final_expression() {
+        let e = parse_expr("{ let a : int = 1; a }").expect("parses");
+        match e {
+            Expr::Block(stmts, Some(v)) => {
+                assert_eq!(stmts.len(), 1);
+                assert_eq!(*v, Expr::Var("a".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_model("register R :\nbogus").expect_err("fails");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_slices() {
+        assert!(parse_expr("x[0 .. 4]").is_err());
+        assert!(parse_expr("f()[x .. 0]").is_err());
+    }
+}

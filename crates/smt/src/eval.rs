@@ -1,0 +1,228 @@
+//! Big-step evaluation of SMT expressions: the `e ↓ v` relation used by the
+//! operational semantics of the Isla trace language (Fig. 10) and by the
+//! proof rules `hoare-define-const` / `hoare-assert` (Fig. 5).
+
+use std::fmt;
+
+use islaris_bv::Bv;
+
+use crate::expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Value, Var};
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable with no binding in the environment.
+    UnboundVar(Var),
+    /// A sort error discovered dynamically (e.g. boolean where a
+    /// bitvector is required, or mismatched widths).
+    IllSorted(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable {v}"),
+            EvalError::IllSorted(msg) => write!(f, "ill-sorted term: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `e` under an environment for its free variables.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on unbound variables or dynamically discovered
+/// sort errors (which the static sort checker would also reject).
+///
+/// # Examples
+///
+/// ```
+/// use islaris_smt::{eval, Expr, Value};
+/// use islaris_bv::Bv;
+///
+/// let e = Expr::add(Expr::bv(64, 40), Expr::bv(64, 2));
+/// assert_eq!(eval(&e, &|_| None), Ok(Value::Bits(Bv::new(64, 42))));
+/// ```
+pub fn eval(e: &Expr, env: &dyn Fn(Var) -> Option<Value>) -> Result<Value, EvalError> {
+    match e.kind() {
+        ExprKind::Val(v) => Ok(*v),
+        ExprKind::Var(v) => env(*v).ok_or(EvalError::UnboundVar(*v)),
+        ExprKind::Not(a) => Ok(Value::Bool(!eval_bool(a, env)?)),
+        ExprKind::And(a, b) => Ok(Value::Bool(eval_bool(a, env)? && eval_bool(b, env)?)),
+        ExprKind::Or(a, b) => Ok(Value::Bool(eval_bool(a, env)? || eval_bool(b, env)?)),
+        ExprKind::Eq(a, b) => {
+            let (va, vb) = (eval(a, env)?, eval(b, env)?);
+            match (va, vb) {
+                (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(x == y)),
+                (Value::Bits(x), Value::Bits(y)) if x.width() == y.width() => {
+                    Ok(Value::Bool(x == y))
+                }
+                (x, y) => Err(EvalError::IllSorted(format!("(= {x} {y}) mixes sorts"))),
+            }
+        }
+        ExprKind::Ite(c, t, f) => {
+            if eval_bool(c, env)? {
+                eval(t, env)
+            } else {
+                eval(f, env)
+            }
+        }
+        ExprKind::Unop(op, a) => {
+            let x = eval_bits(a, env)?;
+            Ok(Value::Bits(apply_unop(*op, x)))
+        }
+        ExprKind::Binop(op, a, b) => {
+            let (x, y) = (eval_bits(a, env)?, eval_bits(b, env)?);
+            if x.width() != y.width() {
+                return Err(EvalError::IllSorted(format!(
+                    "width mismatch {} vs {}",
+                    x.width(),
+                    y.width()
+                )));
+            }
+            Ok(Value::Bits(apply_binop(*op, x, y)))
+        }
+        ExprKind::Cmp(op, a, b) => {
+            let (x, y) = (eval_bits(a, env)?, eval_bits(b, env)?);
+            if x.width() != y.width() {
+                return Err(EvalError::IllSorted(format!(
+                    "width mismatch {} vs {}",
+                    x.width(),
+                    y.width()
+                )));
+            }
+            Ok(Value::Bool(apply_cmp(*op, x, y)))
+        }
+        ExprKind::Extract(hi, lo, a) => {
+            let x = eval_bits(a, env)?;
+            if *lo > *hi || *hi >= x.width() {
+                return Err(EvalError::IllSorted(format!(
+                    "extract [{hi}:{lo}] of width {}",
+                    x.width()
+                )));
+            }
+            Ok(Value::Bits(x.extract(*hi, *lo)))
+        }
+        ExprKind::ZeroExtend(n, a) => Ok(Value::Bits(eval_bits(a, env)?.zero_extend(*n))),
+        ExprKind::SignExtend(n, a) => Ok(Value::Bits(eval_bits(a, env)?.sign_extend(*n))),
+        ExprKind::Concat(a, b) => {
+            Ok(Value::Bits(eval_bits(a, env)?.concat(&eval_bits(b, env)?)))
+        }
+    }
+}
+
+/// Evaluates an expression expected to be boolean.
+///
+/// # Errors
+///
+/// As [`eval`], plus an error if the result is a bitvector.
+pub fn eval_bool(e: &Expr, env: &dyn Fn(Var) -> Option<Value>) -> Result<bool, EvalError> {
+    match eval(e, env)? {
+        Value::Bool(b) => Ok(b),
+        Value::Bits(b) => Err(EvalError::IllSorted(format!("expected Bool, got {b}"))),
+    }
+}
+
+/// Evaluates an expression expected to be a bitvector.
+///
+/// # Errors
+///
+/// As [`eval`], plus an error if the result is a boolean.
+pub fn eval_bits(e: &Expr, env: &dyn Fn(Var) -> Option<Value>) -> Result<Bv, EvalError> {
+    match eval(e, env)? {
+        Value::Bits(b) => Ok(b),
+        Value::Bool(b) => Err(EvalError::IllSorted(format!("expected bitvector, got {b}"))),
+    }
+}
+
+pub(crate) fn apply_unop(op: BvUnop, x: Bv) -> Bv {
+    match op {
+        BvUnop::Not => x.not(),
+        BvUnop::Neg => x.neg(),
+        BvUnop::Rev => x.reverse_bits(),
+    }
+}
+
+pub(crate) fn apply_binop(op: BvBinop, x: Bv, y: Bv) -> Bv {
+    match op {
+        BvBinop::Add => x.add(&y),
+        BvBinop::Sub => x.sub(&y),
+        BvBinop::Mul => x.mul(&y),
+        BvBinop::Udiv => x.udiv(&y),
+        BvBinop::Urem => x.urem(&y),
+        BvBinop::And => x.and(&y),
+        BvBinop::Or => x.or(&y),
+        BvBinop::Xor => x.xor(&y),
+        BvBinop::Shl => x.shl(&y),
+        BvBinop::Lshr => x.lshr(&y),
+        BvBinop::Ashr => x.ashr(&y),
+    }
+}
+
+pub(crate) fn apply_cmp(op: BvCmp, x: Bv, y: Bv) -> bool {
+    match op {
+        BvCmp::Ult => x.ult(&y),
+        BvCmp::Ule => x.ule(&y),
+        BvCmp::Slt => x.slt(&y),
+        BvCmp::Sle => x.sle(&y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty(_: Var) -> Option<Value> {
+        None
+    }
+
+    #[test]
+    fn evaluates_fig3_addition() {
+        // (bvadd ((_ extract 63 0) ((_ zero_extend 64) v38)) #x40) with v38 = 0x80000
+        let e = Expr::add(
+            Expr::extract(63, 0, Expr::zero_extend(64, Expr::var(Var(38)))),
+            Expr::bv(64, 0x40),
+        );
+        let env = |v: Var| (v == Var(38)).then(|| Value::Bits(Bv::new(64, 0x8_0000)));
+        assert_eq!(eval(&e, &env), Ok(Value::Bits(Bv::new(64, 0x8_0040))));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = Expr::bool(true);
+        let f = Expr::bool(false);
+        assert_eq!(eval(&Expr::and(t.clone(), f.clone()), &empty), Ok(Value::Bool(false)));
+        assert_eq!(eval(&Expr::or(t.clone(), f.clone()), &empty), Ok(Value::Bool(true)));
+        assert_eq!(eval(&Expr::not(f.clone()), &empty), Ok(Value::Bool(true)));
+        assert_eq!(eval(&Expr::eq(t.clone(), t.clone()), &empty), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn ite_selects_branch() {
+        let e = Expr::ite(Expr::bool(false), Expr::bv(8, 1), Expr::bv(8, 2));
+        assert_eq!(eval(&e, &empty), Ok(Value::Bits(Bv::new(8, 2))));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        assert_eq!(eval(&Expr::var(Var(3)), &empty), Err(EvalError::UnboundVar(Var(3))));
+    }
+
+    #[test]
+    fn ill_sorted_terms_error() {
+        let e = Expr::add(Expr::bv(8, 1), Expr::bv(16, 1));
+        assert!(matches!(eval(&e, &empty), Err(EvalError::IllSorted(_))));
+        let e = Expr::eq(Expr::bool(true), Expr::bv(1, 1));
+        assert!(matches!(eval(&e, &empty), Err(EvalError::IllSorted(_))));
+    }
+
+    #[test]
+    fn comparisons_and_shifts() {
+        let e = Expr::cmp(BvCmp::Slt, Expr::bv(8, 0xff), Expr::bv(8, 0));
+        assert_eq!(eval(&e, &empty), Ok(Value::Bool(true)));
+        let e = Expr::binop(BvBinop::Lshr, Expr::bv(8, 0x80), Expr::bv(8, 7));
+        assert_eq!(eval(&e, &empty), Ok(Value::Bits(Bv::new(8, 1))));
+    }
+}

@@ -1,0 +1,684 @@
+//! A CDCL SAT solver with watched literals, VSIDS-style activities, first-UIP
+//! clause learning, Luby restarts, and an RUP proof log.
+//!
+//! This is the engine underneath the bitvector solver (`crates/smt::solver`),
+//! playing the role Z3 plays for Isla: deciding satisfiability of the
+//! constraints that arise during symbolic execution and verification.
+//!
+//! Answers are *checkable*: `Sat` carries a model (validated by evaluation in
+//! [`crate::solver`]), and `Unsat` carries the sequence of learned clauses,
+//! which [`check_rup_proof`] replays by reverse unit propagation — the SAT
+//! analogue of the paper's translation-validation stance that untrusted
+//! search should produce independently checkable evidence.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type SatVar = u32;
+
+/// A literal: variable plus sign, encoded as `2*var + (negated as usize)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal for `v`.
+    #[must_use]
+    pub fn pos(v: SatVar) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// Negative literal for `v`.
+    #[must_use]
+    pub fn neg(v: SatVar) -> Lit {
+        Lit(v << 1 | 1)
+    }
+
+    /// Literal for `v` with the given sign (`true` = positive).
+    #[must_use]
+    pub fn with_sign(v: SatVar, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> SatVar {
+        self.0 >> 1
+    }
+
+    /// True iff the literal is positive.
+    #[must_use]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "¬x{}", self.var())
+        }
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable; the vector maps each variable index to its value.
+    Sat(Vec<bool>),
+    /// Unsatisfiable; carries the RUP proof (learned clauses in derivation
+    /// order, ending with the empty clause).
+    Unsat(RupProof),
+}
+
+/// An RUP (reverse unit propagation) refutation: each clause is implied by
+/// the original formula plus the earlier clauses via unit propagation, and
+/// the final clause is empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RupProof {
+    /// Learned clauses in derivation order. The last entry must be empty.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+const LUBY_UNIT: u64 = 128;
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use islaris_smt::sat::{Lit, SatOutcome, SatSolver};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(vec![Lit::neg(a)]);
+/// match s.solve() {
+///     SatOutcome::Sat(model) => assert!(model[b as usize]),
+///     SatOutcome::Unsat(_) => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// watches[lit.index()] = clause indices watching `lit`.
+    watches: Vec<Vec<u32>>,
+    /// Assignment: None = unassigned.
+    assign: Vec<Option<bool>>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (antecedent), u32::MAX = decision.
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Saved phases for phase-saving.
+    phase: Vec<bool>,
+    proof: RupProof,
+    /// Set when an added clause is immediately contradictory.
+    root_conflict: bool,
+    conflicts: u64,
+    /// Verbatim copies of the input clauses (including units), kept for
+    /// RUP proof checking.
+    original: Vec<Vec<Lit>>,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> Self {
+        SatSolver { act_inc: 1.0, ..SatSolver::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(u32::MAX);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables allocated so far.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The input clauses as given (after dedup/tautology elimination),
+    /// for checking RUP proofs against.
+    #[must_use]
+    pub fn original_clauses(&self) -> &[Vec<Lit>] {
+        &self.original
+    }
+
+    /// Number of conflicts encountered so far (a proxy for search effort).
+    #[must_use]
+    pub fn conflict_count(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Adds a clause. Must be called before [`SatSolver::solve`]; duplicate
+    /// literals are tolerated, tautologies are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions an unallocated variable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        for l in &lits {
+            assert!(l.var() < self.num_vars, "literal {l} uses unallocated variable");
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology check: adjacent complementary literals after sort.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        self.original.push(lits.clone());
+        match lits.len() {
+            0 => self.root_conflict = true,
+            1 => {
+                match self.value(lits[0]) {
+                    Some(false) => self.root_conflict = true,
+                    Some(true) => {}
+                    None => self.enqueue(lits[0], u32::MAX),
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[lits[0].negate().index()].push(ci);
+                self.watches[lits[1].negate().index()].push(ci);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|b| b == l.is_pos())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert!(self.value(l).is_none());
+        self.assign[l.var() as usize] = Some(l.is_pos());
+        self.level[l.var() as usize] = self.trail_lim.len() as u32;
+        self.reason[l.var() as usize] = reason;
+        self.phase[l.var() as usize] = l.is_pos();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clauses watching ¬lit may become unit/false.
+            let watch_key = lit.index();
+            let mut i = 0;
+            'next_clause: while i < self.watches[watch_key].len() {
+                let ci = self.watches[watch_key][i];
+                let false_lit = lit.negate();
+                // Normalise: watched literals are clause[0], clause[1].
+                {
+                    let clause = &mut self.clauses[ci as usize];
+                    if clause[0] == false_lit {
+                        clause.swap(0, 1);
+                    }
+                }
+                if self.value(self.clauses[ci as usize][0]) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new watch.
+                let len = self.clauses[ci as usize].len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize][k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[ci as usize].swap(1, k);
+                        self.watches[watch_key].swap_remove(i);
+                        self.watches[lk.negate().index()].push(ci);
+                        continue 'next_clause;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                let first = self.clauses[ci as usize][0];
+                match self.value(first) {
+                    Some(false) => return Some(ci),
+                    Some(true) => unreachable!("handled above"),
+                    None => self.enqueue(first, ci),
+                }
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: SatVar) {
+        self.activity[v as usize] += self.act_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars as usize];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut reason_clause = conflict;
+        let mut uip = None;
+
+        loop {
+            for &l in &self.clauses[reason_clause as usize].clone() {
+                // Skip the literal currently being resolved on.
+                if Some(l) == uip {
+                    continue;
+                }
+                let v = l.var() as usize;
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump(l.var());
+                if self.level[v] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Find the next seen literal on the trail at the current level.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    uip = Some(l);
+                    seen[l.var() as usize] = false;
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            reason_clause = self.reason[uip.expect("uip set").var() as usize];
+            debug_assert_ne!(reason_clause, u32::MAX, "non-decision expected");
+        }
+
+        let uip = uip.expect("conflict at level > 0 has a UIP");
+        // Minimise: drop literals whose reason clause is covered by the
+        // rest of the learned clause (non-recursive self-subsumption).
+        // Re-mark the learned literals for the redundancy test.
+        for l in &learned {
+            seen[l.var() as usize] = true;
+        }
+        let keep: Vec<Lit> = learned
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let r = self.reason[l.var() as usize];
+                if r == u32::MAX {
+                    return true;
+                }
+                !self.clauses[r as usize].iter().all(|&q| {
+                    q.var() == l.var() || seen[q.var() as usize] || self.level[q.var() as usize] == 0
+                })
+            })
+            .collect();
+        let mut learned = keep;
+        learned.push(uip.negate());
+        let n = learned.len();
+        learned.swap(0, n - 1); // asserting literal first
+        // Move the highest-level remaining literal to position 1: it is the
+        // second watch, and must be the last to be unassigned on backtrack
+        // or the watch invariant breaks and propagations are missed.
+        if learned.len() > 1 {
+            let mut best = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var() as usize]
+                    > self.level[learned[best].var() as usize]
+                {
+                    best = i;
+                }
+            }
+            learned.swap(1, best);
+        }
+        let backjump =
+            learned.get(1).map_or(0, |l| self.level[l.var() as usize]);
+        (learned, backjump)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        while self.trail_lim.len() as u32 > to_level {
+            let lim = self.trail_lim.pop().expect("level to pop");
+            for l in self.trail.drain(lim..) {
+                self.assign[l.var() as usize] = None;
+                self.reason[l.var() as usize] = u32::MAX;
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(SatVar, f64)> = None;
+        // Scan from the highest index: Tseitin gate outputs are allocated
+        // after their inputs, and deciding outputs first performs far
+        // better on bit-blasted comparison chains.
+        for v in (0..self.num_vars).rev() {
+            if self.assign[v as usize].is_none() {
+                let act = self.activity[v as usize];
+                if best.map_or(true, |(_, a)| act > a) {
+                    best = Some((v, act));
+                }
+            }
+        }
+        best.map(|(v, _)| Lit::with_sign(v, self.phase[v as usize]))
+    }
+
+    /// Solves the formula accumulated via [`SatSolver::add_clause`].
+    pub fn solve(&mut self) -> SatOutcome {
+        self.solve_limited(u64::MAX).expect("unlimited solve always completes")
+    }
+
+    /// Like [`SatSolver::solve`] but gives up after `max_conflicts`
+    /// conflicts, returning `None` (the caller reports "unknown").
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatOutcome> {
+        if self.root_conflict {
+            self.proof.clauses.push(Vec::new());
+            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+        }
+        if self.propagate().is_some() {
+            self.proof.clauses.push(Vec::new());
+            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+        }
+        let mut restart_budget = luby(LUBY_UNIT, 0);
+        let mut restart_count = 0u32;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.conflicts > max_conflicts {
+                    return None;
+                }
+                if self.trail_lim.is_empty() {
+                    self.proof.clauses.push(Vec::new());
+                    return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.proof.clauses.push(learned.clone());
+                self.backtrack(backjump);
+                self.act_inc /= 0.95;
+                match learned.len() {
+                    1 => {
+                        if self.value(learned[0]) == Some(false) {
+                            self.proof.clauses.push(Vec::new());
+                            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+                        }
+                        if self.value(learned[0]).is_none() {
+                            self.enqueue(learned[0], u32::MAX);
+                        }
+                    }
+                    _ => {
+                        let ci = self.clauses.len() as u32;
+                        self.watches[learned[0].negate().index()].push(ci);
+                        self.watches[learned[1].negate().index()].push(ci);
+                        let asserting = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(asserting, ci);
+                    }
+                }
+                restart_budget = restart_budget.saturating_sub(1);
+                if restart_budget == 0 {
+                    restart_count += 1;
+                    restart_budget = luby(LUBY_UNIT, restart_count);
+                    self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => {
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                        return Some(SatOutcome::Sat(model));
+                    }
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, u32::MAX);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …) scaled by `unit`;
+/// `i` is the zero-based restart count.
+fn luby(unit: u64, i: u32) -> u64 {
+    fn rec(j: u64) -> u64 {
+        // Smallest k with j <= 2^k - 1, for one-based j.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < j {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == j {
+            1u64 << (k - 1)
+        } else {
+            rec(j - ((1u64 << (k - 1)) - 1))
+        }
+    }
+    unit * rec(u64::from(i) + 1)
+}
+
+/// Checks an RUP refutation against the original clause set.
+///
+/// Each proof clause must be derivable by reverse unit propagation from the
+/// original clauses plus the earlier proof clauses, and the final proof
+/// clause must be empty. Returns `true` iff the proof is valid.
+#[must_use]
+pub fn check_rup_proof(num_vars: u32, clauses: &[Vec<Lit>], proof: &RupProof) -> bool {
+    if proof.clauses.last().map(Vec::is_empty) != Some(true) {
+        return false;
+    }
+    let mut db: Vec<Vec<Lit>> = clauses.to_vec();
+    for learned in &proof.clauses {
+        if !rup_derivable(num_vars, &db, learned) {
+            return false;
+        }
+        db.push(learned.clone());
+    }
+    true
+}
+
+/// True iff asserting the negation of `clause` and unit-propagating over
+/// `db` yields a conflict.
+fn rup_derivable(num_vars: u32, db: &[Vec<Lit>], clause: &[Lit]) -> bool {
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars as usize];
+    let mut queue: Vec<Lit> = Vec::new();
+    for &l in clause {
+        let neg = l.negate();
+        match assign[neg.var() as usize] {
+            Some(b) if b != neg.is_pos() => return true, // ¬C self-contradictory
+            _ => {
+                assign[neg.var() as usize] = Some(neg.is_pos());
+                queue.push(neg);
+            }
+        }
+    }
+    // Saturate unit propagation (naive counting — checker favours clarity).
+    loop {
+        let mut progress = false;
+        for c in db {
+            let mut unassigned: Option<Lit> = None;
+            let mut num_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match assign[l.var() as usize] {
+                    Some(b) if b == l.is_pos() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        num_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match num_unassigned {
+                0 => return true, // conflict
+                1 => {
+                    let l = unassigned.expect("one unassigned literal");
+                    assign[l.var() as usize] = Some(l.is_pos());
+                    progress = true;
+                }
+                _ => {}
+            }
+        }
+        if !progress {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&x| {
+                assert!(x != 0);
+                let v = (x.unsigned_abs() - 1) as SatVar;
+                Lit::with_sign(v, x > 0)
+            })
+            .collect()
+    }
+
+    fn solver_with(num_vars: u32, clauses: &[Vec<Lit>]) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let cs = vec![lits(&[1, 2]), lits(&[-1, 2])];
+        let mut s = solver_with(2, &cs);
+        match s.solve() {
+            SatOutcome::Sat(m) => assert!(m[1], "x2 must be true or x1 chosen"),
+            SatOutcome::Unsat(_) => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn trivially_unsat_with_valid_proof() {
+        let cs = vec![lits(&[1]), lits(&[-1])];
+        let mut s = solver_with(1, &cs);
+        match s.solve() {
+            SatOutcome::Unsat(p) => assert!(check_rup_proof(1, &cs, &p)),
+            SatOutcome::Sat(_) => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j] = pigeon i in hole j; vars 1..=6.
+        let var = |i: i32, j: i32| i * 2 + j + 1; // i in 0..3, j in 0..2
+        let mut cs: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..3 {
+            cs.push(lits(&[var(i, 0), var(i, 1)]));
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    cs.push(lits(&[-var(a, j), -var(b, j)]));
+                }
+            }
+        }
+        let mut s = solver_with(6, &cs);
+        match s.solve() {
+            SatOutcome::Unsat(p) => assert!(check_rup_proof(6, &cs, &p), "RUP proof must check"),
+            SatOutcome::Sat(_) => panic!("PHP(3,2) is unsat"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // Random-ish structured instance: chain of implications plus a seed.
+        let mut cs: Vec<Vec<Lit>> = Vec::new();
+        for i in 1..20 {
+            cs.push(lits(&[-i, i + 1]));
+        }
+        cs.push(lits(&[1]));
+        let mut s = solver_with(21, &cs);
+        match s.solve() {
+            SatOutcome::Sat(m) => {
+                for c in &cs {
+                    assert!(c.iter().any(|l| m[l.var() as usize] == l.is_pos()));
+                }
+                assert!(m.iter().take(20).all(|&b| b));
+            }
+            SatOutcome::Unsat(_) => panic!("chain is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        s.add_clause(Vec::new());
+        assert!(matches!(s.solve(), SatOutcome::Unsat(_)));
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        s.add_clause(vec![Lit::pos(v), Lit::neg(v)]);
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn rup_checker_rejects_bogus_proofs() {
+        let cs = vec![lits(&[1, 2])]; // satisfiable
+        let bogus = RupProof { clauses: vec![Vec::new()] };
+        assert!(!check_rup_proof(2, &cs, &bogus));
+        // Proof not ending in the empty clause is rejected.
+        let not_ending = RupProof { clauses: vec![lits(&[1])] };
+        assert!(!check_rup_proof(2, &cs, &not_ending));
+    }
+}

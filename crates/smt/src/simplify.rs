@@ -1,0 +1,576 @@
+//! A rewriting simplifier for SMT expressions.
+//!
+//! Isla applies exactly this kind of simplification to its traces: constant
+//! folding, algebraic identities, and — importantly for readability of the
+//! generated traces — collapsing the `extract`-of-`zero_extend` pattern the
+//! Arm model produces for every `AddWithCarry` (see Fig. 3 of the paper,
+//! where the 128-bit addition is narrowed back to 64 bits).
+//!
+//! The simplifier is semantics-preserving: `eval(simplify(e)) = eval(e)`
+//! for every environment (checked by property tests).
+
+use islaris_bv::Bv;
+
+use crate::eval::{apply_binop, apply_cmp, apply_unop};
+use crate::expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Value, Var};
+
+/// Width oracle for variables, used to enable width-dependent rewrites
+/// (full-range `extract`, `x ⊕ x = 0`, …) on open terms.
+pub type WidthOracle<'a> = &'a dyn Fn(Var) -> Option<u32>;
+
+/// Simplifies an expression bottom-up until a (local) fixed point,
+/// without variable width information.
+#[must_use]
+pub fn simplify(e: &Expr) -> Expr {
+    simplify_with(e, &|_| None)
+}
+
+/// Simplifies with a width oracle for free variables, enabling rewrites
+/// such as collapsing the Fig. 3 `extract`-of-`zero_extend` pattern over
+/// open terms.
+#[must_use]
+pub fn simplify_with(e: &Expr, ws: WidthOracle<'_>) -> Expr {
+    match e.kind() {
+        ExprKind::Val(_) | ExprKind::Var(_) => e.clone(),
+        ExprKind::Not(a) => simp_not(simplify_with(a, ws)),
+        ExprKind::And(a, b) => simp_and(simplify_with(a, ws), simplify_with(b, ws)),
+        ExprKind::Or(a, b) => simp_or(simplify_with(a, ws), simplify_with(b, ws)),
+        ExprKind::Eq(a, b) => simp_eq(simplify_with(a, ws), simplify_with(b, ws)),
+        ExprKind::Ite(c, t, f) => {
+            simp_ite(simplify_with(c, ws), simplify_with(t, ws), simplify_with(f, ws))
+        }
+        ExprKind::Unop(op, a) => simp_unop(*op, simplify_with(a, ws)),
+        ExprKind::Binop(op, a, b) => {
+            simp_binop(*op, simplify_with(a, ws), simplify_with(b, ws), ws)
+        }
+        ExprKind::Cmp(op, a, b) => simp_cmp(*op, simplify_with(a, ws), simplify_with(b, ws)),
+        ExprKind::Extract(hi, lo, a) => simp_extract(*hi, *lo, simplify_with(a, ws), ws),
+        ExprKind::ZeroExtend(n, a) => simp_zero_extend(*n, simplify_with(a, ws)),
+        ExprKind::SignExtend(n, a) => simp_sign_extend(*n, simplify_with(a, ws)),
+        ExprKind::Concat(a, b) => simp_concat(simplify_with(a, ws), simplify_with(b, ws)),
+    }
+}
+
+fn simp_not(a: Expr) -> Expr {
+    match a.kind() {
+        ExprKind::Val(Value::Bool(b)) => Expr::bool(!b),
+        ExprKind::Not(inner) => inner.clone(),
+        _ => Expr::not(a),
+    }
+}
+
+fn simp_and(a: Expr, b: Expr) -> Expr {
+    match (a.as_bool(), b.as_bool()) {
+        (Some(false), _) | (_, Some(false)) => Expr::bool(false),
+        (Some(true), _) => b,
+        (_, Some(true)) => a,
+        _ if a == b => a,
+        _ => Expr::and(a, b),
+    }
+}
+
+fn simp_or(a: Expr, b: Expr) -> Expr {
+    match (a.as_bool(), b.as_bool()) {
+        (Some(true), _) | (_, Some(true)) => Expr::bool(true),
+        (Some(false), _) => b,
+        (_, Some(false)) => a,
+        _ if a == b => a,
+        _ => Expr::or(a, b),
+    }
+}
+
+fn simp_eq(a: Expr, b: Expr) -> Expr {
+    if a == b {
+        return Expr::bool(true);
+    }
+    // (= (bvsub x y) 0) ⟺ (= x y): the flag-zero comparison shape.
+    for (lhs, rhs) in [(&a, &b), (&b, &a)] {
+        if rhs.as_bits().is_some_and(|c| c.is_zero()) {
+            if let ExprKind::Binop(BvBinop::Sub, x, y) = lhs.kind() {
+                return simp_eq(x.clone(), y.clone());
+            }
+        }
+    }
+    // (= (ite c k1 k2) k) with constants collapses to c / ¬c / false —
+    // the shape of branch conditions over flag values (ite(z, 1, 0) = 1).
+    for (ite, other) in [(&a, &b), (&b, &a)] {
+        if let ExprKind::Ite(c, t, f) = ite.kind() {
+            if let (Some(tv), Some(fv), Some(k)) = (t.as_bits(), f.as_bits(), other.as_bits()) {
+                if tv != fv {
+                    if k == tv {
+                        return c.clone();
+                    }
+                    if k == fv {
+                        return simp_not(c.clone());
+                    }
+                    return Expr::bool(false);
+                }
+            }
+        }
+    }
+    match (a.as_value(), b.as_value()) {
+        (Some(Value::Bits(x)), Some(Value::Bits(y))) if x.width() == y.width() => {
+            Expr::bool(x == y)
+        }
+        (Some(Value::Bool(x)), Some(Value::Bool(y))) => Expr::bool(x == y),
+        // (= e true) → e, (= e false) → ¬e at Bool sort.
+        (Some(Value::Bool(true)), _) => b,
+        (_, Some(Value::Bool(true))) => a,
+        (Some(Value::Bool(false)), _) => simp_not(b),
+        (_, Some(Value::Bool(false))) => simp_not(a),
+        _ => Expr::eq(a, b),
+    }
+}
+
+fn simp_ite(c: Expr, t: Expr, f: Expr) -> Expr {
+    match c.as_bool() {
+        Some(true) => t,
+        Some(false) => f,
+        None if t == f => t,
+        None => Expr::ite(c, t, f),
+    }
+}
+
+fn simp_unop(op: BvUnop, a: Expr) -> Expr {
+    if let Some(x) = a.as_bits() {
+        return Expr::bits(apply_unop(op, x));
+    }
+    if let (BvUnop::Not, ExprKind::Unop(BvUnop::Not, inner)) = (op, a.kind()) {
+        return inner.clone();
+    }
+    if let (BvUnop::Rev, ExprKind::Unop(BvUnop::Rev, inner)) = (op, a.kind()) {
+        return inner.clone();
+    }
+    Expr::unop(op, a)
+}
+
+fn simp_binop(op: BvBinop, a: Expr, b: Expr, ws: WidthOracle<'_>) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_bits(), b.as_bits()) {
+        if x.width() == y.width() {
+            return Expr::bits(apply_binop(op, x, y));
+        }
+    }
+    // Identity and absorbing elements.
+    let a_const = a.as_bits();
+    let b_const = b.as_bits();
+    match op {
+        BvBinop::Add => {
+            if is_zero(a_const) {
+                return b;
+            }
+            if is_zero(b_const) {
+                return a;
+            }
+            // x + c with c signed-negative → x − (−c): canonicalises
+            // decrements (addi rd, rs, -1) into the subtraction form the
+            // integer bridge understands.
+            if let Some(c) = b_const {
+                if c.to_i128() < 0 && c.to_i128() != i128::MIN {
+                    let pos = c.neg();
+                    return Expr::binop(BvBinop::Sub, a, Expr::bits(pos));
+                }
+            }
+            // (x + ~y) + 1 → x - y: the subtraction shape AddWithCarry
+            // produces for subs/cmp (op2 complemented, carry-in 1).
+            if is_one(b_const) {
+                if let ExprKind::Binop(BvBinop::Add, x, ny) = a.kind() {
+                    if let ExprKind::Unop(BvUnop::Not, y) = ny.kind() {
+                        return Expr::binop(BvBinop::Sub, x.clone(), y.clone());
+                    }
+                    if let ExprKind::Unop(BvUnop::Not, y) = x.kind() {
+                        return Expr::binop(BvBinop::Sub, ny.clone(), y.clone());
+                    }
+                }
+            }
+            // (x + c1) + c2 → x + (c1+c2): re-associate constant chains,
+            // the common shape of PC updates in traces.
+            if let (ExprKind::Binop(BvBinop::Add, x, c1), Some(c2)) = (a.kind(), b_const) {
+                if let Some(c1v) = c1.as_bits() {
+                    if c1v.width() == c2.width() {
+                        return simp_binop(BvBinop::Add, x.clone(), Expr::bits(c1v.add(&c2)), ws);
+                    }
+                }
+            }
+        }
+        BvBinop::Sub => {
+            if is_zero(b_const) {
+                return a;
+            }
+            if a == b {
+                if let Some(w) = width_of_with(&a, ws) {
+                    return Expr::bits(Bv::zero(w));
+                }
+            }
+        }
+        BvBinop::Mul => {
+            if is_zero(a_const) {
+                return a;
+            }
+            if is_zero(b_const) {
+                return b;
+            }
+            if is_one(a_const) {
+                return b;
+            }
+            if is_one(b_const) {
+                return a;
+            }
+        }
+        BvBinop::And => {
+            // Masking a logical right shift with the all-ones-shifted mask
+            // is a no-op (the UBFM expansion of `lsr` produces this).
+            for (shifted, mask) in [(&a, &b), (&b, &a)] {
+                if let (ExprKind::Binop(BvBinop::Lshr, _, amt), Some(m)) =
+                    (shifted.kind(), mask.as_bits())
+                {
+                    if let Some(c) = amt.as_bits() {
+                        let w = m.width();
+                        if c.to_u128() < u128::from(w)
+                            && m == Bv::ones(w).lshr(&Bv::new(w, c.to_u128()))
+                        {
+                            return (*shifted).clone();
+                        }
+                    }
+                }
+            }
+            if is_zero(a_const) {
+                return a;
+            }
+            if is_zero(b_const) {
+                return b;
+            }
+            if is_ones(a_const) {
+                return b;
+            }
+            if is_ones(b_const) {
+                return a;
+            }
+            if a == b {
+                return a;
+            }
+        }
+        BvBinop::Or => {
+            if is_zero(a_const) {
+                return b;
+            }
+            if is_zero(b_const) {
+                return a;
+            }
+            if is_ones(a_const) {
+                return a;
+            }
+            if is_ones(b_const) {
+                return b;
+            }
+            if a == b {
+                return a;
+            }
+        }
+        BvBinop::Xor => {
+            if is_zero(a_const) {
+                return b;
+            }
+            if is_zero(b_const) {
+                return a;
+            }
+            if a == b {
+                if let Some(w) = width_of_with(&a, ws) {
+                    return Expr::bits(Bv::zero(w));
+                }
+            }
+        }
+        BvBinop::Shl | BvBinop::Lshr | BvBinop::Ashr => {
+            if is_zero(b_const) {
+                return a;
+            }
+        }
+        BvBinop::Udiv | BvBinop::Urem => {}
+    }
+    Expr::binop(op, a, b)
+}
+
+fn simp_cmp(op: BvCmp, a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_bits(), b.as_bits()) {
+        if x.width() == y.width() {
+            return Expr::bool(apply_cmp(op, x, y));
+        }
+    }
+    if a == b {
+        return match op {
+            BvCmp::Ult | BvCmp::Slt => Expr::bool(false),
+            BvCmp::Ule | BvCmp::Sle => Expr::bool(true),
+        };
+    }
+    Expr::cmp(op, a, b)
+}
+
+fn simp_extract(hi: u32, lo: u32, a: Expr, ws: WidthOracle<'_>) -> Expr {
+    if let Some(x) = a.as_bits() {
+        if lo <= hi && hi < x.width() {
+            return Expr::bits(x.extract(hi, lo));
+        }
+    }
+    if let Some(w) = width_of_with(&a, ws) {
+        // Full-range extract is the identity.
+        if lo == 0 && hi + 1 == w {
+            return a;
+        }
+    }
+    // A low-bits extract distributes over modular ring and bitwise
+    // operations: ((_ extract k 0) (bvadd a b)) = (bvadd (extract a)
+    // (extract b)). This collapses the 128-bit AddWithCarry shape of the
+    // Arm model back to 64 bits (Fig. 3 of the paper).
+    if lo == 0 {
+        match a.kind() {
+            ExprKind::Binop(
+                op @ (BvBinop::Add | BvBinop::Sub | BvBinop::Mul | BvBinop::And
+                | BvBinop::Or | BvBinop::Xor),
+                x,
+                y,
+            ) => {
+                if let Some(w) = width_of_with(&a, ws) {
+                    if hi + 1 < w {
+                        let xs = simp_extract(hi, 0, x.clone(), ws);
+                        let ys = simp_extract(hi, 0, y.clone(), ws);
+                        return simp_binop(*op, xs, ys, ws);
+                    }
+                }
+            }
+            ExprKind::Unop(op @ (BvUnop::Not | BvUnop::Neg), x) => {
+                if let Some(w) = width_of_with(&a, ws) {
+                    if hi + 1 < w {
+                        let xs = simp_extract(hi, 0, x.clone(), ws);
+                        return simp_unop(*op, xs);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match a.kind() {
+        // extract of zero_extend: the Fig. 3 pattern.
+        ExprKind::ZeroExtend(_, inner) => {
+            if let Some(iw) = width_of_with(inner, ws) {
+                if hi < iw {
+                    return simp_extract(hi, lo, inner.clone(), ws);
+                }
+                if lo >= iw {
+                    // entirely in the zero padding
+                    return Expr::bits(Bv::zero(hi - lo + 1));
+                }
+            }
+        }
+        // Low bits of a sign_extend are the operand's low bits.
+        ExprKind::SignExtend(_, inner) => {
+            if let Some(iw) = width_of_with(inner, ws) {
+                if hi < iw {
+                    return simp_extract(hi, lo, inner.clone(), ws);
+                }
+            }
+        }
+        // extract of extract composes.
+        ExprKind::Extract(_, ilo, inner) => {
+            return simp_extract(hi + ilo, lo + ilo, inner.clone(), ws);
+        }
+        // extract of concat lands entirely in one side.
+        ExprKind::Concat(hi_part, lo_part) => {
+            if let Some(lw) = width_of_with(lo_part, ws) {
+                if hi < lw {
+                    return simp_extract(hi, lo, lo_part.clone(), ws);
+                }
+                if lo >= lw {
+                    return simp_extract(hi - lw, lo - lw, hi_part.clone(), ws);
+                }
+            }
+        }
+        _ => {}
+    }
+    Expr::extract(hi, lo, a)
+}
+
+fn simp_zero_extend(n: u32, a: Expr) -> Expr {
+    if n == 0 {
+        return a;
+    }
+    if let Some(x) = a.as_bits() {
+        return Expr::bits(x.zero_extend(n));
+    }
+    if let ExprKind::ZeroExtend(m, inner) = a.kind() {
+        return Expr::zero_extend(n + m, inner.clone());
+    }
+    Expr::zero_extend(n, a)
+}
+
+fn simp_sign_extend(n: u32, a: Expr) -> Expr {
+    if n == 0 {
+        return a;
+    }
+    if let Some(x) = a.as_bits() {
+        return Expr::bits(x.sign_extend(n));
+    }
+    Expr::sign_extend(n, a)
+}
+
+fn simp_concat(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_bits(), b.as_bits()) {
+        return Expr::bits(x.concat(&y));
+    }
+    // (concat 0…0 e) = zero_extend
+    if let Some(x) = a.as_bits() {
+        if x.is_zero() {
+            if let Some(_w) = width_of(&b) {
+                return simp_zero_extend(x.width(), b);
+            }
+        }
+    }
+    Expr::concat(a, b)
+}
+
+fn is_zero(c: Option<Bv>) -> bool {
+    c.is_some_and(|b| b.is_zero())
+}
+
+fn is_one(c: Option<Bv>) -> bool {
+    c.is_some_and(|b| b.to_u128() == 1)
+}
+
+fn is_ones(c: Option<Bv>) -> bool {
+    c.is_some_and(|b| b == Bv::ones(b.width()))
+}
+
+/// Best-effort syntactic width computation without a sort environment.
+#[must_use]
+pub fn width_of(e: &Expr) -> Option<u32> {
+    width_of_with(e, &|_| None)
+}
+
+/// Width computation consulting a [`WidthOracle`] for variables.
+#[must_use]
+pub fn width_of_with(e: &Expr, ws: WidthOracle<'_>) -> Option<u32> {
+    match e.kind() {
+        ExprKind::Val(Value::Bits(b)) => Some(b.width()),
+        ExprKind::Val(Value::Bool(_)) => None,
+        ExprKind::Var(v) => ws(*v),
+        ExprKind::Unop(_, a) => width_of_with(a, ws),
+        ExprKind::Binop(_, a, b) => width_of_with(a, ws).or_else(|| width_of_with(b, ws)),
+        ExprKind::Ite(_, t, f) => width_of_with(t, ws).or_else(|| width_of_with(f, ws)),
+        ExprKind::Extract(hi, lo, _) => Some(hi - lo + 1),
+        ExprKind::ZeroExtend(n, a) | ExprKind::SignExtend(n, a) => {
+            width_of_with(a, ws).map(|w| w + n)
+        }
+        ExprKind::Concat(a, b) => Some(width_of_with(a, ws)? + width_of_with(b, ws)?),
+        ExprKind::Not(_)
+        | ExprKind::And(..)
+        | ExprKind::Or(..)
+        | ExprKind::Eq(..)
+        | ExprKind::Cmp(..) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    #[test]
+    fn folds_constants() {
+        let e = Expr::add(Expr::bv(64, 40), Expr::bv(64, 2));
+        assert_eq!(simplify(&e), Expr::bv(64, 42));
+    }
+
+    #[test]
+    fn collapses_fig3_extract_of_zero_extend() {
+        // ((_ extract 63 0) ((_ zero_extend 64) v38)) + 0x40 → bvadd v38 #x40
+        let v38 = Expr::var(Var(38));
+        let ws = |v: Var| (v.0 == 38).then_some(64u32);
+        let e = Expr::add(
+            Expr::extract(63, 0, Expr::zero_extend(64, Expr::add(v38.clone(), Expr::bv(64, 0)))),
+            Expr::bv(64, 0x40),
+        );
+        assert_eq!(simplify_with(&e, &ws), Expr::add(v38.clone(), Expr::bv(64, 0x40)));
+        // Without the oracle the rewrite is (safely) skipped.
+        let inner = Expr::add(v38.clone(), Expr::bv(64, 0));
+        let kept = Expr::add(
+            Expr::extract(63, 0, Expr::zero_extend(64, inner)),
+            Expr::bv(64, 0x40),
+        );
+        assert_eq!(simplify(&kept), Expr::add(Expr::extract(63, 0, Expr::zero_extend(64, v38)), Expr::bv(64, 0x40)));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let x = Expr::eq(Expr::var(Var(0)), Expr::bv(1, 1));
+        assert_eq!(simplify(&Expr::and(Expr::bool(true), x.clone())), simplify(&x));
+        assert_eq!(simplify(&Expr::and(Expr::bool(false), x.clone())), Expr::bool(false));
+        assert_eq!(simplify(&Expr::or(x.clone(), Expr::bool(false))), simplify(&x));
+        assert_eq!(simplify(&Expr::not(Expr::not(x.clone()))), simplify(&x));
+    }
+
+    #[test]
+    fn eq_true_collapses() {
+        let x = Expr::cmp(BvCmp::Ult, Expr::var(Var(0)), Expr::bv(8, 4));
+        assert_eq!(simplify(&Expr::eq(x.clone(), Expr::bool(true))), simplify(&x));
+        assert_eq!(
+            simplify(&Expr::eq(x.clone(), Expr::bool(false))),
+            Expr::not(simplify(&x))
+        );
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let x = Expr::var(Var(0));
+        assert_eq!(simplify(&Expr::add(x.clone(), Expr::bv(64, 0))), x);
+        assert_eq!(simplify(&Expr::sub(x.clone(), Expr::bv(64, 0))), x);
+        assert_eq!(
+            simplify(&Expr::binop(BvBinop::Mul, x.clone(), Expr::bv(64, 1))),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::binop(BvBinop::And, x.clone(), Expr::bv(64, 0))),
+            Expr::bv(64, 0)
+        );
+        // x ^ x folds to zero when the width is syntactically known.
+        let w64 = Expr::extract(63, 0, Expr::concat(x.clone(), x.clone()));
+        let w64 = simplify(&w64);
+        assert_eq!(
+            simplify(&Expr::binop(BvBinop::Xor, w64.clone(), w64.clone())),
+            Expr::bv(64, 0)
+        );
+    }
+
+    #[test]
+    fn constant_add_chains_reassociate() {
+        let x = Expr::var(Var(0));
+        let e = Expr::add(Expr::add(x.clone(), Expr::bv(64, 4)), Expr::bv(64, 4));
+        assert_eq!(simplify(&e), Expr::add(x, Expr::bv(64, 8)));
+    }
+
+    #[test]
+    fn extract_of_extract_composes() {
+        let x = Expr::var(Var(0));
+        let e = Expr::extract(3, 0, Expr::extract(15, 8, x.clone()));
+        assert_eq!(simplify(&e), Expr::extract(11, 8, x));
+    }
+
+    #[test]
+    fn extract_of_concat_projects() {
+        let hi = Expr::var(Var(0));
+        let lo = Expr::bv(8, 0xab);
+        let e = Expr::extract(7, 0, Expr::concat(hi.clone(), lo.clone()));
+        assert_eq!(simplify(&e), Expr::bv(8, 0xab));
+    }
+
+    #[test]
+    fn ite_with_equal_branches() {
+        let c = Expr::eq(Expr::var(Var(0)), Expr::bv(1, 1));
+        let e = Expr::ite(c, Expr::bv(8, 7), Expr::bv(8, 7));
+        assert_eq!(simplify(&e), Expr::bv(8, 7));
+    }
+
+    #[test]
+    fn cmp_reflexivity() {
+        let x = Expr::var(Var(0));
+        assert_eq!(simplify(&Expr::cmp(BvCmp::Ult, x.clone(), x.clone())), Expr::bool(false));
+        assert_eq!(simplify(&Expr::cmp(BvCmp::Ule, x.clone(), x.clone())), Expr::bool(true));
+    }
+}

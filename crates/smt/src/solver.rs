@@ -1,0 +1,281 @@
+//! The bitvector solver facade: the role Z3 plays for Isla.
+//!
+//! Queries are quantifier-free bitvector/boolean constraint sets. The
+//! pipeline is: simplify → bit-blast (Tseitin) → CDCL SAT. Positive answers
+//! carry a [`Model`] that is re-checked by evaluation; negative answers can
+//! carry an RUP proof checked by [`crate::sat::check_rup_proof`] when
+//! [`SolverConfig::check_proofs`] is set.
+
+use std::collections::BTreeMap;
+
+use crate::cnf::{Blaster, BlastError};
+use crate::eval::eval_bool;
+use crate::expr::{Expr, Sort, Value, Var};
+use crate::sat::{check_rup_proof, SatOutcome};
+use crate::simplify::simplify;
+
+/// Configuration for a solver query.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Conflict budget before answering [`SmtResult::Unknown`].
+    pub max_conflicts: u64,
+    /// Re-check `Unsat` answers by replaying the RUP proof (slower;
+    /// enabled by [`SolverConfig::paranoid`] and in tests).
+    pub check_proofs: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { max_conflicts: 2_000_000, check_proofs: false }
+    }
+}
+
+impl SolverConfig {
+    /// The default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        SolverConfig::default()
+    }
+
+    /// A configuration that replays RUP proofs for every `Unsat` answer.
+    #[must_use]
+    pub fn paranoid() -> Self {
+        SolverConfig { check_proofs: true, ..SolverConfig::default() }
+    }
+}
+
+/// A satisfying assignment for the query's variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Model {
+    values: BTreeMap<Var, Value>,
+}
+
+impl Model {
+    /// Looks up a variable's value.
+    #[must_use]
+    pub fn get(&self, v: Var) -> Option<Value> {
+        self.values.get(&v).copied()
+    }
+
+    /// Iterates over the assigned variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
+        self.values.iter().map(|(v, val)| (*v, *val))
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable, with a checked model.
+    Sat(Model),
+    /// Unsatisfiable (proof checked if configured).
+    Unsat,
+    /// Could not decide (budget exhausted or unsupported operation).
+    Unknown(String),
+}
+
+impl SmtResult {
+    /// True iff the result is `Unsat`.
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// True iff the result is `Sat`.
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+}
+
+/// Checks satisfiability of the conjunction of `assumptions`.
+///
+/// `sorts` supplies the sort of every free variable. Models are verified by
+/// evaluating every assumption; a failed verification (an internal
+/// soundness bug) is reported as `Unknown` rather than a wrong answer.
+#[must_use]
+pub fn check_sat(
+    assumptions: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+) -> SmtResult {
+    let mut simplified = Vec::with_capacity(assumptions.len());
+    for a in assumptions {
+        let s = simplify(a);
+        match s.as_bool() {
+            Some(true) => continue,
+            Some(false) => return SmtResult::Unsat,
+            None => simplified.push(s),
+        }
+    }
+    if simplified.is_empty() {
+        return SmtResult::Sat(Model::default());
+    }
+
+    let mut blaster = Blaster::new();
+    for a in &simplified {
+        match blaster.assert_expr(a, sorts) {
+            Ok(()) => {}
+            Err(BlastError::Unsupported(msg)) => return SmtResult::Unknown(msg),
+            Err(e) => return SmtResult::Unknown(e.to_string()),
+        }
+    }
+    match blaster.solve_limited(cfg.max_conflicts) {
+        None => SmtResult::Unknown(format!("conflict budget {} exhausted", cfg.max_conflicts)),
+        Some(SatOutcome::Sat(bits)) => {
+            let mut model = Model::default();
+            for v in blaster.encoded_vars().collect::<Vec<_>>() {
+                if let Some(val) = blaster.extract_value(v, &bits, sorts) {
+                    model.values.insert(v, val);
+                }
+            }
+            // Verify the model by evaluation. Variables the encoder never
+            // saw (eliminated by simplification) default per sort; this is
+            // sound because simplification preserves semantics.
+            let env = |v: Var| {
+                model.get(v).or_else(|| match sorts(v) {
+                    Some(Sort::Bool) => Some(Value::Bool(false)),
+                    Some(Sort::BitVec(w)) => Some(Value::Bits(islaris_bv::Bv::zero(w))),
+                    None => None,
+                })
+            };
+            for a in &simplified {
+                match eval_bool(a, &env) {
+                    Ok(true) => {}
+                    other => {
+                        debug_assert!(false, "model fails to satisfy {a}: {other:?}");
+                        return SmtResult::Unknown(format!(
+                            "internal error: model verification failed on {a}"
+                        ));
+                    }
+                }
+            }
+            SmtResult::Sat(model)
+        }
+        Some(SatOutcome::Unsat(proof)) => {
+            if cfg.check_proofs {
+                let ok = check_rup_proof(
+                    blaster.sat_num_vars(),
+                    blaster.sat_original_clauses(),
+                    &proof,
+                );
+                if !ok {
+                    debug_assert!(false, "RUP proof failed to check");
+                    return SmtResult::Unknown("internal error: RUP proof invalid".into());
+                }
+            }
+            SmtResult::Unsat
+        }
+    }
+}
+
+/// Does `facts ⟹ goal` hold (validity of the implication)?
+///
+/// Decided by refutation: `facts ∧ ¬goal` unsatisfiable. `Unknown` answers
+/// count as *not proven* (sound for verification: obligations fail rather
+/// than pass).
+#[must_use]
+pub fn entails(
+    facts: &[Expr],
+    goal: &Expr,
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+) -> bool {
+    let mut q: Vec<Expr> = facts.to_vec();
+    q.push(Expr::not(goal.clone()));
+    check_sat(&q, sorts, cfg).is_unsat()
+}
+
+/// Can `facts ∧ extra` hold? `Unknown` counts as *possibly satisfiable*
+/// (sound for branch pruning: unprunable branches stay).
+#[must_use]
+pub fn maybe_sat(
+    facts: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+) -> bool {
+    !check_sat(facts, sorts, cfg).is_unsat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BvCmp;
+
+    fn sorts64(v: Var) -> Option<Sort> {
+        (v.0 < 16).then_some(Sort::BitVec(64))
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::paranoid()
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        assert!(check_sat(&[], &sorts64, &cfg()).is_sat());
+    }
+
+    #[test]
+    fn literal_false_is_unsat() {
+        assert!(check_sat(&[Expr::bool(false)], &sorts64, &cfg()).is_unsat());
+    }
+
+    #[test]
+    fn model_is_returned_and_correct() {
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(Expr::add(x, Expr::bv(64, 2)), Expr::bv(64, 44))];
+        match check_sat(&q, &sorts64, &cfg()) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.get(Var(0)), Some(Value::Bits(islaris_bv::Bv::new(64, 42))));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entails_transitivity_of_ult() {
+        let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+        let facts = [
+            Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+            Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
+        ];
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), z.clone());
+        assert!(entails(&facts, &goal, &sorts64, &cfg()));
+        // And the converse is not entailed.
+        assert!(!entails(&facts, &Expr::cmp(BvCmp::Ult, z, x), &sorts64, &cfg()));
+    }
+
+    #[test]
+    fn entails_rejects_overflow_fallacy() {
+        // x < x + 1 is NOT valid at width 64 (x = max wraps).
+        let x = Expr::var(Var(0));
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::add(x.clone(), Expr::bv(64, 1)));
+        assert!(!entails(&[], &goal, &sorts64, &cfg()));
+        // But it is valid given x ≠ max.
+        let fact = Expr::not(Expr::eq(x.clone(), Expr::bits(islaris_bv::Bv::ones(64))));
+        assert!(entails(&[fact], &goal, &sorts64, &cfg()));
+    }
+
+    #[test]
+    fn unknown_on_unsupported_ops() {
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(
+            Expr::binop(crate::expr::BvBinop::Udiv, x.clone(), x),
+            Expr::bv(64, 1),
+        )];
+        assert!(matches!(check_sat(&q, &sorts64, &cfg()), SmtResult::Unknown(_)));
+    }
+
+    #[test]
+    fn alignment_fact_entails_low_bits_zero() {
+        // From the paper's workflow: an aligned register has low bits zero.
+        // fact: x & 7 = 0  ⟹  extract 2..0 of x = 0.
+        let x = Expr::var(Var(0));
+        let fact = Expr::eq(
+            Expr::binop(crate::expr::BvBinop::And, x.clone(), Expr::bv(64, 7)),
+            Expr::bv(64, 0),
+        );
+        let goal = Expr::eq(Expr::extract(2, 0, x), Expr::bv(3, 0));
+        assert!(entails(&[fact], &goal, &sorts64, &cfg()));
+    }
+}

@@ -1,0 +1,371 @@
+//! Translation validation of Isla traces against the direct mini-Sail
+//! semantics (§5 of the paper, Theorem 2).
+//!
+//! The paper proves, in Coq, a simulation `m ∼ t` between the
+//! Sail-generated monadic definitions and the Isla trace of each
+//! instruction, giving end-to-end theorems that do not mention Isla or the
+//! SMT solver. This reproduction replaces the Coq proof with *checked
+//! simulation*: for an instruction and a machine state, run the mini-Sail
+//! interpreter and the ITL trace interpreter side by side and compare the
+//! resulting states. [`validate_instr`] checks one state; [`validate_program`]
+//! sweeps a set of states (directed + randomized), which is the
+//! bounded-refinement analogue of the paper's per-instruction `m ∼ t`
+//! lemmas. As in the paper, the check exercises the `Assert`/`Assume`
+//! split: states violating the trace's assumptions must fail on the ITL
+//! side (⊥), not diverge silently.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use islaris_bv::Bv;
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_itl::{exec_instr, Label, Machine, Reg, Trace, ZeroIo};
+use islaris_models::Arch;
+use islaris_sail::{CVal, Interp, MapMem, SailState};
+use islaris_smt::Value;
+
+/// A translation-validation failure.
+#[derive(Debug, Clone)]
+pub struct ValidationError {
+    /// The opcode under test.
+    pub opcode: u32,
+    /// Description of the divergence.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation of opcode {:#010x} failed: {}", self.opcode, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn err<T>(opcode: u32, message: impl Into<String>) -> Result<T, ValidationError> {
+    Err(ValidationError { opcode, message: message.into() })
+}
+
+/// Converts a mini-Sail register state into ITL machine registers, using
+/// the architecture's register naming.
+#[must_use]
+pub fn state_to_machine_regs(arch: &Arch, st: &SailState) -> BTreeMap<Reg, Value> {
+    let mut out = BTreeMap::new();
+    for (name, v) in &st.regs {
+        let reg = match name.split_once('.') {
+            Some((base, field)) => Reg::field(base, field),
+            None => Reg::new(name),
+        };
+        out.insert(reg, Value::Bits(*v));
+    }
+    for (array, vals) in &st.arrays {
+        for (i, v) in vals.iter().enumerate() {
+            if let Some(n) = arch.array_reg_name(array, i) {
+                out.insert(Reg::new(&n), Value::Bits(*v));
+            }
+        }
+    }
+    out
+}
+
+/// Converts ITL machine registers back for comparison.
+fn machine_regs_to_state(arch: &Arch, m: &Machine, template: &SailState) -> SailState {
+    let mut st = template.clone();
+    for (name, slot) in &mut st.regs {
+        let reg = match name.split_once('.') {
+            Some((base, field)) => Reg::field(base, field),
+            None => Reg::new(name),
+        };
+        if let Some(Value::Bits(b)) = m.reg(&reg) {
+            *slot = b;
+        }
+    }
+    for (array, vals) in &mut st.arrays {
+        for (i, slot) in vals.iter_mut().enumerate() {
+            if let Some(n) = arch.array_reg_name(array, i) {
+                if let Some(Value::Bits(b)) = m.reg(&Reg::new(&n)) {
+                    *slot = b;
+                }
+            }
+        }
+    }
+    st
+}
+
+/// Validates one opcode's trace against the model on one concrete state.
+///
+/// Both sides start from `state` and the byte memory `mem`; afterwards the
+/// register states and the mapped memory must agree. `trace` must have
+/// been generated for this opcode (the caller controls the configuration,
+/// so assumption-violating states are its responsibility — they surface as
+/// an ITL-side ⊥, reported as an error).
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] describing the first divergence.
+pub fn validate_instr(
+    arch: &Arch,
+    opcode: u32,
+    trace: &Trace,
+    state: &SailState,
+    mem: &BTreeMap<u64, u8>,
+) -> Result<(), ValidationError> {
+    // Side 1: direct mini-Sail interpretation.
+    let cm = arch.model();
+    let interp = Interp::new(cm)
+        .map_err(|e| ValidationError { opcode, message: e.to_string() })?;
+    let mut sail_state = state.clone();
+    let mut sail_mem = MapMem { bytes: mem.clone() };
+    interp
+        .call(
+            arch.entry,
+            &[CVal::Bits(Bv::new(32, u128::from(opcode)))],
+            &mut sail_state,
+            &mut sail_mem,
+        )
+        .map_err(|e| ValidationError { opcode, message: format!("model: {e}") })?;
+
+    // Side 2: the ITL trace on the same state.
+    let mut machine = Machine::new();
+    machine.regs = state_to_machine_regs(arch, state);
+    for (a, b) in mem {
+        machine.mem.insert(*a, *b);
+    }
+    let mut labels: Vec<Label> = Vec::new();
+    exec_instr(trace, &mut machine, &mut ZeroIo, &mut labels)
+        .map_err(|e| ValidationError { opcode, message: format!("trace: {e}") })?;
+
+    // Compare registers.
+    let got = machine_regs_to_state(arch, &machine, state);
+    for (name, expected) in &sail_state.regs {
+        let actual = got.regs.get(name);
+        if actual != Some(expected) {
+            return err(
+                opcode,
+                format!("register {name}: model {expected:?}, trace {actual:?}"),
+            );
+        }
+    }
+    for (array, expected) in &sail_state.arrays {
+        let actual = got.arrays.get(array);
+        if actual != Some(expected) {
+            return err(opcode, format!("register array {array} diverged"));
+        }
+    }
+    // Compare the initially-mapped memory.
+    for addr in mem.keys() {
+        let model_byte = sail_mem.bytes.get(addr).copied().unwrap_or(0);
+        let trace_byte = machine.mem.get(addr).copied().unwrap_or(0);
+        if model_byte != trace_byte {
+            return err(
+                opcode,
+                format!("memory {addr:#x}: model {model_byte:#04x}, trace {trace_byte:#04x}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A simple deterministic PRNG (xorshift64*), so validation sweeps are
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Options for a validation sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Number of randomized states per opcode.
+    pub random_states: u32,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Base address of the scratch memory window given to both sides.
+    pub mem_base: u64,
+    /// Size of the scratch window.
+    pub mem_len: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { random_states: 8, seed: 0x1234_5678, mem_base: 0x2000, mem_len: 64 }
+    }
+}
+
+/// Validates every instruction of a program (the paper validates every
+/// instruction of the RISC-V memcpy binary) over randomized states whose
+/// address-forming registers are pointed into a scratch window.
+///
+/// `assume_regs` are the registers fixed by the Isla configuration; the
+/// states are generated to satisfy them, mirroring the paper's use of
+/// `Assume` during refinement proofs.
+///
+/// # Errors
+///
+/// Returns the first divergence found.
+pub fn validate_program(
+    arch: &Arch,
+    cfg: &IslaConfig,
+    program: &[(u64, u32)],
+    opts: &SweepOptions,
+) -> Result<u64, ValidationError> {
+    let mut rng = XorShift(opts.seed);
+    let mut checks = 0;
+    for (_, opcode) in program {
+        let tr = trace_opcode(cfg, &Opcode::Concrete(*opcode))
+            .map_err(|e| ValidationError { opcode: *opcode, message: e.to_string() })?;
+        let trace = Arc::new(tr.trace);
+        for _ in 0..opts.random_states {
+            let (state, mem) = random_state(arch, cfg, &mut rng, opts);
+            validate_instr(arch, *opcode, &trace, &state, &mem)?;
+            checks += 1;
+        }
+    }
+    Ok(checks)
+}
+
+/// Generates a random state satisfying the configuration's register
+/// assumptions, with pointer-like registers aimed at the scratch window.
+#[must_use]
+pub fn random_state(
+    arch: &Arch,
+    cfg: &IslaConfig,
+    rng: &mut XorShift,
+    opts: &SweepOptions,
+) -> (SailState, BTreeMap<u64, u8>) {
+    let cm = arch.model();
+    let mut st = SailState::zeroed(cm);
+    // Randomise registers: alternate raw values and window pointers.
+    for (i, v) in st.regs.values_mut().enumerate() {
+        if v.width() == 64 {
+            *v = Bv::new(64, u128::from(rng.next_u64()));
+            if i % 2 == 0 {
+                *v = Bv::new(64, u128::from(opts.mem_base + rng.next_u64() % opts.mem_len));
+            }
+        } else {
+            *v = Bv::new(v.width(), u128::from(rng.next_u64()));
+        }
+    }
+    for vals in st.arrays.values_mut() {
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = if i % 2 == 0 {
+                Bv::new(64, u128::from(opts.mem_base + rng.next_u64() % (opts.mem_len / 2)))
+            } else {
+                Bv::new(64, u128::from(rng.next_u64() % 1024))
+            };
+        }
+    }
+    // Apply the configuration's assumed register values.
+    for (name, val) in &cfg.reg_values {
+        apply_assumption(arch, &mut st, name, *val);
+    }
+    // PC inside the window-independent code area.
+    st.regs.insert(arch.pc.to_owned(), Bv::new(64, 0x1000));
+    let mut mem = BTreeMap::new();
+    for a in 0..opts.mem_len {
+        mem.insert(opts.mem_base + a, (rng.next_u64() & 0xff) as u8);
+    }
+    (st, mem)
+}
+
+fn apply_assumption(arch: &Arch, st: &mut SailState, itl_name: &str, val: Bv) {
+    // Array element names (R3, x7) map back into the arrays.
+    for (array, prefix) in arch.arrays {
+        if let Some(idx) = itl_name.strip_prefix(prefix) {
+            if let Ok(i) = idx.parse::<usize>() {
+                if let Some(vals) = st.arrays.get_mut(*array) {
+                    if i < vals.len() {
+                        vals[i] = val;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    st.regs.insert(itl_name.to_owned(), val);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_models::{ARM, RISCV};
+
+    fn arm_cfg() -> IslaConfig {
+        IslaConfig::new(ARM)
+            .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+            .assume_reg("PSTATE.SP", Bv::new(1, 0b1))
+            .assume_reg("PSTATE.nRW", Bv::new(1, 0))
+            .assume_reg("SCTLR_EL2", Bv::zero(64))
+    }
+
+    #[test]
+    fn arm_add_sp_validates() {
+        let cfg = arm_cfg();
+        let checks =
+            validate_program(&ARM, &cfg, &[(0x1000, 0x910103ff)], &SweepOptions::default())
+                .expect("validates");
+        assert_eq!(checks, 8);
+    }
+
+    #[test]
+    fn mutated_trace_fails_validation() {
+        let cfg = arm_cfg();
+        let r = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
+        // Mutate: +0x41 instead of +0x40 by reprinting and editing the text.
+        let text = islaris_itl::print_trace(&r.trace)
+            .replace("#x0000000000000040", "#x0000000000000041");
+        let bad = islaris_itl::parse_trace(&text).expect("parses");
+        let mut rng = XorShift(7);
+        let opts = SweepOptions::default();
+        let (state, mem) = random_state(&ARM, &cfg, &mut rng, &opts);
+        let err = validate_instr(&ARM, 0x910103ff, &bad, &state, &mem).expect_err("diverges");
+        assert!(err.message.contains("SP_EL2"), "{err}");
+    }
+
+    #[test]
+    fn riscv_basic_ops_validate() {
+        let cfg = IslaConfig::new(RISCV);
+        let program = [
+            (0x1000u64, 0x02A0_0093u32), // addi x1, x0, 42
+            (0x1004, 0x0020_81B3),       // add x3, x1, x2
+            (0x1008, 0x0000_8183),       // lb x3, 0(x1)
+            (0x100c, 0x0031_0023),       // sb x3, 0(x2)
+            (0x1010, 0x0000_8067),       // ret
+        ];
+        let checks = validate_program(&RISCV, &cfg, &program, &SweepOptions::default())
+            .expect("validates");
+        assert_eq!(checks, 40);
+    }
+
+    #[test]
+    fn riscv_branches_validate_on_both_sides() {
+        let cfg = IslaConfig::new(RISCV);
+        // beq x1, x2, +8 — randomized states exercise both branches.
+        let beq = 0x00B5_0463u32 & !(0x1f << 15) & !(0x1f << 20) | (1 << 15) | (2 << 20);
+        let opts = SweepOptions { random_states: 16, ..SweepOptions::default() };
+        validate_program(&RISCV, &cfg, &[(0x1000, beq)], &opts).expect("validates");
+    }
+
+    #[test]
+    fn assumption_violating_state_is_reported() {
+        // Trace generated under EL2; validate against an EL1 state.
+        let cfg = arm_cfg();
+        let r = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
+        let mut rng = XorShift(3);
+        let opts = SweepOptions::default();
+        let (mut state, mem) = random_state(&ARM, &cfg, &mut rng, &opts);
+        state.regs.insert("PSTATE.EL".into(), Bv::new(2, 0b01));
+        let err = validate_instr(&ARM, 0x910103ff, &Arc::new(r.trace), &state, &mem)
+            .expect_err("trace side hits ⊥");
+        assert!(err.message.contains("assumption"), "{err}");
+    }
+}

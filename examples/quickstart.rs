@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Fig. 2/3 example end to end.
+//!
+//! Assembles `add sp, sp, #0x40`, symbolically executes the Armv8-A model
+//! fragment for it under the EL2/SP constraints, prints the resulting Isla
+//! trace (compare with Fig. 3 of the paper), and verifies the Hoare double
+//! `{SP_EL2 ↦ b} t {SP_EL2 ↦ b + 64}` with a checked certificate.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use islaris::logic::{
+    build, check_certificate, Atom, BlockAnn, NoIo, Param, ProgramSpec, SpecDef, SpecTable,
+    Verifier,
+};
+use islaris_asm::aarch64::{self as a64, XReg};
+use islaris_bv::Bv;
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_itl::{print_trace, Reg};
+use islaris_models::ARM;
+use islaris_smt::{BvBinop, Expr, Sort, Var};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Assemble. (0x910103ff, the opcode from the caption of Fig. 3.)
+    let opcode = a64::add_imm(XReg::SP, XReg::SP, 0x40)?;
+    println!("opcode: {opcode:#010x}\n");
+
+    // 2. Symbolic execution under the Fig. 3 constraints: EL = 2, SP = 1.
+    let cfg = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+        .assume_reg("PSTATE.SP", Bv::new(1, 0b1));
+    let result = trace_opcode(&cfg, &Opcode::Concrete(opcode))?;
+    println!("Isla trace (cf. Fig. 3 of the paper):");
+    println!("{}\n", print_trace(&result.trace).replace(") (", ")\n ("));
+
+    // 3. Verify {SP_EL2 ↦ b} t {SP_EL2 ↦ b + 64} for all b.
+    let b = Var(0);
+    let b2 = Var(1);
+    let mut specs = SpecTable::new();
+    specs.add(SpecDef {
+        name: "pre".into(),
+        params: vec![Param::Bv(b, Sort::BitVec(64))],
+        atoms: vec![
+            build::field("PSTATE", "EL", Expr::bv(2, 0b10)),
+            build::field("PSTATE", "SP", Expr::bv(1, 0b1)),
+            build::reg("SP_EL2", Expr::var(b)),
+            build::reg("R7", Expr::var(b)), // pin b for the postcondition
+        ],
+    });
+    specs.add(SpecDef {
+        name: "post".into(),
+        params: vec![Param::Bv(b, Sort::BitVec(64)), Param::Bv(b2, Sort::BitVec(64))],
+        atoms: vec![
+            build::reg("R7", Expr::var(b)),
+            build::reg("SP_EL2", Expr::var(b2)),
+            Atom::Pure(Expr::eq(
+                Expr::var(b2),
+                Expr::binop(BvBinop::Add, Expr::var(b), Expr::bv(64, 0x40)),
+            )),
+        ],
+    });
+    let mut instrs = BTreeMap::new();
+    instrs.insert(0x1000, Arc::new(result.trace));
+    let mut blocks = BTreeMap::new();
+    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
+    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
+    let prog = ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs };
+    let verifier = Verifier::new(prog, Arc::new(NoIo));
+    let report = verifier.verify_all()?;
+    println!("verified: {{SP_EL2 ↦ b}} add sp, sp, #0x40 {{SP_EL2 ↦ b + 0x40}}");
+
+    // 4. Replay the certificate (the Qed check).
+    for block in &report.blocks {
+        check_certificate(&block.cert)?;
+    }
+    println!(
+        "certificate checked: {} obligations re-proved independently",
+        report.obligations()
+    );
+    Ok(())
+}

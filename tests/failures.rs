@@ -1,0 +1,128 @@
+//! Failure injection across the pipeline: wrong specifications must fail
+//! verification, mutated traces must fail translation validation, and
+//! tampered certificates must fail the checker. A verifier that accepts
+//! everything proves nothing.
+
+use std::sync::Arc;
+
+use islaris::logic::{check_certificate, BlockAnn, Certificate, NoIo, Obligation, Verifier};
+use islaris_bv::Bv;
+use islaris_cases::{memcpy_arm, uart};
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_models::ARM;
+use islaris_smt::{Expr, Sort, Var};
+use islaris_transval::{random_state, validate_instr, SweepOptions, XorShift};
+
+/// memcpy with a corrupted loop invariant (strict bound replaced by a
+/// wrong constant) must fail.
+#[test]
+fn memcpy_with_wrong_invariant_fails() {
+    let mut art = memcpy_arm::build_case();
+    // Point the loop annotation at the postcondition spec — nonsense.
+    art.prog_spec
+        .blocks
+        .insert(memcpy_arm::BASE + 8, BlockAnn { spec: "memcpy_post".into(), verify: true });
+    let v = Verifier::new(art.prog_spec, art.protocol);
+    assert!(v.verify_all().is_err());
+}
+
+/// memcpy against traces generated for a *different* instruction fails.
+#[test]
+fn memcpy_with_swapped_traces_fails() {
+    let mut art = memcpy_arm::build_case();
+    // Replace the ldrb with an str (changes the memory direction).
+    let cfg = IslaConfig::new(ARM);
+    let bogus = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
+    let ldrb_addr = memcpy_arm::BASE + 8;
+    art.prog_spec.instrs.insert(ldrb_addr, Arc::new(bogus.trace));
+    let v = Verifier::new(art.prog_spec, art.protocol);
+    assert!(v.verify_all().is_err());
+}
+
+/// The UART program verified against a protocol expecting a different
+/// character must fail (the write obligation).
+#[test]
+fn uart_wrong_character_fails() {
+    let art = uart::build_case();
+    // Protocol demands a write of the constant 0x55 instead of the ghost.
+    let wrong = islaris::logic::uart(uart::LSR, uart::IO, 0x55);
+    let v = Verifier::new(art.prog_spec, Arc::new(wrong));
+    let err = v.verify_all().expect_err("must fail");
+    assert!(err.message.contains("obligation"), "{err}");
+}
+
+/// The UART program with *no* protocol must fail at the first MMIO read.
+#[test]
+fn uart_without_protocol_fails() {
+    let art = uart::build_case();
+    let v = Verifier::new(art.prog_spec, Arc::new(NoIo));
+    let err = v.verify_all().expect_err("must fail");
+    assert!(err.message.contains("protocol"), "{err}");
+}
+
+/// A trace with a flipped immediate diverges from the model.
+#[test]
+fn mutated_trace_fails_translation_validation() {
+    let cfg = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 2))
+        .assume_reg("PSTATE.SP", Bv::new(1, 1))
+        .assume_reg("SCTLR_EL2", Bv::zero(64));
+    let good = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
+    let mutated = islaris_itl::print_trace(&good.trace)
+        .replace("#x0000000000000040", "#x0000000000000080");
+    let bad = islaris_itl::parse_trace(&mutated).expect("parses");
+    let opts = SweepOptions::default();
+    let mut rng = XorShift(42);
+    let (state, mem) = random_state(&ARM, &cfg, &mut rng, &opts);
+    assert!(validate_instr(&ARM, 0x910103ff, &bad, &state, &mem).is_err());
+}
+
+/// Certificates are not decorative: adding a false obligation breaks the
+/// check, and removing obligations from a valid certificate still passes
+/// (they are independent facts).
+#[test]
+fn tampered_certificates_fail() {
+    let art = memcpy_arm::build_case();
+    let v = Verifier::new(art.prog_spec, art.protocol);
+    let report = v.verify_all().expect("verifies");
+    let good = &report.blocks[0].cert;
+    check_certificate(good).expect("valid");
+
+    let mut tampered = good.clone();
+    tampered.obligations.push(Obligation::Bv {
+        facts: vec![],
+        goal: Expr::eq(Expr::var(Var(0)), Expr::bv(64, 1)),
+        sorts: vec![(Var(0), Sort::BitVec(64))],
+    });
+    let err = check_certificate(&tampered).expect_err("must fail");
+    assert_eq!(err.index, good.obligations.len());
+
+    let subset = Certificate { obligations: good.obligations[..2.min(good.obligations.len())].to_vec() };
+    check_certificate(&subset).expect("a prefix still re-proves");
+}
+
+/// A spec that demands memory the program never owned must fail at
+/// findM, not silently pass.
+#[test]
+fn missing_memory_ownership_fails() {
+    let mut art = memcpy_arm::build_case();
+    // Drop the source array from the precondition.
+    let mut specs = islaris::logic::SpecTable::new();
+    for def in art.prog_spec.specs.defs() {
+        let mut d = def.clone();
+        if d.name == "memcpy_pre" {
+            d.atoms.retain(|a| {
+                !matches!(a, islaris::logic::Atom::MemArray { addr, .. }
+                          if *addr == Expr::var(Var(1)))
+            });
+        }
+        specs.add(d);
+    }
+    art.prog_spec.specs = specs;
+    let v = Verifier::new(art.prog_spec, art.protocol);
+    let err = v.verify_all().expect_err("must fail");
+    assert!(
+        err.message.contains("findM") || err.message.contains("no matching chunk"),
+        "{err}"
+    );
+}

@@ -1,0 +1,247 @@
+//! Cross-crate integration tests: the full pipeline per case study
+//! (assemble → trace → verify → check certificates → run the adequacy
+//! theorem), mirroring §6 of the paper.
+
+use islaris::logic::{adequacy, check_certificate, NoIo, Verifier};
+use islaris_bv::Bv;
+use islaris_cases::{binsearch_arm, hvc, memcpy_arm, memcpy_riscv, pkvm, unaligned};
+use islaris_itl::{Reg, Stop, ZeroIo};
+use islaris_smt::Value;
+
+/// memcpy/Arm: verification, certificates, and an adequacy run that
+/// actually copies bytes.
+#[test]
+fn memcpy_arm_full_pipeline() {
+    let art = memcpy_arm::build_case();
+    let verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+    let report = verifier.verify_all().expect("verifies");
+    for b in &report.blocks {
+        check_certificate(&b.cert).expect("certificate replays");
+    }
+    // Adequacy with concrete data.
+    let (d, s, n) = (0x3000u64, 0x2000u64, 4u64);
+    let payload = vec![0xde, 0xad, 0xbe, 0xef];
+    let mut machine = adequacy::machine(
+        &[
+            (Reg::new("R0"), Bv::new(64, u128::from(d))),
+            (Reg::new("R1"), Bv::new(64, u128::from(s))),
+            (Reg::new("R2"), Bv::new(64, u128::from(n))),
+            (Reg::new("R3"), Bv::zero(64)),
+            (Reg::new("R4"), Bv::zero(64)),
+            (Reg::new("R30"), Bv::new(64, 0xdead_0000)),
+            (Reg::new("_PC"), Bv::new(64, memcpy_arm::BASE as u128)),
+            (Reg::field("PSTATE", "N"), Bv::zero(1)),
+            (Reg::field("PSTATE", "Z"), Bv::zero(1)),
+            (Reg::field("PSTATE", "C"), Bv::zero(1)),
+            (Reg::field("PSTATE", "V"), Bv::zero(1)),
+        ],
+        &art.prog_spec.instrs,
+        &[(s, payload.clone()), (d, vec![0; 4])],
+    );
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 1000);
+    assert!(r.holds());
+    assert_eq!(r.run.stop, Stop::End(0xdead_0000));
+    for (i, b) in payload.iter().enumerate() {
+        assert_eq!(machine.mem.get(&(d + i as u64)), Some(b));
+    }
+}
+
+/// memcpy/Arm with n = 0: the cbz fast path, no bytes move.
+#[test]
+fn memcpy_arm_zero_length() {
+    let art = memcpy_arm::build_case();
+    let d = 0x3000u64;
+    let mut machine = adequacy::machine(
+        &[
+            (Reg::new("R0"), Bv::new(64, u128::from(d))),
+            (Reg::new("R1"), Bv::new(64, 0x2000)),
+            (Reg::new("R2"), Bv::zero(64)),
+            (Reg::new("R3"), Bv::zero(64)),
+            (Reg::new("R4"), Bv::zero(64)),
+            (Reg::new("R30"), Bv::new(64, 0xdead_0000)),
+            (Reg::new("_PC"), Bv::new(64, memcpy_arm::BASE as u128)),
+        ],
+        &art.prog_spec.instrs,
+        &[(d, vec![7u8; 4])],
+    );
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 100);
+    assert_eq!(r.run.stop, Stop::End(0xdead_0000));
+    assert_eq!(machine.mem[&d], 7, "destination untouched");
+    assert_eq!(r.run.instructions, 2, "cbz + ret");
+}
+
+/// memcpy/RISC-V adequacy.
+#[test]
+fn memcpy_riscv_adequacy() {
+    let art = memcpy_riscv::build_case();
+    let (d, s, n) = (0x3000u64, 0x2000u64, 3u64);
+    let mut machine = adequacy::machine(
+        &[
+            (Reg::new("x10"), Bv::new(64, u128::from(d))),
+            (Reg::new("x11"), Bv::new(64, u128::from(s))),
+            (Reg::new("x12"), Bv::new(64, u128::from(n))),
+            (Reg::new("x13"), Bv::zero(64)),
+            (Reg::new("x1"), Bv::new(64, 0xdead_0000)),
+            (Reg::new("PC"), Bv::new(64, memcpy_riscv::BASE as u128)),
+        ],
+        &art.prog_spec.instrs,
+        &[(s, vec![1, 2, 3]), (d, vec![0; 3])],
+    );
+    let r = adequacy::check(&mut machine, &Reg::new("PC"), &mut ZeroIo, &NoIo, 0, 1000);
+    assert_eq!(r.run.stop, Stop::End(0xdead_0000));
+    assert_eq!(machine.mem[&d], 1);
+    assert_eq!(machine.mem[&(d + 2)], 3);
+}
+
+/// The unaligned store faults in execution exactly as verified.
+#[test]
+fn unaligned_adequacy() {
+    let art = unaligned::build_case();
+    let mut regs = vec![
+        (Reg::new("R0"), Bv::new(64, 0x1234_5678)),
+        (Reg::new("R1"), Bv::new(64, 0x2001)), // misaligned
+        (Reg::new("_PC"), Bv::new(64, unaligned::BASE as u128)),
+        (Reg::new("SCTLR_EL2"), Bv::new(64, 0b10)),
+        (Reg::new("VBAR_EL2"), Bv::new(64, unaligned::VBAR as u128)),
+        (Reg::new("SPSR_EL2"), Bv::zero(64)),
+        (Reg::new("ELR_EL2"), Bv::zero(64)),
+        (Reg::new("ESR_EL2"), Bv::zero(64)),
+        (Reg::new("FAR_EL2"), Bv::zero(64)),
+        (Reg::field("PSTATE", "EL"), Bv::new(2, 0b10)),
+        (Reg::field("PSTATE", "SP"), Bv::new(1, 1)),
+        (Reg::field("PSTATE", "nRW"), Bv::zero(1)),
+    ];
+    for f in ["N", "Z", "C", "V", "D", "A", "I", "F"] {
+        regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
+    }
+    let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 10);
+    assert!(r.no_bottom);
+    assert_eq!(r.run.stop, Stop::End(unaligned::HANDLER), "vector slot reached");
+    assert_eq!(
+        machine.reg(&Reg::new("ESR_EL2")),
+        Some(Value::Bits(Bv::new(64, 0x9600_0021)))
+    );
+    assert_eq!(
+        machine.reg(&Reg::new("FAR_EL2")),
+        Some(Value::Bits(Bv::new(64, 0x2001)))
+    );
+}
+
+/// pKVM soft-restart path: the handler installs the caller's vectors and
+/// erets to EL2.
+#[test]
+fn pkvm_soft_restart_adequacy() {
+    let art = pkvm::build_case();
+    let mut regs = vec![
+        (Reg::new("R0"), Bv::new(64, 1)), // HVC_SOFT_RESTART
+        (Reg::new("R1"), Bv::new(64, 0xaaaa_0000)),
+        (Reg::new("R2"), Bv::new(64, 0xbbbb_0000)),
+        (Reg::new("_PC"), Bv::new(64, pkvm::HANDLER as u128)),
+        (Reg::new("ESR_EL2"), Bv::new(64, 0x5A00_0000)),
+        (Reg::new("SPSR_EL2"), Bv::new(64, pkvm::SPSR_EL1H as u128)),
+        (Reg::new("ELR_EL2"), Bv::new(64, 0xcccc_0000)),
+        (Reg::new("HCR_EL2"), Bv::new(64, 0x8000_0000)),
+        (Reg::new("VBAR_EL2"), Bv::zero(64)),
+        (Reg::field("PSTATE", "EL"), Bv::new(2, 0b10)),
+        (Reg::field("PSTATE", "SP"), Bv::new(1, 1)),
+        (Reg::field("PSTATE", "nRW"), Bv::zero(1)),
+    ];
+    for r in ["R3", "R10", "R11", "R12", "R13"] {
+        regs.push((Reg::new(r), Bv::zero(64)));
+    }
+    for f in ["N", "Z", "C", "V"] {
+        regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
+    }
+    for f in ["D", "A", "I", "F"] {
+        regs.push((Reg::field("PSTATE", f), Bv::new(1, 1)));
+    }
+    for sr in pkvm::SWEEP {
+        regs.push((Reg::new(sr.name()), Bv::new(64, 0x2222)));
+    }
+    let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 100);
+    assert!(r.no_bottom, "{:?}", r.run.stop);
+    assert_eq!(r.run.stop, Stop::End(0xaaaa_0000), "eret to the restart target");
+    assert_eq!(
+        machine.reg(&Reg::new("VBAR_EL2")),
+        Some(Value::Bits(Bv::new(64, 0xbbbb_0000)))
+    );
+    assert_eq!(
+        machine.reg(&Reg::field("PSTATE", "EL")),
+        Some(Value::Bits(Bv::new(2, 0b10))),
+        "soft restart stays at EL2"
+    );
+}
+
+/// Binary search adequacy: find a key in a sorted array through the
+/// verified comparator.
+#[test]
+fn binsearch_arm_adequacy() {
+    let art = binsearch_arm::build_case();
+    let base = 0x2000u64;
+    let array: Vec<u64> = vec![3, 7, 11, 40, 100];
+    let key = 40u64;
+    let mut mem_bytes = Vec::new();
+    for v in &array {
+        mem_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut regs = vec![
+        (Reg::new("R0"), Bv::new(64, u128::from(base))),
+        (Reg::new("R1"), Bv::new(64, array.len() as u128)),
+        (Reg::new("R2"), Bv::new(64, u128::from(key))),
+        (Reg::new("R3"), Bv::new(64, u128::from(binsearch_arm::CMP_IMPL))),
+        (Reg::new("R30"), Bv::new(64, 0xdead_0000)),
+        (Reg::new("_PC"), Bv::new(64, binsearch_arm::BASE as u128)),
+        (Reg::field("PSTATE", "EL"), Bv::new(2, 0b10)),
+        (Reg::field("PSTATE", "SP"), Bv::new(1, 1)),
+        (Reg::new("SCTLR_EL2"), Bv::zero(64)),
+    ];
+    for r in ["R4", "R5", "R6", "R7", "R8", "R9", "R10"] {
+        regs.push((Reg::new(r), Bv::zero(64)));
+    }
+    for f in ["N", "Z", "C", "V"] {
+        regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
+    }
+    let mut machine =
+        adequacy::machine(&regs, &art.prog_spec.instrs, &[(base, mem_bytes)]);
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 1000);
+    assert!(r.no_bottom, "{:?}", r.run.stop);
+    assert_eq!(r.run.stop, Stop::End(0xdead_0000));
+    // Lower-bound semantics: first index whose element is ≥ key.
+    assert_eq!(
+        machine.reg(&Reg::new("R0")),
+        Some(Value::Bits(Bv::new(64, 3))),
+        "found 40 at index 3"
+    );
+}
+
+/// The hvc program executed from scratch reaches x0 = 42 at EL1.
+#[test]
+fn hvc_adequacy() {
+    let art = hvc::build_case();
+    let mut regs = vec![
+        (Reg::new("R0"), Bv::zero(64)),
+        (Reg::new("_PC"), Bv::new(64, hvc::START as u128)),
+        (Reg::field("PSTATE", "EL"), Bv::new(2, 0b10)),
+        (Reg::field("PSTATE", "SP"), Bv::new(1, 1)),
+        (Reg::field("PSTATE", "nRW"), Bv::zero(1)),
+    ];
+    for f in ["D", "A", "I", "F"] {
+        regs.push((Reg::field("PSTATE", f), Bv::new(1, 1)));
+    }
+    for f in ["N", "Z", "C", "V"] {
+        regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
+    }
+    for r in ["VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2", "FAR_EL2"] {
+        regs.push((Reg::new(r), Bv::zero(64)));
+    }
+    let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
+    let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 50);
+    assert!(r.no_bottom);
+    assert_eq!(machine.reg(&Reg::new("R0")), Some(Value::Bits(Bv::new(64, 42))));
+    assert_eq!(
+        machine.reg(&Reg::field("PSTATE", "EL")),
+        Some(Value::Bits(Bv::new(2, 0b01)))
+    );
+}
