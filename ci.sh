@@ -1,0 +1,24 @@
+#!/bin/sh
+# Offline CI for islaris-rs. Every step runs without network access: the
+# workspace has no external dependencies (std only), so --offline always
+# resolves.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== build (release, whole workspace) =="
+cargo build --release --workspace --offline
+
+echo "== tier-1 tests (root package) =="
+cargo test --release -q --offline
+
+echo "== full workspace tests =="
+cargo test --release -q --workspace --offline
+
+echo "== formatting =="
+cargo fmt --all --check
+
+echo "== fig12 parallel smoke (--jobs 2: asserts stable rows are"
+echo "   byte-identical across sequential/cold/warm runs) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- --jobs 2
+
+echo "CI OK"

@@ -261,7 +261,10 @@ fn check_imm12(imm: u32) -> Result<u32, AsmError> {
     if imm < (1 << 12) {
         Ok(imm)
     } else {
-        Err(AsmError::ImmediateOutOfRange { what: "imm12", value: i64::from(imm) })
+        Err(AsmError::ImmediateOutOfRange {
+            what: "imm12",
+            value: i64::from(imm),
+        })
     }
 }
 
@@ -307,7 +310,10 @@ pub fn add_reg_shifted(
     amount: u8,
 ) -> Result<u32, AsmError> {
     if amount > 63 {
-        return Err(AsmError::ImmediateOutOfRange { what: "shift amount", value: i64::from(amount) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "shift amount",
+            value: i64::from(amount),
+        });
     }
     Ok(0x8B00_0000
         | (shift as u32) << 22
@@ -344,7 +350,10 @@ pub fn mov_reg(d: XReg, m: XReg) -> u32 {
 /// `movz xd, #imm16, lsl #(hw*16)`.
 pub fn movz(d: XReg, imm16: u16, hw: u8) -> Result<u32, AsmError> {
     if hw > 3 {
-        return Err(AsmError::ImmediateOutOfRange { what: "movz hw", value: i64::from(hw) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "movz hw",
+            value: i64::from(hw),
+        });
     }
     Ok(0xD280_0000 | u32::from(hw) << 21 | u32::from(imm16) << 5 | d.idx())
 }
@@ -352,7 +361,10 @@ pub fn movz(d: XReg, imm16: u16, hw: u8) -> Result<u32, AsmError> {
 /// `movk xd, #imm16, lsl #(hw*16)`.
 pub fn movk(d: XReg, imm16: u16, hw: u8) -> Result<u32, AsmError> {
     if hw > 3 {
-        return Err(AsmError::ImmediateOutOfRange { what: "movk hw", value: i64::from(hw) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "movk hw",
+            value: i64::from(hw),
+        });
     }
     Ok(0xF280_0000 | u32::from(hw) << 21 | u32::from(imm16) << 5 | d.idx())
 }
@@ -360,7 +372,10 @@ pub fn movk(d: XReg, imm16: u16, hw: u8) -> Result<u32, AsmError> {
 /// `movn xd, #imm16, lsl #(hw*16)`.
 pub fn movn(d: XReg, imm16: u16, hw: u8) -> Result<u32, AsmError> {
     if hw > 3 {
-        return Err(AsmError::ImmediateOutOfRange { what: "movn hw", value: i64::from(hw) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "movn hw",
+            value: i64::from(hw),
+        });
     }
     Ok(0x9280_0000 | u32::from(hw) << 21 | u32::from(imm16) << 5 | d.idx())
 }
@@ -391,7 +406,10 @@ pub fn mov_imm64(d: XReg, value: u64) -> Vec<u32> {
 /// `lsr xd, xn, #shift` (UBFM alias).
 pub fn lsr_imm(d: XReg, n: XReg, shift: u8) -> Result<u32, AsmError> {
     if shift > 63 {
-        return Err(AsmError::ImmediateOutOfRange { what: "lsr shift", value: i64::from(shift) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "lsr shift",
+            value: i64::from(shift),
+        });
     }
     Ok(0xD340_FC00 | u32::from(shift) << 16 | n.idx() << 5 | d.idx())
 }
@@ -399,7 +417,10 @@ pub fn lsr_imm(d: XReg, n: XReg, shift: u8) -> Result<u32, AsmError> {
 /// `lsl xd, xn, #shift` (UBFM alias), `1 <= shift <= 63`.
 pub fn lsl_imm(d: XReg, n: XReg, shift: u8) -> Result<u32, AsmError> {
     if shift == 0 || shift > 63 {
-        return Err(AsmError::ImmediateOutOfRange { what: "lsl shift", value: i64::from(shift) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "lsl shift",
+            value: i64::from(shift),
+        });
     }
     let immr = (64 - u32::from(shift)) % 64;
     let imms = 63 - u32::from(shift);
@@ -421,7 +442,10 @@ pub fn strb_reg(t: XReg, n: XReg, m: XReg) -> u32 {
 /// `ldr xt, [xn, #imm]` (imm must be a multiple of 8, `< 32768`).
 pub fn ldr_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
     if imm % 8 != 0 || imm / 8 >= (1 << 12) {
-        return Err(AsmError::ImmediateOutOfRange { what: "ldr imm", value: i64::from(imm) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "ldr imm",
+            value: i64::from(imm),
+        });
     }
     Ok(0xF940_0000 | (imm / 8) << 10 | n.idx() << 5 | t.idx())
 }
@@ -429,7 +453,10 @@ pub fn ldr_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
 /// `str xt, [xn, #imm]`.
 pub fn str_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
     if imm % 8 != 0 || imm / 8 >= (1 << 12) {
-        return Err(AsmError::ImmediateOutOfRange { what: "str imm", value: i64::from(imm) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "str imm",
+            value: i64::from(imm),
+        });
     }
     Ok(0xF900_0000 | (imm / 8) << 10 | n.idx() << 5 | t.idx())
 }
@@ -437,7 +464,10 @@ pub fn str_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
 /// `ldr wt, [xn, #imm]` (32-bit; imm multiple of 4).
 pub fn ldr32_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
     if imm % 4 != 0 || imm / 4 >= (1 << 12) {
-        return Err(AsmError::ImmediateOutOfRange { what: "ldr32 imm", value: i64::from(imm) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "ldr32 imm",
+            value: i64::from(imm),
+        });
     }
     Ok(0xB940_0000 | (imm / 4) << 10 | n.idx() << 5 | t.idx())
 }
@@ -445,7 +475,10 @@ pub fn ldr32_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
 /// `str wt, [xn, #imm]` (32-bit).
 pub fn str32_imm(t: XReg, n: XReg, imm: u32) -> Result<u32, AsmError> {
     if imm % 4 != 0 || imm / 4 >= (1 << 12) {
-        return Err(AsmError::ImmediateOutOfRange { what: "str32 imm", value: i64::from(imm) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "str32 imm",
+            value: i64::from(imm),
+        });
     }
     Ok(0xB900_0000 | (imm / 4) << 10 | n.idx() << 5 | t.idx())
 }

@@ -62,7 +62,10 @@ impl Program {
     /// labels it resolved; this accessor is for test convenience).
     #[must_use]
     pub fn label(&self, name: &str) -> u64 {
-        *self.labels.get(name).unwrap_or_else(|| panic!("unknown label `{name}`"))
+        *self
+            .labels
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown label `{name}`"))
     }
 
     /// Number of instructions — the "asm" size column of Fig. 12.
@@ -116,7 +119,12 @@ impl Asm {
     /// Starts assembling at `base`.
     #[must_use]
     pub fn new(base: u64) -> Self {
-        Asm { pc: base, items: Vec::new(), labels: HashMap::new(), errors: Vec::new() }
+        Asm {
+            pc: base,
+            items: Vec::new(),
+            labels: HashMap::new(),
+            errors: Vec::new(),
+        }
     }
 
     /// Current location counter.
@@ -191,7 +199,11 @@ impl Asm {
         for item in self.items {
             match item {
                 Item::Word(addr, op) => instrs.push((addr, op)),
-                Item::Patch { addr, target, fixup } => {
+                Item::Patch {
+                    addr,
+                    target,
+                    fixup,
+                } => {
                     let Some(dest) = self.labels.get(&target) else {
                         return Err(AsmError::UnknownLabel(target));
                     };
@@ -201,7 +213,10 @@ impl Asm {
             }
         }
         instrs.sort_by_key(|(a, _)| *a);
-        Ok(Program { instrs, labels: self.labels })
+        Ok(Program {
+            instrs,
+            labels: self.labels,
+        })
     }
 }
 
@@ -280,7 +295,10 @@ mod tests {
     #[test]
     fn deferred_errors_surface() {
         let mut asm = Asm::new(0);
-        asm.put_or(Err(AsmError::ImmediateOutOfRange { what: "imm12", value: 9999 }));
+        asm.put_or(Err(AsmError::ImmediateOutOfRange {
+            what: "imm12",
+            value: 9999,
+        }));
         assert!(asm.finish().is_err());
     }
 }

@@ -31,11 +31,21 @@ fn check_imm12(imm: i32, what: &'static str) -> Result<u32, AsmError> {
     if (-2048..=2047).contains(&imm) {
         Ok((imm as u32) & 0xfff)
     } else {
-        Err(AsmError::ImmediateOutOfRange { what, value: i64::from(imm) })
+        Err(AsmError::ImmediateOutOfRange {
+            what,
+            value: i64::from(imm),
+        })
     }
 }
 
-fn itype(imm: i32, rs1: Gpr, funct3: u32, rd: Gpr, opcode: u32, what: &'static str) -> Result<u32, AsmError> {
+fn itype(
+    imm: i32,
+    rs1: Gpr,
+    funct3: u32,
+    rd: Gpr,
+    opcode: u32,
+    what: &'static str,
+) -> Result<u32, AsmError> {
     Ok(check_imm12(imm, what)? << 20 | rs1.idx() << 15 | funct3 << 12 | rd.idx() << 7 | opcode)
 }
 
@@ -45,15 +55,32 @@ fn rtype(funct7: u32, rs2: Gpr, rs1: Gpr, funct3: u32, rd: Gpr, opcode: u32) -> 
 
 fn stype(imm: i32, rs2: Gpr, rs1: Gpr, funct3: u32, what: &'static str) -> Result<u32, AsmError> {
     let imm = check_imm12(imm, what)?;
-    Ok((imm >> 5) << 25 | rs2.idx() << 20 | rs1.idx() << 15 | funct3 << 12 | (imm & 0x1f) << 7 | 0b0100011)
+    Ok((imm >> 5) << 25
+        | rs2.idx() << 20
+        | rs1.idx() << 15
+        | funct3 << 12
+        | (imm & 0x1f) << 7
+        | 0b0100011)
 }
 
-fn btype(offset: i64, rs2: Gpr, rs1: Gpr, funct3: u32, what: &'static str) -> Result<u32, AsmError> {
+fn btype(
+    offset: i64,
+    rs2: Gpr,
+    rs1: Gpr,
+    funct3: u32,
+    what: &'static str,
+) -> Result<u32, AsmError> {
     if offset % 2 != 0 {
-        return Err(AsmError::MisalignedOffset { what, value: offset });
+        return Err(AsmError::MisalignedOffset {
+            what,
+            value: offset,
+        });
     }
     if !(-4096..=4094).contains(&offset) {
-        return Err(AsmError::ImmediateOutOfRange { what, value: offset });
+        return Err(AsmError::ImmediateOutOfRange {
+            what,
+            value: offset,
+        });
     }
     let imm = offset as u32;
     Ok((imm >> 12 & 1) << 31
@@ -69,7 +96,10 @@ fn btype(offset: i64, rs2: Gpr, rs1: Gpr, funct3: u32, what: &'static str) -> Re
 /// `lui rd, imm20` (upper 20 bits).
 pub fn lui(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
     if !(-(1 << 19)..(1 << 19)).contains(&imm20) {
-        return Err(AsmError::ImmediateOutOfRange { what: "lui imm20", value: i64::from(imm20) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "lui imm20",
+            value: i64::from(imm20),
+        });
     }
     Ok(((imm20 as u32) & 0xfffff) << 12 | rd.idx() << 7 | 0b0110111)
 }
@@ -77,7 +107,10 @@ pub fn lui(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
 /// `auipc rd, imm20`.
 pub fn auipc(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
     if !(-(1 << 19)..(1 << 19)).contains(&imm20) {
-        return Err(AsmError::ImmediateOutOfRange { what: "auipc imm20", value: i64::from(imm20) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "auipc imm20",
+            value: i64::from(imm20),
+        });
     }
     Ok(((imm20 as u32) & 0xfffff) << 12 | rd.idx() << 7 | 0b0010111)
 }
@@ -85,10 +118,16 @@ pub fn auipc(rd: Gpr, imm20: i32) -> Result<u32, AsmError> {
 /// `jal rd, offset` (byte offset).
 pub fn jal(rd: Gpr, offset: i64) -> Result<u32, AsmError> {
     if offset % 2 != 0 {
-        return Err(AsmError::MisalignedOffset { what: "jal offset", value: offset });
+        return Err(AsmError::MisalignedOffset {
+            what: "jal offset",
+            value: offset,
+        });
     }
     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
-        return Err(AsmError::ImmediateOutOfRange { what: "jal offset", value: offset });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "jal offset",
+            value: offset,
+        });
     }
     let imm = offset as u32;
     Ok((imm >> 20 & 1) << 31
@@ -203,7 +242,10 @@ pub fn xori(rd: Gpr, rs1: Gpr, imm: i32) -> Result<u32, AsmError> {
 /// `slli rd, rs1, shamt` (0–63).
 pub fn slli(rd: Gpr, rs1: Gpr, shamt: u8) -> Result<u32, AsmError> {
     if shamt > 63 {
-        return Err(AsmError::ImmediateOutOfRange { what: "slli shamt", value: i64::from(shamt) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "slli shamt",
+            value: i64::from(shamt),
+        });
     }
     Ok(u32::from(shamt) << 20 | rs1.idx() << 15 | 0b001 << 12 | rd.idx() << 7 | 0b0010011)
 }
@@ -211,7 +253,10 @@ pub fn slli(rd: Gpr, rs1: Gpr, shamt: u8) -> Result<u32, AsmError> {
 /// `srli rd, rs1, shamt`.
 pub fn srli(rd: Gpr, rs1: Gpr, shamt: u8) -> Result<u32, AsmError> {
     if shamt > 63 {
-        return Err(AsmError::ImmediateOutOfRange { what: "srli shamt", value: i64::from(shamt) });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "srli shamt",
+            value: i64::from(shamt),
+        });
     }
     Ok(u32::from(shamt) << 20 | rs1.idx() << 15 | 0b101 << 12 | rd.idx() << 7 | 0b0010011)
 }
@@ -259,7 +304,10 @@ pub fn li(rd: Gpr, value: i64) -> Result<Vec<u32>, AsmError> {
         return Ok(vec![addi(rd, Gpr::ZERO, value as i32)?]);
     }
     if i64::from(value as i32) != value {
-        return Err(AsmError::ImmediateOutOfRange { what: "li value", value });
+        return Err(AsmError::ImmediateOutOfRange {
+            what: "li value",
+            value,
+        });
     }
     let value = value as i32;
     let lo = (value << 20) >> 20; // low 12, sign-extended

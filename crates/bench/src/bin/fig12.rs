@@ -1,11 +1,101 @@
 //! Regenerates the paper's Figure 12 ("Example sizes and times").
 //!
-//! Columns: asm = instructions; ITL = trace events; Spec = spec atoms;
-//! Proof = annotations + pure hints; Isla(s) = trace generation;
-//! Auto(s) = proof automation; Qed(s) = certificate re-check;
-//! SMT = solver queries during verification; Oblig = logged obligations.
+//! Modes:
+//!
+//! * no flags — the classic sequential table. Columns: asm =
+//!   instructions; ITL = trace events; Spec = spec atoms; Proof =
+//!   annotations + pure hints; Isla(s) = trace generation; Auto(s) =
+//!   proof automation; Qed(s) = certificate re-check; SMT = solver
+//!   queries during verification; Oblig = logged obligations.
+//! * `--jobs N` — the parallel pipeline measurement: a sequential
+//!   uncached baseline, then a cold and a warm parallel run over one
+//!   shared trace cache, reporting per-case wall times, cache hit rates,
+//!   and speedups. The stable (non-timing) columns are asserted
+//!   byte-identical across all three runs.
+//! * `--bench [ITERS]` — the pipeline-stage micro-benchmarks
+//!   (plain-`Instant` replacement for the removed Criterion benches).
+
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: fig12 [--jobs N] [--bench [ITERS]]");
+    exit(2);
+}
+
+fn parallel(jobs: usize) {
+    let run = islaris_cases::run_all_parallel(jobs);
+
+    // Determinism check: the size/effort columns must not depend on the
+    // worker count or the cache state.
+    let baseline = run.sequential.stable_rows();
+    for (label, report) in [("cold", &run.cold), ("warm", &run.warm)] {
+        assert_eq!(
+            baseline,
+            report.stable_rows(),
+            "{label} parallel table differs from the sequential baseline"
+        );
+    }
+
+    println!("sequential baseline (uncached, 1 worker):");
+    print!("{}", run.sequential.render());
+    println!("\ncold parallel run ({jobs} workers, shared cache starts empty):");
+    print!("{}", run.cold.render());
+    println!("\nwarm parallel run ({jobs} workers, cache primed):");
+    print!("{}", run.warm.render());
+
+    let (cold_cache, warm_cache) = (run.cold.cache_totals(), run.warm.cache_totals());
+    println!("\nstable rows: identical across all three runs");
+    println!(
+        "cache: {} unique traces; cold {}/{} hits ({:.0}%), warm {}/{} hits ({:.0}%)",
+        run.unique_traces,
+        cold_cache.hits,
+        cold_cache.lookups(),
+        100.0 * cold_cache.hit_rate(),
+        warm_cache.hits,
+        warm_cache.lookups(),
+        100.0 * warm_cache.hit_rate(),
+    );
+    println!(
+        "wall: sequential {:.3}s, cold {:.3}s ({:.2}x), warm {:.3}s ({:.2}x)",
+        run.sequential.wall.as_secs_f64(),
+        run.cold.wall.as_secs_f64(),
+        run.speedup_cold(),
+        run.warm.wall.as_secs_f64(),
+        run.speedup_warm(),
+    );
+    println!(
+        "trace stage: sequential {:.4}s, warm {:.4}s ({:.1}x with cache)",
+        run.sequential.isla_total().as_secs_f64(),
+        run.warm.isla_total().as_secs_f64(),
+        run.trace_stage_speedup(),
+    );
+    if !(run.sequential.all_ok() && run.cold.all_ok() && run.warm.all_ok()) {
+        eprintln!("some cases FAILED");
+        exit(1);
+    }
+}
 
 fn main() {
-    let outcomes = islaris_bench::all_cases();
-    println!("{}", islaris_bench::fig12_table(&outcomes));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            let outcomes = islaris_bench::all_cases();
+            println!("{}", islaris_bench::fig12_table(&outcomes));
+        }
+        Some("--jobs") => {
+            let jobs = args
+                .get(1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| usage());
+            parallel(jobs);
+        }
+        Some("--bench") => {
+            let iters = args.get(1).map_or(Some(5), |s| s.parse::<usize>().ok());
+            let Some(iters) = iters else { usage() };
+            for sample in islaris_bench::stage_benches(iters) {
+                println!("{}", sample.row());
+            }
+        }
+        Some(_) => usage(),
+    }
 }

@@ -1,15 +1,26 @@
 //! Benchmark harness regenerating the paper's evaluation (Figure 12).
 //!
 //! The `fig12` binary prints one row per case study with the size and
-//! time columns of the paper's table; the Criterion benches under
-//! `benches/` measure the two pipeline halves (trace generation =
-//! the paper's "Isla" column; verification = the "Coq" column's
-//! automation/side-condition/Qed subdivision) per case.
+//! time columns of the paper's table. `fig12 --jobs N` runs the parallel
+//! pipeline measurement (sequential baseline, then cold and warm parallel
+//! runs over a shared trace cache) and `fig12 --bench` runs the
+//! [`stage_benches`] micro-benchmarks: the two pipeline halves (trace
+//! generation = the paper's "Isla" column; verification = the "Coq"
+//! column's automation/side-condition/Qed subdivision) measured in
+//! isolation with plain [`std::time::Instant`] — no external bench
+//! framework.
 
+use std::time::{Duration, Instant};
+
+use islaris_bv::Bv;
 use islaris_cases::{
     binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
     CaseOutcome,
 };
+use islaris_core::{check_certificate, Verifier};
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_models::ARM;
+use islaris_smt::{entails, BvCmp, Expr, SolverConfig, Sort, Var};
 
 /// Runs every case study in the paper's Fig. 12 row order.
 #[must_use]
@@ -37,5 +48,108 @@ pub fn fig12_table(outcomes: &[CaseOutcome]) -> String {
         out.push_str(&o.row());
         out.push('\n');
     }
+    out
+}
+
+/// One micro-benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/name`, matching the old Criterion bench ids.
+    pub name: &'static str,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Iterations measured.
+    pub iters: usize,
+}
+
+impl Sample {
+    /// One line of the `--bench` report.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<32} median {:>10.3?}  min {:>10.3?}  ({} iters)",
+            self.name, self.median, self.min, self.iters
+        )
+    }
+}
+
+/// Times `f` for `iters` iterations (after one warm-up call) and reports
+/// the median and minimum per-iteration time.
+pub fn bench<T>(name: &'static str, iters: usize, mut f: impl FnMut() -> T) -> Sample {
+    let iters = iters.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    Sample {
+        name,
+        median: times[iters / 2],
+        min: times[0],
+        iters,
+    }
+}
+
+/// The pipeline-stage micro-benchmarks (ex-Criterion `benches/pipeline.rs`):
+/// trace generation constrained vs unconstrained, verification automation,
+/// certificate re-checking, and the solver's plain vs RUP-checked paranoid
+/// mode on a representative side condition.
+#[must_use]
+pub fn stage_benches(iters: usize) -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    // Isla column: Fig. 3's `add sp, sp, #0x40`, with the EL/SP
+    // constraints (linear trace) and without (5-way banked-SP split).
+    let constrained = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 2))
+        .assume_reg("PSTATE.SP", Bv::new(1, 1));
+    out.push(bench("isla/add_sp_constrained", iters, || {
+        trace_opcode(&constrained, &Opcode::Concrete(0x910103ff)).unwrap()
+    }));
+    let unconstrained = IslaConfig::new(ARM);
+    out.push(bench("isla/add_sp_unconstrained", iters, || {
+        trace_opcode(&unconstrained, &Opcode::Concrete(0x910103ff)).unwrap()
+    }));
+
+    // Automation column: verification only, traces pre-generated.
+    let art = memcpy_arm::build_case();
+    out.push(bench("automation/memcpy_arm_verify", iters, || {
+        Verifier::new(art.prog_spec.clone(), art.protocol.clone())
+            .verify_all()
+            .unwrap()
+    }));
+
+    // Qed column: certificate re-checking only.
+    let report = Verifier::new(art.prog_spec.clone(), art.protocol.clone())
+        .verify_all()
+        .unwrap();
+    out.push(bench("qed/memcpy_arm_certificates", iters, || {
+        for block in &report.blocks {
+            check_certificate(&block.cert).unwrap();
+        }
+    }));
+
+    // Solver ablation: Ult transitivity, plain vs paranoid (RUP-checked).
+    let sorts = |v: Var| (v.0 < 8).then_some(Sort::BitVec(64));
+    let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+    let facts = vec![
+        Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+        Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
+    ];
+    let goal = Expr::cmp(BvCmp::Ult, x, z);
+    let plain = SolverConfig::new();
+    out.push(bench("solver/ult_transitivity_64", iters, || {
+        entails(&facts, &goal, &sorts, &plain)
+    }));
+    let paranoid = SolverConfig::paranoid();
+    out.push(bench("solver/ult_transitivity_64_checked", iters, || {
+        entails(&facts, &goal, &sorts, &paranoid)
+    }));
+
     out
 }

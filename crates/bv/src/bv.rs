@@ -49,7 +49,10 @@ impl Bv {
             width >= 1 && width <= MAX_WIDTH,
             "bitvector width {width} out of range 1..=128"
         );
-        Bv { width, bits: bits & mask(width) }
+        Bv {
+            width,
+            bits: bits & mask(width),
+        }
     }
 
     /// Fallible constructor: like [`Bv::new`] but returns an error instead
@@ -60,7 +63,10 @@ impl Bv {
     /// Returns [`WidthError`] if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn try_new(width: u32, bits: u128) -> Result<Self, WidthError> {
         if width >= 1 && width <= MAX_WIDTH {
-            Ok(Bv { width, bits: bits & mask(width) })
+            Ok(Bv {
+                width,
+                bits: bits & mask(width),
+            })
         } else {
             Err(WidthError { width })
         }
@@ -92,7 +98,10 @@ impl Bv {
     /// Panics if `bytes` is empty or longer than 16.
     #[must_use]
     pub fn from_le_bytes(bytes: &[u8]) -> Self {
-        assert!(!bytes.is_empty() && bytes.len() <= 16, "1..=16 bytes required");
+        assert!(
+            !bytes.is_empty() && bytes.len() <= 16,
+            "1..=16 bytes required"
+        );
         let mut bits = 0u128;
         for (i, b) in bytes.iter().enumerate() {
             bits |= u128::from(*b) << (8 * i);
@@ -107,8 +116,14 @@ impl Bv {
     /// Panics if the width is not a multiple of 8.
     #[must_use]
     pub fn to_le_bytes(&self) -> Vec<u8> {
-        assert!(self.width % 8 == 0, "width {} is not byte-sized", self.width);
-        (0..self.width / 8).map(|i| (self.bits >> (8 * i)) as u8).collect()
+        assert!(
+            self.width % 8 == 0,
+            "width {} is not byte-sized",
+            self.width
+        );
+        (0..self.width / 8)
+            .map(|i| (self.bits >> (8 * i)) as u8)
+            .collect()
     }
 
     /// The width in bits.
@@ -125,7 +140,11 @@ impl Bv {
     /// Panics if the width is not a multiple of 8.
     #[must_use]
     pub fn byte_len(&self) -> usize {
-        assert!(self.width % 8 == 0, "width {} is not byte-sized", self.width);
+        assert!(
+            self.width % 8 == 0,
+            "width {} is not byte-sized",
+            self.width
+        );
         (self.width / 8) as usize
     }
 
@@ -142,7 +161,10 @@ impl Bv {
     /// Panics if the value does not fit in 64 bits.
     #[must_use]
     pub fn to_u64(&self) -> u64 {
-        assert!(self.bits <= u128::from(u64::MAX), "bitvector value exceeds u64");
+        assert!(
+            self.bits <= u128::from(u64::MAX),
+            "bitvector value exceeds u64"
+        );
         self.bits as u64
     }
 
@@ -170,7 +192,11 @@ impl Bv {
     /// Panics if `i >= width`.
     #[must_use]
     pub fn get_bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.bits >> i) & 1 == 1
     }
 
@@ -281,11 +307,19 @@ impl Bv {
         self.check_width(amount);
         let sign = self.get_bit(self.width - 1);
         if amount.bits >= u128::from(self.width) {
-            return if sign { Bv::ones(self.width) } else { Bv::zero(self.width) };
+            return if sign {
+                Bv::ones(self.width)
+            } else {
+                Bv::zero(self.width)
+            };
         }
         let n = amount.bits as u32;
         let shifted = self.bits >> n;
-        let filled = if sign { shifted | (mask(self.width) << (self.width - n)) } else { shifted };
+        let filled = if sign {
+            shifted | (mask(self.width) << (self.width - n))
+        } else {
+            shifted
+        };
         Bv::new(self.width, filled)
     }
 
@@ -298,7 +332,11 @@ impl Bv {
     /// Panics unless `lo <= hi < width`.
     #[must_use]
     pub fn extract(&self, hi: u32, lo: u32) -> Bv {
-        assert!(lo <= hi && hi < self.width, "extract [{hi}:{lo}] out of range for width {}", self.width);
+        assert!(
+            lo <= hi && hi < self.width,
+            "extract [{hi}:{lo}] out of range for width {}",
+            self.width
+        );
         Bv::new(hi - lo + 1, self.bits >> lo)
     }
 
@@ -311,7 +349,10 @@ impl Bv {
     #[must_use]
     pub fn concat(&self, low: &Bv) -> Bv {
         let width = self.width + low.width;
-        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
+        assert!(
+            width <= MAX_WIDTH,
+            "concat width {width} exceeds {MAX_WIDTH}"
+        );
         Bv::new(width, (self.bits << low.width) | low.bits)
     }
 
@@ -333,7 +374,10 @@ impl Bv {
     #[must_use]
     pub fn sign_extend(&self, extra: u32) -> Bv {
         let width = self.width + extra;
-        assert!(width <= MAX_WIDTH, "sign_extend width {width} exceeds {MAX_WIDTH}");
+        assert!(
+            width <= MAX_WIDTH,
+            "sign_extend width {width} exceeds {MAX_WIDTH}"
+        );
         if self.get_bit(self.width - 1) {
             Bv::new(width, self.bits | (mask(width) & !mask(self.width)))
         } else {
@@ -435,7 +479,12 @@ impl fmt::Display for Bv {
     /// multiple of 4, `#b…` otherwise — the format Isla traces use.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.width % 4 == 0 {
-            write!(f, "#x{:0width$x}", self.bits, width = (self.width / 4) as usize)
+            write!(
+                f,
+                "#x{:0width$x}",
+                self.bits,
+                width = (self.width / 4) as usize
+            )
         } else {
             write!(f, "#b{:0width$b}", self.bits, width = self.width as usize)
         }
@@ -574,7 +623,10 @@ mod tests {
 
     #[test]
     fn reverse_bits_matches_rbit() {
-        assert_eq!(Bv::new(8, 0b0000_0001).reverse_bits(), Bv::new(8, 0b1000_0000));
+        assert_eq!(
+            Bv::new(8, 0b0000_0001).reverse_bits(),
+            Bv::new(8, 0b1000_0000)
+        );
         assert_eq!(Bv::new(4, 0b0011).reverse_bits(), Bv::new(4, 0b1100));
         let x = Bv::new(64, 0x0123_4567_89ab_cdef);
         assert_eq!(x.reverse_bits().reverse_bits(), x);

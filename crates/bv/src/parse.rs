@@ -94,7 +94,12 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for bv in [Bv::new(64, 0xdead_beef), Bv::new(3, 0b101), Bv::new(1, 0), Bv::new(128, u128::MAX)] {
+        for bv in [
+            Bv::new(64, 0xdead_beef),
+            Bv::new(3, 0b101),
+            Bv::new(1, 0),
+            Bv::new(128, u128::MAX),
+        ] {
             assert_eq!(bv.to_string().parse::<Bv>().unwrap(), bv);
         }
     }

@@ -1,8 +1,10 @@
 //! Property tests: `Bv` operations agree with `u128`/`i128` reference
-//! semantics under masking.
+//! semantics under masking. Runs on the in-tree `islaris-testkit` runner
+//! (256 cases per property, as under proptest); failures report a seed
+//! replayable via `ISLARIS_PT_SEED`.
 
 use islaris_bv::Bv;
-use proptest::prelude::*;
+use islaris_testkit::{forall, prop_assume, prop_eq, Rng, TestResult, DEFAULT_CASES};
 
 fn mask(width: u32) -> u128 {
     if width >= 128 {
@@ -12,105 +14,227 @@ fn mask(width: u32) -> u128 {
     }
 }
 
-fn bv_and_width() -> impl Strategy<Value = (u32, u128, u128)> {
-    (1u32..=128).prop_flat_map(|w| (Just(w), any::<u128>(), any::<u128>()))
+/// The proptest strategy `(1..=128, any::<u128>(), any::<u128>())`.
+fn bv_and_width(r: &mut Rng) -> (u32, u128, u128) {
+    (r.range_u32(1, 128), r.next_u128(), r.next_u128())
 }
 
-proptest! {
-    #[test]
-    fn add_matches_reference((w, a, b) in bv_and_width()) {
-        let got = Bv::new(w, a).add(&Bv::new(w, b));
-        prop_assert_eq!(got.to_u128(), a.wrapping_add(b) & mask(w));
-    }
+#[test]
+fn add_matches_reference() {
+    forall(
+        "add_matches_reference",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, b)| {
+            let got = Bv::new(w, a).add(&Bv::new(w, b));
+            prop_eq!(got.to_u128(), a.wrapping_add(b) & mask(w));
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn sub_matches_reference((w, a, b) in bv_and_width()) {
-        let got = Bv::new(w, a).sub(&Bv::new(w, b));
-        prop_assert_eq!(got.to_u128(), (a & mask(w)).wrapping_sub(b & mask(w)) & mask(w));
-    }
+#[test]
+fn sub_matches_reference() {
+    forall(
+        "sub_matches_reference",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, b)| {
+            let got = Bv::new(w, a).sub(&Bv::new(w, b));
+            prop_eq!(
+                got.to_u128(),
+                (a & mask(w)).wrapping_sub(b & mask(w)) & mask(w)
+            );
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn mul_matches_reference((w, a, b) in bv_and_width()) {
-        let got = Bv::new(w, a).mul(&Bv::new(w, b));
-        prop_assert_eq!(got.to_u128(), (a & mask(w)).wrapping_mul(b & mask(w)) & mask(w));
-    }
+#[test]
+fn mul_matches_reference() {
+    forall(
+        "mul_matches_reference",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, b)| {
+            let got = Bv::new(w, a).mul(&Bv::new(w, b));
+            prop_eq!(
+                got.to_u128(),
+                (a & mask(w)).wrapping_mul(b & mask(w)) & mask(w)
+            );
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn bitwise_match_reference((w, a, b) in bv_and_width()) {
-        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
-        prop_assert_eq!(x.and(&y).to_u128(), a & b & mask(w));
-        prop_assert_eq!(x.or(&y).to_u128(), (a | b) & mask(w));
-        prop_assert_eq!(x.xor(&y).to_u128(), (a ^ b) & mask(w));
-        prop_assert_eq!(x.not().to_u128(), !a & mask(w));
-    }
+#[test]
+fn bitwise_match_reference() {
+    forall(
+        "bitwise_match_reference",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, b)| {
+            let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+            prop_eq!(x.and(&y).to_u128(), a & b & mask(w));
+            prop_eq!(x.or(&y).to_u128(), (a | b) & mask(w));
+            prop_eq!(x.xor(&y).to_u128(), (a ^ b) & mask(w));
+            prop_eq!(x.not().to_u128(), !a & mask(w));
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn shifts_match_reference((w, a, _b) in bv_and_width(), amt in 0u32..160) {
-        let x = Bv::new(w, a);
-        let amount = Bv::new(w, u128::from(amt) & mask(w));
-        let amt_eff = amount.to_u128();
-        let expect_shl = if amt_eff >= u128::from(w) { 0 } else { (a & mask(w)) << amt_eff & mask(w) };
-        prop_assert_eq!(x.shl(&amount).to_u128(), expect_shl);
-        let expect_lshr = if amt_eff >= u128::from(w) { 0 } else { (a & mask(w)) >> amt_eff };
-        prop_assert_eq!(x.lshr(&amount).to_u128(), expect_lshr);
-        // ashr: compare against i128 reference
-        let signed = x.to_i128();
-        let expect_ashr = if amt_eff >= u128::from(w) {
-            if signed < 0 { mask(w) } else { 0 }
-        } else {
-            ((signed >> amt_eff) as u128) & mask(w)
-        };
-        prop_assert_eq!(x.ashr(&amount).to_u128(), expect_ashr);
-    }
+#[test]
+fn shifts_match_reference() {
+    forall(
+        "shifts_match_reference",
+        DEFAULT_CASES,
+        |r| {
+            let (w, a, _) = bv_and_width(r);
+            (w, a, r.range_u32(0, 159))
+        },
+        |&(w, a, amt)| {
+            let x = Bv::new(w, a);
+            let amount = Bv::new(w, u128::from(amt) & mask(w));
+            let amt_eff = amount.to_u128();
+            let expect_shl = if amt_eff >= u128::from(w) {
+                0
+            } else {
+                (a & mask(w)) << amt_eff & mask(w)
+            };
+            prop_eq!(x.shl(&amount).to_u128(), expect_shl);
+            let expect_lshr = if amt_eff >= u128::from(w) {
+                0
+            } else {
+                (a & mask(w)) >> amt_eff
+            };
+            prop_eq!(x.lshr(&amount).to_u128(), expect_lshr);
+            // ashr: compare against i128 reference
+            let signed = x.to_i128();
+            let expect_ashr = if amt_eff >= u128::from(w) {
+                if signed < 0 {
+                    mask(w)
+                } else {
+                    0
+                }
+            } else {
+                ((signed >> amt_eff) as u128) & mask(w)
+            };
+            prop_eq!(x.ashr(&amount).to_u128(), expect_ashr);
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn extract_concat_roundtrip((w, a, _b) in bv_and_width(), cut in 0u32..127) {
-        prop_assume!(w >= 2);
-        let cut = cut % (w - 1); // split point strictly inside
-        let x = Bv::new(w, a);
-        let hi = x.extract(w - 1, cut + 1);
-        let lo = x.extract(cut, 0);
-        prop_assert_eq!(hi.concat(&lo), x);
-    }
+#[test]
+fn extract_concat_roundtrip() {
+    forall(
+        "extract_concat_roundtrip",
+        DEFAULT_CASES,
+        |r| {
+            let (w, a, _) = bv_and_width(r);
+            (w, a, r.range_u32(0, 126))
+        },
+        |&(w, a, cut)| {
+            prop_assume!(w >= 2);
+            let cut = cut % (w - 1); // split point strictly inside
+            let x = Bv::new(w, a);
+            let hi = x.extract(w - 1, cut + 1);
+            let lo = x.extract(cut, 0);
+            prop_eq!(hi.concat(&lo), x);
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn sign_extend_preserves_signed_value((w, a, _b) in bv_and_width(), extra in 0u32..64) {
-        prop_assume!(w + extra <= 128);
-        let x = Bv::new(w, a);
-        prop_assert_eq!(x.sign_extend(extra).to_i128(), x.to_i128());
-        prop_assert_eq!(x.zero_extend(extra).to_u128(), x.to_u128());
-    }
+#[test]
+fn sign_extend_preserves_signed_value() {
+    forall(
+        "sign_extend_preserves_signed_value",
+        DEFAULT_CASES,
+        |r| {
+            let (w, a, _) = bv_and_width(r);
+            (w, a, r.range_u32(0, 63))
+        },
+        |&(w, a, extra)| {
+            prop_assume!(w + extra <= 128);
+            let x = Bv::new(w, a);
+            prop_eq!(x.sign_extend(extra).to_i128(), x.to_i128());
+            prop_eq!(x.zero_extend(extra).to_u128(), x.to_u128());
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn comparisons_match_reference((w, a, b) in bv_and_width()) {
-        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
-        prop_assert_eq!(x.ult(&y), x.to_u128() < y.to_u128());
-        prop_assert_eq!(x.ule(&y), x.to_u128() <= y.to_u128());
-        prop_assert_eq!(x.slt(&y), x.to_i128() < y.to_i128());
-        prop_assert_eq!(x.sle(&y), x.to_i128() <= y.to_i128());
-    }
+#[test]
+fn comparisons_match_reference() {
+    forall(
+        "comparisons_match_reference",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, b)| {
+            let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+            prop_eq!(x.ult(&y), x.to_u128() < y.to_u128());
+            prop_eq!(x.ule(&y), x.to_u128() <= y.to_u128());
+            prop_eq!(x.slt(&y), x.to_i128() < y.to_i128());
+            prop_eq!(x.sle(&y), x.to_i128() <= y.to_i128());
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn neg_is_sub_from_zero((w, a, _b) in bv_and_width()) {
-        let x = Bv::new(w, a);
-        prop_assert_eq!(x.neg(), Bv::zero(w).sub(&x));
-    }
+#[test]
+fn neg_is_sub_from_zero() {
+    forall(
+        "neg_is_sub_from_zero",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, _)| {
+            let x = Bv::new(w, a);
+            prop_eq!(x.neg(), Bv::zero(w).sub(&x));
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn display_parse_roundtrip((w, a, _b) in bv_and_width()) {
-        let x = Bv::new(w, a);
-        prop_assert_eq!(x.to_string().parse::<Bv>().unwrap(), x);
-    }
+#[test]
+fn display_parse_roundtrip() {
+    forall(
+        "display_parse_roundtrip",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, _)| {
+            let x = Bv::new(w, a);
+            prop_eq!(x.to_string().parse::<Bv>().unwrap(), x);
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn le_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 1..=16)) {
-        let x = Bv::from_le_bytes(&bytes);
-        prop_assert_eq!(x.to_le_bytes(), bytes);
-    }
+#[test]
+fn le_bytes_roundtrip() {
+    forall(
+        "le_bytes_roundtrip",
+        DEFAULT_CASES,
+        |r| r.bytes(1, 16),
+        |bytes| {
+            let x = Bv::from_le_bytes(bytes);
+            prop_eq!(&x.to_le_bytes(), bytes);
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn reverse_bits_involutive((w, a, _b) in bv_and_width()) {
-        let x = Bv::new(w, a);
-        prop_assert_eq!(x.reverse_bits().reverse_bits(), x);
-    }
+#[test]
+fn reverse_bits_involutive() {
+    forall(
+        "reverse_bits_involutive",
+        DEFAULT_CASES,
+        bv_and_width,
+        |&(w, a, _)| {
+            let x = Bv::new(w, a);
+            prop_eq!(x.reverse_bits().reverse_bits(), x);
+            TestResult::Pass
+        },
+    );
 }

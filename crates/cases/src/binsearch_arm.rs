@@ -20,13 +20,15 @@ use std::sync::Arc;
 use islaris_asm::aarch64::{self as a64, Shift, XReg};
 use islaris_asm::{Asm, Program};
 use islaris_bv::Bv;
-use islaris_core::{build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable};
+use islaris_core::{
+    build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable,
+};
 use islaris_isla::IslaConfig;
 use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{BvBinop, BvCmp, Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x6_0000;
@@ -41,8 +43,15 @@ pub const CMP_IMPL: u64 = 0x6_1000;
 #[must_use]
 pub fn program() -> Program {
     let (x0, x2, x3) = (XReg(0), XReg(2), XReg(3));
-    let (x4, x5, x6, x7, x8, x9, x10) =
-        (XReg(4), XReg(5), XReg(6), XReg(7), XReg(8), XReg(9), XReg(10));
+    let (x4, x5, x6, x7, x8, x9, x10) = (
+        XReg(4),
+        XReg(5),
+        XReg(6),
+        XReg(7),
+        XReg(8),
+        XReg(9),
+        XReg(10),
+    );
     let mut asm = Asm::new(BASE);
     // x0 = base, x1 = n, x2 = key, x3 = cmp.
     asm.label("binsearch");
@@ -162,7 +171,11 @@ fn post_args() -> Vec<Arg> {
 }
 
 fn array_atom() -> Atom {
-    Atom::MemArray { addr: Expr::var(BASE_V), seq: SeqExpr::Var(B), elem_bytes: 8 }
+    Atom::MemArray {
+        addr: Expr::var(BASE_V),
+        seq: SeqExpr::Var(B),
+        elem_bytes: 8,
+    }
 }
 
 /// Builds the spec table.
@@ -369,7 +382,11 @@ pub fn specs() -> SpecTable {
     let post = vec![
         build::reg_var("R0", Q0),
         Atom::Pure(Expr::cmp(BvCmp::Ule, Expr::var(Q0), Expr::var(N))),
-        Atom::MemArray { addr: Expr::var(BASE_V), seq: SeqExpr::Var(B), elem_bytes: 8 },
+        Atom::MemArray {
+            addr: Expr::var(BASE_V),
+            seq: SeqExpr::Var(B),
+            elem_bytes: 8,
+        },
         build::reg_var("R4", Q4),
         build::reg_var("R5", Q5),
         build::reg_var("R6", Q6),
@@ -404,28 +421,54 @@ pub fn specs() -> SpecTable {
 /// `cmp_spec` as its own block).
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     let cfg = IslaConfig::new(ARM)
         .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
         .assume_reg("SCTLR_EL2", Bv::zero(64));
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         program.label("binsearch"),
-        BlockAnn { spec: "bs_pre".into(), verify: true },
+        BlockAnn {
+            spec: "bs_pre".into(),
+            verify: true,
+        },
     );
-    blocks.insert(program.label("loop"), BlockAnn { spec: "bs_inv".into(), verify: true });
+    blocks.insert(
+        program.label("loop"),
+        BlockAnn {
+            spec: "bs_inv".into(),
+            verify: true,
+        },
+    );
     blocks.insert(
         program.label("ret_pt"),
-        BlockAnn { spec: "after_cmp".into(), verify: true },
+        BlockAnn {
+            spec: "after_cmp".into(),
+            verify: true,
+        },
     );
     blocks.insert(
         program.label("cmp_impl"),
-        BlockAnn { spec: "cmp_spec".into(), verify: true },
+        BlockAnn {
+            spec: "cmp_spec".into(),
+            verify: true,
+        },
     );
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "bin.search",
         isa: "Arm",
@@ -433,6 +476,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

@@ -14,13 +14,15 @@ use std::sync::Arc;
 
 use islaris_asm::riscv::{self as rv, Gpr};
 use islaris_asm::{Asm, Program};
-use islaris_core::{build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable};
+use islaris_core::{
+    build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable,
+};
 use islaris_isla::IslaConfig;
 use islaris_itl::Reg;
 use islaris_models::RISCV;
 use islaris_smt::{BvBinop, BvCmp, Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x7_0000;
@@ -131,7 +133,11 @@ fn post_args() -> Vec<Arg> {
 }
 
 fn array_atom() -> Atom {
-    Atom::MemArray { addr: Expr::var(BASE_V), seq: SeqExpr::Var(B), elem_bytes: 8 }
+    Atom::MemArray {
+        addr: Expr::var(BASE_V),
+        seq: SeqExpr::Var(B),
+        elem_bytes: 8,
+    }
 }
 
 /// Builds the spec table.
@@ -303,7 +309,11 @@ pub fn specs() -> SpecTable {
     let post = vec![
         build::reg_var("x10", Q0),
         Atom::Pure(Expr::cmp(BvCmp::Ule, Expr::var(Q0), Expr::var(N))),
-        Atom::MemArray { addr: Expr::var(BASE_V), seq: SeqExpr::Var(B), elem_bytes: 8 },
+        Atom::MemArray {
+            addr: Expr::var(BASE_V),
+            seq: SeqExpr::Var(B),
+            elem_bytes: 8,
+        },
         build::reg_var("x14", Q14),
         build::reg_var("x15", Q15),
         build::reg_var("x16", Q16),
@@ -337,25 +347,51 @@ pub fn specs() -> SpecTable {
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     let cfg = IslaConfig::new(RISCV);
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         program.label("binsearch"),
-        BlockAnn { spec: "bs_pre".into(), verify: true },
+        BlockAnn {
+            spec: "bs_pre".into(),
+            verify: true,
+        },
     );
-    blocks.insert(program.label("loop"), BlockAnn { spec: "bs_inv".into(), verify: true });
+    blocks.insert(
+        program.label("loop"),
+        BlockAnn {
+            spec: "bs_inv".into(),
+            verify: true,
+        },
+    );
     blocks.insert(
         program.label("ret_pt"),
-        BlockAnn { spec: "after_cmp".into(), verify: true },
+        BlockAnn {
+            spec: "after_cmp".into(),
+            verify: true,
+        },
     );
     blocks.insert(
         program.label("cmp_impl"),
-        BlockAnn { spec: "cmp_spec".into(), verify: true },
+        BlockAnn {
+            spec: "cmp_spec".into(),
+            verify: true,
+        },
     );
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(RISCV.pc), instrs, blocks, specs: specs() };
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(RISCV.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "bin.search",
         isa: "RV",
@@ -363,6 +399,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

@@ -22,7 +22,7 @@ use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// `_start` (initialisation at EL2), per Fig. 9's `.org 0x80000`.
 pub const START: u64 = 0x8_0000;
@@ -54,13 +54,13 @@ pub fn program() -> Program {
     asm.put_all(a64::mov_imm64(x0, ENTER_EL1)); //  EL1 start address
     asm.put(a64::msr(SysReg::ELR_EL2, x0)); //      msr elr_el2, x0
     asm.put(a64::eret()); //                        "exception return"
-    // *** calling the vector from EL1 ***
+                          // *** calling the vector from EL1 ***
     asm.org(ENTER_EL1);
     asm.put_or(a64::movz(x0, 0, 0)); //             zero x0
     asm.put(a64::hvc(0)); //                        hypervisor call
     asm.label("hang");
     asm.branch_to("hang", a64::b); //               b . (hang forever)
-    // *** the exception vector table (lower-EL synchronous slot) ***
+                                   // *** the exception vector table (lower-EL synchronous slot) ***
     asm.org(HVC_SLOT);
     asm.put_or(a64::movz(x0, 42, 0)); //            mov x0, 42
     asm.put(a64::eret()); //                        return from exception
@@ -144,15 +144,38 @@ pub fn specs() -> SpecTable {
 /// intermediate annotations.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     // Unconstrained configuration: the program changes EL at runtime.
     let cfg = IslaConfig::new(ARM);
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
-    blocks.insert(START, BlockAnn { spec: "hvc_entry".into(), verify: true });
-    blocks.insert(HANG, BlockAnn { spec: "hang_spec".into(), verify: false });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        START,
+        BlockAnn {
+            spec: "hvc_entry".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        HANG,
+        BlockAnn {
+            spec: "hang_spec".into(),
+            verify: false,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "hvc",
         isa: "Arm",
@@ -160,6 +183,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

@@ -5,11 +5,18 @@ pub mod binsearch_arm;
 pub mod binsearch_riscv;
 pub mod hvc;
 pub mod memcpy_arm;
+pub mod memcpy_riscv;
+pub mod pipeline;
+pub mod pkvm;
 pub mod rbit;
+pub mod report;
 pub mod uart;
 pub mod unaligned;
-pub mod memcpy_riscv;
-pub mod pkvm;
-pub mod report;
 
-pub use report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+pub use pipeline::{
+    run_all_parallel, run_all_sequential, run_cases, CaseDef, CaseRow, ParallelRun, PipelineReport,
+    ALL_CASES,
+};
+pub use report::{
+    run_case, trace_program_map, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome,
+};

@@ -10,13 +10,15 @@ use std::sync::Arc;
 
 use islaris_asm::aarch64::{self as a64, XReg};
 use islaris_asm::{Asm, Program};
-use islaris_core::{build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable};
+use islaris_core::{
+    build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable,
+};
 use islaris_isla::IslaConfig;
 use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{BvCmp, Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x1_0000;
@@ -195,8 +197,16 @@ pub fn specs() -> SpecTable {
     ];
     post.extend(cnvz(QN, QZ, QC, QV));
     post.extend([
-        Atom::MemArray { addr: Expr::var(S), seq: SeqExpr::Var(PBS), elem_bytes: 1 },
-        Atom::MemArray { addr: Expr::var(D), seq: SeqExpr::Var(PBS), elem_bytes: 1 },
+        Atom::MemArray {
+            addr: Expr::var(S),
+            seq: SeqExpr::Var(PBS),
+            elem_bytes: 1,
+        },
+        Atom::MemArray {
+            addr: Expr::var(D),
+            seq: SeqExpr::Var(PBS),
+            elem_bytes: 1,
+        },
         Atom::LenEq(Expr::var(N), PBS),
     ]);
     t.add(SpecDef {
@@ -225,17 +235,37 @@ pub fn specs() -> SpecTable {
 /// Builds the full case study: program, traces, annotations.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     let cfg = IslaConfig::new(ARM);
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         program.label("memcpy"),
-        BlockAnn { spec: "memcpy_pre".into(), verify: true },
+        BlockAnn {
+            spec: "memcpy_pre".into(),
+            verify: true,
+        },
     );
-    blocks.insert(program.label("L3"), BlockAnn { spec: "memcpy_inv".into(), verify: true });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        program.label("L3"),
+        BlockAnn {
+            spec: "memcpy_inv".into(),
+            verify: true,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "memcpy",
         isa: "Arm",
@@ -243,6 +273,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

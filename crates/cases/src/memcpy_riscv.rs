@@ -10,13 +10,15 @@ use std::sync::Arc;
 
 use islaris_asm::riscv::{self as rv, Gpr};
 use islaris_asm::{Asm, Program};
-use islaris_core::{build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable};
+use islaris_core::{
+    build, Arg, Atom, BlockAnn, NoIo, Param, ProgramSpec, SeqExpr, SeqVar, SpecDef, SpecTable,
+};
 use islaris_isla::IslaConfig;
 use islaris_itl::Reg;
 use islaris_models::RISCV;
 use islaris_smt::{BvCmp, Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x2_0000;
@@ -148,8 +150,14 @@ pub fn specs() -> SpecTable {
             ra_aligned(R),
             Atom::Pure(Expr::cmp(BvCmp::Ule, Expr::bv(64, 1), Expr::var(P2))),
             Atom::Pure(Expr::cmp(BvCmp::Ule, Expr::var(P2), Expr::var(N))),
-            Atom::Pure(Expr::eq(Expr::var(P0), Expr::add(Expr::var(D), copied(N, P2)))),
-            Atom::Pure(Expr::eq(Expr::var(P1), Expr::add(Expr::var(S), copied(N, P2)))),
+            Atom::Pure(Expr::eq(
+                Expr::var(P0),
+                Expr::add(Expr::var(D), copied(N, P2)),
+            )),
+            Atom::Pure(Expr::eq(
+                Expr::var(P1),
+                Expr::add(Expr::var(S), copied(N, P2)),
+            )),
             Atom::LenEq(Expr::var(N), BS),
             Atom::LenEq(Expr::var(N), BD),
             build::no_wrap_add(Expr::var(S), Expr::var(N)),
@@ -183,8 +191,16 @@ pub fn specs() -> SpecTable {
             build::reg_var("x12", Q2),
             build::reg_var("x13", Q3),
             build::reg_var("x1", Q5),
-            Atom::MemArray { addr: Expr::var(S), seq: SeqExpr::Var(PBS), elem_bytes: 1 },
-            Atom::MemArray { addr: Expr::var(D), seq: SeqExpr::Var(PBS), elem_bytes: 1 },
+            Atom::MemArray {
+                addr: Expr::var(S),
+                seq: SeqExpr::Var(PBS),
+                elem_bytes: 1,
+            },
+            Atom::MemArray {
+                addr: Expr::var(D),
+                seq: SeqExpr::Var(PBS),
+                elem_bytes: 1,
+            },
             Atom::LenEq(Expr::var(N), PBS),
         ],
     });
@@ -194,17 +210,37 @@ pub fn specs() -> SpecTable {
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     let cfg = IslaConfig::new(RISCV);
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         program.label("memcpy"),
-        BlockAnn { spec: "memcpy_pre".into(), verify: true },
+        BlockAnn {
+            spec: "memcpy_pre".into(),
+            verify: true,
+        },
     );
-    blocks.insert(program.label("L1"), BlockAnn { spec: "memcpy_inv".into(), verify: true });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(RISCV.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        program.label("L1"),
+        BlockAnn {
+            spec: "memcpy_inv".into(),
+            verify: true,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(RISCV.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "memcpy",
         isa: "RV",
@@ -212,6 +248,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

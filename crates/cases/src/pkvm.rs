@@ -25,13 +25,14 @@ use std::sync::Arc;
 use islaris_asm::aarch64::{self as a64, SysReg, XReg};
 use islaris_asm::{Asm, Program};
 use islaris_bv::Bv;
+use islaris_core::run_jobs_ok;
 use islaris_core::{build, BlockAnn, NoIo, Param, ProgramSpec, SpecDef, SpecTable};
-use islaris_isla::{trace_opcode, IslaConfig, IslaStats, Opcode};
+use islaris_isla::{CacheStats, IslaConfig, IslaStats, Opcode};
 use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{Expr, Sort, Var};
 
-use crate::report::{run_case, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// The handler entry (the vector's lower-EL synchronous slot).
 pub const HANDLER: u64 = 0xA_0400;
@@ -139,7 +140,10 @@ const HSPSR: Var = Var(33);
 pub fn reloc_base() -> Expr {
     Expr::concat(
         Expr::var(IMM3),
-        Expr::concat(Expr::var(IMM2), Expr::concat(Expr::var(IMM1), Expr::var(IMM0))),
+        Expr::concat(
+            Expr::var(IMM2),
+            Expr::concat(Expr::var(IMM1), Expr::var(IMM0)),
+        ),
     )
 }
 
@@ -213,7 +217,11 @@ pub fn specs() -> SpecTable {
     for (i, reg) in SWEEP.iter().enumerate() {
         pre.push(build::reg_var(reg.name(), sweep_ghost(i)));
     }
-    t.add(SpecDef { name: "pkvm_entry".into(), params: params.clone(), atoms: pre });
+    t.add(SpecDef {
+        name: "pkvm_entry".into(),
+        params: params.clone(),
+        atoms: pre,
+    });
 
     // HVC_SOFT_RESTART lands here: back at EL2, with the caller-supplied
     // vector base installed.
@@ -269,6 +277,25 @@ pub fn specs() -> SpecTable {
 /// Panics if trace generation fails.
 #[must_use]
 pub fn traces(program: &Program) -> (BTreeMap<u64, Arc<islaris_itl::Trace>>, IslaStats) {
+    let (map, stats, _) = traces_with(&CaseCtx::default(), program);
+    (map, stats)
+}
+
+/// [`traces`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+///
+/// # Panics
+///
+/// Panics if trace generation fails.
+#[must_use]
+pub fn traces_with(
+    ctx: &CaseCtx,
+    program: &Program,
+) -> (
+    BTreeMap<u64, Arc<islaris_itl::Trace>>,
+    IslaStats,
+    CacheStats,
+) {
     let base_cfg = IslaConfig::new(ARM)
         .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
@@ -289,9 +316,8 @@ pub fn traces(program: &Program) -> (BTreeMap<u64, Arc<islaris_itl::Trace>>, Isl
     // The four patched instructions, with symbolic imm16 fields.
     // movz/movk layout: sf(1) opc(2) 100101 hw(2) imm16 Rd(5); Rd = x3.
     let patched: Vec<(u64, Expr)> = {
-        let movz_high = |opc: u32, hw: u32| {
-            Expr::bv(11, u128::from(0b1_00_100101_00 | (opc & 0b11) << 8 | hw))
-        };
+        let movz_high =
+            |opc: u32, hw: u32| Expr::bv(11, u128::from(0b1_00_100101_00 | (opc & 0b11) << 8 | hw));
         // Bits 31..21 for movz (opc=10) and movk (opc=11), hw = 0..3.
         let mk = |opc: u32, hw: u32, imm: Var| {
             Expr::concat(
@@ -315,52 +341,86 @@ pub fn traces(program: &Program) -> (BTreeMap<u64, Arc<islaris_itl::Trace>>, Isl
         .map(|(a, _)| *a)
         .expect("an eret in the handler");
 
-    let mut map = BTreeMap::new();
-    let mut stats = IslaStats::default();
-    let add_stats = |s: &IslaStats, stats: &mut IslaStats| {
-        stats.runs += s.runs;
-        stats.smt_queries += s.smt_queries;
-        stats.time += s.time;
-        stats.events += s.events;
-    };
-    for (addr, op) in &program.instrs {
-        let r = if let Some((_, expr)) = patched.iter().find(|(a, _)| a == addr) {
-            let imm = match patched_addrs.iter().position(|a| a == addr) {
+    let start = std::time::Instant::now();
+    let traced = run_jobs_ok(ctx.jobs.max(1), program.instrs.len(), |i| {
+        let (addr, op) = program.instrs[i];
+        let (cfg, opcode) = if let Some((_, expr)) = patched.iter().find(|(a, _)| *a == addr) {
+            let imm = match patched_addrs.iter().position(|a| *a == addr) {
                 Some(0) => IMM0,
                 Some(1) => IMM1,
                 Some(2) => IMM2,
                 _ => IMM3,
             };
-            trace_opcode(
+            (
                 &base_cfg,
-                &Opcode::Symbolic {
+                Opcode::Symbolic {
                     expr: expr.clone(),
                     params: vec![(imm, Sort::BitVec(16))],
                     assumptions: vec![],
                 },
             )
-        } else if *addr == eret_addr {
-            trace_opcode(&eret_cfg, &Opcode::Concrete(*op))
+        } else if addr == eret_addr {
+            (&eret_cfg, Opcode::Concrete(op))
         } else {
-            trace_opcode(&base_cfg, &Opcode::Concrete(*op))
+            (&base_cfg, Opcode::Concrete(op))
+        };
+        let r = ctx
+            .trace(cfg, &opcode)
+            .unwrap_or_else(|e| panic!("tracing {op:#010x} at {addr:#x}: {e}"));
+        (addr, r)
+    })
+    .unwrap_or_else(|p| std::panic::panic_any(p.message));
+    let mut map = BTreeMap::new();
+    let mut stats = IslaStats::default();
+    let mut cache = CacheStats::default();
+    for (addr, (entry, hit)) in traced {
+        stats.runs += entry.stats.runs;
+        stats.smt_queries += entry.stats.smt_queries;
+        stats.events += entry.stats.events;
+        if hit {
+            cache.hits += 1;
+        } else {
+            cache.misses += 1;
         }
-        .unwrap_or_else(|e| panic!("tracing {op:#010x} at {addr:#x}: {e}"));
-        add_stats(&r.stats, &mut stats);
-        map.insert(*addr, Arc::new(r.trace));
+        map.insert(addr, entry.trace.clone());
     }
-    (map, stats)
+    stats.time = start.elapsed();
+    (map, stats, cache)
 }
 
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
-    let (instrs, isla_stats) = traces(&program);
+    let (instrs, isla_stats, cache) = traces_with(ctx, &program);
     let mut blocks = BTreeMap::new();
-    blocks.insert(HANDLER, BlockAnn { spec: "pkvm_entry".into(), verify: true });
-    blocks.insert(HOST, BlockAnn { spec: "host_spec".into(), verify: false });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        HANDLER,
+        BlockAnn {
+            spec: "pkvm_entry".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        HOST,
+        BlockAnn {
+            spec: "host_spec".into(),
+            verify: false,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "pKVM",
         isa: "Arm",
@@ -368,6 +428,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

@@ -19,7 +19,7 @@ use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x3_0000;
@@ -50,7 +50,10 @@ pub fn specs() -> SpecTable {
     let mut t = SpecTable::new();
     t.add(SpecDef {
         name: "rbit_pre".into(),
-        params: vec![Param::Bv(X, Sort::BitVec(64)), Param::Bv(R, Sort::BitVec(64))],
+        params: vec![
+            Param::Bv(X, Sort::BitVec(64)),
+            Param::Bv(R, Sort::BitVec(64)),
+        ],
         atoms: vec![
             build::reg_var("R0", X),
             build::reg_var("R30", R),
@@ -79,13 +82,30 @@ pub fn specs() -> SpecTable {
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     let cfg = IslaConfig::new(ARM);
-    let (instrs, isla_stats) = trace_program_map(&cfg, &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
-    blocks.insert(BASE, BlockAnn { spec: "rbit_pre".into(), verify: true });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        BASE,
+        BlockAnn {
+            spec: "rbit_pre".into(),
+            verify: true,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "rbit",
         isa: "Arm",
@@ -93,6 +113,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

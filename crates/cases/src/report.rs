@@ -5,9 +5,63 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_asm::Program;
-use islaris_core::{check_certificate, ProgramSpec, Protocol, Report, Verifier};
-use islaris_isla::{trace_opcode, IslaConfig, IslaStats, Opcode};
+use islaris_core::{check_certificate, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier};
+use islaris_isla::{
+    trace_opcode, CacheStats, CachedTrace, IslaConfig, IslaError, IslaStats, Opcode, TraceCache,
+};
 use islaris_itl::Trace;
+
+/// How a case study is built: an optional shared trace cache and a worker
+/// count for per-instruction trace-generation fan-out.
+///
+/// The default (`CaseCtx::default()`) is the legacy shape: no cache, one
+/// worker, identical to calling [`trace_opcode`] per instruction.
+#[derive(Default, Clone, Copy)]
+pub struct CaseCtx<'a> {
+    /// Shared trace memo table; `None` traces everything cold.
+    pub cache: Option<&'a TraceCache>,
+    /// Workers for per-instruction fan-out (`0` = ask the OS, `1` =
+    /// inline).
+    pub jobs: usize,
+}
+
+impl<'a> CaseCtx<'a> {
+    /// A context using `cache` with `jobs` workers.
+    #[must_use]
+    pub fn new(cache: &'a TraceCache, jobs: usize) -> Self {
+        CaseCtx {
+            cache: Some(cache),
+            jobs,
+        }
+    }
+
+    /// Traces one opcode through the cache if present. Returns the entry
+    /// plus whether it was a cache hit (always `false` uncached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IslaError`] from tracing.
+    pub fn trace(
+        &self,
+        cfg: &IslaConfig,
+        opcode: &Opcode,
+    ) -> Result<(Arc<CachedTrace>, bool), IslaError> {
+        match self.cache {
+            Some(cache) => cache.lookup(cfg, opcode),
+            None => {
+                let r = trace_opcode(cfg, opcode)?;
+                Ok((
+                    Arc::new(CachedTrace {
+                        trace: Arc::new(r.trace),
+                        params: r.params,
+                        stats: r.stats,
+                    }),
+                    false,
+                ))
+            }
+        }
+    }
+}
 
 /// Everything built for one case study, before verification.
 pub struct CaseArtifacts {
@@ -23,6 +77,9 @@ pub struct CaseArtifacts {
     pub protocol: Arc<dyn Protocol>,
     /// Trace-generation statistics.
     pub isla_stats: IslaStats,
+    /// Cache hits/misses observed while building this case's traces
+    /// (zero when built without a cache).
+    pub cache: CacheStats,
 }
 
 /// Measurements for one Fig. 12 row.
@@ -54,6 +111,8 @@ pub struct CaseOutcome {
     pub obligations: usize,
     /// Certificate re-check time — the paper's Qed column.
     pub cert_time: Duration,
+    /// Trace-cache hits/misses while building this case.
+    pub cache: CacheStats,
 }
 
 impl CaseOutcome {
@@ -61,18 +120,11 @@ impl CaseOutcome {
     #[must_use]
     pub fn row(&self) -> String {
         format!(
-            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>6}",
-            self.name,
-            self.isa,
-            self.asm_instrs,
-            self.itl_events,
-            self.spec_atoms,
-            self.proof_hints,
+            "{} {:>9.3} {:>9.3} {:>9.3}",
+            self.stable_row(),
             self.isla_time.as_secs_f64(),
             self.verify_time.as_secs_f64(),
             self.cert_time.as_secs_f64(),
-            self.verify_smt,
-            self.obligations,
         )
     }
 
@@ -80,13 +132,46 @@ impl CaseOutcome {
     #[must_use]
     pub fn header() -> String {
         format!(
-            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>9} {:>9} {:>9} {:>6} {:>6}",
-            "Test", "ISA", "asm", "ITL", "Spec", "Proof", "Isla(s)", "Auto(s)", "Qed(s)", "SMT", "Oblig"
+            "{} {:>9} {:>9} {:>9}",
+            Self::stable_header(),
+            "Isla(s)",
+            "Auto(s)",
+            "Qed(s)"
+        )
+    }
+
+    /// The deterministic part of the row: sizes and solver-effort counts
+    /// only, no wall-clock columns. Byte-identical across runs, worker
+    /// counts, and cache states — this is what the determinism tests and
+    /// `fig12 --jobs` compare.
+    #[must_use]
+    pub fn stable_row(&self) -> String {
+        format!(
+            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>6} {:>6} {:>6}",
+            self.name,
+            self.isa,
+            self.asm_instrs,
+            self.itl_events,
+            self.spec_atoms,
+            self.proof_hints,
+            self.isla_smt,
+            self.verify_smt,
+            self.obligations,
+        )
+    }
+
+    /// The table header matching [`CaseOutcome::stable_row`].
+    #[must_use]
+    pub fn stable_header() -> String {
+        format!(
+            "{:<11} {:<4} {:>4} {:>6} {:>5} {:>6} {:>6} {:>6} {:>6}",
+            "Test", "ISA", "asm", "ITL", "Spec", "Proof", "IslaQ", "SMT", "Oblig"
         )
     }
 }
 
-/// Builds the instruction map for a program under one Isla configuration.
+/// Builds the instruction map for a program under one Isla configuration
+/// (sequential, uncached — the legacy entry point).
 ///
 /// # Panics
 ///
@@ -96,18 +181,51 @@ pub fn trace_program_map(
     cfg: &IslaConfig,
     program: &Program,
 ) -> (BTreeMap<u64, Arc<Trace>>, IslaStats) {
+    let (map, stats, _) = trace_program_map_with(&CaseCtx::default(), cfg, program);
+    (map, stats)
+}
+
+/// Builds the instruction map for a program, optionally through a shared
+/// [`TraceCache`] and fanned out across `ctx.jobs` workers. Statistics
+/// are aggregated in address order, and cache hits replay the original
+/// run's statistics, so the returned [`IslaStats`] counters are identical
+/// to a cold sequential build regardless of cache state or worker count
+/// (wall-clock `time` excepted).
+///
+/// # Panics
+///
+/// Panics if trace generation fails (bundled case studies must trace).
+#[must_use]
+pub fn trace_program_map_with(
+    ctx: &CaseCtx,
+    cfg: &IslaConfig,
+    program: &Program,
+) -> (BTreeMap<u64, Arc<Trace>>, IslaStats, CacheStats) {
+    let start = Instant::now();
+    let traced = run_jobs_ok(ctx.jobs.max(1), program.instrs.len(), |i| {
+        let (addr, op) = program.instrs[i];
+        let r = ctx
+            .trace(cfg, &Opcode::Concrete(op))
+            .unwrap_or_else(|e| panic!("tracing {op:#010x} at {addr:#x}: {e}"));
+        (addr, r)
+    })
+    .unwrap_or_else(|p| std::panic::panic_any(p.message));
     let mut map = BTreeMap::new();
     let mut stats = IslaStats::default();
-    for (addr, op) in &program.instrs {
-        let r = trace_opcode(cfg, &Opcode::Concrete(*op))
-            .unwrap_or_else(|e| panic!("tracing {op:#010x} at {addr:#x}: {e}"));
-        stats.runs += r.stats.runs;
-        stats.smt_queries += r.stats.smt_queries;
-        stats.time += r.stats.time;
-        stats.events += r.stats.events;
-        map.insert(*addr, Arc::new(r.trace));
+    let mut cache = CacheStats::default();
+    for (addr, (entry, hit)) in traced {
+        stats.runs += entry.stats.runs;
+        stats.smt_queries += entry.stats.smt_queries;
+        stats.events += entry.stats.events;
+        if hit {
+            cache.hits += 1;
+        } else {
+            cache.misses += 1;
+        }
+        map.insert(addr, entry.trace.clone());
     }
-    (map, stats)
+    stats.time = start.elapsed();
+    (map, stats, cache)
 }
 
 /// Verifies a case study and collects the Fig. 12 measurements.
@@ -127,13 +245,17 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
 
     let t1 = Instant::now();
     for block in &report.blocks {
-        check_certificate(&block.cert)
-            .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+        check_certificate(&block.cert).unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
     }
     let cert_time = t1.elapsed();
 
-    let spec_atoms: usize =
-        art.prog_spec.specs.defs().iter().map(|d| d.atoms.len()).sum();
+    let spec_atoms: usize = art
+        .prog_spec
+        .specs
+        .defs()
+        .iter()
+        .map(|d| d.atoms.len())
+        .sum();
     // "Proof" effort analogue: annotations (invariants and exit points)
     // plus pure hint atoms (no-wrap facts, bound facts) across the specs.
     let proof_hints = art.prog_spec.blocks.len()
@@ -144,7 +266,10 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
             .iter()
             .flat_map(|d| d.atoms.iter())
             .filter(|a| {
-                matches!(a, islaris_core::Atom::Pure(_) | islaris_core::Atom::LenEq(_, _))
+                matches!(
+                    a,
+                    islaris_core::Atom::Pure(_) | islaris_core::Atom::LenEq(_, _)
+                )
             })
             .count();
     let outcome = CaseOutcome {
@@ -161,8 +286,7 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
         lia_queries: report.blocks.iter().map(|b| b.stats.lia_queries).sum(),
         obligations: report.obligations(),
         cert_time,
+        cache: art.cache,
     };
     (outcome, report)
 }
-
-

@@ -12,13 +12,15 @@ use std::sync::Arc;
 use islaris_asm::aarch64::{self as a64, XReg};
 use islaris_asm::{Asm, Program};
 use islaris_bv::Bv;
-use islaris_core::{build, Arg, Atom, BlockAnn, Param, ProgramSpec, SpecDef, SpecTable, UartProtocol};
+use islaris_core::{
+    build, Arg, Atom, BlockAnn, Param, ProgramSpec, SpecDef, SpecTable, UartProtocol,
+};
 use islaris_isla::IslaConfig;
 use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Code base address.
 pub const BASE: u64 = 0x5_0000;
@@ -65,7 +67,10 @@ const Q5: Var = Var(11);
 
 fn mmio_atoms() -> Vec<Atom> {
     vec![
-        Atom::Mmio { addr: LSR, bytes: 4 },
+        Atom::Mmio {
+            addr: LSR,
+            bytes: 4,
+        },
         Atom::Mmio { addr: IO, bytes: 4 },
         // The sized accesses check alignment against the configuration.
         build::field("PSTATE", "EL", Expr::bv(2, 0b10)),
@@ -156,7 +161,11 @@ pub fn specs() -> SpecTable {
 /// the low 32 bits of the argument ghost.
 #[must_use]
 pub fn protocol() -> UartProtocol {
-    UartProtocol { lsr: LSR, io: IO, c: Expr::extract(31, 0, Expr::var(C)) }
+    UartProtocol {
+        lsr: LSR,
+        io: IO,
+        c: Expr::extract(31, 0, Expr::var(C)),
+    }
 }
 
 /// The Isla configuration (EL2, no alignment checking).
@@ -171,16 +180,36 @@ pub fn config() -> IslaConfig {
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
-    let (instrs, isla_stats) = trace_program_map(&config(), &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &config(), &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         program.label("uart_putc"),
-        BlockAnn { spec: "uart_pre".into(), verify: true },
+        BlockAnn {
+            spec: "uart_pre".into(),
+            verify: true,
+        },
     );
-    blocks.insert(program.label("poll"), BlockAnn { spec: "uart_inv".into(), verify: true });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        program.label("poll"),
+        BlockAnn {
+            spec: "uart_inv".into(),
+            verify: true,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "UART",
         isa: "Arm",
@@ -188,6 +217,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(protocol()),
         isla_stats,
+        cache,
     }
 }
 

@@ -17,7 +17,7 @@ use islaris_itl::Reg;
 use islaris_models::ARM;
 use islaris_smt::{Expr, Sort, Var};
 
-use crate::report::{run_case, trace_program_map, CaseArtifacts, CaseOutcome};
+use crate::report::{run_case, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome};
 
 /// Address of the faulting store.
 pub const BASE: u64 = 0x4_0000;
@@ -144,13 +144,36 @@ pub fn specs() -> SpecTable {
 /// Builds the full case study.
 #[must_use]
 pub fn build_case() -> CaseArtifacts {
+    build_case_with(&CaseCtx::default())
+}
+
+/// [`build_case`] under an explicit build context (shared trace cache,
+/// per-instruction worker count).
+#[must_use]
+pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
-    let (instrs, isla_stats) = trace_program_map(&config(), &program);
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &config(), &program);
     let mut blocks = BTreeMap::new();
-    blocks.insert(BASE, BlockAnn { spec: "fault_pre".into(), verify: true });
-    blocks.insert(HANDLER, BlockAnn { spec: "handler".into(), verify: false });
-    let prog_spec =
-        ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs: specs() };
+    blocks.insert(
+        BASE,
+        BlockAnn {
+            spec: "fault_pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        HANDLER,
+        BlockAnn {
+            spec: "handler".into(),
+            verify: false,
+        },
+    );
+    let prog_spec = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs: specs(),
+    };
     CaseArtifacts {
         name: "unaligned",
         isa: "Arm",
@@ -158,6 +181,7 @@ pub fn build_case() -> CaseArtifacts {
         prog_spec,
         protocol: Arc::new(NoIo),
         isla_stats,
+        cache,
     }
 }
 

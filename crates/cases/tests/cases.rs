@@ -21,14 +21,22 @@ fn memcpy_riscv_verifies() {
 fn rbit_verifies() {
     let outcome = islaris_cases::rbit::run();
     assert_eq!(outcome.asm_instrs, 2);
-    assert!(outcome.verify_smt >= 64, "bit equations hit the solver: {}", outcome.verify_smt);
+    assert!(
+        outcome.verify_smt >= 64,
+        "bit equations hit the solver: {}",
+        outcome.verify_smt
+    );
 }
 
 #[test]
 fn unaligned_fault_verifies() {
     let outcome = islaris_cases::unaligned::run();
     assert_eq!(outcome.asm_instrs, 1, "single faulting store");
-    assert!(outcome.itl_events > 15, "exception entry is event-heavy: {}", outcome.itl_events);
+    assert!(
+        outcome.itl_events > 15,
+        "exception entry is event-heavy: {}",
+        outcome.itl_events
+    );
 }
 
 #[test]

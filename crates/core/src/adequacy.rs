@@ -46,7 +46,11 @@ pub fn check(
     let run = run(machine, &PcName(pc.clone()), io, max_instrs);
     let no_bottom = !matches!(run.stop, Stop::Fail(_));
     let labels_ok = accepts(protocol, start_state, &run.labels);
-    AdequacyResult { run, no_bottom, labels_ok }
+    AdequacyResult {
+        run,
+        no_bottom,
+        labels_ok,
+    }
 }
 
 /// Convenience: build a machine from registers, instruction traces, and

@@ -232,13 +232,21 @@ pub mod build {
     /// A byte array `a ↦*M B`.
     #[must_use]
     pub fn byte_array(addr: Expr, seq: SeqExpr) -> Atom {
-        Atom::MemArray { addr, seq, elem_bytes: 1 }
+        Atom::MemArray {
+            addr,
+            seq,
+            elem_bytes: 1,
+        }
     }
 
     /// `a @@ name(args)`.
     #[must_use]
     pub fn code_spec(addr: Expr, name: &str, args: Vec<Arg>) -> Atom {
-        Atom::CodeSpec { addr, spec: name.to_owned(), args }
+        Atom::CodeSpec {
+            addr,
+            spec: name.to_owned(),
+            args,
+        }
     }
 
     /// The no-wrap fact for `base + len`: the 65-bit sum has no carry.

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use islaris_smt::lia::{IVar, LinAtom, LinTerm};
-use islaris_smt::{entails, BvBinop, BvCmp, Expr, ExprKind, Sort, SolverConfig, Var};
+use islaris_smt::{entails, BvBinop, BvCmp, Expr, ExprKind, SolverConfig, Sort, Var};
 
 use crate::seq::SeqVar;
 
@@ -86,10 +86,7 @@ impl IntBridge {
                     Expr::zero_extend(1, x.clone()),
                     Expr::zero_extend(1, y.clone()),
                 );
-                let no_carry = Expr::eq(
-                    Expr::extract(width, width, wide),
-                    Expr::bv(1, 0),
-                );
+                let no_carry = Expr::eq(Expr::extract(width, width, wide), Expr::bv(1, 0));
                 if !prove(&no_carry) {
                     return Some(LinTerm::var(self.atom(e, width)));
                 }
@@ -141,8 +138,7 @@ impl IntBridge {
                 if let Some(xi) = self.to_int(x, width, prove) {
                     let p = 1i128 << c;
                     self.derived.push(LinAtom::Le(q.scale(p), xi.clone()));
-                    self.derived
-                        .push(LinAtom::Le(xi, q.scale(p).offset(p - 1)));
+                    self.derived.push(LinAtom::Le(xi, q.scale(p).offset(p - 1)));
                 }
                 Some(q)
             }
@@ -171,11 +167,18 @@ impl IntBridge {
         for (i, (_, w)) in self.atoms.iter().enumerate() {
             let v = LinTerm::var(IVar(i as u32));
             out.push(LinAtom::Le(LinTerm::constant(0), v.clone()));
-            let max = if *w >= 127 { i128::MAX } else { (1i128 << w) - 1 };
+            let max = if *w >= 127 {
+                i128::MAX
+            } else {
+                (1i128 << w) - 1
+            };
             out.push(LinAtom::Le(v, LinTerm::constant(max)));
         }
-        for (_, i) in &self.len_vars {
-            let v = LinTerm::var(IVar(LEN_BASE + *i as u32));
+        // Canonical index order, so logged certificates are deterministic.
+        let mut len_indices: Vec<usize> = self.len_vars.values().copied().collect();
+        len_indices.sort_unstable();
+        for i in len_indices {
+            let v = LinTerm::var(IVar(LEN_BASE + i as u32));
             out.push(LinAtom::Le(LinTerm::constant(0), v));
         }
         out.extend(self.derived.iter().cloned());
@@ -209,10 +212,16 @@ impl IntBridge {
             }
         }
         for (ai, bi) in neqs {
-            if out.iter().any(|f| *f == LinAtom::Le(ai.clone(), bi.clone())) {
+            if out
+                .iter()
+                .any(|f| *f == LinAtom::Le(ai.clone(), bi.clone()))
+            {
                 out.push(LinAtom::lt(ai.clone(), bi.clone()));
             }
-            if out.iter().any(|f| *f == LinAtom::Le(bi.clone(), ai.clone())) {
+            if out
+                .iter()
+                .any(|f| *f == LinAtom::Le(bi.clone(), ai.clone()))
+            {
                 out.push(LinAtom::lt(bi, ai));
             }
         }
@@ -231,10 +240,13 @@ impl IntBridge {
         // directly: int(x) + int(y) ≤ 2^w − 1.
         if !negated {
             if let Some((x, y, w)) = no_wrap_shape(fact) {
-                if let (Some(xi), Some(yi)) =
-                    (self.to_int(&x, w, prove), self.to_int(&y, w, prove))
+                if let (Some(xi), Some(yi)) = (self.to_int(&x, w, prove), self.to_int(&y, w, prove))
                 {
-                    let max = if w >= 127 { i128::MAX } else { (1i128 << w) - 1 };
+                    let max = if w >= 127 {
+                        i128::MAX
+                    } else {
+                        (1i128 << w) - 1
+                    };
                     out.push(LinAtom::Le(xi.add(&yi), LinTerm::constant(max)));
                     return;
                 }
@@ -249,9 +261,10 @@ impl IntBridge {
                 self.fact_to_lia(b, width_of, prove, out, false);
             }
             ExprKind::Cmp(op, a, b) => {
-                let Some(w) = width_of(a).or_else(|| width_of(b)) else { return };
-                let (Some(ai), Some(bi)) =
-                    (self.to_int(a, w, prove), self.to_int(b, w, prove))
+                let Some(w) = width_of(a).or_else(|| width_of(b)) else {
+                    return;
+                };
+                let (Some(ai), Some(bi)) = (self.to_int(a, w, prove), self.to_int(b, w, prove))
                 else {
                     return;
                 };
@@ -266,12 +279,13 @@ impl IntBridge {
                 }
             }
             ExprKind::Eq(a, b) if !negated => {
-                let Some(w) = width_of(a).or_else(|| width_of(b)) else { return };
+                let Some(w) = width_of(a).or_else(|| width_of(b)) else {
+                    return;
+                };
                 if w == 0 {
                     return;
                 }
-                let (Some(ai), Some(bi)) =
-                    (self.to_int(a, w, prove), self.to_int(b, w, prove))
+                let (Some(ai), Some(bi)) = (self.to_int(a, w, prove), self.to_int(b, w, prove))
                 else {
                     return;
                 };
@@ -291,7 +305,9 @@ fn inner_width(e: &Expr, _outer: u32) -> Option<u32> {
 /// returning `(x, y, w)`.
 #[must_use]
 pub fn no_wrap_shape(e: &Expr) -> Option<(Expr, Expr, u32)> {
-    let ExprKind::Eq(lhs, rhs) = e.kind() else { return None };
+    let ExprKind::Eq(lhs, rhs) = e.kind() else {
+        return None;
+    };
     let (ext, zero) = if rhs.as_bits().is_some_and(|b| b.is_zero() && b.width() == 1) {
         (lhs, rhs)
     } else if lhs.as_bits().is_some_and(|b| b.is_zero() && b.width() == 1) {
@@ -300,18 +316,21 @@ pub fn no_wrap_shape(e: &Expr) -> Option<(Expr, Expr, u32)> {
         return None;
     };
     let _ = zero;
-    let ExprKind::Extract(hi, lo, sum) = ext.kind() else { return None };
+    let ExprKind::Extract(hi, lo, sum) = ext.kind() else {
+        return None;
+    };
     if hi != lo {
         return None;
     }
-    let ExprKind::Binop(BvBinop::Add, zx, zy) = sum.kind() else { return None };
+    let ExprKind::Binop(BvBinop::Add, zx, zy) = sum.kind() else {
+        return None;
+    };
     let w = *hi;
     // Either operand may have been constant-folded from `zero_extend(1, c)`
     // into a (w+1)-bit literal below 2^w.
     let unwrap = |e: &Expr| -> Option<Expr> {
         if let ExprKind::ZeroExtend(1, inner) = e.kind() {
-            if islaris_smt::width_of(inner) == Some(w) || islaris_smt::width_of(inner).is_none()
-            {
+            if islaris_smt::width_of(inner) == Some(w) || islaris_smt::width_of(inner).is_none() {
                 return Some(inner.clone());
             }
             return None;

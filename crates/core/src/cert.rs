@@ -10,7 +10,7 @@
 //! final check of the generated proof term.
 
 use islaris_smt::lia::{implies, LinAtom};
-use islaris_smt::{entails, Expr, Sort, SolverConfig, Var};
+use islaris_smt::{entails, Expr, SolverConfig, Sort, Var};
 
 /// One discharged side condition.
 #[derive(Debug, Clone)]
@@ -52,7 +52,11 @@ pub struct CertError {
 
 impl std::fmt::Display for CertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "certificate check failed at obligation {}: {}", self.index, self.obligation)
+        write!(
+            f,
+            "certificate check failed at obligation {}: {}",
+            self.index, self.obligation
+        )
     }
 }
 
@@ -74,7 +78,10 @@ pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
             Obligation::Lia { facts, goal } => implies(facts, goal),
         };
         if !ok {
-            return Err(CertError { index, obligation: format!("{ob:?}") });
+            return Err(CertError {
+                index,
+                obligation: format!("{ob:?}"),
+            });
         }
     }
     Ok(())

@@ -17,9 +17,7 @@ use std::time::{Duration, Instant};
 
 use islaris_itl::{Event, Reg, Trace};
 use islaris_smt::lia::{implies, LinAtom, LinTerm};
-use islaris_smt::{
-    entails, simplify_with, Expr, Sort, SolverConfig, Value, Var, VarGen,
-};
+use islaris_smt::{entails, simplify_with, Expr, SolverConfig, Sort, Value, Var, VarGen};
 
 use crate::assertions::{Arg, Atom, Param, ProgramSpec, SpecDef};
 use crate::bridge::IntBridge;
@@ -40,7 +38,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verification of block {:#x} failed: {}", self.block, self.message)
+        write!(
+            f,
+            "verification of block {:#x} failed: {}",
+            self.block, self.message
+        )
     }
 }
 
@@ -117,7 +119,12 @@ impl Verifier {
     /// Creates a verifier with default solver settings and fuel.
     #[must_use]
     pub fn new(prog: ProgramSpec, protocol: Arc<dyn Protocol>) -> Self {
-        Verifier { prog, protocol, solver: SolverConfig::new(), fuel: 128 }
+        Verifier {
+            prog,
+            protocol,
+            solver: SolverConfig::new(),
+            fuel: 128,
+        }
     }
 
     /// Verifies every annotated block with `verify = true`.
@@ -153,15 +160,24 @@ impl Verifier {
         })?;
 
         let mut eng = Engine::new(self);
-        let ctx = eng
-            .load_spec(def, addr)
-            .map_err(|m| VerifyError { block: addr, message: m })?;
-        let trace = self.prog.instrs.get(&addr).cloned().ok_or_else(|| VerifyError {
+        let ctx = eng.load_spec(def, addr).map_err(|m| VerifyError {
             block: addr,
-            message: "no instruction at block start".into(),
+            message: m,
         })?;
+        let trace = self
+            .prog
+            .instrs
+            .get(&addr)
+            .cloned()
+            .ok_or_else(|| VerifyError {
+                block: addr,
+                message: "no instruction at block start".into(),
+            })?;
         eng.exec_trace(ctx, Subst::default(), &trace, self.fuel)
-            .map_err(|m| VerifyError { block: addr, message: m })?;
+            .map_err(|m| VerifyError {
+                block: addr,
+                message: m,
+            })?;
 
         let mut stats = eng.shared.stats;
         stats.time = start.elapsed();
@@ -169,13 +185,23 @@ impl Verifier {
             addr,
             spec: ann.spec.clone(),
             stats,
-            cert: Certificate { obligations: eng.shared.cert },
+            cert: Certificate {
+                obligations: eng.shared.cert,
+            },
         })
     }
 }
 
 /// Per-instruction substitution of trace variables, composed with the
 /// instantiation of unconstrained read ghosts.
+/// Sort map in canonical (variable-number) order: certificates must render
+/// byte-identically run to run, whatever the map's iteration order.
+fn sorted_sorts(sorts: &HashMap<Var, Sort>) -> Vec<(Var, Sort)> {
+    let mut out: Vec<(Var, Sort)> = sorts.iter().map(|(v, s)| (*v, *s)).collect();
+    out.sort_unstable_by_key(|(v, _)| *v);
+    out
+}
+
 #[derive(Debug, Clone, Default)]
 struct Subst {
     /// Trace variable → context expression.
@@ -197,9 +223,20 @@ impl Subst {
 /// A memory chunk owned by the context.
 #[derive(Debug, Clone)]
 enum Chunk {
-    Plain { addr: Expr, value: Expr, bytes: u32 },
-    Array { addr: Expr, norm: SeqNorm, elem_bytes: u32 },
-    Mmio { addr: u64, bytes: u32 },
+    Plain {
+        addr: Expr,
+        value: Expr,
+        bytes: u32,
+    },
+    Array {
+        addr: Expr,
+        norm: SeqNorm,
+        elem_bytes: u32,
+    },
+    Mmio {
+        addr: u64,
+        bytes: u32,
+    },
 }
 
 /// The separation-logic context along one path.
@@ -326,8 +363,7 @@ impl ProofEnv<'_> {
                 _ => None,
             }
         };
-        let mut prove1 =
-            |g: &Expr| simplify_with(g, &ws).as_bool() == Some(true);
+        let mut prove1 = |g: &Expr| simplify_with(g, &ws).as_bool() == Some(true);
         let mut pass1 = self.bridge.int_facts(self.pure, &widths, &mut prove1);
         for (n, b) in self.lens {
             if let Some(t) = self.bridge.to_int(n, 64, &mut prove1) {
@@ -386,7 +422,10 @@ impl SeqCtx for ProofEnv<'_> {
         facts.extend(self.bridge.range_facts());
         let ok = implies(&facts, goal);
         if ok {
-            self.cert.push(Obligation::Lia { facts, goal: goal.clone() });
+            self.cert.push(Obligation::Lia {
+                facts,
+                goal: goal.clone(),
+            });
         }
         ok
     }
@@ -406,7 +445,7 @@ impl SeqCtx for ProofEnv<'_> {
             self.cert.push(Obligation::Bv {
                 facts: Vec::new(),
                 goal: goal.clone(),
-                sorts: self.sorts.iter().map(|(v, s)| (*v, *s)).collect(),
+                sorts: sorted_sorts(self.sorts),
             });
             return true;
         }
@@ -416,7 +455,7 @@ impl SeqCtx for ProofEnv<'_> {
             self.cert.push(Obligation::Bv {
                 facts: self.pure.to_vec(),
                 goal: g,
-                sorts: self.sorts.iter().map(|(v, s)| (*v, *s)).collect(),
+                sorts: sorted_sorts(self.sorts),
             });
         }
         ok
@@ -551,10 +590,13 @@ impl<'v> Engine<'v> {
                         bytes: *bytes,
                     });
                 }
-                Atom::MemArray { addr, seq, elem_bytes } => {
+                Atom::MemArray {
+                    addr,
+                    seq,
+                    elem_bytes,
+                } => {
                     let norm = {
-                        let mut env =
-                            Self::env(&mut self.shared, &ctx, &self.v.solver, &empty);
+                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &empty);
                         seq::normalize(seq, &mut env).map_err(|e| e.to_string())?
                     };
                     ctx.chunks.push(Chunk::Array {
@@ -564,16 +606,21 @@ impl<'v> Engine<'v> {
                     });
                 }
                 Atom::Mmio { addr, bytes } => {
-                    ctx.chunks.push(Chunk::Mmio { addr: *addr, bytes: *bytes });
+                    ctx.chunks.push(Chunk::Mmio {
+                        addr: *addr,
+                        bytes: *bytes,
+                    });
                 }
                 Atom::CodeSpec { addr, spec, args } => {
-                    ctx.code_specs.push((self.simp(addr), spec.clone(), args.clone()));
+                    ctx.code_specs
+                        .push((self.simp(addr), spec.clone(), args.clone()));
                 }
                 Atom::Io(s) => ctx.io_state = Some(*s),
             }
         }
         // The PC points at the block.
-        ctx.regs.insert(self.v.prog.pc.clone(), Expr::bv(64, u128::from(addr)));
+        ctx.regs
+            .insert(self.v.prog.pc.clone(), Expr::bv(64, u128::from(addr)));
         Ok(ctx)
     }
 
@@ -616,12 +663,7 @@ impl<'v> Engine<'v> {
         }
     }
 
-    fn exec_event(
-        &mut self,
-        ctx: &mut Ctx,
-        subst: &mut Subst,
-        ev: &Event,
-    ) -> Result<Step, String> {
+    fn exec_event(&mut self, ctx: &mut Ctx, subst: &mut Subst, ev: &Event) -> Result<Step, String> {
         let empty = HashMap::new();
         match ev {
             Event::DeclareConst(x, s) => {
@@ -712,8 +754,7 @@ impl<'v> Engine<'v> {
                                 Chunk::Array { norm, .. } => norm.clone(),
                                 _ => unreachable!(),
                             };
-                            let mut env =
-                                Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
                             let eb = match &ctx.chunks[i] {
                                 Chunk::Array { elem_bytes, .. } => *elem_bytes,
                                 _ => unreachable!(),
@@ -739,9 +780,7 @@ impl<'v> Engine<'v> {
                             .protocol
                             .on_read(state, dev_addr, *bytes, &ghost)
                             .ok_or_else(|| {
-                                format!(
-                                    "protocol forbids read of {dev_addr:#x} in state {state}"
-                                )
+                                format!("protocol forbids read of {dev_addr:#x} in state {state}")
                             })?;
                         Ok(Step::IoBranches(branches))
                     }
@@ -763,8 +802,7 @@ impl<'v> Engine<'v> {
                                 Chunk::Array { norm, .. } => norm.clone(),
                                 _ => unreachable!(),
                             };
-                            let mut env =
-                                Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
                             seq::update_norm(&norm, &idx, val, &mut env)
                                 .map_err(|e: SeqError| e.to_string())?
                         };
@@ -782,13 +820,10 @@ impl<'v> Engine<'v> {
                             .protocol
                             .on_write(state, dev_addr, *bytes, &val)
                             .ok_or_else(|| {
-                                format!(
-                                    "protocol forbids write of {dev_addr:#x} in state {state}"
-                                )
+                                format!("protocol forbids write of {dev_addr:#x} in state {state}")
                             })?;
                         let ok = {
-                            let mut env =
-                                Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
                             env.prove_bv(&obligation)
                         };
                         if !ok {
@@ -827,14 +862,20 @@ impl<'v> Engine<'v> {
         let empty = HashMap::new();
         // 1. Plain chunks: syntactic, then semantic address equality.
         for (i, ch) in ctx.chunks.iter().enumerate() {
-            if let Chunk::Plain { addr: a, bytes: b, .. } = ch {
+            if let Chunk::Plain {
+                addr: a, bytes: b, ..
+            } = ch
+            {
                 if *b == bytes && a == addr {
                     return Ok(MemRef::Plain(i));
                 }
             }
         }
         for (i, ch) in ctx.chunks.iter().enumerate() {
-            if let Chunk::Plain { addr: a, bytes: b, .. } = ch {
+            if let Chunk::Plain {
+                addr: a, bytes: b, ..
+            } = ch
+            {
                 if *b == bytes {
                     let goal = Expr::eq(a.clone(), addr.clone());
                     let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
@@ -847,7 +888,12 @@ impl<'v> Engine<'v> {
         // 2. Arrays: containment via the int bridge + LIA.
         let mut diag = String::new();
         for (i, ch) in ctx.chunks.iter().enumerate() {
-            if let Chunk::Array { addr: base, norm, elem_bytes } = ch {
+            if let Chunk::Array {
+                addr: base,
+                norm,
+                elem_bytes,
+            } = ch
+            {
                 if *elem_bytes != bytes {
                     continue;
                 }
@@ -875,7 +921,11 @@ impl<'v> Engine<'v> {
         }
         // 3. MMIO regions: address provably equals the device register.
         for ch in &ctx.chunks {
-            if let Chunk::Mmio { addr: dev, bytes: b } = ch {
+            if let Chunk::Mmio {
+                addr: dev,
+                bytes: b,
+            } = ch
+            {
                 if *b == bytes {
                     let goal = Expr::eq(addr.clone(), Expr::bv(64, u128::from(*dev)));
                     let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
@@ -885,7 +935,9 @@ impl<'v> Engine<'v> {
                 }
             }
         }
-        Err(format!("findM: no chunk covers address {addr} ({bytes} bytes) {diag}"))
+        Err(format!(
+            "findM: no chunk covers address {addr} ({bytes} bytes) {diag}"
+        ))
     }
 
     // ----- inter-instruction steps (hoare-instr / hoare-instr-pre) -----
@@ -983,10 +1035,15 @@ impl<'v> Engine<'v> {
         }
         let params: Vec<Param> = def.params.clone();
         let is_param = |v: Var| {
-            params.iter().any(|p| matches!(p, Param::Bv(pv, _) if *pv == v))
+            params
+                .iter()
+                .any(|p| matches!(p, Param::Bv(pv, _) if *pv == v))
         };
-        let is_seq_param =
-            |b: SeqVar| params.iter().any(|p| matches!(p, Param::Seq(pb) if *pb == b));
+        let is_seq_param = |b: SeqVar| {
+            params
+                .iter()
+                .any(|p| matches!(p, Param::Seq(pb) if *pb == b))
+        };
 
         for atom in &def.atoms {
             match atom {
@@ -1000,8 +1057,7 @@ impl<'v> Engine<'v> {
                     let goal = e.subst(&|v| bv_bind.get(&v).cloned());
                     let goal = self.simp(&goal);
                     let ok = {
-                        let mut env =
-                            Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
                         env.prove_mixed(&goal)
                     };
                     if !ok {
@@ -1010,8 +1066,7 @@ impl<'v> Engine<'v> {
                 }
                 Atom::LenEq(n, b) => {
                     let n = self.simp(&n.subst(&|v| bv_bind.get(&v).cloned()));
-                    let mut env =
-                        Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                    let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
                     let Some(ni) = env.to_int(&n) else {
                         return Err(format!("length fact: `{n}` not convertible"));
                     };
@@ -1033,12 +1088,21 @@ impl<'v> Engine<'v> {
                         _ => return Err(format!("goal cell at {a} not a plain chunk")),
                     }
                 }
-                Atom::MemArray { addr, seq, elem_bytes } => {
+                Atom::MemArray {
+                    addr,
+                    seq,
+                    elem_bytes,
+                } => {
                     let a = self.simp(&addr.subst(&|v| bv_bind.get(&v).cloned()));
                     // Find the array chunk with (provably) the same base.
                     let mut found = None;
                     for (i, ch) in ctx.chunks.iter().enumerate() {
-                        if let Chunk::Array { addr: base, elem_bytes: eb, .. } = ch {
+                        if let Chunk::Array {
+                            addr: base,
+                            elem_bytes: eb,
+                            ..
+                        } = ch
+                        {
                             if eb == elem_bytes {
                                 let same = base == &a || {
                                     let goal = Expr::eq(base.clone(), a.clone());
@@ -1073,15 +1137,13 @@ impl<'v> Engine<'v> {
                     }
                     let goal_seq = subst_seq(seq, &bv_bind);
                     let ok = {
-                        let mut env =
-                            Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
                         let goal_norm = {
                             let mut bound = BoundSeqCtxResolve {
                                 env: &mut env,
                                 bindings: &seq_bind,
                             };
-                            seq::normalize(&goal_seq, &mut bound)
-                                .map_err(|e| e.to_string())?
+                            seq::normalize(&goal_seq, &mut bound).map_err(|e| e.to_string())?
                         };
                         seq::eq_norm(&goal_norm, &chunk_norm, 8 * elem_bytes, &mut env)
                             .map_err(|e| e.to_string())?
@@ -1166,8 +1228,7 @@ impl<'v> Engine<'v> {
                                         };
                                         match (gn, cn) {
                                             (Ok(gn), Ok(cn)) => {
-                                                seq::eq_norm(&gn, &cn, 8, &mut env)
-                                                    .unwrap_or(false)
+                                                seq::eq_norm(&gn, &cn, 8, &mut env).unwrap_or(false)
                                             }
                                             _ => false,
                                         }
@@ -1224,7 +1285,10 @@ impl<'v> Engine<'v> {
                 return Ok(());
             }
         }
-        let goal = self.simp(&Expr::eq(pat.subst(&|v| bv_bind.get(&v).cloned()), w.clone()));
+        let goal = self.simp(&Expr::eq(
+            pat.subst(&|v| bv_bind.get(&v).cloned()),
+            w.clone(),
+        ));
         let ok = {
             let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, seq_bind);
             env.prove_mixed(&goal)
@@ -1326,19 +1390,28 @@ fn lia_side_prove(
         return false;
     }
     let mut sc = scratch.clone();
-    let mut prove =
-        |sub: &Expr| lia_side_prove(sub, base, scratch, sorts, depth - 1);
+    let mut prove = |sub: &Expr| lia_side_prove(sub, base, scratch, sorts, depth - 1);
     let atom = if let Some((x, y, w)) = crate::bridge::no_wrap_shape(&g) {
         let (xi, yi) = match (sc.to_int(&x, w, &mut prove), sc.to_int(&y, w, &mut prove)) {
             (Some(a), Some(b)) => (a, b),
             _ => return false,
         };
-        let max = if w >= 127 { i128::MAX } else { (1i128 << w) - 1 };
+        let max = if w >= 127 {
+            i128::MAX
+        } else {
+            (1i128 << w) - 1
+        };
         Some(LinAtom::Le(xi.add(&yi), LinTerm::constant(max)))
     } else if let Some((x, k, xw)) = high_bits_zero_shape(&g, &ws) {
         // extract(w−1, k, x) = 0 ⟺ int(x) ≤ 2^k − 1.
-        let Some(xi) = sc.to_int(&x, xw, &mut prove) else { return false };
-        let max = if k >= 127 { i128::MAX } else { (1i128 << k) - 1 };
+        let Some(xi) = sc.to_int(&x, xw, &mut prove) else {
+            return false;
+        };
+        let max = if k >= 127 {
+            i128::MAX
+        } else {
+            (1i128 << k) - 1
+        };
         Some(LinAtom::Le(xi, LinTerm::constant(max)))
     } else if let islaris_smt::ExprKind::Cmp(op, a, b) = g.kind() {
         use islaris_smt::BvCmp;
@@ -1363,11 +1436,10 @@ fn lia_side_prove(
 }
 
 /// Matches `(= ((_ extract w-1 k) x) 0)`, returning `(x, k, w)`.
-fn high_bits_zero_shape(
-    g: &Expr,
-    ws: &dyn Fn(Var) -> Option<u32>,
-) -> Option<(Expr, u32, u32)> {
-    let islaris_smt::ExprKind::Eq(l, r) = g.kind() else { return None };
+fn high_bits_zero_shape(g: &Expr, ws: &dyn Fn(Var) -> Option<u32>) -> Option<(Expr, u32, u32)> {
+    let islaris_smt::ExprKind::Eq(l, r) = g.kind() else {
+        return None;
+    };
     let (ext, z) = if r.as_bits().is_some_and(|b| b.is_zero()) {
         (l, r)
     } else if l.as_bits().is_some_and(|b| b.is_zero()) {
@@ -1376,7 +1448,9 @@ fn high_bits_zero_shape(
         return None;
     };
     let _ = z;
-    let islaris_smt::ExprKind::Extract(hi, lo, x) = ext.kind() else { return None };
+    let islaris_smt::ExprKind::Extract(hi, lo, x) = ext.kind() else {
+        return None;
+    };
     let w = islaris_smt::width_of_with(x, ws)?;
     if *hi != w - 1 {
         return None;
@@ -1399,7 +1473,10 @@ fn side_prover<'a>(
             return true;
         }
         *queries += 1;
-        let cfg = SolverConfig { max_conflicts: 50_000, ..solver.clone() };
+        let cfg = SolverConfig {
+            max_conflicts: 50_000,
+            ..solver.clone()
+        };
         entails(&pure, goal, &|v| sorts.get(&v).copied(), &cfg)
     }
 }

@@ -35,8 +35,13 @@ pub trait Protocol: Send + Sync {
     /// Transitions for a read at `addr`; `None` = reads not allowed here.
     fn on_read(&self, state: usize, addr: u64, bytes: u32, value: &Expr) -> Option<ReadBranches>;
     /// Transition for a write at `addr`; `None` = writes not allowed.
-    fn on_write(&self, state: usize, addr: u64, bytes: u32, value: &Expr)
-        -> Option<WriteTransition>;
+    fn on_write(
+        &self,
+        state: usize,
+        addr: u64,
+        bytes: u32,
+        value: &Expr,
+    ) -> Option<WriteTransition>;
 }
 
 /// Checks a concrete label sequence against a protocol (the `κs ∈ s` side
@@ -54,8 +59,7 @@ pub fn accepts(protocol: &dyn Protocol, mut state: usize, labels: &[Label]) -> b
             Label::End(_) => {}
             Label::Read { addr, value } => {
                 let ve = Expr::bits(*value);
-                let Some(branches) =
-                    protocol.on_read(state, *addr, value.byte_len() as u32, &ve)
+                let Some(branches) = protocol.on_read(state, *addr, value.byte_len() as u32, &ve)
                 else {
                     return false;
                 };
@@ -147,7 +151,11 @@ impl Protocol for NoIo {
 /// Helper: build a `UartProtocol` transmitting the concrete byte `c`.
 #[must_use]
 pub fn uart(lsr: u64, io: u64, c: u8) -> UartProtocol {
-    UartProtocol { lsr, io, c: Expr::bits(Bv::new(32, u128::from(c))) }
+    UartProtocol {
+        lsr,
+        io,
+        c: Expr::bits(Bv::new(32, u128::from(c))),
+    }
 }
 
 /// Helper: evaluate whether a closed guard holds for a concrete value.
@@ -165,10 +173,22 @@ mod tests {
     fn uart_accepts_polling_then_write() {
         let p = uart(0x9000, 0x9004, b'A');
         let labels = vec![
-            Label::Read { addr: 0x9000, value: Bv::new(32, 0) }, // busy
-            Label::Read { addr: 0x9000, value: Bv::new(32, 0) }, // busy
-            Label::Read { addr: 0x9000, value: Bv::new(32, 1 << 5) }, // ready
-            Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'A')) },
+            Label::Read {
+                addr: 0x9000,
+                value: Bv::new(32, 0),
+            }, // busy
+            Label::Read {
+                addr: 0x9000,
+                value: Bv::new(32, 0),
+            }, // busy
+            Label::Read {
+                addr: 0x9000,
+                value: Bv::new(32, 1 << 5),
+            }, // ready
+            Label::Write {
+                addr: 0x9004,
+                value: Bv::new(32, u128::from(b'A')),
+            },
             Label::End(0x1010),
         ];
         assert!(accepts(&p, 0, &labels));
@@ -178,8 +198,14 @@ mod tests {
     fn uart_rejects_wrong_character() {
         let p = uart(0x9000, 0x9004, b'A');
         let labels = vec![
-            Label::Read { addr: 0x9000, value: Bv::new(32, 1 << 5) },
-            Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'B')) },
+            Label::Read {
+                addr: 0x9000,
+                value: Bv::new(32, 1 << 5),
+            },
+            Label::Write {
+                addr: 0x9004,
+                value: Bv::new(32, u128::from(b'B')),
+            },
         ];
         assert!(!accepts(&p, 0, &labels));
     }
@@ -187,20 +213,33 @@ mod tests {
     #[test]
     fn uart_rejects_write_before_ready() {
         let p = uart(0x9000, 0x9004, b'A');
-        let labels = vec![Label::Write { addr: 0x9004, value: Bv::new(32, u128::from(b'A')) }];
+        let labels = vec![Label::Write {
+            addr: 0x9004,
+            value: Bv::new(32, u128::from(b'A')),
+        }];
         assert!(!accepts(&p, 0, &labels));
     }
 
     #[test]
     fn uart_rejects_unknown_addresses() {
         let p = uart(0x9000, 0x9004, b'A');
-        let labels = vec![Label::Read { addr: 0xdead, value: Bv::new(32, 0) }];
+        let labels = vec![Label::Read {
+            addr: 0xdead,
+            value: Bv::new(32, 0),
+        }];
         assert!(!accepts(&p, 0, &labels));
     }
 
     #[test]
     fn no_io_rejects_everything_but_end() {
         assert!(accepts(&NoIo, 0, &[Label::End(0)]));
-        assert!(!accepts(&NoIo, 0, &[Label::Read { addr: 0, value: Bv::new(8, 0) }]));
+        assert!(!accepts(
+            &NoIo,
+            0,
+            &[Label::Read {
+                addr: 0,
+                value: Bv::new(8, 0)
+            }]
+        ));
     }
 }

@@ -20,10 +20,12 @@ pub mod bridge;
 pub mod cert;
 pub mod engine;
 pub mod iospec;
+pub mod pipeline;
 pub mod seq;
 
 pub use assertions::{build, Arg, Atom, BlockAnn, Param, ProgramSpec, SpecDef, SpecTable};
 pub use cert::{check_certificate, CertError, Certificate, Obligation};
 pub use engine::{BlockReport, BlockStats, Report, Verifier, VerifyError};
 pub use iospec::{accepts, uart, NoIo, Protocol, UartProtocol};
+pub use pipeline::{effective_jobs, run_jobs, run_jobs_ok, JobPanic};
 pub use seq::{SeqExpr, SeqVar};

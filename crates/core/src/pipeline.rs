@@ -1,0 +1,188 @@
+//! A std-only work-queue scheduler for embarrassingly parallel pipeline
+//! stages (per-instruction trace generation, per-case verification).
+//!
+//! The paper's evaluation verifies nine case studies one instruction at a
+//! time; the structure is embarrassingly parallel. This module fans a
+//! fixed job list out across `N` std threads and joins the results
+//! **deterministically**: outputs come back indexed by job, so callers
+//! that iterate in job order see byte-identical results whatever the
+//! worker count or interleaving.
+//!
+//! Degradation is graceful by construction: with `jobs <= 1` no thread is
+//! spawned at all, and when a spawn fails (resource exhaustion) the main
+//! thread simply keeps draining the queue itself — the scheduler never
+//! returns fewer results than jobs.
+//!
+//! Panics inside a job are caught per job ([`JobPanic`]), so one poisoned
+//! work item fails its own slot without wedging the queue.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job that panicked, with the captured payload rendered to text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job.
+    pub index: usize,
+    /// The panic payload (if it was a string; `"non-string panic"`
+    /// otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Resolves a requested worker count: `0` means "ask the OS"
+/// ([`std::thread::available_parallelism`], 1 if unknown).
+#[must_use]
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic".into())
+}
+
+/// Runs `count` jobs (`f(0)` … `f(count-1)`) on up to `jobs` workers and
+/// returns the results **in job order**. Each job is isolated with
+/// [`catch_unwind`]; a panicking job yields `Err(JobPanic)` in its slot
+/// and the queue keeps draining.
+///
+/// `jobs == 0` asks the OS for the parallelism level; `jobs == 1` runs
+/// inline with no threads.
+///
+/// # Panics
+///
+/// Never panics itself; job panics are reified into the result vector.
+pub fn run_jobs<T, F>(jobs: usize, count: usize, f: F) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = effective_jobs(jobs).min(count.max(1));
+    let run_one = |i: usize| -> Result<T, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| JobPanic {
+            index: i,
+            message: payload_message(&*p),
+        })
+    };
+    if jobs <= 1 {
+        return (0..count).map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<T, JobPanic>>>> =
+        Mutex::new((0..count).map(|_| None).collect());
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
+        }
+        let r = run_one(i);
+        results
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+    };
+    std::thread::scope(|s| {
+        // jobs-1 helpers; the main thread is the last worker. If a spawn
+        // fails we fall through: the queue drains regardless.
+        for w in 1..jobs {
+            let builder = std::thread::Builder::new().name(format!("islaris-worker-{w}"));
+            let _unspawned = builder.spawn_scoped(s, worker);
+        }
+        worker();
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|slot| slot.expect("every job index was claimed and stored"))
+        .collect()
+}
+
+/// [`run_jobs`], failing fast on the first (lowest-index) job panic.
+///
+/// # Errors
+///
+/// Returns the lowest-index [`JobPanic`] if any job panicked.
+pub fn run_jobs_ok<T, F>(jobs: usize, count: usize, f: F) -> Result<Vec<T>, JobPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_jobs(jobs, count, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for jobs in [0, 1, 2, 4, 16, 200] {
+            let got = run_jobs_ok(jobs, 100, |i| i * i).unwrap();
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        assert!(run_jobs(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_fails_only_its_own_slot() {
+        let out = run_jobs(4, 10, |i| {
+            assert!(i != 3, "poisoned job");
+            i
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("poisoned job"), "{}", e.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_mode_also_isolates_panics() {
+        let out = run_jobs(1, 4, |i| {
+            assert!(i != 0, "first job dies");
+            i
+        });
+        assert!(out[0].is_err());
+        assert_eq!(*out[3].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn run_jobs_ok_reports_lowest_index_panic() {
+        let err = run_jobs_ok(2, 8, |i| {
+            assert!(i % 3 != 2, "dies");
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 2);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let got = run_jobs_ok(64, 3, |i| i + 1).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

@@ -158,7 +158,9 @@ impl fmt::Display for SeqError {
 impl std::error::Error for SeqError {}
 
 fn seq_err<T>(msg: impl Into<String>) -> Result<T, SeqError> {
-    Err(SeqError { message: msg.into() })
+    Err(SeqError {
+        message: msg.into(),
+    })
 }
 
 impl Segment {
@@ -175,7 +177,11 @@ impl SeqNorm {
     #[must_use]
     pub fn whole(base: SeqVar, len: LinTerm) -> SeqNorm {
         SeqNorm {
-            segs: vec![Segment::Slice { base, lo: LinTerm::constant(0), hi: len }],
+            segs: vec![Segment::Slice {
+                base,
+                lo: LinTerm::constant(0),
+                hi: len,
+            }],
         }
     }
 
@@ -191,9 +197,7 @@ impl SeqNorm {
     fn prune(mut self, cx: &mut dyn SeqCtx) -> SeqNorm {
         self.segs.retain(|s| match s {
             Segment::Point(_) => true,
-            Segment::Slice { lo, hi, .. } => {
-                !cx.prove_int(&LinAtom::Le(hi.clone(), lo.clone()))
-            }
+            Segment::Slice { lo, hi, .. } => !cx.prove_int(&LinAtom::Le(hi.clone(), lo.clone())),
         });
         self
     }
@@ -242,8 +246,9 @@ pub fn normalize(e: &SeqExpr, cx: &mut dyn SeqCtx) -> Result<SeqNorm, SeqError> 
 }
 
 fn to_index(e: &Expr, cx: &mut dyn SeqCtx) -> Result<LinTerm, SeqError> {
-    cx.to_int(e)
-        .ok_or_else(|| SeqError { message: format!("index `{e}` is not linear") })
+    cx.to_int(e).ok_or_else(|| SeqError {
+        message: format!("index `{e}` is not linear"),
+    })
 }
 
 /// Splits a normalised sequence at position `k` (absolute index from the
@@ -293,8 +298,16 @@ pub fn split_at(
                             "cannot locate split point {k} within segment [{s_lo}, {s_hi})"
                         ));
                     }
-                    before.push(Segment::Slice { base: *base, lo: s_lo, hi: mid.clone() });
-                    after.push(Segment::Slice { base: *base, lo: mid, hi: s_hi });
+                    before.push(Segment::Slice {
+                        base: *base,
+                        lo: s_lo,
+                        hi: mid.clone(),
+                    });
+                    after.push(Segment::Slice {
+                        base: *base,
+                        lo: mid,
+                        hi: s_hi,
+                    });
                     splitting_done = true;
                 }
             }
@@ -396,12 +409,18 @@ pub fn eq_norm(
                     }
                 }
                 (
-                    Segment::Slice { base: b1, lo: l1, hi: h1 },
-                    Segment::Slice { base: b2, lo: l2, hi: h2 },
+                    Segment::Slice {
+                        base: b1,
+                        lo: l1,
+                        hi: h1,
+                    },
+                    Segment::Slice {
+                        base: b2,
+                        lo: l2,
+                        hi: h2,
+                    },
                 ) => {
-                    if b1 != b2
-                        || !cx.prove_int(&LinAtom::Eq(l1.clone(), l2.clone()))
-                    {
+                    if b1 != b2 || !cx.prove_int(&LinAtom::Eq(l1.clone(), l2.clone())) {
                         return Ok(false);
                     }
                     // Align lengths: shorter side consumes fully; longer
@@ -409,13 +428,19 @@ pub fn eq_norm(
                     if cx.prove_int(&LinAtom::Eq(h1.clone(), h2.clone())) {
                         // equal: both consumed
                     } else if cx.prove_int(&LinAtom::Le(h1.clone(), h2.clone())) {
-                        ys.push(Segment::Slice { base: b2, lo: h1, hi: h2 });
+                        ys.push(Segment::Slice {
+                            base: b2,
+                            lo: h1,
+                            hi: h2,
+                        });
                     } else if cx.prove_int(&LinAtom::Le(h2.clone(), h1.clone())) {
-                        xs.push(Segment::Slice { base: b1, lo: h2, hi: h1 });
+                        xs.push(Segment::Slice {
+                            base: b1,
+                            lo: h2,
+                            hi: h1,
+                        });
                     } else {
-                        return seq_err(format!(
-                            "cannot order slice ends {h1} and {h2}"
-                        ));
+                        return seq_err(format!("cannot order slice ends {h1} and {h2}"));
                     }
                 }
                 (Segment::Slice { base, lo, hi }, Segment::Point(e)) => {
@@ -430,7 +455,11 @@ pub fn eq_norm(
                     if !elems_equal(&sel, &e, cx) {
                         return Ok(false);
                     }
-                    xs.push(Segment::Slice { base, lo: lo.offset(1), hi });
+                    xs.push(Segment::Slice {
+                        base,
+                        lo: lo.offset(1),
+                        hi,
+                    });
                 }
                 (Segment::Point(e), Segment::Slice { base, lo, hi }) => {
                     if !cx.prove_int(&LinAtom::lt(lo.clone(), hi.clone())) {
@@ -442,7 +471,11 @@ pub fn eq_norm(
                     if !elems_equal(&sel, &e, cx) {
                         return Ok(false);
                     }
-                    ys.push(Segment::Slice { base, lo: lo.offset(1), hi });
+                    ys.push(Segment::Slice {
+                        base,
+                        lo: lo.offset(1),
+                        hi,
+                    });
                 }
             },
         }

@@ -97,9 +97,26 @@ fn fig3_hoare_double_verifies() {
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     instrs.insert(0x1004, Arc::new(hang_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let report = v.verify_all().expect("verifies");
     assert_eq!(report.blocks.len(), 1);
@@ -129,9 +146,26 @@ fn wrong_postcondition_fails() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let err = v.verify_all().expect_err("must fail");
     assert!(err.message.contains("not provable"), "{err}");
@@ -154,8 +188,19 @@ fn wrong_configuration_fails() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let err = v.verify_all().expect_err("must fail");
     assert!(err.message.contains("assumption"), "{err}");
@@ -208,9 +253,26 @@ fn parametric_spec_verifies() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let report = v.verify_all().expect("verifies");
     check_certificate(&report.blocks[0].cert).expect("certificate checks");
@@ -251,11 +313,29 @@ fn beq_cases_verify() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1010, Arc::new(beq));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1010, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1000, BlockAnn { spec: "target".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1010,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "target".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
-    v.verify_all().expect("verifies: fall-through arm is vacuous");
+    v.verify_all()
+        .expect("verifies: fall-through arm is vacuous");
 }
 
 /// A two-iteration loop over an annotated head: tests the cut-point
@@ -308,9 +388,26 @@ fn loop_with_invariant_verifies() {
     instrs.insert(0x1000, Arc::new(add1));
     instrs.insert(0x1004, Arc::new(branch));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "inv".into(), verify: true });
-    blocks.insert(0x1008, BlockAnn { spec: "done".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "inv".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1008,
+        BlockAnn {
+            spec: "done".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let report = v.verify_all().expect("loop verifies");
     check_certificate(&report.blocks[0].cert).expect("certificate checks");
@@ -391,15 +488,8 @@ fn array_load_store_verifies() {
                 // take i Bd ++ [Bs[i]] ++ drop (i+1) Bd
                 seq: SeqExpr::Var(bd)
                     .take(Expr::var(i))
-                    .app(
-                        SeqExpr::Var(bs)
-                            .drop(Expr::var(i))
-                            .take(Expr::bv(64, 1)),
-                    )
-                    .app(
-                        SeqExpr::Var(bd)
-                            .drop(Expr::add(Expr::var(i), Expr::bv(64, 1))),
-                    ),
+                    .app(SeqExpr::Var(bs).drop(Expr::var(i)).take(Expr::bv(64, 1)))
+                    .app(SeqExpr::Var(bd).drop(Expr::add(Expr::var(i), Expr::bv(64, 1)))),
                 elem_bytes: 1,
             },
         ],
@@ -407,9 +497,26 @@ fn array_load_store_verifies() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(copy));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let report = v.verify_all().expect("array copy verifies");
     check_certificate(&report.blocks[0].cert).expect("certificate checks");
@@ -447,8 +554,19 @@ fn code_spec_return_verifies() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(body));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "entry".into(), verify: true });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "entry".into(),
+            verify: true,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let report = v.verify_all().expect("ret through code spec verifies");
     check_certificate(&report.blocks[0].cert).expect("certificate checks");
@@ -466,7 +584,11 @@ fn framing_leftover_resources_ok() {
             build::field("PSTATE", "SP", Expr::bv(1, 0b1)),
             build::reg("SP_EL2", Expr::bv(64, 0x8_0000)),
             build::reg("R7", Expr::bv(64, 123)), // frame
-            Atom::Mem { addr: Expr::bv(64, 0x5000), value: Expr::bv(64, 9), bytes: 8 },
+            Atom::Mem {
+                addr: Expr::bv(64, 0x5000),
+                value: Expr::bv(64, 9),
+                bytes: 8,
+            },
         ],
     });
     specs.add(SpecDef {
@@ -477,9 +599,26 @@ fn framing_leftover_resources_ok() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     v.verify_all().expect("frame is dropped");
 }
@@ -500,8 +639,19 @@ fn missing_points_to_fails() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(add_sp_trace()));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
     let err = v.verify_all().expect_err("must fail");
     assert!(err.message.contains("findR"), "{err}");
@@ -523,7 +673,10 @@ fn code_spec_args_match() {
     let mut specs = SpecTable::new();
     specs.add(SpecDef {
         name: "entry".into(),
-        params: vec![Param::Bv(r, Sort::BitVec(64)), Param::Bv(val, Sort::BitVec(64))],
+        params: vec![
+            Param::Bv(r, Sort::BitVec(64)),
+            Param::Bv(val, Sort::BitVec(64)),
+        ],
         atoms: vec![
             build::reg_var("R0", val),
             build::reg_var("R30", r),
@@ -538,8 +691,20 @@ fn code_spec_args_match() {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(body));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "entry".into(), verify: true });
-    let prog = ProgramSpec { pc: pc(), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "entry".into(),
+            verify: true,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: pc(),
+        instrs,
+        blocks,
+        specs,
+    };
     let v = Verifier::new(prog, Arc::new(NoIo));
-    v.verify_all().expect("verifies with instantiated code-spec args");
+    v.verify_all()
+        .expect("verifies with instantiated code-spec args");
 }

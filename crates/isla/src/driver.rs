@@ -90,7 +90,11 @@ pub fn trace_opcode(cfg: &IslaConfig, opcode: &Opcode) -> Result<TraceResult, Is
     let trace = simplify_trace(&raw, &sorts);
     stats.time = start.elapsed();
     stats.events = trace.event_count();
-    Ok(TraceResult { trace, params, stats })
+    Ok(TraceResult {
+        trace,
+        params,
+        stats,
+    })
 }
 
 fn collect_sorts(t: &Trace, params: &[(Var, Sort)]) -> std::collections::HashMap<Var, Sort> {
@@ -167,10 +171,7 @@ pub struct ProgramTraces {
 
 /// Traces every instruction of a program given as `(address, opcode)`
 /// pairs, all under the same configuration.
-pub fn trace_program(
-    cfg: &IslaConfig,
-    program: &[(u64, u32)],
-) -> Result<ProgramTraces, IslaError> {
+pub fn trace_program(cfg: &IslaConfig, program: &[(u64, u32)]) -> Result<ProgramTraces, IslaError> {
     let mut instrs = std::collections::BTreeMap::new();
     let mut stats = IslaStats::default();
     for (addr, op) in program {

@@ -12,8 +12,8 @@ use std::fmt;
 
 use islaris_bv::Bv;
 use islaris_itl::Event;
-use islaris_smt::{maybe_sat, BvBinop, BvCmp, BvUnop, Expr, Sort, SolverConfig, Var};
 use islaris_sail::{Binop, CheckedModel, Expr as SExpr, LValue, Pattern, Stmt, Ty, Unop};
+use islaris_smt::{maybe_sat, BvBinop, BvCmp, BvUnop, Expr, SolverConfig, Sort, Var};
 
 use crate::sym::{RegKey, SymState, SymVal};
 
@@ -109,7 +109,8 @@ impl IslaConfig {
         name: &str,
         constraint: impl Fn(&Expr) -> Expr + Send + Sync + 'static,
     ) -> Self {
-        self.reg_constraints.push((name.to_owned(), Box::new(constraint)));
+        self.reg_constraints
+            .push((name.to_owned(), Box::new(constraint)));
         self
     }
 }
@@ -164,8 +165,14 @@ impl<'a> SymExec<'a> {
         for (v, s) in param_sorts {
             st.sorts.insert(*v, *s);
         }
-        let mut exec =
-            SymExec { cfg, cm, forced, pre_path, st, consts: HashMap::new() };
+        let mut exec = SymExec {
+            cfg,
+            cm,
+            forced,
+            pre_path,
+            st,
+            consts: HashMap::new(),
+        };
         // Global constants are closed literal expressions; evaluate once.
         for c in &cm.model.consts.clone() {
             let mut env = HashMap::new();
@@ -191,7 +198,9 @@ impl<'a> SymExec<'a> {
             return Err(IslaError::Internal(format!("no entry function `{entry}`")));
         };
         if f.params.len() != 1 {
-            return Err(IslaError::Internal("entry function must take the opcode".into()));
+            return Err(IslaError::Internal(
+                "entry function must take the opcode".into(),
+            ));
         }
         let mut env: HashMap<String, SymVal> = HashMap::new();
         env.insert(f.params[0].0.clone(), SymVal::Bits(opcode_expr, 32));
@@ -277,7 +286,9 @@ impl<'a> SymExec<'a> {
             let e = Expr::bits(*val);
             if !self.st.assumed.contains_key(&key) {
                 self.st.assumed.insert(key.clone(), ());
-                self.st.events.push(Event::AssumeReg(itl.clone(), e.clone()));
+                self.st
+                    .events
+                    .push(Event::AssumeReg(itl.clone(), e.clone()));
             }
             self.st.events.push(Event::ReadReg(itl, e.clone()));
             self.st.reg_cache.insert(key, (e.clone(), w));
@@ -362,10 +373,7 @@ impl<'a> SymExec<'a> {
                     let vf = self.eval(f, env, depth)?;
                     match (vt, vf) {
                         (SymVal::Bits(a, w), SymVal::Bits(b, w2)) if w == w2 => {
-                            return Ok(SymVal::Bits(
-                                self.st.simp(&Expr::ite(cond, a, b)),
-                                w,
-                            ));
+                            return Ok(SymVal::Bits(self.st.simp(&Expr::ite(cond, a, b)), w));
                         }
                         (SymVal::Bool(a), SymVal::Bool(b)) => {
                             return Ok(SymVal::Bool(self.st.simp(&Expr::ite(cond, a, b))));
@@ -397,7 +405,9 @@ impl<'a> SymExec<'a> {
                         return self.eval(body, env, depth);
                     }
                 }
-                Err(Interrupt::Error(IslaError::Internal("non-exhaustive match".into())))
+                Err(Interrupt::Error(IslaError::Internal(
+                    "non-exhaustive match".into(),
+                )))
             }
             SExpr::Block(stmts, value) => {
                 let mut shadowed: Vec<(String, Option<SymVal>)> = Vec::new();
@@ -573,7 +583,9 @@ impl<'a> SymExec<'a> {
             "exit" => return Err(Interrupt::Exit),
             "ZeroExtend" => {
                 let (e, w) = self.eval(&args[0], env, depth)?.bits();
-                let SExpr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let target = n as u32;
                 return Ok(SymVal::Bits(
                     self.st.simp(&Expr::zero_extend(target - w, e)),
@@ -582,7 +594,9 @@ impl<'a> SymExec<'a> {
             }
             "SignExtend" => {
                 let (e, w) = self.eval(&args[0], env, depth)?.bits();
-                let SExpr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let target = n as u32;
                 return Ok(SymVal::Bits(
                     self.st.simp(&Expr::sign_extend(target - w, e)),
@@ -610,7 +624,9 @@ impl<'a> SymExec<'a> {
                 return Ok(SymVal::Int(b.to_i128()));
             }
             "to_bits" => {
-                let SExpr::LitInt(n) = args[0] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[0] else {
+                    unreachable!("checked")
+                };
                 let v = self.eval(&args[1], env, depth)?.int();
                 return Ok(SymVal::Bits(
                     Expr::bits(Bv::new(n as u32, v as u128)),
@@ -622,13 +638,17 @@ impl<'a> SymExec<'a> {
                 return Ok(SymVal::Bits(self.st.simp(&Expr::unop(BvUnop::Rev, e)), w));
             }
             "undefined_bits" => {
-                let SExpr::LitInt(n) = args[0] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[0] else {
+                    unreachable!("checked")
+                };
                 let v = self.st.declare(Sort::BitVec(n as u32));
                 return Ok(SymVal::Bits(Expr::var(v), n as u32));
             }
             "read_mem" => {
                 let (addr, _) = self.eval(&args[0], env, depth)?.bits();
-                let SExpr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let bytes = n as u32;
                 let addr = {
                     let a = self.st.simp(&addr);
@@ -644,7 +664,9 @@ impl<'a> SymExec<'a> {
             }
             "write_mem" => {
                 let (addr, _) = self.eval(&args[0], env, depth)?.bits();
-                let SExpr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let SExpr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let bytes = n as u32;
                 let (value, vw) = self.eval(&args[2], env, depth)?.bits();
                 debug_assert_eq!(vw, 8 * bytes);
@@ -684,18 +706,16 @@ impl<'a> SymExec<'a> {
     }
 }
 
-
 /// Syntactic effect-freedom: no calls, assignments, or register-array
 /// reads (plain register reads may emit trace events, so they also count
 /// as effects here; the flag computations this targets are pure
 /// arithmetic over locals).
 fn is_pure(e: &SExpr) -> bool {
     match e {
-        SExpr::LitBits(_) | SExpr::LitBool(_) | SExpr::LitInt(_) | SExpr::Unit
-        | SExpr::Var(_) => true,
-        SExpr::Global(_) | SExpr::RegIdx(_, _) | SExpr::Call(_, _) | SExpr::Block(_, _) => {
-            false
+        SExpr::LitBits(_) | SExpr::LitBool(_) | SExpr::LitInt(_) | SExpr::Unit | SExpr::Var(_) => {
+            true
         }
+        SExpr::Global(_) | SExpr::RegIdx(_, _) | SExpr::Call(_, _) | SExpr::Block(_, _) => false,
         SExpr::Slice(b, _, _) | SExpr::Unop(_, b) => is_pure(b),
         SExpr::Binop(_, a, b) => is_pure(a) && is_pure(b),
         SExpr::If(c, t, f) => is_pure(c) && is_pure(t) && is_pure(f),

@@ -30,11 +30,13 @@
 //! # Ok::<(), islaris_isla::IslaError>(())
 //! ```
 
+pub mod cache;
 pub mod driver;
 pub mod exec;
 pub mod simplify;
 pub mod sym;
 
+pub use cache::{CacheStats, CachedTrace, TraceCache};
 pub use driver::{trace_opcode, trace_program, IslaStats, Opcode, ProgramTraces, TraceResult};
 pub use exec::{ConstraintFn, IslaConfig, IslaError};
 pub use simplify::simplify_trace;

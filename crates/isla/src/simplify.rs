@@ -39,12 +39,16 @@ fn map_exprs(t: &Trace, f: &dyn Fn(&Expr) -> Expr) -> Trace {
                 Event::ReadReg(r, v) => Event::ReadReg(r.clone(), f(v)),
                 Event::WriteReg(r, v) => Event::WriteReg(r.clone(), f(v)),
                 Event::AssumeReg(r, v) => Event::AssumeReg(r.clone(), f(v)),
-                Event::ReadMem { value, addr, bytes } => {
-                    Event::ReadMem { value: f(value), addr: f(addr), bytes: *bytes }
-                }
-                Event::WriteMem { addr, value, bytes } => {
-                    Event::WriteMem { addr: f(addr), value: f(value), bytes: *bytes }
-                }
+                Event::ReadMem { value, addr, bytes } => Event::ReadMem {
+                    value: f(value),
+                    addr: f(addr),
+                    bytes: *bytes,
+                },
+                Event::WriteMem { addr, value, bytes } => Event::WriteMem {
+                    addr: f(addr),
+                    value: f(value),
+                    bytes: *bytes,
+                },
                 Event::Assume(e) => Event::Assume(f(e)),
                 Event::Assert(e) => Event::Assert(f(e)),
                 Event::DeclareConst(v, s) => Event::DeclareConst(*v, *s),

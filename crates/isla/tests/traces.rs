@@ -22,8 +22,14 @@ fn fig3_add_sp_trace_shape() {
     let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(0x910103ff)).expect("traces");
     let text = print_trace(&r.trace);
     // Assumptions recorded.
-    assert!(text.contains("(assume-reg |PSTATE| ((_ field |EL|)) #b10)"), "{text}");
-    assert!(text.contains("(assume-reg |PSTATE| ((_ field |SP|)) #b1)"), "{text}");
+    assert!(
+        text.contains("(assume-reg |PSTATE| ((_ field |EL|)) #b10)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("(assume-reg |PSTATE| ((_ field |SP|)) #b1)"),
+        "{text}"
+    );
     // The banked stack pointer collapsed to SP_EL2, read then written.
     assert!(text.contains("(read-reg |SP_EL2| nil"), "{text}");
     assert!(text.contains("(write-reg |SP_EL2| nil"), "{text}");
@@ -59,12 +65,15 @@ fn fig6_beq_trace_shape() {
     let beq = 0x54000000u32 | (imm19 << 5);
     let r = trace_opcode(&arm_el2_cfg(), &Opcode::Concrete(beq)).expect("traces");
     let text = print_trace(&r.trace);
-    assert!(text.contains("(read-reg |PSTATE| ((_ field |Z|))"), "{text}");
+    assert!(
+        text.contains("(read-reg |PSTATE| ((_ field |Z|))"),
+        "{text}"
+    );
     assert!(text.contains("(cases"), "{text}");
     // The backwards offset appears as a canonical subtraction
     // (bvadd pc 0xfff…f0 is rewritten to bvsub pc 0x10).
     assert!(
-        text.contains("#xfffffffffffffff0") || text.contains("(bvsub v") ,
+        text.contains("#xfffffffffffffff0") || text.contains("(bvsub v"),
         "backwards offset: {text}"
     );
     match &r.trace {
@@ -170,7 +179,7 @@ fn unaligned_store_takes_fault_path() {
         .assume_reg("PSTATE.nRW", Bv::new(1, 0))
         .assume_reg("SCTLR_EL2", Bv::new(64, 0b10))
         .assume_reg("R1", Bv::new(64, 0x2001)); // misaligned base
-    // str x0, [x1]
+                                                // str x0, [x1]
     let r = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
     let text = print_trace(&r.trace);
     // The fault path writes the syndrome and fault-address registers and
@@ -184,8 +193,7 @@ fn unaligned_store_takes_fault_path() {
 /// Aligned str under the same config stores normally.
 #[test]
 fn aligned_store_stores() {
-    let cfg = arm_el2_cfg()
-        .assume_reg("R1", Bv::new(64, 0x2000));
+    let cfg = arm_el2_cfg().assume_reg("R1", Bv::new(64, 0x2000));
     let r = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
     let text = print_trace(&r.trace);
     assert!(text.contains("(write-mem"), "{text}");
@@ -261,7 +269,10 @@ fn eret_with_disjunctive_spsr_constraint() {
     assert!(text.contains("(assume (or"), "constraint recorded: {text}");
     assert!(text.contains("(read-reg |ELR_EL2| nil"), "{text}");
     // PSTATE.EL is written along every surviving path.
-    assert!(text.contains("(write-reg |PSTATE| ((_ field |EL|))"), "{text}");
+    assert!(
+        text.contains("(write-reg |PSTATE| ((_ field |EL|))"),
+        "{text}"
+    );
 }
 
 /// Event counts stay in a plausible range (Fig. 12 reports 169 events for

@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn event_count_sums_cases() {
         let branch = |n| Trace::linear((0..n).map(|i| rr("X0", i)));
-        let t = Trace::from_events(
-            [rr("PC", 9)],
-            Trace::Cases(vec![branch(2), branch(3)]),
-        );
+        let t = Trace::from_events([rr("PC", 9)], Trace::Cases(vec![branch(2), branch(3)]));
         assert_eq!(t.event_count(), 1 + 2 + 3);
     }
 
@@ -172,7 +169,10 @@ mod tests {
         let t2 = t.subst_var(Var(0), &Expr::bv(64, 0x1000));
         match &t2 {
             Trace::Cons(Event::DefineConst(_, e), _) => {
-                assert_eq!(e.to_string(), "(bvadd #x0000000000001000 #x0000000000000004)");
+                assert_eq!(
+                    e.to_string(),
+                    "(bvadd #x0000000000001000 #x0000000000000004)"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

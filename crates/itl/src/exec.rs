@@ -113,7 +113,11 @@ pub fn run(
     let mut instructions = 0;
     loop {
         if instructions >= max_instrs {
-            return RunResult { stop: Stop::OutOfFuel, labels, instructions };
+            return RunResult {
+                stop: Stop::OutOfFuel,
+                labels,
+                instructions,
+            };
         }
         // step-nil / step-nil-end: fetch.
         let pc_val = match machine.reg(&pc.0) {
@@ -128,12 +132,20 @@ pub fn run(
         };
         let Some(trace) = machine.instrs.get(&pc_val).cloned() else {
             labels.push(Label::End(pc_val));
-            return RunResult { stop: Stop::End(pc_val), labels, instructions };
+            return RunResult {
+                stop: Stop::End(pc_val),
+                labels,
+                instructions,
+            };
         };
         instructions += 1;
         let mut bindings = Bindings::default();
         if let Err(fail) = exec_trace(&trace, machine, io, &mut labels, &mut bindings) {
-            return RunResult { stop: Stop::Fail(fail), labels, instructions };
+            return RunResult {
+                stop: Stop::Fail(fail),
+                labels,
+                instructions,
+            };
         }
     }
 }
@@ -195,12 +207,10 @@ fn exec_trace(
                 // All branches assert false: every execution ends in ⊤.
                 return Ok(());
             }
-            Trace::Cons(ev, rest) => {
-                match exec_event(ev, machine, io, labels, b)? {
-                    EventOutcome::Continue => cur = rest,
-                    EventOutcome::Top => return Ok(()),
-                }
-            }
+            Trace::Cons(ev, rest) => match exec_event(ev, machine, io, labels, b)? {
+                EventOutcome::Continue => cur = rest,
+                EventOutcome::Top => return Ok(()),
+            },
         }
     }
 }
@@ -354,7 +364,10 @@ fn exec_event(
 }
 
 fn eval_addr(addr: &Expr, b: &Bindings) -> Result<u64, String> {
-    match b.eval(addr).map_err(|e| format!("address unevaluable: {e}"))? {
+    match b
+        .eval(addr)
+        .map_err(|e| format!("address unevaluable: {e}"))?
+    {
         Value::Bits(bv) if bv.width() == 64 => Ok(bv.to_u64()),
         other => Err(format!("address ill-sized: {other:?}")),
     }
@@ -417,7 +430,10 @@ mod tests {
         let r = run(&mut m, &pc(), &mut ZeroIo, 10);
         assert_eq!(r.stop, Stop::End(0x1004));
         assert_eq!(r.instructions, 1);
-        assert_eq!(m.reg(&Reg::new("SP_EL2")), Some(Value::Bits(Bv::new(64, 0x8_0040))));
+        assert_eq!(
+            m.reg(&Reg::new("SP_EL2")),
+            Some(Value::Bits(Bv::new(64, 0x8_0040)))
+        );
     }
 
     #[test]
@@ -457,8 +473,15 @@ mod tests {
             m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
             m.set_instr(0x1000, Arc::new(t.clone()));
             let r = run(&mut m, &pc(), &mut ZeroIo, 1);
-            assert!(matches!(r.stop, Stop::End(_) | Stop::OutOfFuel), "{:?}", r.stop);
-            assert_eq!(m.reg(&Reg::new("_PC")), Some(Value::Bits(Bv::new(64, expected_pc))));
+            assert!(
+                matches!(r.stop, Stop::End(_) | Stop::OutOfFuel),
+                "{:?}",
+                r.stop
+            );
+            assert_eq!(
+                m.reg(&Reg::new("_PC")),
+                Some(Value::Bits(Bv::new(64, expected_pc)))
+            );
         }
     }
 
@@ -466,11 +489,22 @@ mod tests {
     fn mmio_read_and_write_emit_labels() {
         let t = Trace::linear([
             Event::DeclareConst(Var(0), Sort::BitVec(32)),
-            Event::ReadMem { value: Expr::var(Var(0)), addr: Expr::bv(64, 0x9000), bytes: 4 },
-            Event::WriteMem { addr: Expr::bv(64, 0x9004), value: Expr::var(Var(0)), bytes: 4 },
+            Event::ReadMem {
+                value: Expr::var(Var(0)),
+                addr: Expr::bv(64, 0x9000),
+                bytes: 4,
+            },
+            Event::WriteMem {
+                addr: Expr::bv(64, 0x9004),
+                value: Expr::var(Var(0)),
+                bytes: 4,
+            },
             Event::DeclareConst(Var(1), Sort::BitVec(64)),
             Event::ReadReg(Reg::new("_PC"), Expr::var(Var(1))),
-            Event::WriteReg(Reg::new("_PC"), Expr::add(Expr::var(Var(1)), Expr::bv(64, 4))),
+            Event::WriteReg(
+                Reg::new("_PC"),
+                Expr::add(Expr::var(Var(1)), Expr::bv(64, 4)),
+            ),
         ]);
         let mut m = Machine::new();
         m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));
@@ -480,8 +514,14 @@ mod tests {
         assert_eq!(
             r.labels,
             vec![
-                Label::Read { addr: 0x9000, value: Bv::new(32, 0x55) },
-                Label::Write { addr: 0x9004, value: Bv::new(32, 0x55) },
+                Label::Read {
+                    addr: 0x9000,
+                    value: Bv::new(32, 0x55)
+                },
+                Label::Write {
+                    addr: 0x9004,
+                    value: Bv::new(32, 0x55)
+                },
                 Label::End(0x1004),
             ]
         );
@@ -491,11 +531,22 @@ mod tests {
     fn mapped_memory_reads_do_not_emit_labels() {
         let t = Trace::linear([
             Event::DeclareConst(Var(0), Sort::BitVec(8)),
-            Event::ReadMem { value: Expr::var(Var(0)), addr: Expr::bv(64, 0x2000), bytes: 1 },
-            Event::WriteMem { addr: Expr::bv(64, 0x2001), value: Expr::var(Var(0)), bytes: 1 },
+            Event::ReadMem {
+                value: Expr::var(Var(0)),
+                addr: Expr::bv(64, 0x2000),
+                bytes: 1,
+            },
+            Event::WriteMem {
+                addr: Expr::bv(64, 0x2001),
+                value: Expr::var(Var(0)),
+                bytes: 1,
+            },
             Event::DeclareConst(Var(1), Sort::BitVec(64)),
             Event::ReadReg(Reg::new("_PC"), Expr::var(Var(1))),
-            Event::WriteReg(Reg::new("_PC"), Expr::add(Expr::var(Var(1)), Expr::bv(64, 4))),
+            Event::WriteReg(
+                Reg::new("_PC"),
+                Expr::add(Expr::var(Var(1)), Expr::bv(64, 4)),
+            ),
         ]);
         let mut m = Machine::new();
         m.set_reg(Reg::new("_PC"), Bv::new(64, 0x1000));

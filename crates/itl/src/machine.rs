@@ -79,7 +79,9 @@ impl Machine {
     /// Reads `n` bytes if the whole range is mapped (`Σ[a..a+n] ≠ ⊥`).
     #[must_use]
     pub fn load_bytes(&self, addr: u64, n: usize) -> Option<Vec<u8>> {
-        (0..n).map(|i| self.mem.get(&(addr + i as u64)).copied()).collect()
+        (0..n)
+            .map(|i| self.mem.get(&(addr + i as u64)).copied())
+            .collect()
     }
 
     /// True iff every byte of the range is mapped.
@@ -125,7 +127,10 @@ mod tests {
         m.set_reg(Reg::new("X0"), Bv::new(64, 7));
         m.set_reg(Reg::field("PSTATE", "EL"), Bv::new(2, 2));
         assert_eq!(m.reg(&Reg::new("X0")), Some(Value::Bits(Bv::new(64, 7))));
-        assert_eq!(m.reg(&Reg::field("PSTATE", "EL")), Some(Value::Bits(Bv::new(2, 2))));
+        assert_eq!(
+            m.reg(&Reg::field("PSTATE", "EL")),
+            Some(Value::Bits(Bv::new(2, 2)))
+        );
         assert_eq!(m.reg(&Reg::new("X1")), None);
     }
 }

@@ -19,13 +19,19 @@ impl Reg {
     /// A whole register, e.g. `Reg::new("SP_EL2")`.
     #[must_use]
     pub fn new(name: &str) -> Reg {
-        Reg { name: name.into(), field: None }
+        Reg {
+            name: name.into(),
+            field: None,
+        }
     }
 
     /// A field of a struct register, e.g. `Reg::field("PSTATE", "EL")`.
     #[must_use]
     pub fn field(name: &str, field: &str) -> Reg {
-        Reg { name: name.into(), field: Some(field.into()) }
+        Reg {
+            name: name.into(),
+            field: Some(field.into()),
+        }
     }
 
     /// The register name (without the field).

@@ -95,12 +95,18 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { offset, message: message.into() })
+    Err(ParseError {
+        offset,
+        message: message.into(),
+    })
 }
 
 /// Tokenises and parses one S-expression from `input`.
 pub fn parse_sexp(input: &str) -> Result<Sexp, ParseError> {
-    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let sexp = parser.parse()?;
     parser.skip_ws();
@@ -162,19 +168,28 @@ impl Parser<'_> {
                     return err(start, "unterminated `|` atom");
                 }
                 self.pos += 1;
-                let text = std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| ParseError { offset: start, message: "invalid UTF-8".into() })?;
+                let text =
+                    std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+                        offset: start,
+                        message: "invalid UTF-8".into(),
+                    })?;
                 Ok(Sexp::Atom(text.to_owned()))
             }
             _ => {
                 let start = self.pos;
                 while self.pos < self.input.len()
-                    && !matches!(self.input[self.pos], b' ' | b'\t' | b'\n' | b'\r' | b'(' | b')')
+                    && !matches!(
+                        self.input[self.pos],
+                        b' ' | b'\t' | b'\n' | b'\r' | b'(' | b')'
+                    )
                 {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| ParseError { offset: start, message: "invalid UTF-8".into() })?;
+                let text =
+                    std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+                        offset: start,
+                        message: "invalid UTF-8".into(),
+                    })?;
                 Ok(Sexp::Atom(text.to_owned()))
             }
         }
@@ -208,9 +223,7 @@ pub fn expr_to_sexp(e: &Expr) -> Sexp {
         ExprKind::And(a, b) => {
             Sexp::list(vec![Sexp::atom("and"), expr_to_sexp(a), expr_to_sexp(b)])
         }
-        ExprKind::Or(a, b) => {
-            Sexp::list(vec![Sexp::atom("or"), expr_to_sexp(a), expr_to_sexp(b)])
-        }
+        ExprKind::Or(a, b) => Sexp::list(vec![Sexp::atom("or"), expr_to_sexp(a), expr_to_sexp(b)]),
         ExprKind::Eq(a, b) => Sexp::list(vec![Sexp::atom("="), expr_to_sexp(a), expr_to_sexp(b)]),
         ExprKind::Ite(c, t, f) => Sexp::list(vec![
             Sexp::atom("ite"),
@@ -263,11 +276,19 @@ pub fn expr_to_sexp(e: &Expr) -> Sexp {
             expr_to_sexp(a),
         ]),
         ExprKind::ZeroExtend(n, a) => Sexp::list(vec![
-            Sexp::list(vec![Sexp::atom("_"), Sexp::atom("zero_extend"), Sexp::Atom(n.to_string())]),
+            Sexp::list(vec![
+                Sexp::atom("_"),
+                Sexp::atom("zero_extend"),
+                Sexp::Atom(n.to_string()),
+            ]),
             expr_to_sexp(a),
         ]),
         ExprKind::SignExtend(n, a) => Sexp::list(vec![
-            Sexp::list(vec![Sexp::atom("_"), Sexp::atom("sign_extend"), Sexp::Atom(n.to_string())]),
+            Sexp::list(vec![
+                Sexp::atom("_"),
+                Sexp::atom("sign_extend"),
+                Sexp::Atom(n.to_string()),
+            ]),
             expr_to_sexp(a),
         ]),
         ExprKind::Concat(a, b) => {
@@ -366,20 +387,24 @@ pub fn print_trace(t: &Trace) -> String {
 // ----- parsing back -----
 
 fn unquote(s: &str) -> &str {
-    s.strip_prefix('|').and_then(|x| x.strip_suffix('|')).unwrap_or(s)
+    s.strip_prefix('|')
+        .and_then(|x| x.strip_suffix('|'))
+        .unwrap_or(s)
 }
 
 fn parse_reg(name: &Sexp, accessor: &Sexp, at: &str) -> Result<Reg, ParseError> {
-    let n = name
-        .as_atom()
-        .ok_or_else(|| ParseError { offset: 0, message: format!("{at}: register name") })?;
+    let n = name.as_atom().ok_or_else(|| ParseError {
+        offset: 0,
+        message: format!("{at}: register name"),
+    })?;
     let n = unquote(n);
     match accessor {
         Sexp::Atom(a) if a == "nil" => Ok(Reg::new(n)),
         Sexp::List(items) if items.len() == 1 => {
-            let inner = items[0]
-                .as_list()
-                .ok_or_else(|| ParseError { offset: 0, message: format!("{at}: accessor") })?;
+            let inner = items[0].as_list().ok_or_else(|| ParseError {
+                offset: 0,
+                message: format!("{at}: accessor"),
+            })?;
             match inner {
                 [Sexp::Atom(u), Sexp::Atom(f), Sexp::Atom(fld)] if u == "_" && f == "field" => {
                     Ok(Reg::field(n, unquote(fld)))
@@ -402,9 +427,10 @@ pub fn sexp_to_expr(s: &Sexp) -> Result<Expr, ParseError> {
                 return Ok(Expr::bool(false));
             }
             if a.starts_with("#x") || a.starts_with("#b") {
-                let bv = a
-                    .parse::<islaris_bv::Bv>()
-                    .map_err(|e| ParseError { offset: 0, message: e.to_string() })?;
+                let bv = a.parse::<islaris_bv::Bv>().map_err(|e| ParseError {
+                    offset: 0,
+                    message: e.to_string(),
+                })?;
                 return Ok(Expr::bits(bv));
             }
             if let Some(num) = a.strip_prefix('v') {
@@ -415,19 +441,21 @@ pub fn sexp_to_expr(s: &Sexp) -> Result<Expr, ParseError> {
             err(0, format!("unknown atom `{a}` in expression"))
         }
         Sexp::List(items) => {
-            let head = items
-                .first()
-                .ok_or_else(|| ParseError { offset: 0, message: "empty expression".into() })?;
+            let head = items.first().ok_or_else(|| ParseError {
+                offset: 0,
+                message: "empty expression".into(),
+            })?;
             match head {
                 Sexp::Atom(op) => {
-                    let args: Vec<Expr> =
-                        items[1..].iter().map(sexp_to_expr).collect::<Result<_, _>>()?;
+                    let args: Vec<Expr> = items[1..]
+                        .iter()
+                        .map(sexp_to_expr)
+                        .collect::<Result<_, _>>()?;
                     parse_application(op, args)
                 }
                 Sexp::List(indexed) => {
                     // ((_ extract hi lo) e) and friends.
-                    let strs: Vec<&str> =
-                        indexed.iter().filter_map(Sexp::as_atom).collect();
+                    let strs: Vec<&str> = indexed.iter().filter_map(Sexp::as_atom).collect();
                     if items.len() != 2 {
                         return err(0, "indexed operator expects one argument");
                     }
@@ -569,9 +597,10 @@ fn sexp_to_sort(s: &Sexp) -> Result<Sort, ParseError> {
             let strs: Vec<&str> = items.iter().filter_map(Sexp::as_atom).collect();
             match strs.as_slice() {
                 ["_", "BitVec", n] => {
-                    let n: u32 = n
-                        .parse()
-                        .map_err(|_| ParseError { offset: 0, message: "bad width".into() })?;
+                    let n: u32 = n.parse().map_err(|_| ParseError {
+                        offset: 0,
+                        message: "bad width".into(),
+                    })?;
                     Ok(Sort::BitVec(n))
                 }
                 _ => err(0, "unknown sort"),
@@ -582,19 +611,24 @@ fn sexp_to_sort(s: &Sexp) -> Result<Sort, ParseError> {
 }
 
 fn parse_var(s: &Sexp) -> Result<Var, ParseError> {
-    let a = s
-        .as_atom()
-        .ok_or_else(|| ParseError { offset: 0, message: "expected variable".into() })?;
+    let a = s.as_atom().ok_or_else(|| ParseError {
+        offset: 0,
+        message: "expected variable".into(),
+    })?;
     a.strip_prefix('v')
         .and_then(|n| n.parse::<u32>().ok())
         .map(Var)
-        .ok_or_else(|| ParseError { offset: 0, message: format!("bad variable `{a}`") })
+        .ok_or_else(|| ParseError {
+            offset: 0,
+            message: format!("bad variable `{a}`"),
+        })
 }
 
 fn sexp_to_event(items: &[Sexp]) -> Result<Event, ParseError> {
-    let head = items[0]
-        .as_atom()
-        .ok_or_else(|| ParseError { offset: 0, message: "event head".into() })?;
+    let head = items[0].as_atom().ok_or_else(|| ParseError {
+        offset: 0,
+        message: "event head".into(),
+    })?;
     match head {
         "read-reg" | "write-reg" | "assume-reg" => {
             if items.len() != 4 {
@@ -617,11 +651,22 @@ fn sexp_to_event(items: &[Sexp]) -> Result<Event, ParseError> {
             let bytes: u32 = items[3]
                 .as_atom()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| ParseError { offset: 0, message: "bad byte count".into() })?;
+                .ok_or_else(|| ParseError {
+                    offset: 0,
+                    message: "bad byte count".into(),
+                })?;
             Ok(if head == "read-mem" {
-                Event::ReadMem { value: a, addr: b, bytes }
+                Event::ReadMem {
+                    value: a,
+                    addr: b,
+                    bytes,
+                }
             } else {
-                Event::WriteMem { addr: a, value: b, bytes }
+                Event::WriteMem {
+                    addr: a,
+                    value: b,
+                    bytes,
+                }
             })
         }
         "assume" => Ok(Event::Assume(sexp_to_expr(&items[1])?)),
@@ -630,13 +675,19 @@ fn sexp_to_event(items: &[Sexp]) -> Result<Event, ParseError> {
             if items.len() != 3 {
                 return err(0, "declare-const expects 2 arguments");
             }
-            Ok(Event::DeclareConst(parse_var(&items[1])?, sexp_to_sort(&items[2])?))
+            Ok(Event::DeclareConst(
+                parse_var(&items[1])?,
+                sexp_to_sort(&items[2])?,
+            ))
         }
         "define-const" => {
             if items.len() != 3 {
                 return err(0, "define-const expects 2 arguments");
             }
-            Ok(Event::DefineConst(parse_var(&items[1])?, sexp_to_expr(&items[2])?))
+            Ok(Event::DefineConst(
+                parse_var(&items[1])?,
+                sexp_to_expr(&items[2])?,
+            ))
         }
         other => err(0, format!("unknown event `{other}`")),
     }
@@ -644,9 +695,10 @@ fn sexp_to_event(items: &[Sexp]) -> Result<Event, ParseError> {
 
 /// Parses a `(trace …)` S-expression into a [`Trace`].
 pub fn sexp_to_trace(s: &Sexp) -> Result<Trace, ParseError> {
-    let items = s
-        .as_list()
-        .ok_or_else(|| ParseError { offset: 0, message: "expected (trace …)".into() })?;
+    let items = s.as_list().ok_or_else(|| ParseError {
+        offset: 0,
+        message: "expected (trace …)".into(),
+    })?;
     if items.first().and_then(Sexp::as_atom) != Some("trace") {
         return err(0, "expected (trace …)");
     }
@@ -657,15 +709,18 @@ fn build_trace(items: &[Sexp]) -> Result<Trace, ParseError> {
     match items.split_first() {
         None => Ok(Trace::Nil),
         Some((first, rest)) => {
-            let list = first
-                .as_list()
-                .ok_or_else(|| ParseError { offset: 0, message: "expected event".into() })?;
+            let list = first.as_list().ok_or_else(|| ParseError {
+                offset: 0,
+                message: "expected event".into(),
+            })?;
             if list.first().and_then(Sexp::as_atom) == Some("cases") {
                 if !rest.is_empty() {
                     return err(0, "cases must be the last trace element");
                 }
-                let branches: Vec<Trace> =
-                    list[1..].iter().map(sexp_to_trace).collect::<Result<_, _>>()?;
+                let branches: Vec<Trace> = list[1..]
+                    .iter()
+                    .map(sexp_to_trace)
+                    .collect::<Result<_, _>>()?;
                 return Ok(Trace::Cases(branches));
             }
             let ev = sexp_to_event(list)?;

@@ -93,10 +93,9 @@ impl Arch {
 }
 
 fn load(src: &str, what: &str) -> CheckedModel {
-    let model = parse_model(src)
-        .unwrap_or_else(|e| panic!("bundled {what} model fails to parse: {e}"));
-    check_model(&model)
-        .unwrap_or_else(|e| panic!("bundled {what} model fails to check: {e}"))
+    let model =
+        parse_model(src).unwrap_or_else(|e| panic!("bundled {what} model fails to parse: {e}"));
+    check_model(&model).unwrap_or_else(|e| panic!("bundled {what} model fails to check: {e}"))
 }
 
 /// The checked Armv8-A fragment (parsed and checked once, then cached).
@@ -128,7 +127,12 @@ mod tests {
     fn run_arm(st: &mut SailState, mem: &mut MapMem, opcode: u32) -> Completion {
         let interp = Interp::new(arm()).expect("consts");
         let (_, c) = interp
-            .call("decode", &[CVal::Bits(Bv::new(32, u128::from(opcode)))], st, mem)
+            .call(
+                "decode",
+                &[CVal::Bits(Bv::new(32, u128::from(opcode)))],
+                st,
+                mem,
+            )
             .expect("executes");
         c
     }
@@ -136,7 +140,12 @@ mod tests {
     fn run_rv(st: &mut SailState, mem: &mut MapMem, opcode: u32) -> Completion {
         let interp = Interp::new(riscv()).expect("consts");
         let (_, c) = interp
-            .call("decode", &[CVal::Bits(Bv::new(32, u128::from(opcode)))], st, mem)
+            .call(
+                "decode",
+                &[CVal::Bits(Bv::new(32, u128::from(opcode)))],
+                st,
+                mem,
+            )
             .expect("executes");
         c
     }

@@ -10,9 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::ast::{
-    Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, Stmt, Ty, Unop,
-};
+use crate::ast::{Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, Stmt, Ty, Unop};
 
 /// A checking error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +81,11 @@ pub fn check_model(model: &Model) -> Result<CheckedModel, CheckError> {
         functions: HashMap::new(),
     };
     for r in &model.registers {
-        if globals.registers.insert(r.name.clone(), (r.ty, r.array_len)).is_some() {
+        if globals
+            .registers
+            .insert(r.name.clone(), (r.ty, r.array_len))
+            .is_some()
+        {
             return Err(CheckError {
                 context: "registers".into(),
                 message: format!("duplicate register `{}`", r.name),
@@ -114,7 +116,10 @@ pub fn check_model(model: &Model) -> Result<CheckedModel, CheckError> {
         }
         if globals
             .functions
-            .insert(f.name.clone(), (f.params.iter().map(|(_, t)| *t).collect(), f.ret))
+            .insert(
+                f.name.clone(),
+                (f.params.iter().map(|(_, t)| *t).collect(), f.ret),
+            )
             .is_some()
         {
             return Err(CheckError {
@@ -127,12 +132,20 @@ pub fn check_model(model: &Model) -> Result<CheckedModel, CheckError> {
     let mut checked = Model::default();
     checked.registers = model.registers.clone();
     for c in &model.consts {
-        let mut cx = Cx { globals: &globals, locals: HashMap::new(), context: c.name.clone() };
+        let mut cx = Cx {
+            globals: &globals,
+            locals: HashMap::new(),
+            context: c.name.clone(),
+        };
         let (init, ty) = cx.check_expr(&c.init)?;
         if ty != c.ty {
             return Err(cx.error(format!("constant has type {ty}, declared {}", c.ty)));
         }
-        checked.consts.push(ConstDecl { name: c.name.clone(), ty: c.ty, init });
+        checked.consts.push(ConstDecl {
+            name: c.name.clone(),
+            ty: c.ty,
+            init,
+        });
     }
     for f in &model.functions {
         let mut cx = Cx {
@@ -151,7 +164,10 @@ pub fn check_model(model: &Model) -> Result<CheckedModel, CheckError> {
             body,
         });
     }
-    Ok(CheckedModel { model: checked, globals })
+    Ok(CheckedModel {
+        model: checked,
+        globals,
+    })
 }
 
 struct Cx<'g> {
@@ -162,7 +178,10 @@ struct Cx<'g> {
 
 impl Cx<'_> {
     fn error(&self, message: impl Into<String>) -> CheckError {
-        CheckError { context: self.context.clone(), message: message.into() }
+        CheckError {
+            context: self.context.clone(),
+            message: message.into(),
+        }
     }
 
     fn bits_width(&self, ty: Ty, what: &str) -> Result<u32, CheckError> {
@@ -185,9 +204,7 @@ impl Cx<'_> {
                 }
                 if let Some((ty, arr)) = self.globals.registers.get(name) {
                     if arr.is_some() {
-                        return Err(self.error(format!(
-                            "register array `{name}` must be indexed"
-                        )));
+                        return Err(self.error(format!("register array `{name}` must be indexed")));
                     }
                     return Ok((Expr::Global(name.clone()), *ty));
                 }
@@ -306,9 +323,9 @@ impl Cx<'_> {
                             let (lv, lty) = self.check_lvalue(lv)?;
                             let (rhs, rty) = self.check_expr(rhs)?;
                             if lty != rty {
-                                return Err(self.error(format!(
-                                    "assignment type mismatch: {lty} vs {rty}"
-                                )));
+                                return Err(
+                                    self.error(format!("assignment type mismatch: {lty} vs {rty}"))
+                                );
                             }
                             checked_stmts.push(Stmt::Assign(lv, rhs));
                         }
@@ -579,7 +596,9 @@ mod tests {
             Expr::Block(stmts, None) => match &stmts[0] {
                 Stmt::Assign(LValue::Reg(r), rhs) => {
                     assert_eq!(r, "_PC");
-                    assert!(matches!(rhs, Expr::Binop(Binop::Add, a, _) if matches!(**a, Expr::Global(_))));
+                    assert!(
+                        matches!(rhs, Expr::Binop(Binop::Add, a, _) if matches!(**a, Expr::Global(_)))
+                    );
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -631,45 +650,35 @@ mod tests {
         );
         cm.expect("checks");
         // ZeroExtend cannot shrink.
-        let err = check("function f(x : bits(64)) -> bits(8) = ZeroExtend(x, 8)")
-            .expect_err("fails");
+        let err =
+            check("function f(x : bits(64)) -> bits(8) = ZeroExtend(x, 8)").expect_err("fails");
         assert!(err.message.contains("invalid"), "{err}");
         // write_mem width must match size.
-        let err = check(
-            "function f(a : bits(64), v : bits(8)) -> unit = write_mem(a, 2, v)",
-        )
-        .expect_err("fails");
+        let err = check("function f(a : bits(64), v : bits(8)) -> unit = write_mem(a, 2, v)")
+            .expect_err("fails");
         assert!(err.message.contains("bits(16)"), "{err}");
     }
 
     #[test]
     fn match_requires_wildcard_and_agreement() {
-        let err = check(
-            "function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, 0b01 => 0x02 }",
-        )
-        .expect_err("fails");
+        let err =
+            check("function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, 0b01 => 0x02 }")
+                .expect_err("fails");
         assert!(err.message.contains("`_`"), "{err}");
-        let ok = check(
-            "function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, _ => 0x02 }",
-        );
+        let ok = check("function f(x : bits(2)) -> bits(8) = match x { 0b00 => 0x01, _ => 0x02 }");
         ok.expect("checks");
     }
 
     #[test]
     fn statement_expressions_must_be_unit() {
-        let err = check(
-            "function f(x : bits(8)) -> unit = { x + x; }",
-        )
-        .expect_err("fails");
+        let err = check("function f(x : bits(8)) -> unit = { x + x; }").expect_err("fails");
         assert!(err.message.contains("unit"), "{err}");
     }
 
     #[test]
     fn if_branch_types_must_agree() {
-        let err = check(
-            "function f(c : bool) -> bits(8) = if c then 0x01 else 0b1",
-        )
-        .expect_err("fails");
+        let err =
+            check("function f(c : bool) -> bits(8) = if c then 0x01 else 0b1").expect_err("fails");
         assert!(err.message.contains("disagree"), "{err}");
     }
 
@@ -686,9 +695,7 @@ mod tests {
 
     #[test]
     fn locals_scope_to_blocks() {
-        let err = check(
-            "function f() -> int = { { let a : int = 1; () }; a }",
-        );
+        let err = check("function f() -> int = { { let a : int = 1; () }; a }");
         // `a` out of scope at the block value position.
         assert!(err.is_err());
     }

@@ -97,7 +97,8 @@ impl SailState {
                     s.regs.insert(r.name.clone(), Bv::zero(w));
                 }
                 Some(len) => {
-                    s.arrays.insert(r.name.clone(), vec![Bv::zero(w); len as usize]);
+                    s.arrays
+                        .insert(r.name.clone(), vec![Bv::zero(w); len as usize]);
                 }
             }
         }
@@ -153,7 +154,9 @@ impl fmt::Display for InterpError {
 impl std::error::Error for InterpError {}
 
 fn rt_err<T>(msg: impl Into<String>) -> Result<T, InterpError> {
-    Err(InterpError { message: msg.into() })
+    Err(InterpError {
+        message: msg.into(),
+    })
 }
 
 /// How a call completed.
@@ -186,7 +189,10 @@ impl<'m> Interp<'m> {
     ///
     /// Fails if a constant initialiser fails to evaluate.
     pub fn new(cm: &'m CheckedModel) -> Result<Self, InterpError> {
-        let mut interp = Interp { cm, consts: HashMap::new() };
+        let mut interp = Interp {
+            cm,
+            consts: HashMap::new(),
+        };
         // Constants may refer to earlier constants.
         for c in &cm.model.consts {
             let mut frame = Frame {
@@ -229,7 +235,12 @@ impl<'m> Interp<'m> {
             .zip(args)
             .map(|((p, _), v)| (p.clone(), *v))
             .collect();
-        let mut frame = Frame { locals, state, mem, depth: 0 };
+        let mut frame = Frame {
+            locals,
+            state,
+            mem,
+            depth: 0,
+        };
         match self.eval(&f.body, &mut frame)? {
             Flow::Val(v) => Ok((v, Completion::Done)),
             Flow::Exit => Ok((CVal::Unit, Completion::Exited)),
@@ -395,12 +406,16 @@ impl<'m> Interp<'m> {
             "exit" => return Ok(Flow::Exit),
             "ZeroExtend" => {
                 let v = val!(&args[0]).bits();
-                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 return Ok(Flow::Val(CVal::Bits(v.zero_extend(n as u32 - v.width()))));
             }
             "SignExtend" => {
                 let v = val!(&args[0]).bits();
-                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 return Ok(Flow::Val(CVal::Bits(v.sign_extend(n as u32 - v.width()))));
             }
             "UInt" => {
@@ -412,19 +427,25 @@ impl<'m> Interp<'m> {
                 return Ok(Flow::Val(CVal::Int(v.to_i128())));
             }
             "to_bits" => {
-                let Expr::LitInt(n) = args[0] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[0] else {
+                    unreachable!("checked")
+                };
                 let v = val!(&args[1]).int();
                 return Ok(Flow::Val(CVal::Bits(Bv::new(n as u32, v as u128))));
             }
             "read_mem" => {
                 let addr = val!(&args[0]).bits();
-                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let v = fr.mem.read(addr.to_u64(), n as u32);
                 return Ok(Flow::Val(CVal::Bits(v)));
             }
             "write_mem" => {
                 let addr = val!(&args[0]).bits();
-                let Expr::LitInt(n) = args[1] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[1] else {
+                    unreachable!("checked")
+                };
                 let v = val!(&args[2]).bits();
                 fr.mem.write(addr.to_u64(), n as u32, v);
                 return Ok(Flow::Val(CVal::Unit));
@@ -434,7 +455,9 @@ impl<'m> Interp<'m> {
                 return Ok(Flow::Val(CVal::Bits(v.reverse_bits())));
             }
             "undefined_bits" => {
-                let Expr::LitInt(n) = args[0] else { unreachable!("checked") };
+                let Expr::LitInt(n) = args[0] else {
+                    unreachable!("checked")
+                };
                 // Concrete semantics: an arbitrary value; we pick zero.
                 return Ok(Flow::Val(CVal::Bits(Bv::zero(n as u32))));
             }
@@ -457,7 +480,12 @@ impl<'m> Interp<'m> {
             .zip(vals)
             .map(|((p, _), v)| (p.clone(), v))
             .collect();
-        let mut inner = Frame { locals, state: fr.state, mem: fr.mem, depth: fr.depth + 1 };
+        let mut inner = Frame {
+            locals,
+            state: fr.state,
+            mem: fr.mem,
+            depth: fr.depth + 1,
+        };
         self.eval(&f.body, &mut inner)
     }
 }
@@ -497,7 +525,9 @@ fn eval_binop(op: Binop, a: CVal, b: CVal) -> Result<CVal, InterpError> {
         (SLt, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.slt(&y)),
         (SLe, CVal::Bits(x), CVal::Bits(y)) => CVal::Bool(x.sle(&y)),
         (op, a, b) => {
-            return rt_err(format!("ill-typed binop {op:?} on {a:?}, {b:?} (checker bug)"))
+            return rt_err(format!(
+                "ill-typed binop {op:?} on {a:?}, {b:?} (checker bug)"
+            ))
         }
     })
 }
@@ -565,7 +595,9 @@ mod tests {
         let interp = Interp::new(&cm).expect("consts");
         let mut st = SailState::zeroed(&cm);
         let mut mem = MapMem::default();
-        let err = interp.call("get", &[CVal::Int(31)], &mut st, &mut mem).expect_err("fails");
+        let err = interp
+            .call("get", &[CVal::Int(31)], &mut st, &mut mem)
+            .expect_err("fails");
         assert!(err.message.contains("out of range"), "{err}");
     }
 
@@ -581,10 +613,14 @@ mod tests {
         let interp = Interp::new(&cm).expect("consts");
         let mut mem = MapMem::default();
         let mut st = SailState::zeroed(&cm);
-        let (_, c) = interp.call("f", &[CVal::Bool(true)], &mut st, &mut mem).expect("runs");
+        let (_, c) = interp
+            .call("f", &[CVal::Bool(true)], &mut st, &mut mem)
+            .expect("runs");
         assert_eq!(c, Completion::Exited);
         assert_eq!(st.regs["R"], Bv::new(8, 0xff), "writes before exit persist");
-        let (_, c) = interp.call("f", &[CVal::Bool(false)], &mut st, &mut mem).expect("runs");
+        let (_, c) = interp
+            .call("f", &[CVal::Bool(false)], &mut st, &mut mem)
+            .expect("runs");
         assert_eq!(c, Completion::Done);
         assert_eq!(st.regs["R"], Bv::new(8, 0x01));
     }
@@ -604,7 +640,10 @@ mod tests {
         interp
             .call(
                 "copy_byte",
-                &[CVal::Bits(Bv::new(64, 0x100)), CVal::Bits(Bv::new(64, 0x200))],
+                &[
+                    CVal::Bits(Bv::new(64, 0x100)),
+                    CVal::Bits(Bv::new(64, 0x200)),
+                ],
                 &mut st,
                 &mut mem,
             )

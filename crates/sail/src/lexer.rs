@@ -329,21 +329,25 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     push(&mut out, Tok::DotDot, line);
                     i += 2;
                 } else {
-                    return Err(LexError { line, message: "stray `.`".into() });
+                    return Err(LexError {
+                        line,
+                        message: "stray `.`".into(),
+                    });
                 }
             }
             b'0' if matches!(bytes.get(i + 1), Some(b'x') | Some(b'b')) => {
                 let radix = if bytes[i + 1] == b'x' { 16 } else { 2 };
                 let start = i + 2;
                 let mut j = start;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let digits: String = src[start..j].chars().filter(|c| *c != '_').collect();
                 if digits.is_empty() {
-                    return Err(LexError { line, message: "empty bitvector literal".into() });
+                    return Err(LexError {
+                        line,
+                        message: "empty bitvector literal".into(),
+                    });
                 }
                 let width = digits.len() as u32 * if radix == 16 { 4 } else { 1 };
                 if width > 128 {
@@ -352,8 +356,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("literal wider than 128 bits ({width})"),
                     });
                 }
-                let value = u128::from_str_radix(&digits, radix)
-                    .map_err(|e| LexError { line, message: format!("bad literal: {e}") })?;
+                let value = u128::from_str_radix(&digits, radix).map_err(|e| LexError {
+                    line,
+                    message: format!("bad literal: {e}"),
+                })?;
                 push(&mut out, Tok::Bits(Bv::new(width, value)), line);
                 i = j;
             }
@@ -363,9 +369,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while j < bytes.len() && bytes[j].is_ascii_digit() {
                     j += 1;
                 }
-                let value: i128 = src[start..j]
-                    .parse()
-                    .map_err(|e| LexError { line, message: format!("bad integer: {e}") })?;
+                let value: i128 = src[start..j].parse().map_err(|e| LexError {
+                    line,
+                    message: format!("bad integer: {e}"),
+                })?;
                 push(&mut out, Tok::Int(value), line);
                 i = j;
             }
@@ -400,14 +407,22 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
     fn lexes_literals() {
         assert_eq!(
             kinds("0x40 0b10 42"),
-            vec![Tok::Bits(Bv::new(8, 0x40)), Tok::Bits(Bv::new(2, 0b10)), Tok::Int(42)]
+            vec![
+                Tok::Bits(Bv::new(8, 0x40)),
+                Tok::Bits(Bv::new(2, 0b10)),
+                Tok::Int(42)
+            ]
         );
         // Underscores group digits.
         assert_eq!(kinds("0x0000_0040"), vec![Tok::Bits(Bv::new(32, 0x40))]);
@@ -428,10 +443,7 @@ mod tests {
             ]
         );
         // A name directly followed by `..` stops before the dots.
-        assert_eq!(
-            kinds("x[hi .. 0]")[2],
-            Tok::Ident("hi".into()),
-        );
+        assert_eq!(kinds("x[hi .. 0]")[2], Tok::Ident("hi".into()),);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop};
+pub use ast::{
+    Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop,
+};
 pub use check::{check_model, CheckError, CheckedModel, Globals, BUILTINS};
 pub use interp::{CVal, Completion, Interp, InterpError, MapMem, SailMem, SailState};
 pub use lexer::{lex, LexError, Tok, Token};

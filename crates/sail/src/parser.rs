@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use crate::ast::{Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop};
+use crate::ast::{
+    Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop,
+};
 use crate::lexer::{lex, LexError, Tok, Token};
 
 /// A parse error with its source line.
@@ -24,14 +26,20 @@ impl std::error::Error for SailParseError {}
 
 impl From<LexError> for SailParseError {
     fn from(e: LexError) -> Self {
-        SailParseError { line: e.line, message: e.message }
+        SailParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
 /// Parses a complete mini-Sail model.
 pub fn parse_model(src: &str) -> Result<Model, SailParseError> {
     let tokens = lex(src)?;
-    let mut p = P { toks: &tokens, pos: 0 };
+    let mut p = P {
+        toks: &tokens,
+        pos: 0,
+    };
     let mut model = Model::default();
     while !p.at_end() {
         match p.peek_ident() {
@@ -47,7 +55,10 @@ pub fn parse_model(src: &str) -> Result<Model, SailParseError> {
 /// Parses a single expression (used by tests and the REPL-style tools).
 pub fn parse_expr(src: &str) -> Result<Expr, SailParseError> {
     let tokens = lex(src)?;
-    let mut p = P { toks: &tokens, pos: 0 };
+    let mut p = P {
+        toks: &tokens,
+        pos: 0,
+    };
     let e = p.expr()?;
     if !p.at_end() {
         return p.fail("trailing tokens after expression");
@@ -61,8 +72,8 @@ struct P<'a> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "register", "function", "let", "if", "then", "else", "match", "true", "false", "bits",
-    "bool", "int", "unit", "vector",
+    "register", "function", "let", "if", "then", "else", "match", "true", "false", "bits", "bool",
+    "int", "unit", "vector",
 ];
 
 impl P<'_> {
@@ -71,7 +82,10 @@ impl P<'_> {
     }
 
     fn line(&self) -> u32 {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(0, |t| t.line)
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
     }
 
     fn fail<T>(&self, msg: impl Into<String>) -> Result<T, SailParseError> {
@@ -178,10 +192,18 @@ impl P<'_> {
             if len <= 0 {
                 return self.fail("vector length must be positive");
             }
-            Ok(RegisterDecl { name, ty, array_len: Some(len as u32) })
+            Ok(RegisterDecl {
+                name,
+                ty,
+                array_len: Some(len as u32),
+            })
         } else {
             let ty = self.ty()?;
-            Ok(RegisterDecl { name, ty, array_len: None })
+            Ok(RegisterDecl {
+                name,
+                ty,
+                array_len: None,
+            })
         }
     }
 
@@ -218,7 +240,12 @@ impl P<'_> {
         let ret = self.ty()?;
         self.expect(&Tok::Assign)?;
         let body = self.expr()?;
-        Ok(Function { name, params, ret, body })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+        })
     }
 
     // ----- expressions -----
@@ -558,10 +585,7 @@ mod tests {
 
     #[test]
     fn parses_match() {
-        let e = parse_expr(
-            "match shift { 0b00 => x, 0b01 => y, _ => z }",
-        )
-        .expect("parses");
+        let e = parse_expr("match shift { 0b00 => x, 0b01 => y, _ => z }").expect("parses");
         match e {
             Expr::Match(_, arms) => {
                 assert_eq!(arms.len(), 3);
@@ -574,10 +598,7 @@ mod tests {
 
     #[test]
     fn parses_if_chains() {
-        let e = parse_expr(
-            "if a == 0b1 then f(x) else if b then g() else ()",
-        )
-        .expect("parses");
+        let e = parse_expr("if a == 0b1 then f(x) else if b then g() else ()").expect("parses");
         assert!(matches!(e, Expr::If(_, _, _)));
     }
 

@@ -123,7 +123,8 @@ impl Blaster {
         }
         let y = self.fresh();
         self.sat.add_clause(vec![y.negate(), a, b]);
-        self.sat.add_clause(vec![y.negate(), a.negate(), b.negate()]);
+        self.sat
+            .add_clause(vec![y.negate(), a.negate(), b.negate()]);
         self.sat.add_clause(vec![y, a, b.negate()]);
         self.sat.add_clause(vec![y, a.negate(), b]);
         y
@@ -193,21 +194,21 @@ impl Blaster {
     fn const_bits(&mut self, b: islaris_bv::Bv) -> Vec<Lit> {
         let t = self.lit_true();
         let f = self.lit_false();
-        (0..b.width()).map(|i| if b.get_bit(i) { t } else { f }).collect()
+        (0..b.width())
+            .map(|i| if b.get_bit(i) { t } else { f })
+            .collect()
     }
 
     /// Barrel shifter: shifts `a` by the (symbolic) amount `amt`, where
     /// `fill(stage_result)` supplies the shifted-in bit and `left` selects
     /// direction. Amount bits beyond the width flush everything.
-    fn shifter(
-        &mut self,
-        a: &[Lit],
-        amt: &[Lit],
-        left: bool,
-        arithmetic: bool,
-    ) -> Vec<Lit> {
+    fn shifter(&mut self, a: &[Lit], amt: &[Lit], left: bool, arithmetic: bool) -> Vec<Lit> {
         let w = a.len();
-        let fill = if arithmetic { a[w - 1] } else { self.lit_false() };
+        let fill = if arithmetic {
+            a[w - 1]
+        } else {
+            self.lit_false()
+        };
         let mut cur: Vec<Lit> = a.to_vec();
         let stages = 32 - (w as u32 - 1).leading_zeros(); // ceil(log2(w))
         for k in 0..stages {
@@ -216,7 +217,11 @@ impl Blaster {
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = if left {
-                    if i >= shift { cur[i - shift] } else { self.lit_false() }
+                    if i >= shift {
+                        cur[i - shift]
+                    } else {
+                        self.lit_false()
+                    }
                 } else if i + shift < w {
                     cur[i + shift]
                 } else {
@@ -242,7 +247,9 @@ impl Blaster {
             let lt_w = self.less_chain(&low, &wlits); // low < w
             too_big = self.gate_or(too_big, lt_w.negate());
         }
-        cur.iter().map(|&bit| self.gate_mux(too_big, fill, bit)).collect()
+        cur.iter()
+            .map(|&bit| self.gate_mux(too_big, fill, bit))
+            .collect()
     }
 
     /// Encodes an expression, memoised.
@@ -287,9 +294,11 @@ impl Blaster {
         sorts: &dyn Fn(Var) -> Option<Sort>,
     ) -> Result<Bits, BlastError> {
         Ok(match e.kind() {
-            ExprKind::Val(Value::Bool(b)) => {
-                Bits::Bool(if *b { self.lit_true() } else { self.lit_false() })
-            }
+            ExprKind::Val(Value::Bool(b)) => Bits::Bool(if *b {
+                self.lit_true()
+            } else {
+                self.lit_false()
+            }),
             ExprKind::Val(Value::Bits(b)) => Bits::Bv(self.const_bits(*b)),
             ExprKind::Var(v) => {
                 if let Some(b) = self.var_bits.get(v) {
@@ -323,7 +332,10 @@ impl Blaster {
                 match (self.encode(t, sorts)?, self.encode(f, sorts)?) {
                     (Bits::Bool(x), Bits::Bool(y)) => Bits::Bool(self.gate_mux(s, x, y)),
                     (Bits::Bv(x), Bits::Bv(y)) if x.len() == y.len() => Bits::Bv(
-                        x.iter().zip(&y).map(|(&a, &b)| self.gate_mux(s, a, b)).collect(),
+                        x.iter()
+                            .zip(&y)
+                            .map(|(&a, &b)| self.gate_mux(s, a, b))
+                            .collect(),
                     ),
                     _ => return Err(BlastError::IllSorted(format!("ite branches: {e}"))),
                 }
@@ -381,14 +393,23 @@ impl Blaster {
                         )))
                     }
                     BvBinop::And => Bits::Bv(
-                        x.iter().zip(&y).map(|(&a, &b)| self.gate_and(a, b)).collect(),
+                        x.iter()
+                            .zip(&y)
+                            .map(|(&a, &b)| self.gate_and(a, b))
+                            .collect(),
                     ),
-                    BvBinop::Or => {
-                        Bits::Bv(x.iter().zip(&y).map(|(&a, &b)| self.gate_or(a, b)).collect())
-                    }
-                    BvBinop::Xor => {
-                        Bits::Bv(x.iter().zip(&y).map(|(&a, &b)| self.gate_xor(a, b)).collect())
-                    }
+                    BvBinop::Or => Bits::Bv(
+                        x.iter()
+                            .zip(&y)
+                            .map(|(&a, &b)| self.gate_or(a, b))
+                            .collect(),
+                    ),
+                    BvBinop::Xor => Bits::Bv(
+                        x.iter()
+                            .zip(&y)
+                            .map(|(&a, &b)| self.gate_xor(a, b))
+                            .collect(),
+                    ),
                     BvBinop::Shl => Bits::Bv(self.shifter(&x, &y, true, false)),
                     BvBinop::Lshr => Bits::Bv(self.shifter(&x, &y, false, false)),
                     BvBinop::Ashr => Bits::Bv(self.shifter(&x, &y, false, true)),
@@ -461,7 +482,12 @@ impl Blaster {
     /// Reads the value of an SMT variable out of a SAT model, if the
     /// variable was encoded.
     #[must_use]
-    pub fn extract_value(&self, v: Var, model: &[bool], sorts: &dyn Fn(Var) -> Option<Sort>) -> Option<Value> {
+    pub fn extract_value(
+        &self,
+        v: Var,
+        model: &[bool],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+    ) -> Option<Value> {
         let bits = self.var_bits.get(&v)?;
         let lit_val = |l: Lit| model.get(l.var() as usize).copied().unwrap_or(false) == l.is_pos();
         Some(match bits {
@@ -507,8 +533,10 @@ mod tests {
     fn contradiction_is_unsat() {
         let x = Expr::var(Var(0));
         let mut bl = Blaster::new();
-        bl.assert_expr(&Expr::eq(x.clone(), Expr::bv(64, 5)), &sorts64).unwrap();
-        bl.assert_expr(&Expr::eq(x, Expr::bv(64, 6)), &sorts64).unwrap();
+        bl.assert_expr(&Expr::eq(x.clone(), Expr::bv(64, 5)), &sorts64)
+            .unwrap();
+        bl.assert_expr(&Expr::eq(x, Expr::bv(64, 6)), &sorts64)
+            .unwrap();
         assert!(matches!(bl.solve(), SatOutcome::Unsat(_)));
     }
 
@@ -533,8 +561,13 @@ mod tests {
         // exists x. x <s 0 and x >u 10 — e.g. x = -1.
         let x = Expr::var(Var(0));
         let mut bl = Blaster::new();
-        bl.assert_expr(&Expr::cmp(BvCmp::Slt, x.clone(), Expr::bv(64, 0)), &sorts64).unwrap();
-        bl.assert_expr(&Expr::cmp(BvCmp::Ult, Expr::bv(64, 10), x.clone()), &sorts64).unwrap();
+        bl.assert_expr(&Expr::cmp(BvCmp::Slt, x.clone(), Expr::bv(64, 0)), &sorts64)
+            .unwrap();
+        bl.assert_expr(
+            &Expr::cmp(BvCmp::Ult, Expr::bv(64, 10), x.clone()),
+            &sorts64,
+        )
+        .unwrap();
         match bl.solve() {
             SatOutcome::Sat(m) => {
                 let v = bl.extract_value(Var(0), &m, &sorts64).unwrap().as_bits();
@@ -581,14 +614,20 @@ mod tests {
         let x = Expr::var(Var(0));
         let e = Expr::eq(Expr::binop(BvBinop::Udiv, x.clone(), x), Expr::bv(64, 1));
         let mut bl = Blaster::new();
-        assert!(matches!(bl.assert_expr(&e, &sorts64), Err(BlastError::Unsupported(_))));
+        assert!(matches!(
+            bl.assert_expr(&e, &sorts64),
+            Err(BlastError::Unsupported(_))
+        ));
     }
 
     #[test]
     fn unknown_var_is_reported() {
         let e = Expr::eq(Expr::var(Var(99)), Expr::bv(64, 0));
         let mut bl = Blaster::new();
-        assert_eq!(bl.assert_expr(&e, &sorts64), Err(BlastError::UnknownVar(Var(99))));
+        assert_eq!(
+            bl.assert_expr(&e, &sorts64),
+            Err(BlastError::UnknownVar(Var(99)))
+        );
     }
 
     #[test]

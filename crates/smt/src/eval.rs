@@ -107,9 +107,7 @@ pub fn eval(e: &Expr, env: &dyn Fn(Var) -> Option<Value>) -> Result<Value, EvalE
         }
         ExprKind::ZeroExtend(n, a) => Ok(Value::Bits(eval_bits(a, env)?.zero_extend(*n))),
         ExprKind::SignExtend(n, a) => Ok(Value::Bits(eval_bits(a, env)?.sign_extend(*n))),
-        ExprKind::Concat(a, b) => {
-            Ok(Value::Bits(eval_bits(a, env)?.concat(&eval_bits(b, env)?)))
-        }
+        ExprKind::Concat(a, b) => Ok(Value::Bits(eval_bits(a, env)?.concat(&eval_bits(b, env)?))),
     }
 }
 
@@ -193,10 +191,19 @@ mod tests {
     fn boolean_connectives() {
         let t = Expr::bool(true);
         let f = Expr::bool(false);
-        assert_eq!(eval(&Expr::and(t.clone(), f.clone()), &empty), Ok(Value::Bool(false)));
-        assert_eq!(eval(&Expr::or(t.clone(), f.clone()), &empty), Ok(Value::Bool(true)));
+        assert_eq!(
+            eval(&Expr::and(t.clone(), f.clone()), &empty),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            eval(&Expr::or(t.clone(), f.clone()), &empty),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(eval(&Expr::not(f.clone()), &empty), Ok(Value::Bool(true)));
-        assert_eq!(eval(&Expr::eq(t.clone(), t.clone()), &empty), Ok(Value::Bool(true)));
+        assert_eq!(
+            eval(&Expr::eq(t.clone(), t.clone()), &empty),
+            Ok(Value::Bool(true))
+        );
     }
 
     #[test]
@@ -207,7 +214,10 @@ mod tests {
 
     #[test]
     fn unbound_variable_errors() {
-        assert_eq!(eval(&Expr::var(Var(3)), &empty), Err(EvalError::UnboundVar(Var(3))));
+        assert_eq!(
+            eval(&Expr::var(Var(3)), &empty),
+            Err(EvalError::UnboundVar(Var(3)))
+        );
     }
 
     #[test]

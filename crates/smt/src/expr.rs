@@ -495,7 +495,13 @@ impl Expr {
         if !self.mentions(v) {
             return self.clone();
         }
-        self.subst(&|w| if w == v { Some(replacement.clone()) } else { None })
+        self.subst(&|w| {
+            if w == v {
+                Some(replacement.clone())
+            } else {
+                None
+            }
+        })
     }
 
     /// Infers the sort, consulting `var_sort` for variables.
@@ -559,7 +565,11 @@ impl Expr {
                 if *lo <= *hi && *hi < w {
                     Ok(Sort::BitVec(hi - lo + 1))
                 } else {
-                    Err(SortError::BadExtract { hi: *hi, lo: *lo, width: w })
+                    Err(SortError::BadExtract {
+                        hi: *hi,
+                        lo: *lo,
+                        width: w,
+                    })
                 }
             }
             ExprKind::ZeroExtend(n, a) | ExprKind::SignExtend(n, a) => {
@@ -706,7 +716,13 @@ mod tests {
 
     #[test]
     fn sort_inference_accepts_well_sorted_terms() {
-        let sorts = |v: Var| if v.0 == 1 { Some(Sort::BitVec(64)) } else { None };
+        let sorts = |v: Var| {
+            if v.0 == 1 {
+                Some(Sort::BitVec(64))
+            } else {
+                None
+            }
+        };
         let e = Expr::add(Expr::var(Var(1)), Expr::bv(64, 1));
         assert_eq!(e.sort(&sorts), Ok(Sort::BitVec(64)));
         let c = Expr::cmp(BvCmp::Ult, Expr::var(Var(1)), Expr::bv(64, 10));
@@ -723,9 +739,15 @@ mod tests {
             Err(SortError::Mismatch(Sort::BitVec(8), Sort::BitVec(16)))
         );
         let e = Expr::not(Expr::bv(8, 1));
-        assert_eq!(e.sort(&no_vars), Err(SortError::ExpectedBool(Sort::BitVec(8))));
+        assert_eq!(
+            e.sort(&no_vars),
+            Err(SortError::ExpectedBool(Sort::BitVec(8)))
+        );
         let e = Expr::extract(8, 0, Expr::bv(8, 1));
-        assert!(matches!(e.sort(&no_vars), Err(SortError::BadExtract { .. })));
+        assert!(matches!(
+            e.sort(&no_vars),
+            Err(SortError::BadExtract { .. })
+        ));
         let e = Expr::var(Var(7));
         assert_eq!(e.sort(&no_vars), Err(SortError::UnknownVar(Var(7))));
     }
@@ -748,7 +770,10 @@ mod tests {
             Expr::var(Var(4)),
         );
         let fv = e.free_vars();
-        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec![Var(2), Var(3), Var(4)]);
+        assert_eq!(
+            fv.into_iter().collect::<Vec<_>>(),
+            vec![Var(2), Var(3), Var(4)]
+        );
     }
 
     #[test]

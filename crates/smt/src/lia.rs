@@ -37,7 +37,10 @@ impl LinTerm {
     /// The constant term `k`.
     #[must_use]
     pub fn constant(k: i128) -> Self {
-        LinTerm { coeffs: BTreeMap::new(), konst: k }
+        LinTerm {
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
     }
 
     /// The variable `v` with coefficient 1.
@@ -222,7 +225,9 @@ fn gauss_reduce(constraints: &mut Vec<Geq0>) {
                 }
             }
         }
-        let Some((v, replacement)) = subst else { return };
+        let Some((v, replacement)) = subst else {
+            return;
+        };
         for c in constraints.iter_mut() {
             let k = c.coeff(v);
             if k != 0 {
@@ -288,7 +293,7 @@ fn infeasible(mut constraints: Vec<Geq0>) -> bool {
             for up in &upper {
                 let cl = lo.coeff(v); // > 0
                 let cu = -up.coeff(v); // > 0
-                // cu·lo + cl·up has coefficient cu·cl - cl·cu = 0 on v.
+                                       // cu·lo + cl·up has coefficient cu·cl - cl·cu = 0 on v.
                 let combined = lo.scale(cu).add(&up.scale(cl));
                 rest.push(combined);
             }

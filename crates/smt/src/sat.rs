@@ -146,7 +146,10 @@ impl SatSolver {
     /// Creates an empty solver.
     #[must_use]
     pub fn new() -> Self {
-        SatSolver { act_inc: 1.0, ..SatSolver::default() }
+        SatSolver {
+            act_inc: 1.0,
+            ..SatSolver::default()
+        }
     }
 
     /// Allocates a fresh variable.
@@ -190,7 +193,10 @@ impl SatSolver {
     /// Panics if a literal mentions an unallocated variable.
     pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
         for l in &lits {
-            assert!(l.var() < self.num_vars, "literal {l} uses unallocated variable");
+            assert!(
+                l.var() < self.num_vars,
+                "literal {l} uses unallocated variable"
+            );
         }
         lits.sort_unstable();
         lits.dedup();
@@ -201,13 +207,11 @@ impl SatSolver {
         self.original.push(lits.clone());
         match lits.len() {
             0 => self.root_conflict = true,
-            1 => {
-                match self.value(lits[0]) {
-                    Some(false) => self.root_conflict = true,
-                    Some(true) => {}
-                    None => self.enqueue(lits[0], u32::MAX),
-                }
-            }
+            1 => match self.value(lits[0]) {
+                Some(false) => self.root_conflict = true,
+                Some(true) => {}
+                None => self.enqueue(lits[0], u32::MAX),
+            },
             _ => {
                 let ci = self.clauses.len() as u32;
                 self.watches[lits[0].negate().index()].push(ci);
@@ -348,7 +352,9 @@ impl SatSolver {
                     return true;
                 }
                 !self.clauses[r as usize].iter().all(|&q| {
-                    q.var() == l.var() || seen[q.var() as usize] || self.level[q.var() as usize] == 0
+                    q.var() == l.var()
+                        || seen[q.var() as usize]
+                        || self.level[q.var() as usize] == 0
                 })
             })
             .collect();
@@ -356,22 +362,20 @@ impl SatSolver {
         learned.push(uip.negate());
         let n = learned.len();
         learned.swap(0, n - 1); // asserting literal first
-        // Move the highest-level remaining literal to position 1: it is the
-        // second watch, and must be the last to be unassigned on backtrack
-        // or the watch invariant breaks and propagations are missed.
+                                // Move the highest-level remaining literal to position 1: it is the
+                                // second watch, and must be the last to be unassigned on backtrack
+                                // or the watch invariant breaks and propagations are missed.
         if learned.len() > 1 {
             let mut best = 1;
             for i in 2..learned.len() {
-                if self.level[learned[i].var() as usize]
-                    > self.level[learned[best].var() as usize]
+                if self.level[learned[i].var() as usize] > self.level[learned[best].var() as usize]
                 {
                     best = i;
                 }
             }
             learned.swap(1, best);
         }
-        let backjump =
-            learned.get(1).map_or(0, |l| self.level[l.var() as usize]);
+        let backjump = learned.get(1).map_or(0, |l| self.level[l.var() as usize]);
         (learned, backjump)
     }
 
@@ -404,7 +408,8 @@ impl SatSolver {
 
     /// Solves the formula accumulated via [`SatSolver::add_clause`].
     pub fn solve(&mut self) -> SatOutcome {
-        self.solve_limited(u64::MAX).expect("unlimited solve always completes")
+        self.solve_limited(u64::MAX)
+            .expect("unlimited solve always completes")
     }
 
     /// Like [`SatSolver::solve`] but gives up after `max_conflicts`
@@ -675,10 +680,14 @@ mod tests {
     #[test]
     fn rup_checker_rejects_bogus_proofs() {
         let cs = vec![lits(&[1, 2])]; // satisfiable
-        let bogus = RupProof { clauses: vec![Vec::new()] };
+        let bogus = RupProof {
+            clauses: vec![Vec::new()],
+        };
         assert!(!check_rup_proof(2, &cs, &bogus));
         // Proof not ending in the empty clause is rejected.
-        let not_ending = RupProof { clauses: vec![lits(&[1])] };
+        let not_ending = RupProof {
+            clauses: vec![lits(&[1])],
+        };
         assert!(!check_rup_proof(2, &cs, &not_ending));
     }
 }

@@ -36,9 +36,11 @@ pub fn simplify_with(e: &Expr, ws: WidthOracle<'_>) -> Expr {
         ExprKind::And(a, b) => simp_and(simplify_with(a, ws), simplify_with(b, ws)),
         ExprKind::Or(a, b) => simp_or(simplify_with(a, ws), simplify_with(b, ws)),
         ExprKind::Eq(a, b) => simp_eq(simplify_with(a, ws), simplify_with(b, ws)),
-        ExprKind::Ite(c, t, f) => {
-            simp_ite(simplify_with(c, ws), simplify_with(t, ws), simplify_with(f, ws))
-        }
+        ExprKind::Ite(c, t, f) => simp_ite(
+            simplify_with(c, ws),
+            simplify_with(t, ws),
+            simplify_with(f, ws),
+        ),
         ExprKind::Unop(op, a) => simp_unop(*op, simplify_with(a, ws)),
         ExprKind::Binop(op, a, b) => {
             simp_binop(*op, simplify_with(a, ws), simplify_with(b, ws), ws)
@@ -323,8 +325,12 @@ fn simp_extract(hi: u32, lo: u32, a: Expr, ws: WidthOracle<'_>) -> Expr {
     if lo == 0 {
         match a.kind() {
             ExprKind::Binop(
-                op @ (BvBinop::Add | BvBinop::Sub | BvBinop::Mul | BvBinop::And
-                | BvBinop::Or | BvBinop::Xor),
+                op @ (BvBinop::Add
+                | BvBinop::Sub
+                | BvBinop::Mul
+                | BvBinop::And
+                | BvBinop::Or
+                | BvBinop::Xor),
                 x,
                 y,
             ) => {
@@ -484,32 +490,57 @@ mod tests {
         let v38 = Expr::var(Var(38));
         let ws = |v: Var| (v.0 == 38).then_some(64u32);
         let e = Expr::add(
-            Expr::extract(63, 0, Expr::zero_extend(64, Expr::add(v38.clone(), Expr::bv(64, 0)))),
+            Expr::extract(
+                63,
+                0,
+                Expr::zero_extend(64, Expr::add(v38.clone(), Expr::bv(64, 0))),
+            ),
             Expr::bv(64, 0x40),
         );
-        assert_eq!(simplify_with(&e, &ws), Expr::add(v38.clone(), Expr::bv(64, 0x40)));
+        assert_eq!(
+            simplify_with(&e, &ws),
+            Expr::add(v38.clone(), Expr::bv(64, 0x40))
+        );
         // Without the oracle the rewrite is (safely) skipped.
         let inner = Expr::add(v38.clone(), Expr::bv(64, 0));
         let kept = Expr::add(
             Expr::extract(63, 0, Expr::zero_extend(64, inner)),
             Expr::bv(64, 0x40),
         );
-        assert_eq!(simplify(&kept), Expr::add(Expr::extract(63, 0, Expr::zero_extend(64, v38)), Expr::bv(64, 0x40)));
+        assert_eq!(
+            simplify(&kept),
+            Expr::add(
+                Expr::extract(63, 0, Expr::zero_extend(64, v38)),
+                Expr::bv(64, 0x40)
+            )
+        );
     }
 
     #[test]
     fn boolean_identities() {
         let x = Expr::eq(Expr::var(Var(0)), Expr::bv(1, 1));
-        assert_eq!(simplify(&Expr::and(Expr::bool(true), x.clone())), simplify(&x));
-        assert_eq!(simplify(&Expr::and(Expr::bool(false), x.clone())), Expr::bool(false));
-        assert_eq!(simplify(&Expr::or(x.clone(), Expr::bool(false))), simplify(&x));
+        assert_eq!(
+            simplify(&Expr::and(Expr::bool(true), x.clone())),
+            simplify(&x)
+        );
+        assert_eq!(
+            simplify(&Expr::and(Expr::bool(false), x.clone())),
+            Expr::bool(false)
+        );
+        assert_eq!(
+            simplify(&Expr::or(x.clone(), Expr::bool(false))),
+            simplify(&x)
+        );
         assert_eq!(simplify(&Expr::not(Expr::not(x.clone()))), simplify(&x));
     }
 
     #[test]
     fn eq_true_collapses() {
         let x = Expr::cmp(BvCmp::Ult, Expr::var(Var(0)), Expr::bv(8, 4));
-        assert_eq!(simplify(&Expr::eq(x.clone(), Expr::bool(true))), simplify(&x));
+        assert_eq!(
+            simplify(&Expr::eq(x.clone(), Expr::bool(true))),
+            simplify(&x)
+        );
         assert_eq!(
             simplify(&Expr::eq(x.clone(), Expr::bool(false))),
             Expr::not(simplify(&x))
@@ -570,7 +601,13 @@ mod tests {
     #[test]
     fn cmp_reflexivity() {
         let x = Expr::var(Var(0));
-        assert_eq!(simplify(&Expr::cmp(BvCmp::Ult, x.clone(), x.clone())), Expr::bool(false));
-        assert_eq!(simplify(&Expr::cmp(BvCmp::Ule, x.clone(), x.clone())), Expr::bool(true));
+        assert_eq!(
+            simplify(&Expr::cmp(BvCmp::Ult, x.clone(), x.clone())),
+            Expr::bool(false)
+        );
+        assert_eq!(
+            simplify(&Expr::cmp(BvCmp::Ule, x.clone(), x.clone())),
+            Expr::bool(true)
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::cnf::{Blaster, BlastError};
+use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
 use crate::expr::{Expr, Sort, Value, Var};
 use crate::sat::{check_rup_proof, SatOutcome};
@@ -26,7 +26,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_conflicts: 2_000_000, check_proofs: false }
+        SolverConfig {
+            max_conflicts: 2_000_000,
+            check_proofs: false,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl SolverConfig {
     /// A configuration that replays RUP proofs for every `Unsat` answer.
     #[must_use]
     pub fn paranoid() -> Self {
-        SolverConfig { check_proofs: true, ..SolverConfig::default() }
+        SolverConfig {
+            check_proofs: true,
+            ..SolverConfig::default()
+        }
     }
 }
 
@@ -189,11 +195,7 @@ pub fn entails(
 /// Can `facts ∧ extra` hold? `Unknown` counts as *possibly satisfiable*
 /// (sound for branch pruning: unprunable branches stay).
 #[must_use]
-pub fn maybe_sat(
-    facts: &[Expr],
-    sorts: &dyn Fn(Var) -> Option<Sort>,
-    cfg: &SolverConfig,
-) -> bool {
+pub fn maybe_sat(facts: &[Expr], sorts: &dyn Fn(Var) -> Option<Sort>, cfg: &SolverConfig) -> bool {
     !check_sat(facts, sorts, cfg).is_unsat()
 }
 
@@ -226,7 +228,10 @@ mod tests {
         let q = [Expr::eq(Expr::add(x, Expr::bv(64, 2)), Expr::bv(64, 44))];
         match check_sat(&q, &sorts64, &cfg()) {
             SmtResult::Sat(m) => {
-                assert_eq!(m.get(Var(0)), Some(Value::Bits(islaris_bv::Bv::new(64, 42))));
+                assert_eq!(
+                    m.get(Var(0)),
+                    Some(Value::Bits(islaris_bv::Bv::new(64, 42)))
+                );
             }
             other => panic!("expected sat, got {other:?}"),
         }
@@ -242,7 +247,12 @@ mod tests {
         let goal = Expr::cmp(BvCmp::Ult, x.clone(), z.clone());
         assert!(entails(&facts, &goal, &sorts64, &cfg()));
         // And the converse is not entailed.
-        assert!(!entails(&facts, &Expr::cmp(BvCmp::Ult, z, x), &sorts64, &cfg()));
+        assert!(!entails(
+            &facts,
+            &Expr::cmp(BvCmp::Ult, z, x),
+            &sorts64,
+            &cfg()
+        ));
     }
 
     #[test]
@@ -263,7 +273,10 @@ mod tests {
             Expr::binop(crate::expr::BvBinop::Udiv, x.clone(), x),
             Expr::bv(64, 1),
         )];
-        assert!(matches!(check_sat(&q, &sorts64, &cfg()), SmtResult::Unknown(_)));
+        assert!(matches!(
+            check_sat(&q, &sorts64, &cfg()),
+            SmtResult::Unknown(_)
+        ));
     }
 
     #[test]

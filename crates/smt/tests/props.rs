@@ -1,5 +1,8 @@
 //! Property tests for the SMT stack: random expressions are evaluated,
 //! simplified, and bit-blasted, and all three semantics must agree.
+//! Runs on the in-tree `islaris-testkit` runner (64 cases per property,
+//! as under proptest's `with_cases(64)` config here); failures report a
+//! seed replayable via `ISLARIS_PT_SEED`.
 
 use islaris_bv::Bv;
 use islaris_smt::cnf::Blaster;
@@ -8,10 +11,11 @@ use islaris_smt::{
     check_sat, entails, eval_bool, simplify_with, BvBinop, BvCmp, BvUnop, Expr, SmtResult,
     SolverConfig, Sort, Value, Var,
 };
-use proptest::prelude::*;
+use islaris_testkit::{forall, prop_eq, prop_true, Rng, TestResult};
 
 const WIDTH: u32 = 8;
 const NUM_VARS: u32 = 3;
+const CASES: u32 = 64;
 
 fn sorts(v: Var) -> Option<Sort> {
     (v.0 < NUM_VARS).then_some(Sort::BitVec(WIDTH))
@@ -21,50 +25,98 @@ fn widths(v: Var) -> Option<u32> {
     (v.0 < NUM_VARS).then_some(WIDTH)
 }
 
-/// Random bitvector expressions of width 8 over 3 variables.
-fn bv_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u32..NUM_VARS).prop_map(|i| Expr::var(Var(i))),
-        any::<u8>().prop_map(|b| Expr::bv(WIDTH, u128::from(b))),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BvBinop::Add), Just(BvBinop::Sub), Just(BvBinop::Mul),
-                Just(BvBinop::And), Just(BvBinop::Or), Just(BvBinop::Xor),
-                Just(BvBinop::Shl), Just(BvBinop::Lshr), Just(BvBinop::Ashr),
-            ])
-                .prop_map(|(a, b, op)| Expr::binop(op, a, b)),
-            (inner.clone(), prop_oneof![Just(BvUnop::Not), Just(BvUnop::Neg), Just(BvUnop::Rev)])
-                .prop_map(|(a, op)| Expr::unop(op, a)),
-            (inner.clone(), 0u32..WIDTH, 0u32..WIDTH).prop_map(|(a, x, y)| {
-                let (hi, lo) = (x.max(y), x.min(y));
-                Expr::extract(WIDTH - 1, 0, Expr::zero_extend(WIDTH - (hi - lo + 1), Expr::extract(hi, lo, a)))
-            }),
-            inner,
-        ]
-    })
+/// Random bitvector expressions of width 8 over 3 variables; `depth`
+/// bounds recursion like the proptest `prop_recursive(3, …)` config.
+fn bv_expr(r: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || r.index(4) == 0 {
+        return if r.next_bool() {
+            Expr::var(Var(r.range_u32(0, NUM_VARS - 1)))
+        } else {
+            Expr::bv(WIDTH, u128::from(r.next_u8()))
+        };
+    }
+    match r.index(3) {
+        0 => {
+            const OPS: [BvBinop; 9] = [
+                BvBinop::Add,
+                BvBinop::Sub,
+                BvBinop::Mul,
+                BvBinop::And,
+                BvBinop::Or,
+                BvBinop::Xor,
+                BvBinop::Shl,
+                BvBinop::Lshr,
+                BvBinop::Ashr,
+            ];
+            let op = *r.choose(&OPS);
+            let a = bv_expr(r, depth - 1);
+            let b = bv_expr(r, depth - 1);
+            Expr::binop(op, a, b)
+        }
+        1 => {
+            const OPS: [BvUnop; 3] = [BvUnop::Not, BvUnop::Neg, BvUnop::Rev];
+            let op = *r.choose(&OPS);
+            let a = bv_expr(r, depth - 1);
+            Expr::unop(op, a)
+        }
+        _ => {
+            let a = bv_expr(r, depth - 1);
+            let (x, y) = (r.range_u32(0, WIDTH - 1), r.range_u32(0, WIDTH - 1));
+            let (hi, lo) = (x.max(y), x.min(y));
+            Expr::extract(
+                WIDTH - 1,
+                0,
+                Expr::zero_extend(WIDTH - (hi - lo + 1), Expr::extract(hi, lo, a)),
+            )
+        }
+    }
+}
+
+fn bool_atom(r: &mut Rng) -> Expr {
+    match r.index(4) {
+        0 => {
+            const OPS: [BvCmp; 4] = [BvCmp::Ult, BvCmp::Ule, BvCmp::Slt, BvCmp::Sle];
+            let op = *r.choose(&OPS);
+            let a = bv_expr(r, 3);
+            let b = bv_expr(r, 3);
+            Expr::cmp(op, a, b)
+        }
+        1 => {
+            let a = bv_expr(r, 3);
+            let b = bv_expr(r, 3);
+            Expr::eq(a, b)
+        }
+        2 => Expr::bool(true),
+        _ => Expr::bool(false),
+    }
 }
 
 /// Random boolean expressions over the bitvector fragment.
-fn bool_expr() -> impl Strategy<Value = Expr> {
-    let atom = prop_oneof![
-        (bv_expr(), bv_expr(), prop_oneof![
-            Just(BvCmp::Ult), Just(BvCmp::Ule), Just(BvCmp::Slt), Just(BvCmp::Sle),
-        ])
-            .prop_map(|(a, b, op)| Expr::cmp(op, a, b)),
-        (bv_expr(), bv_expr()).prop_map(|(a, b)| Expr::eq(a, b)),
-        Just(Expr::bool(true)),
-        Just(Expr::bool(false)),
-    ];
-    atom.prop_recursive(2, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
-            inner.clone().prop_map(Expr::not),
-            inner,
-        ]
-    })
+fn bool_expr_at(r: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || r.index(4) == 0 {
+        return bool_atom(r);
+    }
+    match r.index(3) {
+        0 => {
+            let a = bool_expr_at(r, depth - 1);
+            let b = bool_expr_at(r, depth - 1);
+            Expr::and(a, b)
+        }
+        1 => {
+            let a = bool_expr_at(r, depth - 1);
+            let b = bool_expr_at(r, depth - 1);
+            Expr::or(a, b)
+        }
+        _ => Expr::not(bool_expr_at(r, depth - 1)),
+    }
+}
+
+fn bool_expr(r: &mut Rng) -> Expr {
+    bool_expr_at(r, 2)
+}
+
+fn vals(r: &mut Rng) -> [u8; 3] {
+    [r.next_u8(), r.next_u8(), r.next_u8()]
 }
 
 fn env_from(vals: &[u8; 3]) -> impl Fn(Var) -> Option<Value> + '_ {
@@ -73,41 +125,57 @@ fn env_from(vals: &[u8; 3]) -> impl Fn(Var) -> Option<Value> + '_ {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// simplify preserves evaluation under every environment.
+#[test]
+fn simplify_preserves_semantics() {
+    forall(
+        "simplify_preserves_semantics",
+        CASES,
+        |r| (bool_expr(r), vals(r)),
+        |(e, vals)| {
+            let env = env_from(vals);
+            let simplified = simplify_with(e, &widths);
+            let lhs = eval_bool(e, &env).expect("well-sorted");
+            let rhs = eval_bool(&simplified, &env).expect("well-sorted");
+            prop_eq!(lhs, rhs, format!("e = {e}, simplified = {simplified}"));
+            TestResult::Pass
+        },
+    );
+}
 
-    /// simplify preserves evaluation under every environment.
-    #[test]
-    fn simplify_preserves_semantics(e in bool_expr(), vals in any::<[u8; 3]>()) {
-        let env = env_from(&vals);
-        let simplified = simplify_with(&e, &widths);
-        let lhs = eval_bool(&e, &env).expect("well-sorted");
-        let rhs = eval_bool(&simplified, &env).expect("well-sorted");
-        prop_assert_eq!(lhs, rhs, "e = {}, simplified = {}", e, simplified);
-    }
-
-    /// If evaluation under a concrete environment says true, the formula is
-    /// satisfiable, and check_sat's model satisfies it.
-    #[test]
-    fn check_sat_agrees_with_witness(e in bool_expr(), vals in any::<[u8; 3]>()) {
-        let env = env_from(&vals);
-        let truth = eval_bool(&e, &env).expect("well-sorted");
-        if truth {
-            match check_sat(&[e.clone()], &sorts, &SolverConfig::paranoid()) {
-                SmtResult::Sat(m) => {
-                    let menv = |v: Var| m.get(v).or_else(|| env(v));
-                    prop_assert_eq!(eval_bool(&e, &menv), Ok(true));
+/// If evaluation under a concrete environment says true, the formula is
+/// satisfiable, and check_sat's model satisfies it.
+#[test]
+fn check_sat_agrees_with_witness() {
+    forall(
+        "check_sat_agrees_with_witness",
+        CASES,
+        |r| (bool_expr(r), vals(r)),
+        |(e, vals)| {
+            let env = env_from(vals);
+            let truth = eval_bool(e, &env).expect("well-sorted");
+            if truth {
+                match check_sat(&[e.clone()], &sorts, &SolverConfig::paranoid()) {
+                    SmtResult::Sat(m) => {
+                        let menv = |v: Var| m.get(v).or_else(|| env(v));
+                        prop_eq!(eval_bool(e, &menv), Ok(true));
+                    }
+                    SmtResult::Unsat => {
+                        return TestResult::Fail(format!("witnessed formula reported unsat: {e}"))
+                    }
+                    SmtResult::Unknown(_) => {} // budget; acceptable
                 }
-                SmtResult::Unsat => prop_assert!(false, "witnessed formula reported unsat: {}", e),
-                SmtResult::Unknown(_) => {} // budget; acceptable
             }
-        }
-    }
+            TestResult::Pass
+        },
+    );
+}
 
-    /// Unsat answers are confirmed by exhaustive enumeration (width 8,
-    /// 3 vars → 2^24 too big; restrict to formulas with ≤ 2 vars by fixing v2=0).
-    #[test]
-    fn unsat_answers_have_no_witness(e in bool_expr()) {
+/// Unsat answers are confirmed by exhaustive enumeration (width 8,
+/// 3 vars → 2^24 too big; restrict to formulas with ≤ 2 vars by fixing v2=0).
+#[test]
+fn unsat_answers_have_no_witness() {
+    forall("unsat_answers_have_no_witness", CASES, bool_expr, |e| {
         // Bind v2 := 0 to shrink the space, then enumerate v0, v1.
         let e0 = e.subst_var(Var(2), &Expr::bv(WIDTH, 0));
         if check_sat(&[e0.clone()], &sorts, &SolverConfig::paranoid()).is_unsat() {
@@ -115,40 +183,57 @@ proptest! {
                 for b in 0u16..256 {
                     let vals = [a as u8, b as u8, 0u8];
                     let env = env_from(&vals);
-                    prop_assert_eq!(
+                    prop_eq!(
                         eval_bool(&e0, &env),
                         Ok(false),
-                        "unsat formula has witness {:?}: {}", vals, e0
+                        format!("unsat formula has witness {vals:?}: {e0}")
                     );
                 }
             }
         }
-    }
+        TestResult::Pass
+    });
+}
 
-    /// Bit-blasting agrees with evaluation: e ∧ (vars = concrete) is sat
-    /// iff e evaluates to true.
-    #[test]
-    fn blasting_agrees_with_eval(e in bool_expr(), vals in any::<[u8; 3]>()) {
-        let env = env_from(&vals);
-        let truth = eval_bool(&e, &env).expect("well-sorted");
-        let mut bl = Blaster::new();
-        bl.assert_expr(&e, &sorts).expect("encodable fragment");
-        for i in 0..NUM_VARS {
-            let pin = Expr::eq(Expr::var(Var(i)), Expr::bv(WIDTH, u128::from(vals[i as usize])));
-            bl.assert_expr(&pin, &sorts).expect("encodable");
-        }
-        let outcome = bl.solve();
-        match (truth, outcome) {
-            (true, SatOutcome::Sat(_)) | (false, SatOutcome::Unsat(_)) => {}
-            (t, o) => prop_assert!(false, "eval = {}, sat = {:?} for {}", t, matches!(o, SatOutcome::Sat(_)), e),
-        }
-    }
+/// Bit-blasting agrees with evaluation: e ∧ (vars = concrete) is sat
+/// iff e evaluates to true.
+#[test]
+fn blasting_agrees_with_eval() {
+    forall(
+        "blasting_agrees_with_eval",
+        CASES,
+        |r| (bool_expr(r), vals(r)),
+        |(e, vals)| {
+            let env = env_from(vals);
+            let truth = eval_bool(e, &env).expect("well-sorted");
+            let mut bl = Blaster::new();
+            bl.assert_expr(e, &sorts).expect("encodable fragment");
+            for i in 0..NUM_VARS {
+                let pin = Expr::eq(
+                    Expr::var(Var(i)),
+                    Expr::bv(WIDTH, u128::from(vals[i as usize])),
+                );
+                bl.assert_expr(&pin, &sorts).expect("encodable");
+            }
+            let outcome = bl.solve();
+            match (truth, outcome) {
+                (true, SatOutcome::Sat(_)) | (false, SatOutcome::Unsat(_)) => TestResult::Pass,
+                (t, o) => TestResult::Fail(format!(
+                    "eval = {t}, sat = {:?} for {e}",
+                    matches!(o, SatOutcome::Sat(_))
+                )),
+            }
+        },
+    );
+}
 
-    /// entails is consistent: facts always entail themselves and true.
-    #[test]
-    fn entails_reflexive(e in bool_expr()) {
+/// entails is consistent: facts always entail themselves and true.
+#[test]
+fn entails_reflexive() {
+    forall("entails_reflexive", CASES, bool_expr, |e| {
         let cfg = SolverConfig::new();
-        prop_assert!(entails(&[e.clone()], &e, &sorts, &cfg));
-        prop_assert!(entails(&[e], &Expr::bool(true), &sorts, &cfg));
-    }
+        prop_true!(entails(&[e.clone()], e, &sorts, &cfg));
+        prop_true!(entails(&[e.clone()], &Expr::bool(true), &sorts, &cfg));
+        TestResult::Pass
+    });
 }

@@ -1,0 +1,332 @@
+//! In-tree property-testing kit.
+//!
+//! The workspace is built and tested with **zero network access**, so the
+//! usual `proptest`/`rand`/`criterion` stack is unavailable. This crate
+//! replaces the slice of it we actually use:
+//!
+//! * [`Rng`] — a deterministic SplitMix64 PRNG (the `splitmix64` finaliser
+//!   of Steele et al., also used to seed xorshift generators);
+//! * [`forall`] — a minimal property-test runner: `cases` inputs are drawn
+//!   from a generator and the property must hold for each. On failure the
+//!   *case seed* is reported; re-running with `ISLARIS_PT_SEED=<seed>`
+//!   replays exactly that input, which is our substitute for structural
+//!   shrinking (each case is independently seeded, so one u64 pins the
+//!   whole input).
+//!
+//! Environment knobs:
+//!
+//! * `ISLARIS_PT_CASES` — override the case count of every `forall` call
+//!   (e.g. `ISLARIS_PT_CASES=10000` for a soak run);
+//! * `ISLARIS_PT_SEED` — run only the failing case seed reported by a
+//!   previous failure.
+
+/// A deterministic SplitMix64 PRNG.
+///
+/// Passes BigCrush as a 64-bit mixer; plenty for test-input generation.
+/// `Clone` + `Copy` so generators can cheaply fork sub-streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rng(pub u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128-bit value (two draws).
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Next `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next `u8`.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Next `bool`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive; `lo <= hi`).
+    ///
+    /// Uses the widening-multiply trick; the modulo bias is < 2⁻³² for the
+    /// range sizes test generators use.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        let span = u64::from(hi - lo) + 1;
+        lo + ((u64::from(self.next_u32()) * span) >> 32) as u32
+    }
+
+    /// Uniform `usize` in `[0, n)` (`n > 0`); for indexing.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// A random byte vector with length in `[min_len, max_len]`.
+    pub fn bytes(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let len = min_len + self.index(max_len - min_len + 1);
+        (0..len).map(|_| self.next_u8()).collect()
+    }
+}
+
+/// Outcome of one property evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held.
+    Pass,
+    /// The input was rejected (does not count against the case budget
+    /// beyond a global retry cap) — the `prop_assume!` analogue.
+    Discard,
+    /// The property failed, with an explanation.
+    Fail(String),
+}
+
+/// `assert_eq!` for properties: returns [`TestResult::Fail`] with both
+/// sides printed instead of panicking, so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return $crate::TestResult::Fail(format!(
+                concat!(
+                    "{:?} != {:?} (",
+                    stringify!($a),
+                    " vs ",
+                    stringify!($b),
+                    ")"
+                ),
+                a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $ctx:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return $crate::TestResult::Fail(format!(
+                concat!(
+                    "{:?} != {:?} (",
+                    stringify!($a),
+                    " vs ",
+                    stringify!($b),
+                    ") | {}"
+                ),
+                a, b, $ctx
+            ));
+        }
+    }};
+}
+
+/// Boolean property assertion; fails with the stringified condition.
+#[macro_export]
+macro_rules! prop_true {
+    ($cond:expr $(,)?) => {{
+        if !$cond {
+            return $crate::TestResult::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            );
+        }
+    }};
+    ($cond:expr, $ctx:expr $(,)?) => {{
+        if !$cond {
+            return $crate::TestResult::Fail(format!(
+                concat!("assertion failed: ", stringify!($cond), " | {}"),
+                $ctx
+            ));
+        }
+    }};
+}
+
+/// Rejects the current input (the `prop_assume!` analogue).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {{
+        if !$cond {
+            return $crate::TestResult::Discard;
+        }
+    }};
+}
+
+/// Default per-property case count (matches proptest's default).
+pub const DEFAULT_CASES: u32 = 256;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Derives the seed of case `i` for a named property. Seeds are decoupled
+/// from the case index by mixing, so neighbouring cases are uncorrelated,
+/// and they depend on the property name so sibling properties in one test
+/// binary do not see identical input streams.
+fn case_seed(name: &str, i: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    Rng(h ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Runs `prop` on `cases` generated inputs.
+///
+/// Each case draws its input from a fresh [`Rng`] seeded by a per-case
+/// seed. Failures and generator/property panics report that seed;
+/// rerunning the test with `ISLARIS_PT_SEED=<seed>` replays only the
+/// failing input.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property fails, when
+/// too many inputs are discarded, or when the property itself panics.
+pub fn forall<T: std::fmt::Debug>(
+    name: &str,
+    cases: u32,
+    gen: impl Fn(&mut Rng) -> T,
+    prop: impl Fn(&T) -> TestResult + std::panic::RefUnwindSafe,
+) where
+    T: std::panic::RefUnwindSafe,
+{
+    let cases = env_u64("ISLARIS_PT_CASES").map_or(cases, |n| n.max(1) as u32);
+    if let Some(seed) = env_u64("ISLARIS_PT_SEED") {
+        let input = gen(&mut Rng::new(seed));
+        match prop(&input) {
+            TestResult::Pass => return,
+            TestResult::Discard => panic!("{name}: seed {seed} generates a discarded input"),
+            TestResult::Fail(why) => {
+                panic!("{name}: replayed failure under ISLARIS_PT_SEED={seed}: {why}\ninput: {input:?}")
+            }
+        }
+    }
+    let mut ran: u32 = 0;
+    let mut discarded: u64 = 0;
+    let max_discard = u64::from(cases) * 16 + 256;
+    let mut i: u64 = 0;
+    while ran < cases {
+        let seed = case_seed(name, i);
+        i += 1;
+        let input = gen(&mut Rng::new(seed));
+        let verdict = std::panic::catch_unwind(|| prop(&input));
+        match verdict {
+            Ok(TestResult::Pass) => ran += 1,
+            Ok(TestResult::Discard) => {
+                discarded += 1;
+                assert!(
+                    discarded <= max_discard,
+                    "{name}: gave up after {discarded} discarded inputs ({ran}/{cases} ran)"
+                );
+            }
+            Ok(TestResult::Fail(why)) => {
+                panic!(
+                    "{name}: case {ran} failed: {why}\ninput: {input:?}\n\
+                     rerun just this input with ISLARIS_PT_SEED={seed}"
+                )
+            }
+            Err(payload) => {
+                let why = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".into());
+                panic!(
+                    "{name}: case {ran} panicked: {why}\ninput: {input:?}\n\
+                     rerun just this input with ISLARIS_PT_SEED={seed}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 0 from the splitmix64 reference
+        // implementation (Vigna).
+        let mut r = Rng::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let (mut a, mut b) = (Rng::new(42), Rng::new(42));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.range_u32(3, 17);
+            assert!((3..=17).contains(&v));
+        }
+        for _ in 0..1000 {
+            assert_eq!(r.range_u32(5, 5), 5);
+        }
+    }
+
+    #[test]
+    fn forall_passes_trivial_property() {
+        forall("trivial", 64, |r| r.next_u32(), |_| TestResult::Pass);
+    }
+
+    #[test]
+    #[should_panic(expected = "ISLARIS_PT_SEED=")]
+    fn forall_reports_seed_on_failure() {
+        forall(
+            "always-fails",
+            16,
+            |r| r.next_u32(),
+            |_| TestResult::Fail("nope".into()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn forall_gives_up_on_exhausted_discards() {
+        forall(
+            "all-discarded",
+            16,
+            |r| r.next_u32(),
+            |_| TestResult::Discard,
+        );
+    }
+
+    #[test]
+    fn prop_macros_work() {
+        fn check(x: u32) -> TestResult {
+            prop_assume!(x != 3);
+            prop_true!(x != 3);
+            prop_eq!(x, x);
+            TestResult::Pass
+        }
+        assert_eq!(check(3), TestResult::Discard);
+        assert_eq!(check(4), TestResult::Pass);
+    }
+}

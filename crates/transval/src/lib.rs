@@ -35,14 +35,21 @@ pub struct ValidationError {
 
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "validation of opcode {:#010x} failed: {}", self.opcode, self.message)
+        write!(
+            f,
+            "validation of opcode {:#010x} failed: {}",
+            self.opcode, self.message
+        )
     }
 }
 
 impl std::error::Error for ValidationError {}
 
 fn err<T>(opcode: u32, message: impl Into<String>) -> Result<T, ValidationError> {
-    Err(ValidationError { opcode, message: message.into() })
+    Err(ValidationError {
+        opcode,
+        message: message.into(),
+    })
 }
 
 /// Converts a mini-Sail register state into ITL machine registers, using
@@ -111,8 +118,10 @@ pub fn validate_instr(
 ) -> Result<(), ValidationError> {
     // Side 1: direct mini-Sail interpretation.
     let cm = arch.model();
-    let interp = Interp::new(cm)
-        .map_err(|e| ValidationError { opcode, message: e.to_string() })?;
+    let interp = Interp::new(cm).map_err(|e| ValidationError {
+        opcode,
+        message: e.to_string(),
+    })?;
     let mut sail_state = state.clone();
     let mut sail_mem = MapMem { bytes: mem.clone() };
     interp
@@ -122,7 +131,10 @@ pub fn validate_instr(
             &mut sail_state,
             &mut sail_mem,
         )
-        .map_err(|e| ValidationError { opcode, message: format!("model: {e}") })?;
+        .map_err(|e| ValidationError {
+            opcode,
+            message: format!("model: {e}"),
+        })?;
 
     // Side 2: the ITL trace on the same state.
     let mut machine = Machine::new();
@@ -131,8 +143,10 @@ pub fn validate_instr(
         machine.mem.insert(*a, *b);
     }
     let mut labels: Vec<Label> = Vec::new();
-    exec_instr(trace, &mut machine, &mut ZeroIo, &mut labels)
-        .map_err(|e| ValidationError { opcode, message: format!("trace: {e}") })?;
+    exec_instr(trace, &mut machine, &mut ZeroIo, &mut labels).map_err(|e| ValidationError {
+        opcode,
+        message: format!("trace: {e}"),
+    })?;
 
     // Compare registers.
     let got = machine_regs_to_state(arch, &machine, state);
@@ -197,7 +211,12 @@ pub struct SweepOptions {
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { random_states: 8, seed: 0x1234_5678, mem_base: 0x2000, mem_len: 64 }
+        SweepOptions {
+            random_states: 8,
+            seed: 0x1234_5678,
+            mem_base: 0x2000,
+            mem_len: 64,
+        }
     }
 }
 
@@ -221,8 +240,10 @@ pub fn validate_program(
     let mut rng = XorShift(opts.seed);
     let mut checks = 0;
     for (_, opcode) in program {
-        let tr = trace_opcode(cfg, &Opcode::Concrete(*opcode))
-            .map_err(|e| ValidationError { opcode: *opcode, message: e.to_string() })?;
+        let tr = trace_opcode(cfg, &Opcode::Concrete(*opcode)).map_err(|e| ValidationError {
+            opcode: *opcode,
+            message: e.to_string(),
+        })?;
         let trace = Arc::new(tr.trace);
         for _ in 0..opts.random_states {
             let (state, mem) = random_state(arch, cfg, &mut rng, opts);
@@ -249,7 +270,10 @@ pub fn random_state(
         if v.width() == 64 {
             *v = Bv::new(64, u128::from(rng.next_u64()));
             if i % 2 == 0 {
-                *v = Bv::new(64, u128::from(opts.mem_base + rng.next_u64() % opts.mem_len));
+                *v = Bv::new(
+                    64,
+                    u128::from(opts.mem_base + rng.next_u64() % opts.mem_len),
+                );
             }
         } else {
             *v = Bv::new(v.width(), u128::from(rng.next_u64()));
@@ -258,7 +282,10 @@ pub fn random_state(
     for vals in st.arrays.values_mut() {
         for (i, v) in vals.iter_mut().enumerate() {
             *v = if i % 2 == 0 {
-                Bv::new(64, u128::from(opts.mem_base + rng.next_u64() % (opts.mem_len / 2)))
+                Bv::new(
+                    64,
+                    u128::from(opts.mem_base + rng.next_u64() % (opts.mem_len / 2)),
+                )
             } else {
                 Bv::new(64, u128::from(rng.next_u64() % 1024))
             };
@@ -310,9 +337,13 @@ mod tests {
     #[test]
     fn arm_add_sp_validates() {
         let cfg = arm_cfg();
-        let checks =
-            validate_program(&ARM, &cfg, &[(0x1000, 0x910103ff)], &SweepOptions::default())
-                .expect("validates");
+        let checks = validate_program(
+            &ARM,
+            &cfg,
+            &[(0x1000, 0x910103ff)],
+            &SweepOptions::default(),
+        )
+        .expect("validates");
         assert_eq!(checks, 8);
     }
 
@@ -321,8 +352,8 @@ mod tests {
         let cfg = arm_cfg();
         let r = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
         // Mutate: +0x41 instead of +0x40 by reprinting and editing the text.
-        let text = islaris_itl::print_trace(&r.trace)
-            .replace("#x0000000000000040", "#x0000000000000041");
+        let text =
+            islaris_itl::print_trace(&r.trace).replace("#x0000000000000040", "#x0000000000000041");
         let bad = islaris_itl::parse_trace(&text).expect("parses");
         let mut rng = XorShift(7);
         let opts = SweepOptions::default();
@@ -341,8 +372,8 @@ mod tests {
             (0x100c, 0x0031_0023),       // sb x3, 0(x2)
             (0x1010, 0x0000_8067),       // ret
         ];
-        let checks = validate_program(&RISCV, &cfg, &program, &SweepOptions::default())
-            .expect("validates");
+        let checks =
+            validate_program(&RISCV, &cfg, &program, &SweepOptions::default()).expect("validates");
         assert_eq!(checks, 40);
     }
 
@@ -351,7 +382,10 @@ mod tests {
         let cfg = IslaConfig::new(RISCV);
         // beq x1, x2, +8 — randomized states exercise both branches.
         let beq = 0x00B5_0463u32 & !(0x1f << 15) & !(0x1f << 20) | (1 << 15) | (2 << 20);
-        let opts = SweepOptions { random_states: 16, ..SweepOptions::default() };
+        let opts = SweepOptions {
+            random_states: 16,
+            ..SweepOptions::default()
+        };
         validate_program(&RISCV, &cfg, &[(0x1000, beq)], &opts).expect("validates");
     }
 

@@ -15,7 +15,11 @@ fn main() {
     println!(
         "hvc program: {} instructions across _start/enter_el1/vector, {} trace events",
         art.program.len(),
-        art.prog_spec.instrs.values().map(|t| t.event_count()).sum::<usize>()
+        art.prog_spec
+            .instrs
+            .values()
+            .map(|t| t.event_count())
+            .sum::<usize>()
     );
     let (outcome, _) = islaris_cases::run_case(&art);
     println!(
@@ -39,14 +43,18 @@ fn main() {
     for f in ["N", "Z", "C", "V"] {
         regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
     }
-    for r in ["VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2", "FAR_EL2"] {
+    for r in [
+        "VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2", "FAR_EL2",
+    ] {
         regs.push((Reg::new(r), Bv::zero(64)));
     }
     let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
     // Stop the run once the hang loop is reached (fuel-bounded).
-    let result =
-        adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 64);
-    assert!(matches!(result.run.stop, Stop::OutOfFuel), "hangs as expected");
+    let result = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 64);
+    assert!(
+        matches!(result.run.stop, Stop::OutOfFuel),
+        "hangs as expected"
+    );
     assert_eq!(
         machine.reg(&Reg::new("R0")),
         Some(Value::Bits(Bv::new(64, 42))),

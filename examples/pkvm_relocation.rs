@@ -19,7 +19,11 @@ fn main() {
     println!(
         "pKVM handler: {} instructions, {} trace events",
         program.len(),
-        art.prog_spec.instrs.values().map(|t| t.event_count()).sum::<usize>()
+        art.prog_spec
+            .instrs
+            .values()
+            .map(|t| t.event_count())
+            .sum::<usize>()
     );
     // Show a parametric trace: the first patched movz.
     let reset = program.label("reset_vectors");
@@ -80,10 +84,13 @@ fn main() {
         regs.push((Reg::new(sr.name()), Bv::new(64, 0x1111)));
     }
     let mut machine = adequacy::machine(&regs, &instrs, &[]);
-    let result =
-        adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 200);
+    let result = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 200);
     assert!(result.no_bottom, "{:?}", result.run.stop);
-    assert_eq!(result.run.stop, Stop::End(0xcafe_0000), "eret back to the caller");
+    assert_eq!(
+        result.run.stop,
+        Stop::End(0xcafe_0000),
+        "eret back to the caller"
+    );
     assert_eq!(
         machine.reg(&Reg::new("VBAR_EL2")),
         Some(Value::Bits(Bv::new(64, u128::from(offset)))),

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     specs.add(SpecDef {
         name: "post".into(),
-        params: vec![Param::Bv(b, Sort::BitVec(64)), Param::Bv(b2, Sort::BitVec(64))],
+        params: vec![
+            Param::Bv(b, Sort::BitVec(64)),
+            Param::Bv(b2, Sort::BitVec(64)),
+        ],
         atoms: vec![
             build::reg("R7", Expr::var(b)),
             build::reg("SP_EL2", Expr::var(b2)),
@@ -63,9 +66,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut instrs = BTreeMap::new();
     instrs.insert(0x1000, Arc::new(result.trace));
     let mut blocks = BTreeMap::new();
-    blocks.insert(0x1000, BlockAnn { spec: "pre".into(), verify: true });
-    blocks.insert(0x1004, BlockAnn { spec: "post".into(), verify: false });
-    let prog = ProgramSpec { pc: Reg::new(ARM.pc), instrs, blocks, specs };
+    blocks.insert(
+        0x1000,
+        BlockAnn {
+            spec: "pre".into(),
+            verify: true,
+        },
+    );
+    blocks.insert(
+        0x1004,
+        BlockAnn {
+            spec: "post".into(),
+            verify: false,
+        },
+    );
+    let prog = ProgramSpec {
+        pc: Reg::new(ARM.pc),
+        instrs,
+        blocks,
+        specs,
+    };
     let verifier = Verifier::new(prog, Arc::new(NoIo));
     let report = verifier.verify_all()?;
     println!("verified: {{SP_EL2 ↦ b}} add sp, sp, #0x40 {{SP_EL2 ↦ b + 0x40}}");

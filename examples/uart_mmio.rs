@@ -42,8 +42,14 @@ fn main() {
     // The protocol's `c` is the low 32 bits of the ghost argument; for a
     // concrete run, check against the concrete protocol instead.
     let concrete = islaris::logic::uart(uart::LSR, uart::IO, c);
-    let result =
-        adequacy::check(&mut machine, &Reg::new("_PC"), &mut device, &concrete, 0, 1000);
+    let result = adequacy::check(
+        &mut machine,
+        &Reg::new("_PC"),
+        &mut device,
+        &concrete,
+        0,
+        1000,
+    );
     assert_eq!(result.run.stop, Stop::End(0xdead_0000));
     assert!(result.holds(), "labels: {:?}", result.run.labels);
     let writes: Vec<&Label> = result
@@ -59,5 +65,8 @@ fn main() {
         "label trace satisfies the protocol"
     );
     let _ = protocol;
-    println!("adequacy: polled twice, transmitted {:?} exactly once", c as char);
+    println!(
+        "adequacy: polled twice, transmitted {:?} exactly once",
+        c as char
+    );
 }

@@ -19,9 +19,13 @@ use islaris_transval::{random_state, validate_instr, SweepOptions, XorShift};
 fn memcpy_with_wrong_invariant_fails() {
     let mut art = memcpy_arm::build_case();
     // Point the loop annotation at the postcondition spec — nonsense.
-    art.prog_spec
-        .blocks
-        .insert(memcpy_arm::BASE + 8, BlockAnn { spec: "memcpy_post".into(), verify: true });
+    art.prog_spec.blocks.insert(
+        memcpy_arm::BASE + 8,
+        BlockAnn {
+            spec: "memcpy_post".into(),
+            verify: true,
+        },
+    );
     let v = Verifier::new(art.prog_spec, art.protocol);
     assert!(v.verify_all().is_err());
 }
@@ -34,7 +38,9 @@ fn memcpy_with_swapped_traces_fails() {
     let cfg = IslaConfig::new(ARM);
     let bogus = trace_opcode(&cfg, &Opcode::Concrete(0xF9000020)).expect("traces");
     let ldrb_addr = memcpy_arm::BASE + 8;
-    art.prog_spec.instrs.insert(ldrb_addr, Arc::new(bogus.trace));
+    art.prog_spec
+        .instrs
+        .insert(ldrb_addr, Arc::new(bogus.trace));
     let v = Verifier::new(art.prog_spec, art.protocol);
     assert!(v.verify_all().is_err());
 }
@@ -68,8 +74,8 @@ fn mutated_trace_fails_translation_validation() {
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
         .assume_reg("SCTLR_EL2", Bv::zero(64));
     let good = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
-    let mutated = islaris_itl::print_trace(&good.trace)
-        .replace("#x0000000000000040", "#x0000000000000080");
+    let mutated =
+        islaris_itl::print_trace(&good.trace).replace("#x0000000000000040", "#x0000000000000080");
     let bad = islaris_itl::parse_trace(&mutated).expect("parses");
     let opts = SweepOptions::default();
     let mut rng = XorShift(42);
@@ -97,8 +103,175 @@ fn tampered_certificates_fail() {
     let err = check_certificate(&tampered).expect_err("must fail");
     assert_eq!(err.index, good.obligations.len());
 
-    let subset = Certificate { obligations: good.obligations[..2.min(good.obligations.len())].to_vec() };
+    let subset = Certificate {
+        obligations: good.obligations[..2.min(good.obligations.len())].to_vec(),
+    };
     check_certificate(&subset).expect("a prefix still re-proves");
+}
+
+/// Family: certificate mutations. Every mutator corrupts a valid memcpy
+/// certificate in a different way; each corrupted certificate must fail
+/// the paranoid re-check at the mutated index.
+#[test]
+fn certificate_mutation_family_fails() {
+    use islaris_smt::lia::{LinAtom, LinTerm};
+
+    let art = memcpy_arm::build_case();
+    let v = Verifier::new(art.prog_spec, art.protocol);
+    let report = v.verify_all().expect("verifies");
+    let good = &report.blocks[0].cert;
+    check_certificate(good).expect("valid before mutation");
+    let n = good.obligations.len();
+    assert!(n > 0, "memcpy must log obligations");
+
+    type Mutator = fn(&mut Certificate);
+    let table: &[(&str, Mutator, usize)] = &[
+        (
+            "append_unprovable_bv_goal",
+            |c| {
+                c.obligations.push(Obligation::Bv {
+                    facts: vec![],
+                    goal: Expr::eq(Expr::var(Var(0)), Expr::bv(64, 1)),
+                    sorts: vec![(Var(0), Sort::BitVec(64))],
+                });
+            },
+            usize::MAX, // replaced with n below
+        ),
+        (
+            "corrupt_first_goal_to_x_lt_x",
+            |c| {
+                if let Obligation::Bv { goal, sorts, .. } = &mut c.obligations[0] {
+                    *goal = Expr::cmp(
+                        islaris_smt::BvCmp::Ult,
+                        Expr::var(Var(0)),
+                        Expr::var(Var(0)),
+                    );
+                    sorts.push((Var(0), Sort::BitVec(64)));
+                }
+            },
+            0,
+        ),
+        (
+            "append_false_lia_fact",
+            |c| {
+                c.obligations.push(Obligation::Lia {
+                    facts: vec![],
+                    goal: LinAtom::Le(LinTerm::constant(1), LinTerm::constant(0)),
+                });
+            },
+            usize::MAX,
+        ),
+    ];
+    for (label, mutate, index) in table {
+        let mut tampered = good.clone();
+        mutate(&mut tampered);
+        let err = check_certificate(&tampered)
+            .expect_err(&format!("{label}: mutated certificate must fail"));
+        let expected = if *index == usize::MAX { n } else { *index };
+        assert_eq!(
+            err.index, expected,
+            "{label}: failed at the wrong obligation"
+        );
+    }
+}
+
+/// Family: broken specifications. For every case in the table, repointing
+/// a verifying block annotation at a spec that does not exist must fail
+/// verification (the automation must not invent a specification).
+#[test]
+fn broken_spec_family_fails() {
+    let table: &[(
+        &str,
+        fn() -> islaris::logic::ProgramSpec,
+        std::sync::Arc<dyn islaris::logic::Protocol>,
+    )] = &[
+        (
+            "memcpy",
+            || memcpy_arm::build_case().prog_spec,
+            Arc::new(NoIo),
+        ),
+        (
+            "uart",
+            || uart::build_case().prog_spec,
+            Arc::new(islaris::logic::uart(uart::LSR, uart::IO, 0x2a)),
+        ),
+        (
+            "hvc",
+            || islaris_cases::hvc::build_case().prog_spec,
+            Arc::new(NoIo),
+        ),
+        (
+            "rbit",
+            || islaris_cases::rbit::build_case().prog_spec,
+            Arc::new(NoIo),
+        ),
+        (
+            "unaligned",
+            || islaris_cases::unaligned::build_case().prog_spec,
+            Arc::new(NoIo),
+        ),
+    ];
+    for (label, build, protocol) in table {
+        let mut spec = build();
+        let ann = spec
+            .blocks
+            .values_mut()
+            .find(|a| a.verify)
+            .unwrap_or_else(|| panic!("{label}: no verifying block"));
+        ann.spec = "__no_such_spec__".into();
+        let err = Verifier::new(spec, protocol.clone())
+            .verify_all()
+            .expect_err(&format!("{label}: missing spec must fail"));
+        assert!(err.message.contains("__no_such_spec__"), "{label}: {err}");
+    }
+}
+
+/// Family: mutated traces. Each table row edits the printed Fig. 3 trace
+/// (a different corruption of the `add sp, sp, #0x40` semantics); every
+/// mutant must fail translation validation against the authoritative
+/// model.
+#[test]
+fn mutated_trace_family_fails_transval() {
+    let cfg = IslaConfig::new(ARM)
+        .assume_reg("PSTATE.EL", Bv::new(2, 2))
+        .assume_reg("PSTATE.SP", Bv::new(1, 1))
+        .assume_reg("SCTLR_EL2", Bv::zero(64));
+    let good = trace_opcode(&cfg, &Opcode::Concrete(0x910103ff)).expect("traces");
+    let printed = islaris_itl::print_trace(&good.trace);
+
+    let table: &[(&str, &str, &str)] = &[
+        (
+            "doubled_immediate",
+            "#x0000000000000040",
+            "#x0000000000000080",
+        ),
+        (
+            "zeroed_immediate",
+            "#x0000000000000040",
+            "#x0000000000000000",
+        ),
+        (
+            "off_by_one_immediate",
+            "#x0000000000000040",
+            "#x0000000000000041",
+        ),
+    ];
+    for (label, needle, replacement) in table {
+        assert!(
+            printed.contains(needle),
+            "{label}: trace shape changed: {printed}"
+        );
+        let mutated = printed.replace(needle, replacement);
+        let bad = islaris_itl::parse_trace(&mutated)
+            .unwrap_or_else(|e| panic!("{label}: mutant must still parse: {e}"));
+        let opts = SweepOptions::default();
+        let mut rng = XorShift(42);
+        let (state, mem) = random_state(&ARM, &cfg, &mut rng, &opts);
+        assert!(
+            validate_instr(&ARM, 0x910103ff, &bad, &state, &mem).is_err(),
+            "{label}: corrupted trace passed translation validation"
+        );
+    }
 }
 
 /// A spec that demands memory the program never owned must fail at

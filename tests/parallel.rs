@@ -1,0 +1,130 @@
+//! The parallel pipeline's contract: running the case studies over the
+//! work-queue scheduler with a shared trace cache must change *nothing*
+//! about what is proved — stable table rows, trace maps, statistics, and
+//! certificates are byte-identical to the sequential uncached run — and a
+//! poisoned case must fail alone without wedging the queue.
+
+use islaris_cases::{hvc, memcpy_arm, run_cases, CaseArtifacts, CaseCtx, CaseDef, ALL_CASES};
+use islaris_isla::TraceCache;
+
+/// A fast subset of the registry (the slow binsearch/memcpy-RV rows are
+/// exercised by the fig12 binary, not on every test run).
+fn fast_cases() -> Vec<CaseDef> {
+    ALL_CASES
+        .iter()
+        .filter(|c| ["hvc", "pKVM", "unaligned", "UART", "rbit"].contains(&c.name))
+        .copied()
+        .collect()
+}
+
+/// Parallel + cached runs produce byte-identical stable rows to the
+/// sequential uncached baseline, cold and warm.
+#[test]
+fn parallel_stable_rows_match_sequential() {
+    let cases = fast_cases();
+    let baseline = run_cases(&cases, 1, None);
+    assert!(baseline.all_ok());
+    let cache = TraceCache::new();
+    let cold = run_cases(&cases, 4, Some(&cache));
+    let warm = run_cases(&cases, 4, Some(&cache));
+    assert_eq!(
+        baseline.stable_rows(),
+        cold.stable_rows(),
+        "cold run diverged"
+    );
+    assert_eq!(
+        baseline.stable_rows(),
+        warm.stable_rows(),
+        "warm run diverged"
+    );
+    // The warm run served every instruction from the cache.
+    let totals = warm.cache_totals();
+    assert_eq!(totals.misses, 0, "warm run should not trace anything");
+    assert!(totals.hits > 0);
+}
+
+/// Cache hits hand back the *same* simplified traces and replay the
+/// original statistics: a cached build of a case is indistinguishable
+/// from a cold one (wall-clock aside).
+#[test]
+fn cached_build_is_indistinguishable() {
+    let cold: CaseArtifacts = hvc::build_case();
+    let cache = TraceCache::new();
+    let first = hvc::build_case_with(&CaseCtx::new(&cache, 1));
+    let second = hvc::build_case_with(&CaseCtx::new(&cache, 1));
+    for art in [&first, &second] {
+        assert_eq!(cold.prog_spec.instrs.len(), art.prog_spec.instrs.len());
+        for (addr, trace) in &cold.prog_spec.instrs {
+            assert_eq!(
+                trace, &art.prog_spec.instrs[addr],
+                "trace at {addr:#x} differs"
+            );
+        }
+        assert_eq!(cold.isla_stats.runs, art.isla_stats.runs);
+        assert_eq!(cold.isla_stats.smt_queries, art.isla_stats.smt_queries);
+        assert_eq!(cold.isla_stats.events, art.isla_stats.events);
+    }
+    // hvc repeats an opcode, so even the cold build hits within itself;
+    // what matters is that nothing is re-traced the second time.
+    assert!(first.cache.misses > 0, "empty cache must trace something");
+    assert_eq!(second.cache.misses, 0, "second build must be all hits");
+    assert_eq!(second.cache.lookups(), first.cache.lookups());
+}
+
+/// Instruction-level fan-out (jobs > 1 inside one case build) yields the
+/// same trace map and certificates as the sequential build.
+#[test]
+fn instruction_fanout_is_deterministic() {
+    let seq = memcpy_arm::build_case_with(&CaseCtx {
+        cache: None,
+        jobs: 1,
+    });
+    let par = memcpy_arm::build_case_with(&CaseCtx {
+        cache: None,
+        jobs: 4,
+    });
+    assert_eq!(seq.prog_spec.instrs, par.prog_spec.instrs);
+    let (_, seq_report) = islaris_cases::run_case(&seq);
+    let (_, par_report) = islaris_cases::run_case(&par);
+    let certs = |r: &islaris::logic::Report| {
+        r.blocks
+            .iter()
+            .map(|b| format!("{:?}", b.cert))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        certs(&seq_report),
+        certs(&par_report),
+        "certificates diverged"
+    );
+}
+
+/// A case whose build panics fails only its own row; the rest of the
+/// queue drains and verifies normally, and the failed row renders
+/// deterministically.
+#[test]
+fn poisoned_case_fails_alone() {
+    fn poisoned(_: &CaseCtx) -> CaseArtifacts {
+        panic!("injected failure: this case always dies");
+    }
+    let mut cases = fast_cases();
+    cases.insert(
+        1,
+        CaseDef {
+            name: "poisoned",
+            build: poisoned,
+        },
+    );
+    let report = run_cases(&cases, 3, None);
+    assert!(!report.all_ok());
+    for (i, row) in report.rows.iter().enumerate() {
+        if i == 1 {
+            let p = row.as_ref().expect_err("the poisoned case must fail");
+            assert_eq!(p.index, 1);
+            assert!(p.message.contains("injected failure"), "{}", p.message);
+        } else {
+            assert!(row.is_ok(), "case {} must still verify", report.names[i]);
+        }
+    }
+    assert!(report.stable_rows()[1].contains("poisoned: FAILED"));
+}

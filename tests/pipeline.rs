@@ -117,7 +117,11 @@ fn unaligned_adequacy() {
     let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
     let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 10);
     assert!(r.no_bottom);
-    assert_eq!(r.run.stop, Stop::End(unaligned::HANDLER), "vector slot reached");
+    assert_eq!(
+        r.run.stop,
+        Stop::End(unaligned::HANDLER),
+        "vector slot reached"
+    );
     assert_eq!(
         machine.reg(&Reg::new("ESR_EL2")),
         Some(Value::Bits(Bv::new(64, 0x9600_0021)))
@@ -162,7 +166,11 @@ fn pkvm_soft_restart_adequacy() {
     let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
     let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 100);
     assert!(r.no_bottom, "{:?}", r.run.stop);
-    assert_eq!(r.run.stop, Stop::End(0xaaaa_0000), "eret to the restart target");
+    assert_eq!(
+        r.run.stop,
+        Stop::End(0xaaaa_0000),
+        "eret to the restart target"
+    );
     assert_eq!(
         machine.reg(&Reg::new("VBAR_EL2")),
         Some(Value::Bits(Bv::new(64, 0xbbbb_0000)))
@@ -190,7 +198,10 @@ fn binsearch_arm_adequacy() {
         (Reg::new("R0"), Bv::new(64, u128::from(base))),
         (Reg::new("R1"), Bv::new(64, array.len() as u128)),
         (Reg::new("R2"), Bv::new(64, u128::from(key))),
-        (Reg::new("R3"), Bv::new(64, u128::from(binsearch_arm::CMP_IMPL))),
+        (
+            Reg::new("R3"),
+            Bv::new(64, u128::from(binsearch_arm::CMP_IMPL)),
+        ),
         (Reg::new("R30"), Bv::new(64, 0xdead_0000)),
         (Reg::new("_PC"), Bv::new(64, binsearch_arm::BASE as u128)),
         (Reg::field("PSTATE", "EL"), Bv::new(2, 0b10)),
@@ -203,8 +214,7 @@ fn binsearch_arm_adequacy() {
     for f in ["N", "Z", "C", "V"] {
         regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
     }
-    let mut machine =
-        adequacy::machine(&regs, &art.prog_spec.instrs, &[(base, mem_bytes)]);
+    let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[(base, mem_bytes)]);
     let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 1000);
     assert!(r.no_bottom, "{:?}", r.run.stop);
     assert_eq!(r.run.stop, Stop::End(0xdead_0000));
@@ -233,13 +243,18 @@ fn hvc_adequacy() {
     for f in ["N", "Z", "C", "V"] {
         regs.push((Reg::field("PSTATE", f), Bv::zero(1)));
     }
-    for r in ["VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2", "FAR_EL2"] {
+    for r in [
+        "VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2", "FAR_EL2",
+    ] {
         regs.push((Reg::new(r), Bv::zero(64)));
     }
     let mut machine = adequacy::machine(&regs, &art.prog_spec.instrs, &[]);
     let r = adequacy::check(&mut machine, &Reg::new("_PC"), &mut ZeroIo, &NoIo, 0, 50);
     assert!(r.no_bottom);
-    assert_eq!(machine.reg(&Reg::new("R0")), Some(Value::Bits(Bv::new(64, 42))));
+    assert_eq!(
+        machine.reg(&Reg::new("R0")),
+        Some(Value::Bits(Bv::new(64, 42)))
+    );
     assert_eq!(
         machine.reg(&Reg::field("PSTATE", "EL")),
         Some(Value::Bits(Bv::new(2, 0b01)))

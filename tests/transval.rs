@@ -14,9 +14,11 @@ use islaris_transval::{validate_program, SweepOptions};
 fn riscv_memcpy_binary_validates() {
     let program = memcpy_riscv::program();
     let cfg = IslaConfig::new(RISCV);
-    let opts = SweepOptions { random_states: 16, ..SweepOptions::default() };
-    let checks =
-        validate_program(&RISCV, &cfg, &program.instrs, &opts).expect("validates");
+    let opts = SweepOptions {
+        random_states: 16,
+        ..SweepOptions::default()
+    };
+    let checks = validate_program(&RISCV, &cfg, &program.instrs, &opts).expect("validates");
     assert_eq!(checks, 16 * program.len() as u64);
 }
 
@@ -29,9 +31,11 @@ fn arm_memcpy_binary_validates() {
         .assume_reg("PSTATE.EL", Bv::new(2, 2))
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
         .assume_reg("SCTLR_EL2", Bv::zero(64));
-    let opts = SweepOptions { random_states: 16, ..SweepOptions::default() };
-    let checks =
-        validate_program(&ARM, &cfg, &program.instrs, &opts).expect("validates");
+    let opts = SweepOptions {
+        random_states: 16,
+        ..SweepOptions::default()
+    };
+    let checks = validate_program(&ARM, &cfg, &program.instrs, &opts).expect("validates");
     assert_eq!(checks, 16 * program.len() as u64);
 }
 
