@@ -5,8 +5,8 @@
 set -eu
 cd "$(dirname "$0")"
 
-echo "== build (release, whole workspace) =="
-cargo build --release --workspace --offline
+echo "== build (release, whole workspace, warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release --workspace --offline
 
 echo "== tier-1 tests (root package) =="
 cargo test --release -q --offline
@@ -20,5 +20,22 @@ cargo fmt --all --check
 echo "== fig12 parallel smoke (--jobs 2: asserts stable rows are"
 echo "   byte-identical across sequential/cold/warm runs) =="
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- --jobs 2
+
+echo "== fig12 profile smoke (counters for every stage + valid Chrome trace) =="
+profile_out=$(mktemp -d)
+trap 'rm -rf "$profile_out"' EXIT
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --profile --jobs 2 --profile-out "$profile_out/trace.json" \
+    | tee "$profile_out/profile.txt"
+# fig12 --profile already self-validates the emitted JSON (in-tree
+# validate_json) and exits non-zero otherwise; double-check the file
+# landed and the confirmation line was printed.
+test -s "$profile_out/trace.json"
+grep -q "valid JSON" "$profile_out/profile.txt"
+for stage in 'sail    :' 'isla    :' 'isla.smt:' 'engine  :' 'eng.smt :' \
+             'cert    :' 'cert.smt:' 'cache   :'; do
+    grep -qF "$stage" "$profile_out/profile.txt" \
+        || { echo "stage '$stage' missing from profile output"; exit 1; }
+done
 
 echo "CI OK"

@@ -14,11 +14,23 @@
 //!   byte-identical across all three runs.
 //! * `--bench [ITERS]` — the pipeline-stage micro-benchmarks
 //!   (plain-`Instant` replacement for the removed Criterion benches).
+//! * `--profile [--jobs N] [--profile-out PATH]` — the observability
+//!   export: runs all nine cases through a fresh shared cache with span
+//!   recording on, prints the stable table plus the per-case per-stage
+//!   *counter* profile (deterministic: byte-identical across worker
+//!   counts and cache states), and emits the wall-clock spans as Chrome
+//!   trace-event JSON (self-validated; written to PATH when given).
 
 use std::process::exit;
 
+use islaris_cases::{run_cases_with, CaseOutcome, ALL_CASES};
+use islaris_isla::TraceCache;
+use islaris_obs::{render_profiles, validate_json, Recorder};
+
 fn usage() -> ! {
-    eprintln!("usage: fig12 [--jobs N] [--bench [ITERS]]");
+    eprintln!(
+        "usage: fig12 [--jobs N] [--bench [ITERS]] [--profile [--jobs N] [--profile-out PATH]]"
+    );
     exit(2);
 }
 
@@ -75,6 +87,42 @@ fn parallel(jobs: usize) {
     }
 }
 
+fn profile(jobs: usize, out_path: Option<&str>) {
+    let recorder = Recorder::new();
+    let cache = TraceCache::new();
+    let report = run_cases_with(ALL_CASES, jobs, Some(&cache), Some(&recorder));
+
+    println!("{}", CaseOutcome::stable_header());
+    for row in report.stable_rows() {
+        println!("{row}");
+    }
+    println!("\nper-stage counters ({} workers; deterministic):", jobs);
+    print!("{}", render_profiles(&report.profiles()));
+
+    let trace = recorder.chrome_trace();
+    if let Err((off, msg)) = validate_json(&trace) {
+        eprintln!("emitted chrome trace is not valid JSON at byte {off}: {msg}");
+        exit(1);
+    }
+    let spans = recorder.spans().len();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &trace) {
+                eprintln!("writing {path}: {e}");
+                exit(1);
+            }
+            println!("\nchrome trace: {spans} spans, valid JSON, written to {path}");
+        }
+        None => {
+            println!("\nchrome trace: {spans} spans, valid JSON (pass --profile-out PATH to write)")
+        }
+    }
+    if !report.all_ok() {
+        eprintln!("some cases FAILED");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -95,6 +143,28 @@ fn main() {
             for sample in islaris_bench::stage_benches(iters) {
                 println!("{}", sample.row());
             }
+        }
+        Some("--profile") => {
+            let mut jobs = 1;
+            let mut out_path: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--profile-out" => {
+                        out_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            profile(jobs, out_path.as_deref());
         }
         Some(_) => usage(),
     }

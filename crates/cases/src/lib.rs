@@ -14,8 +14,8 @@ pub mod uart;
 pub mod unaligned;
 
 pub use pipeline::{
-    run_all_parallel, run_all_sequential, run_cases, CaseDef, CaseRow, ParallelRun, PipelineReport,
-    ALL_CASES,
+    run_all_parallel, run_all_sequential, run_cases, run_cases_with, CaseDef, CaseRow, ParallelRun,
+    PipelineReport, ALL_CASES,
 };
 pub use report::{
     run_case, trace_program_map, trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome,

@@ -14,8 +14,9 @@
 
 use std::time::{Duration, Instant};
 
-use islaris_core::{run_jobs, JobPanic};
+use islaris_core::{run_jobs_profiled, JobPanic};
 use islaris_isla::{CacheStats, TraceCache};
+use islaris_obs::{CaseProfile, Recorder};
 
 use crate::report::{run_case, CaseArtifacts, CaseCtx, CaseOutcome};
 use crate::{
@@ -128,6 +129,25 @@ impl PipelineReport {
         self.rows.iter().all(Result::is_ok)
     }
 
+    /// The per-case counter profiles in registry order, keyed
+    /// `name (ISA)` (names alone are ambiguous: memcpy and bin.search
+    /// each appear once per ISA). Failed cases contribute no profile.
+    /// Like [`PipelineReport::stable_rows`], the rendered profiles are
+    /// byte-identical across worker counts and cache states.
+    #[must_use]
+    pub fn profiles(&self) -> Vec<(String, CaseProfile)> {
+        self.rows
+            .iter()
+            .flatten()
+            .map(|row| {
+                (
+                    format!("{} ({})", row.outcome.name, row.outcome.isa),
+                    row.outcome.profile,
+                )
+            })
+            .collect()
+    }
+
     /// Total trace-generation (Isla-stage) wall time over the successful
     /// rows — the stage the shared cache eliminates on warm runs.
     #[must_use]
@@ -168,17 +188,45 @@ impl PipelineReport {
 /// [`crate::report::trace_program_map_with`]'s job.
 #[must_use]
 pub fn run_cases(cases: &[CaseDef], jobs: usize, cache: Option<&TraceCache>) -> PipelineReport {
+    run_cases_with(cases, jobs, cache, None)
+}
+
+/// [`run_cases`] with optional wall-clock span recording. When a
+/// [`Recorder`] is supplied, each case contributes `build:<name>` and
+/// `verify:<name>` spans (category `case`) on top of the scheduler's
+/// per-job queue-wait and execution spans; with `None` no clock is read
+/// beyond the existing wall-time columns.
+#[must_use]
+pub fn run_cases_with(
+    cases: &[CaseDef],
+    jobs: usize,
+    cache: Option<&TraceCache>,
+    recorder: Option<&Recorder>,
+) -> PipelineReport {
     let ctx = CaseCtx { cache, jobs: 1 };
     let start = Instant::now();
-    let rows = run_jobs(jobs, cases.len(), |i| {
-        let t0 = Instant::now();
-        let art = (cases[i].build)(&ctx);
-        let (outcome, _) = run_case(&art);
-        CaseRow {
-            outcome,
-            wall: t0.elapsed(),
-        }
-    });
+    let rows = run_jobs_profiled(
+        jobs,
+        cases.len(),
+        |i| {
+            let t0 = Instant::now();
+            let art = {
+                let _span =
+                    recorder.map(|rec| rec.span(format!("build:{}", cases[i].name), "case"));
+                (cases[i].build)(&ctx)
+            };
+            let (outcome, _) = {
+                let _span =
+                    recorder.map(|rec| rec.span(format!("verify:{}", cases[i].name), "case"));
+                run_case(&art)
+            };
+            CaseRow {
+                outcome,
+                wall: t0.elapsed(),
+            }
+        },
+        recorder,
+    );
     PipelineReport {
         jobs,
         names: cases.iter().map(|c| c.name).collect(),

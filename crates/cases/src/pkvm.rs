@@ -374,9 +374,7 @@ pub fn traces_with(
     let mut stats = IslaStats::default();
     let mut cache = CacheStats::default();
     for (addr, (entry, hit)) in traced {
-        stats.runs += entry.stats.runs;
-        stats.smt_queries += entry.stats.smt_queries;
-        stats.events += entry.stats.events;
+        stats.absorb(&entry.stats);
         if hit {
             cache.hits += 1;
         } else {

@@ -5,11 +5,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_asm::Program;
-use islaris_core::{check_certificate, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier};
+use islaris_core::{
+    check_certificate_metered, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
+};
 use islaris_isla::{
     trace_opcode, CacheStats, CachedTrace, IslaConfig, IslaError, IslaStats, Opcode, TraceCache,
 };
 use islaris_itl::Trace;
+use islaris_obs::{CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, SailMetrics};
 
 /// How a case study is built: an optional shared trace cache and a worker
 /// count for per-instruction trace-generation fan-out.
@@ -113,6 +116,8 @@ pub struct CaseOutcome {
     pub cert_time: Duration,
     /// Trace-cache hits/misses while building this case.
     pub cache: CacheStats,
+    /// The per-stage deterministic counter profile (`fig12 --profile`).
+    pub profile: CaseProfile,
 }
 
 impl CaseOutcome {
@@ -214,9 +219,7 @@ pub fn trace_program_map_with(
     let mut stats = IslaStats::default();
     let mut cache = CacheStats::default();
     for (addr, (entry, hit)) in traced {
-        stats.runs += entry.stats.runs;
-        stats.smt_queries += entry.stats.smt_queries;
-        stats.events += entry.stats.events;
+        stats.absorb(&entry.stats);
         if hit {
             cache.hits += 1;
         } else {
@@ -244,8 +247,10 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
     let verify_time = t0.elapsed();
 
     let t1 = Instant::now();
+    let mut cert_metrics = CertMetrics::default();
     for block in &report.blocks {
-        check_certificate(&block.cert).unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+        check_certificate_metered(&block.cert, &mut cert_metrics)
+            .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
     }
     let cert_time = t1.elapsed();
 
@@ -272,6 +277,37 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
                 )
             })
             .count();
+    let mut engine = EngineMetrics::default();
+    let mut engine_smt = islaris_obs::SolverMetrics::default();
+    for b in &report.blocks {
+        engine.absorb(&EngineMetrics {
+            events: b.stats.events,
+            instructions: b.stats.instructions,
+            smt_queries: b.stats.smt_queries,
+            lia_queries: b.stats.lia_queries,
+            obligations: b.stats.obligations,
+            vacuous_branches: b.stats.vacuous_branches,
+        });
+        engine_smt.absorb(&b.stats.solver);
+    }
+    let profile = CaseProfile {
+        sail: SailMetrics {
+            steps: art.isla_stats.model_steps,
+            calls: art.isla_stats.model_calls,
+        },
+        isla: IslaMetrics {
+            runs: art.isla_stats.runs,
+            branches_explored: art.isla_stats.branches_explored,
+            branches_pruned: art.isla_stats.branches_pruned,
+            smt_queries: art.isla_stats.smt_queries,
+            events: art.isla_stats.events as u64,
+        },
+        isla_smt: art.isla_stats.solver,
+        engine,
+        engine_smt,
+        cert: cert_metrics,
+        cache: art.cache,
+    };
     let outcome = CaseOutcome {
         name: art.name,
         isa: art.isa,
@@ -287,6 +323,7 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
         obligations: report.obligations(),
         cert_time,
         cache: art.cache,
+        profile,
     };
     (outcome, report)
 }

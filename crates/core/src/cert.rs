@@ -8,9 +8,22 @@
 //! Fourier–Motzkin procedure for the integer obligations. This mirrors the
 //! paper's division between Lithium proof search and the Coq kernel's
 //! final check of the generated proof term.
+//!
+//! Certificates carry an optional *order digest* — a hash over the
+//! rendered obligations in sequence. Obligations are independently
+//! checkable facts, so a digest-less certificate still re-proves after
+//! reordering; the digest pins the exact sequence the engine emitted, so
+//! any reordering (or silent alteration) of a sealed certificate is
+//! rejected before per-obligation replay even starts.
+//!
+//! [`render_certificate`]/[`parse_certificate`] give certificates a
+//! concrete S-expression syntax (the same dialect as trace printing), so
+//! they can be committed as golden files and replayed from disk.
 
-use islaris_smt::lia::{implies, LinAtom};
-use islaris_smt::{entails, Expr, SolverConfig, Sort, Var};
+use islaris_itl::sexp::{expr_to_sexp, parse_sexp, sexp_to_expr, ParseError, Sexp};
+use islaris_obs::{fnv1a, CertMetrics, SolverMetrics};
+use islaris_smt::lia::{implies, IVar, LinAtom, LinTerm};
+use islaris_smt::{entails_metered, Expr, SolverConfig, Sort, Var};
 
 /// One discharged side condition.
 #[derive(Debug, Clone)]
@@ -34,29 +47,65 @@ pub enum Obligation {
 }
 
 /// A certificate: the ordered list of discharged obligations of one block
-/// verification.
+/// verification, optionally sealed with an order digest.
 #[derive(Debug, Clone, Default)]
 pub struct Certificate {
     /// The obligations.
     pub obligations: Vec<Obligation>,
+    /// FNV-1a digest over the rendered obligations in order, if sealed.
+    /// `None` means "unordered bag of facts" (each still re-proved).
+    pub digest: Option<u64>,
 }
 
-/// A certificate-check failure: obligation `index` did not re-prove.
+impl Certificate {
+    /// Seals a list of obligations: computes and stores the order digest.
+    #[must_use]
+    pub fn sealed(obligations: Vec<Obligation>) -> Certificate {
+        let digest = Some(obligations_digest(&obligations));
+        Certificate {
+            obligations,
+            digest,
+        }
+    }
+}
+
+/// The order digest: FNV-1a over each obligation's debug rendering, in
+/// sequence, separated by newlines.
+#[must_use]
+pub fn obligations_digest(obligations: &[Obligation]) -> u64 {
+    let mut buf = String::new();
+    for ob in obligations {
+        buf.push_str(&format!("{ob:?}"));
+        buf.push('\n');
+    }
+    fnv1a(buf.as_bytes())
+}
+
+/// Sentinel index for failures that are not tied to one obligation
+/// (digest mismatch).
+pub const DIGEST_MISMATCH: usize = usize::MAX;
+
+/// A certificate-check failure: obligation `index` did not re-prove, or
+/// (`index == DIGEST_MISMATCH`) the order digest did not match.
 #[derive(Debug, Clone)]
 pub struct CertError {
-    /// Index of the failing obligation.
+    /// Index of the failing obligation, or [`DIGEST_MISMATCH`].
     pub index: usize,
-    /// Rendered obligation.
+    /// Rendered obligation, or a digest-mismatch description.
     pub obligation: String,
 }
 
 impl std::fmt::Display for CertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "certificate check failed at obligation {}: {}",
-            self.index, self.obligation
-        )
+        if self.index == DIGEST_MISMATCH {
+            write!(f, "certificate digest check failed: {}", self.obligation)
+        } else {
+            write!(
+                f,
+                "certificate check failed at obligation {}: {}",
+                self.index, self.obligation
+            )
+        }
     }
 }
 
@@ -66,16 +115,48 @@ impl std::error::Error for CertError {}
 ///
 /// # Errors
 ///
-/// Returns the first obligation that fails to re-prove.
+/// Returns the first obligation that fails to re-prove (or a digest
+/// mismatch for sealed certificates).
 pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
+    let mut scratch = CertMetrics::default();
+    check_certificate_metered(cert, &mut scratch)
+}
+
+/// [`check_certificate`] with replay-effort counters recorded into `m`.
+///
+/// # Errors
+///
+/// Returns the first obligation that fails to re-prove (or a digest
+/// mismatch for sealed certificates).
+pub fn check_certificate_metered(cert: &Certificate, m: &mut CertMetrics) -> Result<(), CertError> {
+    if let Some(stored) = cert.digest {
+        let computed = obligations_digest(&cert.obligations);
+        if stored != computed {
+            return Err(CertError {
+                index: DIGEST_MISMATCH,
+                obligation: format!(
+                    "order digest mismatch (obligations reordered or altered): \
+                     stored {stored:#018x}, computed {computed:#018x}"
+                ),
+            });
+        }
+    }
     let cfg = SolverConfig::paranoid();
     for (index, ob) in cert.obligations.iter().enumerate() {
+        m.replayed += 1;
         let ok = match ob {
             Obligation::Bv { facts, goal, sorts } => {
+                m.bv += 1;
                 let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
-                entails(facts, goal, &lookup, &cfg)
+                let mut sm = SolverMetrics::default();
+                let ok = entails_metered(facts, goal, &lookup, &cfg, &mut sm);
+                m.solver.absorb(&sm);
+                ok
             }
-            Obligation::Lia { facts, goal } => implies(facts, goal),
+            Obligation::Lia { facts, goal } => {
+                m.lia += 1;
+                implies(facts, goal)
+            }
         };
         if !ok {
             return Err(CertError {
@@ -87,28 +168,287 @@ pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
     Ok(())
 }
 
+// ----- concrete syntax -----
+
+fn sort_to_sexp(s: Sort) -> Sexp {
+    match s {
+        Sort::Bool => Sexp::Atom("Bool".into()),
+        Sort::BitVec(w) => Sexp::List(vec![
+            Sexp::Atom("_".into()),
+            Sexp::Atom("BitVec".into()),
+            Sexp::Atom(w.to_string()),
+        ]),
+    }
+}
+
+fn lin_term_to_sexp(t: &LinTerm) -> Sexp {
+    let mut items = vec![
+        Sexp::Atom("lin".into()),
+        Sexp::Atom(t.constant_part().to_string()),
+    ];
+    for (v, c) in t.terms() {
+        items.push(Sexp::List(vec![
+            Sexp::Atom(format!("i{}", v.0)),
+            Sexp::Atom(c.to_string()),
+        ]));
+    }
+    Sexp::List(items)
+}
+
+fn lin_atom_to_sexp(a: &LinAtom) -> Sexp {
+    let (op, l, r) = match a {
+        LinAtom::Le(l, r) => ("<=", l, r),
+        LinAtom::Eq(l, r) => ("=", l, r),
+    };
+    Sexp::List(vec![
+        Sexp::Atom(op.into()),
+        lin_term_to_sexp(l),
+        lin_term_to_sexp(r),
+    ])
+}
+
+fn obligation_to_sexp(ob: &Obligation) -> Sexp {
+    match ob {
+        Obligation::Bv { facts, goal, sorts } => {
+            let mut sort_items = vec![Sexp::Atom("sorts".into())];
+            for (v, s) in sorts {
+                sort_items.push(Sexp::List(vec![
+                    Sexp::Atom(v.to_string()),
+                    sort_to_sexp(*s),
+                ]));
+            }
+            let mut fact_items = vec![Sexp::Atom("facts".into())];
+            fact_items.extend(facts.iter().map(expr_to_sexp));
+            Sexp::List(vec![
+                Sexp::Atom("bv".into()),
+                Sexp::List(sort_items),
+                Sexp::List(fact_items),
+                Sexp::List(vec![Sexp::Atom("goal".into()), expr_to_sexp(goal)]),
+            ])
+        }
+        Obligation::Lia { facts, goal } => {
+            let mut fact_items = vec![Sexp::Atom("facts".into())];
+            fact_items.extend(facts.iter().map(lin_atom_to_sexp));
+            Sexp::List(vec![
+                Sexp::Atom("lia".into()),
+                Sexp::List(fact_items),
+                Sexp::List(vec![Sexp::Atom("goal".into()), lin_atom_to_sexp(goal)]),
+            ])
+        }
+    }
+}
+
+/// Renders a certificate in concrete S-expression syntax, one obligation
+/// per line (stable, diff-friendly — used by the golden files).
+#[must_use]
+pub fn render_certificate(cert: &Certificate) -> String {
+    let mut out = String::from("(certificate\n");
+    if let Some(d) = cert.digest {
+        out.push_str(&format!(" (digest #x{d:016x})\n"));
+    }
+    for ob in &cert.obligations {
+        out.push_str(&format!(" {}\n", obligation_to_sexp(ob)));
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn perr<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        offset: 0,
+        message: message.into(),
+    })
+}
+
+fn tagged<'a>(s: &'a Sexp, tag: &str) -> Result<&'a [Sexp], ParseError> {
+    match s {
+        Sexp::List(items) if items.first().and_then(Sexp::as_atom) == Some(tag) => Ok(&items[1..]),
+        _ => perr(format!("expected a `({tag} …)` list, found `{s}`")),
+    }
+}
+
+fn sexp_to_sort(s: &Sexp) -> Result<Sort, ParseError> {
+    match s {
+        Sexp::Atom(a) if a == "Bool" => Ok(Sort::Bool),
+        Sexp::List(items) => {
+            let strs: Vec<&str> = items.iter().filter_map(Sexp::as_atom).collect();
+            match strs.as_slice() {
+                ["_", "BitVec", w] => match w.parse::<u32>() {
+                    Ok(w) => Ok(Sort::BitVec(w)),
+                    Err(_) => perr("bad bitvector width"),
+                },
+                _ => perr(format!("unknown sort `{s}`")),
+            }
+        }
+        _ => perr(format!("unknown sort `{s}`")),
+    }
+}
+
+fn sexp_to_var(s: &Sexp) -> Result<Var, ParseError> {
+    let Some(a) = s.as_atom() else {
+        return perr(format!("expected a variable, found `{s}`"));
+    };
+    match a.strip_prefix('v').and_then(|n| n.parse::<u32>().ok()) {
+        Some(n) => Ok(Var(n)),
+        None => perr(format!("expected a variable, found `{a}`")),
+    }
+}
+
+fn sexp_to_lin_term(s: &Sexp) -> Result<LinTerm, ParseError> {
+    let items = tagged(s, "lin")?;
+    let Some(k) = items.first().and_then(Sexp::as_atom) else {
+        return perr("`lin` needs a constant part");
+    };
+    let Ok(k) = k.parse::<i128>() else {
+        return perr(format!("bad integer constant `{k}`"));
+    };
+    let mut t = LinTerm::constant(k);
+    for pair in &items[1..] {
+        let Sexp::List(vc) = pair else {
+            return perr(format!("bad coefficient pair `{pair}`"));
+        };
+        let (Some(v), Some(c)) = (
+            vc.first().and_then(Sexp::as_atom),
+            vc.get(1).and_then(Sexp::as_atom),
+        ) else {
+            return perr(format!("bad coefficient pair `{pair}`"));
+        };
+        let Some(v) = v.strip_prefix('i').and_then(|n| n.parse::<u32>().ok()) else {
+            return perr(format!("bad integer variable `{v}`"));
+        };
+        let Ok(c) = c.parse::<i128>() else {
+            return perr(format!("bad coefficient `{c}`"));
+        };
+        t = t.add(&LinTerm::var(IVar(v)).scale(c));
+    }
+    Ok(t)
+}
+
+fn sexp_to_lin_atom(s: &Sexp) -> Result<LinAtom, ParseError> {
+    let Sexp::List(items) = s else {
+        return perr(format!("expected a LIA atom, found `{s}`"));
+    };
+    let (Some(op), Some(l), Some(r)) = (
+        items.first().and_then(Sexp::as_atom),
+        items.get(1),
+        items.get(2),
+    ) else {
+        return perr(format!("malformed LIA atom `{s}`"));
+    };
+    let l = sexp_to_lin_term(l)?;
+    let r = sexp_to_lin_term(r)?;
+    match op {
+        "<=" => Ok(LinAtom::Le(l, r)),
+        "=" => Ok(LinAtom::Eq(l, r)),
+        _ => perr(format!("unknown LIA relation `{op}`")),
+    }
+}
+
+fn sexp_to_obligation(s: &Sexp) -> Result<Obligation, ParseError> {
+    let Sexp::List(items) = s else {
+        return perr(format!("expected an obligation, found `{s}`"));
+    };
+    match items.first().and_then(Sexp::as_atom) {
+        Some("bv") => {
+            if items.len() != 4 {
+                return perr("`bv` obligation needs sorts, facts, goal");
+            }
+            let mut sorts = Vec::new();
+            for pair in tagged(&items[1], "sorts")? {
+                let Sexp::List(vs) = pair else {
+                    return perr(format!("bad sort pair `{pair}`"));
+                };
+                if vs.len() != 2 {
+                    return perr(format!("bad sort pair `{pair}`"));
+                }
+                sorts.push((sexp_to_var(&vs[0])?, sexp_to_sort(&vs[1])?));
+            }
+            let facts = tagged(&items[2], "facts")?
+                .iter()
+                .map(sexp_to_expr)
+                .collect::<Result<Vec<_>, _>>()?;
+            let goal_items = tagged(&items[3], "goal")?;
+            if goal_items.len() != 1 {
+                return perr("`goal` needs exactly one expression");
+            }
+            let goal = sexp_to_expr(&goal_items[0])?;
+            Ok(Obligation::Bv { facts, goal, sorts })
+        }
+        Some("lia") => {
+            if items.len() != 3 {
+                return perr("`lia` obligation needs facts, goal");
+            }
+            let facts = tagged(&items[1], "facts")?
+                .iter()
+                .map(sexp_to_lin_atom)
+                .collect::<Result<Vec<_>, _>>()?;
+            let goal_items = tagged(&items[2], "goal")?;
+            if goal_items.len() != 1 {
+                return perr("`goal` needs exactly one atom");
+            }
+            let goal = sexp_to_lin_atom(&goal_items[0])?;
+            Ok(Obligation::Lia { facts, goal })
+        }
+        _ => perr(format!("unknown obligation kind `{s}`")),
+    }
+}
+
+/// Parses a certificate from [`render_certificate`]'s concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_certificate(input: &str) -> Result<Certificate, ParseError> {
+    let sexp = parse_sexp(input)?;
+    let items = tagged(&sexp, "certificate")?;
+    let mut digest = None;
+    let mut obligations = Vec::new();
+    for item in items {
+        if let Ok(d) = tagged(item, "digest") {
+            let Some(a) = d.first().and_then(Sexp::as_atom) else {
+                return perr("`digest` needs a value");
+            };
+            let Some(hex) = a.strip_prefix("#x") else {
+                return perr(format!("bad digest literal `{a}`"));
+            };
+            let Ok(v) = u64::from_str_radix(hex, 16) else {
+                return perr(format!("bad digest literal `{a}`"));
+            };
+            digest = Some(v);
+            continue;
+        }
+        obligations.push(sexp_to_obligation(item)?);
+    }
+    Ok(Certificate {
+        obligations,
+        digest,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use islaris_smt::lia::LinTerm;
     use islaris_smt::BvCmp;
 
+    fn sample() -> Certificate {
+        let x = Expr::var(Var(0));
+        Certificate::sealed(vec![
+            Obligation::Bv {
+                facts: vec![Expr::eq(x.clone(), Expr::bv(64, 5))],
+                goal: Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 6)),
+                sorts: vec![(Var(0), Sort::BitVec(64))],
+            },
+            Obligation::Lia {
+                facts: vec![LinAtom::Le(LinTerm::constant(0), LinTerm::constant(1))],
+                goal: LinAtom::Le(LinTerm::constant(0), LinTerm::constant(2)),
+            },
+        ])
+    }
+
     #[test]
     fn valid_certificate_checks() {
-        let x = Expr::var(Var(0));
-        let cert = Certificate {
-            obligations: vec![
-                Obligation::Bv {
-                    facts: vec![Expr::eq(x.clone(), Expr::bv(64, 5))],
-                    goal: Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 6)),
-                    sorts: vec![(Var(0), Sort::BitVec(64))],
-                },
-                Obligation::Lia {
-                    facts: vec![LinAtom::Le(LinTerm::constant(0), LinTerm::constant(1))],
-                    goal: LinAtom::Le(LinTerm::constant(0), LinTerm::constant(2)),
-                },
-            ],
-        };
+        let cert = sample();
         assert!(check_certificate(&cert).is_ok());
     }
 
@@ -121,8 +461,50 @@ mod tests {
                 goal: Expr::eq(x, Expr::bv(64, 5)), // not valid without facts
                 sorts: vec![(Var(0), Sort::BitVec(64))],
             }],
+            digest: None,
         };
         let err = check_certificate(&cert).expect_err("must fail");
         assert_eq!(err.index, 0);
+    }
+
+    #[test]
+    fn sealed_certificates_reject_reordering() {
+        let mut cert = sample();
+        assert!(check_certificate(&cert).is_ok(), "sealed original passes");
+        cert.obligations.reverse();
+        let err = check_certificate(&cert).expect_err("reordered must fail");
+        assert_eq!(err.index, DIGEST_MISMATCH);
+        assert!(err.obligation.contains("digest mismatch"), "{err}");
+        // Without the seal, the same reordering is fine: obligations are
+        // independently checkable facts.
+        cert.digest = None;
+        assert!(check_certificate(&cert).is_ok());
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let cert = sample();
+        let rendered = render_certificate(&cert);
+        let parsed = parse_certificate(&rendered).expect("parses");
+        assert_eq!(parsed.digest, cert.digest);
+        assert_eq!(parsed.obligations.len(), cert.obligations.len());
+        assert_eq!(
+            obligations_digest(&parsed.obligations),
+            obligations_digest(&cert.obligations),
+            "round trip preserves every obligation verbatim"
+        );
+        assert_eq!(rendered, render_certificate(&parsed));
+        assert!(check_certificate(&parsed).is_ok());
+    }
+
+    #[test]
+    fn metered_check_counts_replays() {
+        let cert = sample();
+        let mut m = CertMetrics::default();
+        check_certificate_metered(&cert, &mut m).expect("checks");
+        assert_eq!(m.replayed, 2);
+        assert_eq!(m.bv, 1);
+        assert_eq!(m.lia, 1);
+        assert_eq!(m.solver.queries, 1, "one bv obligation, one solver query");
     }
 }

@@ -17,7 +17,9 @@ use std::time::{Duration, Instant};
 
 use islaris_itl::{Event, Reg, Trace};
 use islaris_smt::lia::{implies, LinAtom, LinTerm};
-use islaris_smt::{entails, simplify_with, Expr, SolverConfig, Sort, Value, Var, VarGen};
+use islaris_smt::{
+    entails_metered, simplify_with, Expr, SolverConfig, SolverMetrics, Sort, Value, Var, VarGen,
+};
 
 use crate::assertions::{Arg, Atom, Param, ProgramSpec, SpecDef};
 use crate::bridge::IntBridge;
@@ -49,6 +51,10 @@ impl std::fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Per-block verification statistics (feeding the Fig. 12 columns).
+///
+/// Every field except [`BlockStats::time`] is deterministic for a fixed
+/// program and spec — the profile tables compare them byte-for-byte
+/// across sequential and parallel runs.
 #[derive(Debug, Clone, Default)]
 pub struct BlockStats {
     /// Trace events processed (over all paths).
@@ -59,6 +65,12 @@ pub struct BlockStats {
     pub smt_queries: u64,
     /// LIA queries issued.
     pub lia_queries: u64,
+    /// Obligations logged into the certificate.
+    pub obligations: u64,
+    /// Branches discarded as unreachable (vacuous `Assert` paths).
+    pub vacuous_branches: u64,
+    /// Solver effort of the engine's SMT queries.
+    pub solver: SolverMetrics,
     /// Wall-clock time in the automation.
     pub time: Duration,
 }
@@ -185,9 +197,7 @@ impl Verifier {
             addr,
             spec: ann.spec.clone(),
             stats,
-            cert: Certificate {
-                obligations: eng.shared.cert,
-            },
+            cert: Certificate::sealed(eng.shared.cert),
         })
     }
 }
@@ -298,6 +308,7 @@ impl ProofEnv<'_> {
             let mut facts = self.lia_facts();
             facts.extend(self.bridge.range_facts());
             if implies(&facts, &atom) {
+                self.stats.obligations += 1;
                 self.cert.push(Obligation::Lia { facts, goal: atom });
                 return true;
             }
@@ -374,6 +385,7 @@ impl ProofEnv<'_> {
         pass1.extend(self.bridge.range_facts());
 
         let mut queries = 0u64;
+        let mut sm = SolverMetrics::default();
         let mut prove2 = side_prover(
             &pass1,
             self.bridge.clone(),
@@ -381,6 +393,7 @@ impl ProofEnv<'_> {
             self.sorts.clone(),
             self.solver.clone(),
             &mut queries,
+            &mut sm,
         );
         let mut facts = self.bridge.int_facts(self.pure, &widths, &mut prove2);
         for (n, b) in self.lens {
@@ -391,6 +404,7 @@ impl ProofEnv<'_> {
         }
         drop(prove2);
         self.stats.smt_queries += queries;
+        self.stats.solver.absorb(&sm);
         facts
     }
 
@@ -400,6 +414,7 @@ impl ProofEnv<'_> {
         let mut base = self.lia_facts();
         base.extend(self.bridge.range_facts());
         let mut queries = 0u64;
+        let mut sm = SolverMetrics::default();
         let mut prove = side_prover(
             &base,
             self.bridge.clone(),
@@ -407,10 +422,12 @@ impl ProofEnv<'_> {
             self.sorts.clone(),
             self.solver.clone(),
             &mut queries,
+            &mut sm,
         );
         let r = self.bridge.to_int(e, w, &mut prove);
         drop(prove);
         self.stats.smt_queries += queries;
+        self.stats.solver.absorb(&sm);
         r
     }
 }
@@ -422,6 +439,7 @@ impl SeqCtx for ProofEnv<'_> {
         facts.extend(self.bridge.range_facts());
         let ok = implies(&facts, goal);
         if ok {
+            self.stats.obligations += 1;
             self.cert.push(Obligation::Lia {
                 facts,
                 goal: goal.clone(),
@@ -442,6 +460,7 @@ impl SeqCtx for ProofEnv<'_> {
         if g.as_bool() == Some(true) {
             // A tautology after simplification — still logged, so the
             // certificate checker re-establishes it independently.
+            self.stats.obligations += 1;
             self.cert.push(Obligation::Bv {
                 facts: Vec::new(),
                 goal: goal.clone(),
@@ -450,8 +469,11 @@ impl SeqCtx for ProofEnv<'_> {
             return true;
         }
         self.stats.smt_queries += 1;
-        let ok = entails(self.pure, &g, &ws, self.solver);
+        let mut m = SolverMetrics::default();
+        let ok = entails_metered(self.pure, &g, &ws, self.solver, &mut m);
+        self.stats.solver.absorb(&m);
         if ok {
+            self.stats.obligations += 1;
             self.cert.push(Obligation::Bv {
                 facts: self.pure.to_vec(),
                 goal: g,
@@ -723,6 +745,7 @@ impl<'v> Engine<'v> {
             Event::Assert(e) => {
                 let cond = self.simp(&subst.apply(e));
                 if cond.as_bool() == Some(false) {
+                    self.shared.stats.vacuous_branches += 1;
                     return Ok(Step::Vacuous);
                 }
                 // If the context refutes the branch condition, the branch
@@ -732,6 +755,7 @@ impl<'v> Engine<'v> {
                     env.prove_bv(&Expr::not(cond.clone()))
                 };
                 if refuted {
+                    self.shared.stats.vacuous_branches += 1;
                     return Ok(Step::Vacuous);
                 }
                 ctx.pure.push(cond);
@@ -1467,6 +1491,7 @@ fn side_prover<'a>(
     sorts: HashMap<Var, Sort>,
     solver: SolverConfig,
     queries: &'a mut u64,
+    metrics: &'a mut SolverMetrics,
 ) -> impl FnMut(&Expr) -> bool + 'a {
     move |goal: &Expr| {
         if lia_side_prove(goal, base, &scratch, &sorts, 4) {
@@ -1477,7 +1502,7 @@ fn side_prover<'a>(
             max_conflicts: 50_000,
             ..solver.clone()
         };
-        entails(&pure, goal, &|v| sorts.get(&v).copied(), &cfg)
+        entails_metered(&pure, goal, &|v| sorts.get(&v).copied(), &cfg, metrics)
     }
 }
 

@@ -24,8 +24,11 @@ pub mod pipeline;
 pub mod seq;
 
 pub use assertions::{build, Arg, Atom, BlockAnn, Param, ProgramSpec, SpecDef, SpecTable};
-pub use cert::{check_certificate, CertError, Certificate, Obligation};
+pub use cert::{
+    check_certificate, check_certificate_metered, obligations_digest, parse_certificate,
+    render_certificate, CertError, Certificate, Obligation, DIGEST_MISMATCH,
+};
 pub use engine::{BlockReport, BlockStats, Report, Verifier, VerifyError};
 pub use iospec::{accepts, uart, NoIo, Protocol, UartProtocol};
-pub use pipeline::{effective_jobs, run_jobs, run_jobs_ok, JobPanic};
+pub use pipeline::{effective_jobs, run_jobs, run_jobs_ok, run_jobs_profiled, JobPanic};
 pub use seq::{SeqExpr, SeqVar};

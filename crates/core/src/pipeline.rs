@@ -19,6 +19,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use islaris_obs::Recorder;
 
 /// A job that panicked, with the captured payload rendered to text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,8 +76,36 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_jobs_profiled(jobs, count, f, None)
+}
+
+/// [`run_jobs`] with optional wall-clock span recording. When a
+/// [`Recorder`] is supplied, each job contributes two spans: `job-i.wait`
+/// (from scheduler start until a worker claims the job — queue wait) and
+/// `job-i` (the job body). When `recorder` is `None` this is exactly
+/// [`run_jobs`]: no clocks are read, no atomics are touched beyond the
+/// work queue itself.
+///
+/// # Panics
+///
+/// Never panics itself; job panics are reified into the result vector.
+pub fn run_jobs_profiled<T, F>(
+    jobs: usize,
+    count: usize,
+    f: F,
+    recorder: Option<&Recorder>,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let jobs = effective_jobs(jobs).min(count.max(1));
+    let queued_at = recorder.map(|_| Instant::now());
     let run_one = |i: usize| -> Result<T, JobPanic> {
+        if let (Some(rec), Some(q)) = (recorder, queued_at) {
+            rec.record_between(format!("job-{i}.wait"), "pipeline", q, Instant::now());
+        }
+        let _span = recorder.map(|rec| rec.span(format!("job-{i}"), "pipeline"));
         catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| JobPanic {
             index: i,
             message: payload_message(&*p),
@@ -184,5 +215,24 @@ mod tests {
     fn more_workers_than_jobs_is_fine() {
         let got = run_jobs_ok(64, 3, |i| i + 1).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn profiled_runs_record_wait_and_exec_spans_per_job() {
+        for jobs in [1, 4] {
+            let rec = Recorder::new();
+            let got: Vec<usize> = run_jobs_profiled(jobs, 5, |i| i, Some(&rec))
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            let spans = rec.spans();
+            assert_eq!(spans.len(), 10, "jobs = {jobs}: one wait + one exec each");
+            for i in 0..5 {
+                assert!(spans.iter().any(|s| s.name == format!("job-{i}")));
+                assert!(spans.iter().any(|s| s.name == format!("job-{i}.wait")));
+            }
+            assert!(spans.iter().all(|s| s.cat == "pipeline"));
+        }
     }
 }

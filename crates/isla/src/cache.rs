@@ -48,32 +48,10 @@ pub struct CachedTrace {
     pub stats: IslaStats,
 }
 
-/// Hit/miss counters of a cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups satisfied from the table (including coalesced waiters).
-    pub hits: u64,
-    /// Lookups that symbolically executed the opcode.
-    pub misses: u64,
-}
-
-impl CacheStats {
-    /// Total lookups.
-    #[must_use]
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Hits over lookups; 0 when empty.
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
-}
+/// Hit/miss counters of a cache — the shared
+/// [`islaris_obs::CacheMetrics`] record, re-exported under the name this
+/// module has always used so existing struct literals keep working.
+pub use islaris_obs::CacheMetrics as CacheStats;
 
 enum Slot {
     /// Someone is tracing this key; wait on the condvar.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_itl::{Event, Trace};
-use islaris_smt::{Expr, Sort, Var};
+use islaris_smt::{Expr, SolverMetrics, Sort, Var};
 
 use crate::exec::{IslaConfig, IslaError, RunStatus, SymExec};
 use crate::simplify::simplify_trace;
@@ -53,6 +53,11 @@ impl Opcode {
 }
 
 /// Statistics from tracing one opcode.
+///
+/// Every field except [`IslaStats::time`] is a deterministic function of
+/// the `(opcode, config)` pair — the trace cache replays these verbatim on
+/// hits, so aggregates are byte-identical across worker counts and cache
+/// states. Only `time` is wall-clock and excluded from stable output.
 #[derive(Debug, Clone, Default)]
 pub struct IslaStats {
     /// Symbolic execution runs (paths explored, including replays).
@@ -63,6 +68,31 @@ pub struct IslaStats {
     pub time: Duration,
     /// Events in the final simplified trace.
     pub events: usize,
+    /// Two-sided forks signalled to the driver.
+    pub branches_explored: u64,
+    /// Branch sides discarded by feasibility pruning.
+    pub branches_pruned: u64,
+    /// Mini-Sail expression evaluations performed symbolically.
+    pub model_steps: u64,
+    /// Model function invocations.
+    pub model_calls: u64,
+    /// Solver effort of the feasibility queries.
+    pub solver: SolverMetrics,
+}
+
+impl IslaStats {
+    /// Adds every counter (and the wall time) of `other` into `self`.
+    pub fn absorb(&mut self, other: &IslaStats) {
+        self.runs += other.runs;
+        self.smt_queries += other.smt_queries;
+        self.time += other.time;
+        self.events += other.events;
+        self.branches_explored += other.branches_explored;
+        self.branches_pruned += other.branches_pruned;
+        self.model_steps += other.model_steps;
+        self.model_calls += other.model_calls;
+        self.solver.absorb(&other.solver);
+    }
 }
 
 /// A generated trace plus metadata.
@@ -138,6 +168,11 @@ fn build(
     let exec = SymExec::new(cfg, forced, opcode.assumptions(), first_var, params)?;
     let out = exec.run(opcode.expr())?;
     stats.smt_queries += out.smt_queries;
+    stats.branches_explored += out.branches_explored;
+    stats.branches_pruned += out.branches_pruned;
+    stats.model_steps += out.model_steps;
+    stats.model_calls += out.model_calls;
+    stats.solver.absorb(&out.solver);
     match out.status {
         RunStatus::Completed => Ok(Trace::linear(out.events[start..].to_vec())),
         RunStatus::Dead => {
@@ -176,10 +211,7 @@ pub fn trace_program(cfg: &IslaConfig, program: &[(u64, u32)]) -> Result<Program
     let mut stats = IslaStats::default();
     for (addr, op) in program {
         let r = trace_opcode(cfg, &Opcode::Concrete(*op))?;
-        stats.runs += r.stats.runs;
-        stats.smt_queries += r.stats.smt_queries;
-        stats.time += r.stats.time;
-        stats.events += r.stats.events;
+        stats.absorb(&r.stats);
         instrs.insert(*addr, Arc::new(r.trace));
     }
     Ok(ProgramTraces { instrs, stats })

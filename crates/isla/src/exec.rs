@@ -13,7 +13,9 @@ use std::fmt;
 use islaris_bv::Bv;
 use islaris_itl::Event;
 use islaris_sail::{Binop, CheckedModel, Expr as SExpr, LValue, Pattern, Stmt, Ty, Unop};
-use islaris_smt::{maybe_sat, BvBinop, BvCmp, BvUnop, Expr, SolverConfig, Sort, Var};
+use islaris_smt::{
+    maybe_sat_metered, BvBinop, BvCmp, BvUnop, Expr, SolverConfig, SolverMetrics, Sort, Var,
+};
 
 use crate::sym::{RegKey, SymState, SymVal};
 
@@ -135,6 +137,16 @@ pub struct RunOut {
     pub status: RunStatus,
     /// SMT feasibility queries issued.
     pub smt_queries: u64,
+    /// Two-sided forks signalled to the driver.
+    pub branches_explored: u64,
+    /// Branch sides discarded by feasibility pruning.
+    pub branches_pruned: u64,
+    /// Mini-Sail expression evaluations.
+    pub model_steps: u64,
+    /// Model function invocations.
+    pub model_calls: u64,
+    /// Solver effort of the feasibility queries.
+    pub solver: SolverMetrics,
     /// The variable counter after the run (for deterministic renumbering).
     pub next_var: u32,
 }
@@ -204,6 +216,7 @@ impl<'a> SymExec<'a> {
         }
         let mut env: HashMap<String, SymVal> = HashMap::new();
         env.insert(f.params[0].0.clone(), SymVal::Bits(opcode_expr, 32));
+        self.st.model_calls += 1;
         let body = f.body.clone();
         let status = match self.eval(&body, &mut env, 0) {
             Ok(_) | Err(Interrupt::Exit) => RunStatus::Completed,
@@ -215,6 +228,11 @@ impl<'a> SymExec<'a> {
             events: self.st.events,
             status,
             smt_queries: self.st.smt_queries,
+            branches_explored: self.st.branches_explored,
+            branches_pruned: self.st.branches_pruned,
+            model_steps: self.st.model_steps,
+            model_calls: self.st.model_calls,
+            solver: self.st.solver,
             next_var: self.st.vars.peek(),
         })
     }
@@ -238,24 +256,34 @@ impl<'a> SymExec<'a> {
         q.extend(self.st.path.iter().cloned());
         q.push(c.clone());
         self.st.smt_queries += 2;
+        let mut m = SolverMetrics::default();
         let (t_ok, f_ok) = {
             let sorts = |v: Var| self.st.sort_of(v);
-            let t_ok = maybe_sat(&q, &sorts, &self.cfg.solver);
+            let t_ok = maybe_sat_metered(&q, &sorts, &self.cfg.solver, &mut m);
             *q.last_mut().expect("just pushed") = Expr::not(c.clone());
-            let f_ok = maybe_sat(&q, &sorts, &self.cfg.solver);
+            let f_ok = maybe_sat_metered(&q, &sorts, &self.cfg.solver, &mut m);
             (t_ok, f_ok)
         };
+        self.st.solver.absorb(&m);
         match (t_ok, f_ok) {
-            (true, true) => Err(Interrupt::Fork(c)),
+            (true, true) => {
+                self.st.branches_explored += 1;
+                Err(Interrupt::Fork(c))
+            }
             (true, false) => {
+                self.st.branches_pruned += 1;
                 self.st.path.push(c);
                 Ok(true)
             }
             (false, true) => {
+                self.st.branches_pruned += 1;
                 self.st.path.push(Expr::not(c));
                 Ok(false)
             }
-            (false, false) => Err(Interrupt::Dead),
+            (false, false) => {
+                self.st.branches_pruned += 2;
+                Err(Interrupt::Dead)
+            }
         }
     }
 
@@ -322,6 +350,7 @@ impl<'a> SymExec<'a> {
 
     #[allow(clippy::too_many_lines)]
     fn eval(&mut self, e: &SExpr, env: &mut HashMap<String, SymVal>, depth: u32) -> R {
+        self.st.model_steps += 1;
         match e {
             SExpr::LitBits(b) => Ok(SymVal::Bits(Expr::bits(*b), b.width())),
             SExpr::LitBool(b) => Ok(SymVal::Bool(Expr::bool(*b))),
@@ -701,6 +730,7 @@ impl<'a> SymExec<'a> {
             .zip(vals)
             .map(|((p, _), v)| (p.clone(), v))
             .collect();
+        self.st.model_calls += 1;
         let body = f.body.clone();
         self.eval(&body, &mut inner, depth + 1)
     }

@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use islaris_bv::Bv;
 use islaris_itl::{Event, Reg};
-use islaris_smt::{simplify_with, Expr, Sort, Var, VarGen};
+use islaris_smt::{simplify_with, Expr, SolverMetrics, Sort, Var, VarGen};
 
 /// A symbolic runtime value of the mini-Sail evaluator.
 #[derive(Debug, Clone)]
@@ -111,6 +111,16 @@ pub struct SymState {
     pub depth: usize,
     /// Number of SMT feasibility queries issued.
     pub smt_queries: u64,
+    /// Two-sided symbolic branches signalled to the driver (forks).
+    pub branches_explored: u64,
+    /// Branch sides discarded by SMT feasibility pruning.
+    pub branches_pruned: u64,
+    /// Mini-Sail expression evaluations performed symbolically.
+    pub model_steps: u64,
+    /// Model function invocations (entry plus user-to-user calls).
+    pub model_calls: u64,
+    /// Solver effort of the feasibility queries issued by this run.
+    pub solver: SolverMetrics,
 }
 
 impl SymState {
@@ -126,6 +136,11 @@ impl SymState {
             assumed: BTreeMap::new(),
             depth: 0,
             smt_queries: 0,
+            branches_explored: 0,
+            branches_pruned: 0,
+            model_steps: 0,
+            model_calls: 0,
+            solver: SolverMetrics::default(),
         }
     }
 

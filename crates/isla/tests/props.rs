@@ -1,0 +1,344 @@
+//! Property tests for `isla::simplify` (trace simplification), on the
+//! in-tree `islaris-testkit` runner at the same case count as the SMT
+//! property suite (64 cases per property; failures report a seed
+//! replayable via `ISLARIS_PT_SEED`).
+//!
+//! The central property: [`simplify_trace`] must preserve a trace's
+//! *observables* — the evaluated register/memory/assertion events, in
+//! order, across `Cases` branches — under every concrete assignment of
+//! the free (parameter) variables and every stream of values for the
+//! declared symbolic constants. Simplification may rewrite expressions,
+//! drop dead definitions, and renumber bound variables, but an observer
+//! replaying the trace concretely must not be able to tell.
+
+use std::collections::{BTreeSet, HashMap};
+
+use islaris_bv::Bv;
+use islaris_isla::simplify_trace;
+use islaris_itl::{Event, Reg, Trace};
+use islaris_smt::{eval, BvBinop, BvCmp, Expr, Sort, Value, Var};
+use islaris_testkit::{forall, prop_eq, prop_true, Rng, TestResult};
+
+const WIDTH: u32 = 8;
+/// Free (parameter) variables `v0..v2`: never declared in the trace,
+/// never renumbered by simplification.
+const NUM_FREE: u32 = 3;
+/// Bound variables start here (declared / defined inside the trace).
+const FIRST_BOUND: u32 = 100;
+const CASES: u32 = 64;
+
+fn sorts_of(t: &Trace) -> HashMap<Var, Sort> {
+    let mut sorts: HashMap<Var, Sort> = (0..NUM_FREE)
+        .map(|i| (Var(i), Sort::BitVec(WIDTH)))
+        .collect();
+    collect_declares(t, &mut sorts);
+    sorts
+}
+
+fn collect_declares(t: &Trace, out: &mut HashMap<Var, Sort>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            if let Event::DeclareConst(v, s) = ev {
+                out.insert(*v, *s);
+            }
+            collect_declares(rest, out);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_declares(t, out);
+            }
+        }
+    }
+}
+
+/// Random width-8 expression over the in-scope variables.
+fn bv_expr(r: &mut Rng, scope: &[Var], depth: u32) -> Expr {
+    if depth == 0 || r.index(3) == 0 {
+        return if !scope.is_empty() && r.next_bool() {
+            Expr::var(*r.choose(scope))
+        } else {
+            Expr::bv(WIDTH, u128::from(r.next_u8()))
+        };
+    }
+    const OPS: [BvBinop; 6] = [
+        BvBinop::Add,
+        BvBinop::Sub,
+        BvBinop::Mul,
+        BvBinop::And,
+        BvBinop::Or,
+        BvBinop::Xor,
+    ];
+    let op = *r.choose(&OPS);
+    let a = bv_expr(r, scope, depth - 1);
+    let b = bv_expr(r, scope, depth - 1);
+    Expr::binop(op, a, b)
+}
+
+fn bool_expr(r: &mut Rng, scope: &[Var]) -> Expr {
+    let a = bv_expr(r, scope, 2);
+    let b = bv_expr(r, scope, 2);
+    match r.index(3) {
+        0 => Expr::eq(a, b),
+        1 => Expr::cmp(BvCmp::Ult, a, b),
+        _ => Expr::cmp(BvCmp::Sle, a, b),
+    }
+}
+
+/// One random linear segment of up to `len` events over (and extending)
+/// `scope`. When `anchor` is set, the segment ends with a sink register
+/// write using every variable it bound, so dead-definition elimination
+/// provably keeps each one (which keeps the declare-value streams of the
+/// original and simplified traces aligned).
+fn segment(
+    r: &mut Rng,
+    scope: &mut Vec<Var>,
+    next: &mut u32,
+    len: usize,
+    anchor: bool,
+) -> Vec<Event> {
+    let mut evs = Vec::new();
+    let mut bound_here = Vec::new();
+    for _ in 0..len {
+        match r.index(5) {
+            0 => {
+                let v = Var(*next);
+                *next += 1;
+                evs.push(Event::DeclareConst(v, Sort::BitVec(WIDTH)));
+                scope.push(v);
+                bound_here.push(v);
+            }
+            1 => {
+                let v = Var(*next);
+                *next += 1;
+                let e = bv_expr(r, scope, 2);
+                evs.push(Event::DefineConst(v, e));
+                scope.push(v);
+                bound_here.push(v);
+            }
+            2 => {
+                let reg = Reg::new(["R0", "R1", "SP"][r.index(3)]);
+                evs.push(Event::WriteReg(reg, bv_expr(r, scope, 2)));
+            }
+            3 => evs.push(Event::Assert(bool_expr(r, scope))),
+            _ => evs.push(Event::WriteMem {
+                addr: bv_expr(r, scope, 1),
+                value: bv_expr(r, scope, 1),
+                bytes: 1,
+            }),
+        }
+    }
+    if anchor && !bound_here.is_empty() {
+        let sink = bound_here
+            .iter()
+            .map(|v| Expr::var(*v))
+            .reduce(|a, b| Expr::binop(BvBinop::Xor, a, b))
+            .expect("non-empty");
+        evs.push(Event::WriteReg(Reg::new("SINK"), sink));
+    }
+    evs
+}
+
+/// A random trace: a linear prefix, optionally ending in a two-way
+/// `Cases` whose branches are linear segments.
+fn trace(r: &mut Rng, anchor: bool) -> Trace {
+    let mut scope: Vec<Var> = (0..NUM_FREE).map(Var).collect();
+    let mut next = FIRST_BOUND;
+    let prefix_len = 1 + r.index(5);
+    let prefix = segment(r, &mut scope, &mut next, prefix_len, anchor);
+    if r.next_bool() {
+        let mut branches = Vec::new();
+        for _ in 0..2 {
+            let mut branch_scope = scope.clone();
+            let len = 1 + r.index(3);
+            let evs = segment(r, &mut branch_scope, &mut next, len, anchor);
+            branches.push(Trace::linear(evs));
+        }
+        Trace::from_events(prefix, Trace::Cases(branches))
+    } else {
+        Trace::linear(prefix)
+    }
+}
+
+/// Replays a trace concretely: free variables from `free_vals`, each
+/// `DeclareConst` drawing the next value of a deterministic stream (in
+/// pre-order — the order simplification preserves), `DefineConst`
+/// evaluating its body. Every other event appends one observable line.
+fn observables(t: &Trace, free_vals: &[u8; 3]) -> Result<Vec<String>, String> {
+    let mut env: HashMap<Var, Value> = free_vals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (Var(i as u32), Value::Bits(Bv::new(WIDTH, u128::from(*v)))))
+        .collect();
+    let mut stream = Rng::new(0x0b5e_4a11);
+    let mut out = Vec::new();
+    walk(t, &mut env, &mut stream, &mut out)?;
+    Ok(out)
+}
+
+fn walk(
+    t: &Trace,
+    env: &mut HashMap<Var, Value>,
+    stream: &mut Rng,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let lookup = |env: &HashMap<Var, Value>, e: &Expr| -> Result<Value, String> {
+        let env = |v: Var| env.get(&v).cloned();
+        eval(e, &env).map_err(|err| format!("{err:?}"))
+    };
+    match t {
+        Trace::Nil => Ok(()),
+        Trace::Cons(ev, rest) => {
+            match ev {
+                Event::DeclareConst(v, Sort::BitVec(w)) => {
+                    let val = Bv::new(*w, u128::from(stream.next_u8()));
+                    env.insert(*v, Value::Bits(val));
+                }
+                Event::DeclareConst(v, Sort::Bool) => {
+                    env.insert(*v, Value::Bool(stream.next_bool()));
+                }
+                Event::DefineConst(v, e) => {
+                    let val = lookup(env, e)?;
+                    env.insert(*v, val);
+                }
+                Event::ReadReg(r, e) | Event::WriteReg(r, e) | Event::AssumeReg(r, e) => {
+                    out.push(format!("reg {} {:?}", r.name(), lookup(env, e)?));
+                }
+                Event::ReadMem { value, addr, bytes } | Event::WriteMem { addr, value, bytes } => {
+                    out.push(format!(
+                        "mem {:?} {:?} {bytes}",
+                        lookup(env, addr)?,
+                        lookup(env, value)?
+                    ));
+                }
+                Event::Assume(e) | Event::Assert(e) => {
+                    out.push(format!("assert {:?}", lookup(env, e)?));
+                }
+            }
+            walk(rest, env, stream, out)
+        }
+        Trace::Cases(ts) => {
+            for (i, branch) in ts.iter().enumerate() {
+                out.push(format!("case {i}"));
+                let mut branch_env = env.clone();
+                walk(branch, &mut branch_env, stream, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn collect_bound(t: &Trace, out: &mut Vec<Var>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            if let Event::DeclareConst(v, _) | Event::DefineConst(v, _) = ev {
+                out.push(*v);
+            }
+            collect_bound(rest, out);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_bound(t, out);
+            }
+        }
+    }
+}
+
+fn collect_uses(t: &Trace, out: &mut BTreeSet<Var>) {
+    match t {
+        Trace::Nil => {}
+        Trace::Cons(ev, rest) => {
+            match ev {
+                Event::ReadReg(_, e) | Event::WriteReg(_, e) | Event::AssumeReg(_, e) => {
+                    e.free_vars_into(out);
+                }
+                Event::ReadMem { value, addr, .. } | Event::WriteMem { addr, value, .. } => {
+                    value.free_vars_into(out);
+                    addr.free_vars_into(out);
+                }
+                Event::Assume(e) | Event::Assert(e) => e.free_vars_into(out),
+                Event::DeclareConst(_, _) => {}
+                Event::DefineConst(_, e) => e.free_vars_into(out),
+            }
+            collect_uses(rest, out);
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                collect_uses(t, out);
+            }
+        }
+    }
+}
+
+fn free_vals(r: &mut Rng) -> [u8; 3] {
+    [r.next_u8(), r.next_u8(), r.next_u8()]
+}
+
+/// Simplification preserves every observable of a concrete replay.
+#[test]
+fn simplify_trace_preserves_observables() {
+    forall(
+        "simplify_trace_preserves_observables",
+        CASES,
+        |r| (trace(r, true), free_vals(r)),
+        |(t, vals)| {
+            let simplified = simplify_trace(t, &sorts_of(t));
+            let before = observables(t, vals).expect("original replays");
+            let after = observables(&simplified, vals).expect("simplified replays");
+            prop_eq!(before, after);
+            TestResult::Pass
+        },
+    );
+}
+
+/// Simplification is idempotent: a second pass is the identity.
+#[test]
+fn simplify_trace_is_idempotent() {
+    forall(
+        "simplify_trace_is_idempotent",
+        CASES,
+        |r| trace(r, false),
+        |t| {
+            let once = simplify_trace(t, &sorts_of(t));
+            let twice = simplify_trace(&once, &sorts_of(&once));
+            prop_eq!(once, twice);
+            TestResult::Pass
+        },
+    );
+}
+
+/// After simplification no dead definition remains (the fixpoint really
+/// reaches the fixpoint), the trace never grows, and the surviving bound
+/// variables are renumbered densely in first-occurrence order.
+#[test]
+fn simplify_trace_eliminates_dead_definitions_and_renumbers_densely() {
+    forall(
+        "simplify_trace_eliminates_dead_definitions_and_renumbers_densely",
+        CASES,
+        |r| trace(r, false),
+        |t| {
+            let simplified = simplify_trace(t, &sorts_of(t));
+            prop_true!(simplified.event_count() <= t.event_count());
+            let mut bound = Vec::new();
+            collect_bound(&simplified, &mut bound);
+            let mut used = BTreeSet::new();
+            collect_uses(&simplified, &mut used);
+            for v in &bound {
+                prop_true!(used.contains(v), format!("dead binder {v:?} survived"));
+            }
+            // First-occurrence renumbering: consecutive indices from the
+            // first bound variable onward.
+            let mut seen = Vec::new();
+            for v in bound {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+            for w in seen.windows(2) {
+                prop_eq!(w[1].0, w[0].0 + 1, "bound renumbering is not dense");
+            }
+            TestResult::Pass
+        },
+    );
+}

@@ -36,22 +36,30 @@ pub enum Sexp {
 }
 
 impl Sexp {
-    fn atom(s: &str) -> Sexp {
+    /// Builds an atom from a string slice.
+    #[must_use]
+    pub fn atom(s: &str) -> Sexp {
         Sexp::Atom(s.to_owned())
     }
 
-    fn list(items: Vec<Sexp>) -> Sexp {
+    /// Builds a list node.
+    #[must_use]
+    pub fn list(items: Vec<Sexp>) -> Sexp {
         Sexp::List(items)
     }
 
-    fn as_atom(&self) -> Option<&str> {
+    /// The atom's text, or `None` for a list.
+    #[must_use]
+    pub fn as_atom(&self) -> Option<&str> {
         match self {
             Sexp::Atom(a) => Some(a),
             Sexp::List(_) => None,
         }
     }
 
-    fn as_list(&self) -> Option<&[Sexp]> {
+    /// The list's items, or `None` for an atom.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[Sexp]> {
         match self {
             Sexp::List(l) => Some(l),
             Sexp::Atom(_) => None,

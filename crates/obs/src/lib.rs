@@ -1,0 +1,800 @@
+//! Observability for the Islaris pipeline: typed counters, wall-clock
+//! spans, and a Chrome trace-event exporter — all std-only.
+//!
+//! The design splits measurements into two disjoint kinds:
+//!
+//! * **Counters** are plain `u64` fields in small `Copy` structs
+//!   ([`SolverMetrics`], [`IslaMetrics`], …) threaded by value through the
+//!   code that does the work. They are *deterministic*: the same inputs
+//!   produce the same counts whatever the thread count or cache state, so
+//!   the rendered [`CaseProfile`] table is byte-comparable across runs
+//!   (the same discipline as the Fig. 12 "stable rows").
+//! * **Spans** are wall-clock intervals recorded into a [`Recorder`]
+//!   behind an `Option<&Recorder>`: when profiling is off the option is
+//!   `None` and the instrumentation is a branch on a `None` — no
+//!   allocation, no atomics, no lock. Spans are inherently
+//!   non-deterministic and are exported separately as Chrome trace-event
+//!   JSON ([`Recorder::chrome_trace`]), never mixed into the counter
+//!   table.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// SMT solver counters: one record per logical solver "client" (the
+/// symbolic executor, the engine, the certificate checker each keep their
+/// own), absorbed upward into the per-case profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverMetrics {
+    /// `check_sat` calls (an `entails` call is one query).
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries answered `Unknown` (budget or unsupported fragment).
+    pub unknown: u64,
+    /// Models verified by evaluation before being reported.
+    pub model_verifies: u64,
+    /// Total CNF variables produced by bit-blasting.
+    pub cnf_vars: u64,
+    /// Total CNF clauses produced by bit-blasting.
+    pub cnf_clauses: u64,
+    /// Unit propagations performed by the SAT solver.
+    pub propagations: u64,
+    /// Decisions taken by the SAT solver.
+    pub decisions: u64,
+    /// Conflicts hit by the SAT solver.
+    pub conflicts: u64,
+}
+
+impl SolverMetrics {
+    /// Adds another record into this one, field by field.
+    pub fn absorb(&mut self, o: &SolverMetrics) {
+        self.queries += o.queries;
+        self.sat += o.sat;
+        self.unsat += o.unsat;
+        self.unknown += o.unknown;
+        self.model_verifies += o.model_verifies;
+        self.cnf_vars += o.cnf_vars;
+        self.cnf_clauses += o.cnf_clauses;
+        self.propagations += o.propagations;
+        self.decisions += o.decisions;
+        self.conflicts += o.conflicts;
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "queries={} sat={} unsat={} unknown={} model_verifies={} \
+             cnf_vars={} cnf_clauses={} propagations={} decisions={} conflicts={}",
+            self.queries,
+            self.sat,
+            self.unsat,
+            self.unknown,
+            self.model_verifies,
+            self.cnf_vars,
+            self.cnf_clauses,
+            self.propagations,
+            self.decisions,
+            self.conflicts
+        )
+    }
+}
+
+/// Trace-cache counters (the former `isla::cache::CacheStats`, unified
+/// here so every stage shares one metrics vocabulary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups that found (or waited for) an existing entry.
+    pub hits: u64,
+    /// Lookups that had to compute the entry.
+    pub misses: u64,
+}
+
+impl CacheMetrics {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; 0 when there were no lookups.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &CacheMetrics) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+    }
+}
+
+/// Mini-Sail interpretation counters: expression-evaluation steps and
+/// model-function firings. Kept by both the concrete interpreter
+/// (`sail::interp`) and the symbolic one (`isla::exec`, which interprets
+/// the same model AST symbolically).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SailMetrics {
+    /// Expression-evaluation steps.
+    pub steps: u64,
+    /// Model-function calls (rule firings).
+    pub calls: u64,
+}
+
+impl SailMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &SailMetrics) {
+        self.steps += o.steps;
+        self.calls += o.calls;
+    }
+}
+
+/// Symbolic-execution counters (per opcode, aggregated per case).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IslaMetrics {
+    /// Symbolic runs (1 + one per replayed fork).
+    pub runs: u64,
+    /// Forks where both arms were feasible.
+    pub branches_explored: u64,
+    /// Branch arms pruned as infeasible.
+    pub branches_pruned: u64,
+    /// Feasibility queries sent to the solver.
+    pub smt_queries: u64,
+    /// Events in the final simplified trace.
+    pub events: u64,
+}
+
+impl IslaMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &IslaMetrics) {
+        self.runs += o.runs;
+        self.branches_explored += o.branches_explored;
+        self.branches_pruned += o.branches_pruned;
+        self.smt_queries += o.smt_queries;
+        self.events += o.events;
+    }
+}
+
+/// Proof-automation counters (per block, aggregated per case).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Trace events processed.
+    pub events: u64,
+    /// Instructions stepped through.
+    pub instructions: u64,
+    /// Bitvector side conditions sent to the solver.
+    pub smt_queries: u64,
+    /// LIA side conditions sent to Fourier–Motzkin.
+    pub lia_queries: u64,
+    /// Obligations discharged (logged into the certificate).
+    pub obligations: u64,
+    /// Vacuous/refuted branches cut off (the non-backtracking engine's
+    /// analogue of a search backtrack).
+    pub vacuous_branches: u64,
+}
+
+impl EngineMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &EngineMetrics) {
+        self.events += o.events;
+        self.instructions += o.instructions;
+        self.smt_queries += o.smt_queries;
+        self.lia_queries += o.lia_queries;
+        self.obligations += o.obligations;
+        self.vacuous_branches += o.vacuous_branches;
+    }
+}
+
+/// Certificate-replay counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertMetrics {
+    /// Obligations replayed.
+    pub replayed: u64,
+    /// … of which bitvector entailments.
+    pub bv: u64,
+    /// … of which LIA entailments.
+    pub lia: u64,
+    /// Paranoid-solver activity during replay.
+    pub solver: SolverMetrics,
+}
+
+impl CertMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &CertMetrics) {
+        self.replayed += o.replayed;
+        self.bv += o.bv;
+        self.lia += o.lia;
+        self.solver.absorb(&o.solver);
+    }
+}
+
+/// The per-case, per-stage counter profile: everything `fig12 --profile`
+/// prints for one Fig. 12 row. All fields are deterministic counters —
+/// no wall-clock — so the rendering is byte-identical across `--jobs N`,
+/// sequential, and warm-cache runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseProfile {
+    /// Mini-Sail model interpretation (symbolic, inside Isla).
+    pub sail: SailMetrics,
+    /// Symbolic execution.
+    pub isla: IslaMetrics,
+    /// Solver activity during symbolic execution (branch pruning).
+    pub isla_smt: SolverMetrics,
+    /// Proof automation.
+    pub engine: EngineMetrics,
+    /// Solver activity during proof automation.
+    pub engine_smt: SolverMetrics,
+    /// Certificate replay.
+    pub cert: CertMetrics,
+    /// Trace-cache traffic while building the case.
+    pub cache: CacheMetrics,
+}
+
+impl CaseProfile {
+    /// Renders this profile as the per-stage block of the profile table.
+    /// Every pipeline stage appears on its own `  <stage>:` line (the CI
+    /// smoke greps for each stage name).
+    #[must_use]
+    pub fn render(&self, case: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("case {case}\n"));
+        s.push_str(&format!(
+            "  sail    : steps={} calls={}\n",
+            self.sail.steps, self.sail.calls
+        ));
+        s.push_str(&format!(
+            "  isla    : runs={} branches_explored={} branches_pruned={} smt_queries={} events={}\n",
+            self.isla.runs,
+            self.isla.branches_explored,
+            self.isla.branches_pruned,
+            self.isla.smt_queries,
+            self.isla.events
+        ));
+        s.push_str(&format!("  isla.smt: {}\n", self.isla_smt.render()));
+        s.push_str(&format!(
+            "  engine  : events={} instructions={} smt_queries={} lia_queries={} obligations={} \
+             vacuous_branches={}\n",
+            self.engine.events,
+            self.engine.instructions,
+            self.engine.smt_queries,
+            self.engine.lia_queries,
+            self.engine.obligations,
+            self.engine.vacuous_branches
+        ));
+        s.push_str(&format!("  eng.smt : {}\n", self.engine_smt.render()));
+        s.push_str(&format!(
+            "  cert    : replayed={} bv={} lia={}\n",
+            self.cert.replayed, self.cert.bv, self.cert.lia
+        ));
+        s.push_str(&format!("  cert.smt: {}\n", self.cert.solver.render()));
+        s.push_str(&format!(
+            "  cache   : hits={} misses={}\n",
+            self.cache.hits, self.cache.misses
+        ));
+        s
+    }
+}
+
+/// Renders the whole profile table (one [`CaseProfile::render`] block per
+/// case, in the given order).
+#[must_use]
+pub fn render_profiles(cases: &[(String, CaseProfile)]) -> String {
+    let mut s = String::new();
+    for (name, p) in cases {
+        s.push_str(&p.render(name));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One closed wall-clock span, timestamped in microseconds relative to
+/// the owning recorder's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"verify:hvc"`).
+    pub name: String,
+    /// Category (e.g. `"pipeline"`, `"case"`).
+    pub cat: &'static str,
+    /// Start offset from the recorder epoch, µs.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Logical thread id (0 = main, n = `islaris-worker-n`).
+    pub tid: u32,
+}
+
+/// Anything that can accept closed spans. [`Recorder`] is the only
+/// implementation in-tree; the trait exists so call sites stay decoupled
+/// from the storage policy.
+pub trait SpanSink: Sync {
+    /// Records one closed span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// Collects spans from any thread. Cheap to share (`&Recorder` is `Sync`);
+/// when profiling is off, callers hold `None` and pay only an `Option`
+/// branch — this type is never constructed.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The recorder's epoch (spans are timestamped relative to it).
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Opens a span now; it closes (and is recorded) when the guard drops.
+    /// The logical thread id is derived from the current thread's name
+    /// (`islaris-worker-n` → `n`, anything else → 0).
+    #[must_use]
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            rec: self,
+            name: name.into(),
+            cat,
+            start: Instant::now(),
+            tid: current_tid(),
+        }
+    }
+
+    /// Records a span from explicit instants (both must be at or after
+    /// the epoch).
+    pub fn record_between(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        end: Instant,
+    ) {
+        let ts_us = us_between(self.epoch, start);
+        let dur_us = us_between(start, end);
+        self.record(SpanRecord {
+            name: name.into(),
+            cat,
+            ts_us,
+            dur_us,
+            tid: current_tid(),
+        });
+    }
+
+    /// All spans recorded so far, sorted by (start, tid, name) so the
+    /// ordering does not depend on lock-acquisition order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut v = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        v.sort_by(|a, b| {
+            (a.ts_us, a.tid, &a.name, a.dur_us).cmp(&(b.ts_us, b.tid, &b.name, b.dur_us))
+        });
+        v
+    }
+
+    /// Exports every span as Chrome trace-event JSON (`chrome://tracing`
+    /// / Perfetto "JSON Array with metadata" format, complete `X` events).
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, sp) in spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                escape_json(&sp.name),
+                escape_json(sp.cat),
+                sp.ts_us,
+                sp.dur_us,
+                sp.tid
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl SpanSink for Recorder {
+    fn record(&self, span: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(span);
+    }
+}
+
+/// RAII guard from [`Recorder::span`]: records the span on drop.
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    name: String,
+    cat: &'static str,
+    start: Instant,
+    tid: u32,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let ts_us = us_between(self.rec.epoch, self.start);
+        let dur_us = us_between(self.start, Instant::now());
+        self.rec.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            ts_us,
+            dur_us,
+            tid: self.tid,
+        });
+    }
+}
+
+fn us_between(earlier: Instant, later: Instant) -> u64 {
+    later
+        .checked_duration_since(earlier)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+fn current_tid() -> u32 {
+    std::thread::current()
+        .name()
+        .and_then(|n| n.strip_prefix("islaris-worker-"))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON validation (for the CI profile smoke)
+// ---------------------------------------------------------------------------
+
+/// Validates that `s` is one complete JSON value (object, array, string,
+/// number, `true`/`false`/`null`) with nothing but whitespace after it.
+/// A recursive-descent scanner, not a parser: it builds no tree, it only
+/// accepts or rejects — enough for the CI smoke to assert the emitted
+/// Chrome trace is well-formed without external tooling.
+///
+/// # Errors
+///
+/// Returns `(byte offset, message)` for the first violation.
+pub fn validate_json(s: &str) -> Result<(), (usize, String)> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    json_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err((i, "trailing content after JSON value".into()));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn json_value(b: &[u8], i: &mut usize) -> Result<(), (usize, String)> {
+    match b.get(*i) {
+        Some(b'{') => json_object(b, i),
+        Some(b'[') => json_array(b, i),
+        Some(b'"') => json_string(b, i),
+        Some(b't') => json_lit(b, i, "true"),
+        Some(b'f') => json_lit(b, i, "false"),
+        Some(b'n') => json_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => json_number(b, i),
+        Some(c) => Err((*i, format!("unexpected byte {:?}", *c as char))),
+        None => Err((*i, "unexpected end of input".into())),
+    }
+}
+
+fn json_object(b: &[u8], i: &mut usize) -> Result<(), (usize, String)> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        json_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err((*i, "expected ':' in object".into()));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        json_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err((*i, "expected ',' or '}' in object".into())),
+        }
+    }
+}
+
+fn json_array(b: &[u8], i: &mut usize) -> Result<(), (usize, String)> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        json_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err((*i, "expected ',' or ']' in array".into())),
+        }
+    }
+}
+
+fn json_string(b: &[u8], i: &mut usize) -> Result<(), (usize, String)> {
+    if b.get(*i) != Some(&b'"') {
+        return Err((*i, "expected string".into()));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err((*i, "bad \\u escape".into()));
+                            }
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err((*i, "bad escape".into())),
+                }
+            }
+            0x00..=0x1f => return Err((*i, "raw control character in string".into())),
+            _ => *i += 1,
+        }
+    }
+    Err((*i, "unterminated string".into()))
+}
+
+fn json_number(b: &[u8], i: &mut usize) -> Result<(), (usize, String)> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err((start, "malformed number".into()));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err((start, "malformed number".into()));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err((start, "malformed number".into()));
+        }
+    }
+    Ok(())
+}
+
+fn json_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), (usize, String)> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err((*i, format!("expected `{lit}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashing (certificate digests)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte string: the in-tree stable hash used for
+/// certificate order digests (nothing cryptographic — tamper *evidence*,
+/// not tamper *proofing*; the semantic re-check is the real gate).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_metrics_absorb_sums_fields() {
+        let mut a = SolverMetrics {
+            queries: 1,
+            sat: 1,
+            propagations: 10,
+            ..Default::default()
+        };
+        let b = SolverMetrics {
+            queries: 2,
+            unsat: 1,
+            decisions: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.sat, 1);
+        assert_eq!(a.unsat, 1);
+        assert_eq!(a.propagations, 10);
+        assert_eq!(a.decisions, 4);
+    }
+
+    #[test]
+    fn cache_metrics_rates() {
+        let c = CacheMetrics { hits: 3, misses: 1 };
+        assert_eq!(c.lookups(), 4);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheMetrics::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn profile_render_mentions_every_stage() {
+        let r = CaseProfile::default().render("hvc");
+        for stage in [
+            "sail", "isla", "isla.smt", "engine", "eng.smt", "cert", "cache",
+        ] {
+            assert!(r.contains(stage), "missing stage {stage} in {r}");
+        }
+        assert!(r.starts_with("case hvc\n"));
+    }
+
+    #[test]
+    fn recorder_collects_and_exports_spans() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.span("outer", "test");
+            let _h = rec.span("inner", "test");
+        }
+        let t0 = Instant::now();
+        rec.record_between("explicit", "test", t0, t0);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        let json = rec.chrome_trace();
+        validate_json(&json).expect("chrome trace is valid JSON");
+        assert!(json.contains("\"name\":\"outer\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn span_names_are_escaped() {
+        let rec = Recorder::new();
+        drop(rec.span("we\"ird\\name\n", "test"));
+        let json = rec.chrome_trace();
+        validate_json(&json).expect("escaped trace is valid JSON");
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "  {\"a\": [1, 2.5, -3e4, \"x\\u00ff\", true, false, null]}  ",
+            "\"lone string\"",
+            "-0.5",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e:?}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "01e",
+            "nul",
+            "{'single': 1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn worker_thread_names_map_to_tids() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let r2 = rec.clone();
+        std::thread::Builder::new()
+            .name("islaris-worker-7".into())
+            .spawn(move || drop(r2.span("in-worker", "test")))
+            .expect("spawn")
+            .join()
+            .expect("join");
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].tid, 7);
+    }
+}

@@ -5,10 +5,12 @@
 //! against a register/memory state — the analogue of running the
 //! Sail-generated Coq definitions.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use islaris_bv::Bv;
+use islaris_obs::SailMetrics;
 
 use crate::ast::{Binop, Expr, LValue, Pattern, Stmt, Ty, Unop};
 use crate::check::CheckedModel;
@@ -180,6 +182,10 @@ const MAX_CALL_DEPTH: u32 = 64;
 pub struct Interp<'m> {
     cm: &'m CheckedModel,
     consts: HashMap<String, CVal>,
+    // Deterministic effort counters (Cells: `call` takes `&self`). These
+    // count work, not wall time, so they are byte-identical across runs.
+    steps: Cell<u64>,
+    calls: Cell<u64>,
 }
 
 impl<'m> Interp<'m> {
@@ -192,6 +198,8 @@ impl<'m> Interp<'m> {
         let mut interp = Interp {
             cm,
             consts: HashMap::new(),
+            steps: Cell::new(0),
+            calls: Cell::new(0),
         };
         // Constants may refer to earlier constants.
         for c in &cm.model.consts {
@@ -208,6 +216,23 @@ impl<'m> Interp<'m> {
             interp.consts.insert(c.name.clone(), v);
         }
         Ok(interp)
+    }
+
+    /// Evaluation-effort counters accumulated so far: `steps` counts
+    /// expression evaluations, `calls` counts function invocations
+    /// (top-level and user-to-user; builtins are counted as steps only).
+    #[must_use]
+    pub fn metrics(&self) -> SailMetrics {
+        SailMetrics {
+            steps: self.steps.get(),
+            calls: self.calls.get(),
+        }
+    }
+
+    /// Resets the effort counters to zero.
+    pub fn reset_metrics(&self) {
+        self.steps.set(0);
+        self.calls.set(0);
     }
 
     /// Calls a model function with the given arguments.
@@ -229,6 +254,7 @@ impl<'m> Interp<'m> {
         if f.params.len() != args.len() {
             return rt_err(format!("arity mismatch calling `{name}`"));
         }
+        self.calls.set(self.calls.get() + 1);
         let locals: HashMap<String, CVal> = f
             .params
             .iter()
@@ -248,6 +274,7 @@ impl<'m> Interp<'m> {
     }
 
     fn eval(&self, e: &Expr, fr: &mut Frame<'_, '_>) -> Result<Flow, InterpError> {
+        self.steps.set(self.steps.get() + 1);
         macro_rules! val {
             ($e:expr) => {
                 match self.eval($e, fr)? {
@@ -467,6 +494,7 @@ impl<'m> Interp<'m> {
         if fr.depth >= MAX_CALL_DEPTH {
             return rt_err(format!("call depth exceeded calling `{name}`"));
         }
+        self.calls.set(self.calls.get() + 1);
         let Some(f) = self.cm.model.function(name) else {
             return rt_err(format!("unknown function `{name}`"));
         };
@@ -687,6 +715,31 @@ mod tests {
             )
             .expect("runs");
         assert_eq!(v, CVal::Bits(Bv::new(64, 0xabc000)));
+    }
+
+    #[test]
+    fn metrics_count_steps_and_calls_deterministically() {
+        let cm = setup(
+            "register R : bits(64)
+             function helper(x : bits(64)) -> bits(64) = x + 0x0000000000000001
+             function f() -> unit = { R = helper(helper(R)); }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        let mut mem = MapMem::default();
+        assert_eq!(interp.metrics(), SailMetrics::default());
+        interp.call("f", &[], &mut st, &mut mem).expect("runs");
+        let first = interp.metrics();
+        // f + 2× helper.
+        assert_eq!(first.calls, 3);
+        assert!(first.steps > 0, "eval steps recorded");
+        // A second identical run adds exactly the same effort.
+        interp.call("f", &[], &mut st, &mut mem).expect("runs");
+        let second = interp.metrics();
+        assert_eq!(second.calls, 2 * first.calls);
+        assert_eq!(second.steps, 2 * first.steps);
+        interp.reset_metrics();
+        assert_eq!(interp.metrics(), SailMetrics::default());
     }
 
     #[test]

@@ -79,6 +79,24 @@ impl Blaster {
         self.sat.original_clauses()
     }
 
+    /// Unit propagations performed by the backing SAT solver.
+    #[must_use]
+    pub fn sat_propagations(&self) -> u64 {
+        self.sat.propagation_count()
+    }
+
+    /// Decisions taken by the backing SAT solver.
+    #[must_use]
+    pub fn sat_decisions(&self) -> u64 {
+        self.sat.decision_count()
+    }
+
+    /// Conflicts hit by the backing SAT solver.
+    #[must_use]
+    pub fn sat_conflicts(&self) -> u64 {
+        self.sat.conflict_count()
+    }
+
     /// A literal constrained to be true.
     fn lit_true(&mut self) -> Lit {
         if let Some(l) = self.true_lit {

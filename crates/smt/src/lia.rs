@@ -120,6 +120,20 @@ impl LinTerm {
         self.is_constant().then_some(self.konst)
     }
 
+    /// The coefficient pairs `(var, coeff)` in ascending variable order.
+    ///
+    /// Zero coefficients are never stored, so the iteration is a canonical
+    /// rendering of the term (used by certificate serialisation).
+    pub fn terms(&self) -> impl Iterator<Item = (IVar, i128)> + '_ {
+        self.coeffs.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// The constant part `k` of `Σ coeff·var + k`.
+    #[must_use]
+    pub fn constant_part(&self) -> i128 {
+        self.konst
+    }
+
     fn coeff(&self, v: IVar) -> i128 {
         self.coeffs.get(&v).copied().unwrap_or(0)
     }

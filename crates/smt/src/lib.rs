@@ -37,4 +37,11 @@ pub mod solver;
 pub use eval::{eval, eval_bits, eval_bool, EvalError};
 pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
 pub use simplify::{simplify, simplify_with, width_of, width_of_with, WidthOracle};
-pub use solver::{check_sat, entails, maybe_sat, Model, SmtResult, SolverConfig};
+pub use solver::{
+    check_sat, check_sat_metered, entails, entails_metered, maybe_sat, maybe_sat_metered, Model,
+    SmtResult, SolverConfig,
+};
+
+/// Re-export of the shared solver-counter record, so downstream crates
+/// can name it without depending on `islaris-obs` directly.
+pub use islaris_obs::SolverMetrics;

@@ -137,6 +137,8 @@ pub struct SatSolver {
     /// Set when an added clause is immediately contradictory.
     root_conflict: bool,
     conflicts: u64,
+    propagations: u64,
+    decisions: u64,
     /// Verbatim copies of the input clauses (including units), kept for
     /// RUP proof checking.
     original: Vec<Vec<Lit>>,
@@ -183,6 +185,18 @@ impl SatSolver {
     #[must_use]
     pub fn conflict_count(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Number of clause-driven unit propagations performed so far.
+    #[must_use]
+    pub fn propagation_count(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Number of decisions taken so far.
+    #[must_use]
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
     }
 
     /// Adds a clause. Must be called before [`SatSolver::solve`]; duplicate
@@ -272,7 +286,10 @@ impl SatSolver {
                 match self.value(first) {
                     Some(false) => return Some(ci),
                     Some(true) => unreachable!("handled above"),
-                    None => self.enqueue(first, ci),
+                    None => {
+                        self.propagations += 1;
+                        self.enqueue(first, ci);
+                    }
                 }
                 i += 1;
             }
@@ -473,6 +490,7 @@ impl SatSolver {
                         return Some(SatOutcome::Sat(model));
                     }
                     Some(l) => {
+                        self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(l, u32::MAX);
                     }

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use islaris_obs::SolverMetrics;
+
 use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
 use crate::expr::{Expr, Sort, Value, Var};
@@ -105,16 +107,38 @@ pub fn check_sat(
     sorts: &dyn Fn(Var) -> Option<Sort>,
     cfg: &SolverConfig,
 ) -> SmtResult {
+    check_sat_metered(assumptions, sorts, cfg, &mut SolverMetrics::default())
+}
+
+/// [`check_sat`] with typed counters: every query records its outcome,
+/// the CNF size produced by bit-blasting, and the SAT solver's
+/// propagation/decision/conflict effort into `m`. The answer is identical
+/// to [`check_sat`]'s; the counters are deterministic (the solver has no
+/// randomness), so profiles built from them are byte-comparable across
+/// runs.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn check_sat_metered(
+    assumptions: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+) -> SmtResult {
+    m.queries += 1;
     let mut simplified = Vec::with_capacity(assumptions.len());
     for a in assumptions {
         let s = simplify(a);
         match s.as_bool() {
             Some(true) => continue,
-            Some(false) => return SmtResult::Unsat,
+            Some(false) => {
+                m.unsat += 1;
+                return SmtResult::Unsat;
+            }
             None => simplified.push(s),
         }
     }
     if simplified.is_empty() {
+        m.sat += 1;
         return SmtResult::Sat(Model::default());
     }
 
@@ -122,12 +146,27 @@ pub fn check_sat(
     for a in &simplified {
         match blaster.assert_expr(a, sorts) {
             Ok(()) => {}
-            Err(BlastError::Unsupported(msg)) => return SmtResult::Unknown(msg),
-            Err(e) => return SmtResult::Unknown(e.to_string()),
+            Err(BlastError::Unsupported(msg)) => {
+                m.unknown += 1;
+                return SmtResult::Unknown(msg);
+            }
+            Err(e) => {
+                m.unknown += 1;
+                return SmtResult::Unknown(e.to_string());
+            }
         }
     }
-    match blaster.solve_limited(cfg.max_conflicts) {
-        None => SmtResult::Unknown(format!("conflict budget {} exhausted", cfg.max_conflicts)),
+    m.cnf_vars += u64::from(blaster.sat_num_vars());
+    m.cnf_clauses += blaster.sat_original_clauses().len() as u64;
+    let outcome = blaster.solve_limited(cfg.max_conflicts);
+    m.propagations += blaster.sat_propagations();
+    m.decisions += blaster.sat_decisions();
+    m.conflicts += blaster.sat_conflicts();
+    match outcome {
+        None => {
+            m.unknown += 1;
+            SmtResult::Unknown(format!("conflict budget {} exhausted", cfg.max_conflicts))
+        }
         Some(SatOutcome::Sat(bits)) => {
             let mut model = Model::default();
             for v in blaster.encoded_vars().collect::<Vec<_>>() {
@@ -138,6 +177,7 @@ pub fn check_sat(
             // Verify the model by evaluation. Variables the encoder never
             // saw (eliminated by simplification) default per sort; this is
             // sound because simplification preserves semantics.
+            m.model_verifies += 1;
             let env = |v: Var| {
                 model.get(v).or_else(|| match sorts(v) {
                     Some(Sort::Bool) => Some(Value::Bool(false)),
@@ -150,12 +190,14 @@ pub fn check_sat(
                     Ok(true) => {}
                     other => {
                         debug_assert!(false, "model fails to satisfy {a}: {other:?}");
+                        m.unknown += 1;
                         return SmtResult::Unknown(format!(
                             "internal error: model verification failed on {a}"
                         ));
                     }
                 }
             }
+            m.sat += 1;
             SmtResult::Sat(model)
         }
         Some(SatOutcome::Unsat(proof)) => {
@@ -167,9 +209,11 @@ pub fn check_sat(
                 );
                 if !ok {
                     debug_assert!(false, "RUP proof failed to check");
+                    m.unknown += 1;
                     return SmtResult::Unknown("internal error: RUP proof invalid".into());
                 }
             }
+            m.unsat += 1;
             SmtResult::Unsat
         }
     }
@@ -187,9 +231,21 @@ pub fn entails(
     sorts: &dyn Fn(Var) -> Option<Sort>,
     cfg: &SolverConfig,
 ) -> bool {
+    entails_metered(facts, goal, sorts, cfg, &mut SolverMetrics::default())
+}
+
+/// [`entails`] with typed counters (see [`check_sat_metered`]).
+#[must_use]
+pub fn entails_metered(
+    facts: &[Expr],
+    goal: &Expr,
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+) -> bool {
     let mut q: Vec<Expr> = facts.to_vec();
     q.push(Expr::not(goal.clone()));
-    check_sat(&q, sorts, cfg).is_unsat()
+    check_sat_metered(&q, sorts, cfg, m).is_unsat()
 }
 
 /// Can `facts ∧ extra` hold? `Unknown` counts as *possibly satisfiable*
@@ -197,6 +253,17 @@ pub fn entails(
 #[must_use]
 pub fn maybe_sat(facts: &[Expr], sorts: &dyn Fn(Var) -> Option<Sort>, cfg: &SolverConfig) -> bool {
     !check_sat(facts, sorts, cfg).is_unsat()
+}
+
+/// [`maybe_sat`] with typed counters (see [`check_sat_metered`]).
+#[must_use]
+pub fn maybe_sat_metered(
+    facts: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+) -> bool {
+    !check_sat_metered(facts, sorts, cfg, m).is_unsat()
 }
 
 #[cfg(test)]
@@ -277,6 +344,44 @@ mod tests {
             check_sat(&q, &sorts64, &cfg()),
             SmtResult::Unknown(_)
         ));
+    }
+
+    #[test]
+    fn metered_queries_count_outcomes_and_effort() {
+        let x = Expr::var(Var(0));
+        let mut m = SolverMetrics::default();
+        // One sat query (with a model verify), one unsat, one unknown.
+        let sat_q = [Expr::eq(x.clone(), Expr::bv(64, 42))];
+        assert!(check_sat_metered(&sat_q, &sorts64, &cfg(), &mut m).is_sat());
+        assert!(check_sat_metered(&[Expr::bool(false)], &sorts64, &cfg(), &mut m).is_unsat());
+        let div = [Expr::eq(
+            Expr::binop(crate::expr::BvBinop::Udiv, x.clone(), x.clone()),
+            Expr::bv(64, 1),
+        )];
+        assert!(matches!(
+            check_sat_metered(&div, &sorts64, &cfg(), &mut m),
+            SmtResult::Unknown(_)
+        ));
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.sat, 1);
+        assert_eq!(m.unsat, 1);
+        assert_eq!(m.unknown, 1);
+        assert_eq!(m.model_verifies, 1);
+        assert!(m.cnf_vars > 0, "sat query must have been blasted");
+        assert!(m.cnf_clauses > 0);
+        assert!(m.propagations > 0, "blasted query must propagate");
+        // Metered and unmetered answers agree.
+        let mut m2 = SolverMetrics::default();
+        assert_eq!(
+            check_sat(&sat_q, &sorts64, &cfg()),
+            check_sat_metered(&sat_q, &sorts64, &cfg(), &mut m2)
+        );
+        // entails_metered counts exactly one query.
+        let mut m3 = SolverMetrics::default();
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 43));
+        assert!(entails_metered(&sat_q, &goal, &sorts64, &cfg(), &mut m3));
+        assert_eq!(m3.queries, 1);
+        assert_eq!(m3.unsat, 1);
     }
 
     #[test]

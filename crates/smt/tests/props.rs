@@ -143,6 +143,22 @@ fn simplify_preserves_semantics() {
     );
 }
 
+/// simplify is idempotent: a second pass is the identity, so the
+/// rewriter really reaches a normal form instead of oscillating.
+#[test]
+fn simplify_is_idempotent() {
+    forall("simplify_is_idempotent", CASES, bool_expr, |e| {
+        let once = simplify_with(e, &widths);
+        let twice = simplify_with(&once, &widths);
+        prop_eq!(
+            once,
+            twice,
+            format!("e = {e}, once = {once}, twice = {twice}")
+        );
+        TestResult::Pass
+    });
+}
+
 /// If evaluation under a concrete environment says true, the formula is
 /// satisfiable, and check_sat's model satisfies it.
 #[test]

@@ -95,6 +95,7 @@ fn tampered_certificates_fail() {
     check_certificate(good).expect("valid");
 
     let mut tampered = good.clone();
+    tampered.digest = None; // bypass the order seal: test the replay itself
     tampered.obligations.push(Obligation::Bv {
         facts: vec![],
         goal: Expr::eq(Expr::var(Var(0)), Expr::bv(64, 1)),
@@ -105,6 +106,7 @@ fn tampered_certificates_fail() {
 
     let subset = Certificate {
         obligations: good.obligations[..2.min(good.obligations.len())].to_vec(),
+        digest: None,
     };
     check_certificate(&subset).expect("a prefix still re-proves");
 }
@@ -164,6 +166,7 @@ fn certificate_mutation_family_fails() {
     ];
     for (label, mutate, index) in table {
         let mut tampered = good.clone();
+        tampered.digest = None; // each row tests replay, not the order seal
         mutate(&mut tampered);
         let err = check_certificate(&tampered)
             .expect_err(&format!("{label}: mutated certificate must fail"));
@@ -172,6 +175,126 @@ fn certificate_mutation_family_fails() {
             err.index, expected,
             "{label}: failed at the wrong obligation"
         );
+    }
+}
+
+/// Family: per-field certificate mutations on a synthetic sealed
+/// certificate where every fact is load-bearing. One row per
+/// [`Obligation`] variant and per certificate field — a dropped fact
+/// (both variants), a swapped goal, a corrupted sort, and reordered
+/// obligations — and each row is rejected with a *distinct* error: the
+/// index of the broken obligation, or [`DIGEST_MISMATCH`] for the order
+/// seal.
+#[test]
+fn certificate_field_mutation_family_fails() {
+    use islaris::logic::DIGEST_MISMATCH;
+    use islaris_smt::lia::{IVar, LinAtom, LinTerm};
+    use islaris_smt::BvCmp;
+
+    let synthetic = || {
+        let x = Expr::var(Var(0));
+        let y = Expr::var(Var(1));
+        Certificate::sealed(vec![
+            // 0: bv over x; the goal only follows from the fact.
+            Obligation::Bv {
+                facts: vec![Expr::eq(x.clone(), Expr::bv(64, 5))],
+                goal: Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 6)),
+                sorts: vec![(Var(0), Sort::BitVec(64))],
+            },
+            // 1: bv over y, same shape, disjoint variable.
+            Obligation::Bv {
+                facts: vec![Expr::eq(y.clone(), Expr::bv(64, 10))],
+                goal: Expr::cmp(BvCmp::Ult, y.clone(), Expr::bv(64, 11)),
+                sorts: vec![(Var(1), Sort::BitVec(64))],
+            },
+            // 2: lia; again the goal needs the fact.
+            Obligation::Lia {
+                facts: vec![LinAtom::Le(LinTerm::var(IVar(0)), LinTerm::constant(3))],
+                goal: LinAtom::Le(LinTerm::var(IVar(0)), LinTerm::constant(4)),
+            },
+        ])
+    };
+    check_certificate(&synthetic()).expect("the synthetic certificate is valid");
+
+    // (label, unseal before mutating?, mutator, expected error index)
+    type Mutator = fn(&mut Certificate);
+    let table: &[(&str, bool, Mutator, usize)] = &[
+        (
+            "dropped_bv_fact",
+            true,
+            |c| {
+                let Obligation::Bv { facts, .. } = &mut c.obligations[0] else {
+                    panic!("obligation 0 is bv");
+                };
+                facts.clear();
+            },
+            0,
+        ),
+        (
+            "dropped_lia_fact",
+            true,
+            |c| {
+                let Obligation::Lia { facts, .. } = &mut c.obligations[2] else {
+                    panic!("obligation 2 is lia");
+                };
+                facts.clear();
+            },
+            2,
+        ),
+        (
+            "swapped_goal",
+            true,
+            |c| {
+                // Give obligation 0 the goal of obligation 1: `y < 11`
+                // does not follow from `x = 5` (y is unconstrained, and
+                // not even sorted in obligation 0).
+                let Obligation::Bv { goal: g1, .. } = &c.obligations[1] else {
+                    panic!("obligation 1 is bv");
+                };
+                let g1 = g1.clone();
+                let Obligation::Bv { goal, .. } = &mut c.obligations[0] else {
+                    panic!("obligation 0 is bv");
+                };
+                *goal = g1;
+            },
+            0,
+        ),
+        (
+            "wrong_sort",
+            true,
+            |c| {
+                let Obligation::Bv { sorts, .. } = &mut c.obligations[1] else {
+                    panic!("obligation 1 is bv");
+                };
+                sorts[0].1 = Sort::BitVec(8); // 64-bit goal, 8-bit variable
+            },
+            1,
+        ),
+        (
+            "reordered_obligations",
+            false, // the order seal is exactly what this row tests
+            |c| c.obligations.swap(0, 1),
+            DIGEST_MISMATCH,
+        ),
+    ];
+    for (label, unseal, mutate, expected) in table {
+        let mut tampered = synthetic();
+        if *unseal {
+            tampered.digest = None;
+        }
+        mutate(&mut tampered);
+        let err = check_certificate(&tampered)
+            .expect_err(&format!("{label}: mutated certificate must fail"));
+        assert_eq!(err.index, *expected, "{label}: wrong error index");
+        if *expected == DIGEST_MISMATCH {
+            assert!(err.obligation.contains("digest mismatch"), "{label}: {err}");
+        } else {
+            assert!(
+                err.to_string()
+                    .contains(&format!("at obligation {expected}")),
+                "{label}: error does not name the obligation: {err}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,162 @@
+//! Golden-certificate snapshot tests: the canonical rendered certificate
+//! of every Fig. 12 case is committed under `tests/golden/`. Each test
+//! re-verifies its case, diffs the freshly rendered certificates against
+//! the golden file, and then replays the *committed* certificates through
+//! the independent checker — so the goldens stay both current (any
+//! engine change shows up as a diff) and sound (what is committed really
+//! re-proves).
+//!
+//! To regenerate after an intentional engine change:
+//!
+//! ```text
+//! ISLARIS_BLESS=1 cargo test --release --test golden
+//! ```
+
+use islaris::logic::{check_certificate, parse_certificate, render_certificate, Verifier};
+use islaris_cases::{CaseCtx, ALL_CASES};
+
+/// Renders every block certificate of a report, one `(certificate …)`
+/// form per block, preceded by a `; block` comment line and separated by
+/// blank lines.
+fn golden_render(report: &islaris::logic::Report) -> String {
+    let mut out = String::new();
+    for (i, b) in report.blocks.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("; block {:#x} spec {}\n", b.addr, b.spec));
+        out.push_str(&render_certificate(&b.cert));
+    }
+    out
+}
+
+/// Splits a golden file back into per-block certificate chunks, dropping
+/// `;` comment lines.
+fn golden_chunks(content: &str) -> Vec<String> {
+    content
+        .split("\n\n")
+        .map(|chunk| {
+            chunk
+                .lines()
+                .filter(|l| !l.trim_start().starts_with(';'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .filter(|c| !c.trim().is_empty())
+        .collect()
+}
+
+fn golden_path(name: &str, isa: &str) -> std::path::PathBuf {
+    let slug = format!("{name}_{isa}")
+        .to_lowercase()
+        .replace(['.', ' '], "_");
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{slug}.cert"))
+}
+
+fn check_case(index: usize) {
+    let def = &ALL_CASES[index];
+    let art = (def.build)(&CaseCtx::default());
+    let report = Verifier::new(art.prog_spec, art.protocol)
+        .verify_all()
+        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+    let rendered = golden_render(&report);
+    let path = golden_path(art.name, art.isa);
+
+    if std::env::var_os("ISLARIS_BLESS").is_some() {
+        std::fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\n\
+             regenerate with: ISLARIS_BLESS=1 cargo test --release --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "case `{}` ({}): rendered certificates differ from {}\n\
+         if the engine change is intentional, regenerate with:\n\
+         ISLARIS_BLESS=1 cargo test --release --test golden",
+        art.name,
+        art.isa,
+        path.display()
+    );
+
+    // Replay what is actually committed, independently of the fresh run.
+    let chunks = golden_chunks(&golden);
+    assert_eq!(
+        chunks.len(),
+        report.blocks.len(),
+        "golden file has one certificate per verified block"
+    );
+    for (i, chunk) in chunks.iter().enumerate() {
+        let cert = parse_certificate(chunk).unwrap_or_else(|e| {
+            panic!(
+                "{} block {i}: committed certificate does not parse: {e}",
+                path.display()
+            )
+        });
+        assert!(
+            cert.digest.is_some(),
+            "{} block {i}: committed certificate is unsealed",
+            path.display()
+        );
+        check_certificate(&cert).unwrap_or_else(|e| {
+            panic!(
+                "{} block {i}: committed certificate does not re-prove: {e}",
+                path.display()
+            )
+        });
+    }
+}
+
+#[test]
+fn golden_memcpy_arm() {
+    check_case(0);
+}
+
+#[test]
+fn golden_memcpy_riscv() {
+    check_case(1);
+}
+
+#[test]
+fn golden_hvc() {
+    check_case(2);
+}
+
+#[test]
+fn golden_pkvm() {
+    check_case(3);
+}
+
+#[test]
+fn golden_unaligned() {
+    check_case(4);
+}
+
+#[test]
+fn golden_uart() {
+    check_case(5);
+}
+
+#[test]
+fn golden_rbit() {
+    check_case(6);
+}
+
+#[test]
+fn golden_binsearch_arm() {
+    check_case(7);
+}
+
+#[test]
+fn golden_binsearch_riscv() {
+    check_case(8);
+}

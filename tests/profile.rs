@@ -1,0 +1,90 @@
+//! The counter-determinism contract behind `fig12 --profile`: the
+//! per-case per-stage counter profile must be *byte-identical* across
+//! worker counts, and — for every stage except `cache`, whose hits and
+//! misses are precisely what cache state changes — across cache states
+//! too. Counters are plain integers threaded through the pipeline by
+//! value (never wall-clock derived), and trace cache hits replay the
+//! original run's statistics, so a sequential cold run, a 4-worker cold
+//! run, and a warm-cache run over the same cases must render exactly
+//! the same profile text modulo that one stage.
+
+use islaris_cases::{run_cases_with, ALL_CASES};
+use islaris_isla::TraceCache;
+use islaris_obs::render_profiles;
+
+/// Renders the full per-stage counter profile of one pipeline run over
+/// the first three Fig. 12 cases (two ISAs plus a branching case).
+fn profile_text(jobs: usize, cache: &TraceCache) -> String {
+    let report = run_cases_with(&ALL_CASES[..3], jobs, Some(cache), None);
+    assert!(report.all_ok(), "profiled cases must verify");
+    render_profiles(&report.profiles())
+}
+
+/// Drops the `cache` stage lines: the only stage whose counters are
+/// allowed to (and must) vary with cache state.
+fn without_cache_stage(profile: &str) -> String {
+    profile
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("cache"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn counter_profile_is_identical_across_jobs_and_cache_state() {
+    let sequential = profile_text(1, &TraceCache::new());
+    let parallel = profile_text(4, &TraceCache::new());
+
+    let shared = TraceCache::new();
+    let warm_prime = profile_text(1, &shared);
+    let warm = profile_text(1, &shared);
+
+    assert!(!sequential.is_empty(), "profile render must not be empty");
+    // Full byte identity across worker counts, cache stage included.
+    assert_eq!(
+        sequential, parallel,
+        "counter profile differs between 1 and 4 workers"
+    );
+    assert_eq!(
+        sequential, warm_prime,
+        "counter profile differs between fresh caches"
+    );
+    // Across cache states every stage but `cache` must be identical …
+    assert_eq!(
+        without_cache_stage(&sequential),
+        without_cache_stage(&warm),
+        "non-cache counters differ between cold and warm cache"
+    );
+    // … and `cache` itself must actually register the warm hits.
+    assert_ne!(
+        sequential, warm,
+        "warm run shows no cache-stage difference; hit replay is not exercised"
+    );
+}
+
+/// The profile names every pipeline stage for every case, so a stage
+/// that silently stops reporting (or a case that loses its profile)
+/// fails here rather than in downstream diffing.
+#[test]
+fn profile_reports_every_stage_for_every_case() {
+    let report = run_cases_with(&ALL_CASES[..3], 1, Some(&TraceCache::new()), None);
+    let profiles = report.profiles();
+    assert_eq!(profiles.len(), 3, "one profile per case");
+    let text = render_profiles(&profiles);
+    for stage in [
+        "sail    :",
+        "isla    :",
+        "isla.smt:",
+        "engine  :",
+        "eng.smt :",
+        "cert    :",
+        "cert.smt:",
+        "cache   :",
+    ] {
+        assert_eq!(
+            text.matches(stage).count(),
+            3,
+            "stage `{stage}` must appear once per case in:\n{text}"
+        );
+    }
+}
