@@ -38,4 +38,21 @@ for stage in 'sail    :' 'isla    :' 'isla.smt:' 'engine  :' 'eng.smt :' \
         || { echo "stage '$stage' missing from profile output"; exit 1; }
 done
 
+echo "== difftest smoke (fixed seed, small budget: zero divergences and"
+echo "   byte-identical reports across reruns and --jobs values) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --difftest --seed 1 --budget 120 > "$profile_out/diff1.txt"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --difftest --seed 1 --budget 120 --jobs 4 > "$profile_out/diff2.txt"
+cmp "$profile_out/diff1.txt" "$profile_out/diff2.txt" \
+    || { echo "difftest report depends on --jobs"; exit 1; }
+grep -q "divergences=0" "$profile_out/diff1.txt" \
+    || { echo "difftest found divergences on the shipped models"; exit 1; }
+grep -q "^coverage classes=29 " "$profile_out/diff1.txt" \
+    || { echo "difftest coverage lost decoder classes"; exit 1; }
+
+echo "== divergence report format (planted-bug test asserts the stable"
+echo "   counterexample shape the docs promise) =="
+cargo test --release -q --offline -p islaris-difftest --test planted_bug
+
 echo "CI OK"

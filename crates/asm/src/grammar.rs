@@ -1,0 +1,332 @@
+//! The decoders' instruction-class grammar, as mask/bits encoding
+//! classes.
+//!
+//! Each table below mirrors the corresponding model's `decode` dispatch
+//! *in decode order*: a class is `(mask, bits)` such that the decoder
+//! routes an opcode to the class iff `opcode & mask == bits` and no
+//! earlier class matched. That makes [`classify`] (first match wins)
+//! agree with the model's routing, so a fuzzer keying coverage on class
+//! names counts exactly the decoder's arms. The final `unallocated`
+//! catch-all (`mask == 0`) is the decoder's `exit()` arm.
+//!
+//! Every class also carries one known-good `seed` encoding (a canonical
+//! instruction of the class) as a starting point for mutation-based
+//! generation.
+
+/// One arm of a decoder dispatch: opcodes with `op & mask == bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingClass {
+    /// Class name, unique per architecture table.
+    pub name: &'static str,
+    /// Fixed-bit positions.
+    pub mask: u32,
+    /// Required values of the fixed bits.
+    pub bits: u32,
+    /// A canonical known-good encoding in the class, for mutation.
+    pub seed: u32,
+}
+
+impl EncodingClass {
+    /// Does `op` have this class's fixed bits?
+    #[must_use]
+    pub fn matches(&self, op: u32) -> bool {
+        op & self.mask == self.bits
+    }
+
+    /// Fills the class's free bits from `random`, keeping the fixed bits:
+    /// a structure-aware sample that is guaranteed to reach this decoder
+    /// arm unless an *earlier* arm shadows the result.
+    #[must_use]
+    pub fn sample(&self, random: u32) -> u32 {
+        self.bits | (random & !self.mask)
+    }
+}
+
+/// AArch64 fragment classes, in the `decode` order of `arm.sail`.
+pub const ARM_CLASSES: &[EncodingClass] = &[
+    EncodingClass {
+        name: "nop",
+        mask: 0xFFFF_FFFF,
+        bits: 0xD503_201F,
+        seed: 0xD503_201F,
+    },
+    EncodingClass {
+        name: "eret",
+        mask: 0xFFFF_FFFF,
+        bits: 0xD69F_03E0,
+        seed: 0xD69F_03E0,
+    },
+    EncodingClass {
+        name: "rbit",
+        mask: 0xFFFF_FC00,
+        bits: 0xDAC0_0000,
+        // rbit x0, x1
+        seed: 0xDAC0_0020,
+    },
+    EncodingClass {
+        name: "hvc",
+        mask: 0xFFE0_001F,
+        bits: 0xD400_0002,
+        seed: 0xD400_0002,
+    },
+    EncodingClass {
+        name: "msr_mrs",
+        mask: 0xFFD0_0000,
+        bits: 0xD510_0000,
+        // msr vbar_el2, x0
+        seed: 0xD51C_C000,
+    },
+    EncodingClass {
+        name: "addsub_imm",
+        mask: 0x1F80_0000,
+        bits: 0x1100_0000,
+        // add sp, sp, #0x40
+        seed: 0x9101_03FF,
+    },
+    EncodingClass {
+        name: "movewide",
+        mask: 0x1F80_0000,
+        bits: 0x1280_0000,
+        // movz x0, #0, lsl #16
+        seed: 0xD2A0_0000,
+    },
+    EncodingClass {
+        name: "ubfm",
+        mask: 0x1F80_0000,
+        bits: 0x1300_0000,
+        // lsr x0, x1, #4
+        seed: 0xD344_FC20,
+    },
+    EncodingClass {
+        name: "addsub_shiftreg",
+        mask: 0x1F20_0000,
+        bits: 0x0B00_0000,
+        // cmp x2, x3
+        seed: 0xEB03_005F,
+    },
+    EncodingClass {
+        name: "logical_shiftreg",
+        mask: 0x1F00_0000,
+        bits: 0x0A00_0000,
+        // mov x0, x1
+        seed: 0xAA01_03E0,
+    },
+    EncodingClass {
+        name: "load_store_uimm",
+        mask: 0x3F00_0000,
+        bits: 0x3900_0000,
+        // str x0, [x1]
+        seed: 0xF900_0020,
+    },
+    EncodingClass {
+        name: "load_store_regoff",
+        mask: 0x3F20_0C00,
+        bits: 0x3820_0800,
+        // ldrb w4, [x1, x3]
+        seed: 0x3863_6824,
+    },
+    EncodingClass {
+        name: "cbz",
+        mask: 0x7E00_0000,
+        bits: 0x3400_0000,
+        // cbz x0, #0
+        seed: 0xB400_0000,
+    },
+    EncodingClass {
+        name: "bcond",
+        mask: 0xFF00_0010,
+        bits: 0x5400_0000,
+        // b.ne #0
+        seed: 0x5400_0001,
+    },
+    EncodingClass {
+        name: "b_bl",
+        mask: 0x7C00_0000,
+        bits: 0x1400_0000,
+        // b #0
+        seed: 0x1400_0000,
+    },
+    EncodingClass {
+        name: "br_blr_ret",
+        mask: 0xFE00_0000,
+        bits: 0xD600_0000,
+        // ret
+        seed: 0xD65F_03C0,
+    },
+    EncodingClass {
+        name: "unallocated",
+        mask: 0,
+        bits: 0,
+        seed: 0,
+    },
+];
+
+/// RISC-V fragment classes, in the `decode` order of `riscv.sail` (all
+/// keyed on the 7-bit major opcode).
+pub const RISCV_CLASSES: &[EncodingClass] = &[
+    EncodingClass {
+        name: "lui",
+        mask: 0x7F,
+        bits: 0b011_0111,
+        // lui x1, 0x1
+        seed: 0x0000_10B7,
+    },
+    EncodingClass {
+        name: "auipc",
+        mask: 0x7F,
+        bits: 0b001_0111,
+        // auipc x1, 0
+        seed: 0x0000_0097,
+    },
+    EncodingClass {
+        name: "jal",
+        mask: 0x7F,
+        bits: 0b110_1111,
+        // jal x0, 0
+        seed: 0x0000_006F,
+    },
+    EncodingClass {
+        name: "jalr",
+        mask: 0x7F,
+        bits: 0b110_0111,
+        // ret (jalr x0, 0(x1))
+        seed: 0x0000_8067,
+    },
+    EncodingClass {
+        name: "branch",
+        mask: 0x7F,
+        bits: 0b110_0011,
+        // beq x0, x0, 0
+        seed: 0x0000_0063,
+    },
+    EncodingClass {
+        name: "load",
+        mask: 0x7F,
+        bits: 0b000_0011,
+        // lb x1, 0(x2)
+        seed: 0x0001_0083,
+    },
+    EncodingClass {
+        name: "store",
+        mask: 0x7F,
+        bits: 0b010_0011,
+        // sb x1, 0(x2)
+        seed: 0x0011_0023,
+    },
+    EncodingClass {
+        name: "op_imm",
+        mask: 0x7F,
+        bits: 0b001_0011,
+        // addi x1, x0, 1
+        seed: 0x0010_0093,
+    },
+    EncodingClass {
+        name: "op",
+        mask: 0x7F,
+        bits: 0b011_0011,
+        // add x1, x2, x3
+        seed: 0x0031_00B3,
+    },
+    EncodingClass {
+        name: "op_imm_32",
+        mask: 0x7F,
+        bits: 0b001_1011,
+        // addiw x1, x0, 1
+        seed: 0x0010_009B,
+    },
+    EncodingClass {
+        name: "op_32",
+        mask: 0x7F,
+        bits: 0b011_1011,
+        // addw x1, x2, x3
+        seed: 0x0031_00BB,
+    },
+    EncodingClass {
+        name: "unallocated",
+        mask: 0,
+        bits: 0,
+        seed: 0,
+    },
+];
+
+/// First-match classification, mirroring the decoder's if/else chain.
+/// The tables end with an always-matching `unallocated` catch-all, so
+/// every opcode classifies.
+#[must_use]
+pub fn classify(classes: &[EncodingClass], op: u32) -> &'static str {
+    classes
+        .iter()
+        .find(|c| c.matches(op))
+        .map_or("unallocated", |c| c.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_classifies_as_its_own_class() {
+        for table in [ARM_CLASSES, RISCV_CLASSES] {
+            for c in table {
+                assert_eq!(
+                    classify(table, c.seed),
+                    c.name,
+                    "seed {:#010x} shadowed by an earlier class",
+                    c.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_keep_the_fixed_bits() {
+        for table in [ARM_CLASSES, RISCV_CLASSES] {
+            for c in table {
+                for r in [0u32, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x0123_4567] {
+                    assert!(c.matches(c.sample(r)), "{} sample broke its mask", c.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_names_are_unique_and_catch_all_is_last() {
+        for table in [ARM_CLASSES, RISCV_CLASSES] {
+            let mut names: Vec<&str> = table.iter().map(|c| c.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), table.len());
+            let last = table.last().expect("nonempty");
+            assert_eq!((last.name, last.mask), ("unallocated", 0));
+        }
+    }
+
+    #[test]
+    fn classification_agrees_with_known_encodings() {
+        use crate::aarch64::{self, SysReg, XReg};
+        use crate::riscv::{self, Gpr};
+        let arm = |op| classify(ARM_CLASSES, op);
+        assert_eq!(arm(aarch64::nop()), "nop");
+        assert_eq!(arm(aarch64::eret()), "eret");
+        assert_eq!(arm(aarch64::ret(XReg(30))), "br_blr_ret");
+        assert_eq!(arm(aarch64::msr(SysReg::ELR_EL2, XReg(3))), "msr_mrs");
+        assert_eq!(arm(aarch64::mrs(XReg(3), SysReg::ESR_EL2)), "msr_mrs");
+        assert_eq!(
+            arm(aarch64::add_imm(XReg(1), XReg(2), 9).expect("encodes")),
+            "addsub_imm"
+        );
+        assert_eq!(
+            arm(aarch64::str_imm(XReg(0), XReg(1), 0).expect("encodes")),
+            "load_store_uimm"
+        );
+        let rv = |op| classify(RISCV_CLASSES, op);
+        assert_eq!(
+            rv(riscv::addi(Gpr(1), Gpr(0), 1).expect("encodes")),
+            "op_imm"
+        );
+        assert_eq!(rv(riscv::lui(Gpr(1), 1).expect("encodes")), "lui");
+        assert_eq!(rv(riscv::ret()), "jalr");
+        assert_eq!(rv(0), "unallocated");
+        assert_eq!(arm(0), "unallocated");
+    }
+}

@@ -28,7 +28,9 @@
 //! ```
 
 pub mod aarch64;
+pub mod grammar;
 pub mod ir;
 pub mod riscv;
 
+pub use grammar::{classify, EncodingClass, ARM_CLASSES, RISCV_CLASSES};
 pub use ir::{cond_name, Asm, AsmError, Program};

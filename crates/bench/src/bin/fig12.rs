@@ -20,6 +20,13 @@
 //!   *counter* profile (deterministic: byte-identical across worker
 //!   counts and cache states), and emits the wall-clock spans as Chrome
 //!   trace-event JSON (self-validated; written to PATH when given).
+//! * `--difftest [--seed S] [--budget N] [--jobs N]` — the differential
+//!   fuzzer: generates N opcodes from the decoder grammar (plus
+//!   mutations of known-good encodings), checks every symbolic trace
+//!   path against a concrete replay, and prints the deterministic
+//!   coverage/metrics table. Exits nonzero on any divergence, printing
+//!   each counterexample report. Output is byte-identical for a given
+//!   (seed, budget) across reruns and `--jobs` values.
 
 use std::process::exit;
 
@@ -29,7 +36,8 @@ use islaris_obs::{render_profiles, validate_json, Recorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig12 [--jobs N] [--bench [ITERS]] [--profile [--jobs N] [--profile-out PATH]]"
+        "usage: fig12 [--jobs N] [--bench [ITERS]] [--profile [--jobs N] [--profile-out PATH]] \
+         [--difftest [--seed S] [--budget N] [--jobs N]]"
     );
     exit(2);
 }
@@ -123,6 +131,18 @@ fn profile(jobs: usize, out_path: Option<&str>) {
     }
 }
 
+fn difftest(cfg: &islaris_difftest::FuzzConfig) {
+    let report = islaris_difftest::run_fuzz(cfg);
+    print!("{}", report.render());
+    if !report.divergences.is_empty() {
+        for d in &report.divergences {
+            eprint!("{}", d.render());
+        }
+        eprintln!("{} divergence(s) found", report.divergences.len());
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -165,6 +185,37 @@ fn main() {
                 }
             }
             profile(jobs, out_path.as_deref());
+        }
+        Some("--difftest") => {
+            let mut cfg = islaris_difftest::FuzzConfig::default();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        cfg.seed = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--budget" => {
+                        cfg.budget = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        cfg.jobs = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            difftest(&cfg);
         }
         Some(_) => usage(),
     }

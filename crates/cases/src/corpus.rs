@@ -1,0 +1,62 @@
+//! Known-good opcode corpora for the differential fuzzer.
+//!
+//! Every opcode that appears in a shipped case-study program, per
+//! architecture, deduplicated and sorted. These encodings are known to
+//! trace and verify end-to-end, which makes them high-value mutation
+//! bases: a single flipped bit usually lands in a neighbouring (still
+//! decodable) instruction rather than in `unallocated` space.
+
+use islaris_asm::Program;
+
+fn opcodes(programs: &[Program]) -> Vec<u32> {
+    let mut ops: Vec<u32> = programs
+        .iter()
+        .flat_map(|p| p.instrs.iter().map(|&(_, op)| op))
+        .collect();
+    ops.sort_unstable();
+    ops.dedup();
+    ops
+}
+
+/// All distinct AArch64 opcodes across the Arm case studies.
+#[must_use]
+pub fn arm() -> Vec<u32> {
+    opcodes(&[
+        crate::memcpy_arm::program(),
+        crate::binsearch_arm::program(),
+        crate::hvc::program(),
+        crate::pkvm::program(),
+        crate::rbit::program(),
+        crate::uart::program(),
+        crate::unaligned::program(),
+    ])
+}
+
+/// All distinct RV64I opcodes across the RISC-V case studies.
+#[must_use]
+pub fn riscv() -> Vec<u32> {
+    opcodes(&[
+        crate::memcpy_riscv::program(),
+        crate::binsearch_riscv::program(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use islaris_asm::{classify, ARM_CLASSES, RISCV_CLASSES};
+
+    #[test]
+    fn corpora_are_nonempty_sorted_and_decodable() {
+        for (ops, classes) in [(super::arm(), ARM_CLASSES), (super::riscv(), RISCV_CLASSES)] {
+            assert!(ops.len() >= 10, "corpus suspiciously small: {}", ops.len());
+            assert!(ops.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            for op in ops {
+                assert_ne!(
+                    classify(classes, op),
+                    "unallocated",
+                    "case-study opcode {op:#010x} fell outside the decoder grammar"
+                );
+            }
+        }
+    }
+}

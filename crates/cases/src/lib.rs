@@ -3,6 +3,7 @@
 
 pub mod binsearch_arm;
 pub mod binsearch_riscv;
+pub mod corpus;
 pub mod hvc;
 pub mod memcpy_arm;
 pub mod memcpy_riscv;

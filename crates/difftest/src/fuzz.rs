@@ -1,0 +1,328 @@
+//! The model-guided trace replay fuzzer.
+//!
+//! Generation is *structure-aware*: opcodes come from the decoders'
+//! instruction-class grammar ([`islaris_asm::grammar`]) — class seeds
+//! first, then a deterministic rotation of (a) grammar samples filling a
+//! class's free bits, (b) single-bit flips of class seeds, and (c) byte
+//! flips of known-good case-study encodings. Every generated opcode is
+//! traced symbolically and all of its paths are checked by the
+//! [`Oracle`](crate::Oracle).
+//!
+//! Everything is deterministic from the printed seed: randomness is
+//! testkit's SplitMix64 (no wall clock, no OS entropy), the opcode list
+//! is generated up front independent of the job count, and parallel
+//! results are merged in chunk index order — so reports are byte-identical
+//! across reruns and `--jobs` values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use islaris_asm::{classify, EncodingClass, ARM_CLASSES, RISCV_CLASSES};
+use islaris_bv::Bv;
+use islaris_isla::{trace_opcode, IslaConfig, Opcode};
+use islaris_models::{Arch, ARM, RISCV};
+use islaris_obs::DiffMetrics;
+use islaris_sail::CheckedModel;
+use islaris_testkit::Rng;
+
+use crate::oracle::Oracle;
+use crate::report::Divergence;
+
+/// One architecture under differential test.
+pub struct Target<'m> {
+    /// The architecture (drives the symbolic side and name mapping).
+    pub arch: Arch,
+    /// The model the *concrete* side replays — the shipped model in
+    /// normal runs, a deliberately patched one in planted-bug tests.
+    pub concrete: &'m CheckedModel,
+    /// The decoder grammar used for generation and coverage keys.
+    pub classes: &'static [EncodingClass],
+    /// Known-good encodings used as mutation bases.
+    pub corpus: Vec<u32>,
+}
+
+/// The two shipped targets: Arm and RISC-V, each replaying against its
+/// own shipped model (the zero-divergence configuration).
+#[must_use]
+pub fn shipped_targets() -> Vec<Target<'static>> {
+    vec![
+        Target {
+            arch: ARM,
+            concrete: ARM.model(),
+            classes: ARM_CLASSES,
+            corpus: islaris_cases::corpus::arm(),
+        },
+        Target {
+            arch: RISCV,
+            concrete: RISCV.model(),
+            classes: RISCV_CLASSES,
+            corpus: islaris_cases::corpus::riscv(),
+        },
+    ]
+}
+
+/// Fuzzer parameters. `jobs` affects wall-clock only, never output.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// SplitMix64 seed; printed in every report for replay.
+    pub seed: u64,
+    /// Total opcode budget, split evenly across targets.
+    pub budget: u64,
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            budget: 500,
+            jobs: 1,
+        }
+    }
+}
+
+/// The fuzzer's deterministic summary: counters, class × path coverage,
+/// and every divergence found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// The seed the run used (replay coordinate).
+    pub seed: u64,
+    /// The opcode budget the run used.
+    pub budget: u64,
+    /// Pipeline counters, merged across targets and jobs.
+    pub metrics: DiffMetrics,
+    /// Coverage: `arch/class` → set of replayed path ids.
+    pub coverage: BTreeMap<String, BTreeSet<usize>>,
+    /// All divergences, in deterministic generation order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Renders the stable summary table (byte-identical across reruns
+    /// and `--jobs` values; CI asserts on it).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!("difftest seed={} budget={}\n", self.seed, self.budget);
+        s.push_str(&self.metrics.render());
+        s.push('\n');
+        let pairs: usize = self.coverage.values().map(BTreeSet::len).sum();
+        s.push_str(&format!(
+            "coverage classes={} pairs={}\n",
+            self.coverage.len(),
+            pairs
+        ));
+        for (key, paths) in &self.coverage {
+            let ids: Vec<String> = paths.iter().map(ToString::to_string).collect();
+            s.push_str(&format!("  {key} = {}\n", ids.join(",")));
+        }
+        s
+    }
+}
+
+/// The architecture's canonical symbolic configuration (the same one the
+/// case studies trace under).
+#[must_use]
+pub fn canonical_config(arch: Arch) -> IslaConfig {
+    let cfg = IslaConfig::new(arch);
+    if arch.name == ARM.name {
+        cfg.assume_reg("PSTATE.EL", Bv::new(2, 0b10))
+            .assume_reg("PSTATE.SP", Bv::new(1, 0b1))
+    } else {
+        cfg
+    }
+}
+
+/// Runs the fuzzer over the shipped targets.
+#[must_use]
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_fuzz_on(&shipped_targets(), cfg)
+}
+
+/// Runs the fuzzer over explicit targets (the planted-bug test passes an
+/// Arm target whose concrete model has been patched).
+///
+/// # Panics
+///
+/// Panics only if a worker thread panics.
+#[must_use]
+pub fn run_fuzz_on(targets: &[Target<'_>], cfg: &FuzzConfig) -> FuzzReport {
+    // Phase 1: generate the full opcode list up front, deterministically
+    // and independently of the job count.
+    let mut items: Vec<(usize, u32, &'static str)> = Vec::new();
+    let per_target = if targets.is_empty() {
+        0
+    } else {
+        cfg.budget / targets.len() as u64
+    };
+    let remainder = cfg.budget - per_target * targets.len() as u64;
+    for (ti, target) in targets.iter().enumerate() {
+        let quota = per_target + if ti == 0 { remainder } else { 0 };
+        let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ti as u64 + 1));
+        for i in 0..quota {
+            let op = generate(target, &mut rng, i);
+            items.push((ti, op, classify(target.classes, op)));
+        }
+    }
+
+    // Phase 2: check every item; chunked across jobs, merged in chunk
+    // index order so the result is independent of scheduling.
+    let jobs = cfg.jobs.max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(jobs);
+    let outcomes: Vec<Vec<TargetOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk.max(1))
+            .map(|slice| scope.spawn(|| run_chunk(targets, slice, cfg.seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+
+    // Phase 3: merge.
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        budget: cfg.budget,
+        metrics: DiffMetrics::default(),
+        coverage: BTreeMap::new(),
+        divergences: Vec::new(),
+    };
+    for outcome in outcomes.into_iter().flatten() {
+        report.metrics.absorb(&outcome.metrics);
+        for (key, ids) in outcome.coverage {
+            report.coverage.entry(key).or_default().extend(ids);
+        }
+        report.divergences.extend(outcome.divergences);
+    }
+    report
+}
+
+struct TargetOutcome {
+    metrics: DiffMetrics,
+    coverage: BTreeMap<String, BTreeSet<usize>>,
+    divergences: Vec<Divergence>,
+}
+
+fn run_chunk(
+    targets: &[Target<'_>],
+    items: &[(usize, u32, &'static str)],
+    seed: u64,
+) -> Vec<TargetOutcome> {
+    // Per-thread oracles and configs (Interp and IslaConfig are not Sync).
+    let oracles: Vec<Oracle<'_>> = targets
+        .iter()
+        .map(|t| Oracle::new(t.arch, t.concrete).expect("target model initialises"))
+        .collect();
+    let configs: Vec<IslaConfig> = targets.iter().map(|t| canonical_config(t.arch)).collect();
+    let mut out = Vec::new();
+    for &(ti, opcode, class) in items {
+        let mut metrics = DiffMetrics {
+            opcodes: 1,
+            ..Default::default()
+        };
+        let mut coverage = BTreeMap::new();
+        let mut divergences = Vec::new();
+        match trace_opcode(&configs[ti], &Opcode::Concrete(opcode)) {
+            Err(_) => metrics.trace_errors = 1,
+            Ok(result) => {
+                let o = oracles[ti].check_opcode(opcode, &result, class, seed);
+                metrics.paths = o.paths;
+                metrics.vacuous = o.vacuous;
+                metrics.unknown = o.unknown;
+                metrics.models_sampled = o.models_sampled;
+                metrics.replays = o.replays;
+                metrics.divergences = o.divergences.len() as u64;
+                if !o.path_ids.is_empty() {
+                    let key = format!("{}/{}", targets[ti].arch.name, class);
+                    coverage.insert(key, o.path_ids.into_iter().collect());
+                }
+                divergences = o.divergences;
+            }
+        }
+        out.push(TargetOutcome {
+            metrics,
+            coverage,
+            divergences,
+        });
+    }
+    out
+}
+
+/// Deterministic opcode generation: class seeds first (guaranteed
+/// coverage floor), then rotate grammar samples / seed bit-flips /
+/// corpus byte-flips.
+fn generate(target: &Target<'_>, rng: &mut Rng, i: u64) -> u32 {
+    let classes = target.classes;
+    let n = classes.len() as u64;
+    if i < n {
+        return classes[usize::try_from(i).expect("small")].seed;
+    }
+    match i % 3 {
+        0 => {
+            let c = classes[rng.index(classes.len())];
+            c.sample(rng.next_u32())
+        }
+        1 => {
+            let c = classes[rng.index(classes.len())];
+            c.seed ^ (1 << rng.range_u32(0, 31))
+        }
+        _ => {
+            if target.corpus.is_empty() {
+                let c = classes[rng.index(classes.len())];
+                c.sample(rng.next_u32())
+            } else {
+                let base = target.corpus[rng.index(target.corpus.len())];
+                base ^ (u32::from(rng.next_u8()) << (8 * rng.range_u32(0, 3)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            budget: 8,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_job_independent() {
+        let targets = shipped_targets();
+        let a = run_fuzz_on(&targets, &tiny());
+        let b = run_fuzz_on(&targets, &FuzzConfig { jobs: 3, ..tiny() });
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.divergences, b.divergences);
+    }
+
+    #[test]
+    fn class_seeds_come_first() {
+        let targets = shipped_targets();
+        let t = &targets[0];
+        let mut rng = Rng::new(1);
+        for (i, c) in t.classes.iter().enumerate() {
+            assert_eq!(generate(t, &mut rng, i as u64), c.seed);
+        }
+    }
+
+    #[test]
+    fn budget_splits_across_targets_with_remainder_to_first() {
+        let targets = shipped_targets();
+        let r = run_fuzz_on(
+            &targets,
+            &FuzzConfig {
+                seed: 3,
+                budget: 5,
+                jobs: 2,
+            },
+        );
+        assert_eq!(r.metrics.opcodes, 5);
+        // Both architectures get opcodes: 3 to Arm, 2 to RISC-V.
+        assert!(r.coverage.keys().any(|k| k.starts_with("armv8-a/")));
+        assert!(r.coverage.keys().any(|k| k.starts_with("rv64i/")));
+    }
+}

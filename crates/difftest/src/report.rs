@@ -1,0 +1,80 @@
+//! Human-readable counterexample reports.
+//!
+//! The report format is stable (CI asserts on it): one header line with
+//! the replay coordinates, one line per concretized initial register, one
+//! `first mismatch:` line, and one `reproduce:` line carrying the fuzzer
+//! seed.
+
+use islaris_bv::Bv;
+
+/// One divergence between the symbolic trace and the concrete replay.
+///
+/// The report is already minimized: the initial-register list contains
+/// only the registers the instruction actually read on the diverging path
+/// (the trace's first-read set), and the mismatch names the first event
+/// at which the two executions disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Architecture name (`armv8-a`, `rv64i`).
+    pub arch: &'static str,
+    /// The opcode under test.
+    pub opcode: u32,
+    /// Decoder class of the opcode.
+    pub class: &'static str,
+    /// Path id (depth-first index into the trace's `Cases` tree).
+    pub path: usize,
+    /// Fuzzer seed that produced the opcode (replay coordinate).
+    pub seed: u64,
+    /// Concretized initial registers of the diverging path, in trace
+    /// first-read order.
+    pub inits: Vec<(String, Bv)>,
+    /// The first disagreement, e.g.
+    /// `write-reg #2: symbolic PSTATE.C=0b1 concrete PSTATE.C=0b0`.
+    pub detail: String,
+}
+
+impl Divergence {
+    /// Renders the stable multi-line report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "divergence[{}] opcode={:#010x} class={} path={} seed={}\n",
+            self.arch, self.opcode, self.class, self.path, self.seed
+        );
+        for (name, value) in &self.inits {
+            s.push_str(&format!("  initial {name} = {value}\n"));
+        }
+        s.push_str(&format!("  first mismatch: {}\n", self.detail));
+        s.push_str(&format!(
+            "  reproduce: fig12 --difftest --seed {} --budget <budget>\n",
+            self.seed
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let d = Divergence {
+            arch: "armv8-a",
+            opcode: 0xEB03_005F,
+            class: "addsub_shiftreg",
+            path: 1,
+            seed: 7,
+            inits: vec![("R2".into(), Bv::new(64, 5))],
+            detail: "write-reg #3: symbolic PSTATE.C=0b1 concrete PSTATE.C=0b0".into(),
+        };
+        let r = d.render();
+        assert_eq!(
+            r,
+            "divergence[armv8-a] opcode=0xeb03005f class=addsub_shiftreg path=1 seed=7\n  \
+             initial R2 = #x0000000000000005\n  \
+             first mismatch: write-reg #3: symbolic PSTATE.C=0b1 concrete PSTATE.C=0b0\n  \
+             reproduce: fig12 --difftest --seed 7 --budget <budget>\n"
+        );
+    }
+}

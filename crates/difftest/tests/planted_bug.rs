@@ -1,0 +1,87 @@
+//! The oracle's end-to-end soundness check: plant a real semantic bug in
+//! a copy of the Arm model, run the fuzzer with a fixed seed and budget,
+//! and require that the bug is caught with a replayable counterexample.
+//!
+//! The planted bug flips the carry-flag computation in `AddWithCarry64`
+//! (`PSTATE.C = if ZeroExtend(result, 128) == usum then 0b0 else 0b1` —
+//! the then/else arms are swapped), the kind of off-by-one-polarity
+//! mistake ISA models actually acquire. The *symbolic* side keeps the
+//! shipped model, so every flag-setting add/sub instruction diverges at
+//! its `PSTATE.C` write.
+
+use islaris_asm::ARM_CLASSES;
+use islaris_difftest::{run_fuzz_on, FuzzConfig, Target};
+use islaris_models::{ARM, ARM_SAIL};
+use islaris_sail::{check_model, parse_model};
+
+const GOOD: &str = "ZeroExtend(result, 128) == usum then 0b0 else 0b1";
+const BAD: &str = "ZeroExtend(result, 128) == usum then 0b1 else 0b0";
+
+#[test]
+fn planted_carry_bug_is_caught_within_budget() {
+    let patched_src = ARM_SAIL.replace(GOOD, BAD);
+    assert_ne!(patched_src, ARM_SAIL, "patch site must exist in arm.sail");
+    let model = parse_model(&patched_src).expect("patched model parses");
+    let concrete = check_model(&model).expect("patched model checks");
+
+    let targets = vec![Target {
+        arch: ARM,
+        concrete: &concrete,
+        classes: ARM_CLASSES,
+        corpus: islaris_cases::corpus::arm(),
+    }];
+    let cfg = FuzzConfig {
+        seed: 1,
+        budget: 40,
+        jobs: 1,
+    };
+    let report = run_fuzz_on(&targets, &cfg);
+
+    assert!(
+        report.metrics.divergences > 0,
+        "planted carry bug not found within budget {}:\n{}",
+        cfg.budget,
+        report.render()
+    );
+    assert_eq!(report.metrics.divergences, report.divergences.len() as u64);
+
+    // The counterexample points at the planted bug, and its report has the
+    // stable shape CI greps for.
+    let d = &report.divergences[0];
+    assert_eq!(d.arch, "armv8-a");
+    assert!(
+        d.detail.contains("PSTATE.C"),
+        "first mismatch should be the carry flag: {}",
+        d.detail
+    );
+    let rendered = d.render();
+    assert!(rendered.starts_with("divergence[armv8-a] opcode=0x"));
+    assert!(rendered.contains(" seed=1\n"));
+    assert!(rendered.contains("  first mismatch: write-reg #"));
+    assert!(rendered.contains("  reproduce: fig12 --difftest --seed 1 --budget <budget>\n"));
+
+    // The catch replays: same seed and budget find the same divergences,
+    // regardless of the job count.
+    let again = run_fuzz_on(&targets, &FuzzConfig { jobs: 3, ..cfg });
+    assert_eq!(report.render(), again.render());
+    assert_eq!(report.divergences, again.divergences);
+}
+
+#[test]
+fn unpatched_model_stays_divergence_free_under_same_budget() {
+    let targets = vec![Target {
+        arch: ARM,
+        concrete: ARM.model(),
+        classes: ARM_CLASSES,
+        corpus: islaris_cases::corpus::arm(),
+    }];
+    let report = run_fuzz_on(
+        &targets,
+        &FuzzConfig {
+            seed: 1,
+            budget: 40,
+            jobs: 1,
+        },
+    );
+    assert_eq!(report.metrics.divergences, 0, "{}", report.render());
+}

@@ -33,11 +33,13 @@
 pub mod cache;
 pub mod driver;
 pub mod exec;
+pub mod paths;
 pub mod simplify;
 pub mod sym;
 
 pub use cache::{CacheStats, CachedTrace, TraceCache};
 pub use driver::{trace_opcode, trace_program, IslaStats, Opcode, ProgramTraces, TraceResult};
 pub use exec::{ConstraintFn, IslaConfig, IslaError};
+pub use paths::{analyze_path, enumerate_paths, PathView};
 pub use simplify::simplify_trace;
 pub use sym::{RegKey, SymVal};

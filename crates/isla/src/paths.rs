@@ -1,0 +1,195 @@
+//! Per-path views of a trace: the initial-state variables a differential
+//! oracle must concretize to replay one path concretely.
+//!
+//! A [`Trace`] is a tree; every root-to-leaf walk is one control-flow path
+//! of the instruction. [`enumerate_paths`] lists the paths in
+//! deterministic depth-first order (the index is the *path id* used for
+//! coverage bookkeeping), and [`analyze_path`] splits one path's events
+//! into the pieces a solver query needs: the path constraints, the sort of
+//! every variable, and the provenance of every declared variable — a
+//! register's initial value, a memory read's result, or an
+//! `undefined_bits` fresh value.
+
+use std::collections::{BTreeSet, HashMap};
+
+use islaris_itl::{Event, Reg, Trace};
+use islaris_smt::{Expr, Sort, Var};
+
+/// Enumerates every root-to-leaf path of the trace in depth-first order
+/// (`Cases` branches visited left to right). The returned index of a path
+/// is its stable *path id*: deterministic for a given trace, so coverage
+/// sets keyed on it are byte-comparable across runs.
+#[must_use]
+pub fn enumerate_paths(t: &Trace) -> Vec<Vec<Event>> {
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    walk(t, &mut prefix, &mut out);
+    out
+}
+
+fn walk(t: &Trace, prefix: &mut Vec<Event>, out: &mut Vec<Vec<Event>>) {
+    match t {
+        Trace::Nil => out.push(prefix.clone()),
+        Trace::Cons(ev, rest) => {
+            prefix.push(ev.clone());
+            walk(rest, prefix, out);
+            prefix.pop();
+        }
+        Trace::Cases(ts) => {
+            for t in ts {
+                walk(t, prefix, out);
+            }
+        }
+    }
+}
+
+/// The solver-facing view of one linear path.
+///
+/// The three variable provenances partition the path's `declare-const`s:
+/// a declared variable either stands for a register's initial value
+/// (appears in a `ReadReg`), a memory read's result (appears as a
+/// `ReadMem` value), or an `undefined_bits` result (appears in neither).
+/// That partition is what lets a differential oracle build a *total*
+/// concrete initial state from a solver model.
+#[derive(Debug, Default)]
+pub struct PathView {
+    /// Path constraints: `Assert`/`Assume` predicates plus one equation
+    /// per `define-const` (so a model assigns defined names consistently).
+    pub constraints: Vec<Expr>,
+    /// Sort of every variable on the path (declared, defined, or
+    /// parameter).
+    pub sorts: HashMap<Var, Sort>,
+    /// First read of each register, in event order: the register's
+    /// initial value (a fresh variable, or a concrete assumption).
+    pub reg_inits: Vec<(Reg, Expr)>,
+    /// Memory reads in event order: `(address, bytes, value)`.
+    pub mem_reads: Vec<(Expr, u32, Expr)>,
+    /// Declared variables bound by neither a register read nor a memory
+    /// read: `undefined_bits` results, in declaration order.
+    pub undefined: Vec<Var>,
+}
+
+/// Analyzes one path (as returned by [`enumerate_paths`]) into a
+/// [`PathView`]. `params` supplies the sorts of free parameter variables
+/// (symbolic opcodes); pass `&[]` for concrete opcodes.
+#[must_use]
+pub fn analyze_path(events: &[Event], params: &[(Var, Sort)]) -> PathView {
+    let mut view = PathView {
+        sorts: params.iter().copied().collect(),
+        ..PathView::default()
+    };
+    let mut declared: Vec<Var> = Vec::new();
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    let mut seen_regs: BTreeSet<String> = BTreeSet::new();
+    for ev in events {
+        match ev {
+            Event::DeclareConst(v, s) => {
+                view.sorts.insert(*v, *s);
+                declared.push(*v);
+            }
+            Event::DefineConst(v, e) => {
+                let sorts = view.sorts.clone();
+                if let Ok(s) = e.sort(&|v| sorts.get(&v).copied()) {
+                    view.sorts.insert(*v, s);
+                }
+                view.constraints.push(Expr::eq(Expr::var(*v), e.clone()));
+            }
+            Event::Assert(e) | Event::Assume(e) => view.constraints.push(e.clone()),
+            Event::ReadReg(r, e) => {
+                if seen_regs.insert(r.to_string()) {
+                    if let Some(v) = e.as_var() {
+                        bound.insert(v);
+                    }
+                    view.reg_inits.push((r.clone(), e.clone()));
+                }
+            }
+            Event::ReadMem { value, addr, bytes } => {
+                if let Some(v) = value.as_var() {
+                    bound.insert(v);
+                }
+                view.mem_reads.push((addr.clone(), *bytes, value.clone()));
+            }
+            Event::AssumeReg(_, _) | Event::WriteReg(_, _) | Event::WriteMem { .. } => {}
+        }
+    }
+    view.undefined = declared
+        .into_iter()
+        .filter(|v| !bound.contains(v))
+        .collect();
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rd(name: &str, v: u32) -> Event {
+        Event::ReadReg(Reg::new(name), Expr::var(Var(v)))
+    }
+
+    #[test]
+    fn enumeration_is_depth_first_and_stable() {
+        // ev0 ; Cases[ (a ; Cases[c, d]), b ]  → paths: [ev0,a,c] [ev0,a,d] [ev0,b]
+        let leaf = |e: Event| Trace::Cons(e, Arc::new(Trace::Nil));
+        let inner = Trace::Cons(
+            Event::Assert(Expr::bool(true)),
+            Arc::new(Trace::Cases(vec![leaf(rd("C", 2)), leaf(rd("D", 3))])),
+        );
+        let t = Trace::Cons(
+            Event::DeclareConst(Var(0), Sort::BitVec(64)),
+            Arc::new(Trace::Cases(vec![inner, leaf(rd("B", 1))])),
+        );
+        let paths = enumerate_paths(&t);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 3);
+        assert!(matches!(&paths[0][2], Event::ReadReg(r, _) if r.to_string() == "C"));
+        assert!(matches!(&paths[1][2], Event::ReadReg(r, _) if r.to_string() == "D"));
+        assert_eq!(paths[2].len(), 2);
+        assert!(matches!(&paths[2][1], Event::ReadReg(r, _) if r.to_string() == "B"));
+        // Enumeration is deterministic.
+        let again = enumerate_paths(&t);
+        assert_eq!(paths.len(), again.len());
+    }
+
+    #[test]
+    fn analysis_partitions_declared_variables() {
+        let events = vec![
+            Event::DeclareConst(Var(0), Sort::BitVec(64)),
+            Event::ReadReg(Reg::new("R1"), Expr::var(Var(0))),
+            Event::DeclareConst(Var(1), Sort::BitVec(8)),
+            Event::ReadMem {
+                value: Expr::var(Var(1)),
+                addr: Expr::var(Var(0)),
+                bytes: 1,
+            },
+            Event::DeclareConst(Var(2), Sort::BitVec(64)), // undefined_bits
+            Event::DefineConst(Var(3), Expr::add(Expr::var(Var(0)), Expr::bv(64, 4))),
+            Event::Assert(Expr::eq(Expr::var(Var(3)), Expr::bv(64, 8))),
+            Event::WriteReg(Reg::new("R2"), Expr::var(Var(3))),
+        ];
+        let view = analyze_path(&events, &[]);
+        assert_eq!(view.reg_inits.len(), 1);
+        assert_eq!(view.reg_inits[0].0.to_string(), "R1");
+        assert_eq!(view.mem_reads.len(), 1);
+        assert_eq!(view.mem_reads[0].1, 1);
+        assert_eq!(view.undefined, vec![Var(2)]);
+        // One define equation + one assert.
+        assert_eq!(view.constraints.len(), 2);
+        assert_eq!(view.sorts.get(&Var(3)), Some(&Sort::BitVec(64)));
+    }
+
+    #[test]
+    fn repeated_reads_keep_only_the_first_initial() {
+        // A second ReadReg of the same register (impossible for the
+        // executor, but allowed by the format) must not add a second
+        // initial.
+        let events = vec![
+            Event::DeclareConst(Var(0), Sort::BitVec(64)),
+            rd("R0", 0),
+            rd("R0", 0),
+        ];
+        let view = analyze_path(&events, &[]);
+        assert_eq!(view.reg_inits.len(), 1);
+    }
+}

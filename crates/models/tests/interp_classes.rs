@@ -1,0 +1,691 @@
+//! Table-driven concrete-interpreter tests covering *every* instruction
+//! class of both models (the classes are the decoders' dispatch arms,
+//! mirrored by `islaris_asm::grammar`). Each case pins one or two
+//! hand-computed architectural effects — register results, NZCV, memory
+//! bytes, and the next PC — so the concrete semantics the differential
+//! oracle replays against are themselves anchored to the ISA manuals,
+//! not just to agreement with the symbolic executor.
+//!
+//! A meta-test asserts the tables are *complete*: every class name in
+//! the grammar appears at least once.
+
+use std::collections::BTreeSet;
+
+use islaris_asm::{classify, ARM_CLASSES, RISCV_CLASSES};
+use islaris_bv::Bv;
+use islaris_models::{arm, riscv};
+use islaris_sail::{CVal, Completion, Interp, MapMem, SailState};
+
+struct ClassCase {
+    name: &'static str,
+    /// The grammar class the opcode must classify as (checked).
+    class: &'static str,
+    opcode: u32,
+    setup: fn(&mut SailState, &mut MapMem),
+    check: fn(&SailState, &mut MapMem, Completion),
+}
+
+fn x(st: &SailState, i: usize) -> Bv {
+    st.arrays["X"][i]
+}
+
+fn rv(st: &SailState, i: usize) -> Bv {
+    st.arrays["x"][i]
+}
+
+fn set_x(st: &mut SailState, i: usize, v: u64) {
+    st.arrays.get_mut("X").expect("X")[i] = Bv::new(64, u128::from(v));
+}
+
+fn set_rv(st: &mut SailState, i: usize, v: u64) {
+    st.arrays.get_mut("x").expect("x")[i] = Bv::new(64, u128::from(v));
+}
+
+fn reg(st: &SailState, name: &str) -> Bv {
+    st.regs[name]
+}
+
+fn set_reg(st: &mut SailState, name: &str, width: u32, v: u64) {
+    st.regs.insert(name.into(), Bv::new(width, u128::from(v)));
+}
+
+fn b64(v: u64) -> Bv {
+    Bv::new(64, u128::from(v))
+}
+
+fn nzcv(st: &SailState) -> (u64, u64, u64, u64) {
+    (
+        reg(st, "PSTATE.N").to_u64(),
+        reg(st, "PSTATE.Z").to_u64(),
+        reg(st, "PSTATE.C").to_u64(),
+        reg(st, "PSTATE.V").to_u64(),
+    )
+}
+
+/// Canonical Arm state: EL2 with SP_EL2 selected, PC at 0x1000.
+fn arm_state() -> SailState {
+    let mut st = SailState::zeroed(arm());
+    set_reg(&mut st, "PSTATE.EL", 2, 2);
+    set_reg(&mut st, "PSTATE.SP", 1, 1);
+    set_reg(&mut st, "_PC", 64, 0x1000);
+    st
+}
+
+fn rv_state() -> SailState {
+    let mut st = SailState::zeroed(riscv());
+    set_reg(&mut st, "PC", 64, 0x1000);
+    st
+}
+
+const ARM_CASES: &[ClassCase] = &[
+    ClassCase {
+        name: "nop advances the PC and nothing else",
+        class: "nop",
+        opcode: 0xD503_201F,
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "eret to EL1h restores PSTATE and branches to ELR_EL2",
+        class: "eret",
+        opcode: 0xD69F_03E0,
+        // SPSR_EL2 = EL1h (EL=01 at bits 3:2, SP=1 at bit 0); the
+        // AArch64 return needs HCR_EL2.RW (bit 31).
+        setup: |st, _| {
+            set_reg(st, "SPSR_EL2", 64, 0x5);
+            set_reg(st, "HCR_EL2", 64, 1 << 31);
+            set_reg(st, "ELR_EL2", 64, 0x9000);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x9000));
+            assert_eq!(reg(st, "PSTATE.EL"), Bv::new(2, 0b01));
+            assert_eq!(reg(st, "PSTATE.SP"), Bv::new(1, 0b1));
+        },
+    },
+    ClassCase {
+        name: "rbit reverses the 64 bits of Xn",
+        class: "rbit",
+        opcode: 0xDAC0_0020, // rbit x0, x1
+        setup: |st, _| set_x(st, 1, 1),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(0x8000_0000_0000_0000));
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "hvc takes a synchronous exception to the EL2 vector",
+        class: "hvc",
+        opcode: 0xD400_0002, // hvc #0
+        setup: |st, _| set_reg(st, "VBAR_EL2", 64, 0x2000),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            // Same-EL-with-SP_ELx vector: VBAR_EL2 + 0x200.
+            assert_eq!(reg(st, "_PC"), b64(0x2200));
+            assert_eq!(reg(st, "ELR_EL2"), b64(0x1004));
+            // ESR.EC = HVC, IL = 1, ISS = imm16 = 0.
+            assert_eq!(reg(st, "ESR_EL2"), b64(0x5A00_0000));
+            // SPSR captures EL=10, SP=1.
+            assert_eq!(reg(st, "SPSR_EL2"), b64(0x9));
+            assert_eq!(reg(st, "PSTATE.I"), Bv::new(1, 1));
+        },
+    },
+    ClassCase {
+        name: "msr writes Xt into the named system register",
+        class: "msr_mrs",
+        opcode: 0xD51C_C000, // msr vbar_el2, x0
+        setup: |st, _| set_x(st, 0, 0xCAFE),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "VBAR_EL2"), b64(0xCAFE));
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "mrs reads the named system register into Xt",
+        class: "msr_mrs",
+        opcode: 0xD53C_4023, // mrs x3, elr_el2
+        setup: |st, _| set_reg(st, "ELR_EL2", 64, 0x77),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 3), b64(0x77));
+        },
+    },
+    ClassCase {
+        name: "add sp, sp, #0x40 uses the banked SP_EL2 (Fig. 3)",
+        class: "addsub_imm",
+        opcode: 0x9101_03FF,
+        setup: |st, _| set_reg(st, "SP_EL2", 64, 0x8_0000),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "SP_EL2"), b64(0x8_0040));
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "subs x0, x1, #1 sets carry when no borrow",
+        class: "addsub_imm",
+        opcode: 0xF100_0420,
+        setup: |st, _| set_x(st, 1, 5),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(4));
+            assert_eq!(nzcv(st), (0, 0, 1, 0));
+        },
+    },
+    ClassCase {
+        name: "movz with a shifted halfword",
+        class: "movewide",
+        opcode: 0xD2B7_DDE0, // movz x0, #0xbeef, lsl #16
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(0xBEEF_0000));
+        },
+    },
+    ClassCase {
+        name: "movk replaces only its halfword",
+        class: "movewide",
+        opcode: 0xF282_4681, // movk x1, #0x1234
+        setup: |st, _| set_x(st, 1, 0xDEAD_0000_FFFF_5678),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 1), b64(0xDEAD_0000_FFFF_1234));
+        },
+    },
+    ClassCase {
+        name: "ubfm as lsr #4",
+        class: "ubfm",
+        opcode: 0xD344_FC20, // lsr x0, x1, #4
+        setup: |st, _| set_x(st, 1, 0xF00F),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(0xF00));
+        },
+    },
+    ClassCase {
+        name: "ubfm as lsl #8",
+        class: "ubfm",
+        opcode: 0xD378_DC20, // lsl x0, x1, #8
+        setup: |st, _| set_x(st, 1, 0xAB),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(0xAB00));
+        },
+    },
+    ClassCase {
+        name: "cmp x2, x3 with x2 < x3 clears carry, sets N",
+        class: "addsub_shiftreg",
+        opcode: 0xEB03_005F,
+        setup: |st, _| {
+            set_x(st, 2, 3);
+            set_x(st, 3, 5);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(nzcv(st), (1, 0, 0, 0));
+            // d = 31 discards the result (XZR).
+            assert_eq!(x(st, 0), b64(0));
+        },
+    },
+    ClassCase {
+        name: "add x0, x1, x2 (register form)",
+        class: "addsub_shiftreg",
+        opcode: 0x8B02_0020,
+        setup: |st, _| {
+            set_x(st, 1, 10);
+            set_x(st, 2, 32);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(42));
+        },
+    },
+    ClassCase {
+        name: "mov x0, x1 is orr with xzr",
+        class: "logical_shiftreg",
+        opcode: 0xAA01_03E0,
+        setup: |st, _| set_x(st, 1, 0x1234),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 0), b64(0x1234));
+        },
+    },
+    ClassCase {
+        name: "and x3, x1, x2",
+        class: "logical_shiftreg",
+        opcode: 0x8A02_0023,
+        setup: |st, _| {
+            set_x(st, 1, 0xFF0F);
+            set_x(st, 2, 0x0FF0);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 3), b64(0x0F00));
+        },
+    },
+    ClassCase {
+        name: "str x0, [x1] stores 8 little-endian bytes",
+        class: "load_store_uimm",
+        opcode: 0xF900_0020,
+        setup: |st, _| {
+            set_x(st, 0, 0xDEAD_BEEF);
+            set_x(st, 1, 0x8000);
+        },
+        check: |st, mem, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(
+                islaris_sail::SailMem::read(mem, 0x8000, 8),
+                b64(0xDEAD_BEEF)
+            );
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "ldr x2, [x1, #8] scales the unsigned offset",
+        class: "load_store_uimm",
+        opcode: 0xF940_0422,
+        setup: |st, mem| {
+            set_x(st, 1, 0x8000);
+            islaris_sail::SailMem::write(mem, 0x8008, 8, b64(0x77));
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 2), b64(0x77));
+        },
+    },
+    ClassCase {
+        name: "ldrb w4, [x1, x3] zero-extends the byte",
+        class: "load_store_regoff",
+        opcode: 0x3863_6824,
+        setup: |st, mem| {
+            set_x(st, 1, 0x8000);
+            set_x(st, 3, 2);
+            islaris_sail::SailMem::write(mem, 0x8002, 1, Bv::new(8, 0xAB));
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 4), b64(0xAB));
+        },
+    },
+    ClassCase {
+        name: "strb w4, [x0, x3] stores the low byte",
+        class: "load_store_regoff",
+        opcode: 0x3823_6804,
+        setup: |st, _| {
+            set_x(st, 0, 0x9000);
+            set_x(st, 3, 2);
+            set_x(st, 4, 0x1CD);
+        },
+        check: |_, mem, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(
+                islaris_sail::SailMem::read(mem, 0x9002, 1),
+                Bv::new(8, 0xCD)
+            );
+        },
+    },
+    ClassCase {
+        name: "cbz taken when Xt is zero",
+        class: "cbz",
+        opcode: 0xB400_0040, // cbz x0, #8
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x1008));
+        },
+    },
+    ClassCase {
+        name: "cbz falls through when Xt is nonzero",
+        class: "cbz",
+        opcode: 0xB400_0040,
+        setup: |st, _| set_x(st, 0, 1),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "b.ne taken when Z is clear",
+        class: "bcond",
+        opcode: 0x5400_0081, // b.ne #16
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x1010));
+        },
+    },
+    ClassCase {
+        name: "b.ne falls through when Z is set",
+        class: "bcond",
+        opcode: 0x5400_0081,
+        setup: |st, _| set_reg(st, "PSTATE.Z", 1, 1),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "b with a negative offset",
+        class: "b_bl",
+        opcode: 0x17FF_FFFF, // b #-4
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0xFFC));
+        },
+    },
+    ClassCase {
+        name: "bl links x30 before branching",
+        class: "b_bl",
+        opcode: 0x9400_0002, // bl #8
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 30), b64(0x1004));
+            assert_eq!(reg(st, "_PC"), b64(0x1008));
+        },
+    },
+    ClassCase {
+        name: "ret branches to x30",
+        class: "br_blr_ret",
+        opcode: 0xD65F_03C0,
+        setup: |st, _| set_x(st, 30, 0x4000),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "_PC"), b64(0x4000));
+        },
+    },
+    ClassCase {
+        name: "blr x5 links then branches",
+        class: "br_blr_ret",
+        opcode: 0xD63F_00A0,
+        setup: |st, _| set_x(st, 5, 0x6000),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(x(st, 30), b64(0x1004));
+            assert_eq!(reg(st, "_PC"), b64(0x6000));
+        },
+    },
+    ClassCase {
+        name: "undefined encodings exit without touching the PC",
+        class: "unallocated",
+        opcode: 0x0000_0000,
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Exited);
+            assert_eq!(reg(st, "_PC"), b64(0x1000));
+        },
+    },
+];
+
+const RISCV_CASES: &[ClassCase] = &[
+    ClassCase {
+        name: "lui loads the sign-extended upper immediate",
+        class: "lui",
+        opcode: 0x0000_10B7, // lui x1, 0x1
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0x1000));
+            assert_eq!(reg(st, "PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "auipc adds the upper immediate to the PC",
+        class: "auipc",
+        opcode: 0x0000_1097, // auipc x1, 0x1
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0x2000));
+        },
+    },
+    ClassCase {
+        name: "jal links rd and jumps",
+        class: "jal",
+        opcode: 0x0080_00EF, // jal x1, +8
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0x1004));
+            assert_eq!(reg(st, "PC"), b64(0x1008));
+        },
+    },
+    ClassCase {
+        name: "jalr clears bit 0 of the target; x0 stays hardwired",
+        class: "jalr",
+        opcode: 0x0000_8067, // ret = jalr x0, 0(x1)
+        setup: |st, _| set_rv(st, 1, 0x4001),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "PC"), b64(0x4000));
+            assert_eq!(rv(st, 0), b64(0));
+        },
+    },
+    ClassCase {
+        name: "beq taken on equal registers",
+        class: "branch",
+        opcode: 0x0020_8463, // beq x1, x2, +8
+        setup: |st, _| {
+            set_rv(st, 1, 5);
+            set_rv(st, 2, 5);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "PC"), b64(0x1008));
+        },
+    },
+    ClassCase {
+        name: "beq falls through on unequal registers",
+        class: "branch",
+        opcode: 0x0020_8463,
+        setup: |st, _| {
+            set_rv(st, 1, 5);
+            set_rv(st, 2, 6);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(reg(st, "PC"), b64(0x1004));
+        },
+    },
+    ClassCase {
+        name: "lb sign-extends the loaded byte",
+        class: "load",
+        opcode: 0x0001_0083, // lb x1, 0(x2)
+        setup: |st, mem| {
+            set_rv(st, 2, 0x8000);
+            islaris_sail::SailMem::write(mem, 0x8000, 1, Bv::new(8, 0x80));
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0xFFFF_FFFF_FFFF_FF80));
+        },
+    },
+    ClassCase {
+        name: "ld reads 8 bytes with an immediate offset",
+        class: "load",
+        opcode: 0x0081_3183, // ld x3, 8(x2)
+        setup: |st, mem| {
+            set_rv(st, 2, 0x8000);
+            islaris_sail::SailMem::write(mem, 0x8008, 8, b64(0x1122));
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 3), b64(0x1122));
+        },
+    },
+    ClassCase {
+        name: "sb stores only the low byte",
+        class: "store",
+        opcode: 0x0011_0023, // sb x1, 0(x2)
+        setup: |st, _| {
+            set_rv(st, 1, 0x1FF);
+            set_rv(st, 2, 0x8000);
+        },
+        check: |_, mem, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(
+                islaris_sail::SailMem::read(mem, 0x8000, 1),
+                Bv::new(8, 0xFF)
+            );
+        },
+    },
+    ClassCase {
+        name: "sd stores the full doubleword at base+imm",
+        class: "store",
+        opcode: 0x0011_3423, // sd x1, 8(x2)
+        setup: |st, _| {
+            set_rv(st, 1, 0xAABB_CCDD);
+            set_rv(st, 2, 0x8000);
+        },
+        check: |_, mem, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(
+                islaris_sail::SailMem::read(mem, 0x8008, 8),
+                b64(0xAABB_CCDD)
+            );
+        },
+    },
+    ClassCase {
+        name: "addi from the zero register",
+        class: "op_imm",
+        opcode: 0x0010_0093, // addi x1, x0, 1
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(1));
+        },
+    },
+    ClassCase {
+        name: "srai shifts in sign bits",
+        class: "op_imm",
+        opcode: 0x4041_5093, // srai x1, x2, 4
+        setup: |st, _| set_rv(st, 2, 0x8000_0000_0000_0000),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0xF800_0000_0000_0000));
+        },
+    },
+    ClassCase {
+        name: "add register-register",
+        class: "op",
+        opcode: 0x0031_00B3, // add x1, x2, x3
+        setup: |st, _| {
+            set_rv(st, 2, 5);
+            set_rv(st, 3, 7);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(12));
+        },
+    },
+    ClassCase {
+        name: "sub wraps below zero",
+        class: "op",
+        opcode: 0x4031_00B3, // sub x1, x2, x3
+        setup: |st, _| {
+            set_rv(st, 2, 5);
+            set_rv(st, 3, 7);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0xFFFF_FFFF_FFFF_FFFE));
+        },
+    },
+    ClassCase {
+        name: "addiw truncates to 32 bits before sign-extending",
+        class: "op_imm_32",
+        opcode: 0x0011_009B, // addiw x1, x2, 1
+        setup: |st, _| set_rv(st, 2, 0xFFFF_FFFF),
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0));
+        },
+    },
+    ClassCase {
+        name: "addw sign-extends the 32-bit overflow",
+        class: "op_32",
+        opcode: 0x0031_00BB, // addw x1, x2, x3
+        setup: |st, _| {
+            set_rv(st, 2, 0x7FFF_FFFF);
+            set_rv(st, 3, 1);
+        },
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Done);
+            assert_eq!(rv(st, 1), b64(0xFFFF_FFFF_8000_0000));
+        },
+    },
+    ClassCase {
+        name: "undefined encodings exit without touching the PC",
+        class: "unallocated",
+        opcode: 0x0000_0000,
+        setup: |_, _| {},
+        check: |st, _, c| {
+            assert_eq!(c, Completion::Exited);
+            assert_eq!(reg(st, "PC"), b64(0x1000));
+        },
+    },
+];
+
+fn run_table(
+    cases: &[ClassCase],
+    classes: &'static [islaris_asm::EncodingClass],
+    interp: &Interp<'_>,
+    mk_state: fn() -> SailState,
+) {
+    for case in cases {
+        assert_eq!(
+            classify(classes, case.opcode),
+            case.class,
+            "{}: opcode {:#010x} classifies wrong",
+            case.name,
+            case.opcode
+        );
+        let mut st = mk_state();
+        let mut mem = MapMem::default();
+        (case.setup)(&mut st, &mut mem);
+        let (_, completion) = interp
+            .call(
+                "decode",
+                &[CVal::Bits(Bv::new(32, u128::from(case.opcode)))],
+                &mut st,
+                &mut mem,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        (case.check)(&st, &mut mem, completion);
+    }
+}
+
+#[test]
+fn arm_classes_have_hand_computed_effects() {
+    let interp = Interp::new(arm()).expect("consts");
+    run_table(ARM_CASES, ARM_CLASSES, &interp, arm_state);
+}
+
+#[test]
+fn riscv_classes_have_hand_computed_effects() {
+    let interp = Interp::new(riscv()).expect("consts");
+    run_table(RISCV_CASES, RISCV_CLASSES, &interp, rv_state);
+}
+
+#[test]
+fn tables_cover_every_grammar_class() {
+    for (cases, classes, what) in [
+        (ARM_CASES, ARM_CLASSES, "arm"),
+        (RISCV_CASES, RISCV_CLASSES, "riscv"),
+    ] {
+        let covered: BTreeSet<&str> = cases.iter().map(|c| c.class).collect();
+        for class in classes {
+            assert!(
+                covered.contains(class.name),
+                "{what}: no interpreter test for instruction class `{}`",
+                class.name
+            );
+        }
+    }
+}

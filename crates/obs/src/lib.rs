@@ -218,6 +218,62 @@ impl CertMetrics {
     }
 }
 
+/// Differential-testing counters: one record per fuzzing run (or per
+/// opcode, absorbed upward). Every field is a deterministic function of
+/// `(seed, budget, models)` — no wall-clock, no OS randomness — so the
+/// rendered table is byte-identical across reruns and worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffMetrics {
+    /// Opcodes generated and traced.
+    pub opcodes: u64,
+    /// Opcodes the symbolic executor could not trace (counted, skipped).
+    pub trace_errors: u64,
+    /// Root-to-leaf trace paths enumerated.
+    pub paths: u64,
+    /// Paths whose constraint set was unsatisfiable (vacuous branches).
+    pub vacuous: u64,
+    /// Paths the solver could not decide (skipped, counted).
+    pub unknown: u64,
+    /// Satisfying models sampled from path constraints.
+    pub models_sampled: u64,
+    /// Concrete replays run against sampled models.
+    pub replays: u64,
+    /// Replays that diverged from the symbolic trace.
+    pub divergences: u64,
+}
+
+impl DiffMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &DiffMetrics) {
+        self.opcodes += o.opcodes;
+        self.trace_errors += o.trace_errors;
+        self.paths += o.paths;
+        self.vacuous += o.vacuous;
+        self.unknown += o.unknown;
+        self.models_sampled += o.models_sampled;
+        self.replays += o.replays;
+        self.divergences += o.divergences;
+    }
+
+    /// Renders the record as the `k=v` line used by `fig12 --difftest`
+    /// (same vocabulary as the profile table stages).
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "opcodes={} trace_errors={} paths={} vacuous={} unknown={} \
+             models_sampled={} replays={} divergences={}",
+            self.opcodes,
+            self.trace_errors,
+            self.paths,
+            self.vacuous,
+            self.unknown,
+            self.models_sampled,
+            self.replays,
+            self.divergences
+        )
+    }
+}
+
 /// The per-case, per-stage counter profile: everything `fig12 --profile`
 /// prints for one Fig. 12 row. All fields are deterministic counters —
 /// no wall-clock — so the rendering is byte-identical across `--jobs N`,
@@ -711,6 +767,40 @@ mod tests {
         assert_eq!(c.lookups(), 4);
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheMetrics::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn diff_metrics_absorb_and_render() {
+        let mut a = DiffMetrics {
+            opcodes: 2,
+            paths: 5,
+            divergences: 1,
+            ..Default::default()
+        };
+        let b = DiffMetrics {
+            opcodes: 3,
+            models_sampled: 4,
+            replays: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.opcodes, 5);
+        assert_eq!(a.paths, 5);
+        assert_eq!(a.models_sampled, 4);
+        assert_eq!(a.divergences, 1);
+        let r = a.render();
+        for key in [
+            "opcodes=",
+            "trace_errors=",
+            "paths=",
+            "vacuous=",
+            "unknown=",
+            "models_sampled=",
+            "replays=",
+            "divergences=",
+        ] {
+            assert!(r.contains(key), "missing {key} in {r}");
+        }
     }
 
     #[test]

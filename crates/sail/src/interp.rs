@@ -5,7 +5,7 @@
 //! against a register/memory state — the analogue of running the
 //! Sail-generated Coq definitions.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -176,6 +176,30 @@ enum Flow {
     Exit,
 }
 
+/// One register assignment executed during a [`Interp::replay`] run, in
+/// program order: a plain register (`index: None`) or an array slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Declared register (or register array) name.
+    pub name: String,
+    /// Array index for `X[i] = ...` writes.
+    pub index: Option<usize>,
+    /// The value written.
+    pub value: Bv,
+}
+
+/// The outcome of a [`Interp::replay`] run: the call's value and
+/// completion, plus the journal of every register write in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Return value of the entry function.
+    pub value: CVal,
+    /// Whether the run returned normally or `exit()`ed.
+    pub completion: Completion,
+    /// Every register assignment, in execution order.
+    pub writes: Vec<RegWrite>,
+}
+
 const MAX_CALL_DEPTH: u32 = 64;
 
 /// The interpreter for a checked model.
@@ -186,6 +210,11 @@ pub struct Interp<'m> {
     // count work, not wall time, so they are byte-identical across runs.
     steps: Cell<u64>,
     calls: Cell<u64>,
+    // Replay support: an absolute step ceiling and a write journal, both
+    // inert outside `replay` so plain `call`s pay only a Cell read.
+    step_limit: Cell<Option<u64>>,
+    journaling: Cell<bool>,
+    journal: RefCell<Vec<RegWrite>>,
 }
 
 impl<'m> Interp<'m> {
@@ -200,6 +229,9 @@ impl<'m> Interp<'m> {
             consts: HashMap::new(),
             steps: Cell::new(0),
             calls: Cell::new(0),
+            step_limit: Cell::new(None),
+            journaling: Cell::new(false),
+            journal: RefCell::new(Vec::new()),
         };
         // Constants may refer to earlier constants.
         for c in &cm.model.consts {
@@ -273,8 +305,48 @@ impl<'m> Interp<'m> {
         }
     }
 
+    /// Calls a model function like [`Interp::call`], but bounded to
+    /// `step_budget` expression evaluations and journalling every
+    /// register write in execution order. This is the differential-oracle
+    /// entry point: the budget makes a replay of an adversarial or buggy
+    /// model terminate deterministically, and the journal is what gets
+    /// compared event-by-event against a symbolic trace's `write-reg`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] on runtime errors, including a `step
+    /// budget exceeded` error when the bound is hit.
+    pub fn replay(
+        &self,
+        name: &str,
+        args: &[CVal],
+        state: &mut SailState,
+        mem: &mut dyn SailMem,
+        step_budget: u64,
+    ) -> Result<Replay, InterpError> {
+        self.step_limit
+            .set(Some(self.steps.get().saturating_add(step_budget)));
+        self.journaling.set(true);
+        self.journal.borrow_mut().clear();
+        let res = self.call(name, args, state, mem);
+        self.step_limit.set(None);
+        self.journaling.set(false);
+        let writes = std::mem::take(&mut *self.journal.borrow_mut());
+        let (value, completion) = res?;
+        Ok(Replay {
+            value,
+            completion,
+            writes,
+        })
+    }
+
     fn eval(&self, e: &Expr, fr: &mut Frame<'_, '_>) -> Result<Flow, InterpError> {
         self.steps.set(self.steps.get() + 1);
+        if let Some(limit) = self.step_limit.get() {
+            if self.steps.get() > limit {
+                return rt_err("step budget exceeded");
+            }
+        }
         macro_rules! val {
             ($e:expr) => {
                 match self.eval($e, fr)? {
@@ -374,6 +446,13 @@ impl<'m> Interp<'m> {
                             match lv {
                                 LValue::Reg(name) => {
                                     fr.state.regs.insert(name.clone(), v.bits());
+                                    if self.journaling.get() {
+                                        self.journal.borrow_mut().push(RegWrite {
+                                            name: name.clone(),
+                                            index: None,
+                                            value: v.bits(),
+                                        });
+                                    }
                                 }
                                 LValue::RegIdx(name, idx) => {
                                     let i = val!(idx).int();
@@ -388,6 +467,13 @@ impl<'m> Interp<'m> {
                                         ));
                                     };
                                     *slot = v.bits();
+                                    if self.journaling.get() {
+                                        self.journal.borrow_mut().push(RegWrite {
+                                            name: name.clone(),
+                                            index: usize::try_from(i).ok(),
+                                            value: v.bits(),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -740,6 +826,74 @@ mod tests {
         assert_eq!(second.steps, 2 * first.steps);
         interp.reset_metrics();
         assert_eq!(interp.metrics(), SailMetrics::default());
+    }
+
+    #[test]
+    fn replay_journals_writes_in_execution_order() {
+        let cm = setup(
+            "register SP : bits(64)
+             register X : vector(4, bits(64))
+             function f() -> unit = {
+               SP = 0x0000000000000010;
+               X[2] = SP;
+               SP = 0x0000000000000020;
+             }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        let mut mem = MapMem::default();
+        let r = interp
+            .replay("f", &[], &mut st, &mut mem, 10_000)
+            .expect("runs");
+        assert_eq!(r.completion, Completion::Done);
+        assert_eq!(
+            r.writes,
+            vec![
+                RegWrite {
+                    name: "SP".into(),
+                    index: None,
+                    value: Bv::new(64, 0x10),
+                },
+                RegWrite {
+                    name: "X".into(),
+                    index: Some(2),
+                    value: Bv::new(64, 0x10),
+                },
+                RegWrite {
+                    name: "SP".into(),
+                    index: None,
+                    value: Bv::new(64, 0x20),
+                },
+            ]
+        );
+        // Journalling is replay-only: a plain call records nothing and a
+        // later replay starts from an empty journal.
+        interp.call("f", &[], &mut st, &mut mem).expect("runs");
+        let r2 = interp
+            .replay("f", &[], &mut st, &mut mem, 10_000)
+            .expect("runs");
+        assert_eq!(r2.writes.len(), 3);
+    }
+
+    #[test]
+    fn replay_step_budget_bounds_divergent_models() {
+        // Infinite mutual recursion would also trip MAX_CALL_DEPTH; use a
+        // budget small enough to hit first.
+        let cm = setup(
+            "register R : bits(64)
+             function f() -> unit = { R = R + 0x0000000000000001; f(); }",
+        );
+        let interp = Interp::new(&cm).expect("consts");
+        let mut st = SailState::zeroed(&cm);
+        let mut mem = MapMem::default();
+        let err = interp
+            .replay("f", &[], &mut st, &mut mem, 50)
+            .expect_err("budget trips");
+        assert!(err.message.contains("step budget exceeded"), "{err}");
+        // The ceiling is cleared afterwards: the same call now runs until
+        // the recursion bound, not the stale step ceiling.
+        let err = interp.call("f", &[], &mut st, &mut mem).expect_err("depth");
+        assert!(err.message.contains("depth"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub use ast::{
     Binop, ConstDecl, Expr, Function, LValue, Model, Pattern, RegisterDecl, Stmt, Ty, Unop,
 };
 pub use check::{check_model, CheckError, CheckedModel, Globals, BUILTINS};
-pub use interp::{CVal, Completion, Interp, InterpError, MapMem, SailMem, SailState};
+pub use interp::{
+    CVal, Completion, Interp, InterpError, MapMem, RegWrite, Replay, SailMem, SailState,
+};
 pub use lexer::{lex, LexError, Tok, Token};
 pub use parser::{parse_expr, parse_model, SailParseError};

@@ -65,6 +65,20 @@ impl Model {
         self.values.get(&v).copied()
     }
 
+    /// Looks up a variable's value, defaulting to the zero of `sort` when
+    /// the encoder never saw the variable (it was eliminated by
+    /// simplification, or appears in no constraint at all). This makes
+    /// concretization of a trace valuation *total*: every declared
+    /// variable gets a value, and the default is sound because an
+    /// unconstrained variable can take any value — including zero.
+    #[must_use]
+    pub fn get_or_default(&self, v: Var, sort: Sort) -> Value {
+        self.get(v).unwrap_or(match sort {
+            Sort::Bool => Value::Bool(false),
+            Sort::BitVec(w) => Value::Bits(islaris_bv::Bv::zero(w)),
+        })
+    }
+
     /// Iterates over the assigned variables.
     pub fn iter(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
         self.values.iter().map(|(v, val)| (*v, *val))
@@ -178,13 +192,7 @@ pub fn check_sat_metered(
             // saw (eliminated by simplification) default per sort; this is
             // sound because simplification preserves semantics.
             m.model_verifies += 1;
-            let env = |v: Var| {
-                model.get(v).or_else(|| match sorts(v) {
-                    Some(Sort::Bool) => Some(Value::Bool(false)),
-                    Some(Sort::BitVec(w)) => Some(Value::Bits(islaris_bv::Bv::zero(w))),
-                    None => None,
-                })
-            };
+            let env = |v: Var| sorts(v).map(|s| model.get_or_default(v, s));
             for a in &simplified {
                 match eval_bool(a, &env) {
                     Ok(true) => {}
@@ -298,6 +306,31 @@ mod tests {
                 assert_eq!(
                     m.get(Var(0)),
                     Some(Value::Bits(islaris_bv::Bv::new(64, 42)))
+                );
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_or_default_is_total_over_unseen_variables() {
+        // The constraint mentions only Var(0); Var(1) is declared (it has
+        // a sort) but the encoder never sees it, so `get` returns None
+        // while `get_or_default` yields the zero of the requested sort.
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(x, Expr::bv(64, 7))];
+        match check_sat(&q, &sorts64, &cfg()) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.get(Var(1)), None, "unseen variable has no value");
+                assert_eq!(
+                    m.get_or_default(Var(1), Sort::BitVec(64)),
+                    Value::Bits(islaris_bv::Bv::zero(64))
+                );
+                assert_eq!(m.get_or_default(Var(1), Sort::Bool), Value::Bool(false));
+                // Seen variables are unaffected by the default.
+                assert_eq!(
+                    m.get_or_default(Var(0), Sort::BitVec(64)),
+                    Value::Bits(islaris_bv::Bv::new(64, 7))
                 );
             }
             other => panic!("expected sat, got {other:?}"),
