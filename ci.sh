@@ -38,6 +38,59 @@ for stage in 'sail    :' 'isla    :' 'isla.smt:' 'engine  :' 'eng.smt :' \
         || { echo "stage '$stage' missing from profile output"; exit 1; }
 done
 
+echo "== fig12 hot-query smoke (per-case + pipeline-wide attribution tables) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --profile --jobs 2 --hot-queries 3 > "$profile_out/hot.txt"
+grep -q "hot queries (pipeline, top " "$profile_out/hot.txt" \
+    || { echo "pipeline-wide hot-query table missing"; exit 1; }
+grep -q "hot queries (memcpy (Arm), top " "$profile_out/hot.txt" \
+    || { echo "per-case hot-query table missing"; exit 1; }
+
+echo "== fig12 proof-trace smoke (deterministic across reruns) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --trace-proof hvc > "$profile_out/ptrace1.txt"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --trace-proof hvc > "$profile_out/ptrace2.txt"
+cmp "$profile_out/ptrace1.txt" "$profile_out/ptrace2.txt" \
+    || { echo "proof trace differs between reruns"; exit 1; }
+grep -q "open" "$profile_out/ptrace1.txt" \
+    || { echo "proof trace has no opened obligations"; exit 1; }
+
+echo "== fig12 bench json smoke (valid schema, all cases x both halves) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench 1 --warmup 0 --json "$profile_out/bench.json" > /dev/null
+test -s "$profile_out/bench.json"
+grep -q '"schema":"islaris-bench/v1"' "$profile_out/bench.json" \
+    || { echo "bench json missing schema tag"; exit 1; }
+for slug in memcpy_arm memcpy_riscv hvc pkvm unaligned uart rbit \
+            binsearch_arm binsearch_riscv; do
+    for half in trace verify; do
+        grep -q "\"name\":\"$half/$slug\"" "$profile_out/bench.json" \
+            || { echo "bench sample $half/$slug missing"; exit 1; }
+    done
+done
+
+echo "== regression gate (self-compare passes; perturbed copy fails) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare "$profile_out/bench.json" "$profile_out/bench.json" \
+    > /dev/null || { echo "self-compare must exit 0"; exit 1; }
+# Inflate the first median 1000x: the gate must flag it and exit nonzero.
+sed 's/"median_ns":\([0-9]*\)/"median_ns":\1000/' "$profile_out/bench.json" \
+    > "$profile_out/bench_slow.json"
+if cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare "$profile_out/bench.json" "$profile_out/bench_slow.json" \
+    > "$profile_out/compare.txt"; then
+    echo "perturbed compare must exit nonzero"; exit 1
+fi
+grep -q "REGRESSION" "$profile_out/compare.txt" \
+    || { echo "regression rows missing from compare output"; exit 1; }
+
+echo "== committed baseline compare (informational: medians drift across"
+echo "   hosts, so this reports but never fails the build) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare BENCH_seed.json "$profile_out/bench.json" \
+    --threshold 1000000 || echo "note: baseline drift beyond huge threshold"
+
 echo "== difftest smoke (fixed seed, small budget: zero divergences and"
 echo "   byte-identical reports across reruns and --jobs values) =="
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \

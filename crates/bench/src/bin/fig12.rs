@@ -12,14 +12,29 @@
 //!   shared trace cache, reporting per-case wall times, cache hit rates,
 //!   and speedups. The stable (non-timing) columns are asserted
 //!   byte-identical across all three runs.
-//! * `--bench [ITERS]` — the pipeline-stage micro-benchmarks
-//!   (plain-`Instant` replacement for the removed Criterion benches).
-//! * `--profile [--jobs N] [--profile-out PATH]` — the observability
-//!   export: runs all nine cases through a fresh shared cache with span
-//!   recording on, prints the stable table plus the per-case per-stage
-//!   *counter* profile (deterministic: byte-identical across worker
-//!   counts and cache states), and emits the wall-clock spans as Chrome
-//!   trace-event JSON (self-validated; written to PATH when given).
+//! * `--bench [ITERS] [--warmup W] [--json PATH]` — the statistical
+//!   benchmarks: every case's two pipeline halves (`trace/<slug>`,
+//!   `verify/<slug>`) plus the stage micro-benchmarks, measured over W
+//!   warm-up + ITERS iterations with min/median/p90/max/MAD, optionally
+//!   exported as versioned `islaris-bench/v1` JSON.
+//! * `--bench-compare OLD.json NEW.json [--threshold PCT]` — the
+//!   perf-regression gate: diffs two `--json` exports by median and exits
+//!   nonzero if any benchmark's median grew more than PCT percent
+//!   (default 25).
+//! * `--trace-proof SLUG` — builds one case with proof-search tracing on
+//!   and prints the structured automation trace: one line per proof rule
+//!   fired, obligation opened/discharged, and backtrack, tagged with the
+//!   solver-query digest it triggered. Deterministic: byte-identical
+//!   across reruns, worker counts, and cache states.
+//! * `--profile [--jobs N] [--profile-out PATH] [--profile-json PATH]
+//!   [--hot-queries K]` — the observability export: runs all nine cases
+//!   through a fresh shared cache with span recording on, prints the
+//!   stable table plus the per-case per-stage *counter* profile
+//!   (deterministic: byte-identical across worker counts and cache
+//!   states) and, with `--hot-queries K`, the top-K hottest solver
+//!   queries per case and pipeline-wide; emits the wall-clock spans as
+//!   Chrome trace-event JSON and the counter profiles as JSON (both
+//!   self-validated; written when the PATHs are given).
 //! * `--difftest [--seed S] [--budget N] [--jobs N]` — the differential
 //!   fuzzer: generates N opcodes from the decoder grammar (plus
 //!   mutations of known-good encodings), checks every symbolic trace
@@ -30,13 +45,16 @@
 
 use std::process::exit;
 
-use islaris_cases::{run_cases_with, CaseOutcome, ALL_CASES};
+use islaris_bench::{compare, parse_bench_json, samples_to_json, BenchEnv};
+use islaris_cases::{find_case, run_case_traced, run_cases_with, CaseCtx, CaseOutcome, ALL_CASES};
 use islaris_isla::TraceCache;
-use islaris_obs::{render_profiles, validate_json, Recorder};
+use islaris_obs::{profiles_to_json, render_profiles, render_proof_trace, validate_json, Recorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig12 [--jobs N] [--bench [ITERS]] [--profile [--jobs N] [--profile-out PATH]] \
+        "usage: fig12 [--jobs N] [--bench [ITERS] [--warmup W] [--json PATH]] \
+         [--bench-compare OLD.json NEW.json [--threshold PCT]] [--trace-proof SLUG] \
+         [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K]] \
          [--difftest [--seed S] [--budget N] [--jobs N]]"
     );
     exit(2);
@@ -66,14 +84,14 @@ fn parallel(jobs: usize) {
     let (cold_cache, warm_cache) = (run.cold.cache_totals(), run.warm.cache_totals());
     println!("\nstable rows: identical across all three runs");
     println!(
-        "cache: {} unique traces; cold {}/{} hits ({:.0}%), warm {}/{} hits ({:.0}%)",
+        "cache: {} unique traces; cold {}/{} hits ({}), warm {}/{} hits ({})",
         run.unique_traces,
         cold_cache.hits,
         cold_cache.lookups(),
-        100.0 * cold_cache.hit_rate(),
+        cold_cache.hit_rate_str(),
         warm_cache.hits,
         warm_cache.lookups(),
-        100.0 * warm_cache.hit_rate(),
+        warm_cache.hit_rate_str(),
     );
     println!(
         "wall: sequential {:.3}s, cold {:.3}s ({:.2}x), warm {:.3}s ({:.2}x)",
@@ -95,7 +113,7 @@ fn parallel(jobs: usize) {
     }
 }
 
-fn profile(jobs: usize, out_path: Option<&str>) {
+fn profile(jobs: usize, out_path: Option<&str>, json_path: Option<&str>, hot_queries: usize) {
     let recorder = Recorder::new();
     let cache = TraceCache::new();
     let report = run_cases_with(ALL_CASES, jobs, Some(&cache), Some(&recorder));
@@ -106,6 +124,22 @@ fn profile(jobs: usize, out_path: Option<&str>) {
     }
     println!("\nper-stage counters ({} workers; deterministic):", jobs);
     print!("{}", render_profiles(&report.profiles()));
+    if hot_queries > 0 {
+        println!("\nsolver-query attribution (verification half; deterministic):");
+        print!("{}", report.render_hot_queries(hot_queries));
+    }
+    if let Some(path) = json_path {
+        let json = profiles_to_json(&report.profiles());
+        if let Err((off, msg)) = validate_json(&json) {
+            eprintln!("emitted profile JSON is invalid at byte {off}: {msg}");
+            exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("writing {path}: {e}");
+            exit(1);
+        }
+        println!("\nprofile json: valid JSON, written to {path}");
+    }
 
     let trace = recorder.chrome_trace();
     if let Err((off, msg)) = validate_json(&trace) {
@@ -128,6 +162,71 @@ fn profile(jobs: usize, out_path: Option<&str>) {
     if !report.all_ok() {
         eprintln!("some cases FAILED");
         exit(1);
+    }
+}
+
+fn bench_mode(warmup: usize, iters: usize, json_path: Option<&str>) {
+    let env = BenchEnv::capture(warmup, iters);
+    println!("{}", env.row());
+    let samples = islaris_bench::all_benches(warmup, iters);
+    for s in &samples {
+        println!("{}", s.row());
+    }
+    if let Some(path) = json_path {
+        let text = samples_to_json(&env, &samples);
+        if let Err((off, msg)) = validate_json(&text) {
+            eprintln!("emitted bench JSON is invalid at byte {off}: {msg}");
+            exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("writing {path}: {e}");
+            exit(1);
+        }
+        println!(
+            "bench json: {} samples, valid JSON, written to {path}",
+            samples.len()
+        );
+    }
+}
+
+fn bench_compare(old_path: &str, new_path: &str, threshold_pct: f64) {
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            exit(2);
+        });
+        parse_bench_json(&text).unwrap_or_else(|e| {
+            eprintln!("parsing {path}: {e}");
+            exit(2);
+        })
+    };
+    let (old_env, old_samples) = load(old_path);
+    let (new_env, new_samples) = load(new_path);
+    println!("old {}", old_env.row());
+    println!("new {}", new_env.row());
+    let report = compare(&old_samples, &new_samples, threshold_pct);
+    print!("{}", report.render());
+    if report.regressions() > 0 {
+        exit(1);
+    }
+}
+
+fn trace_proof(slug: &str) {
+    let Some(def) = find_case(slug) else {
+        let slugs: Vec<&str> = ALL_CASES.iter().map(|c| c.slug).collect();
+        eprintln!("unknown case `{slug}`; known slugs: {}", slugs.join(" "));
+        exit(2);
+    };
+    let art = (def.build)(&CaseCtx::default());
+    let (_, report) = run_case_traced(&art);
+    for block in &report.blocks {
+        println!(
+            "block {:#x} spec `{}` ({} events):",
+            block.addr,
+            block.spec,
+            block.ptrace.len()
+        );
+        print!("{}", render_proof_trace(&block.ptrace));
     }
 }
 
@@ -158,15 +257,64 @@ fn main() {
             parallel(jobs);
         }
         Some("--bench") => {
-            let iters = args.get(1).map_or(Some(5), |s| s.parse::<usize>().ok());
-            let Some(iters) = iters else { usage() };
-            for sample in islaris_bench::stage_benches(iters) {
-                println!("{}", sample.row());
+            let mut iters = 5;
+            let mut warmup = 1;
+            let mut json_path: Option<String> = None;
+            let mut i = 1;
+            if let Some(v) = args.get(1).and_then(|s| s.parse::<usize>().ok()) {
+                iters = v;
+                i = 2;
             }
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--warmup" => {
+                        warmup = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--json" => {
+                        json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            bench_mode(warmup, iters, json_path.as_deref());
+        }
+        Some("--bench-compare") => {
+            let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let mut threshold = 25.0;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threshold" => {
+                        threshold = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<f64>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            bench_compare(old_path, new_path, threshold);
+        }
+        Some("--trace-proof") => {
+            let Some(slug) = args.get(1) else { usage() };
+            if args.len() > 2 {
+                usage();
+            }
+            trace_proof(slug);
         }
         Some("--profile") => {
             let mut jobs = 1;
             let mut out_path: Option<String> = None;
+            let mut json_path: Option<String> = None;
+            let mut hot_queries = 0;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -181,10 +329,21 @@ fn main() {
                         out_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                         i += 2;
                     }
+                    "--profile-json" => {
+                        json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    "--hot-queries" => {
+                        hot_queries = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            profile(jobs, out_path.as_deref());
+            profile(jobs, out_path.as_deref(), json_path.as_deref(), hot_queries);
         }
         Some("--difftest") => {
             let mut cfg = islaris_difftest::FuzzConfig::default();

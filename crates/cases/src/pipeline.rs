@@ -16,18 +16,23 @@ use std::time::{Duration, Instant};
 
 use islaris_core::{run_jobs_profiled, JobPanic};
 use islaris_isla::{CacheStats, TraceCache};
-use islaris_obs::{CaseProfile, Recorder};
+use islaris_obs::{CaseProfile, QueryTable, Recorder};
 
 use crate::report::{run_case, CaseArtifacts, CaseCtx, CaseOutcome};
 use crate::{
     binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
 };
 
-/// One registered case study: its Fig. 12 name and builder.
+/// One registered case study: its Fig. 12 name, a unique CLI slug, and
+/// its builder.
 #[derive(Clone, Copy)]
 pub struct CaseDef {
     /// Registry name (matches `CaseArtifacts::name`).
     pub name: &'static str,
+    /// Unique command-line handle (`fig12 --trace-proof <slug>` and the
+    /// per-case bench sample names `trace/<slug>` / `verify/<slug>`).
+    /// Unlike `name`, slugs disambiguate the per-ISA variants.
+    pub slug: &'static str,
     /// Builds the artefacts under a build context.
     pub build: fn(&CaseCtx) -> CaseArtifacts,
 }
@@ -36,41 +41,56 @@ pub struct CaseDef {
 pub const ALL_CASES: &[CaseDef] = &[
     CaseDef {
         name: "memcpy",
+        slug: "memcpy_arm",
         build: memcpy_arm::build_case_with,
     },
     CaseDef {
         name: "memcpy",
+        slug: "memcpy_riscv",
         build: memcpy_riscv::build_case_with,
     },
     CaseDef {
         name: "hvc",
+        slug: "hvc",
         build: hvc::build_case_with,
     },
     CaseDef {
         name: "pKVM",
+        slug: "pkvm",
         build: pkvm::build_case_with,
     },
     CaseDef {
         name: "unaligned",
+        slug: "unaligned",
         build: unaligned::build_case_with,
     },
     CaseDef {
         name: "UART",
+        slug: "uart",
         build: uart::build_case_with,
     },
     CaseDef {
         name: "rbit",
+        slug: "rbit",
         build: rbit::build_case_with,
     },
     CaseDef {
         name: "bin.search",
+        slug: "binsearch_arm",
         build: binsearch_arm::build_case_with,
     },
     CaseDef {
         name: "bin.search",
+        slug: "binsearch_riscv",
         build: binsearch_riscv::build_case_with,
     },
 ];
+
+/// Looks up a case by its unique slug.
+#[must_use]
+pub fn find_case(slug: &str) -> Option<&'static CaseDef> {
+    ALL_CASES.iter().find(|c| c.slug == slug)
+}
 
 /// One verified case plus its end-to-end wall time (build + verify +
 /// certificate re-check).
@@ -146,6 +166,48 @@ impl PipelineReport {
                 )
             })
             .collect()
+    }
+
+    /// The per-case solver-query attribution tables in registry order,
+    /// keyed `name (ISA)` like [`PipelineReport::profiles`]. Failed cases
+    /// contribute no table. Byte-identical across worker counts and cache
+    /// states (the tables cover the verification half only; DESIGN §9).
+    #[must_use]
+    pub fn query_tables(&self) -> Vec<(String, &QueryTable)> {
+        self.rows
+            .iter()
+            .flatten()
+            .map(|row| {
+                (
+                    format!("{} ({})", row.outcome.name, row.outcome.isa),
+                    &row.outcome.queries,
+                )
+            })
+            .collect()
+    }
+
+    /// The pipeline-wide attribution table: every per-case table merged,
+    /// so recurring queries across cases accumulate their effort.
+    #[must_use]
+    pub fn query_totals(&self) -> QueryTable {
+        let mut total = QueryTable::default();
+        for row in self.rows.iter().flatten() {
+            total.absorb(&row.outcome.queries);
+        }
+        total
+    }
+
+    /// Renders the per-case and pipeline-wide top-`k` hottest-query
+    /// tables (`fig12 --profile --hot-queries K`). Deterministic:
+    /// byte-identical across worker counts and cache states.
+    #[must_use]
+    pub fn render_hot_queries(&self, k: usize) -> String {
+        let mut out = String::new();
+        for (scope, table) in self.query_tables() {
+            out.push_str(&table.render_top(&scope, k));
+        }
+        out.push_str(&self.query_totals().render_top("pipeline", k));
+        out
     }
 
     /// Total trace-generation (Isla-stage) wall time over the successful

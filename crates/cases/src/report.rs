@@ -6,13 +6,13 @@ use std::time::{Duration, Instant};
 
 use islaris_asm::Program;
 use islaris_core::{
-    check_certificate_metered, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
+    check_certificate_logged, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
 };
 use islaris_isla::{
     trace_opcode, CacheStats, CachedTrace, IslaConfig, IslaError, IslaStats, Opcode, TraceCache,
 };
 use islaris_itl::Trace;
-use islaris_obs::{CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, SailMetrics};
+use islaris_obs::{CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, QueryTable, SailMetrics};
 
 /// How a case study is built: an optional shared trace cache and a worker
 /// count for per-instruction trace-generation fan-out.
@@ -118,6 +118,12 @@ pub struct CaseOutcome {
     pub cache: CacheStats,
     /// The per-stage deterministic counter profile (`fig12 --profile`).
     pub profile: CaseProfile,
+    /// Per-query solver attribution over the verification half (proof
+    /// automation + certificate replay) — the `--hot-queries` input.
+    /// Trace-generation queries are deliberately not attributed: cache
+    /// hits replay *counters*, not per-query tables, and the attribution
+    /// must stay byte-identical across cache states (DESIGN §9).
+    pub queries: QueryTable,
 }
 
 impl CaseOutcome {
@@ -239,7 +245,25 @@ pub fn trace_program_map_with(
 /// studies are expected to verify (tests rely on this).
 #[must_use]
 pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
-    let verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+    run_case_opts(art, false)
+}
+
+/// [`run_case`] with proof-search tracing enabled: every
+/// [`islaris_core::BlockReport`] in the returned [`Report`] carries its
+/// structured trace (`fig12 --trace-proof`). Counters and outcome are
+/// identical to the untraced run.
+///
+/// # Panics
+///
+/// Panics if verification or certificate checking fails.
+#[must_use]
+pub fn run_case_traced(art: &CaseArtifacts) -> (CaseOutcome, Report) {
+    run_case_opts(art, true)
+}
+
+fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
+    let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+    verifier.trace = trace;
     let t0 = Instant::now();
     let report = verifier
         .verify_all()
@@ -248,8 +272,10 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
 
     let t1 = Instant::now();
     let mut cert_metrics = CertMetrics::default();
+    let mut queries = QueryTable::default();
     for block in &report.blocks {
-        check_certificate_metered(&block.cert, &mut cert_metrics)
+        queries.absorb(&block.stats.queries);
+        check_certificate_logged(&block.cert, &mut cert_metrics, &mut queries)
             .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
     }
     let cert_time = t1.elapsed();
@@ -324,6 +350,7 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
         cert_time,
         cache: art.cache,
         profile,
+        queries,
     };
     (outcome, report)
 }

@@ -21,9 +21,9 @@
 //! they can be committed as golden files and replayed from disk.
 
 use islaris_itl::sexp::{expr_to_sexp, parse_sexp, sexp_to_expr, ParseError, Sexp};
-use islaris_obs::{fnv1a, CertMetrics, SolverMetrics};
+use islaris_obs::{fnv1a, CertMetrics, QueryTable, SolverMetrics};
 use islaris_smt::lia::{implies, IVar, LinAtom, LinTerm};
-use islaris_smt::{entails_metered, Expr, SolverConfig, Sort, Var};
+use islaris_smt::{entails_logged, Expr, SolverConfig, Sort, Var};
 
 /// One discharged side condition.
 #[derive(Debug, Clone)]
@@ -129,6 +129,24 @@ pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
 /// Returns the first obligation that fails to re-prove (or a digest
 /// mismatch for sealed certificates).
 pub fn check_certificate_metered(cert: &Certificate, m: &mut CertMetrics) -> Result<(), CertError> {
+    let mut scratch = QueryTable::default();
+    check_certificate_logged(cert, m, &mut scratch)
+}
+
+/// [`check_certificate_metered`] plus per-query attribution: the replay's
+/// solver queries are aggregated under their digests in `table` (the
+/// replay half of the `--hot-queries` table; LIA obligations issue no
+/// solver query and record nothing).
+///
+/// # Errors
+///
+/// Returns the first obligation that fails to re-prove (or a digest
+/// mismatch for sealed certificates).
+pub fn check_certificate_logged(
+    cert: &Certificate,
+    m: &mut CertMetrics,
+    table: &mut QueryTable,
+) -> Result<(), CertError> {
     if let Some(stored) = cert.digest {
         let computed = obligations_digest(&cert.obligations);
         if stored != computed {
@@ -149,7 +167,7 @@ pub fn check_certificate_metered(cert: &Certificate, m: &mut CertMetrics) -> Res
                 m.bv += 1;
                 let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
                 let mut sm = SolverMetrics::default();
-                let ok = entails_metered(facts, goal, &lookup, &cfg, &mut sm);
+                let (ok, _digest) = entails_logged(facts, goal, &lookup, &cfg, &mut sm, table);
                 m.solver.absorb(&sm);
                 ok
             }

@@ -16,9 +16,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_itl::{Event, Reg, Trace};
+use islaris_obs::{ProofEvent, ProofStep, QueryTable};
 use islaris_smt::lia::{implies, LinAtom, LinTerm};
 use islaris_smt::{
-    entails_metered, simplify_with, Expr, SolverConfig, SolverMetrics, Sort, Value, Var, VarGen,
+    entails_logged, simplify_with, Expr, SolverConfig, SolverMetrics, Sort, Value, Var, VarGen,
 };
 
 use crate::assertions::{Arg, Atom, Param, ProgramSpec, SpecDef};
@@ -71,6 +72,9 @@ pub struct BlockStats {
     pub vacuous_branches: u64,
     /// Solver effort of the engine's SMT queries.
     pub solver: SolverMetrics,
+    /// Per-query attribution: solver-query digest → cumulative effort
+    /// (the engine's contribution to the `--hot-queries` table).
+    pub queries: QueryTable,
     /// Wall-clock time in the automation.
     pub time: Duration,
 }
@@ -86,6 +90,8 @@ pub struct BlockReport {
     pub stats: BlockStats,
     /// The obligations discharged (replayable).
     pub cert: Certificate,
+    /// Proof-search trace (empty unless [`Verifier::trace`] was set).
+    pub ptrace: Vec<ProofEvent>,
 }
 
 /// Result of verifying a whole program.
@@ -125,6 +131,11 @@ pub struct Verifier {
     pub solver: SolverConfig,
     /// Maximum instructions executed per path before giving up.
     pub fuel: u64,
+    /// Collect a structured proof-search trace into each
+    /// [`BlockReport::ptrace`]. Off by default: tracing allocates one
+    /// labelled event per rule fired, so it is opt-in (counters and the
+    /// query table are always on — they are cheap field adds).
+    pub trace: bool,
 }
 
 impl Verifier {
@@ -136,6 +147,7 @@ impl Verifier {
             protocol,
             solver: SolverConfig::new(),
             fuel: 128,
+            trace: false,
         }
     }
 
@@ -198,6 +210,7 @@ impl Verifier {
             spec: ann.spec.clone(),
             stats,
             cert: Certificate::sealed(eng.shared.cert),
+            ptrace: eng.shared.ptrace,
         })
     }
 }
@@ -274,6 +287,9 @@ struct Shared {
     /// atom numbering is deterministic per expression, so entries stay
     /// valid as the bridge grows (range facts are appended per query).
     lia_cache: HashMap<(Vec<Expr>, Vec<(Expr, SeqVar)>), Vec<LinAtom>>,
+    /// Proof-search trace collection (on iff [`Verifier::trace`]).
+    trace: bool,
+    ptrace: Vec<ProofEvent>,
 }
 
 struct Engine<'v> {
@@ -296,22 +312,35 @@ struct ProofEnv<'e> {
     lia_cache: &'e mut HashMap<(Vec<Expr>, Vec<(Expr, SeqVar)>), Vec<LinAtom>>,
     /// Bound sequence parameters (during entailment).
     seq_bindings: &'e HashMap<SeqVar, SeqNorm>,
+    trace: bool,
+    ptrace: &'e mut Vec<ProofEvent>,
 }
 
 impl ProofEnv<'_> {
+    /// Appends a proof-trace event; the closure runs (and its label is
+    /// formatted) only when tracing is on.
+    fn tr(&mut self, ev: impl FnOnce() -> ProofEvent) {
+        if self.trace {
+            self.ptrace.push(ev());
+        }
+    }
+
     /// Tries LIA first for relational goals (fast and complete for the
     /// linear-arithmetic identities loop invariants produce), then the
     /// bitvector solver.
     fn prove_mixed(&mut self, goal: &Expr) -> bool {
         if let Some(atom) = self.goal_to_lia(goal) {
             self.stats.lia_queries += 1;
+            self.tr(|| ProofEvent::new(ProofStep::Open, format!("lia {atom:?}")));
             let mut facts = self.lia_facts();
             facts.extend(self.bridge.range_facts());
             if implies(&facts, &atom) {
                 self.stats.obligations += 1;
+                self.tr(|| ProofEvent::new(ProofStep::Discharge, format!("lia {atom:?}")));
                 self.cert.push(Obligation::Lia { facts, goal: atom });
                 return true;
             }
+            self.tr(|| ProofEvent::new(ProofStep::Fail, format!("lia {atom:?} (fall back to bv)")));
         }
         self.prove_bv(goal)
     }
@@ -386,6 +415,7 @@ impl ProofEnv<'_> {
 
         let mut queries = 0u64;
         let mut sm = SolverMetrics::default();
+        let mut qt = QueryTable::default();
         let mut prove2 = side_prover(
             &pass1,
             self.bridge.clone(),
@@ -394,6 +424,7 @@ impl ProofEnv<'_> {
             self.solver.clone(),
             &mut queries,
             &mut sm,
+            &mut qt,
         );
         let mut facts = self.bridge.int_facts(self.pure, &widths, &mut prove2);
         for (n, b) in self.lens {
@@ -405,6 +436,7 @@ impl ProofEnv<'_> {
         drop(prove2);
         self.stats.smt_queries += queries;
         self.stats.solver.absorb(&sm);
+        self.stats.queries.absorb(&qt);
         facts
     }
 
@@ -415,6 +447,7 @@ impl ProofEnv<'_> {
         base.extend(self.bridge.range_facts());
         let mut queries = 0u64;
         let mut sm = SolverMetrics::default();
+        let mut qt = QueryTable::default();
         let mut prove = side_prover(
             &base,
             self.bridge.clone(),
@@ -423,11 +456,13 @@ impl ProofEnv<'_> {
             self.solver.clone(),
             &mut queries,
             &mut sm,
+            &mut qt,
         );
         let r = self.bridge.to_int(e, w, &mut prove);
         drop(prove);
         self.stats.smt_queries += queries;
         self.stats.solver.absorb(&sm);
+        self.stats.queries.absorb(&qt);
         r
     }
 }
@@ -435,32 +470,34 @@ impl ProofEnv<'_> {
 impl SeqCtx for ProofEnv<'_> {
     fn prove_int(&mut self, goal: &LinAtom) -> bool {
         self.stats.lia_queries += 1;
+        self.tr(|| ProofEvent::new(ProofStep::Open, format!("lia {goal:?}")));
         let mut facts = self.lia_facts();
         facts.extend(self.bridge.range_facts());
         let ok = implies(&facts, goal);
         if ok {
             self.stats.obligations += 1;
+            self.tr(|| ProofEvent::new(ProofStep::Discharge, format!("lia {goal:?}")));
             self.cert.push(Obligation::Lia {
                 facts,
                 goal: goal.clone(),
             });
+        } else {
+            self.tr(|| ProofEvent::new(ProofStep::Fail, format!("lia {goal:?}")));
         }
         ok
     }
 
     fn prove_bv(&mut self, goal: &Expr) -> bool {
-        let ws = {
-            let sorts = &*self.sorts;
-            move |v: Var| sorts.get(&v).copied()
-        };
         let g = simplify_with(goal, &|v| match self.sorts.get(&v) {
             Some(Sort::BitVec(w)) => Some(*w),
             _ => None,
         });
+        self.tr(|| ProofEvent::new(ProofStep::Open, format!("bv {g}")));
         if g.as_bool() == Some(true) {
             // A tautology after simplification — still logged, so the
             // certificate checker re-establishes it independently.
             self.stats.obligations += 1;
+            self.tr(|| ProofEvent::new(ProofStep::Discharge, format!("bv {g} (tautology)")));
             self.cert.push(Obligation::Bv {
                 facts: Vec::new(),
                 goal: goal.clone(),
@@ -470,15 +507,31 @@ impl SeqCtx for ProofEnv<'_> {
         }
         self.stats.smt_queries += 1;
         let mut m = SolverMetrics::default();
-        let ok = entails_metered(self.pure, &g, &ws, self.solver, &mut m);
+        let (ok, digest) = {
+            let ws = {
+                let sorts = &*self.sorts;
+                move |v: Var| sorts.get(&v).copied()
+            };
+            entails_logged(
+                self.pure,
+                &g,
+                &ws,
+                self.solver,
+                &mut m,
+                &mut self.stats.queries,
+            )
+        };
         self.stats.solver.absorb(&m);
         if ok {
             self.stats.obligations += 1;
+            self.tr(|| ProofEvent::with_digest(ProofStep::Discharge, format!("bv {g}"), digest));
             self.cert.push(Obligation::Bv {
                 facts: self.pure.to_vec(),
                 goal: g,
                 sorts: sorted_sorts(self.sorts),
             });
+        } else {
+            self.tr(|| ProofEvent::with_digest(ProofStep::Fail, format!("bv {g}"), digest));
         }
         ok
     }
@@ -534,7 +587,16 @@ impl<'v> Engine<'v> {
                 stats: BlockStats::default(),
                 cert: Vec::new(),
                 lia_cache: HashMap::new(),
+                trace: v.trace,
+                ptrace: Vec::new(),
             },
+        }
+    }
+
+    /// Appends a proof-trace event; the closure runs only when tracing.
+    fn tr(&mut self, ev: impl FnOnce() -> ProofEvent) {
+        if self.shared.trace {
+            self.shared.ptrace.push(ev());
         }
     }
 
@@ -569,6 +631,8 @@ impl<'v> Engine<'v> {
             cert: &mut shared.cert,
             lia_cache: &mut shared.lia_cache,
             seq_bindings,
+            trace: shared.trace,
+            ptrace: &mut shared.ptrace,
         }
     }
 
@@ -687,6 +751,22 @@ impl<'v> Engine<'v> {
 
     fn exec_event(&mut self, ctx: &mut Ctx, subst: &mut Subst, ev: &Event) -> Result<Step, String> {
         let empty = HashMap::new();
+        // One `rule` trace event per trace event handled: the engine is
+        // rule-directed, so the event kind names the proof rule applied.
+        self.tr(|| {
+            let label = match ev {
+                Event::DeclareConst(x, s) => format!("declare-const {x} {s:?}"),
+                Event::DefineConst(x, _) => format!("define-const {x}"),
+                Event::ReadReg(r, _) => format!("hoare-read-reg {r}"),
+                Event::WriteReg(r, _) => format!("hoare-write-reg {r}"),
+                Event::AssumeReg(r, _) => format!("assume-reg {r}"),
+                Event::Assume(_) => "assume".into(),
+                Event::Assert(_) => "hoare-assert".into(),
+                Event::ReadMem { bytes, .. } => format!("hoare-read-mem {bytes}B"),
+                Event::WriteMem { bytes, .. } => format!("hoare-write-mem {bytes}B"),
+            };
+            ProofEvent::new(ProofStep::Rule, label)
+        });
         match ev {
             Event::DeclareConst(x, s) => {
                 let g = self.shared.vargen.fresh();
@@ -746,6 +826,9 @@ impl<'v> Engine<'v> {
                 let cond = self.simp(&subst.apply(e));
                 if cond.as_bool() == Some(false) {
                     self.shared.stats.vacuous_branches += 1;
+                    self.tr(|| {
+                        ProofEvent::new(ProofStep::Backtrack, "vacuous assert (literal false)")
+                    });
                     return Ok(Step::Vacuous);
                 }
                 // If the context refutes the branch condition, the branch
@@ -756,6 +839,9 @@ impl<'v> Engine<'v> {
                 };
                 if refuted {
                     self.shared.stats.vacuous_branches += 1;
+                    self.tr(|| {
+                        ProofEvent::new(ProofStep::Backtrack, "vacuous assert (context refutes)")
+                    });
                     return Ok(Step::Vacuous);
                 }
                 ctx.pure.push(cond);
@@ -972,6 +1058,7 @@ impl<'v> Engine<'v> {
             return Err("no PC points-to in the context".into());
         };
         let pc = self.simp(&pc);
+        self.tr(|| ProofEvent::new(ProofStep::Rule, format!("hoare-instr pc={pc}")));
         if let Some(Value::Bits(b)) = pc.as_value() {
             let addr = b.to_u64();
             if let Some(ann) = self.v.prog.blocks.get(&addr) {
@@ -1026,6 +1113,7 @@ impl<'v> Engine<'v> {
 
     #[allow(clippy::too_many_lines)]
     fn entail(&mut self, ctx: Ctx, def: &SpecDef, given: Option<&[Arg]>) -> Result<(), String> {
+        self.tr(|| ProofEvent::new(ProofStep::Rule, format!("entail spec `{}`", def.name)));
         let mut bv_bind: HashMap<Var, Expr> = HashMap::new();
         let mut seq_bind: HashMap<SeqVar, SeqNorm> = HashMap::new();
         if let Some(args) = given {
@@ -1492,6 +1580,7 @@ fn side_prover<'a>(
     solver: SolverConfig,
     queries: &'a mut u64,
     metrics: &'a mut SolverMetrics,
+    table: &'a mut QueryTable,
 ) -> impl FnMut(&Expr) -> bool + 'a {
     move |goal: &Expr| {
         if lia_side_prove(goal, base, &scratch, &sorts, 4) {
@@ -1502,7 +1591,15 @@ fn side_prover<'a>(
             max_conflicts: 50_000,
             ..solver.clone()
         };
-        entails_metered(&pure, goal, &|v| sorts.get(&v).copied(), &cfg, metrics)
+        let (ok, _digest) = entails_logged(
+            &pure,
+            goal,
+            &|v| sorts.get(&v).copied(),
+            &cfg,
+            metrics,
+            table,
+        );
+        ok
     }
 }
 

@@ -1,0 +1,321 @@
+//! A minimal JSON *parser* (the sibling of `validate_json`, which only
+//! accepts/rejects): builds a [`Json`] tree for the telemetry files the
+//! workspace itself writes — `BENCH.json` benchmark snapshots and the
+//! counter-profile export. Std-only, recursive descent, no number
+//! cleverness beyond `f64` (every number we write fits `f64` exactly:
+//! counters are small and durations are nanosecond integers well under
+//! 2^53).
+
+/// A parsed JSON value. Object keys keep their textual order (the
+/// telemetry writers emit deterministic key order, and keeping it makes
+/// re-rendering stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (see module docs for the precision contract).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in textual key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (exact for |n| < 2^53).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value (with only whitespace around it).
+///
+/// # Errors
+///
+/// Returns `(byte offset, message)` for the first violation — the same
+/// error shape as [`crate::validate_json`].
+pub fn parse_json(s: &str) -> Result<Json, (usize, String)> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    let v = value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err((i, "trailing content after JSON value".into()));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<Json, (usize, String)> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i).map(Json::Str),
+        Some(b't') => lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err((*i, format!("unexpected byte {:?}", *c as char))),
+        None => Err((*i, "unexpected end of input".into())),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<Json, (usize, String)> {
+    *i += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, i);
+        let k = string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err((*i, "expected ':' in object".into()));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        let v = value(b, i)?;
+        fields.push((k, v));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err((*i, "expected ',' or '}' in object".into())),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<Json, (usize, String)> {
+    *i += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        skip_ws(b, i);
+        items.push(value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err((*i, "expected ',' or ']' in array".into())),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<String, (usize, String)> {
+    if b.get(*i) != Some(&b'"') {
+        return Err((*i, "expected string".into()));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or((*i, "bad \\u escape".to_string()))?;
+                        // Surrogates render as the replacement character:
+                        // the in-tree writers never emit them.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err((*i, "bad escape".into())),
+                }
+                *i += 1;
+            }
+            0x00..=0x1f => return Err((*i, "raw control character in string".into())),
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let start = *i;
+                *i += 1;
+                while *i < b.len() && (b[*i] & 0xc0) == 0x80 {
+                    *i += 1;
+                }
+                match std::str::from_utf8(&b[start..*i]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => return Err((start, "invalid UTF-8 in string".into())),
+                }
+            }
+        }
+    }
+    Err((*i, "unterminated string".into()))
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<Json, (usize, String)> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err((start, "malformed number".into()));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err((start, "malformed number".into()));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err((start, "malformed number".into()));
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*i]).map_err(|_| (start, "bad number".to_string()))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| (start, "malformed number".into()))
+}
+
+fn lit(b: &[u8], i: &mut usize, text: &str, v: Json) -> Result<Json, (usize, String)> {
+    if b[*i..].starts_with(text.as_bytes()) {
+        *i += text.len();
+        Ok(v)
+    } else {
+        Err((*i, format!("expected `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(parse_json("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(parse_json("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_accessors() {
+        let v = parse_json(r#"{"samples":[{"name":"x","median_ns":120}],"n":3}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        let samples = v.get("samples").and_then(Json::as_array).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            samples[0].get("median_ns").and_then(Json::as_f64),
+            Some(120.0)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_and_validator_agree() {
+        for (input, ok) in [
+            ("{}", true),
+            ("[1, [2, [3]]]", true),
+            ("{\"a\":1} x", false),
+            ("[1,]", false),
+            ("\"\\q\"", false),
+            ("", false),
+        ] {
+            assert_eq!(parse_json(input).is_ok(), ok, "parse {input:?}");
+            assert_eq!(
+                crate::validate_json(input).is_ok(),
+                ok,
+                "validate {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_integer_as_u64_is_none() {
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        assert_eq!(parse_json("7").unwrap().as_u64(), Some(7));
+    }
+}

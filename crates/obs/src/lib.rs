@@ -17,8 +17,13 @@
 //!   JSON ([`Recorder::chrome_trace`]), never mixed into the counter
 //!   table.
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
+
+pub mod json;
+
+pub use json::{parse_json, Json};
 
 // ---------------------------------------------------------------------------
 // Counters
@@ -116,6 +121,26 @@ impl CacheMetrics {
     pub fn absorb(&mut self, o: &CacheMetrics) {
         self.hits += o.hits;
         self.misses += o.misses;
+    }
+
+    /// The hit rate as display text: `-` when there were no lookups
+    /// (never `NaN`), otherwise a percentage like `75%`.
+    #[must_use]
+    pub fn hit_rate_str(&self) -> String {
+        percent(self.hits, self.lookups())
+    }
+}
+
+/// Renders `num/den` as a percentage (`75%`), or `-` when the
+/// denominator is zero — the shared zero-denominator guard for every
+/// ratio the telemetry prints (a `NaN` in a report is always a bug).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn percent(num: u64, den: u64) -> String {
+    if den == 0 {
+        "-".into()
+    } else {
+        format!("{:.0}%", 100.0 * num as f64 / den as f64)
     }
 }
 
@@ -339,6 +364,70 @@ impl CaseProfile {
         ));
         s
     }
+
+    /// The same profile as one JSON object. Stage names and counter keys
+    /// are exactly the ones [`CaseProfile::render`] prints (one shared
+    /// vocabulary with `BENCH.json` — see DESIGN §9), so text and JSON
+    /// exports can be cross-checked field by field.
+    #[must_use]
+    pub fn to_json(&self, case: &str) -> String {
+        let kv = |pairs: &[(&str, u64)]| {
+            let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        let solver = |m: &SolverMetrics| {
+            kv(&[
+                ("queries", m.queries),
+                ("sat", m.sat),
+                ("unsat", m.unsat),
+                ("unknown", m.unknown),
+                ("model_verifies", m.model_verifies),
+                ("cnf_vars", m.cnf_vars),
+                ("cnf_clauses", m.cnf_clauses),
+                ("propagations", m.propagations),
+                ("decisions", m.decisions),
+                ("conflicts", m.conflicts),
+            ])
+        };
+        format!(
+            "{{\"case\":\"{}\",\"sail\":{},\"isla\":{},\"isla.smt\":{},\"engine\":{},\
+             \"eng.smt\":{},\"cert\":{},\"cert.smt\":{},\"cache\":{}}}",
+            escape_json(case),
+            kv(&[("steps", self.sail.steps), ("calls", self.sail.calls)]),
+            kv(&[
+                ("runs", self.isla.runs),
+                ("branches_explored", self.isla.branches_explored),
+                ("branches_pruned", self.isla.branches_pruned),
+                ("smt_queries", self.isla.smt_queries),
+                ("events", self.isla.events),
+            ]),
+            solver(&self.isla_smt),
+            kv(&[
+                ("events", self.engine.events),
+                ("instructions", self.engine.instructions),
+                ("smt_queries", self.engine.smt_queries),
+                ("lia_queries", self.engine.lia_queries),
+                ("obligations", self.engine.obligations),
+                ("vacuous_branches", self.engine.vacuous_branches),
+            ]),
+            solver(&self.engine_smt),
+            kv(&[
+                ("replayed", self.cert.replayed),
+                ("bv", self.cert.bv),
+                ("lia", self.cert.lia),
+            ]),
+            solver(&self.cert.solver),
+            kv(&[("hits", self.cache.hits), ("misses", self.cache.misses)]),
+        )
+    }
+}
+
+/// Renders the whole profile table as one JSON array (the machine-readable
+/// sibling of [`render_profiles`]).
+#[must_use]
+pub fn profiles_to_json(cases: &[(String, CaseProfile)]) -> String {
+    let items: Vec<String> = cases.iter().map(|(name, p)| p.to_json(name)).collect();
+    format!("[{}]", items.join(","))
 }
 
 /// Renders the whole profile table (one [`CaseProfile::render`] block per
@@ -348,6 +437,207 @@ pub fn render_profiles(cases: &[(String, CaseProfile)]) -> String {
     let mut s = String::new();
     for (name, p) in cases {
         s.push_str(&p.render(name));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Solver-query attribution
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-query solver effort, aggregated under the query's
+/// FNV-1a digest in a [`QueryTable`]. Wall-clock time is deliberately
+/// absent: attribution tables must be byte-identical across worker
+/// counts and reruns (time lives in the span layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Times a query with this digest was issued.
+    pub count: u64,
+    /// CNF clauses produced by bit-blasting, cumulative.
+    pub cnf_clauses: u64,
+    /// Unit propagations, cumulative.
+    pub propagations: u64,
+    /// Decisions, cumulative.
+    pub decisions: u64,
+    /// Conflicts, cumulative.
+    pub conflicts: u64,
+}
+
+impl QueryStats {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &QueryStats) {
+        self.count += o.count;
+        self.cnf_clauses += o.cnf_clauses;
+        self.propagations += o.propagations;
+        self.decisions += o.decisions;
+        self.conflicts += o.conflicts;
+    }
+
+    /// The deterministic hotness key: queries are ranked by SAT-search
+    /// effort first (conflicts, then propagations and decisions), CNF
+    /// size next, repetition count last.
+    #[must_use]
+    pub fn effort(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.conflicts,
+            self.propagations,
+            self.decisions,
+            self.cnf_clauses,
+            self.count,
+        )
+    }
+}
+
+/// Aggregation table: solver-query digest → cumulative [`QueryStats`].
+/// A `BTreeMap` keyed by digest, so iteration (and therefore rendering)
+/// never depends on insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryTable {
+    /// digest → aggregated per-query effort.
+    pub entries: BTreeMap<u64, QueryStats>,
+}
+
+impl QueryTable {
+    /// Records one query occurrence under `digest`.
+    pub fn record(&mut self, digest: u64, stats: QueryStats) {
+        self.entries.entry(digest).or_default().absorb(&stats);
+    }
+
+    /// Merges another table into this one.
+    pub fn absorb(&mut self, o: &QueryTable) {
+        for (d, s) in &o.entries {
+            self.entries.entry(*d).or_default().absorb(s);
+        }
+    }
+
+    /// Distinct query digests seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no query was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `k` hottest queries, ranked by [`QueryStats::effort`]
+    /// descending with the digest as the final (ascending) tiebreak —
+    /// a total order, so the result is deterministic.
+    #[must_use]
+    pub fn top(&self, k: usize) -> Vec<(u64, QueryStats)> {
+        let mut all: Vec<(u64, QueryStats)> = self.entries.iter().map(|(d, s)| (*d, *s)).collect();
+        all.sort_by(|a, b| b.1.effort().cmp(&a.1.effort()).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Renders the top-`k` table under a `hot queries (<scope>, …)`
+    /// header. Counters only — byte-identical across runs.
+    #[must_use]
+    pub fn render_top(&self, scope: &str, k: usize) -> String {
+        let top = self.top(k);
+        let mut s = format!(
+            "hot queries ({scope}, top {} of {} by solver effort):\n",
+            top.len(),
+            self.len()
+        );
+        for (digest, q) in top {
+            s.push_str(&format!(
+                "  #x{digest:016x} count={} clauses={} props={} decs={} conflicts={}\n",
+                q.count, q.cnf_clauses, q.propagations, q.decisions, q.conflicts
+            ));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proof-search trace
+// ---------------------------------------------------------------------------
+
+/// What one proof-search trace event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A proof rule fired (one trace event or context query handled).
+    Rule,
+    /// A side-condition obligation was opened.
+    Open,
+    /// The open obligation was discharged (and logged to the certificate).
+    Discharge,
+    /// The open obligation failed to prove (the engine reports an error,
+    /// or — for `prove_mixed` — falls back to the next theory).
+    Fail,
+    /// A branch was abandoned (vacuous assert — the non-backtracking
+    /// engine's analogue of a search backtrack).
+    Backtrack,
+}
+
+impl ProofStep {
+    /// Fixed-width tag used in the rendering.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ProofStep::Rule => "rule",
+            ProofStep::Open => "open",
+            ProofStep::Discharge => "discharge",
+            ProofStep::Fail => "fail",
+            ProofStep::Backtrack => "backtrack",
+        }
+    }
+}
+
+/// One structured proof-search trace event. Every field is a
+/// deterministic function of the verification input — no clocks, no
+/// addresses — so a rendered trace is byte-identical across reruns,
+/// worker counts, and cache states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofEvent {
+    /// What happened.
+    pub step: ProofStep,
+    /// Human-readable detail: the rule name and its subject, or the
+    /// obligation's theory and goal.
+    pub label: String,
+    /// FNV-1a digest of the solver query this event triggered, when it
+    /// triggered one (`Open`/`Discharge`/`Fail` of solver-backed
+    /// obligations) — the join key into the [`QueryTable`].
+    pub digest: Option<u64>,
+}
+
+impl ProofEvent {
+    /// An event without a query digest.
+    #[must_use]
+    pub fn new(step: ProofStep, label: impl Into<String>) -> ProofEvent {
+        ProofEvent {
+            step,
+            label: label.into(),
+            digest: None,
+        }
+    }
+
+    /// An event carrying the digest of the solver query it triggered.
+    #[must_use]
+    pub fn with_digest(step: ProofStep, label: impl Into<String>, digest: u64) -> ProofEvent {
+        ProofEvent {
+            step,
+            label: label.into(),
+            digest: Some(digest),
+        }
+    }
+}
+
+/// Renders a proof-search trace, one event per line:
+/// `<seq> <tag> <label> [#x<digest>]`. Deterministic by construction.
+#[must_use]
+pub fn render_proof_trace(events: &[ProofEvent]) -> String {
+    let mut s = String::new();
+    for (i, ev) in events.iter().enumerate() {
+        s.push_str(&format!("{i:>5} {:<9} {}", ev.step.tag(), ev.label));
+        if let Some(d) = ev.digest {
+            s.push_str(&format!(" #x{d:016x}"));
+        }
+        s.push('\n');
     }
     s
 }
@@ -871,6 +1161,225 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ratios_survive_zero_denominators() {
+        // The hardening contract: a ratio with nothing underneath renders
+        // `-`, never `NaN` or a division panic.
+        assert_eq!(percent(0, 0), "-");
+        assert_eq!(percent(5, 0), "-");
+        assert_eq!(percent(3, 4), "75%");
+        assert_eq!(percent(0, 7), "0%");
+        assert_eq!(CacheMetrics::default().hit_rate_str(), "-");
+        assert_eq!(CacheMetrics { hits: 1, misses: 3 }.hit_rate_str(), "25%");
+        assert!(!CacheMetrics::default().hit_rate().is_nan());
+    }
+
+    #[test]
+    fn query_table_ranks_and_renders_deterministically() {
+        let mut t = QueryTable::default();
+        t.record(
+            0xb,
+            QueryStats {
+                count: 1,
+                conflicts: 9,
+                ..Default::default()
+            },
+        );
+        t.record(
+            0xa,
+            QueryStats {
+                count: 1,
+                conflicts: 2,
+                propagations: 100,
+                ..Default::default()
+            },
+        );
+        // Same digest again: aggregates, not duplicates.
+        t.record(
+            0xa,
+            QueryStats {
+                count: 1,
+                conflicts: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(t.len(), 2);
+        let top = t.top(10);
+        assert_eq!(top[0].0, 0xa, "10 conflicts outrank 9");
+        assert_eq!(top[0].1.count, 2);
+        assert_eq!(top[1].0, 0xb);
+        // Insertion in the other order renders the same bytes.
+        let mut t2 = QueryTable::default();
+        for (d, s) in t.entries.iter().rev() {
+            t2.record(*d, *s);
+        }
+        assert_eq!(t.render_top("case", 2), t2.render_top("case", 2));
+        assert!(t
+            .render_top("case", 1)
+            .starts_with("hot queries (case, top 1 of 2"));
+        // Ties break on the digest, ascending.
+        let mut tie = QueryTable::default();
+        tie.record(
+            0x2,
+            QueryStats {
+                count: 1,
+                ..Default::default()
+            },
+        );
+        tie.record(
+            0x1,
+            QueryStats {
+                count: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tie.top(2)[0].0, 0x1);
+    }
+
+    #[test]
+    fn query_table_absorb_merges() {
+        let mut a = QueryTable::default();
+        a.record(
+            1,
+            QueryStats {
+                count: 1,
+                cnf_clauses: 10,
+                ..Default::default()
+            },
+        );
+        let mut b = QueryTable::default();
+        b.record(
+            1,
+            QueryStats {
+                count: 2,
+                cnf_clauses: 20,
+                ..Default::default()
+            },
+        );
+        b.record(
+            2,
+            QueryStats {
+                count: 1,
+                ..Default::default()
+            },
+        );
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.entries[&1].count, 3);
+        assert_eq!(a.entries[&1].cnf_clauses, 30);
+    }
+
+    #[test]
+    fn proof_trace_renders_one_line_per_event() {
+        let events = vec![
+            ProofEvent::new(ProofStep::Rule, "hoare-read-reg R0"),
+            ProofEvent::with_digest(ProofStep::Discharge, "bv (= v0 #x05)", 0xdead),
+            ProofEvent::new(ProofStep::Backtrack, "vacuous assert"),
+        ];
+        let r = render_proof_trace(&events);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("rule"));
+        assert!(lines[1].contains("#x000000000000dead"));
+        assert!(lines[2].contains("backtrack"));
+        assert!(lines[0].starts_with("    0 "));
+    }
+
+    #[test]
+    fn profile_json_agrees_with_text_rendering() {
+        // Build a profile with distinct values everywhere so a swapped
+        // field cannot cancel out.
+        let mut p = CaseProfile::default();
+        p.sail = SailMetrics { steps: 1, calls: 2 };
+        p.isla = IslaMetrics {
+            runs: 3,
+            branches_explored: 4,
+            branches_pruned: 5,
+            smt_queries: 6,
+            events: 7,
+        };
+        p.isla_smt.queries = 8;
+        p.isla_smt.conflicts = 9;
+        p.engine.events = 10;
+        p.engine.obligations = 11;
+        p.engine_smt.propagations = 12;
+        p.cert.replayed = 13;
+        p.cert.solver.decisions = 14;
+        p.cache = CacheMetrics {
+            hits: 15,
+            misses: 16,
+        };
+
+        let text = p.render("hvc (Arm)");
+        let json = p.to_json("hvc (Arm)");
+        validate_json(&json).expect("profile JSON is valid");
+        let parsed = parse_json(&json).expect("profile JSON parses");
+        assert_eq!(parsed.get("case").and_then(Json::as_str), Some("hvc (Arm)"));
+
+        // Every `k=v` pair the text rendering prints must appear in the
+        // JSON under its stage, with the same value.
+        for line in text.lines().skip(1) {
+            let (stage, counters) = line.trim_start().split_once(':').expect("stage line");
+            let stage_obj = parsed
+                .get(stage.trim())
+                .unwrap_or_else(|| panic!("stage `{}` missing from JSON", stage.trim()));
+            for kv in counters.split_whitespace() {
+                let (k, v) = kv.split_once('=').expect("k=v");
+                let v: u64 = v.parse().expect("numeric counter");
+                assert_eq!(
+                    stage_obj.get(k).and_then(Json::as_u64),
+                    Some(v),
+                    "stage `{}` counter `{k}`",
+                    stage.trim()
+                );
+            }
+        }
+        // And the array form is valid JSON too.
+        let arr = profiles_to_json(&[("a".into(), p), ("b".into(), CaseProfile::default())]);
+        validate_json(&arr).expect("profile array is valid JSON");
+        assert_eq!(parse_json(&arr).unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_validator_rejects_every_truncation() {
+        // Satellite hardening: any strict prefix of a valid document must
+        // be rejected (catches scanner states that accept early EOF).
+        let doc = r#"{"a":[1,2.5,{"b":"xÿ\n"},[true,false,null]],"c":-3e4}"#;
+        validate_json(doc).expect("full document is valid");
+        for cut in 1..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                validate_json(&doc[..cut]).is_err(),
+                "truncation at byte {cut} accepted: {:?}",
+                &doc[..cut]
+            );
+        }
+    }
+
+    #[test]
+    fn json_validator_escape_edge_cases() {
+        for ok in [
+            "\" \"",
+            r#""\\\"\/\b\f\n\r\t""#,
+            r#"["deep",[[[[[[[["nest"]]]]]]]]]"#,
+            "[[],[],{}]",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e:?}"));
+        }
+        for bad in [
+            r#""\u00g0""#,
+            r#""\u00f""#,
+            r#""\x41""#,
+            "\"raw\ttab\"",
+            "[[1]",
+            "{\"a\":1",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

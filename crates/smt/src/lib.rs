@@ -38,10 +38,10 @@ pub use eval::{eval, eval_bits, eval_bool, EvalError};
 pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
 pub use simplify::{simplify, simplify_with, width_of, width_of_with, WidthOracle};
 pub use solver::{
-    check_sat, check_sat_metered, entails, entails_metered, maybe_sat, maybe_sat_metered, Model,
-    SmtResult, SolverConfig,
+    check_sat, check_sat_logged, check_sat_metered, entails, entails_logged, entails_metered,
+    maybe_sat, maybe_sat_metered, query_digest, Model, SmtResult, SolverConfig,
 };
 
-/// Re-export of the shared solver-counter record, so downstream crates
-/// can name it without depending on `islaris-obs` directly.
-pub use islaris_obs::SolverMetrics;
+/// Re-export of the shared solver-counter records, so downstream crates
+/// can name them without depending on `islaris-obs` directly.
+pub use islaris_obs::{QueryStats, QueryTable, SolverMetrics};

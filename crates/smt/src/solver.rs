@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use islaris_obs::SolverMetrics;
+use islaris_obs::{fnv1a, QueryStats, QueryTable, SolverMetrics};
 
 use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
@@ -227,6 +227,50 @@ pub fn check_sat_metered(
     }
 }
 
+/// The stable identity of a solver query: FNV-1a over the Isla-syntax
+/// renderings of its assumptions, newline-separated. Purely syntactic
+/// and deterministic — two textually identical queries share a digest
+/// whatever thread, case, or run issued them — which is what makes the
+/// digest usable as the join key between proof-search traces and the
+/// hot-query attribution table (DESIGN §9).
+#[must_use]
+pub fn query_digest(assumptions: &[Expr]) -> u64 {
+    use std::fmt::Write;
+    let mut text = String::new();
+    for a in assumptions {
+        let _ = writeln!(text, "{a}");
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// [`check_sat_metered`] plus per-query attribution: the query's digest
+/// and effort delta (CNF clauses, propagations, decisions, conflicts)
+/// are recorded under the digest in `table`. Returns the digest alongside
+/// the answer so callers can stamp it onto proof-trace events.
+#[must_use]
+pub fn check_sat_logged(
+    assumptions: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+    table: &mut QueryTable,
+) -> (SmtResult, u64) {
+    let digest = query_digest(assumptions);
+    let before = *m;
+    let result = check_sat_metered(assumptions, sorts, cfg, m);
+    table.record(
+        digest,
+        QueryStats {
+            count: 1,
+            cnf_clauses: m.cnf_clauses - before.cnf_clauses,
+            propagations: m.propagations - before.propagations,
+            decisions: m.decisions - before.decisions,
+            conflicts: m.conflicts - before.conflicts,
+        },
+    );
+    (result, digest)
+}
+
 /// Does `facts ⟹ goal` hold (validity of the implication)?
 ///
 /// Decided by refutation: `facts ∧ ¬goal` unsatisfiable. `Unknown` answers
@@ -254,6 +298,25 @@ pub fn entails_metered(
     let mut q: Vec<Expr> = facts.to_vec();
     q.push(Expr::not(goal.clone()));
     check_sat_metered(&q, sorts, cfg, m).is_unsat()
+}
+
+/// [`entails_metered`] plus per-query attribution (see
+/// [`check_sat_logged`]). The digest is computed over the refutation
+/// query the entailment actually sends (`facts ∧ ¬goal`), so it matches
+/// what a direct [`check_sat_logged`] of that query would record.
+#[must_use]
+pub fn entails_logged(
+    facts: &[Expr],
+    goal: &Expr,
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+    table: &mut QueryTable,
+) -> (bool, u64) {
+    let mut q: Vec<Expr> = facts.to_vec();
+    q.push(Expr::not(goal.clone()));
+    let (result, digest) = check_sat_logged(&q, sorts, cfg, m, table);
+    (result.is_unsat(), digest)
 }
 
 /// Can `facts ∧ extra` hold? `Unknown` counts as *possibly satisfiable*
@@ -415,6 +478,50 @@ mod tests {
         assert!(entails_metered(&sat_q, &goal, &sorts64, &cfg(), &mut m3));
         assert_eq!(m3.queries, 1);
         assert_eq!(m3.unsat, 1);
+    }
+
+    #[test]
+    fn logged_queries_attribute_effort_to_stable_digests() {
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(
+            Expr::add(x.clone(), Expr::bv(64, 2)),
+            Expr::bv(64, 44),
+        )];
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let (r1, d1) = check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t);
+        let (r2, d2) = check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t);
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2, "identical queries share a digest");
+        assert_eq!(d1, query_digest(&q));
+        assert_eq!(t.len(), 1, "both occurrences aggregate under one digest");
+        let stats = t.entries[&d1];
+        assert_eq!(stats.count, 2);
+        assert!(stats.propagations > 0, "blasted query records effort");
+        // The logged answer agrees with the metered one.
+        assert_eq!(
+            r1,
+            check_sat_metered(&q, &sorts64, &cfg(), &mut SolverMetrics::default())
+        );
+        // entails digests the refutation query it actually sends.
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 43));
+        let mut t2 = QueryTable::default();
+        let (holds, de) = entails_logged(
+            &q,
+            &goal,
+            &sorts64,
+            &cfg(),
+            &mut SolverMetrics::default(),
+            &mut t2,
+        );
+        assert!(holds);
+        let mut refutation = q.to_vec();
+        refutation.push(Expr::not(goal));
+        assert_eq!(de, query_digest(&refutation));
+        assert_eq!(t2.entries[&de].count, 1);
+        // A different query gets a different digest (with overwhelming
+        // probability; these two are fixed, so this is deterministic).
+        assert_ne!(d1, de);
     }
 
     #[test]

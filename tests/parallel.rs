@@ -112,6 +112,7 @@ fn poisoned_case_fails_alone() {
         1,
         CaseDef {
             name: "poisoned",
+            slug: "poisoned",
             build: poisoned,
         },
     );
