@@ -33,10 +33,25 @@ cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
 test -s "$profile_out/trace.json"
 grep -q "valid JSON" "$profile_out/profile.txt"
 for stage in 'sail    :' 'isla    :' 'isla.smt:' 'engine  :' 'eng.smt :' \
-             'cert    :' 'cert.smt:' 'cache   :'; do
+             'sess    :' 'cert    :' 'cert.smt:' 'cache   :' 'q.cache :'; do
     grep -qF "$stage" "$profile_out/profile.txt" \
         || { echo "stage '$stage' missing from profile output"; exit 1; }
 done
+
+echo "== fig12 solver-cache A/B smoke (verdicts and all counters outside the"
+echo "   cache rows are byte-identical across --solver-cache on/off) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --profile --jobs 2 --solver-cache on > "$profile_out/sc_on.txt"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --profile --jobs 2 --solver-cache off > "$profile_out/sc_off.txt"
+grep -Ev '^[[:space:]]*(cache|q\.cache) ' "$profile_out/sc_on.txt" \
+    > "$profile_out/sc_on_stable.txt"
+grep -Ev '^[[:space:]]*(cache|q\.cache) ' "$profile_out/sc_off.txt" \
+    > "$profile_out/sc_off_stable.txt"
+cmp "$profile_out/sc_on_stable.txt" "$profile_out/sc_off_stable.txt" \
+    || { echo "--solver-cache on/off changed counters outside the cache rows"; exit 1; }
+grep -qE 'q\.cache : hits=[0-9]+ misses=[1-9]' "$profile_out/sc_on.txt" \
+    || { echo "--solver-cache on registered no query-cache traffic"; exit 1; }
 
 echo "== fig12 hot-query smoke (per-case + pipeline-wide attribution tables) =="
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
@@ -90,6 +105,9 @@ echo "   hosts, so this reports but never fails the build) =="
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
     --bench-compare BENCH_seed.json "$profile_out/bench.json" \
     --threshold 1000000 || echo "note: baseline drift beyond huge threshold"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare BENCH_seed.json BENCH_pr5.json \
+    --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
 
 echo "== difftest smoke (fixed seed, small budget: zero divergences and"
 echo "   byte-identical reports across reruns and --jobs values) =="

@@ -44,20 +44,35 @@
 //!   (seed, budget) across reruns and `--jobs` values.
 
 use std::process::exit;
+use std::sync::Arc;
 
 use islaris_bench::{compare, parse_bench_json, samples_to_json, BenchEnv};
-use islaris_cases::{find_case, run_case_traced, run_cases_with, CaseCtx, CaseOutcome, ALL_CASES};
+use islaris_cases::{
+    find_case, run_case_traced, run_cases_solver_cached, CaseCtx, CaseOutcome, ALL_CASES,
+};
 use islaris_isla::TraceCache;
 use islaris_obs::{profiles_to_json, render_profiles, render_proof_trace, validate_json, Recorder};
+use islaris_smt::QueryCache;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig12 [--jobs N] [--bench [ITERS] [--warmup W] [--json PATH]] \
+        "usage: fig12 [--jobs N] \
+         [--bench [ITERS] [--warmup W] [--json PATH] [--solver-cache on|off]] \
          [--bench-compare OLD.json NEW.json [--threshold PCT]] [--trace-proof SLUG] \
-         [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K]] \
+         [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K] \
+         [--solver-cache on|off]] \
          [--difftest [--seed S] [--budget N] [--jobs N]]"
     );
     exit(2);
+}
+
+/// Parses a `--solver-cache` operand (`on` / `off`).
+fn parse_solver_cache(arg: Option<&String>) -> bool {
+    match arg.map(String::as_str) {
+        Some("on") => true,
+        Some("off") => false,
+        _ => usage(),
+    }
 }
 
 fn parallel(jobs: usize) {
@@ -113,10 +128,23 @@ fn parallel(jobs: usize) {
     }
 }
 
-fn profile(jobs: usize, out_path: Option<&str>, json_path: Option<&str>, hot_queries: usize) {
+fn profile(
+    jobs: usize,
+    out_path: Option<&str>,
+    json_path: Option<&str>,
+    hot_queries: usize,
+    solver_cache: bool,
+) {
     let recorder = Recorder::new();
     let cache = TraceCache::new();
-    let report = run_cases_with(ALL_CASES, jobs, Some(&cache), Some(&recorder));
+    let qcache = solver_cache.then(|| Arc::new(QueryCache::new()));
+    let report = run_cases_solver_cached(
+        ALL_CASES,
+        jobs,
+        Some(&cache),
+        Some(&recorder),
+        qcache.as_ref(),
+    );
 
     println!("{}", CaseOutcome::stable_header());
     for row in report.stable_rows() {
@@ -165,10 +193,10 @@ fn profile(jobs: usize, out_path: Option<&str>, json_path: Option<&str>, hot_que
     }
 }
 
-fn bench_mode(warmup: usize, iters: usize, json_path: Option<&str>) {
+fn bench_mode(warmup: usize, iters: usize, json_path: Option<&str>, solver_cache: bool) {
     let env = BenchEnv::capture(warmup, iters);
     println!("{}", env.row());
-    let samples = islaris_bench::all_benches(warmup, iters);
+    let samples = islaris_bench::all_benches_opts(warmup, iters, solver_cache);
     for s in &samples {
         println!("{}", s.row());
     }
@@ -260,6 +288,7 @@ fn main() {
             let mut iters = 5;
             let mut warmup = 1;
             let mut json_path: Option<String> = None;
+            let mut solver_cache = false;
             let mut i = 1;
             if let Some(v) = args.get(1).and_then(|s| s.parse::<usize>().ok()) {
                 iters = v;
@@ -278,10 +307,14 @@ fn main() {
                         json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                         i += 2;
                     }
+                    "--solver-cache" => {
+                        solver_cache = parse_solver_cache(args.get(i + 1));
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            bench_mode(warmup, iters, json_path.as_deref());
+            bench_mode(warmup, iters, json_path.as_deref(), solver_cache);
         }
         Some("--bench-compare") => {
             let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
@@ -315,6 +348,7 @@ fn main() {
             let mut out_path: Option<String> = None;
             let mut json_path: Option<String> = None;
             let mut hot_queries = 0;
+            let mut solver_cache = true;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -340,10 +374,20 @@ fn main() {
                             .unwrap_or_else(|| usage());
                         i += 2;
                     }
+                    "--solver-cache" => {
+                        solver_cache = parse_solver_cache(args.get(i + 1));
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            profile(jobs, out_path.as_deref(), json_path.as_deref(), hot_queries);
+            profile(
+                jobs,
+                out_path.as_deref(),
+                json_path.as_deref(),
+                hot_queries,
+                solver_cache,
+            );
         }
         Some("--difftest") => {
             let mut cfg = islaris_difftest::FuzzConfig::default();

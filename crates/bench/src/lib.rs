@@ -17,6 +17,7 @@
 //! two such exports ([`compare`]).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_bv::Bv;
@@ -24,11 +25,11 @@ use islaris_cases::{
     binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
     CaseCtx, CaseOutcome, ALL_CASES,
 };
-use islaris_core::{check_certificate, Verifier};
+use islaris_core::{check_certificate, check_certificate_cached, Verifier};
 use islaris_isla::{trace_opcode, IslaConfig, Opcode};
 use islaris_models::ARM;
-use islaris_obs::{parse_json, validate_json, Json};
-use islaris_smt::{entails, BvCmp, Expr, SolverConfig, Sort, Var};
+use islaris_obs::{parse_json, validate_json, CertMetrics, Json, QueryTable};
+use islaris_smt::{entails, BvCmp, Expr, QueryCache, SolverConfig, Sort, Var};
 
 /// The versioned schema tag of the `--bench --json` export.
 pub const BENCH_SCHEMA: &str = "islaris-bench/v1";
@@ -168,6 +169,17 @@ pub fn bench<T>(
 /// verification half).
 #[must_use]
 pub fn case_benches(warmup: usize, iters: usize) -> Vec<Sample> {
+    case_benches_opts(warmup, iters, false)
+}
+
+/// [`case_benches`] with the shared solver [`QueryCache`] toggled: with
+/// `solver_cache` on, each `verify/<slug>` iteration runs against one
+/// per-case cache shared across iterations (warm-cache steady state —
+/// the `fig12 --bench --solver-cache on` A/B arm). Off is the default:
+/// committed baselines measure the session win alone, with every solver
+/// query recomputed.
+#[must_use]
+pub fn case_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec<Sample> {
     let mut out = Vec::new();
     let ctx = CaseCtx::default();
     for def in ALL_CASES {
@@ -175,12 +187,15 @@ pub fn case_benches(warmup: usize, iters: usize) -> Vec<Sample> {
             (def.build)(&ctx)
         }));
         let art = (def.build)(&ctx);
+        let qcache = solver_cache.then(|| Arc::new(QueryCache::new()));
         out.push(bench(format!("verify/{}", def.slug), warmup, iters, || {
-            let report = Verifier::new(art.prog_spec.clone(), art.protocol.clone())
-                .verify_all()
-                .unwrap();
+            let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
+            verifier.qcache = qcache.clone();
+            let report = verifier.verify_all().unwrap();
+            let mut cm = CertMetrics::default();
+            let mut qt = QueryTable::default();
             for block in &report.blocks {
-                check_certificate(&block.cert).unwrap();
+                check_certificate_cached(&block.cert, &mut cm, &mut qt, qcache.as_deref()).unwrap();
             }
         }));
     }
@@ -253,7 +268,14 @@ pub fn stage_benches(warmup: usize, iters: usize) -> Vec<Sample> {
 /// stage micro-benchmarks.
 #[must_use]
 pub fn all_benches(warmup: usize, iters: usize) -> Vec<Sample> {
-    let mut out = case_benches(warmup, iters);
+    all_benches_opts(warmup, iters, false)
+}
+
+/// [`all_benches`] with the solver cache toggled for the `verify/*`
+/// halves (see [`case_benches_opts`]).
+#[must_use]
+pub fn all_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec<Sample> {
+    let mut out = case_benches_opts(warmup, iters, solver_cache);
     out.extend(stage_benches(warmup, iters));
     out
 }

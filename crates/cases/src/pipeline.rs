@@ -12,13 +12,15 @@
 //! come back in registry order, and cache hits replay the original run's
 //! trace-generation statistics.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_core::{run_jobs_profiled, JobPanic};
 use islaris_isla::{CacheStats, TraceCache};
 use islaris_obs::{CaseProfile, QueryTable, Recorder};
+use islaris_smt::QueryCache;
 
-use crate::report::{run_case, CaseArtifacts, CaseCtx, CaseOutcome};
+use crate::report::{run_case_cached, CaseArtifacts, CaseCtx, CaseOutcome};
 use crate::{
     binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
 };
@@ -265,6 +267,23 @@ pub fn run_cases_with(
     cache: Option<&TraceCache>,
     recorder: Option<&Recorder>,
 ) -> PipelineReport {
+    run_cases_solver_cached(cases, jobs, cache, recorder, None)
+}
+
+/// [`run_cases_with`] plus an optional shared solver [`QueryCache`]: the
+/// cases' from-scratch solver queries (side provers, certificate replay)
+/// are memoised across cases and worker threads. Verdict rows, stable
+/// rows, and every profile counter except the `q.cache` traffic row (and
+/// the hot-query `hits` column) are byte-identical with and without the
+/// cache.
+#[must_use]
+pub fn run_cases_solver_cached(
+    cases: &[CaseDef],
+    jobs: usize,
+    cache: Option<&TraceCache>,
+    recorder: Option<&Recorder>,
+    qcache: Option<&Arc<QueryCache>>,
+) -> PipelineReport {
     let ctx = CaseCtx { cache, jobs: 1 };
     let start = Instant::now();
     let rows = run_jobs_profiled(
@@ -280,7 +299,7 @@ pub fn run_cases_with(
             let (outcome, _) = {
                 let _span =
                     recorder.map(|rec| rec.span(format!("verify:{}", cases[i].name), "case"));
-                run_case(&art)
+                run_case_cached(&art, qcache)
             };
             CaseRow {
                 outcome,

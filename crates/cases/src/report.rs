@@ -6,13 +6,17 @@ use std::time::{Duration, Instant};
 
 use islaris_asm::Program;
 use islaris_core::{
-    check_certificate_logged, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
+    check_certificate_cached, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
 };
 use islaris_isla::{
     trace_opcode, CacheStats, CachedTrace, IslaConfig, IslaError, IslaStats, Opcode, TraceCache,
 };
 use islaris_itl::Trace;
-use islaris_obs::{CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, QueryTable, SailMetrics};
+use islaris_obs::{
+    CacheMetrics, CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, QueryTable, SailMetrics,
+    SessionMetrics,
+};
+use islaris_smt::QueryCache;
 
 /// How a case study is built: an optional shared trace cache and a worker
 /// count for per-instruction trace-generation fan-out.
@@ -245,7 +249,25 @@ pub fn trace_program_map_with(
 /// studies are expected to verify (tests rely on this).
 #[must_use]
 pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
-    run_case_opts(art, false)
+    run_case_opts(art, false, None)
+}
+
+/// [`run_case`] with an optional shared solver [`QueryCache`]: the
+/// engine's side provers and the certificate replay answer repeated
+/// queries (across blocks, cases and threads) from the cache. Verdicts,
+/// certificates, and every profile counter except the cache-traffic
+/// rows themselves are identical to the uncached run — hits replay the
+/// original computation's effort deltas (DESIGN §10).
+///
+/// # Panics
+///
+/// Panics if verification or certificate checking fails.
+#[must_use]
+pub fn run_case_cached(
+    art: &CaseArtifacts,
+    qcache: Option<&Arc<QueryCache>>,
+) -> (CaseOutcome, Report) {
+    run_case_opts(art, false, qcache)
 }
 
 /// [`run_case`] with proof-search tracing enabled: every
@@ -258,12 +280,17 @@ pub fn run_case(art: &CaseArtifacts) -> (CaseOutcome, Report) {
 /// Panics if verification or certificate checking fails.
 #[must_use]
 pub fn run_case_traced(art: &CaseArtifacts) -> (CaseOutcome, Report) {
-    run_case_opts(art, true)
+    run_case_opts(art, true, None)
 }
 
-fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
+fn run_case_opts(
+    art: &CaseArtifacts,
+    trace: bool,
+    qcache: Option<&Arc<QueryCache>>,
+) -> (CaseOutcome, Report) {
     let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
     verifier.trace = trace;
+    verifier.qcache = qcache.cloned();
     let t0 = Instant::now();
     let report = verifier
         .verify_all()
@@ -275,8 +302,13 @@ fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
     let mut queries = QueryTable::default();
     for block in &report.blocks {
         queries.absorb(&block.stats.queries);
-        check_certificate_logged(&block.cert, &mut cert_metrics, &mut queries)
-            .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+        check_certificate_cached(
+            &block.cert,
+            &mut cert_metrics,
+            &mut queries,
+            qcache.map(Arc::as_ref),
+        )
+        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
     }
     let cert_time = t1.elapsed();
 
@@ -305,6 +337,8 @@ fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
             .count();
     let mut engine = EngineMetrics::default();
     let mut engine_smt = islaris_obs::SolverMetrics::default();
+    let mut session = SessionMetrics::default();
+    let mut query_cache = CacheMetrics::default();
     for b in &report.blocks {
         engine.absorb(&EngineMetrics {
             events: b.stats.events,
@@ -315,7 +349,12 @@ fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
             vacuous_branches: b.stats.vacuous_branches,
         });
         engine_smt.absorb(&b.stats.solver);
+        session.absorb(&b.stats.session);
+        query_cache.absorb(&b.stats.qcache);
     }
+    // Total shared-cache traffic for this case: the engine's side provers
+    // plus the certificate replay.
+    query_cache.absorb(&cert_metrics.qcache);
     let profile = CaseProfile {
         sail: SailMetrics {
             steps: art.isla_stats.model_steps,
@@ -331,8 +370,10 @@ fn run_case_opts(art: &CaseArtifacts, trace: bool) -> (CaseOutcome, Report) {
         isla_smt: art.isla_stats.solver,
         engine,
         engine_smt,
+        session,
         cert: cert_metrics,
         cache: art.cache,
+        qcache: query_cache,
     };
     let outcome = CaseOutcome {
         name: art.name,

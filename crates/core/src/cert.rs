@@ -147,6 +147,26 @@ pub fn check_certificate_logged(
     m: &mut CertMetrics,
     table: &mut QueryTable,
 ) -> Result<(), CertError> {
+    check_certificate_cached(cert, m, table, None)
+}
+
+/// [`check_certificate_logged`] with an optional shared query cache:
+/// replays whose full rendered query text (under the paranoid
+/// configuration) has already been answered — by another case, block or
+/// thread — are served from the cache, with the original run's effort
+/// deltas replayed into `m` and `table`. Cache traffic is counted in
+/// [`CertMetrics::qcache`].
+///
+/// # Errors
+///
+/// Returns the first obligation that fails to re-prove (or a digest
+/// mismatch for sealed certificates).
+pub fn check_certificate_cached(
+    cert: &Certificate,
+    m: &mut CertMetrics,
+    table: &mut QueryTable,
+    qcache: Option<&islaris_smt::QueryCache>,
+) -> Result<(), CertError> {
     if let Some(stored) = cert.digest {
         let computed = obligations_digest(&cert.obligations);
         if stored != computed {
@@ -167,7 +187,18 @@ pub fn check_certificate_logged(
                 m.bv += 1;
                 let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
                 let mut sm = SolverMetrics::default();
-                let (ok, _digest) = entails_logged(facts, goal, &lookup, &cfg, &mut sm, table);
+                let (ok, _digest) = match qcache {
+                    Some(cache) => cache.entails_logged(
+                        facts,
+                        goal,
+                        &lookup,
+                        &cfg,
+                        &mut sm,
+                        table,
+                        &mut m.qcache,
+                    ),
+                    None => entails_logged(facts, goal, &lookup, &cfg, &mut sm, table),
+                };
                 m.solver.absorb(&sm);
                 ok
             }

@@ -16,10 +16,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islaris_itl::{Event, Reg, Trace};
-use islaris_obs::{ProofEvent, ProofStep, QueryTable};
+use islaris_obs::{CacheMetrics, ProofEvent, ProofStep, QueryTable, SessionMetrics};
 use islaris_smt::lia::{implies, LinAtom, LinTerm};
 use islaris_smt::{
-    entails_logged, simplify_with, Expr, SolverConfig, SolverMetrics, Sort, Value, Var, VarGen,
+    entails_logged, simplify_with, Expr, QueryCache, Session, SolverConfig, SolverMetrics, Sort,
+    Value, Var, VarGen,
 };
 
 use crate::assertions::{Arg, Atom, Param, ProgramSpec, SpecDef};
@@ -75,6 +76,14 @@ pub struct BlockStats {
     /// Per-query attribution: solver-query digest → cumulative effort
     /// (the engine's contribution to the `--hot-queries` table).
     pub queries: QueryTable,
+    /// Incremental-session counters for this block's [`Session`].
+    pub session: SessionMetrics,
+    /// Shared query-cache traffic from this block's side provers. Like
+    /// [`BlockStats::time`], the hit/miss split is schedule-dependent
+    /// when the cache is shared across worker threads (a query another
+    /// case has already answered is a hit here); every other field stays
+    /// deterministic.
+    pub qcache: CacheMetrics,
     /// Wall-clock time in the automation.
     pub time: Duration,
 }
@@ -136,6 +145,11 @@ pub struct Verifier {
     /// labelled event per rule fired, so it is opt-in (counters and the
     /// query table are always on — they are cheap field adds).
     pub trace: bool,
+    /// Shared query-result cache for the engine's from-scratch side
+    /// provers (`None` disables caching). Sound to share across blocks,
+    /// cases and threads: entries are keyed by the full rendered query
+    /// text plus solver configuration.
+    pub qcache: Option<Arc<QueryCache>>,
 }
 
 impl Verifier {
@@ -148,6 +162,7 @@ impl Verifier {
             solver: SolverConfig::new(),
             fuel: 128,
             trace: false,
+            qcache: None,
         }
     }
 
@@ -203,6 +218,7 @@ impl Verifier {
                 message: m,
             })?;
 
+        eng.shared.stats.session = eng.shared.session.metrics();
         let mut stats = eng.shared.stats;
         stats.time = start.elapsed();
         Ok(BlockReport {
@@ -290,6 +306,10 @@ struct Shared {
     /// Proof-search trace collection (on iff [`Verifier::trace`]).
     trace: bool,
     ptrace: Vec<ProofEvent>,
+    /// Incremental SMT session: one retained clause database for all of
+    /// this block's `prove_bv` queries (facts encoded once, learned
+    /// clauses reused across queries).
+    session: Session,
 }
 
 struct Engine<'v> {
@@ -314,6 +334,8 @@ struct ProofEnv<'e> {
     seq_bindings: &'e HashMap<SeqVar, SeqNorm>,
     trace: bool,
     ptrace: &'e mut Vec<ProofEvent>,
+    session: &'e mut Session,
+    qcache: Option<&'e QueryCache>,
 }
 
 impl ProofEnv<'_> {
@@ -416,15 +438,18 @@ impl ProofEnv<'_> {
         let mut queries = 0u64;
         let mut sm = SolverMetrics::default();
         let mut qt = QueryTable::default();
+        let mut cm = CacheMetrics::default();
         let mut prove2 = side_prover(
             &pass1,
             self.bridge.clone(),
             self.pure.to_vec(),
             self.sorts.clone(),
             self.solver.clone(),
+            self.qcache,
             &mut queries,
             &mut sm,
             &mut qt,
+            &mut cm,
         );
         let mut facts = self.bridge.int_facts(self.pure, &widths, &mut prove2);
         for (n, b) in self.lens {
@@ -437,6 +462,7 @@ impl ProofEnv<'_> {
         self.stats.smt_queries += queries;
         self.stats.solver.absorb(&sm);
         self.stats.queries.absorb(&qt);
+        self.stats.qcache.absorb(&cm);
         facts
     }
 
@@ -448,21 +474,25 @@ impl ProofEnv<'_> {
         let mut queries = 0u64;
         let mut sm = SolverMetrics::default();
         let mut qt = QueryTable::default();
+        let mut cm = CacheMetrics::default();
         let mut prove = side_prover(
             &base,
             self.bridge.clone(),
             self.pure.to_vec(),
             self.sorts.clone(),
             self.solver.clone(),
+            self.qcache,
             &mut queries,
             &mut sm,
             &mut qt,
+            &mut cm,
         );
         let r = self.bridge.to_int(e, w, &mut prove);
         drop(prove);
         self.stats.smt_queries += queries;
         self.stats.solver.absorb(&sm);
         self.stats.queries.absorb(&qt);
+        self.stats.qcache.absorb(&cm);
         r
     }
 }
@@ -512,14 +542,12 @@ impl SeqCtx for ProofEnv<'_> {
                 let sorts = &*self.sorts;
                 move |v: Var| sorts.get(&v).copied()
             };
-            entails_logged(
-                self.pure,
-                &g,
-                &ws,
-                self.solver,
-                &mut m,
-                &mut self.stats.queries,
-            )
+            // Incremental: facts are encoded once into the block session
+            // and the query runs as an assumption solve against the
+            // retained clause database (same answers and digests as the
+            // from-scratch `entails_logged`).
+            self.session
+                .entails_logged(self.pure, &g, &ws, &mut m, &mut self.stats.queries)
         };
         self.stats.solver.absorb(&m);
         if ok {
@@ -589,6 +617,7 @@ impl<'v> Engine<'v> {
                 lia_cache: HashMap::new(),
                 trace: v.trace,
                 ptrace: Vec::new(),
+                session: Session::new(v.solver.clone()),
             },
         }
     }
@@ -615,7 +644,7 @@ impl<'v> Engine<'v> {
     fn env<'a>(
         shared: &'a mut Shared,
         ctx: &'a Ctx,
-        solver: &'a SolverConfig,
+        v: &'a Verifier,
         seq_bindings: &'a HashMap<SeqVar, SeqNorm>,
     ) -> ProofEnv<'a> {
         ProofEnv {
@@ -626,13 +655,15 @@ impl<'v> Engine<'v> {
             selects: &mut shared.selects,
             selects_rev: &mut shared.selects_rev,
             vargen: &mut shared.vargen,
-            solver,
+            solver: &v.solver,
             stats: &mut shared.stats,
             cert: &mut shared.cert,
             lia_cache: &mut shared.lia_cache,
             seq_bindings,
             trace: shared.trace,
             ptrace: &mut shared.ptrace,
+            session: &mut shared.session,
+            qcache: v.qcache.as_deref(),
         }
     }
 
@@ -682,7 +713,7 @@ impl<'v> Engine<'v> {
                     elem_bytes,
                 } => {
                     let norm = {
-                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &empty);
+                        let mut env = Self::env(&mut self.shared, &ctx, self.v, &empty);
                         seq::normalize(seq, &mut env).map_err(|e| e.to_string())?
                     };
                     ctx.chunks.push(Chunk::Array {
@@ -801,7 +832,7 @@ impl<'v> Engine<'v> {
                 };
                 let goal = Expr::eq(w, subst.apply(v));
                 let ok = {
-                    let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                    let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                     env.prove_bv(&goal)
                 };
                 if ok {
@@ -813,7 +844,7 @@ impl<'v> Engine<'v> {
             Event::Assume(e) => {
                 let goal = self.simp(&subst.apply(e));
                 let ok = {
-                    let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                    let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                     env.prove_bv(&goal)
                 };
                 if ok {
@@ -834,7 +865,7 @@ impl<'v> Engine<'v> {
                 // If the context refutes the branch condition, the branch
                 // is unreachable (hoare-assert with a contradiction).
                 let refuted = {
-                    let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                    let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                     env.prove_bv(&Expr::not(cond.clone()))
                 };
                 if refuted {
@@ -864,7 +895,7 @@ impl<'v> Engine<'v> {
                                 Chunk::Array { norm, .. } => norm.clone(),
                                 _ => unreachable!(),
                             };
-                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                             let eb = match &ctx.chunks[i] {
                                 Chunk::Array { elem_bytes, .. } => *elem_bytes,
                                 _ => unreachable!(),
@@ -912,7 +943,7 @@ impl<'v> Engine<'v> {
                                 Chunk::Array { norm, .. } => norm.clone(),
                                 _ => unreachable!(),
                             };
-                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                             seq::update_norm(&norm, &idx, val, &mut env)
                                 .map_err(|e: SeqError| e.to_string())?
                         };
@@ -933,7 +964,7 @@ impl<'v> Engine<'v> {
                                 format!("protocol forbids write of {dev_addr:#x} in state {state}")
                             })?;
                         let ok = {
-                            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                            let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                             env.prove_bv(&obligation)
                         };
                         if !ok {
@@ -988,7 +1019,7 @@ impl<'v> Engine<'v> {
             {
                 if *b == bytes {
                     let goal = Expr::eq(a.clone(), addr.clone());
-                    let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                    let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                     if env.prove_bv(&goal) {
                         return Ok(MemRef::Plain(i));
                     }
@@ -1007,7 +1038,7 @@ impl<'v> Engine<'v> {
                 if *elem_bytes != bytes {
                     continue;
                 }
-                let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                 let (ai, bi) = (env.to_int(addr), env.to_int(base));
                 let (Some(ai), Some(bi)) = (ai, bi) else {
                     diag.push_str(&format!("[chunk {i}: address not convertible] "));
@@ -1038,7 +1069,7 @@ impl<'v> Engine<'v> {
             {
                 if *b == bytes {
                     let goal = Expr::eq(addr.clone(), Expr::bv(64, u128::from(*dev)));
-                    let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, &empty);
+                    let mut env = Self::env(&mut self.shared, ctx, self.v, &empty);
                     if env.prove_bv(&goal) {
                         return Ok(MemRef::Mmio(*dev));
                     }
@@ -1089,7 +1120,7 @@ impl<'v> Engine<'v> {
             let goal = Expr::eq(pc.clone(), addr_e.clone());
             let empty = HashMap::new();
             let ok = {
-                let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &empty);
+                let mut env = Self::env(&mut self.shared, &ctx, self.v, &empty);
                 env.prove_bv(&goal)
             };
             if ok {
@@ -1135,8 +1166,7 @@ impl<'v> Engine<'v> {
                     }
                     (Param::Seq(b), Arg::Seq(se)) => {
                         let norm = {
-                            let mut env =
-                                Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                            let mut env = Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                             seq::normalize(se, &mut env).map_err(|e| e.to_string())?
                         };
                         seq_bind.insert(*b, norm);
@@ -1169,7 +1199,7 @@ impl<'v> Engine<'v> {
                     let goal = e.subst(&|v| bv_bind.get(&v).cloned());
                     let goal = self.simp(&goal);
                     let ok = {
-                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                        let mut env = Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                         env.prove_mixed(&goal)
                     };
                     if !ok {
@@ -1178,7 +1208,7 @@ impl<'v> Engine<'v> {
                 }
                 Atom::LenEq(n, b) => {
                     let n = self.simp(&n.subst(&|v| bv_bind.get(&v).cloned()));
-                    let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                    let mut env = Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                     let Some(ni) = env.to_int(&n) else {
                         return Err(format!("length fact: `{n}` not convertible"));
                     };
@@ -1218,12 +1248,8 @@ impl<'v> Engine<'v> {
                             if eb == elem_bytes {
                                 let same = base == &a || {
                                     let goal = Expr::eq(base.clone(), a.clone());
-                                    let mut env = Self::env(
-                                        &mut self.shared,
-                                        &ctx,
-                                        &self.v.solver,
-                                        &seq_bind,
-                                    );
+                                    let mut env =
+                                        Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                                     env.prove_bv(&goal)
                                 };
                                 if same {
@@ -1249,7 +1275,7 @@ impl<'v> Engine<'v> {
                     }
                     let goal_seq = subst_seq(seq, &bv_bind);
                     let ok = {
-                        let mut env = Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                        let mut env = Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                         let goal_norm = {
                             let mut bound = BoundSeqCtxResolve {
                                 env: &mut env,
@@ -1295,8 +1321,7 @@ impl<'v> Engine<'v> {
                         }
                         let same = *ca == a || {
                             let goal = Expr::eq(ca.clone(), a.clone());
-                            let mut env =
-                                Self::env(&mut self.shared, &ctx, &self.v.solver, &seq_bind);
+                            let mut env = Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                             env.prove_bv(&goal)
                         };
                         if !same {
@@ -1318,12 +1343,8 @@ impl<'v> Engine<'v> {
                                 (Arg::Seq(g), Arg::Seq(c)) => {
                                     let ok = {
                                         let gs = subst_seq(g, &bv_bind);
-                                        let mut env = Self::env(
-                                            &mut self.shared,
-                                            &ctx,
-                                            &self.v.solver,
-                                            &seq_bind,
-                                        );
+                                        let mut env =
+                                            Self::env(&mut self.shared, &ctx, self.v, &seq_bind);
                                         let gn = {
                                             let mut bound = BoundSeqCtxResolve {
                                                 env: &mut env,
@@ -1402,7 +1423,7 @@ impl<'v> Engine<'v> {
             w.clone(),
         ));
         let ok = {
-            let mut env = Self::env(&mut self.shared, ctx, &self.v.solver, seq_bind);
+            let mut env = Self::env(&mut self.shared, ctx, self.v, seq_bind);
             env.prove_mixed(&goal)
         };
         if ok {
@@ -1578,9 +1599,11 @@ fn side_prover<'a>(
     pure: Vec<Expr>,
     sorts: HashMap<Var, Sort>,
     solver: SolverConfig,
+    qcache: Option<&'a QueryCache>,
     queries: &'a mut u64,
     metrics: &'a mut SolverMetrics,
     table: &'a mut QueryTable,
+    cache_metrics: &'a mut CacheMetrics,
 ) -> impl FnMut(&Expr) -> bool + 'a {
     move |goal: &Expr| {
         if lia_side_prove(goal, base, &scratch, &sorts, 4) {
@@ -1591,14 +1614,28 @@ fn side_prover<'a>(
             max_conflicts: 50_000,
             ..solver.clone()
         };
-        let (ok, _digest) = entails_logged(
-            &pure,
-            goal,
-            &|v| sorts.get(&v).copied(),
-            &cfg,
-            metrics,
-            table,
-        );
+        // These queries recur across blocks and cases (the same bridge
+        // side conditions arise wherever the same pointer arithmetic
+        // does), so they go through the shared cache when one is wired.
+        let (ok, _digest) = match qcache {
+            Some(cache) => cache.entails_logged(
+                &pure,
+                goal,
+                &|v| sorts.get(&v).copied(),
+                &cfg,
+                metrics,
+                table,
+                cache_metrics,
+            ),
+            None => entails_logged(
+                &pure,
+                goal,
+                &|v| sorts.get(&v).copied(),
+                &cfg,
+                metrics,
+                table,
+            ),
+        };
         ok
     }
 }

@@ -231,6 +231,9 @@ pub struct CertMetrics {
     pub lia: u64,
     /// Paranoid-solver activity during replay.
     pub solver: SolverMetrics,
+    /// Query-result cache traffic during replay (zero when replay runs
+    /// uncached).
+    pub qcache: CacheMetrics,
 }
 
 impl CertMetrics {
@@ -240,6 +243,37 @@ impl CertMetrics {
         self.bv += o.bv;
         self.lia += o.lia;
         self.solver.absorb(&o.solver);
+        self.qcache.absorb(&o.qcache);
+    }
+}
+
+/// Incremental SMT session counters (one `smt::session::Session` per
+/// engine block; see DESIGN §10). Deterministic: the session is always on
+/// and blocks verify sequentially within a case, so these render
+/// byte-identically across worker counts and cache modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Distinct facts Tseitin-encoded into the retained clause database
+    /// (each fact is encoded exactly once per session).
+    pub facts_encoded: u64,
+    /// Clauses in the retained database when the session was snapshotted —
+    /// definitional clauses plus clauses learned across assumption solves.
+    /// Summed over sessions by [`SessionMetrics::absorb`].
+    pub clauses_retained: u64,
+    /// Queries answered by an incremental assumption solve.
+    pub assumption_solves: u64,
+    /// Queries re-run on a fresh solver (proof-checking configurations,
+    /// where an assumption solve cannot produce an RUP refutation).
+    pub fallback_solves: u64,
+}
+
+impl SessionMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &SessionMetrics) {
+        self.facts_encoded += o.facts_encoded;
+        self.clauses_retained += o.clauses_retained;
+        self.assumption_solves += o.assumption_solves;
+        self.fallback_solves += o.fallback_solves;
     }
 }
 
@@ -315,10 +349,18 @@ pub struct CaseProfile {
     pub engine: EngineMetrics,
     /// Solver activity during proof automation.
     pub engine_smt: SolverMetrics,
+    /// Incremental SMT sessions backing the proof automation.
+    pub session: SessionMetrics,
     /// Certificate replay.
     pub cert: CertMetrics,
     /// Trace-cache traffic while building the case.
     pub cache: CacheMetrics,
+    /// Solver query-result cache traffic (engine side conditions plus
+    /// certificate replay). Unlike every other stage, hit/miss counts
+    /// depend on which worker reached a shared query first — the row is
+    /// documented as schedule-dependent and excluded from byte-identity
+    /// checks, like `cache`.
+    pub qcache: CacheMetrics,
 }
 
 impl CaseProfile {
@@ -354,6 +396,14 @@ impl CaseProfile {
         ));
         s.push_str(&format!("  eng.smt : {}\n", self.engine_smt.render()));
         s.push_str(&format!(
+            "  sess    : facts_encoded={} clauses_retained={} assumption_solves={} \
+             fallback_solves={}\n",
+            self.session.facts_encoded,
+            self.session.clauses_retained,
+            self.session.assumption_solves,
+            self.session.fallback_solves
+        ));
+        s.push_str(&format!(
             "  cert    : replayed={} bv={} lia={}\n",
             self.cert.replayed, self.cert.bv, self.cert.lia
         ));
@@ -361,6 +411,10 @@ impl CaseProfile {
         s.push_str(&format!(
             "  cache   : hits={} misses={}\n",
             self.cache.hits, self.cache.misses
+        ));
+        s.push_str(&format!(
+            "  q.cache : hits={} misses={}\n",
+            self.qcache.hits, self.qcache.misses
         ));
         s
     }
@@ -391,7 +445,8 @@ impl CaseProfile {
         };
         format!(
             "{{\"case\":\"{}\",\"sail\":{},\"isla\":{},\"isla.smt\":{},\"engine\":{},\
-             \"eng.smt\":{},\"cert\":{},\"cert.smt\":{},\"cache\":{}}}",
+             \"eng.smt\":{},\"sess\":{},\"cert\":{},\"cert.smt\":{},\"cache\":{},\
+             \"q.cache\":{}}}",
             escape_json(case),
             kv(&[("steps", self.sail.steps), ("calls", self.sail.calls)]),
             kv(&[
@@ -412,12 +467,19 @@ impl CaseProfile {
             ]),
             solver(&self.engine_smt),
             kv(&[
+                ("facts_encoded", self.session.facts_encoded),
+                ("clauses_retained", self.session.clauses_retained),
+                ("assumption_solves", self.session.assumption_solves),
+                ("fallback_solves", self.session.fallback_solves),
+            ]),
+            kv(&[
                 ("replayed", self.cert.replayed),
                 ("bv", self.cert.bv),
                 ("lia", self.cert.lia),
             ]),
             solver(&self.cert.solver),
             kv(&[("hits", self.cache.hits), ("misses", self.cache.misses)]),
+            kv(&[("hits", self.qcache.hits), ("misses", self.qcache.misses)]),
         )
     }
 }
@@ -461,6 +523,12 @@ pub struct QueryStats {
     pub decisions: u64,
     /// Conflicts, cumulative.
     pub conflicts: u64,
+    /// Occurrences answered from the shared query-result cache. The cache
+    /// replays the original run's effort counters, so every other column
+    /// is schedule-independent; this one depends on which worker reached
+    /// a shared query first and is the hot-query table's one documented
+    /// schedule-dependent column (excluded from [`QueryStats::effort`]).
+    pub hits: u64,
 }
 
 impl QueryStats {
@@ -471,6 +539,7 @@ impl QueryStats {
         self.propagations += o.propagations;
         self.decisions += o.decisions;
         self.conflicts += o.conflicts;
+        self.hits += o.hits;
     }
 
     /// The deterministic hotness key: queries are ranked by SAT-search
@@ -545,8 +614,8 @@ impl QueryTable {
         );
         for (digest, q) in top {
             s.push_str(&format!(
-                "  #x{digest:016x} count={} clauses={} props={} decs={} conflicts={}\n",
-                q.count, q.cnf_clauses, q.propagations, q.decisions, q.conflicts
+                "  #x{digest:016x} count={} clauses={} props={} decs={} conflicts={} hits={}\n",
+                q.count, q.cnf_clauses, q.propagations, q.decisions, q.conflicts, q.hits
             ));
         }
         s

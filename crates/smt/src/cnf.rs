@@ -67,6 +67,45 @@ impl Blaster {
         self.sat.solve_limited(max_conflicts)
     }
 
+    /// Incremental solve under assumption literals (see
+    /// [`SatSolver::solve_with_assumptions`]); `None` means the per-call
+    /// conflict budget ran out.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<crate::sat::AssumptionOutcome> {
+        self.sat.solve_with_assumptions(assumptions, max_conflicts)
+    }
+
+    /// Encodes a boolean expression and returns its output literal
+    /// *without* asserting it, so the caller can pass it as a solve
+    /// assumption. Encodings are memoised: a second call for the same
+    /// expression adds no clauses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlastError`] from encoding.
+    pub fn literal_for(
+        &mut self,
+        e: &Expr,
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+    ) -> Result<Lit, BlastError> {
+        self.encode_bool(e, sorts)
+    }
+
+    /// Turns RUP proof logging in the backing SAT solver on or off.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        self.sat.set_proof_logging(on);
+    }
+
+    /// Clauses currently held by the backing SAT solver, learned clauses
+    /// included.
+    #[must_use]
+    pub fn sat_clause_count(&self) -> usize {
+        self.sat.num_clauses()
+    }
+
     /// Number of SAT variables allocated by the encoding.
     #[must_use]
     pub fn sat_num_vars(&self) -> u32 {

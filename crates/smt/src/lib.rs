@@ -11,6 +11,8 @@
 //! * [`cnf`] — Tseitin bit-blasting of expressions to CNF;
 //! * [`solver`] — the query facade ([`check_sat`], [`entails`]) with
 //!   checked models and optionally checked refutation proofs;
+//! * [`session`] — incremental solving sessions (facts encoded once,
+//!   clauses retained across queries) and the shared sound query cache;
 //! * [`lia`] — linear integer arithmetic for sequence-index reasoning.
 //!
 //! # Examples
@@ -31,11 +33,13 @@ pub mod eval;
 pub mod expr;
 pub mod lia;
 pub mod sat;
+pub mod session;
 pub mod simplify;
 pub mod solver;
 
 pub use eval::{eval, eval_bits, eval_bool, EvalError};
 pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
+pub use session::{QueryCache, Session};
 pub use simplify::{simplify, simplify_with, width_of, width_of_with, WidthOracle};
 pub use solver::{
     check_sat, check_sat_logged, check_sat_metered, entails, entails_logged, entails_metered,
@@ -44,4 +48,4 @@ pub use solver::{
 
 /// Re-export of the shared solver-counter records, so downstream crates
 /// can name them without depending on `islaris-obs` directly.
-pub use islaris_obs::{QueryStats, QueryTable, SolverMetrics};
+pub use islaris_obs::{CacheMetrics, QueryStats, QueryTable, SessionMetrics, SolverMetrics};

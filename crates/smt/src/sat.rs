@@ -86,6 +86,25 @@ pub enum SatOutcome {
     Unsat(RupProof),
 }
 
+/// Result of an assumption-based SAT query
+/// ([`SatSolver::solve_with_assumptions`]).
+///
+/// Unlike [`SatOutcome`], the unsat case carries no RUP refutation: the
+/// conflict depends on the assumption literals, not on the clause database
+/// alone, so there is no proof of *formula* unsatisfiability to log. Callers
+/// that need a checked refutation fall back to a fresh from-scratch solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssumptionOutcome {
+    /// Satisfiable under the assumptions; the vector maps each variable
+    /// index to its value.
+    Sat(Vec<bool>),
+    /// Unsatisfiable under the assumptions; carries the final-conflict
+    /// analysis: a subset of the given assumption literals (sorted,
+    /// deduplicated) that already suffices for unsatisfiability. Empty iff
+    /// the clause database itself is unsatisfiable.
+    Unsat(Vec<Lit>),
+}
+
 /// An RUP (reverse unit propagation) refutation: each clause is implied by
 /// the original formula plus the earlier clauses via unit propagation, and
 /// the final clause is empty.
@@ -134,6 +153,12 @@ pub struct SatSolver {
     /// Saved phases for phase-saving.
     phase: Vec<bool>,
     proof: RupProof,
+    /// Disables RUP proof logging (inverted so the derived `Default` keeps
+    /// logging on). Incremental sessions turn logging off: learned clauses
+    /// retained across assumption solves would otherwise accumulate an
+    /// unbounded — and, interleaved with assumption-era derivations, no
+    /// longer replayable — proof vector.
+    no_proof_log: bool,
     /// Set when an added clause is immediately contradictory.
     root_conflict: bool,
     conflicts: u64,
@@ -197,6 +222,24 @@ impl SatSolver {
     #[must_use]
     pub fn decision_count(&self) -> u64 {
         self.decisions
+    }
+
+    /// Number of clauses currently in the database: input clauses of two or
+    /// more literals plus every learned clause retained across solves.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Turns RUP proof logging on or off (on by default).
+    ///
+    /// With logging off, `Unsat` outcomes from [`SatSolver::solve`] /
+    /// [`SatSolver::solve_limited`] carry an empty (unverifiable) proof;
+    /// callers that disable logging must not check proofs. Incremental
+    /// sessions disable it and fall back to a fresh solver when a checked
+    /// refutation is required.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        self.no_proof_log = !on;
     }
 
     /// Adds a clause. Must be called before [`SatSolver::solve`]; duplicate
@@ -433,11 +476,11 @@ impl SatSolver {
     /// conflicts, returning `None` (the caller reports "unknown").
     pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatOutcome> {
         if self.root_conflict {
-            self.proof.clauses.push(Vec::new());
+            self.log_proof_clause(Vec::new());
             return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
         }
         if self.propagate().is_some() {
-            self.proof.clauses.push(Vec::new());
+            self.log_proof_clause(Vec::new());
             return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
         }
         let mut restart_budget = luby(LUBY_UNIT, 0);
@@ -450,17 +493,19 @@ impl SatSolver {
                     return None;
                 }
                 if self.trail_lim.is_empty() {
-                    self.proof.clauses.push(Vec::new());
+                    self.log_proof_clause(Vec::new());
                     return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
                 }
                 let (learned, backjump) = self.analyze(conflict);
-                self.proof.clauses.push(learned.clone());
+                if !self.no_proof_log {
+                    self.proof.clauses.push(learned.clone());
+                }
                 self.backtrack(backjump);
                 self.act_inc /= 0.95;
                 match learned.len() {
                     1 => {
                         if self.value(learned[0]) == Some(false) {
-                            self.proof.clauses.push(Vec::new());
+                            self.log_proof_clause(Vec::new());
                             return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
                         }
                         if self.value(learned[0]).is_none() {
@@ -497,6 +542,161 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    fn log_proof_clause(&mut self, clause: Vec<Lit>) {
+        if !self.no_proof_log {
+            self.proof.clauses.push(clause);
+        }
+    }
+
+    /// MiniSat-style incremental solve under assumption literals.
+    ///
+    /// The clause database — including clauses learned by earlier calls — is
+    /// retained: learned clauses are resolvents of database clauses alone
+    /// (assumption decisions are never resolved on), so they stay valid for
+    /// any later assumption set. Clauses added between calls are picked up
+    /// by restarting propagation from the root level.
+    ///
+    /// Gives up after `max_conflicts` conflicts *in this call*, returning
+    /// `None`. On every return path the solver is backtracked to the root
+    /// level, so [`SatSolver::add_clause`] may be called again afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption mentions an unallocated variable.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<AssumptionOutcome> {
+        for a in assumptions {
+            assert!(
+                a.var() < self.num_vars,
+                "assumption {a} uses unallocated variable"
+            );
+        }
+        if self.root_conflict {
+            return Some(AssumptionOutcome::Unsat(Vec::new()));
+        }
+        // Clauses added since the last call may watch literals that an
+        // earlier trail already falsified; re-propagating the whole trail
+        // restores the watch invariant before any new decision is taken.
+        self.backtrack(0);
+        self.prop_head = 0;
+        let start_conflicts = self.conflicts;
+        let mut restart_budget = luby(LUBY_UNIT, 0);
+        let mut restart_count = 0u32;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.conflicts - start_conflicts > max_conflicts {
+                    self.backtrack(0);
+                    return None;
+                }
+                if self.trail_lim.is_empty() {
+                    // Conflict below every assumption: the formula itself
+                    // is unsatisfiable.
+                    self.root_conflict = true;
+                    return Some(AssumptionOutcome::Unsat(Vec::new()));
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.act_inc /= 0.95;
+                match learned.len() {
+                    1 => {
+                        if self.value(learned[0]) == Some(false) {
+                            self.root_conflict = true;
+                            self.backtrack(0);
+                            return Some(AssumptionOutcome::Unsat(Vec::new()));
+                        }
+                        if self.value(learned[0]).is_none() {
+                            self.enqueue(learned[0], u32::MAX);
+                        }
+                    }
+                    _ => {
+                        let ci = self.clauses.len() as u32;
+                        self.watches[learned[0].negate().index()].push(ci);
+                        self.watches[learned[1].negate().index()].push(ci);
+                        let asserting = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(asserting, ci);
+                    }
+                }
+                restart_budget = restart_budget.saturating_sub(1);
+                if restart_budget == 0 {
+                    restart_count += 1;
+                    restart_budget = luby(LUBY_UNIT, restart_count);
+                    self.backtrack(0);
+                }
+            } else {
+                // Place outstanding assumptions as decisions: decision level
+                // i hosts assumption i (already-true assumptions get an
+                // empty dummy level so the correspondence survives
+                // backjumps, exactly as in MiniSat).
+                let mut next = None;
+                while self.trail_lim.len() < assumptions.len() {
+                    let p = assumptions[self.trail_lim.len()];
+                    match self.value(p) {
+                        Some(true) => self.trail_lim.push(self.trail.len()),
+                        Some(false) => {
+                            let core = self.analyze_final(p);
+                            self.backtrack(0);
+                            return Some(AssumptionOutcome::Unsat(core));
+                        }
+                        None => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                match next.or_else(|| self.decide()) {
+                    None => {
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                        self.backtrack(0);
+                        return Some(AssumptionOutcome::Sat(model));
+                    }
+                    Some(l) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, u32::MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Final-conflict analysis: the falsified assumption `p` is traced back
+    /// through the implication graph to the subset of assumption decisions
+    /// it depends on. Called only while placing assumptions, when every
+    /// decision above the root level is an assumption literal.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if let Some(&first_lim) = self.trail_lim.first() {
+            let mut seen = vec![false; self.num_vars as usize];
+            seen[p.var() as usize] = true;
+            for i in (first_lim..self.trail.len()).rev() {
+                let l = self.trail[i];
+                if !seen[l.var() as usize] {
+                    continue;
+                }
+                let r = self.reason[l.var() as usize];
+                if r == u32::MAX {
+                    core.push(l);
+                } else {
+                    for &q in &self.clauses[r as usize] {
+                        if q.var() != l.var() && self.level[q.var() as usize] > 0 {
+                            seen[q.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core.sort_unstable();
+        core.dedup();
+        core
     }
 }
 
@@ -693,6 +893,213 @@ mod tests {
         let v = s.new_var();
         s.add_clause(vec![Lit::pos(v), Lit::neg(v)]);
         assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn assumptions_flip_a_satisfiable_instance() {
+        // (x1 ∨ x2): unsat under {¬x1, ¬x2}, sat under {¬x1} alone.
+        let cs = vec![lits(&[1, 2])];
+        let mut s = solver_with(2, &cs);
+        match s.solve_with_assumptions(&lits(&[-1, -2]), u64::MAX) {
+            Some(AssumptionOutcome::Unsat(core)) => {
+                let mut want = lits(&[-1, -2]);
+                want.sort_unstable();
+                assert_eq!(core, want, "both assumptions participate");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        match s.solve_with_assumptions(&lits(&[-1]), u64::MAX) {
+            Some(AssumptionOutcome::Sat(m)) => {
+                assert!(!m[0] && m[1], "model must honour the assumption");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_conflict_core_is_a_sufficient_subset() {
+        // Only x2 and x4 conflict (¬x2 ∨ ¬x4); x1, x3, x5 are innocent.
+        let cs = vec![lits(&[-2, -4])];
+        let assumptions = lits(&[1, 2, 3, 4, 5]);
+        let mut s = solver_with(5, &cs);
+        match s.solve_with_assumptions(&assumptions, u64::MAX) {
+            Some(AssumptionOutcome::Unsat(core)) => {
+                assert!(!core.is_empty());
+                assert!(core.iter().all(|l| assumptions.contains(l)));
+                assert!(!core.contains(&Lit::pos(0)), "x1 is not involved");
+                // The core alone (as unit clauses) refutes the formula.
+                let mut fresh = solver_with(5, &cs);
+                for &l in &core {
+                    fresh.add_clause(vec![l]);
+                }
+                assert!(matches!(fresh.solve(), SatOutcome::Unsat(_)));
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_assumptions_yield_both_in_core() {
+        let cs = vec![lits(&[1, 2])];
+        let mut s = solver_with(2, &cs);
+        match s.solve_with_assumptions(&lits(&[1, -1]), u64::MAX) {
+            Some(AssumptionOutcome::Unsat(core)) => {
+                let mut want = lits(&[1, -1]);
+                want.sort_unstable();
+                assert_eq!(core, want);
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_formula_yields_empty_core() {
+        // PHP(3,2) is unsat regardless of assumptions.
+        let var = |i: i32, j: i32| i * 2 + j + 1;
+        let mut cs: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..3 {
+            cs.push(lits(&[var(i, 0), var(i, 1)]));
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    cs.push(lits(&[-var(a, j), -var(b, j)]));
+                }
+            }
+        }
+        let mut s = solver_with(6, &cs);
+        match s.solve_with_assumptions(&lits(&[1]), u64::MAX) {
+            Some(AssumptionOutcome::Unsat(core)) => {
+                assert!(core.is_empty(), "formula-level unsat has empty core");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        // And the solver keeps reporting it cheaply on later calls.
+        assert!(matches!(
+            s.solve_with_assumptions(&[], u64::MAX),
+            Some(AssumptionOutcome::Unsat(c)) if c.is_empty()
+        ));
+    }
+
+    #[test]
+    fn assumption_budget_exhaustion_returns_none() {
+        let var = |i: i32, j: i32| i * 2 + j + 1;
+        let mut cs: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..3 {
+            cs.push(lits(&[var(i, 0), var(i, 1)]));
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    cs.push(lits(&[-var(a, j), -var(b, j)]));
+                }
+            }
+        }
+        let mut s = solver_with(6, &cs);
+        assert_eq!(s.solve_with_assumptions(&[], 0), None);
+        // The budget is per call: an unlimited retry still succeeds.
+        assert!(matches!(
+            s.solve_with_assumptions(&[], u64::MAX),
+            Some(AssumptionOutcome::Unsat(_))
+        ));
+    }
+
+    #[test]
+    fn clauses_added_between_assumption_solves_are_seen() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        assert!(matches!(
+            s.solve_with_assumptions(&[Lit::neg(a)], u64::MAX),
+            Some(AssumptionOutcome::Sat(_))
+        ));
+        // New clause forces a; the retained solver must notice.
+        s.add_clause(vec![Lit::neg(b)]);
+        match s.solve_with_assumptions(&[Lit::neg(a)], u64::MAX) {
+            Some(AssumptionOutcome::Unsat(core)) => assert_eq!(core, vec![Lit::neg(a)]),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        // Without the assumption the formula is satisfiable: a, ¬b.
+        match s.solve_with_assumptions(&[], u64::MAX) {
+            Some(AssumptionOutcome::Sat(m)) => assert!(m[a as usize] && !m[b as usize]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retained_sessions_agree_with_scratch_solves() {
+        // Deterministic pseudo-random 3-CNF instances; each assumption set
+        // is answered both by one long-lived incremental solver and by a
+        // fresh solver with the assumptions as unit clauses.
+        let mut state = 0x1234_5678_u64;
+        let mut rnd = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let num_vars = 12u32;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for _ in 0..30 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| Lit::with_sign(rnd(u64::from(num_vars)) as SatVar, rnd(2) == 0))
+                .collect();
+            clauses.push(c);
+        }
+        let mut inc = solver_with(num_vars, &clauses);
+        for round in 0..25 {
+            let assumptions: Vec<Lit> = (0..rnd(5))
+                .map(|_| Lit::with_sign(rnd(u64::from(num_vars)) as SatVar, rnd(2) == 0))
+                .collect();
+            let inc_sat = match inc.solve_with_assumptions(&assumptions, u64::MAX) {
+                Some(AssumptionOutcome::Sat(m)) => {
+                    for l in &assumptions {
+                        assert_eq!(m[l.var() as usize], l.is_pos(), "assumption violated");
+                    }
+                    for c in &clauses {
+                        assert!(c.iter().any(|l| m[l.var() as usize] == l.is_pos()));
+                    }
+                    true
+                }
+                Some(AssumptionOutcome::Unsat(core)) => {
+                    assert!(core.iter().all(|l| assumptions.contains(l)));
+                    false
+                }
+                None => unreachable!("unlimited budget"),
+            };
+            let mut scratch = solver_with(num_vars, &clauses);
+            for &l in &assumptions {
+                scratch.add_clause(vec![l]);
+            }
+            let scratch_sat = matches!(scratch.solve(), SatOutcome::Sat(_));
+            assert_eq!(inc_sat, scratch_sat, "round {round} diverged");
+            // Occasionally grow the shared formula mid-session.
+            if round % 7 == 3 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| Lit::with_sign(rnd(u64::from(num_vars)) as SatVar, rnd(2) == 0))
+                    .collect();
+                clauses.push(c.clone());
+                inc.add_clause(c);
+            }
+        }
+    }
+
+    #[test]
+    fn proof_logging_toggle_controls_rup_output() {
+        let cs = vec![lits(&[1]), lits(&[-1])];
+        let mut quiet = solver_with(1, &cs);
+        quiet.set_proof_logging(false);
+        match quiet.solve() {
+            SatOutcome::Unsat(p) => assert!(p.clauses.is_empty(), "no proof when disabled"),
+            SatOutcome::Sat(_) => panic!("expected unsat"),
+        }
+        let mut loud = solver_with(1, &cs);
+        loud.set_proof_logging(true);
+        match loud.solve() {
+            SatOutcome::Unsat(p) => assert!(check_rup_proof(1, &cs, &p)),
+            SatOutcome::Sat(_) => panic!("expected unsat"),
+        }
     }
 
     #[test]

@@ -1,0 +1,873 @@
+//! Incremental SMT sessions and the shared, sound query-result cache.
+//!
+//! Two complementary mechanisms take repeated solver work out of the
+//! verification half of the pipeline (DESIGN §10):
+//!
+//! * [`Session`] — one per engine block. It owns a single [`Blaster`]
+//!   whose clause database is *retained* across queries: each fact is
+//!   simplified once, Tseitin-encoded once, and thereafter referenced by
+//!   its output literal. Queries run as MiniSat-style assumption solves
+//!   ([`crate::sat::SatSolver::solve_with_assumptions`]), so clauses
+//!   learned while answering one query keep pruning the search in the
+//!   next. Facts are never asserted as unit clauses — only passed as
+//!   assumptions — so the database stays valid for every later query,
+//!   including queries issued after the engine forks a symbolic branch.
+//! * [`QueryCache`] — one per pipeline run, shared across cases and
+//!   worker threads. It memoises the verdicts of *from-scratch* solves
+//!   (certificate replay, the engine's LIA side prover) keyed by the full
+//!   rendered query text, bucketed under [`crate::solver::query_digest`].
+//!   Because the key is the text, a digest collision can only cost a
+//!   cache miss, never a wrong answer; because from-scratch solving is
+//!   deterministic, a hit can replay the original run's effort counters
+//!   and keep attribution tables byte-identical with and without the
+//!   cache.
+//!
+//! Soundness of retention: the clause database holds definitional
+//! (Tseitin) clauses, which are valid for any assignment of the encoded
+//! expressions, plus learned clauses, which are resolvents of database
+//! clauses alone (assumption decisions are never resolved on). Nothing in
+//! the database depends on which facts a particular query assumes.
+//!
+//! Proof-checking fallback: an assumption solve cannot produce an RUP
+//! refutation of the formula — its final conflict depends on the
+//! assumptions. Under [`SolverConfig::check_proofs`] the session therefore
+//! re-proves `Unsat` answers on a fresh proof-logging solver (counted in
+//! [`SessionMetrics::fallback_solves`]), keeping the paranoid
+//! configuration's checked-evidence discipline intact.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+use islaris_obs::{fnv1a, CacheMetrics, QueryStats, QueryTable, SessionMetrics, SolverMetrics};
+
+use crate::cnf::{BlastError, Blaster};
+use crate::eval::eval_bool;
+use crate::expr::{Expr, Sort, Var};
+use crate::sat::{check_rup_proof, AssumptionOutcome, Lit, SatOutcome};
+use crate::simplify::simplify;
+use crate::solver::{Model, SmtResult, SolverConfig};
+
+/// FNV-1a over the newline-separated renderings of `exprs` — the same
+/// text (and therefore the same digest) as
+/// [`crate::solver::query_digest`] over an equal slice.
+fn digest_over<'a>(exprs: impl Iterator<Item = &'a Expr>) -> (String, u64) {
+    let mut text = String::new();
+    for a in exprs {
+        let _ = writeln!(text, "{a}");
+    }
+    let digest = fnv1a(text.as_bytes());
+    (text, digest)
+}
+
+/// Field-wise difference `after - before` of two solver-metric snapshots.
+fn metrics_delta(after: &SolverMetrics, before: &SolverMetrics) -> SolverMetrics {
+    SolverMetrics {
+        queries: after.queries - before.queries,
+        sat: after.sat - before.sat,
+        unsat: after.unsat - before.unsat,
+        unknown: after.unknown - before.unknown,
+        model_verifies: after.model_verifies - before.model_verifies,
+        cnf_vars: after.cnf_vars - before.cnf_vars,
+        cnf_clauses: after.cnf_clauses - before.cnf_clauses,
+        propagations: after.propagations - before.propagations,
+        decisions: after.decisions - before.decisions,
+        conflicts: after.conflicts - before.conflicts,
+    }
+}
+
+/// The per-query attribution record derived from a metrics delta.
+fn query_delta(delta: &SolverMetrics) -> QueryStats {
+    QueryStats {
+        count: 1,
+        cnf_clauses: delta.cnf_clauses,
+        propagations: delta.propagations,
+        decisions: delta.decisions,
+        conflicts: delta.conflicts,
+        hits: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental sessions
+// ---------------------------------------------------------------------------
+
+/// An incremental solving session: one retained [`Blaster`] answering a
+/// stream of `check_sat`/`entails` queries whose fact sets overlap.
+///
+/// Answers follow [`crate::solver::check_sat_metered`]'s contract exactly
+/// — same verdicts, same `Unknown` messages, same decision order over the
+/// assumption list — so switching a caller from per-query solving to a
+/// session changes effort counters but never certificates.
+pub struct Session {
+    cfg: SolverConfig,
+    blaster: Blaster,
+    /// Raw expression → simplified form (each fact simplified once).
+    simplified: HashMap<Expr, Expr>,
+    /// Simplified expression → assumption literal (each fact encoded
+    /// once). Encoding errors are *not* memoised: an `UnknownVar` failure
+    /// can become encodable once the engine declares the variable's sort.
+    lits: HashMap<Expr, Lit>,
+    metrics: SessionMetrics,
+}
+
+impl Session {
+    /// Creates an empty session. The backing solver runs with RUP proof
+    /// logging off; proof-checking configurations fall back to fresh
+    /// logging solves per `Unsat` answer instead.
+    #[must_use]
+    pub fn new(cfg: SolverConfig) -> Self {
+        let mut blaster = Blaster::new();
+        blaster.set_proof_logging(false);
+        Session {
+            cfg,
+            blaster,
+            simplified: HashMap::new(),
+            lits: HashMap::new(),
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// The configuration queries run under.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the per-session counters.
+    #[must_use]
+    pub fn metrics(&self) -> SessionMetrics {
+        self.metrics
+    }
+
+    /// Checks satisfiability of the conjunction of `assumptions` against
+    /// the retained database. Answer-compatible with
+    /// [`crate::solver::check_sat_metered`].
+    pub fn check_sat_metered(
+        &mut self,
+        assumptions: &[Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+    ) -> SmtResult {
+        let q: Vec<&Expr> = assumptions.iter().collect();
+        self.check_exprs(&q, sorts, m)
+    }
+
+    /// [`Session::check_sat_metered`] plus per-query attribution under
+    /// the query's digest (see [`crate::solver::check_sat_logged`]).
+    pub fn check_sat_logged(
+        &mut self,
+        assumptions: &[Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+        table: &mut QueryTable,
+    ) -> (SmtResult, u64) {
+        let (_, digest) = digest_over(assumptions.iter());
+        let before = *m;
+        let q: Vec<&Expr> = assumptions.iter().collect();
+        let result = self.check_exprs(&q, sorts, m);
+        table.record(digest, query_delta(&metrics_delta(m, &before)));
+        (result, digest)
+    }
+
+    /// Does `facts ⟹ goal` hold? Decided by refutation against the
+    /// retained database; answer-compatible with
+    /// [`crate::solver::entails_metered`].
+    pub fn entails_metered(
+        &mut self,
+        facts: &[Expr],
+        goal: &Expr,
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+    ) -> bool {
+        let neg_goal = Expr::not(goal.clone());
+        let q: Vec<&Expr> = facts.iter().chain(std::iter::once(&neg_goal)).collect();
+        self.check_exprs(&q, sorts, m).is_unsat()
+    }
+
+    /// [`Session::entails_metered`] plus per-query attribution. The
+    /// digest is computed over the refutation query (`facts ∧ ¬goal`),
+    /// matching [`crate::solver::entails_logged`], so hot-query join keys
+    /// are stable across the session switch.
+    pub fn entails_logged(
+        &mut self,
+        facts: &[Expr],
+        goal: &Expr,
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+        table: &mut QueryTable,
+    ) -> (bool, u64) {
+        let neg_goal = Expr::not(goal.clone());
+        let (_, digest) = digest_over(facts.iter().chain(std::iter::once(&neg_goal)));
+        let before = *m;
+        let q: Vec<&Expr> = facts.iter().chain(std::iter::once(&neg_goal)).collect();
+        let result = self.check_exprs(&q, sorts, m);
+        table.record(digest, query_delta(&metrics_delta(m, &before)));
+        (result.is_unsat(), digest)
+    }
+
+    /// The shared query path. Mirrors the decision order of
+    /// [`crate::solver::check_sat_metered`] step for step: simplify each
+    /// assumption in order (a literal `false` short-circuits to `Unsat`),
+    /// answer `Sat` on an empty residue, report the first encoding error
+    /// as `Unknown`, then solve — here with assumptions against the
+    /// retained database instead of a fresh blaster.
+    fn check_exprs(
+        &mut self,
+        q: &[&Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+    ) -> SmtResult {
+        m.queries += 1;
+        let mut active = Vec::with_capacity(q.len());
+        for &a in q {
+            let s = self.simplify_cached(a);
+            match s.as_bool() {
+                Some(true) => continue,
+                Some(false) => {
+                    m.unsat += 1;
+                    return SmtResult::Unsat;
+                }
+                None => active.push(s),
+            }
+        }
+        if active.is_empty() {
+            m.sat += 1;
+            return SmtResult::Sat(Model::default());
+        }
+
+        let vars_before = u64::from(self.blaster.sat_num_vars());
+        let clauses_before = self.blaster.sat_original_clauses().len() as u64;
+        let mut assumptions = Vec::with_capacity(active.len());
+        for s in &active {
+            match self.lit_cached(s, sorts) {
+                Ok(l) => assumptions.push(l),
+                Err(BlastError::Unsupported(msg)) => {
+                    m.unknown += 1;
+                    return SmtResult::Unknown(msg);
+                }
+                Err(e) => {
+                    m.unknown += 1;
+                    return SmtResult::Unknown(e.to_string());
+                }
+            }
+        }
+        m.cnf_vars += u64::from(self.blaster.sat_num_vars()) - vars_before;
+        m.cnf_clauses += self.blaster.sat_original_clauses().len() as u64 - clauses_before;
+
+        let props_before = self.blaster.sat_propagations();
+        let decs_before = self.blaster.sat_decisions();
+        let confs_before = self.blaster.sat_conflicts();
+        self.metrics.assumption_solves += 1;
+        let outcome = self
+            .blaster
+            .solve_with_assumptions(&assumptions, self.cfg.max_conflicts);
+        m.propagations += self.blaster.sat_propagations() - props_before;
+        m.decisions += self.blaster.sat_decisions() - decs_before;
+        m.conflicts += self.blaster.sat_conflicts() - confs_before;
+        self.metrics.clauses_retained = self.blaster.sat_clause_count() as u64;
+
+        match outcome {
+            None => {
+                m.unknown += 1;
+                SmtResult::Unknown(format!(
+                    "conflict budget {} exhausted",
+                    self.cfg.max_conflicts
+                ))
+            }
+            Some(AssumptionOutcome::Sat(bits)) => {
+                let mut model = Model::default();
+                for v in self.blaster.encoded_vars().collect::<Vec<_>>() {
+                    if let Some(val) = self.blaster.extract_value(v, &bits, sorts) {
+                        model.insert(v, val);
+                    }
+                }
+                m.model_verifies += 1;
+                let env = |v: Var| sorts(v).map(|s| model.get_or_default(v, s));
+                for a in &active {
+                    match eval_bool(a, &env) {
+                        Ok(true) => {}
+                        other => {
+                            debug_assert!(false, "model fails to satisfy {a}: {other:?}");
+                            m.unknown += 1;
+                            return SmtResult::Unknown(format!(
+                                "internal error: model verification failed on {a}"
+                            ));
+                        }
+                    }
+                }
+                m.sat += 1;
+                SmtResult::Sat(model)
+            }
+            Some(AssumptionOutcome::Unsat(_core)) => {
+                if self.cfg.check_proofs {
+                    self.metrics.fallback_solves += 1;
+                    return self.scratch_unsat_check(&active, sorts, m);
+                }
+                m.unsat += 1;
+                SmtResult::Unsat
+            }
+        }
+    }
+
+    /// Proof-checking fallback: re-proves the (already simplified) query
+    /// on a fresh proof-logging solver so the RUP refutation can be
+    /// replayed, exactly as the from-scratch path would. Does not count a
+    /// new query — it is the second half of the one being answered.
+    fn scratch_unsat_check(
+        &mut self,
+        active: &[Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        m: &mut SolverMetrics,
+    ) -> SmtResult {
+        let mut blaster = Blaster::new();
+        for a in active {
+            match blaster.assert_expr(a, sorts) {
+                Ok(()) => {}
+                Err(BlastError::Unsupported(msg)) => {
+                    m.unknown += 1;
+                    return SmtResult::Unknown(msg);
+                }
+                Err(e) => {
+                    m.unknown += 1;
+                    return SmtResult::Unknown(e.to_string());
+                }
+            }
+        }
+        m.cnf_vars += u64::from(blaster.sat_num_vars());
+        m.cnf_clauses += blaster.sat_original_clauses().len() as u64;
+        let outcome = blaster.solve_limited(self.cfg.max_conflicts);
+        m.propagations += blaster.sat_propagations();
+        m.decisions += blaster.sat_decisions();
+        m.conflicts += blaster.sat_conflicts();
+        match outcome {
+            None => {
+                m.unknown += 1;
+                SmtResult::Unknown(format!(
+                    "conflict budget {} exhausted",
+                    self.cfg.max_conflicts
+                ))
+            }
+            Some(SatOutcome::Sat(bits)) => {
+                // The assumption solve answered Unsat, so this indicates a
+                // solver bug; follow the scratch path's discipline and
+                // verify rather than trust.
+                let mut model = Model::default();
+                for v in blaster.encoded_vars().collect::<Vec<_>>() {
+                    if let Some(val) = blaster.extract_value(v, &bits, sorts) {
+                        model.insert(v, val);
+                    }
+                }
+                m.model_verifies += 1;
+                let env = |v: Var| sorts(v).map(|s| model.get_or_default(v, s));
+                for a in active {
+                    match eval_bool(a, &env) {
+                        Ok(true) => {}
+                        other => {
+                            debug_assert!(false, "model fails to satisfy {a}: {other:?}");
+                            m.unknown += 1;
+                            return SmtResult::Unknown(format!(
+                                "internal error: model verification failed on {a}"
+                            ));
+                        }
+                    }
+                }
+                m.sat += 1;
+                SmtResult::Sat(model)
+            }
+            Some(SatOutcome::Unsat(proof)) => {
+                let ok = check_rup_proof(
+                    blaster.sat_num_vars(),
+                    blaster.sat_original_clauses(),
+                    &proof,
+                );
+                if !ok {
+                    debug_assert!(false, "RUP proof failed to check");
+                    m.unknown += 1;
+                    return SmtResult::Unknown("internal error: RUP proof invalid".into());
+                }
+                m.unsat += 1;
+                SmtResult::Unsat
+            }
+        }
+    }
+
+    fn simplify_cached(&mut self, e: &Expr) -> Expr {
+        if let Some(s) = self.simplified.get(e) {
+            return s.clone();
+        }
+        let s = simplify(e);
+        self.simplified.insert(e.clone(), s.clone());
+        s
+    }
+
+    fn lit_cached(
+        &mut self,
+        s: &Expr,
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+    ) -> Result<Lit, BlastError> {
+        if let Some(&l) = self.lits.get(s) {
+            return Ok(l);
+        }
+        let l = self.blaster.literal_for(s, sorts)?;
+        self.lits.insert(s.clone(), l);
+        self.metrics.facts_encoded += 1;
+        Ok(l)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared query-result cache
+// ---------------------------------------------------------------------------
+
+/// The full identity of a cached query: configuration knobs that affect
+/// the verdict, plus the complete rendered query text. The digest only
+/// buckets; equality is decided here, so digest collisions degrade to
+/// misses.
+#[derive(Clone, PartialEq, Eq)]
+struct CacheKey {
+    check_proofs: bool,
+    max_conflicts: u64,
+    text: String,
+}
+
+impl CacheKey {
+    fn new(cfg: &SolverConfig, text: String) -> Self {
+        CacheKey {
+            check_proofs: cfg.check_proofs,
+            max_conflicts: cfg.max_conflicts,
+            text,
+        }
+    }
+}
+
+/// A memoised verdict plus the effort the original computation recorded.
+/// Hits replay the deltas, so metric and attribution tables stay
+/// byte-identical with the cache on or off (from-scratch solving is
+/// deterministic in the query text).
+#[derive(Clone)]
+struct CacheEntry {
+    result: SmtResult,
+    solver_delta: SolverMetrics,
+    query_delta: QueryStats,
+}
+
+/// A thread-safe, sound memo table for from-scratch solver queries,
+/// shared across cases and worker threads.
+///
+/// `Unsat`/`Unknown` verdicts are replayed as-is (the key pins the
+/// configuration, including `check_proofs`, so a cached `Unsat` was
+/// proof-checked iff the caller would have checked it). `Sat` models are
+/// re-verified by evaluation against the incoming query before being
+/// trusted; a model that fails verification is discarded and the query
+/// recomputed.
+#[derive(Default)]
+pub struct QueryCache {
+    /// digest → entries whose text hashes to that digest.
+    buckets: Mutex<HashMap<u64, Vec<(CacheKey, CacheEntry)>>>,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Distinct queries currently memoised.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    /// True iff nothing is memoised yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cached [`crate::solver::check_sat_logged`]: answers from the memo
+    /// table when the full query text (and configuration) matches,
+    /// computing from scratch and memoising otherwise. Cache traffic is
+    /// counted into `cm`; hits replay the original run's metric and
+    /// attribution deltas (marked with `hits=1` in the query table).
+    pub fn check_sat_logged(
+        &self,
+        assumptions: &[Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        cfg: &SolverConfig,
+        m: &mut SolverMetrics,
+        table: &mut QueryTable,
+        cm: &mut CacheMetrics,
+    ) -> (SmtResult, u64) {
+        let (text, digest) = digest_over(assumptions.iter());
+        if let Some(entry) = self.lookup(digest, cfg, &text) {
+            if self.hit_is_trusted(&entry, assumptions, sorts) {
+                cm.hits += 1;
+                m.absorb(&entry.solver_delta);
+                let mut qs = entry.query_delta;
+                qs.hits = 1;
+                table.record(digest, qs);
+                return (entry.result, digest);
+            }
+        }
+        cm.misses += 1;
+        let before = *m;
+        let result = crate::solver::check_sat_metered(assumptions, sorts, cfg, m);
+        let solver_delta = metrics_delta(m, &before);
+        let qs = query_delta(&solver_delta);
+        table.record(digest, qs);
+        self.insert(
+            digest,
+            CacheKey::new(cfg, text),
+            CacheEntry {
+                result: result.clone(),
+                solver_delta,
+                query_delta: qs,
+            },
+        );
+        (result, digest)
+    }
+
+    /// Cached [`crate::solver::entails_logged`] (see
+    /// [`QueryCache::check_sat_logged`]).
+    pub fn entails_logged(
+        &self,
+        facts: &[Expr],
+        goal: &Expr,
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+        cfg: &SolverConfig,
+        m: &mut SolverMetrics,
+        table: &mut QueryTable,
+        cm: &mut CacheMetrics,
+    ) -> (bool, u64) {
+        let mut q: Vec<Expr> = facts.to_vec();
+        q.push(Expr::not(goal.clone()));
+        let (result, digest) = self.check_sat_logged(&q, sorts, cfg, m, table, cm);
+        (result.is_unsat(), digest)
+    }
+
+    /// A cached `Sat` model must still satisfy the incoming query;
+    /// anything else (including evaluation errors) rejects the hit.
+    /// `Unsat`/`Unknown` verdicts carry no model to distrust.
+    fn hit_is_trusted(
+        &self,
+        entry: &CacheEntry,
+        assumptions: &[Expr],
+        sorts: &dyn Fn(Var) -> Option<Sort>,
+    ) -> bool {
+        match &entry.result {
+            SmtResult::Sat(model) => {
+                let env = |v: Var| sorts(v).map(|s| model.get_or_default(v, s));
+                assumptions
+                    .iter()
+                    .all(|a| matches!(eval_bool(a, &env), Ok(true)))
+            }
+            SmtResult::Unsat | SmtResult::Unknown(_) => true,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<(CacheKey, CacheEntry)>>> {
+        // A panic while holding the lock leaves a fully-written or
+        // untouched map (inserts build their value before locking), so a
+        // poisoned mutex is safe to keep using.
+        self.buckets.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lookup(&self, digest: u64, cfg: &SolverConfig, text: &str) -> Option<CacheEntry> {
+        let buckets = self.lock();
+        let bucket = buckets.get(&digest)?;
+        bucket
+            .iter()
+            .find(|(k, _)| {
+                k.check_proofs == cfg.check_proofs
+                    && k.max_conflicts == cfg.max_conflicts
+                    && k.text == text
+            })
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Upsert: replacing an existing entry keeps the newest computation,
+    /// which is what evicts a model that failed re-verification.
+    fn insert(&self, digest: u64, key: CacheKey, entry: CacheEntry) {
+        let mut buckets = self.lock();
+        let bucket = buckets.entry(digest).or_default();
+        if let Some(slot) = bucket.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = entry;
+        } else {
+            bucket.push((key, entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BvCmp, Value};
+    use crate::solver::{check_sat_metered, entails_metered, query_digest};
+
+    fn sorts64(v: Var) -> Option<Sort> {
+        (v.0 < 16).then_some(Sort::BitVec(64))
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn session_entails_matches_scratch_over_a_growing_fact_set() {
+        let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+        let mut facts: Vec<Expr> = Vec::new();
+        let mut session = Session::new(cfg());
+        let goals = [
+            Expr::cmp(BvCmp::Ult, x.clone(), z.clone()),
+            Expr::cmp(BvCmp::Ult, z.clone(), x.clone()),
+            Expr::eq(x.clone(), y.clone()),
+        ];
+        let pushes = [
+            Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+            Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
+            Expr::bool(true),
+        ];
+        for fact in pushes {
+            facts.push(fact);
+            for goal in &goals {
+                let mut ms = SolverMetrics::default();
+                let mut mf = SolverMetrics::default();
+                let inc = session.entails_metered(&facts, goal, &sorts64, &mut ms);
+                let scratch = entails_metered(&facts, goal, &sorts64, &cfg(), &mut mf);
+                assert_eq!(inc, scratch, "facts={facts:?} goal={goal}");
+                assert_eq!(ms.queries, 1);
+            }
+        }
+        let m = session.metrics();
+        assert!(m.assumption_solves > 0);
+        assert!(m.facts_encoded > 0);
+        assert!(m.clauses_retained > 0);
+        assert_eq!(m.fallback_solves, 0, "non-paranoid config never falls back");
+    }
+
+    #[test]
+    fn session_simplifies_and_encodes_each_fact_once() {
+        let x = Expr::var(Var(0));
+        // `x + 0 = x` simplifies away; the comparison fact stays.
+        let trivial = Expr::eq(Expr::add(x.clone(), Expr::bv(64, 0)), x.clone());
+        let fact = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 100));
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 200));
+        let facts = vec![trivial, fact];
+        let mut session = Session::new(cfg());
+        let mut m = SolverMetrics::default();
+        assert!(session.entails_metered(&facts, &goal, &sorts64, &mut m));
+        let simplified_once = session.simplified.len();
+        let encoded_once = session.metrics().facts_encoded;
+        let clauses_once = m.cnf_clauses;
+        assert!(encoded_once > 0);
+        // Re-issuing the same query touches no new simplifier or encoder
+        // work — and still answers the same.
+        let mut m2 = SolverMetrics::default();
+        assert!(session.entails_metered(&facts, &goal, &sorts64, &mut m2));
+        assert_eq!(session.simplified.len(), simplified_once);
+        assert_eq!(session.metrics().facts_encoded, encoded_once);
+        assert_eq!(m2.cnf_clauses, 0, "no new clauses on a repeated query");
+        assert!(clauses_once > 0);
+    }
+
+    #[test]
+    fn session_check_sat_returns_verified_models() {
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(
+            Expr::add(x.clone(), Expr::bv(64, 2)),
+            Expr::bv(64, 44),
+        )];
+        let mut session = Session::new(cfg());
+        let mut m = SolverMetrics::default();
+        match session.check_sat_metered(&q, &sorts64, &mut m) {
+            SmtResult::Sat(model) => {
+                assert_eq!(
+                    model.get(Var(0)),
+                    Some(Value::Bits(islaris_bv::Bv::new(64, 42)))
+                );
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(m.model_verifies, 1);
+        // A contradictory follow-up over the same session is unsat.
+        let q2 = [q[0].clone(), Expr::eq(x.clone(), Expr::bv(64, 7))];
+        assert!(session.check_sat_metered(&q2, &sorts64, &mut m).is_unsat());
+        // And the original query still answers sat afterwards.
+        assert!(session.check_sat_metered(&q, &sorts64, &mut m).is_sat());
+    }
+
+    #[test]
+    fn session_digests_match_the_scratch_path() {
+        let x = Expr::var(Var(0));
+        let facts = [Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 5))];
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 9));
+        let mut session = Session::new(cfg());
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let (holds, digest) = session.entails_logged(&facts, &goal, &sorts64, &mut m, &mut t);
+        assert!(holds);
+        let mut refutation = facts.to_vec();
+        refutation.push(Expr::not(goal));
+        assert_eq!(digest, query_digest(&refutation));
+        assert_eq!(t.entries[&digest].count, 1);
+        assert_eq!(t.entries[&digest].hits, 0);
+    }
+
+    #[test]
+    fn paranoid_session_falls_back_to_checked_scratch_solves() {
+        let x = Expr::var(Var(0));
+        let facts = [Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 5))];
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 9));
+        let mut session = Session::new(SolverConfig::paranoid());
+        let mut m = SolverMetrics::default();
+        assert!(session.entails_metered(&facts, &goal, &sorts64, &mut m));
+        assert_eq!(session.metrics().fallback_solves, 1);
+        assert_eq!(m.queries, 1, "the fallback is not a second query");
+        // A satisfiable query needs no fallback even when paranoid.
+        let sat_q = [Expr::eq(x.clone(), Expr::bv(64, 3))];
+        assert!(session.check_sat_metered(&sat_q, &sorts64, &mut m).is_sat());
+        assert_eq!(session.metrics().fallback_solves, 1);
+    }
+
+    #[test]
+    fn session_unsupported_ops_report_the_same_unknown() {
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(
+            Expr::binop(crate::expr::BvBinop::Udiv, x.clone(), x.clone()),
+            Expr::bv(64, 1),
+        )];
+        let mut session = Session::new(cfg());
+        let mut ms = SolverMetrics::default();
+        let inc = session.check_sat_metered(&q, &sorts64, &mut ms);
+        let scratch = check_sat_metered(&q, &sorts64, &cfg(), &mut SolverMetrics::default());
+        match (inc, scratch) {
+            (SmtResult::Unknown(a), SmtResult::Unknown(b)) => assert_eq!(a, b),
+            other => panic!("expected matching unknowns, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_hits_replay_verdict_and_effort() {
+        let cache = QueryCache::new();
+        let x = Expr::var(Var(0));
+        let facts = [Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 5))];
+        let goal = Expr::cmp(BvCmp::Ult, x.clone(), Expr::bv(64, 9));
+        let mut m1 = SolverMetrics::default();
+        let mut t1 = QueryTable::default();
+        let mut cm = CacheMetrics::default();
+        let (h1, d1) =
+            cache.entails_logged(&facts, &goal, &sorts64, &cfg(), &mut m1, &mut t1, &mut cm);
+        assert!(h1);
+        assert_eq!((cm.hits, cm.misses), (0, 1));
+        assert_eq!(cache.len(), 1);
+        let mut m2 = SolverMetrics::default();
+        let mut t2 = QueryTable::default();
+        let (h2, d2) =
+            cache.entails_logged(&facts, &goal, &sorts64, &cfg(), &mut m2, &mut t2, &mut cm);
+        assert!(h2);
+        assert_eq!(d1, d2);
+        assert_eq!((cm.hits, cm.misses), (1, 1));
+        // The hit replays the original effort delta exactly; only the
+        // `hits` marker differs.
+        assert_eq!(m1, m2);
+        assert_eq!(t1.entries[&d1].effort(), t2.entries[&d2].effort());
+        assert_eq!(t1.entries[&d1].hits, 0);
+        assert_eq!(t2.entries[&d2].hits, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_configurations() {
+        let cache = QueryCache::new();
+        let q = [Expr::bool(false)];
+        let mut cm = CacheMetrics::default();
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let _ = cache.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        let paranoid = SolverConfig::paranoid();
+        let _ = cache.check_sat_logged(&q, &sorts64, &paranoid, &mut m, &mut t, &mut cm);
+        assert_eq!(
+            (cm.hits, cm.misses),
+            (0, 2),
+            "different configurations never share entries"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn forced_digest_collision_is_a_miss_not_a_wrong_answer() {
+        let cache = QueryCache::new();
+        let x = Expr::var(Var(0));
+        // Memoise an UNSAT verdict, then plant it under the digest of a
+        // *different* (satisfiable) query, simulating a digest collision.
+        let unsat_q = [Expr::bool(false)];
+        let mut cm = CacheMetrics::default();
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let (r, _) = cache.check_sat_logged(&unsat_q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        assert!(r.is_unsat());
+        let sat_q = [Expr::eq(x.clone(), Expr::bv(64, 1))];
+        let (unsat_text, _) = digest_over(unsat_q.iter());
+        let (_, sat_digest) = digest_over(sat_q.iter());
+        // Move the existing entry into the colliding bucket.
+        let entry = {
+            let buckets = cache.lock();
+            buckets.values().next().unwrap()[0].clone()
+        };
+        assert_eq!(entry.0.text, unsat_text);
+        cache.insert(sat_digest, entry.0, entry.1);
+        // Same digest bucket, different text: the lookup must miss and
+        // the query must be recomputed to its true verdict.
+        let (r2, d2) = cache.check_sat_logged(&sat_q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        assert_eq!(d2, sat_digest);
+        assert!(r2.is_sat(), "collision must degrade to a miss, not lie");
+        assert_eq!(cm.hits, 0);
+    }
+
+    #[test]
+    fn corrupt_cached_sat_model_is_rejected_and_recomputed() {
+        let cache = QueryCache::new();
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(x.clone(), Expr::bv(64, 42))];
+        let (text, digest) = digest_over(q.iter());
+        // Plant a Sat entry whose model violates the query: textually
+        // equal key, wrong model (as if the original computation had been
+        // corrupted).
+        let mut bad_model = Model::default();
+        bad_model.insert(Var(0), Value::Bits(islaris_bv::Bv::new(64, 7)));
+        cache.insert(
+            digest,
+            CacheKey::new(&cfg(), text),
+            CacheEntry {
+                result: SmtResult::Sat(bad_model),
+                solver_delta: SolverMetrics::default(),
+                query_delta: QueryStats::default(),
+            },
+        );
+        let mut cm = CacheMetrics::default();
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let (r, _) = cache.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        match r {
+            SmtResult::Sat(model) => {
+                assert_eq!(
+                    model.get(Var(0)),
+                    Some(Value::Bits(islaris_bv::Bv::new(64, 42))),
+                    "the corrupt model must be replaced by a verified one"
+                );
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(
+            (cm.hits, cm.misses),
+            (0, 1),
+            "rejected hit counts as a miss"
+        );
+        // The recomputation evicted the corrupt entry: the next lookup is
+        // a genuine, verified hit.
+        let (r2, _) = cache.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        assert!(r2.is_sat());
+        assert_eq!(cm.hits, 1);
+    }
+}

@@ -83,6 +83,12 @@ impl Model {
     pub fn iter(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
         self.values.iter().map(|(v, val)| (*v, *val))
     }
+
+    /// Records a variable's value (module-internal: models handed out by
+    /// the solver and the session are always verified by evaluation first).
+    pub(crate) fn insert(&mut self, v: Var, val: Value) {
+        self.values.insert(v, val);
+    }
 }
 
 /// Result of a satisfiability query.
@@ -266,6 +272,7 @@ pub fn check_sat_logged(
             propagations: m.propagations - before.propagations,
             decisions: m.decisions - before.decisions,
             conflicts: m.conflicts - before.conflicts,
+            hits: 0,
         },
     );
     (result, digest)

@@ -1,16 +1,19 @@
 //! The counter-determinism contract behind `fig12 --profile`: the
 //! per-case per-stage counter profile must be *byte-identical* across
-//! worker counts, and — for every stage except `cache`, whose hits and
-//! misses are precisely what cache state changes — across cache states
-//! too. Counters are plain integers threaded through the pipeline by
+//! worker counts, and — for every stage except `cache` and `q.cache`,
+//! whose hits and misses are precisely what cache state changes —
+//! across cache states too. Counters are plain integers threaded through the pipeline by
 //! value (never wall-clock derived), and trace cache hits replay the
 //! original run's statistics, so a sequential cold run, a 4-worker cold
 //! run, and a warm-cache run over the same cases must render exactly
 //! the same profile text modulo that one stage.
 
-use islaris_cases::{run_cases_with, ALL_CASES};
+use std::sync::Arc;
+
+use islaris_cases::{run_cases_solver_cached, run_cases_with, ALL_CASES};
 use islaris_isla::TraceCache;
 use islaris_obs::render_profiles;
+use islaris_smt::QueryCache;
 
 /// Renders the full per-stage counter profile of one pipeline run over
 /// the first three Fig. 12 cases (two ISAs plus a branching case).
@@ -20,12 +23,17 @@ fn profile_text(jobs: usize, cache: &TraceCache) -> String {
     render_profiles(&report.profiles())
 }
 
-/// Drops the `cache` stage lines: the only stage whose counters are
-/// allowed to (and must) vary with cache state.
+/// Drops the `cache` and `q.cache` stage lines: the only stages whose
+/// counters are allowed to (and must) vary with cache state. Note that
+/// `q.cache` does *not* start with `cache`, so both prefixes are named
+/// explicitly.
 fn without_cache_stage(profile: &str) -> String {
     profile
         .lines()
-        .filter(|l| !l.trim_start().starts_with("cache"))
+        .filter(|l| {
+            let stage = l.trim_start();
+            !stage.starts_with("cache") && !stage.starts_with("q.cache")
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -62,6 +70,50 @@ fn counter_profile_is_identical_across_jobs_and_cache_state() {
     );
 }
 
+/// Renders the profile of a run with the solver query-result cache
+/// either disabled (`None`) or backed by the given shared cache.
+fn solver_cached_profile(jobs: usize, qcache: Option<&Arc<QueryCache>>) -> String {
+    let cache = TraceCache::new();
+    let report = run_cases_solver_cached(&ALL_CASES[..3], jobs, Some(&cache), None, qcache);
+    assert!(report.all_ok(), "profiled cases must verify");
+    render_profiles(&report.profiles())
+}
+
+/// `fig12 --solver-cache {on,off}` must not perturb any counter outside
+/// the `q.cache` row itself: cache hits replay the original solve's
+/// statistics, so every other stage (including the always-on `sess`
+/// row) is byte-identical across cache states and worker counts.
+#[test]
+fn counter_profile_is_identical_across_solver_cache_states() {
+    let off = solver_cached_profile(1, None);
+    let shared = Arc::new(QueryCache::new());
+    let on_cold = solver_cached_profile(1, Some(&shared));
+    let on_warm = solver_cached_profile(1, Some(&shared));
+    let on_parallel = solver_cached_profile(4, Some(&Arc::new(QueryCache::new())));
+
+    for (label, other) in [
+        ("cold cache", &on_cold),
+        ("warm cache", &on_warm),
+        ("4 workers", &on_parallel),
+    ] {
+        assert_eq!(
+            without_cache_stage(&off),
+            without_cache_stage(other),
+            "non-cache counters differ between --solver-cache off and on ({label})"
+        );
+    }
+    // The q.cache row must actually register the traffic: lookups when
+    // the cache is on, and hits once the shared cache is warm.
+    assert_ne!(
+        off, on_cold,
+        "--solver-cache on shows no q.cache difference; the cache is not exercised"
+    );
+    assert_ne!(
+        on_cold, on_warm,
+        "warm solver-cache run shows no hits; verdict replay is not exercised"
+    );
+}
+
 /// The profile names every pipeline stage for every case, so a stage
 /// that silently stops reporting (or a case that loses its profile)
 /// fails here rather than in downstream diffing.
@@ -77,9 +129,11 @@ fn profile_reports_every_stage_for_every_case() {
         "isla.smt:",
         "engine  :",
         "eng.smt :",
+        "sess    :",
         "cert    :",
         "cert.smt:",
         "cache   :",
+        "q.cache :",
     ] {
         assert_eq!(
             text.matches(stage).count(),

@@ -3,9 +3,15 @@
 //! rendered forms must be byte-identical across worker counts and cache
 //! states, and enabling tracing must not perturb what is measured.
 
-use islaris_cases::{find_case, run_case, run_case_traced, run_cases, CaseCtx, CaseDef, ALL_CASES};
+use std::sync::Arc;
+
+use islaris_cases::{
+    find_case, run_case, run_case_traced, run_cases, run_cases_solver_cached, CaseCtx, CaseDef,
+    ALL_CASES,
+};
 use islaris_isla::TraceCache;
 use islaris_obs::{render_proof_trace, ProofStep};
+use islaris_smt::QueryCache;
 
 /// A fast subset of the registry (the slow binsearch/memcpy-RV rows are
 /// exercised by the fig12 binary, not on every test run).
@@ -101,6 +107,49 @@ fn tracing_does_not_perturb_measurements() {
         plain.queries.render_top("case", 10),
         traced.queries.render_top("case", 10)
     );
+}
+
+/// Strips the `hits=N` column from rendered hot-query rows: the only
+/// column allowed to vary with solver-cache state, since a cache hit
+/// replays the original solve's effort counters but not its hit count.
+fn without_hit_counts(rendered: &str) -> String {
+    rendered
+        .lines()
+        .map(|l| l.find(" hits=").map_or(l, |i| &l[..i]))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The solver query-result cache replays effort counters on a hit, so
+/// hot-query tables are byte-identical across `--solver-cache {on,off}`
+/// and worker counts modulo the documented `hits=` column, and a warm
+/// shared cache actually registers hits.
+#[test]
+fn hot_query_tables_deterministic_across_solver_cache_states() {
+    let cases = fast_cases();
+    let off = run_cases_solver_cached(&cases, 1, None, None, None);
+    assert!(off.all_ok());
+    let baseline = without_hit_counts(&off.render_hot_queries(5));
+
+    let shared = Arc::new(QueryCache::new());
+    let on_cold = run_cases_solver_cached(&cases, 1, None, None, Some(&shared));
+    let on_warm = run_cases_solver_cached(&cases, 1, None, None, Some(&shared));
+    let on_parallel =
+        run_cases_solver_cached(&cases, 4, None, None, Some(&Arc::new(QueryCache::new())));
+    for (label, run) in [
+        ("cold cache", &on_cold),
+        ("warm cache", &on_warm),
+        ("4 workers", &on_parallel),
+    ] {
+        assert!(run.all_ok());
+        assert_eq!(
+            baseline,
+            without_hit_counts(&run.render_hot_queries(5)),
+            "hot-query tables diverged with --solver-cache on ({label})"
+        );
+    }
+    let warm_hits: u64 = on_warm.profiles().iter().map(|p| p.1.qcache.hits).sum();
+    assert!(warm_hits > 0, "warm solver cache registered no hits");
 }
 
 /// The hot-query tables (per case and pipeline-wide) are byte-identical
