@@ -108,6 +108,20 @@ cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
     --bench-compare BENCH_seed.json BENCH_pr5.json \
     --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare BENCH_pr5.json BENCH_pr6.json \
+    --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
+
+echo "== solver fuzzer smoke (differential CDCL configs on random CNF; full"
+echo "   256-case run lives in the workspace test step, this pins the gate) =="
+ISLARIS_PT_CASES=32 cargo test --release -q --offline -p islaris-smt --test sat_fuzz
+
+echo "== fig12 solver-feature A/B smoke (one feature off: verdict rows must"
+echo "   be byte-identical, counters attribute the feature's work) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --sat-off fold > "$profile_out/sat_off.txt"
+grep -q "stable rows: identical across both configurations" "$profile_out/sat_off.txt" \
+    || { echo "--sat-off fold did not confirm identical verdict rows"; exit 1; }
 
 echo "== difftest smoke (fixed seed, small budget: zero divergences and"
 echo "   byte-identical reports across reruns and --jobs values) =="

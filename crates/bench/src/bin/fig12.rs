@@ -12,11 +12,19 @@
 //!   shared trace cache, reporting per-case wall times, cache hit rates,
 //!   and speedups. The stable (non-timing) columns are asserted
 //!   byte-identical across all three runs.
-//! * `--bench [ITERS] [--warmup W] [--json PATH]` — the statistical
-//!   benchmarks: every case's two pipeline halves (`trace/<slug>`,
-//!   `verify/<slug>`) plus the stage micro-benchmarks, measured over W
-//!   warm-up + ITERS iterations with min/median/p90/max/MAD, optionally
-//!   exported as versioned `islaris-bench/v1` JSON.
+//! * `--bench [ITERS] [--warmup W] [--json PATH] [--sat-off FEATURE]` —
+//!   the statistical benchmarks: every case's two pipeline halves
+//!   (`trace/<slug>`, `verify/<slug>`) plus the stage micro-benchmarks,
+//!   measured over W warm-up + ITERS iterations with
+//!   min/median/p90/max/MAD, optionally exported as versioned
+//!   `islaris-bench/v1` JSON. `--sat-off FEATURE` runs the whole suite
+//!   with one solver feature disabled (the per-feature A/B arm).
+//! * `--sat-off FEATURE [--jobs N]` — the solver-feature ablation table:
+//!   runs the registry with all features on and with FEATURE off,
+//!   asserts the verdict rows byte-identical (heuristics may only change
+//!   effort, never verdicts), and prints both wall times and per-stage
+//!   counter profiles. Features: vsids, phase, restarts, reduce,
+//!   minimize, fold.
 //! * `--bench-compare OLD.json NEW.json [--threshold PCT]` — the
 //!   perf-regression gate: diffs two `--json` exports by median and exits
 //!   nonzero if any benchmark's median grew more than PCT percent
@@ -48,16 +56,19 @@ use std::sync::Arc;
 
 use islaris_bench::{compare, parse_bench_json, samples_to_json, BenchEnv};
 use islaris_cases::{
-    find_case, run_case_traced, run_cases_solver_cached, CaseCtx, CaseOutcome, ALL_CASES,
+    find_case, run_case_traced, run_cases_configured, run_cases_solver_cached, CaseCtx,
+    CaseOutcome, ALL_CASES,
 };
 use islaris_isla::TraceCache;
 use islaris_obs::{profiles_to_json, render_profiles, render_proof_trace, validate_json, Recorder};
-use islaris_smt::QueryCache;
+use islaris_smt::{QueryCache, SatConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fig12 [--jobs N] \
-         [--bench [ITERS] [--warmup W] [--json PATH] [--solver-cache on|off]] \
+         [--sat-off FEATURE [--jobs N]] \
+         [--bench [ITERS] [--warmup W] [--json PATH] [--solver-cache on|off] \
+         [--sat-off FEATURE]] \
          [--bench-compare OLD.json NEW.json [--threshold PCT]] [--trace-proof SLUG] \
          [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K] \
          [--solver-cache on|off]] \
@@ -72,6 +83,52 @@ fn parse_solver_cache(arg: Option<&String>) -> bool {
         Some("on") => true,
         Some("off") => false,
         _ => usage(),
+    }
+}
+
+/// Parses a `--sat-off` operand into the ablated configuration.
+fn parse_sat_off(arg: Option<&String>) -> SatConfig {
+    let Some(feature) = arg else { usage() };
+    SatConfig::default().without(feature).unwrap_or_else(|| {
+        eprintln!(
+            "unknown solver feature `{feature}`; known features: {}",
+            SatConfig::FEATURES.join(" ")
+        );
+        exit(2);
+    })
+}
+
+/// The `--sat-off FEATURE` A/B run: the full registry under the default
+/// configuration and under the ablated one, verdict rows asserted
+/// byte-identical (heuristics may only change effort, never verdicts),
+/// then both per-stage counter profiles for attribution.
+fn sat_off(feature: &str, jobs: usize) {
+    let ablated = parse_sat_off(Some(&feature.to_string()));
+    let base_run = run_cases_configured(ALL_CASES, jobs, None, None, None, SatConfig::default());
+    let alt_run = run_cases_configured(ALL_CASES, jobs, None, None, None, ablated);
+    assert_eq!(
+        base_run.stable_rows(),
+        alt_run.stable_rows(),
+        "verdict rows changed with `{feature}` off — a heuristic altered a verdict"
+    );
+
+    println!("all features on:");
+    print!("{}", base_run.render());
+    println!("\n`{feature}` off:");
+    print!("{}", alt_run.render());
+    println!("\nstable rows: identical across both configurations");
+    println!(
+        "wall: all-on {:.3}s, `{feature}` off {:.3}s",
+        base_run.wall.as_secs_f64(),
+        alt_run.wall.as_secs_f64(),
+    );
+    println!("\nper-stage counters, all features on:");
+    print!("{}", render_profiles(&base_run.profiles()));
+    println!("\nper-stage counters, `{feature}` off:");
+    print!("{}", render_profiles(&alt_run.profiles()));
+    if !(base_run.all_ok() && alt_run.all_ok()) {
+        eprintln!("some cases FAILED");
+        exit(1);
     }
 }
 
@@ -155,6 +212,15 @@ fn profile(
     if hot_queries > 0 {
         println!("\nsolver-query attribution (verification half; deterministic):");
         print!("{}", report.render_hot_queries(hot_queries));
+        // The solver micro-benchmarks (`solver/*` in `--bench`) are not
+        // part of the verification half; replay them logged so their
+        // digests are attributable too (a `solver/ult_transitivity_64`
+        // regression is diagnosable from this table).
+        println!("\nsolver micro-bench attribution (solver/*; deterministic):");
+        print!(
+            "{}",
+            islaris_bench::solver_bench_query_table().render_top("solver benches", hot_queries)
+        );
     }
     if let Some(path) = json_path {
         let json = profiles_to_json(&report.profiles());
@@ -193,10 +259,16 @@ fn profile(
     }
 }
 
-fn bench_mode(warmup: usize, iters: usize, json_path: Option<&str>, solver_cache: bool) {
+fn bench_mode(
+    warmup: usize,
+    iters: usize,
+    json_path: Option<&str>,
+    solver_cache: bool,
+    sat: SatConfig,
+) {
     let env = BenchEnv::capture(warmup, iters);
     println!("{}", env.row());
-    let samples = islaris_bench::all_benches_opts(warmup, iters, solver_cache);
+    let samples = islaris_bench::all_benches_configured(warmup, iters, solver_cache, sat);
     for s in &samples {
         println!("{}", s.row());
     }
@@ -289,6 +361,7 @@ fn main() {
             let mut warmup = 1;
             let mut json_path: Option<String> = None;
             let mut solver_cache = false;
+            let mut sat = SatConfig::default();
             let mut i = 1;
             if let Some(v) = args.get(1).and_then(|s| s.parse::<usize>().ok()) {
                 iters = v;
@@ -311,10 +384,32 @@ fn main() {
                         solver_cache = parse_solver_cache(args.get(i + 1));
                         i += 2;
                     }
+                    "--sat-off" => {
+                        sat = parse_sat_off(args.get(i + 1));
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            bench_mode(warmup, iters, json_path.as_deref(), solver_cache);
+            bench_mode(warmup, iters, json_path.as_deref(), solver_cache, sat);
+        }
+        Some("--sat-off") => {
+            let Some(feature) = args.get(1) else { usage() };
+            let mut jobs = 1;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            sat_off(feature, jobs);
         }
         Some("--bench-compare") => {
             let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {

@@ -28,8 +28,10 @@ use islaris_cases::{
 use islaris_core::{check_certificate, check_certificate_cached, Verifier};
 use islaris_isla::{trace_opcode, IslaConfig, Opcode};
 use islaris_models::ARM;
-use islaris_obs::{parse_json, validate_json, CertMetrics, Json, QueryTable};
-use islaris_smt::{entails, BvCmp, Expr, QueryCache, SolverConfig, Sort, Var};
+use islaris_obs::{parse_json, validate_json, CertMetrics, Json, QueryTable, SolverMetrics};
+use islaris_smt::{
+    entails, entails_logged, BvCmp, Expr, QueryCache, SatConfig, SolverConfig, Sort, Var,
+};
 
 /// The versioned schema tag of the `--bench --json` export.
 pub const BENCH_SCHEMA: &str = "islaris-bench/v1";
@@ -180,8 +182,23 @@ pub fn case_benches(warmup: usize, iters: usize) -> Vec<Sample> {
 /// query recomputed.
 #[must_use]
 pub fn case_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec<Sample> {
+    case_benches_configured(warmup, iters, solver_cache, SatConfig::default())
+}
+
+/// [`case_benches_opts`] under an explicit solver feature configuration
+/// (`fig12 --bench --sat-off FEATURE`): both pipeline halves run with
+/// `sat`, so a feature's contribution to each half's median is directly
+/// A/B-measurable. Certificate replay keeps the default configuration,
+/// as everywhere.
+#[must_use]
+pub fn case_benches_configured(
+    warmup: usize,
+    iters: usize,
+    solver_cache: bool,
+    sat: SatConfig,
+) -> Vec<Sample> {
     let mut out = Vec::new();
-    let ctx = CaseCtx::default();
+    let ctx = CaseCtx::default().with_sat(sat);
     for def in ALL_CASES {
         out.push(bench(format!("trace/{}", def.slug), warmup, iters, || {
             (def.build)(&ctx)
@@ -191,6 +208,7 @@ pub fn case_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec
         out.push(bench(format!("verify/{}", def.slug), warmup, iters, || {
             let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
             verifier.qcache = qcache.clone();
+            verifier.solver.sat = art.sat;
             let report = verifier.verify_all().unwrap();
             let mut cm = CertMetrics::default();
             let mut qt = QueryTable::default();
@@ -208,6 +226,14 @@ pub fn case_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec
 /// mode on a representative side condition.
 #[must_use]
 pub fn stage_benches(warmup: usize, iters: usize) -> Vec<Sample> {
+    stage_benches_configured(warmup, iters, SatConfig::default())
+}
+
+/// [`stage_benches`] under an explicit solver feature configuration: the
+/// `solver/*` micro-benchmarks run with `sat`, so CDCL-feature ablations
+/// show up in the per-stage medians too.
+#[must_use]
+pub fn stage_benches_configured(warmup: usize, iters: usize, sat: SatConfig) -> Vec<Sample> {
     let mut out = Vec::new();
 
     // Isla column: Fig. 3's `add sp, sp, #0x40`, with the EL/SP
@@ -242,18 +268,19 @@ pub fn stage_benches(warmup: usize, iters: usize) -> Vec<Sample> {
     }));
 
     // Solver ablation: Ult transitivity, plain vs paranoid (RUP-checked).
-    let sorts = |v: Var| (v.0 < 8).then_some(Sort::BitVec(64));
-    let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
-    let facts = vec![
-        Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
-        Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
-    ];
-    let goal = Expr::cmp(BvCmp::Ult, x, z);
-    let plain = SolverConfig::new();
+    let sorts = ult_sorts;
+    let (facts, goal) = ult_transitivity_query();
+    let plain = SolverConfig {
+        sat,
+        ..SolverConfig::new()
+    };
     out.push(bench("solver/ult_transitivity_64", warmup, iters, || {
         entails(&facts, &goal, &sorts, &plain)
     }));
-    let paranoid = SolverConfig::paranoid();
+    let paranoid = SolverConfig {
+        sat,
+        ..SolverConfig::paranoid()
+    };
     out.push(bench(
         "solver/ult_transitivity_64_checked",
         warmup,
@@ -262,6 +289,35 @@ pub fn stage_benches(warmup: usize, iters: usize) -> Vec<Sample> {
     ));
 
     out
+}
+
+fn ult_sorts(v: Var) -> Option<Sort> {
+    (v.0 < 8).then_some(Sort::BitVec(64))
+}
+
+/// The `solver/ult_transitivity_64` query: facts and goal.
+fn ult_transitivity_query() -> (Vec<Expr>, Expr) {
+    let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+    let facts = vec![
+        Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+        Expr::cmp(BvCmp::Ult, y.clone(), z.clone()),
+    ];
+    (facts, Expr::cmp(BvCmp::Ult, x, z))
+}
+
+/// The solver micro-bench queries replayed once each with query logging
+/// on: the attribution rows behind `fig12 --profile --hot-queries`, so a
+/// `solver/ult_transitivity_64` regression in `--bench-compare` can be
+/// matched to its query digest alongside the verification-half tables.
+#[must_use]
+pub fn solver_bench_query_table() -> QueryTable {
+    let mut table = QueryTable::default();
+    let (facts, goal) = ult_transitivity_query();
+    for cfg in [SolverConfig::new(), SolverConfig::paranoid()] {
+        let mut m = SolverMetrics::default();
+        let _ = entails_logged(&facts, &goal, &ult_sorts, &cfg, &mut m, &mut table);
+    }
+    table
 }
 
 /// The full `--bench` suite: every case's two pipeline halves, then the
@@ -275,8 +331,21 @@ pub fn all_benches(warmup: usize, iters: usize) -> Vec<Sample> {
 /// halves (see [`case_benches_opts`]).
 #[must_use]
 pub fn all_benches_opts(warmup: usize, iters: usize, solver_cache: bool) -> Vec<Sample> {
-    let mut out = case_benches_opts(warmup, iters, solver_cache);
-    out.extend(stage_benches(warmup, iters));
+    all_benches_configured(warmup, iters, solver_cache, SatConfig::default())
+}
+
+/// [`all_benches_opts`] under an explicit solver feature configuration
+/// (`fig12 --bench --sat-off FEATURE`): the per-feature A/B arm of the
+/// EXPERIMENTS attribution table.
+#[must_use]
+pub fn all_benches_configured(
+    warmup: usize,
+    iters: usize,
+    solver_cache: bool,
+    sat: SatConfig,
+) -> Vec<Sample> {
+    let mut out = case_benches_configured(warmup, iters, solver_cache, sat);
+    out.extend(stage_benches_configured(warmup, iters, sat));
     out
 }
 

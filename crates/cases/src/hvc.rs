@@ -153,7 +153,8 @@ pub fn build_case() -> CaseArtifacts {
 pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
     // Unconstrained configuration: the program changes EL at runtime.
-    let cfg = IslaConfig::new(ARM);
+    let mut cfg = IslaConfig::new(ARM);
+    cfg.solver.sat = ctx.sat;
     let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
@@ -184,6 +185,7 @@ pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
         protocol: Arc::new(NoIo),
         isla_stats,
         cache,
+        sat: ctx.sat,
     }
 }
 

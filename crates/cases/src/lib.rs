@@ -15,8 +15,9 @@ pub mod uart;
 pub mod unaligned;
 
 pub use pipeline::{
-    find_case, run_all_parallel, run_all_sequential, run_cases, run_cases_solver_cached,
-    run_cases_with, CaseDef, CaseRow, ParallelRun, PipelineReport, ALL_CASES,
+    find_case, run_all_parallel, run_all_sequential, run_cases, run_cases_configured,
+    run_cases_solver_cached, run_cases_with, CaseDef, CaseRow, ParallelRun, PipelineReport,
+    ALL_CASES,
 };
 pub use report::{
     run_case, run_case_cached, run_case_traced, trace_program_map, trace_program_map_with,

@@ -218,7 +218,8 @@ pub fn build_case() -> CaseArtifacts {
 #[must_use]
 pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
-    let cfg = IslaConfig::new(RISCV);
+    let mut cfg = IslaConfig::new(RISCV);
+    cfg.solver.sat = ctx.sat;
     let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
@@ -249,6 +250,7 @@ pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
         protocol: Arc::new(NoIo),
         isla_stats,
         cache,
+        sat: ctx.sat,
     }
 }
 

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use islaris_core::{run_jobs_profiled, JobPanic};
 use islaris_isla::{CacheStats, TraceCache};
 use islaris_obs::{CaseProfile, QueryTable, Recorder};
-use islaris_smt::QueryCache;
+use islaris_smt::{QueryCache, SatConfig};
 
 use crate::report::{run_case_cached, CaseArtifacts, CaseCtx, CaseOutcome};
 use crate::{
@@ -284,7 +284,29 @@ pub fn run_cases_solver_cached(
     recorder: Option<&Recorder>,
     qcache: Option<&Arc<QueryCache>>,
 ) -> PipelineReport {
-    let ctx = CaseCtx { cache, jobs: 1 };
+    run_cases_configured(cases, jobs, cache, recorder, qcache, SatConfig::default())
+}
+
+/// [`run_cases_solver_cached`] under an explicit solver feature
+/// configuration (`fig12 --sat-off FEATURE`): every solver the cases
+/// touch — trace generation, proof automation, side provers — runs with
+/// `sat`; certificate replay keeps the default configuration as an
+/// independent check. Verdicts and certificates are identical for every
+/// configuration; only effort counters and wall time may differ.
+#[must_use]
+pub fn run_cases_configured(
+    cases: &[CaseDef],
+    jobs: usize,
+    cache: Option<&TraceCache>,
+    recorder: Option<&Recorder>,
+    qcache: Option<&Arc<QueryCache>>,
+    sat: SatConfig,
+) -> PipelineReport {
+    let ctx = CaseCtx {
+        cache,
+        jobs: 1,
+        sat,
+    };
     let start = Instant::now();
     let rows = run_jobs_profiled(
         jobs,

@@ -296,12 +296,13 @@ pub fn traces_with(
     IslaStats,
     CacheStats,
 ) {
-    let base_cfg = IslaConfig::new(ARM)
+    let mut base_cfg = IslaConfig::new(ARM)
         .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
         .assume_reg("PSTATE.nRW", Bv::new(1, 0))
         .assume_reg("SCTLR_EL2", Bv::zero(64));
-    let eret_cfg = IslaConfig::new(ARM)
+    base_cfg.solver.sat = ctx.sat;
+    let mut eret_cfg = IslaConfig::new(ARM)
         .assume_reg("PSTATE.EL", Bv::new(2, 0b10))
         .assume_reg("PSTATE.SP", Bv::new(1, 1))
         .assume_reg("PSTATE.nRW", Bv::new(1, 0))
@@ -312,6 +313,7 @@ pub fn traces_with(
                 Expr::eq(e.clone(), Expr::bv(64, SPSR_EL2H as u128)),
             )
         });
+    eret_cfg.solver.sat = ctx.sat;
 
     // The four patched instructions, with symbolic imm16 fields.
     // movz/movk layout: sf(1) opc(2) 100101 hw(2) imm16 Rd(5); Rd = x3.
@@ -427,6 +429,7 @@ pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
         protocol: Arc::new(NoIo),
         isla_stats,
         cache,
+        sat: ctx.sat,
     }
 }
 

@@ -16,13 +16,15 @@ use islaris_obs::{
     CacheMetrics, CaseProfile, CertMetrics, EngineMetrics, IslaMetrics, QueryTable, SailMetrics,
     SessionMetrics,
 };
-use islaris_smt::QueryCache;
+use islaris_smt::{QueryCache, SatConfig};
 
-/// How a case study is built: an optional shared trace cache and a worker
-/// count for per-instruction trace-generation fan-out.
+/// How a case study is built: an optional shared trace cache, a worker
+/// count for per-instruction trace-generation fan-out, and the solver
+/// feature configuration both pipeline halves run under.
 ///
 /// The default (`CaseCtx::default()`) is the legacy shape: no cache, one
-/// worker, identical to calling [`trace_opcode`] per instruction.
+/// worker, all solver features on — identical to calling [`trace_opcode`]
+/// per instruction.
 #[derive(Default, Clone, Copy)]
 pub struct CaseCtx<'a> {
     /// Shared trace memo table; `None` traces everything cold.
@@ -30,6 +32,11 @@ pub struct CaseCtx<'a> {
     /// Workers for per-instruction fan-out (`0` = ask the OS, `1` =
     /// inline).
     pub jobs: usize,
+    /// CDCL/preprocessing feature flags for every solver the case touches
+    /// (trace generation and verification; `fig12 --sat-off FEATURE`).
+    /// Certificate replay is excluded: the checker always runs the
+    /// default configuration, as an independent trusted base.
+    pub sat: SatConfig,
 }
 
 impl<'a> CaseCtx<'a> {
@@ -39,7 +46,15 @@ impl<'a> CaseCtx<'a> {
         CaseCtx {
             cache: Some(cache),
             jobs,
+            sat: SatConfig::default(),
         }
+    }
+
+    /// The same context with the given solver feature configuration.
+    #[must_use]
+    pub fn with_sat(mut self, sat: SatConfig) -> Self {
+        self.sat = sat;
+        self
     }
 
     /// Traces one opcode through the cache if present. Returns the entry
@@ -87,6 +102,9 @@ pub struct CaseArtifacts {
     /// Cache hits/misses observed while building this case's traces
     /// (zero when built without a cache).
     pub cache: CacheStats,
+    /// Solver feature configuration the verification half runs under
+    /// (stamped from [`CaseCtx::sat`] by the builder).
+    pub sat: SatConfig,
 }
 
 /// Measurements for one Fig. 12 row.
@@ -291,6 +309,7 @@ fn run_case_opts(
     let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
     verifier.trace = trace;
     verifier.qcache = qcache.cloned();
+    verifier.solver.sat = art.sat;
     let t0 = Instant::now();
     let report = verifier
         .verify_all()

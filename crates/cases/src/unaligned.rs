@@ -152,7 +152,9 @@ pub fn build_case() -> CaseArtifacts {
 #[must_use]
 pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
     let program = program();
-    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &config(), &program);
+    let mut cfg = config();
+    cfg.solver.sat = ctx.sat;
+    let (instrs, isla_stats, cache) = trace_program_map_with(ctx, &cfg, &program);
     let mut blocks = BTreeMap::new();
     blocks.insert(
         BASE,
@@ -182,6 +184,7 @@ pub fn build_case_with(ctx: &CaseCtx) -> CaseArtifacts {
         protocol: Arc::new(NoIo),
         isla_stats,
         cache,
+        sat: ctx.sat,
     }
 }
 

@@ -21,9 +21,13 @@ fn memcpy_riscv_verifies() {
 fn rbit_verifies() {
     let outcome = islaris_cases::rbit::run();
     assert_eq!(outcome.asm_instrs, 2);
+    // All 64 per-bit goals are recorded as obligations, but the
+    // extract-over-bvrev rewrite discharges them before CNF, so the
+    // SAT solver sees (almost) none of them.
+    assert!(outcome.obligations >= 64, "got {}", outcome.obligations);
     assert!(
-        outcome.verify_smt >= 64,
-        "bit equations hit the solver: {}",
+        outcome.verify_smt < 64,
+        "bit equations should fold away before the solver: {}",
         outcome.verify_smt
     );
 }

@@ -86,8 +86,8 @@ pub fn config_fingerprint(cfg: &IslaConfig) -> String {
     }
     let _ = write!(
         out,
-        "solver max_conflicts={} check_proofs={}",
-        cfg.solver.max_conflicts, cfg.solver.check_proofs
+        "solver max_conflicts={} check_proofs={} sat={:?}",
+        cfg.solver.max_conflicts, cfg.solver.check_proofs, cfg.solver.sat
     );
     out
 }

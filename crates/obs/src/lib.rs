@@ -54,6 +54,15 @@ pub struct SolverMetrics {
     pub decisions: u64,
     /// Conflicts hit by the SAT solver.
     pub conflicts: u64,
+    /// Restarts performed by the SAT solver (Luby sequence).
+    pub restarts: u64,
+    /// Learned clauses deleted by database reduction.
+    pub reduced: u64,
+    /// Literals removed by conflict-clause minimization.
+    pub minimized: u64,
+    /// Terms folded away before CNF: cross-fact constant propagation,
+    /// gate-level constant short-circuits, and structural-hash hits.
+    pub folded: u64,
 }
 
 impl SolverMetrics {
@@ -69,12 +78,17 @@ impl SolverMetrics {
         self.propagations += o.propagations;
         self.decisions += o.decisions;
         self.conflicts += o.conflicts;
+        self.restarts += o.restarts;
+        self.reduced += o.reduced;
+        self.minimized += o.minimized;
+        self.folded += o.folded;
     }
 
     fn render(&self) -> String {
         format!(
             "queries={} sat={} unsat={} unknown={} model_verifies={} \
-             cnf_vars={} cnf_clauses={} propagations={} decisions={} conflicts={}",
+             cnf_vars={} cnf_clauses={} propagations={} decisions={} conflicts={} \
+             restarts={} reduced={} minimized={} folded={}",
             self.queries,
             self.sat,
             self.unsat,
@@ -84,7 +98,11 @@ impl SolverMetrics {
             self.cnf_clauses,
             self.propagations,
             self.decisions,
-            self.conflicts
+            self.conflicts,
+            self.restarts,
+            self.reduced,
+            self.minimized,
+            self.folded
         )
     }
 }
@@ -441,6 +459,10 @@ impl CaseProfile {
                 ("propagations", m.propagations),
                 ("decisions", m.decisions),
                 ("conflicts", m.conflicts),
+                ("restarts", m.restarts),
+                ("reduced", m.reduced),
+                ("minimized", m.minimized),
+                ("folded", m.folded),
             ])
         };
         format!(

@@ -7,13 +7,23 @@
 use std::collections::HashMap;
 
 use crate::expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, Value, Var};
-use crate::sat::{Lit, SatSolver};
+use crate::sat::{Lit, SatConfig, SatSolver};
 
 /// Encoded form of an expression.
 #[derive(Debug, Clone)]
 enum Bits {
     Bool(Lit),
     Bv(Vec<Lit>),
+}
+
+/// Structural-hashing key for a Tseitin gate: two syntactically different
+/// subterms that bottom out in the same gate over the same input literals
+/// share one output literal (and its clauses) instead of re-encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    And(Lit, Lit),
+    Xor(Lit, Lit),
+    Mux(Lit, Lit, Lit),
 }
 
 /// Errors during bit-blasting.
@@ -41,20 +51,46 @@ impl std::fmt::Display for BlastError {
 impl std::error::Error for BlastError {}
 
 /// A Tseitin bit-blaster owning a [`SatSolver`].
-#[derive(Default)]
 pub struct Blaster {
+    cfg: SatConfig,
     sat: SatSolver,
     cache: HashMap<Expr, Bits>,
+    /// Gate-level structural hashing (under [`SatConfig::fold`]).
+    gate_cache: HashMap<GateKey, Lit>,
     /// SAT literals backing each SMT variable, for model extraction.
     var_bits: HashMap<Var, Bits>,
     true_lit: Option<Lit>,
+    /// Terms folded away before CNF: gate-level constant short-circuits
+    /// and structural-hash hits that avoided a fresh Tseitin gate.
+    folded: u64,
+}
+
+impl Default for Blaster {
+    fn default() -> Self {
+        Blaster::with_config(SatConfig::default())
+    }
 }
 
 impl Blaster {
-    /// Creates an empty blaster.
+    /// Creates an empty blaster with the default (all-on) configuration.
     #[must_use]
     pub fn new() -> Self {
         Blaster::default()
+    }
+
+    /// Creates an empty blaster whose backing SAT solver and preprocessing
+    /// run under the given feature configuration.
+    #[must_use]
+    pub fn with_config(cfg: SatConfig) -> Self {
+        Blaster {
+            cfg,
+            sat: SatSolver::with_config(cfg),
+            cache: HashMap::new(),
+            gate_cache: HashMap::new(),
+            var_bits: HashMap::new(),
+            true_lit: None,
+            folded: 0,
+        }
     }
 
     /// Solves the accumulated constraints (no conflict limit).
@@ -136,6 +172,44 @@ impl Blaster {
         self.sat.conflict_count()
     }
 
+    /// Restarts performed by the backing SAT solver.
+    #[must_use]
+    pub fn sat_restarts(&self) -> u64 {
+        self.sat.restart_count()
+    }
+
+    /// Learned clauses deleted by database reduction.
+    #[must_use]
+    pub fn sat_reduced(&self) -> u64 {
+        self.sat.reduced_count()
+    }
+
+    /// Literals removed by conflict-clause minimization.
+    #[must_use]
+    pub fn sat_minimized(&self) -> u64 {
+        self.sat.minimized_count()
+    }
+
+    /// Gates folded away before CNF (constant short-circuits and
+    /// structural-hash hits).
+    #[must_use]
+    pub fn folded_count(&self) -> u64 {
+        self.folded
+    }
+
+    /// Bumps the folded-terms counter: the word-level preprocessing in
+    /// [`crate::simplify::propagate_constants`] runs outside the blaster
+    /// but reports through the same counter.
+    pub fn add_folded(&mut self, n: u64) {
+        self.folded += n;
+    }
+
+    /// The feature configuration this blaster (and its solver) runs under.
+    #[must_use]
+    pub fn config(&self) -> SatConfig {
+        self.cfg
+    }
+
     /// A literal constrained to be true.
     fn lit_true(&mut self) -> Lit {
         if let Some(l) = self.true_lit {
@@ -156,15 +230,84 @@ impl Blaster {
         Lit::pos(self.sat.new_var())
     }
 
+    /// The boolean value of `l` if it is the constant-true literal or its
+    /// negation, `None` for ordinary literals. Constants only exist once
+    /// [`Blaster::lit_true`] has run, which every constant encoding does.
+    fn known_value(&self, l: Lit) -> Option<bool> {
+        let t = self.true_lit?;
+        if l == t {
+            Some(true)
+        } else if l == t.negate() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Emits the three Tseitin clauses for y ↔ a ∧ b.
+    fn emit_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let y = self.fresh();
+        self.sat.add_clause(vec![y.negate(), a]);
+        self.sat.add_clause(vec![y.negate(), b]);
+        self.sat.add_clause(vec![y, a.negate(), b.negate()]);
+        y
+    }
+
+    /// Emits the four Tseitin clauses for y ↔ a ⊕ b.
+    fn emit_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let y = self.fresh();
+        self.sat.add_clause(vec![y.negate(), a, b]);
+        self.sat
+            .add_clause(vec![y.negate(), a.negate(), b.negate()]);
+        self.sat.add_clause(vec![y, a, b.negate()]);
+        self.sat.add_clause(vec![y, a.negate(), b]);
+        y
+    }
+
+    /// Emits the four Tseitin clauses for y ↔ (s ? t : e).
+    fn emit_mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let y = self.fresh();
+        self.sat.add_clause(vec![s.negate(), y.negate(), t]);
+        self.sat.add_clause(vec![s.negate(), y, t.negate()]);
+        self.sat.add_clause(vec![s, y.negate(), e]);
+        self.sat.add_clause(vec![s, y, e.negate()]);
+        y
+    }
+
     /// y ↔ a ∧ b
     fn gate_and(&mut self, a: Lit, b: Lit) -> Lit {
         if a == b {
             return a;
         }
-        let y = self.fresh();
-        self.sat.add_clause(vec![y.negate(), a]);
-        self.sat.add_clause(vec![y.negate(), b]);
-        self.sat.add_clause(vec![y, a.negate(), b.negate()]);
+        if !self.cfg.fold {
+            return self.emit_and(a, b);
+        }
+        if a == b.negate() {
+            self.folded += 1;
+            return self.lit_false();
+        }
+        match (self.known_value(a), self.known_value(b)) {
+            (Some(true), _) => {
+                self.folded += 1;
+                return b;
+            }
+            (_, Some(true)) => {
+                self.folded += 1;
+                return a;
+            }
+            (Some(false), _) | (_, Some(false)) => {
+                self.folded += 1;
+                return self.lit_false();
+            }
+            _ => {}
+        }
+        let key = GateKey::And(a.min(b), a.max(b));
+        if let Some(&y) = self.gate_cache.get(&key) {
+            self.folded += 1;
+            return y;
+        }
+        let y = self.emit_and(a.min(b), a.max(b));
+        self.gate_cache.insert(key, y);
         y
     }
 
@@ -178,13 +321,43 @@ impl Blaster {
         if a == b {
             return self.lit_false();
         }
-        let y = self.fresh();
-        self.sat.add_clause(vec![y.negate(), a, b]);
-        self.sat
-            .add_clause(vec![y.negate(), a.negate(), b.negate()]);
-        self.sat.add_clause(vec![y, a, b.negate()]);
-        self.sat.add_clause(vec![y, a.negate(), b]);
-        y
+        if !self.cfg.fold {
+            return self.emit_xor(a, b);
+        }
+        if a == b.negate() {
+            self.folded += 1;
+            return self.lit_true();
+        }
+        match (self.known_value(a), self.known_value(b)) {
+            (Some(va), _) => {
+                self.folded += 1;
+                return if va { b.negate() } else { b };
+            }
+            (_, Some(vb)) => {
+                self.folded += 1;
+                return if vb { a.negate() } else { a };
+            }
+            _ => {}
+        }
+        // XOR is invariant under sign-stripping modulo output parity:
+        // ¬a ⊕ b = ¬(a ⊕ b). Hash on the positive pair so all four sign
+        // combinations of the same variable pair share one gate.
+        let (pa, pb) = (Lit::pos(a.var()), Lit::pos(b.var()));
+        let flip = a.is_pos() != b.is_pos();
+        let key = GateKey::Xor(pa.min(pb), pa.max(pb));
+        let y = if let Some(&y) = self.gate_cache.get(&key) {
+            self.folded += 1;
+            y
+        } else {
+            let y = self.emit_xor(pa.min(pb), pa.max(pb));
+            self.gate_cache.insert(key, y);
+            y
+        };
+        if flip {
+            y.negate()
+        } else {
+            y
+        }
     }
 
     /// y ↔ (s ? t : e)
@@ -192,11 +365,58 @@ impl Blaster {
         if t == e {
             return t;
         }
-        let y = self.fresh();
-        self.sat.add_clause(vec![s.negate(), y.negate(), t]);
-        self.sat.add_clause(vec![s.negate(), y, t.negate()]);
-        self.sat.add_clause(vec![s, y.negate(), e]);
-        self.sat.add_clause(vec![s, y, e.negate()]);
+        if !self.cfg.fold {
+            return self.emit_mux(s, t, e);
+        }
+        match self.known_value(s) {
+            Some(true) => {
+                self.folded += 1;
+                return t;
+            }
+            Some(false) => {
+                self.folded += 1;
+                return e;
+            }
+            None => {}
+        }
+        if t == e.negate() {
+            // (s ? t : ¬t) ↔ ¬(s ⊕ t); the XOR gate then folds further
+            // if t is itself constant.
+            self.folded += 1;
+            return self.gate_xor(s, t).negate();
+        }
+        match (self.known_value(t), self.known_value(e)) {
+            (Some(true), _) => {
+                self.folded += 1;
+                return self.gate_or(s, e);
+            }
+            (Some(false), _) => {
+                self.folded += 1;
+                return self.gate_and(s.negate(), e);
+            }
+            (_, Some(true)) => {
+                self.folded += 1;
+                return self.gate_or(s.negate(), t);
+            }
+            (_, Some(false)) => {
+                self.folded += 1;
+                return self.gate_and(s, t);
+            }
+            _ => {}
+        }
+        // A negated selector swaps the branches: (¬s ? t : e) = (s ? e : t).
+        let (s, t, e) = if s.is_pos() {
+            (s, t, e)
+        } else {
+            (s.negate(), e, t)
+        };
+        let key = GateKey::Mux(s, t, e);
+        if let Some(&y) = self.gate_cache.get(&key) {
+            self.folded += 1;
+            return y;
+        }
+        let y = self.emit_mux(s, t, e);
+        self.gate_cache.insert(key, y);
         y
     }
 

@@ -39,8 +39,11 @@ pub mod solver;
 
 pub use eval::{eval, eval_bits, eval_bool, EvalError};
 pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
+pub use sat::SatConfig;
 pub use session::{QueryCache, Session};
-pub use simplify::{simplify, simplify_with, width_of, width_of_with, WidthOracle};
+pub use simplify::{
+    propagate_constants, simplify, simplify_with, width_of, width_of_with, WidthOracle,
+};
 pub use solver::{
     check_sat, check_sat_logged, check_sat_metered, entails, entails_logged, entails_metered,
     maybe_sat, maybe_sat_metered, query_digest, Model, SmtResult, SolverConfig,

@@ -73,6 +73,10 @@ fn metrics_delta(after: &SolverMetrics, before: &SolverMetrics) -> SolverMetrics
         propagations: after.propagations - before.propagations,
         decisions: after.decisions - before.decisions,
         conflicts: after.conflicts - before.conflicts,
+        restarts: after.restarts - before.restarts,
+        reduced: after.reduced - before.reduced,
+        minimized: after.minimized - before.minimized,
+        folded: after.folded - before.folded,
     }
 }
 
@@ -117,7 +121,7 @@ impl Session {
     /// logging solves per `Unsat` answer instead.
     #[must_use]
     pub fn new(cfg: SolverConfig) -> Self {
-        let mut blaster = Blaster::new();
+        let mut blaster = Blaster::with_config(cfg.sat);
         blaster.set_proof_logging(false);
         Session {
             cfg,
@@ -238,6 +242,12 @@ impl Session {
 
         let vars_before = u64::from(self.blaster.sat_num_vars());
         let clauses_before = self.blaster.sat_original_clauses().len() as u64;
+        // Gate-level folding happens while encoding, the other counters
+        // while solving; snapshot all four here and delta after the solve.
+        let folded_before = self.blaster.folded_count();
+        let restarts_before = self.blaster.sat_restarts();
+        let reduced_before = self.blaster.sat_reduced();
+        let minimized_before = self.blaster.sat_minimized();
         let mut assumptions = Vec::with_capacity(active.len());
         for s in &active {
             match self.lit_cached(s, sorts) {
@@ -265,6 +275,10 @@ impl Session {
         m.propagations += self.blaster.sat_propagations() - props_before;
         m.decisions += self.blaster.sat_decisions() - decs_before;
         m.conflicts += self.blaster.sat_conflicts() - confs_before;
+        m.restarts += self.blaster.sat_restarts() - restarts_before;
+        m.reduced += self.blaster.sat_reduced() - reduced_before;
+        m.minimized += self.blaster.sat_minimized() - minimized_before;
+        m.folded += self.blaster.folded_count() - folded_before;
         self.metrics.clauses_retained = self.blaster.sat_clause_count() as u64;
 
         match outcome {
@@ -320,7 +334,7 @@ impl Session {
         sorts: &dyn Fn(Var) -> Option<Sort>,
         m: &mut SolverMetrics,
     ) -> SmtResult {
-        let mut blaster = Blaster::new();
+        let mut blaster = Blaster::with_config(self.cfg.sat);
         for a in active {
             match blaster.assert_expr(a, sorts) {
                 Ok(()) => {}
@@ -340,6 +354,10 @@ impl Session {
         m.propagations += blaster.sat_propagations();
         m.decisions += blaster.sat_decisions();
         m.conflicts += blaster.sat_conflicts();
+        m.restarts += blaster.sat_restarts();
+        m.reduced += blaster.sat_reduced();
+        m.minimized += blaster.sat_minimized();
+        m.folded += blaster.folded_count();
         match outcome {
             None => {
                 m.unknown += 1;
@@ -428,6 +446,7 @@ impl Session {
 struct CacheKey {
     check_proofs: bool,
     max_conflicts: u64,
+    sat: crate::sat::SatConfig,
     text: String,
 }
 
@@ -436,6 +455,7 @@ impl CacheKey {
         CacheKey {
             check_proofs: cfg.check_proofs,
             max_conflicts: cfg.max_conflicts,
+            sat: cfg.sat,
             text,
         }
     }
@@ -582,6 +602,7 @@ impl QueryCache {
             .find(|(k, _)| {
                 k.check_proofs == cfg.check_proofs
                     && k.max_conflicts == cfg.max_conflicts
+                    && k.sat == cfg.sat
                     && k.text == text
             })
             .map(|(_, e)| e.clone())

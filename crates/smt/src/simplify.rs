@@ -49,7 +49,7 @@ pub fn simplify_with(e: &Expr, ws: WidthOracle<'_>) -> Expr {
         ExprKind::Extract(hi, lo, a) => simp_extract(*hi, *lo, simplify_with(a, ws), ws),
         ExprKind::ZeroExtend(n, a) => simp_zero_extend(*n, simplify_with(a, ws)),
         ExprKind::SignExtend(n, a) => simp_sign_extend(*n, simplify_with(a, ws)),
-        ExprKind::Concat(a, b) => simp_concat(simplify_with(a, ws), simplify_with(b, ws)),
+        ExprKind::Concat(a, b) => simp_concat(simplify_with(a, ws), simplify_with(b, ws), ws),
     }
 }
 
@@ -267,6 +267,45 @@ fn simp_binop(op: BvBinop, a: Expr, b: Expr, ws: WidthOracle<'_>) -> Expr {
             if a == b {
                 return a;
             }
+            // The rotate idiom (x << c) | (x >> (w−c)) is pure wiring:
+            // collapse it to a concat of the two extracted fields so no
+            // shifter circuit reaches CNF.
+            for (hi, lo) in [(&a, &b), (&b, &a)] {
+                if let (
+                    ExprKind::Binop(BvBinop::Shl, x, c1),
+                    ExprKind::Binop(BvBinop::Lshr, y, c2),
+                ) = (hi.kind(), lo.kind())
+                {
+                    if x == y {
+                        if let (Some(c1), Some(c2), Some(w)) =
+                            (c1.as_bits(), c2.as_bits(), width_of_with(x, ws))
+                        {
+                            let (c1, c2) = (c1.to_u128(), c2.to_u128());
+                            if c1 > 0 && c2 > 0 && c1 + c2 == u128::from(w) && c1 < u128::from(w) {
+                                let (c1, c2) = (c1 as u32, c2 as u32);
+                                return simp_concat(
+                                    simp_extract(w - 1 - c1, 0, x.clone(), ws),
+                                    simp_extract(w - 1, c2, x.clone(), ws),
+                                    ws,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Disjoint halves recombine: (concat h 0…0) | (zero_extend n l)
+            // = (concat h l).
+            for (cc, ze) in [(&a, &b), (&b, &a)] {
+                if let (ExprKind::Concat(h, z), ExprKind::ZeroExtend(n, l)) = (cc.kind(), ze.kind())
+                {
+                    if z.as_bits().is_some_and(|zb| zb.is_zero())
+                        && width_of_with(z, ws) == width_of_with(l, ws)
+                        && width_of_with(h, ws) == Some(*n)
+                    {
+                        return simp_concat(h.clone(), l.clone(), ws);
+                    }
+                }
+            }
         }
         BvBinop::Xor => {
             if is_zero(a_const) {
@@ -284,6 +323,20 @@ fn simp_binop(op: BvBinop, a: Expr, b: Expr, ws: WidthOracle<'_>) -> Expr {
         BvBinop::Shl | BvBinop::Lshr | BvBinop::Ashr => {
             if is_zero(b_const) {
                 return a;
+            }
+            // Overshift is constant: logical shifts flush to zero. (We do
+            // NOT lower in-range constant shifts to extract/concat wiring:
+            // the engine's address-chunk matcher recognises `x << 3`-style
+            // scaling syntactically, and rewriting it would break that.)
+            if let Some(k) = b_const {
+                let w = k.width();
+                if width_of_with(&a, ws) == Some(w)
+                    && w > 0
+                    && k.to_u128() >= u128::from(w)
+                    && matches!(op, BvBinop::Shl | BvBinop::Lshr)
+                {
+                    return Expr::bits(Bv::zero(w));
+                }
             }
         }
         BvBinop::Udiv | BvBinop::Urem => {}
@@ -324,16 +377,7 @@ fn simp_extract(hi: u32, lo: u32, a: Expr, ws: WidthOracle<'_>) -> Expr {
     // Arm model back to 64 bits (Fig. 3 of the paper).
     if lo == 0 {
         match a.kind() {
-            ExprKind::Binop(
-                op @ (BvBinop::Add
-                | BvBinop::Sub
-                | BvBinop::Mul
-                | BvBinop::And
-                | BvBinop::Or
-                | BvBinop::Xor),
-                x,
-                y,
-            ) => {
+            ExprKind::Binop(op @ (BvBinop::Add | BvBinop::Sub | BvBinop::Mul), x, y) => {
                 if let Some(w) = width_of_with(&a, ws) {
                     if hi + 1 < w {
                         let xs = simp_extract(hi, 0, x.clone(), ws);
@@ -342,16 +386,55 @@ fn simp_extract(hi: u32, lo: u32, a: Expr, ws: WidthOracle<'_>) -> Expr {
                     }
                 }
             }
-            ExprKind::Unop(op @ (BvUnop::Not | BvUnop::Neg), x) => {
+            ExprKind::Unop(BvUnop::Neg, x) => {
                 if let Some(w) = width_of_with(&a, ws) {
                     if hi + 1 < w {
                         let xs = simp_extract(hi, 0, x.clone(), ws);
-                        return simp_unop(*op, xs);
+                        return simp_unop(BvUnop::Neg, xs);
                     }
                 }
             }
             _ => {}
         }
+    }
+    // Bitwise operations are per-bit, so *any* extract range distributes
+    // (modular ring operations above carry, so only low ranges do).
+    match a.kind() {
+        ExprKind::Binop(op @ (BvBinop::And | BvBinop::Or | BvBinop::Xor), x, y) => {
+            if let Some(w) = width_of_with(&a, ws) {
+                if hi < w && (lo > 0 || hi + 1 < w) {
+                    let xs = simp_extract(hi, lo, x.clone(), ws);
+                    let ys = simp_extract(hi, lo, y.clone(), ws);
+                    return simp_binop(*op, xs, ys, ws);
+                }
+            }
+        }
+        ExprKind::Unop(BvUnop::Not, x) => {
+            if let Some(w) = width_of_with(&a, ws) {
+                if hi < w && (lo > 0 || hi + 1 < w) {
+                    let xs = simp_extract(hi, lo, x.clone(), ws);
+                    return simp_unop(BvUnop::Not, xs);
+                }
+            }
+        }
+        // Bit i of a reversal is bit w−1−i of the operand: an extract
+        // mirrors through `Rev`. This is the `rbit` proof shape — the spec
+        // constrains extract(i, i, rbit(x)) for every i, and mirroring
+        // turns each into a plain extract of x that the syntactic
+        // equality check discharges without any SAT call.
+        ExprKind::Unop(BvUnop::Rev, x) => {
+            if let Some(w) = width_of_with(&a, ws) {
+                if hi < w {
+                    let mirrored = simp_extract(w - 1 - lo, w - 1 - hi, x.clone(), ws);
+                    return if hi == lo {
+                        mirrored // single-bit reversal is the identity
+                    } else {
+                        simp_unop(BvUnop::Rev, mirrored)
+                    };
+                }
+            }
+        }
+        _ => {}
     }
     match a.kind() {
         // extract of zero_extend: the Fig. 3 pattern.
@@ -417,7 +500,7 @@ fn simp_sign_extend(n: u32, a: Expr) -> Expr {
     Expr::sign_extend(n, a)
 }
 
-fn simp_concat(a: Expr, b: Expr) -> Expr {
+fn simp_concat(a: Expr, b: Expr, ws: WidthOracle<'_>) -> Expr {
     if let (Some(x), Some(y)) = (a.as_bits(), b.as_bits()) {
         return Expr::bits(x.concat(&y));
     }
@@ -427,6 +510,15 @@ fn simp_concat(a: Expr, b: Expr) -> Expr {
             if let Some(_w) = width_of(&b) {
                 return simp_zero_extend(x.width(), b);
             }
+        }
+    }
+    // Adjacent extracts of the same term recombine: (concat ((_ extract h
+    // l+k+1) x) ((_ extract l+k l) x)) = ((_ extract h l) x). Together
+    // with the rotate recombination this collapses rotate / byte-shuffle
+    // chains back into single extracts.
+    if let (ExprKind::Extract(h1, l1, x), ExprKind::Extract(h2, l2, y)) = (a.kind(), b.kind()) {
+        if x == y && *l1 == h2 + 1 {
+            return simp_extract(*h1, *l2, x.clone(), ws);
         }
     }
     Expr::concat(a, b)
@@ -442,6 +534,64 @@ fn is_one(c: Option<Bv>) -> bool {
 
 fn is_ones(c: Option<Bv>) -> bool {
     c.is_some_and(|b| b == Bv::ones(b.width()))
+}
+
+/// Cross-fact constant propagation: facts of the shape `x = c` (either
+/// orientation, `c` a constant) define `x`, and every *other* fact is
+/// rewritten under those definitions and re-simplified, to a fixed point
+/// (a substitution can expose a new definition). Returns the rewritten
+/// facts and the number of fact rewrites performed (the `folded` counter).
+///
+/// Defining facts are kept verbatim — not substituted away — so the
+/// defined variables still reach the bit-blaster and extracted models
+/// remain complete for every variable the original facts mention. The
+/// pass is deterministic (first definition in fact order wins) and
+/// idempotent: re-running it performs zero further rewrites.
+#[must_use]
+pub fn propagate_constants(facts: &[Expr], ws: WidthOracle<'_>) -> (Vec<Expr>, u64) {
+    use std::collections::BTreeMap;
+
+    fn def_of(f: &Expr) -> Option<(Var, Expr)> {
+        if let ExprKind::Eq(a, b) = f.kind() {
+            for (x, y) in [(a, b), (b, a)] {
+                if let (Some(v), Some(val)) = (x.as_var(), y.as_value()) {
+                    return Some((v, Expr::val(val)));
+                }
+            }
+        }
+        None
+    }
+
+    let mut out: Vec<Expr> = facts.to_vec();
+    let mut folded = 0u64;
+    loop {
+        let mut defs: BTreeMap<Var, Expr> = BTreeMap::new();
+        for f in &out {
+            if let Some((v, val)) = def_of(f) {
+                defs.entry(v).or_insert(val);
+            }
+        }
+        if defs.is_empty() {
+            return (out, folded);
+        }
+        let mut changed = false;
+        for f in &mut out {
+            // A defining fact is left alone: substituting it into itself
+            // would erase the definition (and the variable's encoding).
+            if def_of(f).is_some() {
+                continue;
+            }
+            let sub = f.subst(&|v| defs.get(&v).cloned());
+            if sub != *f {
+                *f = simplify_with(&sub, ws);
+                folded += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (out, folded);
+        }
+    }
 }
 
 /// Best-effort syntactic width computation without a sort environment.

@@ -13,8 +13,8 @@ use islaris_obs::{fnv1a, QueryStats, QueryTable, SolverMetrics};
 use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
 use crate::expr::{Expr, Sort, Value, Var};
-use crate::sat::{check_rup_proof, SatOutcome};
-use crate::simplify::simplify;
+use crate::sat::{check_rup_proof, SatConfig, SatOutcome};
+use crate::simplify::{propagate_constants, simplify};
 
 /// Configuration for a solver query.
 #[derive(Debug, Clone)]
@@ -24,6 +24,9 @@ pub struct SolverConfig {
     /// Re-check `Unsat` answers by replaying the RUP proof (slower;
     /// enabled by [`SolverConfig::paranoid`] and in tests).
     pub check_proofs: bool,
+    /// Per-feature toggles for the CDCL core and the preprocessing
+    /// pipeline (default all-on); see [`SatConfig`].
+    pub sat: SatConfig,
 }
 
 impl Default for SolverConfig {
@@ -31,6 +34,7 @@ impl Default for SolverConfig {
         SolverConfig {
             max_conflicts: 2_000_000,
             check_proofs: false,
+            sat: SatConfig::default(),
         }
     }
 }
@@ -157,12 +161,37 @@ pub fn check_sat_metered(
             None => simplified.push(s),
         }
     }
+    if cfg.sat.fold && simplified.iter().all(|a| a.sort(sorts) == Ok(Sort::Bool)) {
+        // Word-level pass across facts: `x = c` definitions substitute
+        // into the other facts, which then re-simplify. A rewritten fact
+        // can collapse to a constant, so re-filter afterwards. Only
+        // well-sorted queries are folded: an ill-sorted fact set must
+        // reach the blaster and fail there (certificate tampering is
+        // reported, never folded into a verdict).
+        let widths = |v: Var| match sorts(v) {
+            Some(Sort::BitVec(w)) => Some(w),
+            _ => None,
+        };
+        let (propagated, folds) = propagate_constants(&simplified, &widths);
+        m.folded += folds;
+        simplified.clear();
+        for s in propagated {
+            match s.as_bool() {
+                Some(true) => continue,
+                Some(false) => {
+                    m.unsat += 1;
+                    return SmtResult::Unsat;
+                }
+                None => simplified.push(s),
+            }
+        }
+    }
     if simplified.is_empty() {
         m.sat += 1;
         return SmtResult::Sat(Model::default());
     }
 
-    let mut blaster = Blaster::new();
+    let mut blaster = Blaster::with_config(cfg.sat);
     for a in &simplified {
         match blaster.assert_expr(a, sorts) {
             Ok(()) => {}
@@ -182,6 +211,10 @@ pub fn check_sat_metered(
     m.propagations += blaster.sat_propagations();
     m.decisions += blaster.sat_decisions();
     m.conflicts += blaster.sat_conflicts();
+    m.restarts += blaster.sat_restarts();
+    m.reduced += blaster.sat_reduced();
+    m.minimized += blaster.sat_minimized();
+    m.folded += blaster.folded_count();
     match outcome {
         None => {
             m.unknown += 1;

@@ -1,0 +1,225 @@
+//! Differential CNF fuzzing for the CDCL core.
+//!
+//! Random CNF formulas plus random assumption sequences are solved twice:
+//! once with a `SatConfig` under test (all features on, and each feature
+//! individually switched off) and once with the all-features-off reference
+//! solver (chronological-ish, no restarts, no reduction). Verdicts must be
+//! identical. Every `Sat` model is verified by evaluating the clause set;
+//! every `Unsat` is re-proved on a fresh proof-logging solver and the RUP
+//! refutation checked with [`check_rup_proof`]. Assumption cores must be
+//! subsets of the assumptions and themselves unsatisfiable.
+//!
+//! 256 cases per property by default (the in-tree runner honours
+//! `ISLARIS_PT_CASES`); failures print a seed replayable via
+//! `ISLARIS_PT_SEED`.
+
+use islaris_smt::sat::{check_rup_proof, AssumptionOutcome, Lit, SatConfig, SatOutcome, SatSolver};
+use islaris_testkit::{forall, Rng, TestResult};
+
+const CASES: u32 = 256;
+
+/// A generated instance: a clause set plus a sequence of assumption
+/// queries to replay incrementally.
+#[derive(Debug, Clone)]
+struct Instance {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// Assumption sets, replayed in order on one solver pair.
+    queries: Vec<Vec<Lit>>,
+}
+
+fn gen_lit(r: &mut Rng, num_vars: u32) -> Lit {
+    Lit::with_sign(r.range_u32(0, num_vars - 1), r.next_bool())
+}
+
+fn gen_instance(r: &mut Rng) -> Instance {
+    let num_vars = r.range_u32(3, 12);
+    // Clause/variable ratio spanning easy-sat through over-constrained:
+    // unsatisfiable instances need enough clauses to conflict.
+    let num_clauses = r.range_u32(num_vars, num_vars * 5) as usize;
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = r.range_u32(1, 4) as usize;
+            // Duplicate literals are deliberately possible: add_clause and
+            // the RUP checker must both tolerate them.
+            (0..len).map(|_| gen_lit(r, num_vars)).collect()
+        })
+        .collect();
+    let queries = (0..r.range_u32(1, 4))
+        .map(|_| {
+            (0..r.range_u32(0, 3))
+                .map(|_| gen_lit(r, num_vars))
+                .collect()
+        })
+        .collect();
+    Instance {
+        num_vars,
+        clauses,
+        queries,
+    }
+}
+
+fn build(cfg: SatConfig, inst: &Instance) -> SatSolver {
+    let mut s = SatSolver::with_config(cfg);
+    for _ in 0..inst.num_vars {
+        s.new_var();
+    }
+    for c in &inst.clauses {
+        s.add_clause(c.clone());
+    }
+    s
+}
+
+fn model_satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+    clauses
+        .iter()
+        .all(|c| c.iter().any(|l| model[l.var() as usize] == l.is_pos()))
+}
+
+/// Re-proves unsatisfiability of `clauses` (+ `units`) on a fresh
+/// proof-logging reference solver and checks the RUP refutation.
+fn checked_unsat(num_vars: u32, clauses: &[Vec<Lit>], units: &[Lit]) -> Result<(), String> {
+    let mut s = SatSolver::with_config(SatConfig::all_off());
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    let mut all: Vec<Vec<Lit>> = clauses.to_vec();
+    all.extend(units.iter().map(|&l| vec![l]));
+    for c in &all {
+        s.add_clause(c.clone());
+    }
+    match s.solve() {
+        SatOutcome::Sat(_) => Err("re-proving solver found the instance satisfiable".into()),
+        SatOutcome::Unsat(proof) => {
+            if check_rup_proof(num_vars, &all, &proof) {
+                Ok(())
+            } else {
+                Err("RUP refutation failed the proof checker".into())
+            }
+        }
+    }
+}
+
+/// Differential run of one instance under `cfg` vs the all-off reference.
+fn run_differential(cfg: SatConfig, inst: &Instance) -> Result<(), String> {
+    // Plain solve: verdicts equal; Sat models evaluated; Unsat RUP-checked.
+    let mut test = build(cfg, inst);
+    let mut reference = build(SatConfig::all_off(), inst);
+    let t = test.solve();
+    let r = reference.solve();
+    match (&t, &r) {
+        (SatOutcome::Sat(mt), SatOutcome::Sat(mr)) => {
+            if !model_satisfies(&inst.clauses, mt) {
+                return Err(format!("{cfg:?}: test model fails a clause"));
+            }
+            if !model_satisfies(&inst.clauses, mr) {
+                return Err("reference model fails a clause".into());
+            }
+        }
+        (SatOutcome::Unsat(pt), SatOutcome::Unsat(pr)) => {
+            // Both solvers log proofs by default; both must check.
+            for (who, p) in [("test", pt), ("reference", pr)] {
+                if !check_rup_proof(inst.num_vars, test.original_clauses(), p) {
+                    return Err(format!("{cfg:?}: {who} RUP proof rejected"));
+                }
+            }
+        }
+        _ => {
+            return Err(format!(
+                "{cfg:?}: verdict mismatch: test={} reference={}",
+                verdict(&t),
+                verdict(&r)
+            ))
+        }
+    }
+
+    // Assumption sequence on one incremental solver pair: the clause
+    // database (including learned clauses) persists across queries.
+    let mut test = build(cfg, inst);
+    let mut reference = build(SatConfig::all_off(), inst);
+    for assumptions in &inst.queries {
+        let t = test
+            .solve_with_assumptions(assumptions, u64::MAX)
+            .expect("unlimited solve completes");
+        let r = reference
+            .solve_with_assumptions(assumptions, u64::MAX)
+            .expect("unlimited solve completes");
+        match (&t, &r) {
+            (AssumptionOutcome::Sat(mt), AssumptionOutcome::Sat(mr)) => {
+                for (who, m) in [("test", mt), ("reference", mr)] {
+                    if !model_satisfies(&inst.clauses, m) {
+                        return Err(format!("{cfg:?}: {who} assumption model fails a clause"));
+                    }
+                    if !assumptions
+                        .iter()
+                        .all(|a| m[a.var() as usize] == a.is_pos())
+                    {
+                        return Err(format!("{cfg:?}: {who} model violates an assumption"));
+                    }
+                }
+            }
+            (AssumptionOutcome::Unsat(ct), AssumptionOutcome::Unsat(cr)) => {
+                for (who, core) in [("test", ct), ("reference", cr)] {
+                    if !core.iter().all(|l| assumptions.contains(l)) {
+                        return Err(format!(
+                            "{cfg:?}: {who} final conflict is not a subset of the assumptions"
+                        ));
+                    }
+                    // The core already suffices: original clauses + core
+                    // units must be unsatisfiable, with a checked proof.
+                    checked_unsat(inst.num_vars, &inst.clauses, core)
+                        .map_err(|e| format!("{cfg:?}: {who} core: {e}"))?;
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "{cfg:?}: assumption verdict mismatch under {assumptions:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verdict(o: &SatOutcome) -> &'static str {
+    match o {
+        SatOutcome::Sat(_) => "sat",
+        SatOutcome::Unsat(_) => "unsat",
+    }
+}
+
+/// All features on vs the all-off reference.
+#[test]
+fn fuzz_all_features_on_matches_reference() {
+    forall(
+        "fuzz_all_features_on_matches_reference",
+        CASES,
+        gen_instance,
+        |inst| match run_differential(SatConfig::all_on(), inst) {
+            Ok(()) => TestResult::Pass,
+            Err(e) => TestResult::Fail(e),
+        },
+    );
+}
+
+/// Each feature individually off (isolating the remaining set) vs the
+/// reference — pinpoints which heuristic breaks when one does.
+#[test]
+fn fuzz_each_single_feature_off_matches_reference() {
+    forall(
+        "fuzz_each_single_feature_off_matches_reference",
+        CASES,
+        gen_instance,
+        |inst| {
+            for feature in SatConfig::FEATURES {
+                let cfg = SatConfig::all_on()
+                    .without(feature)
+                    .expect("FEATURES entries are valid");
+                if let Err(e) = run_differential(cfg, inst) {
+                    return TestResult::Fail(format!("feature off: {feature}: {e}"));
+                }
+            }
+            TestResult::Pass
+        },
+    );
+}

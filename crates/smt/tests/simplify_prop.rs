@@ -1,0 +1,391 @@
+//! Property tests for the word-level rewrite rules: every rule-shaped
+//! term must evaluate identically before and after simplification under
+//! ≥64 random models, and the pass must be idempotent. Each rewrite rule
+//! the Blaster's preprocessing relies on gets its own targeted shape
+//! generator; a final generic property covers arbitrary terms.
+//!
+//! Runs on the in-tree `islaris-testkit` runner; failures report a seed
+//! replayable via `ISLARIS_PT_SEED`.
+
+use islaris_bv::Bv;
+use islaris_smt::{eval, propagate_constants, simplify_with, BvBinop, BvUnop, Expr, Value, Var};
+use islaris_testkit::{forall, Rng, TestResult};
+
+const CASES: u32 = 64;
+const MODELS: u32 = 64;
+
+const WIDTHS: [u32; 5] = [4, 8, 13, 32, 64];
+
+/// One test input: a term over `Var(0..n)` with per-variable widths, plus
+/// a seed for drawing the random models (kept in the input so failures
+/// replay byte-identically).
+#[derive(Debug, Clone)]
+struct Case {
+    expr: Expr,
+    widths: Vec<u32>,
+    model_seed: u64,
+}
+
+fn random_bv(r: &mut Rng, w: u32) -> Bv {
+    let mask = if w >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    };
+    Bv::new(w, r.next_u128() & mask)
+}
+
+/// `simplify_with(e)` ≡ `e` under `MODELS` random models, and a second
+/// pass is a fixed point.
+fn check(case: &Case) -> TestResult {
+    let widths = case.widths.clone();
+    let ws = |v: Var| widths.get(v.0 as usize).copied();
+    let simplified = simplify_with(&case.expr, &ws);
+    let again = simplify_with(&simplified, &ws);
+    if again != simplified {
+        return TestResult::Fail(format!(
+            "not idempotent: {} then {} then {}",
+            case.expr, simplified, again
+        ));
+    }
+    let mut r = Rng::new(case.model_seed);
+    for _ in 0..MODELS {
+        let model: Vec<Bv> = widths.iter().map(|&w| random_bv(&mut r, w)).collect();
+        let env = |v: Var| model.get(v.0 as usize).map(|b| Value::Bits(b.clone()));
+        let before = eval(&case.expr, &env);
+        let after = eval(&simplified, &env);
+        if before != after {
+            return TestResult::Fail(format!(
+                "{} simplifies to {} but {before:?} != {after:?} under {model:?}",
+                case.expr, simplified
+            ));
+        }
+    }
+    TestResult::Pass
+}
+
+fn prop(name: &str, gen: impl Fn(&mut Rng) -> Case) {
+    forall(name, CASES, gen, check);
+}
+
+fn x() -> Expr {
+    Expr::var(Var(0))
+}
+
+fn y() -> Expr {
+    Expr::var(Var(1))
+}
+
+/// extract mirrors through `bvrev` (the `rbit` proof shape).
+#[test]
+fn rule_extract_over_rev() {
+    prop("rule_extract_over_rev", |r| {
+        let w = *r.choose(&WIDTHS);
+        let lo = r.range_u32(0, w - 1);
+        let hi = r.range_u32(lo, w - 1);
+        Case {
+            expr: Expr::extract(hi, lo, Expr::unop(BvUnop::Rev, x())),
+            widths: vec![w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Any-range extract distributes over the bitwise operations.
+#[test]
+fn rule_extract_distributes_over_bitwise() {
+    prop("rule_extract_distributes_over_bitwise", |r| {
+        let w = *r.choose(&WIDTHS);
+        let lo = r.range_u32(0, w - 1);
+        let hi = r.range_u32(lo, w - 1);
+        let ops = [BvBinop::And, BvBinop::Or, BvBinop::Xor];
+        let inner = if r.next_bool() {
+            Expr::binop(*r.choose(&ops), x(), y())
+        } else {
+            Expr::unop(BvUnop::Not, x())
+        };
+        Case {
+            expr: Expr::extract(hi, lo, inner),
+            widths: vec![w, w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Low-range extract distributes over the modular ring operations.
+#[test]
+fn rule_extract_distributes_over_ring() {
+    prop("rule_extract_distributes_over_ring", |r| {
+        let w = *r.choose(&WIDTHS);
+        let hi = r.range_u32(0, w - 2);
+        let ops = [BvBinop::Add, BvBinop::Sub, BvBinop::Mul];
+        Case {
+            expr: Expr::extract(hi, 0, Expr::binop(*r.choose(&ops), x(), y())),
+            widths: vec![w, w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Adjacent extracts of one term recombine into a single extract.
+#[test]
+fn rule_concat_of_adjacent_extracts() {
+    prop("rule_concat_of_adjacent_extracts", |r| {
+        let w = *r.choose(&WIDTHS);
+        let lo = r.range_u32(0, w - 2);
+        let mid = r.range_u32(lo, w - 2);
+        let hi = r.range_u32(mid + 1, w - 1);
+        Case {
+            expr: Expr::concat(Expr::extract(hi, mid + 1, x()), Expr::extract(mid, lo, x())),
+            widths: vec![w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// The rotate idiom `(x << c) | (x >> (w−c))` collapses to a concat of
+/// extracted fields.
+#[test]
+fn rule_rotate_idiom_recombines() {
+    prop("rule_rotate_idiom_recombines", |r| {
+        let w = *r.choose(&WIDTHS);
+        let c = r.range_u32(1, w - 1);
+        let shl = Expr::binop(BvBinop::Shl, x(), Expr::bv(w, u128::from(c)));
+        let lshr = Expr::binop(BvBinop::Lshr, x(), Expr::bv(w, u128::from(w - c)));
+        let expr = if r.next_bool() {
+            Expr::or(shl, lshr)
+        } else {
+            Expr::or(lshr, shl)
+        };
+        Case {
+            expr,
+            widths: vec![w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Disjoint halves recombine: `(concat h 0…0) | (zero_extend n l)`.
+#[test]
+fn rule_disjoint_or_recombines() {
+    prop("rule_disjoint_or_recombines", |r| {
+        let w = *r.choose(&WIDTHS);
+        let split = r.range_u32(1, w - 1);
+        // h: top w−split bits of x; l: bottom split bits of y.
+        let h = Expr::extract(w - 1, split, x());
+        let l = Expr::extract(split - 1, 0, y());
+        let cc = Expr::concat(h, Expr::bv(split, 0));
+        let ze = Expr::zero_extend(w - split, l);
+        let expr = if r.next_bool() {
+            Expr::or(cc, ze)
+        } else {
+            Expr::or(ze, cc)
+        };
+        Case {
+            expr,
+            widths: vec![w, w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Masking a constant logical right shift with the shifted all-ones mask
+/// is a no-op (the UBFM expansion of `lsr`).
+#[test]
+fn rule_lshr_mask_noop() {
+    prop("rule_lshr_mask_noop", |r| {
+        let w = *r.choose(&WIDTHS);
+        let c = r.range_u32(0, w - 1);
+        let shifted = Expr::binop(BvBinop::Lshr, x(), Expr::bv(w, u128::from(c)));
+        let mask = Expr::bits(Bv::ones(w).lshr(&Bv::new(w, u128::from(c))));
+        let expr = if r.next_bool() {
+            Expr::binop(BvBinop::And, shifted, mask)
+        } else {
+            Expr::binop(BvBinop::And, mask, shifted)
+        };
+        Case {
+            expr,
+            widths: vec![w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// `(x + ~y) + 1 → x − y` (the AddWithCarry subtraction shape) and
+/// constant-chain re-association `(x + c1) + c2`.
+#[test]
+fn rule_add_shapes() {
+    prop("rule_add_shapes", |r| {
+        let w = *r.choose(&WIDTHS);
+        let expr = if r.next_bool() {
+            Expr::binop(
+                BvBinop::Add,
+                Expr::binop(BvBinop::Add, x(), Expr::unop(BvUnop::Not, y())),
+                Expr::bv(w, 1),
+            )
+        } else {
+            let c1 = random_bv(r, w);
+            let c2 = random_bv(r, w);
+            Expr::binop(
+                BvBinop::Add,
+                Expr::binop(BvBinop::Add, x(), Expr::bits(c1)),
+                Expr::bits(c2),
+            )
+        };
+        Case {
+            expr,
+            widths: vec![w, w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Logical overshift flushes to zero.
+#[test]
+fn rule_overshift_is_zero() {
+    prop("rule_overshift_is_zero", |r| {
+        let w = *r.choose(&WIDTHS);
+        let k = r.range_u32(w, w + 7);
+        let op = if r.next_bool() {
+            BvBinop::Shl
+        } else {
+            BvBinop::Lshr
+        };
+        Case {
+            expr: Expr::binop(op, x(), Expr::bv(w, u128::from(k))),
+            widths: vec![w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// Generic closure: arbitrary random terms are preserved and the pass is
+/// idempotent (subsumes any rule interaction the targeted shapes miss).
+#[test]
+fn simplify_preserves_random_terms() {
+    fn term(r: &mut Rng, w: u32, depth: u32) -> Expr {
+        if depth == 0 || r.index(4) == 0 {
+            return if r.next_bool() {
+                // Both variables have the same width in this property, so
+                // either fits anywhere.
+                if r.next_bool() {
+                    x()
+                } else {
+                    y()
+                }
+            } else {
+                let mask = if w >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << w) - 1
+                };
+                Expr::bv(w, u128::from(r.next_u64()) & mask)
+            };
+        }
+        match r.index(6) {
+            0 => {
+                const OPS: [BvBinop; 8] = [
+                    BvBinop::Add,
+                    BvBinop::Sub,
+                    BvBinop::Mul,
+                    BvBinop::And,
+                    BvBinop::Or,
+                    BvBinop::Xor,
+                    BvBinop::Shl,
+                    BvBinop::Lshr,
+                ];
+                Expr::binop(
+                    *r.choose(&OPS),
+                    term(r, w, depth - 1),
+                    term(r, w, depth - 1),
+                )
+            }
+            1 => {
+                const OPS: [BvUnop; 3] = [BvUnop::Not, BvUnop::Neg, BvUnop::Rev];
+                Expr::unop(*r.choose(&OPS), term(r, w, depth - 1))
+            }
+            2 => {
+                let lo = r.range_u32(0, w - 1);
+                let hi = r.range_u32(lo, w - 1);
+                let inner = term(r, w, depth - 1);
+                // Keep the width fixed: re-extend the extracted field.
+                Expr::zero_extend(w - (hi - lo + 1), Expr::extract(hi, lo, inner))
+            }
+            3 => {
+                let split = r.range_u32(1, w - 1);
+                Expr::concat(
+                    Expr::extract(w - 1, split, term(r, w, depth - 1)),
+                    Expr::extract(split - 1, 0, term(r, w, depth - 1)),
+                )
+            }
+            _ => term(r, w, depth - 1),
+        }
+    }
+    prop("simplify_preserves_random_terms", |r| {
+        let w = *r.choose(&WIDTHS);
+        Case {
+            expr: term(r, w, 3),
+            widths: vec![w, w],
+            model_seed: r.next_u64(),
+        }
+    });
+}
+
+/// `propagate_constants` preserves the conjunction of the fact set under
+/// random models and is idempotent.
+#[test]
+fn propagate_constants_preserves_and_is_idempotent() {
+    forall(
+        "propagate_constants_preserves_and_is_idempotent",
+        CASES,
+        |r| {
+            let w = *r.choose(&WIDTHS);
+            let c = random_bv(r, w);
+            let mut facts = Vec::new();
+            // One definition (in either orientation) plus facts using it.
+            let def = if r.next_bool() {
+                Expr::eq(x(), Expr::bits(c.clone()))
+            } else {
+                Expr::eq(Expr::bits(c.clone()), x())
+            };
+            facts.push(def);
+            for _ in 0..r.range_u32(1, 4) {
+                let lhs = if r.next_bool() {
+                    Expr::binop(BvBinop::Add, x(), y())
+                } else {
+                    Expr::binop(BvBinop::Xor, x(), Expr::bits(random_bv(r, w)))
+                };
+                facts.push(Expr::eq(lhs, y()));
+            }
+            (w, facts, r.next_u64())
+        },
+        |(w, facts, model_seed)| {
+            let widths = vec![*w, *w];
+            let ws = |v: Var| widths.get(v.0 as usize).copied();
+            let (propagated, _folds) = propagate_constants(facts, &ws);
+            let (again, refolds) = propagate_constants(&propagated, &ws);
+            if again != propagated || refolds != 0 {
+                return TestResult::Fail(format!(
+                    "not idempotent: {propagated:?} then {again:?} ({refolds} refolds)"
+                ));
+            }
+            let mut r = Rng::new(*model_seed);
+            for _ in 0..MODELS {
+                let model: Vec<Bv> = widths.iter().map(|&w| random_bv(&mut r, w)).collect();
+                let env = |v: Var| model.get(v.0 as usize).map(|b| Value::Bits(b.clone()));
+                let conj = |fs: &[Expr]| {
+                    fs.iter()
+                        .map(|f| eval(f, &env))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(|vs| vs.iter().all(|v| *v == Value::Bool(true)))
+                };
+                if conj(facts) != conj(&propagated) {
+                    return TestResult::Fail(format!(
+                        "conjunction changed under {model:?}: {facts:?} vs {propagated:?}"
+                    ));
+                }
+            }
+            TestResult::Pass
+        },
+    );
+}

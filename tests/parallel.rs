@@ -78,10 +78,12 @@ fn instruction_fanout_is_deterministic() {
     let seq = memcpy_arm::build_case_with(&CaseCtx {
         cache: None,
         jobs: 1,
+        ..CaseCtx::default()
     });
     let par = memcpy_arm::build_case_with(&CaseCtx {
         cache: None,
         jobs: 4,
+        ..CaseCtx::default()
     });
     assert_eq!(seq.prog_spec.instrs, par.prog_spec.instrs);
     let (_, seq_report) = islaris_cases::run_case(&seq);

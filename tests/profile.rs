@@ -114,6 +114,33 @@ fn counter_profile_is_identical_across_solver_cache_states() {
     );
 }
 
+/// The CDCL/preprocessing counters (restarts, DB reductions, minimized
+/// literals, folded terms) appear in every solver-stage row — once per
+/// `isla.smt`/`eng.smt`/`cert.smt` row per case — and the preprocessing
+/// counter actually registers work somewhere in the first three cases.
+#[test]
+fn profile_reports_cdcl_counters() {
+    let report = run_cases_with(&ALL_CASES[..3], 1, Some(&TraceCache::new()), None);
+    assert!(report.all_ok(), "profiled cases must verify");
+    let text = render_profiles(&report.profiles());
+    for key in ["restarts=", "reduced=", "minimized=", "folded="] {
+        assert_eq!(
+            text.matches(key).count(),
+            9,
+            "counter `{key}` must appear once per solver stage per case in:\n{text}"
+        );
+    }
+    let folded: u64 = text
+        .split("folded=")
+        .skip(1)
+        .map(|tail| {
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<u64>().unwrap_or(0)
+        })
+        .sum();
+    assert!(folded > 0, "preprocessing folded no terms in:\n{text}");
+}
+
 /// The profile names every pipeline stage for every case, so a stage
 /// that silently stops reporting (or a case that loses its profile)
 /// fails here rather than in downstream diffing.
