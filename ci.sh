@@ -111,6 +111,53 @@ cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
     --bench-compare BENCH_pr5.json BENCH_pr6.json \
     --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare BENCH_pr6.json BENCH_pr7.json \
+    --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
+
+echo "== fig12 --serve smoke (daemon on an ephemeral port: cold-then-warm"
+echo "   1000-request replay over one persistent store, bodies must be"
+echo "   byte-identical and the warm restart must hit the disk store) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --gen-requests "$profile_out/reqs.json" --count 1000
+printf '%s' '{"schema":"islaris-replay/v1","requests":[{"method":"GET","path":"/stats","body":""},{"method":"POST","path":"/shutdown","body":""}]}' \
+    > "$profile_out/stats_shutdown.json"
+serve_up() {
+    rm -f "$profile_out/port"
+    cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+        --serve 0 --store "$profile_out/store" --port-file "$profile_out/port" &
+    serve_pid=$!
+    for _ in $(seq 1 200); do [ -s "$profile_out/port" ] && break; sleep 0.1; done
+    [ -s "$profile_out/port" ] || { echo "server did not start"; exit 1; }
+    addr="127.0.0.1:$(cat "$profile_out/port")"
+}
+serve_up
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/reqs.json" --addr "$addr" --clients 4 \
+    --dump "$profile_out/cold" > "$profile_out/cold.txt"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/stats_shutdown.json" --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "server exited nonzero after cold run"; exit 1; }
+serve_up
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/reqs.json" --addr "$addr" --clients 4 \
+    --dump "$profile_out/warm" > "$profile_out/warm.txt"
+# Every response body byte-identical cold vs warm restart...
+diff -r "$profile_out/cold" "$profile_out/warm" \
+    || { echo "warm restart bodies differ from the cold run"; exit 1; }
+# ...and the stable reports too (status + digest per request; the
+# trailing telemetry line is the documented nondeterministic output).
+sed '$d' "$profile_out/cold.txt" > "$profile_out/cold_stable.txt"
+sed '$d' "$profile_out/warm.txt" > "$profile_out/warm_stable.txt"
+cmp "$profile_out/cold_stable.txt" "$profile_out/warm_stable.txt" \
+    || { echo "warm stable report differs from the cold run"; exit 1; }
+# The warm restart must actually serve from the persistent store.
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/stats_shutdown.json" --addr "$addr" \
+    --dump "$profile_out/warmstats" > /dev/null
+wait "$serve_pid" || { echo "server exited nonzero after warm run"; exit 1; }
+grep -Eq '"disk_hits":[1-9]' "$profile_out/warmstats/0000.body" \
+    || { echo "warm restart registered no disk hits"; exit 1; }
 
 echo "== solver fuzzer smoke (differential CDCL configs on random CNF; full"
 echo "   256-case run lives in the workspace test step, this pins the gate) =="

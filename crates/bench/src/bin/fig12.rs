@@ -54,6 +54,8 @@
 use std::process::exit;
 use std::sync::Arc;
 
+use islaris_bench::replay::{gen_requests, parse_requests, render_requests, replay};
+use islaris_bench::serve::{ServeConfig, Server};
 use islaris_bench::{compare, parse_bench_json, samples_to_json, BenchEnv};
 use islaris_cases::{
     find_case, run_case_traced, run_cases_configured, run_cases_solver_cached, CaseCtx,
@@ -72,7 +74,11 @@ fn usage() -> ! {
          [--bench-compare OLD.json NEW.json [--threshold PCT]] [--trace-proof SLUG] \
          [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K] \
          [--solver-cache on|off]] \
-         [--difftest [--seed S] [--budget N] [--jobs N]]"
+         [--difftest [--seed S] [--budget N] [--jobs N]] \
+         [--serve PORT [--store DIR] [--workers N] [--queue-cap N] [--deadline-ms N] \
+         [--port-file PATH]] \
+         [--replay REQS.json --addr HOST:PORT [--clients N] [--json PATH] [--dump DIR]] \
+         [--gen-requests PATH [--count N]]"
     );
     exit(2);
 }
@@ -342,6 +348,163 @@ fn difftest(cfg: &islaris_difftest::FuzzConfig) {
     }
 }
 
+fn serve(args: &[String]) {
+    let mut cfg = ServeConfig::default();
+    cfg.port = args
+        .get(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| usage());
+    let mut port_file: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                cfg.store_dir = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()).into());
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--port-file" => {
+                port_file = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let server = Server::start(&cfg).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        exit(1);
+    });
+    eprintln!("fig12 --serve listening on 127.0.0.1:{}", server.port());
+    if let Some(path) = port_file {
+        // Written last so a waiting client never sees the port before
+        // the server accepts.
+        if let Err(e) = std::fs::write(&path, format!("{}\n", server.port())) {
+            eprintln!("writing {path}: {e}");
+            exit(1);
+        }
+    }
+    server.join();
+    eprintln!("fig12 --serve stopped");
+}
+
+fn replay_mode(args: &[String]) {
+    let Some(reqs_path) = args.get(1) else {
+        usage()
+    };
+    let mut addr: Option<String> = None;
+    let mut clients = 1;
+    let mut json_path: Option<String> = None;
+    let mut dump_dir: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--dump" => {
+                dump_dir = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let text = std::fs::read_to_string(reqs_path).unwrap_or_else(|e| {
+        eprintln!("reading {reqs_path}: {e}");
+        exit(2);
+    });
+    let reqs = parse_requests(&text).unwrap_or_else(|e| {
+        eprintln!("parsing {reqs_path}: {e}");
+        exit(2);
+    });
+    let outcome = replay(&addr, &reqs, clients).unwrap_or_else(|e| {
+        eprintln!("replay against {addr}: {e}");
+        exit(1);
+    });
+    print!("{}", outcome.stable_report());
+    let telemetry = outcome.telemetry().render();
+    println!("{telemetry}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &telemetry) {
+            eprintln!("writing {path}: {e}");
+            exit(1);
+        }
+    }
+    if let Some(dir) = dump_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("creating {dir}: {e}");
+            exit(1);
+        }
+        for r in &outcome.results {
+            let path = format!("{dir}/{:04}.body", r.index);
+            if let Err(e) = std::fs::write(&path, &r.body) {
+                eprintln!("writing {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn gen_requests_mode(args: &[String]) {
+    let Some(path) = args.get(1) else { usage() };
+    let mut count = 100;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--count" => {
+                count = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let text = render_requests(&gen_requests(count));
+    if let Err((off, msg)) = validate_json(&text) {
+        eprintln!("emitted request file is invalid at byte {off}: {msg}");
+        exit(1);
+    }
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("writing {path}: {e}");
+        exit(1);
+    }
+    println!("wrote {count} requests to {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -515,6 +678,9 @@ fn main() {
             }
             difftest(&cfg);
         }
+        Some("--serve") => serve(&args),
+        Some("--replay") => replay_mode(&args),
+        Some("--gen-requests") => gen_requests_mode(&args),
         Some(_) => usage(),
     }
 }

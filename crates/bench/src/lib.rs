@@ -33,6 +33,9 @@ use islaris_smt::{
     entails, entails_logged, BvCmp, Expr, QueryCache, SatConfig, SolverConfig, Sort, Var,
 };
 
+pub mod replay;
+pub mod serve;
+
 /// The versioned schema tag of the `--bench --json` export.
 pub const BENCH_SCHEMA: &str = "islaris-bench/v1";
 

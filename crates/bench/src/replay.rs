@@ -1,0 +1,358 @@
+//! Deterministic load-replay bench for the `--serve` daemon.
+//!
+//! `fig12 --replay REQS.json --addr HOST:PORT [--clients N]` fires a
+//! recorded request list at a running server and reports
+//!
+//! * a **stable report** — per-request status codes and FNV-1a body
+//!   digests, in request order — which is byte-identical across client
+//!   counts and cache states (that is the determinism contract the
+//!   server keeps, and the test suite asserts), and
+//! * **latency telemetry** — throughput plus min/median/p90/max/MAD in
+//!   `islaris-bench/v1` style (informational: wall-clock is the one
+//!   thing that may vary run to run).
+//!
+//! Requests are partitioned deterministically: client `c` of `N` sends
+//! exactly the requests whose index `i` satisfies `i % N == c`, in
+//! index order, on one keep-alive connection. Reordering across clients
+//! cannot leak into the report because results are keyed by index.
+//!
+//! `fig12 --gen-requests PATH [--count N]` writes a mixed request file
+//! (`islaris-replay/v1`) cycling case / trace / check / error-path jobs
+//! over the bundled Fig. 12 corpus — the input for the ci.sh smoke and
+//! the committed bench baselines.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use islaris_cases::ALL_CASES;
+use islaris_obs::fnv1a;
+use islaris_obs::http::{read_response, write_request};
+use islaris_obs::json::{obj, parse_json, Json};
+use islaris_obs::store::u64_json;
+
+use crate::summarize;
+
+/// Schema tag of a request file.
+pub const REPLAY_SCHEMA: &str = "islaris-replay/v1";
+
+/// One recorded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayReq {
+    /// Request method (`GET` / `POST`).
+    pub method: String,
+    /// Request path (`/verify`, `/stats`, …).
+    pub path: String,
+    /// Request body (empty for `GET`).
+    pub body: String,
+}
+
+/// One replayed result, keyed by request index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayResult {
+    /// Index into the request list.
+    pub index: usize,
+    /// HTTP status code.
+    pub status: u16,
+    /// FNV-1a digest of the response body.
+    pub digest: u64,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Wall-clock latency in nanoseconds (telemetry only).
+    pub wall_ns: u64,
+}
+
+/// The full outcome of one replay run.
+pub struct ReplayOutcome {
+    /// Results in request order (every index present exactly once).
+    pub results: Vec<ReplayResult>,
+    /// Total wall-clock of the run in nanoseconds.
+    pub wall_ns: u64,
+    /// Clients used.
+    pub clients: usize,
+}
+
+/// Parses an `islaris-replay/v1` file.
+///
+/// # Errors
+///
+/// Describes the first schema violation.
+pub fn parse_requests(text: &str) -> Result<Vec<ReplayReq>, String> {
+    let j = parse_json(text).map_err(|(off, msg)| format!("byte {off}: {msg}"))?;
+    if j.get("schema").and_then(Json::as_str) != Some(REPLAY_SCHEMA) {
+        return Err(format!("not an `{REPLAY_SCHEMA}` file"));
+    }
+    let Some(reqs) = j.get("requests").and_then(Json::as_array) else {
+        return Err("missing `requests` array".to_string());
+    };
+    let mut out = Vec::with_capacity(reqs.len());
+    for (i, r) in reqs.iter().enumerate() {
+        let field = |k: &str| -> Result<String, String> {
+            r.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("request {i}: missing `{k}`"))
+        };
+        out.push(ReplayReq {
+            method: field("method")?,
+            path: field("path")?,
+            body: r
+                .get("body")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders a request list as an `islaris-replay/v1` file.
+#[must_use]
+pub fn render_requests(reqs: &[ReplayReq]) -> String {
+    let rows: Vec<Json> = reqs
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("method", Json::Str(r.method.clone())),
+                ("path", Json::Str(r.path.clone())),
+                ("body", Json::Str(r.body.clone())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", Json::Str(REPLAY_SCHEMA.to_string())),
+        ("requests", Json::Arr(rows)),
+    ])
+    .render()
+}
+
+/// A deterministic mixed request list over the bundled corpus: every
+/// Fig. 12 case, trace and check jobs on known-good opcodes, health and
+/// stats probes, and a sprinkling of typed-error probes (the error paths
+/// must be deterministic too). `count` requests, cycling.
+#[must_use]
+pub fn gen_requests(count: usize) -> Vec<ReplayReq> {
+    let post = |body: String| ReplayReq {
+        method: "POST".to_string(),
+        path: "/verify".to_string(),
+        body,
+    };
+    let get = |path: &str| ReplayReq {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        body: String::new(),
+    };
+    let mut menu: Vec<ReplayReq> = Vec::new();
+    for c in ALL_CASES {
+        menu.push(post(format!(
+            "{{\"kind\":\"case\",\"slug\":\"{}\"}}",
+            c.slug
+        )));
+    }
+    // `add sp, sp, #0x10` (arm) and `addi a0, a0, 1` (riscv): cheap,
+    // always-traceable single instructions.
+    menu.push(post(
+        "{\"kind\":\"trace\",\"arch\":\"arm\",\"opcode\":\"0x910043ff\"}".to_string(),
+    ));
+    menu.push(post(
+        "{\"kind\":\"trace\",\"arch\":\"riscv\",\"opcode\":\"0x00150513\"}".to_string(),
+    ));
+    menu.push(post(
+        "{\"kind\":\"check\",\"arch\":\"riscv\",\"opcode\":\"0x00150513\",\
+         \"spec\":\"(= (final x10) (bvadd (init x10) #x0000000000000001))\"}"
+            .to_string(),
+    ));
+    menu.push(get("/health"));
+    // Error paths: each exercises one typed error deterministically.
+    menu.push(post(
+        "{\"kind\":\"case\",\"slug\":\"no-such-case\"}".to_string(),
+    ));
+    menu.push(post("{not json".to_string()));
+    menu.push(post(
+        "{\"kind\":\"trace\",\"arch\":\"arm\",\"opcode\":\"0xzz\"}".to_string(),
+    ));
+    (0..count).map(|i| menu[i % menu.len()].clone()).collect()
+}
+
+/// Replays `reqs` against `addr` with `clients` concurrent connections.
+///
+/// # Errors
+///
+/// Connection failures or mid-stream transport errors (a typed error
+/// *response* is a result, not an error).
+pub fn replay(addr: &str, reqs: &[ReplayReq], clients: usize) -> io::Result<ReplayOutcome> {
+    let clients = clients.max(1);
+    let reqs: Arc<[ReplayReq]> = reqs.to_vec().into();
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let reqs = Arc::clone(&reqs);
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            client_loop(&addr, &reqs, c, clients)
+        }));
+    }
+    let mut results: Vec<ReplayResult> = Vec::with_capacity(reqs.len());
+    for h in handles {
+        results.extend(
+            h.join()
+                .map_err(|_| io::Error::new(io::ErrorKind::Other, "replay client panicked"))??,
+        );
+    }
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    results.sort_by_key(|r| r.index);
+    Ok(ReplayOutcome {
+        results,
+        wall_ns,
+        clients,
+    })
+}
+
+fn client_loop(
+    addr: &str,
+    reqs: &[ReplayReq],
+    client: usize,
+    clients: usize,
+) -> io::Result<Vec<ReplayResult>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut out = Vec::new();
+    for (i, req) in reqs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % clients == client)
+    {
+        let t0 = Instant::now();
+        write_request(
+            &mut writer,
+            &req.method,
+            &req.path,
+            &[],
+            req.body.as_bytes(),
+        )?;
+        let resp = read_response(&mut reader)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        out.push(ReplayResult {
+            index: i,
+            status: resp.status,
+            digest: fnv1a(&resp.body),
+            wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            body: resp.body,
+        });
+    }
+    Ok(out)
+}
+
+impl ReplayOutcome {
+    /// The deterministic report: per-request `index status digest`
+    /// lines, byte-identical across client counts and cache states.
+    #[must_use]
+    pub fn stable_report(&self) -> String {
+        let mut s = String::new();
+        for r in &self.results {
+            s.push_str(&format!("{:>5} {} {:016x}\n", r.index, r.status, r.digest));
+        }
+        s
+    }
+
+    /// Latency telemetry in `islaris-bench/v1` spirit: throughput plus
+    /// min/median/p90/max/MAD over per-request wall-clock. Informational.
+    #[must_use]
+    pub fn telemetry(&self) -> Json {
+        let times: Vec<u64> = self.results.iter().map(|r| r.wall_ns).collect();
+        let (min, median, p90, max, mad) = summarize(&times);
+        let secs = self.wall_ns as f64 / 1e9;
+        let rps = if secs > 0.0 {
+            self.results.len() as f64 / secs
+        } else {
+            0.0
+        };
+        obj(vec![
+            ("requests", u64_json(self.results.len() as u64)),
+            ("clients", u64_json(self.clients as u64)),
+            ("wall_ns", u64_json(self.wall_ns)),
+            ("throughput_rps", Json::Num((rps * 100.0).round() / 100.0)),
+            (
+                "latency_ns",
+                obj(vec![
+                    ("min", u64_json(min)),
+                    ("median", u64_json(median)),
+                    ("p90", u64_json(p90)),
+                    ("max", u64_json(max)),
+                    ("mad", u64_json(mad)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_files_round_trip() {
+        let reqs = gen_requests(17);
+        let parsed = parse_requests(&render_requests(&reqs)).unwrap();
+        assert_eq!(parsed, reqs);
+    }
+
+    #[test]
+    fn gen_requests_cycles_the_menu() {
+        let reqs = gen_requests(40);
+        assert_eq!(reqs.len(), 40);
+        // The menu is longer than ALL_CASES alone; the first request is
+        // the first registry case.
+        assert!(reqs[0].body.contains(ALL_CASES[0].slug));
+        // Error probes are present in a 40-request mix.
+        assert!(reqs.iter().any(|r| r.body.contains("no-such-case")));
+        assert!(reqs.iter().any(|r| r.body == "{not json"));
+    }
+
+    #[test]
+    fn parse_requests_rejects_other_schemas() {
+        assert!(parse_requests("{\"schema\":\"islaris-bench/v1\"}").is_err());
+        assert!(parse_requests("{\"requests\":[]}").is_err());
+        let min = "{\"schema\":\"islaris-replay/v1\",\"requests\":[]}";
+        assert_eq!(parse_requests(min).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn stable_report_is_sorted_by_index() {
+        let outcome = ReplayOutcome {
+            results: vec![
+                ReplayResult {
+                    index: 0,
+                    status: 200,
+                    digest: 7,
+                    body: Vec::new(),
+                    wall_ns: 10,
+                },
+                ReplayResult {
+                    index: 1,
+                    status: 404,
+                    digest: 9,
+                    body: Vec::new(),
+                    wall_ns: 20,
+                },
+            ],
+            wall_ns: 30,
+            clients: 2,
+        };
+        let report = outcome.stable_report();
+        assert_eq!(
+            report,
+            "    0 200 0000000000000007\n    1 404 0000000000000009\n"
+        );
+        let t = outcome.telemetry();
+        assert_eq!(t.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            t.get("latency_ns")
+                .and_then(|l| l.get("min"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+    }
+}

@@ -1,0 +1,690 @@
+//! Verification-as-a-service: the `fig12 --serve` daemon.
+//!
+//! A std-only TCP server speaking the in-tree HTTP/1.1 framing
+//! ([`islaris_obs::http`]) and JSON ([`islaris_obs::json`]). Requests are
+//! scheduled on the long-lived [`islaris_core::WorkerPool`] with bounded
+//! backpressure (a saturated queue is an immediate `503 overloaded`) and
+//! per-request deadlines (a deadline that lapses while the job is queued
+//! is a `504 deadline-exceeded` — the expensive work is skipped).
+//!
+//! ## Wire protocol (DESIGN §12)
+//!
+//! * `POST /verify` — one job, JSON body, dispatched on `"kind"`:
+//!   * `{"kind":"case","slug":S}` — run the named Fig. 12 case; replies
+//!     with the stable verdict row, every rendered certificate, and the
+//!     deterministic per-stage profile.
+//!   * `{"kind":"trace","arch":"arm"|"riscv","opcode":"0x…"}` — trace one
+//!     opcode; replies with the printed trace and its effort counters.
+//!   * `{"kind":"check","arch":…,"opcode":…,"spec":SEXPR}` — prove a
+//!     post-state spec about one opcode: the s-expression may use
+//!     `(init R)` / `(final R)` for a register's initial / final value,
+//!     resolved per enumerated path and checked by entailment.
+//!   * any job may carry `"deadline_ms": N` (`0` = already expired — the
+//!     deterministic way to exercise the `504`).
+//! * `GET /health`, `GET /stats` — liveness and counters.
+//! * `POST /shutdown` — graceful stop.
+//!
+//! Every error is typed: `{"error":KIND,"detail":…}` with a distinct
+//! `KIND` per fault class (malformed framing, oversized/truncated body,
+//! invalid JSON, unknown case, bad opcode, …), and the server keeps
+//! serving after every one of them.
+//!
+//! ## Determinism
+//!
+//! Response bodies are byte-deterministic for a given request: wall-clock
+//! time travels in the `X-Islaris-Wall-Ns` header (never the body), and
+//! the per-case profile is stripped of its two documented
+//! schedule-dependent rows (`cache`, `q.cache`) before rendering. A warm
+//! restart over a persistent store therefore answers byte-identically to
+//! a cold run — the replay harness asserts exactly that.
+//!
+//! ## Persistence
+//!
+//! With a store directory, both caches are disk-backed
+//! ([`TraceCache::persistent`], [`QueryCache::persistent`]): restarts are
+//! warm, and N server processes can share one store. The server is
+//! outside the certificate TCB — whatever the caches replay, certificates
+//! still go through the independent checker.
+
+use std::io::{self, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islaris_cases::{find_case, run_case_cached, CaseCtx, ALL_CASES};
+use islaris_core::{render_certificate, JobSlot, SubmitError, WorkerPool};
+use islaris_isla::{analyze_path, enumerate_paths, IslaConfig, Opcode, PathView, TraceCache};
+use islaris_itl::sexp::{expr_to_sexp, sexp_to_expr};
+use islaris_itl::{parse_sexp, print_trace, Event, Sexp};
+use islaris_models::{Arch, ARM, RISCV};
+use islaris_obs::http::{read_request, write_response, HttpError, Request};
+use islaris_obs::json::{obj, parse_json, Json};
+use islaris_obs::store::u64_json;
+use islaris_obs::{CacheMetrics, QueryTable, SolverMetrics, StoreMetrics};
+use islaris_smt::{Expr, QueryCache, SolverConfig, Sort, Var};
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Port to bind on `127.0.0.1` (`0` = ephemeral).
+    pub port: u16,
+    /// Pool workers (`0` = ask the OS).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue answers `503`.
+    pub queue_cap: usize,
+    /// Persistent store root (`traces/` and `queries/` subdirectories);
+    /// `None` = in-memory caches only.
+    pub store_dir: Option<PathBuf>,
+    /// Default per-request deadline in ms (`0` = none).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 0,
+            queue_cap: 64,
+            store_dir: None,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+struct ServerState {
+    tcache: TraceCache,
+    qcache: Arc<QueryCache>,
+    pool: WorkerPool,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    default_deadline_ms: u64,
+    port: u16,
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`Server::stop`] (or `POST /shutdown`) then [`Server::join`].
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    port: u16,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures, or I/O errors opening the store.
+    pub fn start(cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let port = listener.local_addr()?.port();
+        let (tcache, qcache) = match &cfg.store_dir {
+            Some(dir) => (
+                TraceCache::persistent(&dir.join("traces"))?,
+                Arc::new(QueryCache::persistent(&dir.join("queries"))?),
+            ),
+            None => (TraceCache::new(), Arc::new(QueryCache::new())),
+        };
+        let state = Arc::new(ServerState {
+            tcache,
+            qcache,
+            pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            default_deadline_ms: cfg.default_deadline_ms,
+            port,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("islaris-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Server {
+            state,
+            accept: Some(accept),
+            port,
+        })
+    }
+
+    /// The bound port.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests a graceful stop (idempotent) without waiting.
+    pub fn stop(&self) {
+        request_stop(&self.state);
+    }
+
+    /// Blocks until the accept loop exits (after [`Server::stop`] or a
+    /// `POST /shutdown`).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn request_stop(state: &ServerState) {
+    if !state.stop.swap(true, Ordering::AcqRel) {
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", state.port));
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("islaris-conn".into())
+            .spawn(move || handle_conn(stream, &conn_state));
+    }
+}
+
+/// A typed error response: status code, machine-readable kind, detail.
+struct ApiError {
+    status: u16,
+    kind: &'static str,
+    detail: String,
+}
+
+impl ApiError {
+    fn new(status: u16, kind: &'static str, detail: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    fn body(&self) -> String {
+        obj(vec![
+            ("error", Json::Str(self.kind.to_string())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+        .render()
+    }
+}
+
+fn deadline_exceeded() -> ApiError {
+    ApiError::new(
+        504,
+        "deadline-exceeded",
+        "deadline lapsed before the job was scheduled",
+    )
+}
+
+/// Maps a framing fault to its typed response. `None` = nothing to say
+/// (clean close or transport error).
+fn framing_error(e: &HttpError) -> Option<ApiError> {
+    match e {
+        HttpError::Closed | HttpError::Io(_) => None,
+        HttpError::Malformed(d) => Some(ApiError::new(400, "malformed-request", d.clone())),
+        HttpError::HeadTooLarge => Some(ApiError::new(
+            431,
+            "head-too-large",
+            "request head exceeds the limit",
+        )),
+        HttpError::BodyTooLarge(n) => Some(ApiError::new(
+            413,
+            "body-too-large",
+            format!("declared body of {n} bytes exceeds the limit"),
+        )),
+        HttpError::TruncatedBody { expected, got } => Some(ApiError::new(
+            400,
+            "truncated-body",
+            format!("Content-Length promised {expected} bytes, received {got}"),
+        )),
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: &Arc<ServerState>) {
+    // A parked keep-alive connection must not pin a thread forever after
+    // shutdown; the timeout only bounds idle waits, not request handling.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(req) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let (status, body, shutdown) = dispatch(state, &req);
+                if status >= 400 {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let wall = [("X-Islaris-Wall-Ns", format!("{}", t0.elapsed().as_nanos()))];
+                if write_response(&mut writer, status, &wall, body.as_bytes()).is_err() {
+                    return;
+                }
+                if shutdown {
+                    request_stop(state);
+                    return;
+                }
+                if req.wants_close() {
+                    return;
+                }
+            }
+            Err(e) => {
+                // The byte stream is unsynchronized after a framing
+                // fault: answer (when there is an answer) and close this
+                // connection. The server itself keeps serving.
+                if let Some(api) = framing_error(&e) {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(&mut writer, api.status, &[], api.body().as_bytes());
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one request. Returns `(status, body, shutdown-after-reply)`.
+fn dispatch(state: &Arc<ServerState>, req: &Request) -> (u16, String, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, obj(vec![("ok", Json::Bool(true))]).render(), false),
+        ("GET", "/stats") => (200, stats_body(state), false),
+        ("POST", "/shutdown") => (
+            200,
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("stopping", Json::Bool(true)),
+            ])
+            .render(),
+            true,
+        ),
+        ("POST", "/verify") => match verify(state, &req.body) {
+            Ok(body) => (200, body, false),
+            Err(api) => (api.status, api.body(), false),
+        },
+        (_, "/health" | "/stats" | "/shutdown" | "/verify") => {
+            let api = ApiError::new(
+                405,
+                "method-not-allowed",
+                format!("{} not allowed on {}", req.method, req.path),
+            );
+            (api.status, api.body(), false)
+        }
+        (_, path) => {
+            let api = ApiError::new(404, "unknown-path", format!("no such path `{path}`"));
+            (api.status, api.body(), false)
+        }
+    }
+}
+
+fn stats_body(state: &Arc<ServerState>) -> String {
+    let store = |m: Option<StoreMetrics>| match m {
+        None => Json::Null,
+        Some(m) => obj(vec![
+            ("disk_hits", u64_json(m.disk_hits)),
+            ("disk_misses", u64_json(m.disk_misses)),
+            ("evictions", u64_json(m.evictions)),
+            ("write_errors", u64_json(m.write_errors)),
+        ]),
+    };
+    let tstats = state.tcache.stats();
+    obj(vec![
+        ("requests", u64_json(state.requests.load(Ordering::Relaxed))),
+        ("errors", u64_json(state.errors.load(Ordering::Relaxed))),
+        ("workers", u64_json(state.pool.workers() as u64)),
+        ("queued", u64_json(state.pool.queued() as u64)),
+        ("job_panics", u64_json(state.pool.panics() as u64)),
+        (
+            "trace_cache",
+            obj(vec![
+                ("hits", u64_json(tstats.hits)),
+                ("misses", u64_json(tstats.misses)),
+                ("unique", u64_json(state.tcache.unique_traces() as u64)),
+                ("store", store(state.tcache.store_metrics())),
+            ]),
+        ),
+        (
+            "query_cache",
+            obj(vec![
+                ("entries", u64_json(state.qcache.len() as u64)),
+                ("store", store(state.qcache.store_metrics())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Parses and schedules one `/verify` job; blocks until its slot fills.
+fn verify(state: &Arc<ServerState>, body: &[u8]) -> Result<String, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "invalid-json", "body is not UTF-8"))?;
+    let j = parse_json(text)
+        .map_err(|(off, msg)| ApiError::new(400, "invalid-json", format!("byte {off}: {msg}")))?;
+    let job = parse_job(&j)?;
+    let deadline_ms = match j.get("deadline_ms") {
+        None => state.default_deadline_ms,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad-request",
+                "deadline_ms must be a non-negative integer",
+            )
+        })?,
+    };
+    let has_deadline = j.get("deadline_ms").is_some() || state.default_deadline_ms > 0;
+    let deadline = has_deadline.then(|| Instant::now() + Duration::from_millis(deadline_ms));
+
+    let slot: JobSlot<Result<String, ApiError>> = JobSlot::new();
+    let job_slot = slot.clone();
+    let job_state = Arc::clone(state);
+    let submitted = state.pool.try_submit(deadline, move |expired| {
+        if expired {
+            job_slot.fill(Err(deadline_exceeded()));
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(&job_state, &job)));
+        job_slot.fill(result.unwrap_or_else(|_| {
+            Err(ApiError::new(
+                500,
+                "internal",
+                "job panicked; worker recovered",
+            ))
+        }));
+    });
+    match submitted {
+        Ok(()) => slot.wait(),
+        Err(SubmitError::Saturated) => Err(ApiError::new(
+            503,
+            "overloaded",
+            "work queue saturated; retry later",
+        )),
+        Err(SubmitError::ShuttingDown) => {
+            Err(ApiError::new(503, "overloaded", "server is shutting down"))
+        }
+    }
+}
+
+/// A fully validated verification job (validation happens on the
+/// connection thread so typed errors never consume a pool slot).
+enum Job {
+    Case {
+        slug: String,
+    },
+    Trace {
+        arch: &'static Arch,
+        opcode: u32,
+    },
+    Check {
+        arch: &'static Arch,
+        opcode: u32,
+        spec: Sexp,
+    },
+}
+
+fn parse_arch(j: &Json) -> Result<&'static Arch, ApiError> {
+    match j.get("arch").and_then(Json::as_str) {
+        Some("arm") => Ok(&ARM),
+        Some("riscv") => Ok(&RISCV),
+        Some(other) => Err(ApiError::new(
+            400,
+            "bad-request",
+            format!("unknown arch `{other}` (want `arm` or `riscv`)"),
+        )),
+        None => Err(ApiError::new(400, "bad-request", "missing `arch`")),
+    }
+}
+
+fn parse_opcode(j: &Json) -> Result<u32, ApiError> {
+    let Some(text) = j.get("opcode").and_then(Json::as_str) else {
+        return Err(ApiError::new(400, "bad-request", "missing `opcode`"));
+    };
+    let digits = text.strip_prefix("0x").unwrap_or(text);
+    if digits.len() != 8 {
+        return Err(ApiError::new(
+            400,
+            "bad-opcode",
+            format!("`{text}` is not 4 opcode bytes (want 8 hex digits)"),
+        ));
+    }
+    u32::from_str_radix(digits, 16)
+        .map_err(|_| ApiError::new(400, "bad-opcode", format!("`{text}` is not hexadecimal")))
+}
+
+fn parse_job(j: &Json) -> Result<Job, ApiError> {
+    match j.get("kind").and_then(Json::as_str) {
+        Some("case") => {
+            let Some(slug) = j.get("slug").and_then(Json::as_str) else {
+                return Err(ApiError::new(400, "bad-request", "missing `slug`"));
+            };
+            if find_case(slug).is_none() {
+                let slugs: Vec<&str> = ALL_CASES.iter().map(|c| c.slug).collect();
+                return Err(ApiError::new(
+                    404,
+                    "unknown-case",
+                    format!("no case `{slug}`; known: {}", slugs.join(" ")),
+                ));
+            }
+            Ok(Job::Case {
+                slug: slug.to_string(),
+            })
+        }
+        Some("trace") => Ok(Job::Trace {
+            arch: parse_arch(j)?,
+            opcode: parse_opcode(j)?,
+        }),
+        Some("check") => {
+            let Some(spec_text) = j.get("spec").and_then(Json::as_str) else {
+                return Err(ApiError::new(400, "bad-request", "missing `spec`"));
+            };
+            let spec = parse_sexp(spec_text).map_err(|e| {
+                ApiError::new(400, "bad-request", format!("spec does not parse: {e}"))
+            })?;
+            Ok(Job::Check {
+                arch: parse_arch(j)?,
+                opcode: parse_opcode(j)?,
+                spec,
+            })
+        }
+        Some(other) => Err(ApiError::new(
+            400,
+            "bad-request",
+            format!("unknown kind `{other}` (want case, trace, or check)"),
+        )),
+        None => Err(ApiError::new(400, "bad-request", "missing `kind`")),
+    }
+}
+
+fn run_job(state: &ServerState, job: &Job) -> Result<String, ApiError> {
+    match job {
+        Job::Case { slug } => run_case_job(state, slug),
+        Job::Trace { arch, opcode } => run_trace_job(state, arch, *opcode),
+        Job::Check { arch, opcode, spec } => run_check_job(state, arch, *opcode, spec),
+    }
+}
+
+/// Strips the two documented schedule-dependent profile rows (`cache`,
+/// `q.cache`) so response bodies are byte-identical across cache states.
+fn stripped_profile(profile_json: &str) -> Json {
+    match parse_json(profile_json) {
+        Ok(Json::Obj(fields)) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "cache" && k != "q.cache")
+                .collect(),
+        ),
+        _ => Json::Null,
+    }
+}
+
+fn run_case_job(state: &ServerState, slug: &str) -> Result<String, ApiError> {
+    let def = find_case(slug)
+        .ok_or_else(|| ApiError::new(404, "unknown-case", format!("no case `{slug}`")))?;
+    let ctx = CaseCtx::new(&state.tcache, 1);
+    let art = (def.build)(&ctx);
+    let (outcome, report) = run_case_cached(&art, Some(&state.qcache));
+    let certs: Vec<Json> = report
+        .blocks
+        .iter()
+        .map(|b| Json::Str(render_certificate(&b.cert)))
+        .collect();
+    Ok(obj(vec![
+        ("kind", Json::Str("case".into())),
+        ("slug", Json::Str(slug.to_string())),
+        ("verdict", Json::Str("proved".into())),
+        ("row", Json::Str(outcome.stable_row())),
+        ("certs", Json::Arr(certs)),
+        ("profile", stripped_profile(&outcome.profile.to_json(slug))),
+    ])
+    .render())
+}
+
+fn lookup_trace(
+    state: &ServerState,
+    arch: &'static Arch,
+    opcode: u32,
+) -> Result<Arc<islaris_isla::CachedTrace>, ApiError> {
+    let cfg = IslaConfig::new(*arch);
+    state
+        .tcache
+        .lookup(&cfg, &Opcode::Concrete(opcode))
+        .map(|(entry, _)| entry)
+        .map_err(|e| {
+            ApiError::new(
+                400,
+                "bad-opcode",
+                format!("opcode {opcode:#010x} does not trace: {e}"),
+            )
+        })
+}
+
+fn run_trace_job(
+    state: &ServerState,
+    arch: &'static Arch,
+    opcode: u32,
+) -> Result<String, ApiError> {
+    let entry = lookup_trace(state, arch, opcode)?;
+    // Only the deterministic counters go in the body (no wall time).
+    let s = &entry.stats;
+    Ok(obj(vec![
+        ("kind", Json::Str("trace".into())),
+        ("arch", Json::Str(arch.name.to_string())),
+        ("opcode", Json::Str(format!("{opcode:#010x}"))),
+        ("trace", Json::Str(print_trace(&entry.trace))),
+        ("params", u64_json(entry.params.len() as u64)),
+        (
+            "stats",
+            obj(vec![
+                ("runs", u64_json(s.runs)),
+                ("smt_queries", u64_json(s.smt_queries)),
+                ("events", u64_json(s.events as u64)),
+                ("branches_explored", u64_json(s.branches_explored)),
+                ("branches_pruned", u64_json(s.branches_pruned)),
+            ]),
+        ),
+    ])
+    .render())
+}
+
+/// Resolves `(init R)` / `(final R)` atoms against one analyzed path.
+fn resolve_spec(spec: &Sexp, events: &[Event], view: &PathView) -> Result<Sexp, ApiError> {
+    let reg_expr = |which: &str, name: &str| -> Result<Expr, ApiError> {
+        let init = view
+            .reg_inits
+            .iter()
+            .find(|(r, _)| r.to_string() == name)
+            .map(|(_, e)| e.clone());
+        if which == "final" {
+            for ev in events.iter().rev() {
+                if let Event::WriteReg(r, v) = ev {
+                    if r.to_string() == name {
+                        return Ok(v.clone());
+                    }
+                }
+            }
+        }
+        init.ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad-request",
+                format!("register `{name}` is not accessed on this path"),
+            )
+        })
+    };
+    match spec {
+        Sexp::List(items) => {
+            if let [Sexp::Atom(which), Sexp::Atom(name)] = items.as_slice() {
+                if which == "init" || which == "final" {
+                    return Ok(expr_to_sexp(&reg_expr(which, name)?));
+                }
+            }
+            let resolved: Result<Vec<Sexp>, ApiError> = items
+                .iter()
+                .map(|s| resolve_spec(s, events, view))
+                .collect();
+            Ok(Sexp::List(resolved?))
+        }
+        Sexp::Atom(_) => Ok(spec.clone()),
+    }
+}
+
+fn run_check_job(
+    state: &ServerState,
+    arch: &'static Arch,
+    opcode: u32,
+    spec: &Sexp,
+) -> Result<String, ApiError> {
+    let entry = lookup_trace(state, arch, opcode)?;
+    let paths = enumerate_paths(&entry.trace);
+    let cfg = SolverConfig::default();
+    let mut m = SolverMetrics::default();
+    let mut table = QueryTable::default();
+    let mut cm = CacheMetrics::default();
+    let mut failed = Vec::new();
+    for (i, events) in paths.iter().enumerate() {
+        let view = analyze_path(events, &entry.params);
+        let goal_sexp = resolve_spec(spec, events, &view)?;
+        let goal = sexp_to_expr(&goal_sexp).map_err(|e| {
+            ApiError::new(
+                400,
+                "bad-request",
+                format!("resolved spec is not a valid expression: {e}"),
+            )
+        })?;
+        let sorts = |v: Var| -> Option<Sort> { view.sorts.get(&v).copied() };
+        let (proved, _) = state.qcache.entails_logged(
+            &view.constraints,
+            &goal,
+            &sorts,
+            &cfg,
+            &mut m,
+            &mut table,
+            &mut cm,
+        );
+        if !proved {
+            failed.push(u64_json(i as u64));
+        }
+    }
+    let verdict = if failed.is_empty() {
+        "proved"
+    } else {
+        "refuted"
+    };
+    Ok(obj(vec![
+        ("kind", Json::Str("check".into())),
+        ("arch", Json::Str(arch.name.to_string())),
+        ("opcode", Json::Str(format!("{opcode:#010x}"))),
+        ("verdict", Json::Str(verdict.into())),
+        ("paths", u64_json(paths.len() as u64)),
+        ("failed", Json::Arr(failed)),
+    ])
+    .render())
+}

@@ -1,0 +1,297 @@
+//! Fault-injection suite for the `--serve` daemon.
+//!
+//! Every row injects one fault and asserts two things: the fault maps to
+//! its *distinct typed* error response (status + machine-readable
+//! `error` kind), and the server keeps serving afterwards — no panic, no
+//! poisoned worker, the very next request succeeds.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use islaris_bench::serve::{ServeConfig, Server};
+use islaris_obs::http::{read_response, write_request};
+use islaris_obs::json::{parse_json, Json};
+
+fn start() -> Server {
+    Server::start(&ServeConfig::default()).expect("server starts")
+}
+
+/// One request over a fresh connection; returns `(status, body)`.
+fn rpc(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_request(&mut writer, method, path, &[], body.as_bytes()).expect("send");
+    let resp = read_response(&mut reader).expect("response");
+    (
+        resp.status,
+        String::from_utf8_lossy(&resp.body).into_owned(),
+    )
+}
+
+/// Sends raw bytes (closing the write side) and returns the raw reply.
+fn raw(port: u16, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.write_all(bytes).expect("send");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    let _ = stream.read_to_string(&mut reply);
+    reply
+}
+
+/// The machine-readable `error` kind of a typed error body.
+fn error_kind(body: &str) -> String {
+    parse_json(body)
+        .ok()
+        .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| panic!("not a typed error body: {body}"))
+}
+
+/// Asserts the server still answers after a fault.
+fn assert_alive(port: u16) {
+    let (status, body) = rpc(port, "GET", "/health", "");
+    assert_eq!((status, body.contains("true")), (200, true));
+}
+
+#[test]
+fn each_fault_gets_its_own_typed_error_and_the_server_survives() {
+    let server = start();
+    let port = server.port();
+
+    // Table: (fault label, request, expected status, expected kind).
+    let table: &[(&str, &str, &str, &str, u16, &str)] = &[
+        (
+            "invalid JSON body",
+            "POST",
+            "/verify",
+            "{not json",
+            400,
+            "invalid-json",
+        ),
+        (
+            "non-object JSON body",
+            "POST",
+            "/verify",
+            "[1,2]",
+            400,
+            "bad-request",
+        ),
+        (
+            "missing kind",
+            "POST",
+            "/verify",
+            "{\"slug\":\"hvc\"}",
+            400,
+            "bad-request",
+        ),
+        (
+            "unknown kind",
+            "POST",
+            "/verify",
+            "{\"kind\":\"frobnicate\"}",
+            400,
+            "bad-request",
+        ),
+        (
+            "unknown case slug",
+            "POST",
+            "/verify",
+            "{\"kind\":\"case\",\"slug\":\"no-such-case\"}",
+            404,
+            "unknown-case",
+        ),
+        (
+            "opcode too short",
+            "POST",
+            "/verify",
+            "{\"kind\":\"trace\",\"arch\":\"arm\",\"opcode\":\"0x91\"}",
+            400,
+            "bad-opcode",
+        ),
+        (
+            "opcode not hex",
+            "POST",
+            "/verify",
+            "{\"kind\":\"trace\",\"arch\":\"arm\",\"opcode\":\"0xzzzzzzzz\"}",
+            400,
+            "bad-opcode",
+        ),
+        (
+            "check spec over a register the path never touches",
+            "POST",
+            "/verify",
+            "{\"kind\":\"check\",\"arch\":\"riscv\",\"opcode\":\"0x00150513\",\
+             \"spec\":\"(= (final x9) #x0000000000000000)\"}",
+            400,
+            "bad-request",
+        ),
+        (
+            "unknown arch",
+            "POST",
+            "/verify",
+            "{\"kind\":\"trace\",\"arch\":\"mips\",\"opcode\":\"0x00000013\"}",
+            400,
+            "bad-request",
+        ),
+        (
+            "spec does not parse",
+            "POST",
+            "/verify",
+            "{\"kind\":\"check\",\"arch\":\"riscv\",\"opcode\":\"0x00000013\",\"spec\":\"(((\"}",
+            400,
+            "bad-request",
+        ),
+        (
+            "expired deadline",
+            "POST",
+            "/verify",
+            "{\"kind\":\"case\",\"slug\":\"hvc\",\"deadline_ms\":0}",
+            504,
+            "deadline-exceeded",
+        ),
+        (
+            "negative deadline",
+            "POST",
+            "/verify",
+            "{\"kind\":\"case\",\"slug\":\"hvc\",\"deadline_ms\":-1}",
+            400,
+            "bad-request",
+        ),
+        ("unknown path", "GET", "/nope", "", 404, "unknown-path"),
+        (
+            "wrong method on /verify",
+            "GET",
+            "/verify",
+            "",
+            405,
+            "method-not-allowed",
+        ),
+        (
+            "wrong method on /health",
+            "DELETE",
+            "/health",
+            "",
+            405,
+            "method-not-allowed",
+        ),
+    ];
+    for (label, method, path, body, want_status, want_kind) in table {
+        let (status, reply) = rpc(port, method, path, body);
+        assert_eq!(status, *want_status, "{label}: body {reply}");
+        assert_eq!(error_kind(&reply), *want_kind, "{label}");
+        assert_alive(port);
+    }
+
+    // The workers are not poisoned: a real job still succeeds.
+    let (status, reply) = rpc(
+        port,
+        "POST",
+        "/verify",
+        "{\"kind\":\"trace\",\"arch\":\"riscv\",\"opcode\":\"0x00150513\"}",
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"kind\":\"trace\""));
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn framing_faults_are_typed_and_scoped_to_their_connection() {
+    let server = start();
+    let port = server.port();
+
+    // Malformed request line.
+    let reply = raw(port, b"GARBAGE\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert!(reply.contains("malformed-request"), "{reply}");
+    assert_alive(port);
+
+    // Lowercase method (not a valid token per our framing).
+    let reply = raw(port, b"get /health HTTP/1.1\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert_alive(port);
+
+    // Oversized head: one header row larger than the 16 KiB budget.
+    let mut big = Vec::from(&b"GET /health HTTP/1.1\r\nx-pad: "[..]);
+    big.extend(std::iter::repeat(b'a').take(20 * 1024));
+    big.extend(b"\r\n\r\n");
+    let reply = raw(port, &big);
+    assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+    assert!(reply.contains("head-too-large"), "{reply}");
+    assert_alive(port);
+
+    // Declared body over the 4 MiB budget (no need to send it).
+    let reply = raw(
+        port,
+        b"POST /verify HTTP/1.1\r\ncontent-length: 8388608\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    assert!(reply.contains("body-too-large"), "{reply}");
+    assert_alive(port);
+
+    // Truncated body: promise 100 bytes, deliver 9, close.
+    let reply = raw(
+        port,
+        b"POST /verify HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"kind\":1",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert!(reply.contains("truncated-body"), "{reply}");
+    assert_alive(port);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn saturation_answers_overloaded_and_recovers() {
+    // One worker, one queue slot: a burst of concurrent case jobs must
+    // answer every request with either a verdict or a typed 503 — and
+    // the server must be fully healthy afterwards.
+    let server = Server::start(&ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let port = server.port();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                rpc(
+                    port,
+                    "POST",
+                    "/verify",
+                    "{\"kind\":\"case\",\"slug\":\"hvc\"}",
+                )
+            })
+        })
+        .collect();
+    let mut oks = 0;
+    for h in handles {
+        let (status, body) = h.join().expect("client thread");
+        match status {
+            200 => {
+                assert!(body.contains("\"verdict\":\"proved\""), "{body}");
+                oks += 1;
+            }
+            503 => assert_eq!(error_kind(&body), "overloaded"),
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(oks >= 1, "at least one job must get through");
+    assert_alive(port);
+
+    // After the burst the queue drains and full-size jobs succeed again.
+    let (status, _) = rpc(
+        port,
+        "POST",
+        "/verify",
+        "{\"kind\":\"case\",\"slug\":\"hvc\"}",
+    );
+    assert_eq!(status, 200);
+
+    server.stop();
+    server.join();
+}

@@ -1,0 +1,174 @@
+//! Persistent-store behaviour of the `--serve` daemon, end to end:
+//! warm restarts answer byte-identically, and on-disk corruption is a
+//! sound miss — detected at load, evicted, recomputed — never a wrong
+//! (or even different) answer.
+
+use std::fs;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use islaris_bench::replay::{gen_requests, replay, ReplayOutcome};
+use islaris_bench::serve::{ServeConfig, Server};
+use islaris_obs::http::{read_response, write_request};
+use islaris_obs::json::{parse_json, Json};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("islaris-serve-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn start(store: &Path) -> Server {
+    Server::start(&ServeConfig {
+        store_dir: Some(store.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn run(port: u16) -> ReplayOutcome {
+    let reqs = gen_requests(24);
+    replay(&format!("127.0.0.1:{port}"), &reqs, 2).expect("replay")
+}
+
+/// Fetches `/stats` and returns the parsed tree.
+fn stats(port: u16) -> Json {
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_request(&mut writer, "GET", "/stats", &[], b"").expect("send");
+    let resp = read_response(&mut reader).expect("response");
+    parse_json(&resp.body_str()).expect("stats parse")
+}
+
+fn counter(stats: &Json, cache: &str, field: &str) -> u64 {
+    stats
+        .get(cache)
+        .and_then(|c| c.get("store"))
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing {cache}.store.{field} in {}", stats.render()))
+}
+
+fn assert_identical(a: &ReplayOutcome, b: &ReplayOutcome, label: &str) {
+    assert_eq!(a.stable_report(), b.stable_report(), "{label}");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.body, y.body, "{label}: request {} body differs", x.index);
+    }
+}
+
+#[test]
+fn warm_restart_answers_byte_identically_with_disk_hits() {
+    let store = tmp_dir("warm");
+
+    let cold_server = start(&store);
+    let cold = run(cold_server.port());
+    let s = stats(cold_server.port());
+    assert_eq!(counter(&s, "trace_cache", "disk_hits"), 0, "cold run");
+    assert!(
+        counter(&s, "trace_cache", "disk_misses") > 0,
+        "cold run populates"
+    );
+    cold_server.stop();
+    cold_server.join();
+
+    // A fresh process over the same store must serve from disk and
+    // answer byte-identically.
+    let warm_server = start(&store);
+    let warm = run(warm_server.port());
+    assert_identical(&cold, &warm, "warm restart");
+    let s = stats(warm_server.port());
+    assert!(
+        counter(&s, "trace_cache", "disk_hits") > 0,
+        "restart is warm"
+    );
+    assert!(
+        counter(&s, "query_cache", "disk_hits") > 0,
+        "queries warm too"
+    );
+    assert_eq!(counter(&s, "trace_cache", "evictions"), 0);
+    warm_server.stop();
+    warm_server.join();
+
+    let _ = fs::remove_dir_all(&store);
+}
+
+/// Flips one payload byte in every store file matching `ext`.
+fn corrupt_entries(dir: &Path, ext: &str) -> usize {
+    let mut hit = 0;
+    for f in fs::read_dir(dir).expect("store dir") {
+        let path = f.expect("entry").path();
+        if path.extension().is_some_and(|e| e == ext) {
+            let mut bytes = fs::read(&path).expect("read entry");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            fs::write(&path, &bytes).expect("rewrite entry");
+            hit += 1;
+        }
+    }
+    hit
+}
+
+/// Truncates every store file matching `ext` to its first 10 bytes.
+fn truncate_entries(dir: &Path, ext: &str) -> usize {
+    let mut hit = 0;
+    for f in fs::read_dir(dir).expect("store dir") {
+        let path = f.expect("entry").path();
+        if path.extension().is_some_and(|e| e == ext) {
+            let bytes = fs::read(&path).expect("read entry");
+            fs::write(&path, &bytes[..bytes.len().min(10)]).expect("truncate entry");
+            hit += 1;
+        }
+    }
+    hit
+}
+
+#[test]
+fn corrupt_entries_are_evicted_recomputed_and_answers_do_not_change() {
+    let store = tmp_dir("corrupt");
+
+    let cold_server = start(&store);
+    let cold = run(cold_server.port());
+    cold_server.stop();
+    cold_server.join();
+
+    // Bit-flip every trace entry, truncate every query entry: both
+    // defect classes must be caught by verify-on-load.
+    let flipped = corrupt_entries(&store.join("traces"), "trace");
+    let truncated = truncate_entries(&store.join("queries"), "query");
+    assert!(flipped > 0 && truncated > 0, "store was populated");
+
+    let server = start(&store);
+    let replayed = run(server.port());
+    assert_identical(&cold, &replayed, "corrupted store");
+    let s = stats(server.port());
+    assert!(
+        counter(&s, "trace_cache", "evictions") > 0,
+        "corrupt trace entries must be evicted: {}",
+        s.render()
+    );
+    assert!(
+        counter(&s, "query_cache", "evictions") > 0,
+        "truncated query entries must be evicted: {}",
+        s.render()
+    );
+    server.stop();
+    server.join();
+
+    // The recompute healed the store: one more restart is warm again.
+    let healed = start(&store);
+    let again = run(healed.port());
+    assert_identical(&cold, &again, "healed store");
+    let s = stats(healed.port());
+    assert!(counter(&s, "trace_cache", "disk_hits") > 0, "store healed");
+    assert_eq!(
+        counter(&s, "trace_cache", "evictions"),
+        0,
+        "no defects left"
+    );
+    healed.stop();
+    healed.join();
+
+    let _ = fs::remove_dir_all(&store);
+}

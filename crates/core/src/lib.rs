@@ -31,5 +31,8 @@ pub use cert::{
 };
 pub use engine::{BlockReport, BlockStats, Report, Verifier, VerifyError};
 pub use iospec::{accepts, uart, NoIo, Protocol, UartProtocol};
-pub use pipeline::{effective_jobs, run_jobs, run_jobs_ok, run_jobs_profiled, JobPanic};
+pub use pipeline::{
+    effective_jobs, run_jobs, run_jobs_ok, run_jobs_profiled, JobPanic, JobSlot, SubmitError,
+    WorkerPool,
+};
 pub use seq::{SeqExpr, SeqVar};

@@ -18,7 +18,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use islaris_obs::Recorder;
@@ -157,6 +157,261 @@ where
     run_jobs(jobs, count, f).into_iter().collect()
 }
 
+// ---------------------------------------------------------------------------
+// Long-lived worker pool (the service scheduler)
+// ---------------------------------------------------------------------------
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — the service backpressure signal
+    /// (mapped to `503 overloaded` by the server).
+    Saturated,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "work queue saturated"),
+            SubmitError::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One unit of pool work: a closure invoked with `true` iff the job's
+/// deadline had already passed when a worker claimed it (the job should
+/// then produce its deadline-exceeded answer instead of doing the work).
+type PoolTask = Box<dyn FnOnce(bool) + Send>;
+
+struct QueuedJob {
+    deadline: Option<Instant>,
+    run: PoolTask,
+}
+
+#[derive(Default)]
+struct PoolShared {
+    queue: Mutex<std::collections::VecDeque<QueuedJob>>,
+    cv: std::sync::Condvar,
+    stopping: std::sync::atomic::AtomicBool,
+    /// Jobs whose closure panicked (the worker survives; the counter is
+    /// the observable trace of the isolation).
+    panics: AtomicUsize,
+}
+
+/// A long-lived bounded work queue for the verification service: `N`
+/// resident workers, a capacity-limited queue with an explicit
+/// backpressure signal ([`SubmitError::Saturated`]), and per-job
+/// deadlines checked at dequeue time.
+///
+/// This is the service-shaped sibling of [`run_jobs`]: where `run_jobs`
+/// drains a fixed batch and joins, a `WorkerPool` outlives any one
+/// request stream. Jobs are *not* preempted — a deadline that expires
+/// while the job waits in the queue skips the work entirely (the worker
+/// calls the closure with `expired = true`); a deadline that expires
+/// mid-execution is the submitter's concern.
+///
+/// Panic isolation matches the batch scheduler: a panicking job is
+/// caught, counted ([`WorkerPool::panics`]), and the worker keeps
+/// serving — no poisoned worker, no wedged queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    cap: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` resident threads over a queue holding at most
+    /// `cap` waiting jobs (running jobs don't count against `cap`).
+    /// `workers == 0` asks the OS ([`effective_jobs`]).
+    #[must_use]
+    pub fn new(workers: usize, cap: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared::default());
+        let n = effective_jobs(workers);
+        let handles = (0..n)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("islaris-pool-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a job unless the queue is at capacity or the pool is
+    /// stopping. The closure receives `true` iff `deadline` had passed
+    /// by the time a worker claimed the job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when `cap` jobs are already waiting,
+    /// [`SubmitError::ShuttingDown`] after [`WorkerPool::shutdown`].
+    pub fn try_submit(
+        &self,
+        deadline: Option<Instant>,
+        run: impl FnOnce(bool) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if queue.len() >= self.cap {
+            return Err(SubmitError::Saturated);
+        }
+        queue.push_back(QueuedJob {
+            deadline,
+            run: Box::new(run),
+        });
+        drop(queue);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not running).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Number of jobs whose closure panicked (each was isolated; every
+    /// worker is still serving).
+    #[must_use]
+    pub fn panics(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Resident worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting work, drains the queue, and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .cv
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let run = job.run;
+        if catch_unwind(AssertUnwindSafe(move || run(expired))).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A one-shot result slot for handing a pool job's answer back to the
+/// submitting thread (a connection handler, in the server). The
+/// submitter [`JobSlot::wait`]s; the job [`JobSlot::fill`]s exactly once.
+pub struct JobSlot<T> {
+    inner: Arc<(Mutex<Option<T>>, std::sync::Condvar)>,
+}
+
+impl<T> Clone for JobSlot<T> {
+    fn clone(&self) -> Self {
+        JobSlot {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for JobSlot<T> {
+    fn default() -> Self {
+        JobSlot {
+            inner: Arc::new((Mutex::new(None), std::sync::Condvar::new())),
+        }
+    }
+}
+
+impl<T> JobSlot<T> {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        JobSlot::default()
+    }
+
+    /// Stores the result and wakes the waiter. Later fills are ignored
+    /// (first answer wins).
+    pub fn fill(&self, value: T) {
+        let (lock, cv) = &*self.inner;
+        let mut slot = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(value);
+        }
+        drop(slot);
+        cv.notify_all();
+    }
+
+    /// Blocks until the slot is filled and takes the value.
+    pub fn wait(&self) -> T {
+        let (lock, cv) = &*self.inner;
+        let mut slot = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +489,95 @@ mod tests {
             }
             assert!(spans.iter().all(|s| s.cat == "pipeline"));
         }
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_fills_slots() {
+        let pool = WorkerPool::new(2, 16);
+        let slots: Vec<JobSlot<usize>> = (0..8).map(|_| JobSlot::new()).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            let slot = slot.clone();
+            pool.try_submit(None, move |expired| {
+                assert!(!expired);
+                slot.fill(i * i);
+            })
+            .unwrap();
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.wait(), i * i);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_saturation_rejects_with_backpressure() {
+        // One worker, blocked on a gate; capacity 2. The blocker occupies
+        // the worker, two jobs fill the queue, the next submit must be
+        // refused deterministically.
+        let pool = WorkerPool::new(1, 2);
+        let gate = JobSlot::<()>::new();
+        let started = JobSlot::<()>::new();
+        {
+            let gate = gate.clone();
+            let started = started.clone();
+            pool.try_submit(None, move |_| {
+                started.fill(());
+                gate.wait();
+            })
+            .unwrap();
+        }
+        started.wait(); // worker is now parked inside the blocker
+        pool.try_submit(None, |_| {}).unwrap();
+        pool.try_submit(None, |_| {}).unwrap();
+        assert_eq!(pool.try_submit(None, |_| {}), Err(SubmitError::Saturated));
+        assert_eq!(pool.queued(), 2);
+        gate.fill(());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_expired_deadline_is_reported_at_dequeue() {
+        let pool = WorkerPool::new(1, 4);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let slot = JobSlot::<bool>::new();
+        {
+            let slot = slot.clone();
+            pool.try_submit(Some(past), move |expired| slot.fill(expired))
+                .unwrap();
+        }
+        assert!(slot.wait(), "a lapsed deadline must reach the job as true");
+        let slot2 = JobSlot::<bool>::new();
+        {
+            let slot2 = slot2.clone();
+            let far = Instant::now() + std::time::Duration::from_secs(3600);
+            pool.try_submit(Some(far), move |expired| slot2.fill(expired))
+                .unwrap();
+        }
+        assert!(!slot2.wait());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_worker_survives_a_panicking_job() {
+        let pool = WorkerPool::new(1, 4);
+        pool.try_submit(None, |_| panic!("poisoned job")).unwrap();
+        let slot = JobSlot::<u32>::new();
+        {
+            let slot = slot.clone();
+            pool.try_submit(None, move |_| slot.fill(7)).unwrap();
+        }
+        assert_eq!(slot.wait(), 7, "the worker must outlive the panic");
+        assert_eq!(pool.panics(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_shutdown_refuses_new_work() {
+        let pool = WorkerPool::new(2, 4);
+        let shared = pool.shared.clone();
+        pool.shutdown();
+        assert!(shared.stopping.load(Ordering::Acquire));
+        let pool2 = WorkerPool::new(1, 1);
+        drop(pool2); // Drop path joins too.
     }
 }

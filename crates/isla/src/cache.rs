@@ -34,6 +34,7 @@ use islaris_smt::{Expr, Sort, Var};
 
 use crate::driver::{trace_opcode, IslaStats, Opcode};
 use crate::exec::{IslaConfig, IslaError};
+use crate::store::TraceStore;
 
 /// A memoised trace: the simplified tree plus the metadata of the run
 /// that produced it.
@@ -61,13 +62,17 @@ enum Slot {
 }
 
 /// The shared trace memo table. Cheap to share via `&` across a thread
-/// scope or via `Arc` across owners.
+/// scope or via `Arc` across owners. Optionally backed by a persistent
+/// [`TraceStore`] ([`TraceCache::persistent`]): a key absent from memory
+/// is looked up on disk before tracing, and cold traces are written back,
+/// so restarts are warm and N processes can share one store directory.
 #[derive(Default)]
 pub struct TraceCache {
     map: Mutex<HashMap<String, Slot>>,
     cv: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    store: Option<TraceStore>,
 }
 
 /// Renders the configuration part of the cache key. Predicate
@@ -147,6 +152,24 @@ impl TraceCache {
         TraceCache::default()
     }
 
+    /// An empty in-memory cache backed by the persistent store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the store directory.
+    pub fn persistent(dir: &std::path::Path) -> std::io::Result<Self> {
+        Ok(TraceCache {
+            store: Some(TraceStore::open(dir)?),
+            ..TraceCache::default()
+        })
+    }
+
+    /// Disk-side counters of the backing store, if any.
+    #[must_use]
+    pub fn store_metrics(&self) -> Option<islaris_obs::StoreMetrics> {
+        self.store.as_ref().map(TraceStore::metrics)
+    }
+
     fn lock(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
         // A panic while holding the map lock only happens between plain
         // HashMap operations, which cannot leave it inconsistent.
@@ -188,16 +211,27 @@ impl TraceCache {
             }
         }
         drop(map);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = PendingGuard {
             cache: self,
             key: &key,
             armed: true,
         };
+        // Not in memory: consult the persistent store before tracing. A
+        // verified disk entry counts as a hit (the work was not redone);
+        // any defect was already treated as a sound miss by the store.
+        if let Some(entry) = self.store.as_ref().and_then(|s| s.load(&key)) {
+            guard.armed = false;
+            drop(guard);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let mut map = self.lock();
+            map.insert(key, Slot::Ready(entry.clone()));
+            self.cv.notify_all();
+            return Ok((entry, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = trace_opcode(cfg, opcode);
         guard.armed = false;
         drop(guard);
-        let mut map = self.lock();
         match result {
             Ok(r) => {
                 let entry = Arc::new(CachedTrace {
@@ -205,11 +239,18 @@ impl TraceCache {
                     params: r.params,
                     stats: r.stats,
                 });
+                // Persist outside the map lock; waiters stay parked on
+                // the Pending slot until the Ready insert below.
+                if let Some(store) = &self.store {
+                    store.save(&key, &entry);
+                }
+                let mut map = self.lock();
                 map.insert(key, Slot::Ready(entry.clone()));
                 self.cv.notify_all();
                 Ok((entry, false))
             }
             Err(e) => {
+                let mut map = self.lock();
                 map.remove(&key);
                 self.cv.notify_all();
                 Err(e)
@@ -341,6 +382,66 @@ mod tests {
         assert_eq!(stats.misses, 1, "exactly one cold trace");
         assert_eq!(stats.hits, 3, "everyone else coalesces onto it");
         assert_eq!(cache.unique_traces(), 1);
+    }
+
+    #[test]
+    fn persistent_cache_is_warm_after_a_restart() {
+        let dir = std::env::temp_dir().join(format!("islaris-pcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold process: miss, compute, persist.
+        let cold = TraceCache::persistent(&dir).unwrap();
+        let (a, hit_a) = cold.lookup(&cfg(), &Opcode::Concrete(ADD_SP)).unwrap();
+        assert!(!hit_a);
+        let m = cold.store_metrics().unwrap();
+        assert_eq!((m.disk_hits, m.disk_misses), (0, 1));
+
+        // "Restarted" process: same store, empty memory — disk hit, and
+        // the entry (trace + replayed stats) is identical to the cold one.
+        let warm = TraceCache::persistent(&dir).unwrap();
+        let (b, hit_b) = warm.lookup(&cfg(), &Opcode::Concrete(ADD_SP)).unwrap();
+        assert!(hit_b, "a warm restart must hit on disk");
+        assert_eq!(*a.trace, *b.trace);
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.stats.smt_queries, b.stats.smt_queries);
+        assert_eq!(a.stats.solver, b.stats.solver);
+        assert_eq!(warm.stats(), CacheStats { hits: 1, misses: 0 });
+        let m = warm.store_metrics().unwrap();
+        assert_eq!((m.disk_hits, m.disk_misses), (1, 0));
+
+        // Second lookup in the warm process stays in memory.
+        let (_, hit_c) = warm.lookup(&cfg(), &Opcode::Concrete(ADD_SP)).unwrap();
+        assert!(hit_c);
+        assert_eq!(warm.store_metrics().unwrap().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_entry_recomputes_and_heals() {
+        let dir = std::env::temp_dir().join(format!("islaris-pcache-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = TraceCache::persistent(&dir).unwrap();
+        let cold_entry = cold
+            .trace_opcode(&cfg(), &Opcode::Concrete(ADD_SP))
+            .unwrap();
+
+        // Truncate the on-disk entry, then restart.
+        let key = cache_key(&cfg(), &Opcode::Concrete(ADD_SP));
+        let store = TraceStore::open(&dir).unwrap();
+        let path = store.path_for(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+        let warm = TraceCache::persistent(&dir).unwrap();
+        let (entry, hit) = warm.lookup(&cfg(), &Opcode::Concrete(ADD_SP)).unwrap();
+        assert!(!hit, "a corrupt entry is a sound miss");
+        assert_eq!(*entry.trace, *cold_entry.trace, "recompute matches cold");
+        let m = warm.store_metrics().unwrap();
+        assert_eq!(m.evictions, 1, "the corrupt file was evicted");
+        // The recompute re-persisted a good entry.
+        let healed = TraceStore::open(&dir).unwrap();
+        assert!(healed.load(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod driver;
 pub mod exec;
 pub mod paths;
 pub mod simplify;
+pub mod store;
 pub mod sym;
 
 pub use cache::{CacheStats, CachedTrace, TraceCache};
@@ -42,4 +43,5 @@ pub use driver::{trace_opcode, trace_program, IslaStats, Opcode, ProgramTraces, 
 pub use exec::{ConstraintFn, IslaConfig, IslaError};
 pub use paths::{analyze_path, enumerate_paths, PathView};
 pub use simplify::simplify_trace;
+pub use store::{TraceStore, TRACE_MAGIC};
 pub use sym::{RegKey, SymVal};

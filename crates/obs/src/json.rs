@@ -71,6 +71,107 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the tree back to JSON text. The inverse of [`parse_json`]:
+    /// `parse_json(&t.render()) == Ok(t)` for every tree whose numbers
+    /// are finite (the only values [`parse_json`] can produce — a
+    /// hand-built non-finite number renders as `null`). Deterministic:
+    /// object keys keep their stored order, no whitespace is emitted,
+    /// and strings escape exactly `"`/`\`/control characters.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => render_number(*n, out),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// One JSON object field, for building trees by hand.
+#[must_use]
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn render_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Integers in the exact range render without a fraction; everything
+    // else uses Rust's shortest-round-trip `Display`, which `parse_json`
+    // reads back to the same `f64`.
+    if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses one complete JSON value (with only whitespace around it).
@@ -317,5 +418,33 @@ mod tests {
         assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
         assert_eq!(parse_json("-1").unwrap().as_u64(), None);
         assert_eq!(parse_json("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn render_round_trips_hand_built_trees() {
+        let t = obj(vec![
+            ("s", Json::Str("a\"b\\c\n\u{1}é".into())),
+            ("n", Json::Num(-2.5)),
+            ("i", Json::Num(1234567.0)),
+            (
+                "a",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Obj(vec![])]),
+            ),
+        ]);
+        let text = t.render();
+        assert!(crate::validate_json(&text).is_ok(), "{text}");
+        assert_eq!(parse_json(&text).unwrap(), t);
+        // Rendering is deterministic and whitespace-free.
+        assert_eq!(parse_json(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn render_escapes_control_characters() {
+        let text = Json::Str("\u{0}\u{1f}\t".into()).render();
+        assert_eq!(text, "\"\\u0000\\u001f\\t\"");
+        assert_eq!(
+            parse_json(&text).unwrap(),
+            Json::Str("\u{0}\u{1f}\t".into())
+        );
     }
 }

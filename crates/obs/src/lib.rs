@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub mod http;
 pub mod json;
+pub mod store;
 
 pub use json::{parse_json, Json};
 
@@ -146,6 +148,45 @@ impl CacheMetrics {
     #[must_use]
     pub fn hit_rate_str(&self) -> String {
         percent(self.hits, self.lookups())
+    }
+}
+
+/// Counters for a *persistent* (on-disk) cache store, kept separate from
+/// the in-memory [`CacheMetrics`]: a process only consults the disk on
+/// an in-memory miss, so `disk_hits + disk_misses` equals the memory
+/// layer's miss count for stores that are always attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// In-memory misses answered by a verified on-disk entry.
+    pub disk_hits: u64,
+    /// In-memory misses the disk could not answer (absent entry).
+    pub disk_misses: u64,
+    /// On-disk entries rejected by verify-on-load (bad checksum, bad
+    /// parse, key mismatch) and deleted. Every eviction is also a
+    /// `disk_misses` — a corrupt entry is a sound miss, never an answer.
+    pub evictions: u64,
+    /// Entry writes that failed (permissions, disk full). Write failures
+    /// only lose warmth, never answers.
+    pub write_errors: u64,
+}
+
+impl StoreMetrics {
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, o: &StoreMetrics) {
+        self.disk_hits += o.disk_hits;
+        self.disk_misses += o.disk_misses;
+        self.evictions += o.evictions;
+        self.write_errors += o.write_errors;
+    }
+
+    /// Renders the counters as the deterministic `k=v` row style shared
+    /// by every metrics struct.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "disk_hits={} disk_misses={} evictions={} write_errors={}",
+            self.disk_hits, self.disk_misses, self.evictions, self.write_errors
+        )
     }
 }
 

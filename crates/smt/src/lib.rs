@@ -36,6 +36,7 @@ pub mod sat;
 pub mod session;
 pub mod simplify;
 pub mod solver;
+pub mod store;
 
 pub use eval::{eval, eval_bits, eval_bool, EvalError};
 pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
@@ -48,6 +49,7 @@ pub use solver::{
     check_sat, check_sat_logged, check_sat_metered, entails, entails_logged, entails_metered,
     maybe_sat, maybe_sat_metered, query_digest, Model, SmtResult, SolverConfig,
 };
+pub use store::{QueryStore, QUERY_MAGIC};
 
 /// Re-export of the shared solver-counter records, so downstream crates
 /// can name them without depending on `islaris-obs` directly.

@@ -443,15 +443,15 @@ impl Session {
 /// buckets; equality is decided here, so digest collisions degrade to
 /// misses.
 #[derive(Clone, PartialEq, Eq)]
-struct CacheKey {
-    check_proofs: bool,
-    max_conflicts: u64,
-    sat: crate::sat::SatConfig,
-    text: String,
+pub(crate) struct CacheKey {
+    pub(crate) check_proofs: bool,
+    pub(crate) max_conflicts: u64,
+    pub(crate) sat: crate::sat::SatConfig,
+    pub(crate) text: String,
 }
 
 impl CacheKey {
-    fn new(cfg: &SolverConfig, text: String) -> Self {
+    pub(crate) fn new(cfg: &SolverConfig, text: String) -> Self {
         CacheKey {
             check_proofs: cfg.check_proofs,
             max_conflicts: cfg.max_conflicts,
@@ -466,10 +466,10 @@ impl CacheKey {
 /// byte-identical with the cache on or off (from-scratch solving is
 /// deterministic in the query text).
 #[derive(Clone)]
-struct CacheEntry {
-    result: SmtResult,
-    solver_delta: SolverMetrics,
-    query_delta: QueryStats,
+pub(crate) struct CacheEntry {
+    pub(crate) result: SmtResult,
+    pub(crate) solver_delta: SolverMetrics,
+    pub(crate) query_delta: QueryStats,
 }
 
 /// A thread-safe, sound memo table for from-scratch solver queries,
@@ -485,6 +485,10 @@ struct CacheEntry {
 pub struct QueryCache {
     /// digest → entries whose text hashes to that digest.
     buckets: Mutex<HashMap<u64, Vec<(CacheKey, CacheEntry)>>>,
+    /// Optional disk backing: consulted on memory misses, written on
+    /// every memoisation. Disk entries get the exact same trust
+    /// treatment as memory entries (`Sat` models re-verified per hit).
+    store: Option<crate::store::QueryStore>,
 }
 
 impl QueryCache {
@@ -492,6 +496,25 @@ impl QueryCache {
     #[must_use]
     pub fn new() -> Self {
         QueryCache::default()
+    }
+
+    /// An empty in-memory cache backed by the persistent store at `dir`,
+    /// so restarts are warm and N processes can share one directory.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the store directory.
+    pub fn persistent(dir: &std::path::Path) -> std::io::Result<Self> {
+        Ok(QueryCache {
+            store: Some(crate::store::QueryStore::open(dir)?),
+            ..QueryCache::default()
+        })
+    }
+
+    /// Disk-side counters of the backing store, if any.
+    #[must_use]
+    pub fn store_metrics(&self) -> Option<islaris_obs::StoreMetrics> {
+        self.store.as_ref().map(crate::store::QueryStore::metrics)
     }
 
     /// Distinct queries currently memoised.
@@ -595,22 +618,43 @@ impl QueryCache {
     }
 
     fn lookup(&self, digest: u64, cfg: &SolverConfig, text: &str) -> Option<CacheEntry> {
-        let buckets = self.lock();
-        let bucket = buckets.get(&digest)?;
-        bucket
-            .iter()
-            .find(|(k, _)| {
-                k.check_proofs == cfg.check_proofs
-                    && k.max_conflicts == cfg.max_conflicts
-                    && k.sat == cfg.sat
-                    && k.text == text
+        let in_memory = {
+            let buckets = self.lock();
+            buckets.get(&digest).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(k, _)| {
+                        k.check_proofs == cfg.check_proofs
+                            && k.max_conflicts == cfg.max_conflicts
+                            && k.sat == cfg.sat
+                            && k.text == text
+                    })
+                    .map(|(_, e)| e.clone())
             })
-            .map(|(_, e)| e.clone())
+        };
+        if in_memory.is_some() {
+            return in_memory;
+        }
+        // Memory miss: consult the disk store (verify-on-load already
+        // applied there), promote any hit into memory so later lookups
+        // stay off the disk. The caller still re-verifies Sat models.
+        let store = self.store.as_ref()?;
+        let key = CacheKey::new(cfg, text.to_string());
+        let entry = store.load(&key)?;
+        let mut buckets = self.lock();
+        let bucket = buckets.entry(digest).or_default();
+        if !bucket.iter().any(|(k, _)| *k == key) {
+            bucket.push((key, entry.clone()));
+        }
+        Some(entry)
     }
 
     /// Upsert: replacing an existing entry keeps the newest computation,
     /// which is what evicts a model that failed re-verification.
     fn insert(&self, digest: u64, key: CacheKey, entry: CacheEntry) {
+        if let Some(store) = &self.store {
+            store.save(&key, &entry);
+        }
         let mut buckets = self.lock();
         let bucket = buckets.entry(digest).or_default();
         if let Some(slot) = bucket.iter_mut().find(|(k, _)| *k == key) {
@@ -814,6 +858,85 @@ mod tests {
             "different configurations never share entries"
         );
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn persistent_query_cache_is_warm_after_a_restart() {
+        let dir = std::env::temp_dir().join(format!("islaris-qcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let x = Expr::var(Var(0));
+        let q = [Expr::eq(x.clone(), Expr::bv(64, 42))];
+
+        // Cold process: miss, compute, persist.
+        let cold = QueryCache::persistent(&dir).unwrap();
+        let mut m1 = SolverMetrics::default();
+        let mut t1 = QueryTable::default();
+        let mut cm1 = CacheMetrics::default();
+        let (r1, d1) = cold.check_sat_logged(&q, &sorts64, &cfg(), &mut m1, &mut t1, &mut cm1);
+        assert!(r1.is_sat());
+        assert_eq!((cm1.hits, cm1.misses), (0, 1));
+
+        // "Restarted" process: same store, empty memory. The disk hit
+        // replays the verdict (model re-verified) and the effort deltas.
+        let warm = QueryCache::persistent(&dir).unwrap();
+        let mut m2 = SolverMetrics::default();
+        let mut t2 = QueryTable::default();
+        let mut cm2 = CacheMetrics::default();
+        let (r2, d2) = warm.check_sat_logged(&q, &sorts64, &cfg(), &mut m2, &mut t2, &mut cm2);
+        assert_eq!(d1, d2);
+        assert_eq!(r1, r2, "disk hit replays the exact verdict and model");
+        assert_eq!((cm2.hits, cm2.misses), (1, 0), "a warm restart hits");
+        assert_eq!(m1, m2, "effort deltas replay across the restart");
+        let sm = warm.store_metrics().unwrap();
+        assert_eq!((sm.disk_hits, sm.evictions), (1, 0));
+
+        // Second lookup stays in memory.
+        let mut m3 = SolverMetrics::default();
+        let mut t3 = QueryTable::default();
+        let _ = warm.check_sat_logged(&q, &sorts64, &cfg(), &mut m3, &mut t3, &mut cm2);
+        assert_eq!(warm.store_metrics().unwrap().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_persisted_query_recomputes_and_heals() {
+        let dir = std::env::temp_dir().join(format!("islaris-qcache-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let q = [Expr::bool(false)];
+        let cold = QueryCache::persistent(&dir).unwrap();
+        let mut m = SolverMetrics::default();
+        let mut t = QueryTable::default();
+        let mut cm = CacheMetrics::default();
+        let (r, _) = cold.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm);
+        assert!(r.is_unsat());
+
+        // Bit-flip the single on-disk entry, then restart.
+        let store = crate::store::QueryStore::open(&dir).unwrap();
+        let entry_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "query"))
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&entry_path, &bytes).unwrap();
+        drop(store);
+
+        let warm = QueryCache::persistent(&dir).unwrap();
+        let mut cm2 = CacheMetrics::default();
+        let (r2, _) = warm.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm2);
+        assert!(r2.is_unsat(), "recompute restores the true verdict");
+        assert_eq!((cm2.hits, cm2.misses), (0, 1), "corruption is a sound miss");
+        let sm = warm.store_metrics().unwrap();
+        assert_eq!(sm.evictions, 1, "the corrupt file was evicted");
+        // The recompute re-persisted a good entry: a fresh restart hits.
+        let healed = QueryCache::persistent(&dir).unwrap();
+        let mut cm3 = CacheMetrics::default();
+        let _ = healed.check_sat_logged(&q, &sorts64, &cfg(), &mut m, &mut t, &mut cm3);
+        assert_eq!((cm3.hits, cm3.misses), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -93,6 +93,18 @@ impl Model {
     pub(crate) fn insert(&mut self, v: Var, val: Value) {
         self.values.insert(v, val);
     }
+
+    /// Builds a model from explicit assignments. Exists for
+    /// deserialising persisted query results; such models are never
+    /// trusted as-is — the query cache re-verifies every cached `Sat`
+    /// model by evaluation before replaying it, so a fabricated model
+    /// can only cause a recompute, not a wrong verdict.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> Model {
+        Model {
+            values: pairs.into_iter().collect(),
+        }
+    }
 }
 
 /// Result of a satisfiability query.

@@ -1,0 +1,405 @@
+//! A persistent, content-addressed store for memoised solver queries.
+//!
+//! The disk-side sibling of [`crate::QueryCache`]: each entry persists
+//! one from-scratch query result — verdict, model (for `Sat`), and the
+//! effort deltas a hit replays — addressed by the *full* cache identity
+//! (rendered query text plus every verdict-relevant configuration knob:
+//! `check_proofs`, `max_conflicts`, and the SAT feature flags). The file
+//! name is the FNV-1a hash of that rendered identity; the identity is
+//! also stored inside the entry and compared on load, so collisions
+//! degrade to misses, never to wrong answers.
+//!
+//! The soundness story is layered:
+//!
+//! 1. the seal ([`islaris_obs::store`]) rejects truncated or bit-flipped
+//!    files — they are evicted and recomputed (a **sound miss**);
+//! 2. the stored key must equal the requested key, so a hash collision
+//!    or a swapped file cannot alias a different query;
+//! 3. even a well-formed, wrong entry cannot flip a verdict the pipeline
+//!    trusts blindly: `Sat` models are re-verified by evaluation on
+//!    every cache hit (disk or memory) by
+//!    `QueryCache::hit_is_trusted`, and a failing model forces a
+//!    recompute that overwrites the bad entry.
+//!
+//! Writes are atomic (`tmp` + `rename`), so N processes can share one
+//! store directory.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use islaris_bv::Bv;
+use islaris_obs::json::{obj, parse_json, Json};
+use islaris_obs::store::{
+    open, query_stats_from_json, query_stats_to_json, seal, solver_metrics_from_json,
+    solver_metrics_to_json, u64_json, write_atomic,
+};
+use islaris_obs::{fnv1a, StoreMetrics};
+
+use crate::expr::{Value, Var};
+use crate::sat::SatConfig;
+use crate::session::{CacheEntry, CacheKey};
+use crate::solver::{Model, SmtResult};
+
+/// Magic line of a sealed query entry.
+pub const QUERY_MAGIC: &str = "islaris-store/v1 query";
+
+/// A directory of sealed query entries, one file per cache identity.
+pub struct QueryStore {
+    dir: PathBuf,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    evictions: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+/// The rendered on-disk identity of a query (every field of the
+/// in-memory `CacheKey`, in a stable textual form).
+pub(crate) fn key_render(key: &CacheKey) -> String {
+    format!(
+        "proofs={};conflicts={};sat={:?};text={}",
+        key.check_proofs, key.max_conflicts, key.sat, key.text
+    )
+}
+
+impl QueryStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn open(dir: &Path) -> io::Result<QueryStore> {
+        fs::create_dir_all(dir)?;
+        Ok(QueryStore {
+            dir: dir.to_path_buf(),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The on-disk file holding the entry for a rendered identity.
+    #[must_use]
+    pub fn path_for_render(&self, render: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.query", fnv1a(render.as_bytes())))
+    }
+
+    pub(crate) fn load(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let render = key_render(key);
+        let path = self.path_for_render(&render);
+        let Ok(data) = fs::read_to_string(&path) else {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match decode_entry(&data, key) {
+            Decoded::Entry(entry) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Decoded::OtherKey => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Decoded::Corrupt => {
+                let _ = fs::remove_file(&path);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Seals and atomically writes `entry`. Failures are counted, not
+    /// propagated: persistence must never fail a query.
+    pub(crate) fn save(&self, key: &CacheKey, entry: &CacheEntry) {
+        let render = key_render(key);
+        let sealed = seal(QUERY_MAGIC, &encode_entry(key, entry));
+        if write_atomic(&self.path_for_render(&render), sealed.as_bytes()).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Disk-side traffic counters.
+    #[must_use]
+    pub fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Decoded {
+    Entry(CacheEntry),
+    OtherKey,
+    Corrupt,
+}
+
+fn sat_to_json(s: &SatConfig) -> Json {
+    obj(vec![
+        ("vsids", Json::Bool(s.vsids)),
+        ("phase_saving", Json::Bool(s.phase_saving)),
+        ("luby_restarts", Json::Bool(s.luby_restarts)),
+        ("db_reduction", Json::Bool(s.db_reduction)),
+        ("minimize", Json::Bool(s.minimize)),
+        ("fold", Json::Bool(s.fold)),
+    ])
+}
+
+fn sat_from_json(j: &Json) -> Option<SatConfig> {
+    let field = |k: &str| j.get(k).and_then(Json::as_bool);
+    Some(SatConfig {
+        vsids: field("vsids")?,
+        phase_saving: field("phase_saving")?,
+        luby_restarts: field("luby_restarts")?,
+        db_reduction: field("db_reduction")?,
+        minimize: field("minimize")?,
+        fold: field("fold")?,
+    })
+}
+
+fn result_to_json(r: &SmtResult) -> Json {
+    match r {
+        SmtResult::Unsat => obj(vec![("kind", Json::Str("unsat".into()))]),
+        SmtResult::Unknown(reason) => obj(vec![
+            ("kind", Json::Str("unknown".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+        SmtResult::Sat(model) => {
+            let pairs = model
+                .iter()
+                .map(|(v, val)| {
+                    Json::Arr(vec![Json::Num(f64::from(v.0)), Json::Str(val.to_string())])
+                })
+                .collect();
+            obj(vec![
+                ("kind", Json::Str("sat".into())),
+                ("model", Json::Arr(pairs)),
+            ])
+        }
+    }
+}
+
+/// Inverse of `Value`'s `Display`: `true`/`false`, or a `#x…`/`#b…`
+/// bitvector literal (whose digit count pins the width).
+fn parse_value(s: &str) -> Option<Value> {
+    match s {
+        "true" => Some(Value::Bool(true)),
+        "false" => Some(Value::Bool(false)),
+        _ => s.parse::<Bv>().ok().map(Value::Bits),
+    }
+}
+
+fn result_from_json(j: &Json) -> Option<SmtResult> {
+    match j.get("kind")?.as_str()? {
+        "unsat" => Some(SmtResult::Unsat),
+        "unknown" => Some(SmtResult::Unknown(j.get("reason")?.as_str()?.to_string())),
+        "sat" => {
+            let mut pairs = Vec::new();
+            for p in j.get("model")?.as_array()? {
+                let [v, val] = p.as_array()? else { return None };
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let var = Var(v.as_u64()? as u32);
+                pairs.push((var, parse_value(val.as_str()?)?));
+            }
+            Some(SmtResult::Sat(Model::from_pairs(pairs)))
+        }
+        _ => None,
+    }
+}
+
+fn encode_entry(key: &CacheKey, entry: &CacheEntry) -> String {
+    obj(vec![
+        (
+            "key",
+            obj(vec![
+                ("check_proofs", Json::Bool(key.check_proofs)),
+                ("max_conflicts", u64_json(key.max_conflicts)),
+                ("sat", sat_to_json(&key.sat)),
+                ("text", Json::Str(key.text.clone())),
+            ]),
+        ),
+        ("result", result_to_json(&entry.result)),
+        ("solver_delta", solver_metrics_to_json(&entry.solver_delta)),
+        ("query_delta", query_stats_to_json(&entry.query_delta)),
+    ])
+    .render()
+}
+
+fn decode_entry(data: &str, key: &CacheKey) -> Decoded {
+    let Ok(payload) = open(QUERY_MAGIC, data) else {
+        return Decoded::Corrupt;
+    };
+    let Ok(j) = parse_json(&payload) else {
+        return Decoded::Corrupt;
+    };
+    let Some(stored) = key_from_json(&j) else {
+        return Decoded::Corrupt;
+    };
+    if stored != *key {
+        return Decoded::OtherKey;
+    }
+    let Some(entry) = entry_from_json(&j) else {
+        return Decoded::Corrupt;
+    };
+    Decoded::Entry(entry)
+}
+
+fn key_from_json(j: &Json) -> Option<CacheKey> {
+    let k = j.get("key")?;
+    Some(CacheKey {
+        check_proofs: k.get("check_proofs")?.as_bool()?,
+        max_conflicts: k.get("max_conflicts")?.as_u64()?,
+        sat: sat_from_json(k.get("sat")?)?,
+        text: k.get("text")?.as_str()?.to_string(),
+    })
+}
+
+fn entry_from_json(j: &Json) -> Option<CacheEntry> {
+    Some(CacheEntry {
+        result: result_from_json(j.get("result")?)?,
+        solver_delta: solver_metrics_from_json(j.get("solver_delta")?)?,
+        query_delta: query_stats_from_json(j.get("query_delta")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islaris_obs::{QueryStats, SolverMetrics};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("islaris-qstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_key(text: &str) -> CacheKey {
+        CacheKey {
+            check_proofs: true,
+            max_conflicts: 10_000,
+            sat: SatConfig::default(),
+            text: text.to_string(),
+        }
+    }
+
+    fn sample_entry(result: SmtResult) -> CacheEntry {
+        CacheEntry {
+            result,
+            solver_delta: SolverMetrics {
+                queries: 1,
+                unsat: 1,
+                cnf_clauses: 17,
+                propagations: 23,
+                ..SolverMetrics::default()
+            },
+            query_delta: QueryStats {
+                count: 1,
+                cnf_clauses: 17,
+                propagations: 23,
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    fn assert_entry_eq(a: &CacheEntry, b: &CacheEntry) {
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.solver_delta, b.solver_delta);
+        assert_eq!(a.query_delta, b.query_delta);
+    }
+
+    #[test]
+    fn every_verdict_kind_round_trips() {
+        let dir = tmp_dir("rt");
+        let store = QueryStore::open(&dir).unwrap();
+        let model = Model::from_pairs([
+            (Var(0), Value::Bits(Bv::new(64, 42))),
+            (Var(3), Value::Bool(true)),
+            (Var(7), Value::Bits(Bv::new(1, 1))),
+        ]);
+        let cases = [
+            SmtResult::Unsat,
+            SmtResult::Unknown("conflict budget".to_string()),
+            SmtResult::Sat(model),
+        ];
+        for (i, result) in cases.into_iter().enumerate() {
+            let key = sample_key(&format!("(assert q{i})"));
+            let entry = sample_entry(result);
+            store.save(&key, &entry);
+            let got = store.load(&key).expect("saved entry loads");
+            assert_entry_eq(&got, &entry);
+        }
+        let m = store.metrics();
+        assert_eq!((m.disk_hits, m.disk_misses, m.evictions), (3, 0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_entries_are_evicted() {
+        for (tag, corrupt) in [
+            (
+                "trunc",
+                (|b: &mut Vec<u8>| b.truncate(b.len() / 2)) as fn(&mut Vec<u8>),
+            ),
+            ("flip", |b: &mut Vec<u8>| {
+                let mid = b.len() * 2 / 3;
+                b[mid] ^= 0x08;
+            }),
+        ] {
+            let dir = tmp_dir(tag);
+            let store = QueryStore::open(&dir).unwrap();
+            let key = sample_key("(assert false)");
+            let entry = sample_entry(SmtResult::Unsat);
+            store.save(&key, &entry);
+            let path = store.path_for_render(&key_render(&key));
+            let mut bytes = fs::read(&path).unwrap();
+            corrupt(&mut bytes);
+            fs::write(&path, &bytes).unwrap();
+            assert!(store.load(&key).is_none(), "{tag}: corrupt must miss");
+            assert!(!path.exists(), "{tag}: corrupt entry must be evicted");
+            assert_eq!(store.metrics().evictions, 1, "{tag}");
+            // Recompute-and-save heals.
+            store.save(&key, &entry);
+            assert_entry_eq(&store.load(&key).unwrap(), &entry);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn foreign_valid_entry_is_a_miss_without_eviction() {
+        let dir = tmp_dir("foreign");
+        let store = QueryStore::open(&dir).unwrap();
+        let key = sample_key("(assert a)");
+        store.save(&key, &sample_entry(SmtResult::Unsat));
+        let other = sample_key("(assert b)");
+        // Plant key-a's valid entry at key-b's path (simulated collision).
+        fs::rename(
+            store.path_for_render(&key_render(&key)),
+            store.path_for_render(&key_render(&other)),
+        )
+        .unwrap();
+        assert!(store.load(&other).is_none(), "key mismatch is a miss");
+        assert!(
+            store.path_for_render(&key_render(&other)).exists(),
+            "a valid foreign entry is not evicted"
+        );
+        assert_eq!(store.metrics().evictions, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_configurations_have_distinct_addresses() {
+        let a = sample_key("(assert x)");
+        let mut b = a.clone();
+        b.check_proofs = false;
+        let mut c = a.clone();
+        c.sat = c.sat.without("vsids").unwrap();
+        assert_ne!(key_render(&a), key_render(&b));
+        assert_ne!(key_render(&a), key_render(&c));
+    }
+}
