@@ -159,6 +159,77 @@ wait "$serve_pid" || { echo "server exited nonzero after warm run"; exit 1; }
 grep -Eq '"disk_hits":[1-9]' "$profile_out/warmstats/0000.body" \
     || { echo "warm restart registered no disk hits"; exit 1; }
 
+echo "== fig12 observability smoke (metrics exposition, trace journal,"
+echo "   structured event log; bodies stay deterministic with all of it on) =="
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --gen-requests "$profile_out/reqs100.json" --count 100
+rm -f "$profile_out/port"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --serve 0 --store "$profile_out/store" --port-file "$profile_out/port" \
+    --log "$profile_out/events.jsonl" &
+serve_pid=$!
+for _ in $(seq 1 200); do [ -s "$profile_out/port" ] && break; sleep 0.1; done
+[ -s "$profile_out/port" ] || { echo "server did not start"; exit 1; }
+addr="127.0.0.1:$(cat "$profile_out/port")"
+# Mixed workload bracketed by two /metrics scrapes: --metrics-delta
+# parses both expositions (failing on a malformed one) and appends the
+# server-side delta report as the last output line. 100 workload
+# requests + the closing scrape itself = a delta of exactly 101.
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/reqs100.json" --addr "$addr" --clients 4 \
+    --metrics-delta > "$profile_out/obs.txt"
+tail -n 1 "$profile_out/obs.txt" > "$profile_out/delta.json"
+grep -q '"requests":101' "$profile_out/delta.json" \
+    || { echo "metrics delta did not count the replay"; exit 1; }
+grep -q '"unknown-case":' "$profile_out/delta.json" \
+    || { echo "metrics delta missed the error-probe counters"; exit 1; }
+grep -q '"p90_le":' "$profile_out/delta.json" \
+    || { echo "metrics delta has no latency quantiles"; exit 1; }
+# A raw scrape must expose every typed error kind, the latency
+# histograms, and the persistent-store gauges.
+printf '%s' '{"schema":"islaris-replay/v1","requests":[{"method":"GET","path":"/metrics","body":""},{"method":"GET","path":"/trace","body":""}]}' \
+    > "$profile_out/obs_reqs.json"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/obs_reqs.json" --addr "$addr" \
+    --dump "$profile_out/obsdump" > /dev/null
+for kind in malformed-request head-too-large body-too-large truncated-body \
+            invalid-json bad-request unknown-case bad-opcode deadline-exceeded \
+            overloaded internal unknown-path method-not-allowed; do
+    grep -q "islaris_errors_total{kind=\"$kind\"}" "$profile_out/obsdump/0000.body" \
+        || { echo "error kind $kind missing from /metrics"; exit 1; }
+done
+grep -q 'islaris_request_wall_ns_bucket{le="' "$profile_out/obsdump/0000.body" \
+    || { echo "latency histogram missing from /metrics"; exit 1; }
+grep -q 'islaris_store_disk_hits{store="traces"}' "$profile_out/obsdump/0000.body" \
+    || { echo "disk-store gauges missing from /metrics"; exit 1; }
+# Fetch one journaled request's Chrome trace and validate it with the
+# in-tree JSON validator (fig12 --check-json).
+trace_id=$(grep -o '"trace":"[0-9a-f]\{16\}"' "$profile_out/obsdump/0001.body" \
+    | tail -n 1 | cut -d'"' -f4)
+[ -n "$trace_id" ] || { echo "journal index has no trace ids"; exit 1; }
+printf '{"schema":"islaris-replay/v1","requests":[{"method":"GET","path":"/trace/%s","body":""}]}' \
+    "$trace_id" > "$profile_out/trace_one.json"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/trace_one.json" --addr "$addr" \
+    --dump "$profile_out/tracedump" > /dev/null
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --check-json "$profile_out/tracedump/0000.body"
+grep -q '"ph":"X"' "$profile_out/tracedump/0000.body" \
+    || { echo "chrome trace has no span events"; exit 1; }
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --replay "$profile_out/stats_shutdown.json" --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "server exited nonzero after observability run"; exit 1; }
+# Every event-log line must re-parse with the in-tree JSON parser, and
+# the full request lifecycle must be present.
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --check-log "$profile_out/events.jsonl"
+for kind in server-start accept request enqueue dequeue execute respond server-stop; do
+    grep -q "\"kind\":\"$kind\"" "$profile_out/events.jsonl" \
+        || { echo "event log missing lifecycle kind $kind"; exit 1; }
+done
+grep -q '"error":"unknown-case"' "$profile_out/events.jsonl" \
+    || { echo "event log did not record the error probe"; exit 1; }
+
 echo "== solver fuzzer smoke (differential CDCL configs on random CNF; full"
 echo "   256-case run lives in the workspace test step, this pins the gate) =="
 ISLARIS_PT_CASES=32 cargo test --release -q --offline -p islaris-smt --test sat_fuzz

@@ -54,7 +54,9 @@
 use std::process::exit;
 use std::sync::Arc;
 
-use islaris_bench::replay::{gen_requests, parse_requests, render_requests, replay};
+use islaris_bench::replay::{
+    gen_requests, metrics_delta_report, parse_requests, render_requests, replay, scrape_metrics,
+};
 use islaris_bench::serve::{ServeConfig, Server};
 use islaris_bench::{compare, parse_bench_json, samples_to_json, BenchEnv};
 use islaris_cases::{
@@ -62,6 +64,7 @@ use islaris_cases::{
     CaseOutcome, ALL_CASES,
 };
 use islaris_isla::TraceCache;
+use islaris_obs::json::parse_json;
 use islaris_obs::{profiles_to_json, render_profiles, render_proof_trace, validate_json, Recorder};
 use islaris_smt::{QueryCache, SatConfig};
 
@@ -76,9 +79,11 @@ fn usage() -> ! {
          [--solver-cache on|off]] \
          [--difftest [--seed S] [--budget N] [--jobs N]] \
          [--serve PORT [--store DIR] [--workers N] [--queue-cap N] [--deadline-ms N] \
-         [--port-file PATH]] \
-         [--replay REQS.json --addr HOST:PORT [--clients N] [--json PATH] [--dump DIR]] \
-         [--gen-requests PATH [--count N]]"
+         [--port-file PATH] [--log PATH] [--trace-journal N]] \
+         [--replay REQS.json --addr HOST:PORT [--clients N] [--json PATH] [--dump DIR] \
+         [--metrics-delta]] \
+         [--gen-requests PATH [--count N]] \
+         [--check-log PATH] [--check-json PATH]"
     );
     exit(2);
 }
@@ -387,6 +392,17 @@ fn serve(args: &[String]) {
                 port_file = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
+            "--log" => {
+                cfg.log_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()).into());
+                i += 2;
+            }
+            "--trace-journal" => {
+                cfg.trace_journal = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -415,12 +431,17 @@ fn replay_mode(args: &[String]) {
     let mut clients = 1;
     let mut json_path: Option<String> = None;
     let mut dump_dir: Option<String> = None;
+    let mut metrics_delta = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => {
                 addr = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
+            }
+            "--metrics-delta" => {
+                metrics_delta = true;
+                i += 1;
             }
             "--clients" => {
                 clients = args
@@ -449,6 +470,12 @@ fn replay_mode(args: &[String]) {
         eprintln!("parsing {reqs_path}: {e}");
         exit(2);
     });
+    let before = metrics_delta.then(|| {
+        scrape_metrics(&addr).unwrap_or_else(|e| {
+            eprintln!("scraping {addr}/metrics before the replay: {e}");
+            exit(1);
+        })
+    });
     let outcome = replay(&addr, &reqs, clients).unwrap_or_else(|e| {
         eprintln!("replay against {addr}: {e}");
         exit(1);
@@ -456,6 +483,13 @@ fn replay_mode(args: &[String]) {
     print!("{}", outcome.stable_report());
     let telemetry = outcome.telemetry().render();
     println!("{telemetry}");
+    if let Some(before) = before {
+        let after = scrape_metrics(&addr).unwrap_or_else(|e| {
+            eprintln!("scraping {addr}/metrics after the replay: {e}");
+            exit(1);
+        });
+        println!("{}", metrics_delta_report(&before, &after).render());
+    }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, &telemetry) {
             eprintln!("writing {path}: {e}");
@@ -503,6 +537,45 @@ fn gen_requests_mode(args: &[String]) {
         exit(1);
     }
     println!("wrote {count} requests to {path}");
+}
+
+/// Validates a `--log` JSONL file: every non-empty line must re-parse
+/// with the in-tree JSON parser and carry a `kind` field.
+fn check_log(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        exit(2);
+    });
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let j = parse_json(line).unwrap_or_else(|(off, msg)| {
+            eprintln!("{path}:{}: byte {off}: {msg}", i + 1);
+            exit(1);
+        });
+        if j.get("kind").is_none() {
+            eprintln!("{path}:{}: event has no `kind` field", i + 1);
+            exit(1);
+        }
+        n += 1;
+    }
+    println!("{path}: {n} JSONL event(s), all parse");
+}
+
+/// Validates that a file is one well-formed JSON document (used by the
+/// CI smoke on `GET /trace/<id>` bodies).
+fn check_json(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        exit(2);
+    });
+    if let Err((off, msg)) = validate_json(&text) {
+        eprintln!("{path}: invalid JSON at byte {off}: {msg}");
+        exit(1);
+    }
+    println!("{path}: valid JSON");
 }
 
 fn main() {
@@ -681,6 +754,14 @@ fn main() {
         Some("--serve") => serve(&args),
         Some("--replay") => replay_mode(&args),
         Some("--gen-requests") => gen_requests_mode(&args),
+        Some("--check-log") => {
+            let Some(path) = args.get(1) else { usage() };
+            check_log(path);
+        }
+        Some("--check-json") => {
+            let Some(path) = args.get(1) else { usage() };
+            check_json(path);
+        }
         Some(_) => usage(),
     }
 }

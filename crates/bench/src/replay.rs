@@ -21,6 +21,7 @@
 //! over the bundled Fig. 12 corpus — the input for the ci.sh smoke and
 //! the committed bench baselines.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -30,6 +31,9 @@ use islaris_cases::ALL_CASES;
 use islaris_obs::fnv1a;
 use islaris_obs::http::{read_response, write_request};
 use islaris_obs::json::{obj, parse_json, Json};
+use islaris_obs::metrics::{
+    family_deltas, histogram_delta, parse_exposition, quantile_from_counts, sample_delta,
+};
 use islaris_obs::store::u64_json;
 
 use crate::summarize;
@@ -288,6 +292,71 @@ impl ReplayOutcome {
     }
 }
 
+/// Scrapes `GET /metrics` from a running server and parses the text
+/// exposition into `sample-name -> value`.
+///
+/// # Errors
+///
+/// Connection or framing failures, a non-200 answer, or an exposition
+/// the parser rejects.
+pub fn scrape_metrics(addr: &str) -> io::Result<BTreeMap<String, u64>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    write_request(&mut writer, "GET", "/metrics", &[], b"")?;
+    let resp = read_response(&mut reader)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    if resp.status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("GET /metrics answered {}", resp.status),
+        ));
+    }
+    let text = String::from_utf8(resp.body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "exposition is not UTF-8"))?;
+    parse_exposition(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// The server-side delta between two `/metrics` scrapes bracketing a
+/// replay: requests and responses-by-status, error kinds that fired,
+/// and the request-latency histogram's quantiles over exactly the
+/// bracketed interval. The p50/p90 here use the same nearest-rank rule
+/// as [`summarize`], so they agree with the client-side telemetry up to
+/// bucket resolution (`max` is the delta's `+Inf`-aware upper bound).
+#[must_use]
+pub fn metrics_delta_report(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> Json {
+    let fam = |name: &str| -> Json {
+        Json::Obj(
+            family_deltas(before, after, name)
+                .into_iter()
+                .map(|(k, v)| (k, u64_json(v)))
+                .collect(),
+        )
+    };
+    let hist = histogram_delta(before, after, "islaris_request_wall_ns");
+    let q = |num, den| match quantile_from_counts(&hist, num, den) {
+        Some(v) => u64_json(v),
+        None => Json::Null,
+    };
+    obj(vec![
+        (
+            "requests",
+            u64_json(sample_delta(before, after, "islaris_requests_total")),
+        ),
+        ("responses", fam("islaris_responses_total")),
+        ("errors", fam("islaris_errors_total")),
+        (
+            "request_wall_ns",
+            obj(vec![
+                ("count", u64_json(hist.iter().sum())),
+                ("p50_le", q(1, 2)),
+                ("p90_le", q(9, 10)),
+                ("max_le", q(1, 1)),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +378,43 @@ mod tests {
         // Error probes are present in a 40-request mix.
         assert!(reqs.iter().any(|r| r.body.contains("no-such-case")));
         assert!(reqs.iter().any(|r| r.body == "{not json"));
+    }
+
+    #[test]
+    fn metrics_delta_report_subtracts_scrapes() {
+        let before = parse_exposition(
+            "islaris_requests_total 10\n\
+             islaris_responses_total{status=\"200\"} 8\n\
+             islaris_errors_total{kind=\"invalid-json\"} 2\n\
+             islaris_request_wall_ns_bucket{le=\"100\"} 10\n\
+             islaris_request_wall_ns_bucket{le=\"+Inf\"} 10\n",
+        )
+        .unwrap();
+        let after = parse_exposition(
+            "islaris_requests_total 14\n\
+             islaris_responses_total{status=\"200\"} 11\n\
+             islaris_responses_total{status=\"404\"} 1\n\
+             islaris_errors_total{kind=\"invalid-json\"} 2\n\
+             islaris_errors_total{kind=\"unknown-case\"} 1\n\
+             islaris_request_wall_ns_bucket{le=\"100\"} 13\n\
+             islaris_request_wall_ns_bucket{le=\"500\"} 14\n\
+             islaris_request_wall_ns_bucket{le=\"+Inf\"} 14\n",
+        )
+        .unwrap();
+        let d = metrics_delta_report(&before, &after);
+        assert_eq!(d.get("requests").and_then(Json::as_u64), Some(4));
+        let resp = d.get("responses").unwrap();
+        assert_eq!(resp.get("200").and_then(Json::as_u64), Some(3));
+        assert_eq!(resp.get("404").and_then(Json::as_u64), Some(1));
+        let errs = d.get("errors").unwrap();
+        assert_eq!(errs.get("invalid-json"), None, "zero delta skipped");
+        assert_eq!(errs.get("unknown-case").and_then(Json::as_u64), Some(1));
+        let h = d.get("request_wall_ns").unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(4));
+        // 4 samples: ranks 2/4/4 -> buckets 100/500/500.
+        assert_eq!(h.get("p50_le").and_then(Json::as_u64), Some(100));
+        assert_eq!(h.get("p90_le").and_then(Json::as_u64), Some(500));
+        assert_eq!(h.get("max_le").and_then(Json::as_u64), Some(500));
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! `error` kind), and the server keeps serving afterwards — no panic, no
 //! poisoned worker, the very next request succeeds.
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 
+use islaris_bench::replay::scrape_metrics;
 use islaris_bench::serve::{ServeConfig, Server};
 use islaris_obs::http::{read_response, write_request};
 use islaris_obs::json::{parse_json, Json};
+use islaris_obs::metrics::{family_deltas, sample_delta};
 
 fn start() -> Server {
     Server::start(&ServeConfig::default()).expect("server starts")
@@ -51,6 +54,20 @@ fn error_kind(body: &str) -> String {
 fn assert_alive(port: u16) {
     let (status, body) = rpc(port, "GET", "/health", "");
     assert_eq!((status, body.contains("true")), (200, true));
+}
+
+/// One parsed `/metrics` scrape.
+fn metrics(port: u16) -> BTreeMap<String, u64> {
+    scrape_metrics(&format!("127.0.0.1:{port}")).expect("scrape /metrics")
+}
+
+/// The per-kind error-counter delta between two scrapes.
+fn kind_delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>, kind: &str) -> u64 {
+    sample_delta(
+        before,
+        after,
+        &format!("islaris_errors_total{{kind=\"{kind}\"}}"),
+    )
 }
 
 #[test]
@@ -176,9 +193,22 @@ fn each_fault_gets_its_own_typed_error_and_the_server_survives() {
         ),
     ];
     for (label, method, path, body, want_status, want_kind) in table {
+        let before = metrics(port);
         let (status, reply) = rpc(port, method, path, body);
         assert_eq!(status, *want_status, "{label}: body {reply}");
         assert_eq!(error_kind(&reply), *want_kind, "{label}");
+        // Exactly this fault's counter moved, by exactly one.
+        let after = metrics(port);
+        assert_eq!(
+            kind_delta(&before, &after, want_kind),
+            1,
+            "{label}: /metrics counter for `{want_kind}`"
+        );
+        assert_eq!(
+            family_deltas(&before, &after, "islaris_errors_total"),
+            vec![(want_kind.to_string(), 1)],
+            "{label}: no other error kind may move"
+        );
         assert_alive(port);
     }
 
@@ -202,42 +232,119 @@ fn framing_faults_are_typed_and_scoped_to_their_connection() {
     let port = server.port();
 
     // Malformed request line.
+    let before = metrics(port);
     let reply = raw(port, b"GARBAGE\r\n\r\n");
     assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
     assert!(reply.contains("malformed-request"), "{reply}");
+    assert_eq!(kind_delta(&before, &metrics(port), "malformed-request"), 1);
     assert_alive(port);
 
     // Lowercase method (not a valid token per our framing).
+    let before = metrics(port);
     let reply = raw(port, b"get /health HTTP/1.1\r\n\r\n");
     assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert_eq!(kind_delta(&before, &metrics(port), "malformed-request"), 1);
     assert_alive(port);
 
     // Oversized head: one header row larger than the 16 KiB budget.
     let mut big = Vec::from(&b"GET /health HTTP/1.1\r\nx-pad: "[..]);
     big.extend(std::iter::repeat(b'a').take(20 * 1024));
     big.extend(b"\r\n\r\n");
+    let before = metrics(port);
     let reply = raw(port, &big);
     assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
     assert!(reply.contains("head-too-large"), "{reply}");
+    assert_eq!(kind_delta(&before, &metrics(port), "head-too-large"), 1);
     assert_alive(port);
 
     // Declared body over the 4 MiB budget (no need to send it).
+    let before = metrics(port);
     let reply = raw(
         port,
         b"POST /verify HTTP/1.1\r\ncontent-length: 8388608\r\n\r\n",
     );
     assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
     assert!(reply.contains("body-too-large"), "{reply}");
+    assert_eq!(kind_delta(&before, &metrics(port), "body-too-large"), 1);
     assert_alive(port);
 
     // Truncated body: promise 100 bytes, deliver 9, close.
+    let before = metrics(port);
     let reply = raw(
         port,
         b"POST /verify HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"kind\":1",
     );
     assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
     assert!(reply.contains("truncated-body"), "{reply}");
+    assert_eq!(kind_delta(&before, &metrics(port), "truncated-body"), 1);
     assert_alive(port);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn faulted_requests_never_take_a_trace_journal_slot() {
+    let server = start();
+    let port = server.port();
+    let journal_entries = |port: u16| -> Vec<Json> {
+        let (status, body) = rpc(port, "GET", "/trace", "");
+        assert_eq!(status, 200, "{body}");
+        parse_json(&body)
+            .expect("journal index parses")
+            .get("entries")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .expect("journal index has entries")
+    };
+    assert!(journal_entries(port).is_empty());
+
+    // Framing and validation faults: typed answers, no journal slots.
+    let _ = raw(port, b"GARBAGE\r\n\r\n");
+    let _ = rpc(port, "POST", "/verify", "{not json");
+    let _ = rpc(
+        port,
+        "POST",
+        "/verify",
+        "{\"kind\":\"case\",\"slug\":\"no-such-case\"}",
+    );
+    let _ = rpc(port, "GET", "/nope", "");
+    let _ = rpc(port, "GET", "/trace/not-hex-at-all", "");
+    assert!(
+        journal_entries(port).is_empty(),
+        "faults must not journal — the journal records work, not noise"
+    );
+
+    // A pool job journals, and its trace serves as valid Chrome JSON
+    // including the pool-recorded queue-wait span.
+    let (status, _) = rpc(
+        port,
+        "POST",
+        "/verify",
+        "{\"kind\":\"trace\",\"arch\":\"riscv\",\"opcode\":\"0x00150513\"}",
+    );
+    assert_eq!(status, 200);
+    let entries = journal_entries(port);
+    assert_eq!(entries.len(), 1);
+    let id = entries[0]
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("index rows carry the trace id")
+        .to_string();
+    let (status, body) = rpc(port, "GET", &format!("/trace/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    islaris_obs::validate_json(&body).expect("chrome trace is valid JSON");
+    assert!(body.contains("\"queue-wait\""), "{body}");
+    assert!(body.contains("\"exec\""), "{body}");
+    assert!(
+        body.contains("\"label\":\"trace:rv64i:0x00150513\""),
+        "{body}"
+    );
+
+    // An unknown (but well-formed) id is a typed 404.
+    let (status, body) = rpc(port, "GET", "/trace/ffffffffffffffff", "");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind(&body), "unknown-path");
 
     server.stop();
     server.join();

@@ -8,7 +8,7 @@ use std::io::BufReader;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 
-use islaris_bench::replay::{gen_requests, replay, ReplayOutcome};
+use islaris_bench::replay::{gen_requests, replay, scrape_metrics, ReplayOutcome};
 use islaris_bench::serve::{ServeConfig, Server};
 use islaris_obs::http::{read_response, write_request};
 use islaris_obs::json::{parse_json, Json};
@@ -70,6 +70,16 @@ fn warm_restart_answers_byte_identically_with_disk_hits() {
         counter(&s, "trace_cache", "disk_misses") > 0,
         "cold run populates"
     );
+    // The scheduling gauges are part of /stats; idle after the replay,
+    // both sit at zero.
+    for gauge in ["queued", "in_flight"] {
+        assert_eq!(
+            s.get(gauge).and_then(Json::as_u64),
+            Some(0),
+            "missing or busy gauge `{gauge}` in {}",
+            s.render()
+        );
+    }
     cold_server.stop();
     cold_server.join();
 
@@ -88,6 +98,25 @@ fn warm_restart_answers_byte_identically_with_disk_hits() {
         "queries warm too"
     );
     assert_eq!(counter(&s, "trace_cache", "evictions"), 0);
+
+    // The same disk-store counters are exposed as labelled gauges in
+    // /metrics — and the warm restart moved them.
+    let m = scrape_metrics(&format!("127.0.0.1:{}", warm_server.port())).expect("scrape");
+    assert!(
+        m["islaris_store_disk_hits{store=\"traces\"}"] > 0,
+        "trace-store disk hits must show in /metrics"
+    );
+    assert!(
+        m["islaris_store_disk_hits{store=\"queries\"}"] > 0,
+        "query-store disk hits must show in /metrics"
+    );
+    assert_eq!(m["islaris_store_evictions{store=\"traces\"}"], 0);
+    assert_eq!(m["islaris_queue_depth"], 0, "idle after the replay");
+    assert_eq!(m["islaris_in_flight"], 0, "idle after the replay");
+    assert!(
+        m["islaris_request_wall_ns_count"] > 0,
+        "latency histogram observed the replay"
+    );
     warm_server.stop();
     warm_server.join();
 

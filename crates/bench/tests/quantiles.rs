@@ -1,0 +1,103 @@
+//! Pins the agreement between the daemon's latency histograms
+//! ([`islaris_obs::metrics::Histogram`]) and the bench harness's
+//! nearest-rank order statistics ([`islaris_bench::summarize`]): both
+//! use the rank `(num * n).div_ceil(den) - 1`, so on samples that sit
+//! exactly on bucket bounds the histogram's p50/p90 equal summarize's
+//! median/p90 *exactly*, and on arbitrary samples they equal the bucket
+//! upper bound of the same ranked sample. The replay `--metrics-delta`
+//! report leans on this: its quantiles and the client-side telemetry
+//! describe the same distribution at bucket resolution.
+
+use islaris_bench::summarize;
+use islaris_obs::metrics::{bucket_le, quantile_from_counts, Histogram, BUCKETS};
+
+/// The histogram's answer for one quantile over `samples`.
+fn hist_quantile(samples: &[u64], num: u64, den: u64) -> u64 {
+    let h = Histogram::default();
+    for &s in samples {
+        h.observe(s);
+    }
+    h.quantile(num, den).expect("non-empty histogram")
+}
+
+#[test]
+fn on_bucket_bounds_histogram_quantiles_equal_summarize_exactly() {
+    // Every sample is a bucket bound, so the bucket upper bound of the
+    // ranked sample IS the ranked sample: exact agreement.
+    let cases: [&[u64]; 4] = [
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        &[10, 20, 30, 40, 50],
+        &[100, 100, 200, 700, 700, 900, 3_000],
+        &[5, 5_000, 5_000_000, 5_000_000_000],
+    ];
+    for samples in cases {
+        let (_, median, p90, max, _) = summarize(samples);
+        assert_eq!(hist_quantile(samples, 1, 2), median, "p50 on {samples:?}");
+        assert_eq!(hist_quantile(samples, 9, 10), p90, "p90 on {samples:?}");
+        assert_eq!(hist_quantile(samples, 1, 1), max, "max on {samples:?}");
+    }
+}
+
+#[test]
+fn off_bound_samples_agree_at_bucket_resolution() {
+    // Arbitrary samples: the histogram answers the bucket upper bound
+    // of the exact ranked sample summarize picks.
+    let samples: &[u64] = &[17, 23, 23, 148, 1_033, 56_789, 999_999, 4_100_000];
+    let (_, median, p90, _, _) = summarize(samples);
+    assert_eq!(hist_quantile(samples, 1, 2), bucket_le(median).unwrap());
+    assert_eq!(hist_quantile(samples, 9, 10), bucket_le(p90).unwrap());
+}
+
+#[test]
+fn single_sample_all_quantiles_collapse_to_it() {
+    let samples: &[u64] = &[400];
+    let (min, median, p90, max, mad) = summarize(samples);
+    assert_eq!((min, median, p90, max, mad), (400, 400, 400, 400, 0));
+    assert_eq!(hist_quantile(samples, 1, 2), 400);
+    assert_eq!(hist_quantile(samples, 9, 10), 400);
+    assert_eq!(hist_quantile(samples, 1, 1), 400);
+}
+
+#[test]
+fn all_equal_samples_have_degenerate_quantiles() {
+    let samples: Vec<u64> = vec![7_000; 31];
+    let (min, median, p90, max, mad) = summarize(&samples);
+    assert_eq!(
+        (min, median, p90, max, mad),
+        (7_000, 7_000, 7_000, 7_000, 0)
+    );
+    assert_eq!(hist_quantile(&samples, 1, 2), 7_000);
+    assert_eq!(hist_quantile(&samples, 9, 10), 7_000);
+    assert_eq!(hist_quantile(&samples, 1, 1), 7_000);
+}
+
+#[test]
+fn overflow_samples_answer_the_tracked_max() {
+    // Beyond the last bound there is no bucket upper bound; the
+    // histogram tracks the exact max and answers it for overflow ranks.
+    let top = *BUCKETS.last().unwrap();
+    let samples: &[u64] = &[10, top + 5];
+    assert_eq!(hist_quantile(samples, 1, 1), top + 5);
+    let (_, _, _, max, _) = summarize(samples);
+    assert_eq!(max, top + 5);
+}
+
+#[test]
+fn quantile_from_counts_matches_the_live_histogram() {
+    // The replay delta path reconstructs bucket counts from scraped
+    // expositions and runs `quantile_from_counts`; it must answer the
+    // same as the live histogram (for in-range samples).
+    let samples: &[u64] = &[30, 30, 90, 200, 200, 200, 6_000];
+    let h = Histogram::default();
+    for &s in samples {
+        h.observe(s);
+    }
+    let counts = h.bucket_counts();
+    for (num, den) in [(1, 2), (9, 10)] {
+        assert_eq!(
+            quantile_from_counts(&counts, num, den),
+            h.quantile(num, den),
+            "quantile {num}/{den}"
+        );
+    }
+}

@@ -189,6 +189,13 @@ type PoolTask = Box<dyn FnOnce(bool) + Send>;
 
 struct QueuedJob {
     deadline: Option<Instant>,
+    /// When the job entered the queue; with a recorder attached the
+    /// worker turns this into the `queue-wait` span at claim time.
+    enqueued_at: Instant,
+    /// Per-request span sink threaded through the pool by the service
+    /// (`None` = no clocks are read for this job beyond the deadline
+    /// check the scheduler does anyway).
+    recorder: Option<Arc<Recorder>>,
     run: PoolTask,
 }
 
@@ -200,6 +207,9 @@ struct PoolShared {
     /// Jobs whose closure panicked (the worker survives; the counter is
     /// the observable trace of the isolation).
     panics: AtomicUsize,
+    /// Jobs claimed by a worker and not yet finished — the service
+    /// in-flight gauge ([`WorkerPool::in_flight`]).
+    in_flight: AtomicUsize,
 }
 
 /// A long-lived bounded work queue for the verification service: `N`
@@ -260,6 +270,28 @@ impl WorkerPool {
         deadline: Option<Instant>,
         run: impl FnOnce(bool) + Send + 'static,
     ) -> Result<(), SubmitError> {
+        self.try_submit_traced(deadline, None, run)
+    }
+
+    /// [`WorkerPool::try_submit`] with a per-job span sink threaded
+    /// through the scheduler: at claim time the worker records a
+    /// `queue-wait` span (submit → dequeue, category `pool`) into
+    /// `recorder`, attributed to the worker's logical tid. The job body
+    /// records its own `exec` span *before* publishing its result, so a
+    /// submitter that reads the recorder after the answer arrives sees
+    /// every span (the queue-wait span is recorded before the closure
+    /// runs for the same reason).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when `cap` jobs are already waiting,
+    /// [`SubmitError::ShuttingDown`] after [`WorkerPool::shutdown`].
+    pub fn try_submit_traced(
+        &self,
+        deadline: Option<Instant>,
+        recorder: Option<Arc<Recorder>>,
+        run: impl FnOnce(bool) + Send + 'static,
+    ) -> Result<(), SubmitError> {
         if self.shared.stopping.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -273,6 +305,8 @@ impl WorkerPool {
         }
         queue.push_back(QueuedJob {
             deadline,
+            enqueued_at: Instant::now(),
+            recorder,
             run: Box::new(run),
         });
         drop(queue);
@@ -288,6 +322,12 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
+    }
+
+    /// Jobs claimed by a worker and not yet finished.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// Number of jobs whose closure panicked (each was isolated; every
@@ -343,11 +383,17 @@ fn worker_loop(shared: &PoolShared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let claimed_at = Instant::now();
+        let expired = job.deadline.is_some_and(|d| claimed_at >= d);
+        if let Some(rec) = &job.recorder {
+            rec.record_between("queue-wait", "pool", job.enqueued_at, claimed_at);
+        }
         let run = job.run;
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         if catch_unwind(AssertUnwindSafe(move || run(expired))).is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
         }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -554,6 +600,51 @@ mod tests {
                 .unwrap();
         }
         assert!(!slot2.wait());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_traced_submit_records_queue_wait_before_the_job_runs() {
+        let pool = WorkerPool::new(1, 4);
+        let rec = Arc::new(Recorder::new());
+        let slot = JobSlot::<usize>::new();
+        {
+            let slot = slot.clone();
+            let rec2 = Arc::clone(&rec);
+            pool.try_submit_traced(None, Some(Arc::clone(&rec)), move |_| {
+                // The queue-wait span is visible from inside the job:
+                // the worker records it before invoking the closure.
+                let names: Vec<String> = rec2.spans().into_iter().map(|s| s.name).collect();
+                assert_eq!(names, vec!["queue-wait".to_string()]);
+                slot.fill(7);
+            })
+            .unwrap();
+        }
+        assert_eq!(slot.wait(), 7);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cat, "pool");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_tracks_in_flight_jobs() {
+        let pool = WorkerPool::new(1, 4);
+        assert_eq!(pool.in_flight(), 0);
+        let gate = JobSlot::<()>::new();
+        let started = JobSlot::<()>::new();
+        {
+            let gate = gate.clone();
+            let started = started.clone();
+            pool.try_submit(None, move |_| {
+                started.fill(());
+                gate.wait();
+            })
+            .unwrap();
+        }
+        started.wait();
+        assert_eq!(pool.in_flight(), 1, "blocked job counts as in flight");
+        gate.fill(());
         pool.shutdown();
     }
 

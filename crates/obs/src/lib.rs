@@ -23,7 +23,9 @@ use std::time::Instant;
 
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod store;
+pub mod trace;
 
 pub use json::{parse_json, Json};
 
@@ -886,25 +888,35 @@ impl Recorder {
     /// / Perfetto "JSON Array with metadata" format, complete `X` events).
     #[must_use]
     pub fn chrome_trace(&self) -> String {
-        let spans = self.spans();
-        let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, sp) in spans.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":1,\"tid\":{}}}",
-                escape_json(&sp.name),
-                escape_json(sp.cat),
-                sp.ts_us,
-                sp.dur_us,
-                sp.tid
-            ));
-        }
-        s.push_str("]}");
-        s
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":{}}}",
+            chrome_trace_events(&self.spans())
+        )
     }
+}
+
+/// Renders spans as a Chrome trace-event JSON *array* (complete `X`
+/// events, pid 1) — the shared core of [`Recorder::chrome_trace`] and
+/// the per-request export in [`trace`].
+#[must_use]
+pub fn chrome_trace_events(spans: &[SpanRecord]) -> String {
+    let mut s = String::from("[");
+    for (i, sp) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{}}}",
+            escape_json(&sp.name),
+            escape_json(sp.cat),
+            sp.ts_us,
+            sp.dur_us,
+            sp.tid
+        ));
+    }
+    s.push(']');
+    s
 }
 
 impl SpanSink for Recorder {
@@ -948,7 +960,13 @@ fn us_between(earlier: Instant, later: Instant) -> u64 {
 fn current_tid() -> u32 {
     std::thread::current()
         .name()
-        .and_then(|n| n.strip_prefix("islaris-worker-"))
+        .and_then(|n| {
+            // Batch-scheduler helpers and resident pool workers both get
+            // a stable logical id; anything else (main, connection
+            // threads) is tid 0.
+            n.strip_prefix("islaris-worker-")
+                .or_else(|| n.strip_prefix("islaris-pool-"))
+        })
         .and_then(|n| n.parse().ok())
         .unwrap_or(0)
 }

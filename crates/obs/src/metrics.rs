@@ -1,0 +1,641 @@
+//! An in-tree, std-only metrics layer for the verification service:
+//! monotonic [`Counter`]s, [`Gauge`]s, and log-linear latency
+//! [`Histogram`]s over integer nanoseconds, collected in a [`Registry`]
+//! that renders a Prometheus-style text exposition (`GET /metrics`).
+//!
+//! ## Quantile contract
+//!
+//! Histogram quantiles use the **same nearest-rank rule** as
+//! `bench::summarize` (`p = sorted[(num * n).div_ceil(den) - 1]`; for
+//! `num/den = 1/2` this is exactly `sorted[(n - 1) / 2]`, the summarize
+//! median). A histogram answers with the *upper bound of the bucket*
+//! holding that rank, so on samples that sit exactly on bucket bounds
+//! the two agree to the byte, and on arbitrary samples they agree at
+//! bucket resolution ([`bucket_le`] of the exact answer). The bucket
+//! layout is log-linear base 10: bounds `m * 10^d` for `m in 1..=9`,
+//! twelve decades (1 ns up to 1000 s), plus a `+Inf` overflow bucket —
+//! at most 11% relative rounding anywhere in the range.
+//!
+//! ## Exposition format
+//!
+//! The classic text format, restricted to what we emit: `# HELP` /
+//! `# TYPE` comment lines, then `name value` or `name{label="v"} value`
+//! samples with non-negative integer values. Histograms render the
+//! conventional cumulative `_bucket{le="..."}` series (zero-count
+//! buckets are skipped; `+Inf`, `_sum` and `_count` always appear).
+//! [`parse_exposition`] reads the same dialect back — the replay bench
+//! scrapes `/metrics` before and after a run and reports the delta.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Histogram bucket upper bounds (inclusive), log-linear base 10:
+/// `1..=9` scaled by every decade from `10^0` to `10^11`, closed with
+/// `10^12` (1000 s). Values above the last bound land in `+Inf`.
+pub const BUCKETS: [u64; 109] = build_buckets();
+
+const fn build_buckets() -> [u64; 109] {
+    let mut out = [0u64; 109];
+    let mut i = 0;
+    let mut scale: u64 = 1;
+    let mut decade = 0;
+    while decade < 12 {
+        let mut m: u64 = 1;
+        while m <= 9 {
+            out[i] = m * scale;
+            i += 1;
+            m += 1;
+        }
+        scale *= 10;
+        decade += 1;
+    }
+    out[i] = scale;
+    out
+}
+
+/// Index of the bucket holding `v`: the first bound `>= v`, or
+/// `BUCKETS.len()` for the `+Inf` overflow bucket.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    BUCKETS.partition_point(|&b| b < v)
+}
+
+/// The inclusive upper bound of the bucket holding `v` (`None` = the
+/// `+Inf` overflow bucket). This is the resolution at which histogram
+/// quantiles agree with exact nearest-rank quantiles.
+#[must_use]
+pub fn bucket_le(v: u64) -> Option<u64> {
+    BUCKETS.get(bucket_index(v)).copied()
+}
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a non-negative value that may go up or down. The service
+/// sets scrape-time gauges (queue depth, cache sizes, store counters)
+/// immediately before rendering.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-linear latency histogram over integer nanoseconds (bucket
+/// layout in [`BUCKETS`]). Tracks exact `count`, `sum`, and `max`
+/// alongside the bucket counts.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // BUCKETS.len() + 1 (+Inf last)
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..=BUCKETS.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (`BUCKETS.len() + 1` entries, `+Inf` last).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nearest-rank quantile `num/den` at bucket resolution (see module
+    /// docs for the agreement contract with `bench::summarize`). The
+    /// overflow bucket answers with the exact tracked maximum. `None`
+    /// when empty.
+    #[must_use]
+    pub fn quantile(&self, num: u64, den: u64) -> Option<u64> {
+        match quantile_from_counts(&self.bucket_counts(), num, den)? {
+            u64::MAX => Some(self.max()),
+            bound => Some(bound),
+        }
+    }
+}
+
+/// Nearest-rank quantile `num/den` over per-bucket counts (own counts,
+/// not cumulative; `BUCKETS.len() + 1` entries). Returns the bucket's
+/// upper bound, or `u64::MAX` for the overflow bucket. `None` when the
+/// counts sum to zero. The rank rule is `bench::summarize`'s:
+/// zero-based index `(num * n).div_ceil(den) - 1`.
+#[must_use]
+pub fn quantile_from_counts(counts: &[u64], num: u64, den: u64) -> Option<u64> {
+    let n: u64 = counts.iter().sum();
+    if n == 0 || den == 0 {
+        return None;
+    }
+    let rank = (num * n).div_ceil(den).clamp(1, n) - 1;
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        if cum > rank {
+            return Some(BUCKETS.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+    None
+}
+
+/// A family of counters over one label: `name{label="value"}`. The
+/// value set is fixed at registration, so the exposition always shows
+/// every member (a kind that never fired renders as `0` — the absence
+/// of a counter is not a signal anyone should have to interpret).
+#[derive(Debug)]
+pub struct CounterVec {
+    label: &'static str,
+    members: Vec<(String, Counter)>,
+}
+
+impl CounterVec {
+    /// The counter for `value` (`None` for unregistered values).
+    #[must_use]
+    pub fn get(&self, value: &str) -> Option<&Counter> {
+        self.members
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, c)| c)
+    }
+
+    /// Increments the counter for `value`; unregistered values are
+    /// ignored (never a panic on the serving path).
+    pub fn inc(&self, value: &str) {
+        if let Some(c) = self.get(value) {
+            c.inc();
+        }
+    }
+
+    /// The sum over every member of the family.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.members.iter().map(|(_, c)| c.get()).sum()
+    }
+}
+
+/// A family of gauges over one label (scrape-time store metrics).
+#[derive(Debug)]
+pub struct GaugeVec {
+    label: &'static str,
+    members: Vec<(String, Gauge)>,
+}
+
+impl GaugeVec {
+    /// Sets the gauge for `value`; unregistered values are ignored.
+    pub fn set(&self, value: &str, v: u64) {
+        if let Some((_, g)) = self.members.iter().find(|(m, _)| m == value) {
+            g.set(v);
+        }
+    }
+
+    /// The gauge value for `value` (`None` for unregistered values).
+    #[must_use]
+    pub fn get(&self, value: &str) -> Option<u64> {
+        self.members
+            .iter()
+            .find(|(m, _)| m == value)
+            .map(|(_, g)| g.get())
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterVec(Arc<CounterVec>),
+    GaugeVec(Arc<GaugeVec>),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A registry of named metrics, rendered in registration order. Built
+/// once at server start; the handles returned by the `register_*`
+/// methods are the only way to move a metric.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn push(&mut self, name: &'static str, help: &'static str, metric: Metric) {
+        debug_assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "duplicate metric `{name}`"
+        );
+        self.entries.push(Entry { name, help, metric });
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.push(name, help, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.push(name, help, Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::default());
+        self.push(name, help, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Registers a counter family over a fixed label-value set.
+    pub fn counter_vec(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: &[&str],
+    ) -> Arc<CounterVec> {
+        let v = Arc::new(CounterVec {
+            label,
+            members: values
+                .iter()
+                .map(|v| ((*v).to_string(), Counter::default()))
+                .collect(),
+        });
+        self.push(name, help, Metric::CounterVec(Arc::clone(&v)));
+        v
+    }
+
+    /// Registers a gauge family over a fixed label-value set.
+    pub fn gauge_vec(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: &[&str],
+    ) -> Arc<GaugeVec> {
+        let v = Arc::new(GaugeVec {
+            label,
+            members: values
+                .iter()
+                .map(|v| ((*v).to_string(), Gauge::default()))
+                .collect(),
+        });
+        self.push(name, help, Metric::GaugeVec(Arc::clone(&v)));
+        v
+    }
+
+    /// Renders the text exposition.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            let kind = match e.metric {
+                Metric::Counter(_) | Metric::CounterVec(_) => "counter",
+                Metric::Gauge(_) | Metric::GaugeVec(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            s.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+            s.push_str(&format!("# TYPE {} {kind}\n", e.name));
+            match &e.metric {
+                Metric::Counter(c) => s.push_str(&format!("{} {}\n", e.name, c.get())),
+                Metric::Gauge(g) => s.push_str(&format!("{} {}\n", e.name, g.get())),
+                Metric::CounterVec(v) => {
+                    for (value, c) in &v.members {
+                        s.push_str(&format!(
+                            "{}{{{}=\"{}\"}} {}\n",
+                            e.name,
+                            v.label,
+                            value,
+                            c.get()
+                        ));
+                    }
+                }
+                Metric::GaugeVec(v) => {
+                    for (value, g) in &v.members {
+                        s.push_str(&format!(
+                            "{}{{{}=\"{}\"}} {}\n",
+                            e.name,
+                            v.label,
+                            value,
+                            g.get()
+                        ));
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        if *c == 0 || i == BUCKETS.len() {
+                            continue; // +Inf rendered below, always
+                        }
+                        s.push_str(&format!(
+                            "{}_bucket{{le=\"{}\"}} {cum}\n",
+                            e.name, BUCKETS[i]
+                        ));
+                    }
+                    s.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {cum}\n", e.name));
+                    s.push_str(&format!("{}_sum {}\n", e.name, h.sum()));
+                    s.push_str(&format!("{}_count {}\n", e.name, h.count()));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Parses a text exposition back into `full-sample-name -> value`
+/// (names keep their `{label="v"}` part verbatim).
+///
+/// # Errors
+///
+/// Describes the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no value in `{line}`", lineno + 1));
+        };
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: `{value}` is not a u64", lineno + 1))?;
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("line {}: duplicate sample `{name}`", lineno + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// The delta `after - before` of one plain counter/gauge sample
+/// (missing samples count as 0; saturating, a scrape is never negative
+/// evidence).
+#[must_use]
+pub fn sample_delta(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+    name: &str,
+) -> u64 {
+    after
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(before.get(name).copied().unwrap_or(0))
+}
+
+/// All label values and deltas of the family `name{label="..."}`,
+/// sorted by label value, zero deltas skipped.
+#[must_use]
+pub fn family_deltas(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+    name: &str,
+) -> Vec<(String, u64)> {
+    let prefix = format!("{name}{{");
+    let mut out = Vec::new();
+    for (k, v) in after.range(prefix.clone()..) {
+        if !k.starts_with(&prefix) {
+            break;
+        }
+        let label_value = k
+            .split_once("=\"")
+            .and_then(|(_, rest)| rest.split_once('"'))
+            .map_or_else(|| k.clone(), |(v, _)| v.to_string());
+        let d = v.saturating_sub(before.get(k).copied().unwrap_or(0));
+        if d > 0 {
+            out.push((label_value, d));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Reconstructs per-bucket **own** counts (`BUCKETS.len() + 1` entries)
+/// of histogram `name` from one exposition map. Skipped (zero-count)
+/// buckets are restored; the `+Inf` slot is the overflow count.
+#[must_use]
+pub fn histogram_counts(map: &BTreeMap<String, u64>, name: &str) -> Vec<u64> {
+    let mut cum: Vec<(usize, u64)> = Vec::new(); // (bucket index, cumulative)
+    let prefix = format!("{name}_bucket{{le=\"");
+    for (k, v) in map {
+        if let Some(rest) = k.strip_prefix(&prefix) {
+            let Some(le) = rest.strip_suffix("\"}") else {
+                continue;
+            };
+            let idx = if le == "+Inf" {
+                BUCKETS.len()
+            } else {
+                match le.parse::<u64>() {
+                    Ok(bound) => bucket_index(bound),
+                    Err(_) => continue,
+                }
+            };
+            cum.push((idx, *v));
+        }
+    }
+    cum.sort_unstable();
+    let mut out = vec![0u64; BUCKETS.len() + 1];
+    let mut prev = 0u64;
+    for (idx, c) in cum {
+        out[idx] = c.saturating_sub(prev);
+        prev = c;
+    }
+    out
+}
+
+/// The per-bucket own-count delta of histogram `name` between two
+/// scrapes (element-wise, saturating).
+#[must_use]
+pub fn histogram_delta(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+    name: &str,
+) -> Vec<u64> {
+    let b = histogram_counts(before, name);
+    let a = histogram_counts(after, name);
+    a.iter()
+        .zip(&b)
+        .map(|(x, y)| x.saturating_sub(*y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_strictly_increasing_and_log_linear() {
+        assert!(BUCKETS.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(BUCKETS[0], 1);
+        assert_eq!(BUCKETS[8], 9);
+        assert_eq!(BUCKETS[9], 10);
+        assert_eq!(*BUCKETS.last().unwrap(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn bucket_index_is_first_bound_at_or_above() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(11), 10);
+        assert_eq!(bucket_index(1_000_000_000_000), BUCKETS.len() - 1);
+        assert_eq!(bucket_index(1_000_000_000_001), BUCKETS.len());
+        assert_eq!(bucket_le(1_000_000_000_001), None);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let h = Histogram::default();
+        for v in [5, 70, 70, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1045);
+        assert_eq!(h.max(), 900);
+        assert_eq!(h.quantile(1, 2), Some(70));
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let mut reg = Registry::new();
+        let c = reg.counter("t_requests_total", "requests");
+        let g = reg.gauge("t_depth", "queue depth");
+        let v = reg.counter_vec("t_errors_total", "errors", "kind", &["a", "b"]);
+        let h = reg.histogram("t_wall_ns", "latency");
+        c.add(3);
+        g.set(7);
+        v.inc("b");
+        h.observe(42);
+        h.observe(42);
+        h.observe(5_000_000_000_000); // overflow bucket
+        let text = reg.render();
+        let map = parse_exposition(&text).unwrap();
+        assert_eq!(map["t_requests_total"], 3);
+        assert_eq!(map["t_depth"], 7);
+        assert_eq!(map["t_errors_total{kind=\"a\"}"], 0);
+        assert_eq!(map["t_errors_total{kind=\"b\"}"], 1);
+        assert_eq!(map["t_wall_ns_bucket{le=\"50\"}"], 2);
+        assert_eq!(map["t_wall_ns_bucket{le=\"+Inf\"}"], 3);
+        assert_eq!(map["t_wall_ns_count"], 3);
+        assert_eq!(map["t_wall_ns_sum"], 5_000_000_000_084);
+        // Reconstructed own counts place both 42s at the le=50 bucket
+        // and the huge value in +Inf.
+        let counts = histogram_counts(&map, "t_wall_ns");
+        assert_eq!(counts[bucket_index(42)], 2);
+        assert_eq!(counts[BUCKETS.len()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("name notanumber").is_err());
+        assert!(parse_exposition("lonely").is_err());
+        assert!(parse_exposition("a 1\na 2").is_err());
+        assert!(parse_exposition("# just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn deltas_subtract_scrapes() {
+        let before = parse_exposition("a_total 3\nerr{kind=\"x\"} 1\n").unwrap();
+        let after = parse_exposition("a_total 10\nerr{kind=\"x\"} 1\nerr{kind=\"y\"} 4\n").unwrap();
+        assert_eq!(sample_delta(&before, &after, "a_total"), 7);
+        assert_eq!(sample_delta(&before, &after, "missing"), 0);
+        assert_eq!(
+            family_deltas(&before, &after, "err"),
+            vec![("y".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn quantiles_use_the_summarize_rank_rule() {
+        // n = 4 samples, all on exact bucket bounds. summarize's median
+        // index is (4-1)/2 = 1; ours is (1*4).div_ceil(2)-1 = 1. p90
+        // index is (9*4).div_ceil(10)-1 = 3 for both.
+        let mut counts = vec![0u64; BUCKETS.len() + 1];
+        for v in [10u64, 20, 30, 40] {
+            counts[bucket_index(v)] += 1;
+        }
+        assert_eq!(quantile_from_counts(&counts, 1, 2), Some(20));
+        assert_eq!(quantile_from_counts(&counts, 9, 10), Some(40));
+        assert_eq!(quantile_from_counts(&[0; 110], 1, 2), None);
+    }
+}
