@@ -114,6 +114,9 @@ cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
 cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
     --bench-compare BENCH_pr6.json BENCH_pr7.json \
     --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
+cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+    --bench-compare BENCH_pr7.json BENCH_pr10.json \
+    --threshold 1000000 || echo "note: committed baselines drift beyond huge threshold"
 
 echo "== fig12 --serve smoke (daemon on an ephemeral port: cold-then-warm"
 echo "   1000-request replay over one persistent store, bodies must be"
@@ -229,6 +232,46 @@ for kind in server-start accept request enqueue dequeue execute respond server-s
 done
 grep -q '"error":"unknown-case"' "$profile_out/events.jsonl" \
     || { echo "event log did not record the error probe"; exit 1; }
+
+echo "== intra-case parallelism smoke (one /verify case request: --workers 4"
+echo "   must beat --workers 1 on X-Islaris-Wall-Ns with byte-identical bodies) =="
+printf '%s' '{"schema":"islaris-replay/v1","requests":[{"method":"POST","path":"/verify","body":"{\"kind\":\"case\",\"slug\":\"memcpy_riscv\"}"},{"method":"POST","path":"/verify","body":"{\"kind\":\"case\",\"slug\":\"memcpy_riscv\"}"}]}' \
+    > "$profile_out/one_case.json"
+for w in 1 4; do
+    rm -f "$profile_out/port"
+    cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+        --serve 0 --workers "$w" --port-file "$profile_out/port" &
+    serve_pid=$!
+    for _ in $(seq 1 200); do [ -s "$profile_out/port" ] && break; sleep 0.1; done
+    [ -s "$profile_out/port" ] || { echo "server did not start"; exit 1; }
+    addr="127.0.0.1:$(cat "$profile_out/port")"
+    # Two identical requests: the first (cold) measures the verification
+    # half the workers parallelise — trace generation is ~2% of this
+    # case's wall — and the second pins body determinism across cache
+    # states under both worker counts.
+    cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+        --replay "$profile_out/one_case.json" --addr "$addr" \
+        --dump "$profile_out/w$w" --dump-headers "$profile_out/w${w}_hdr" > /dev/null
+    cargo run --release -q --offline -p islaris-bench --bin fig12 -- \
+        --replay "$profile_out/stats_shutdown.json" --addr "$addr" > /dev/null
+    wait "$serve_pid" || { echo "server exited nonzero after workers=$w run"; exit 1; }
+done
+diff -r "$profile_out/w1" "$profile_out/w4" \
+    || { echo "verify bodies differ between --workers 1 and 4"; exit 1; }
+wall_w1=$(grep -i '^X-Islaris-Wall-Ns:' "$profile_out/w1_hdr/0000.headers" | tr -dc 0-9)
+wall_w4=$(grep -i '^X-Islaris-Wall-Ns:' "$profile_out/w4_hdr/0000.headers" | tr -dc 0-9)
+[ -n "$wall_w1" ] && [ -n "$wall_w4" ] \
+    || { echo "X-Islaris-Wall-Ns header missing from a dump"; exit 1; }
+echo "single-request wall: workers=1 ${wall_w1}ns, workers=4 ${wall_w4}ns"
+# The speedup assertion needs real cores: on a single-CPU host the four
+# workers time-slice one core and the scheduling overhead makes w4 >= w1,
+# so only the body-determinism and header-presence checks bind there.
+if [ "$(nproc)" -gt 1 ]; then
+    [ "$wall_w4" -lt "$wall_w1" ] \
+        || { echo "--workers 4 did not beat --workers 1 on a single request"; exit 1; }
+else
+    echo "single core ($(nproc)): skipping the w4<w1 assertion (informational only)"
+fi
 
 echo "== solver fuzzer smoke (differential CDCL configs on random CNF; full"
 echo "   256-case run lives in the workspace test step, this pins the gate) =="

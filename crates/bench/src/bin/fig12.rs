@@ -12,13 +12,15 @@
 //!   shared trace cache, reporting per-case wall times, cache hit rates,
 //!   and speedups. The stable (non-timing) columns are asserted
 //!   byte-identical across all three runs.
-//! * `--bench [ITERS] [--warmup W] [--json PATH] [--sat-off FEATURE]` —
-//!   the statistical benchmarks: every case's two pipeline halves
-//!   (`trace/<slug>`, `verify/<slug>`) plus the stage micro-benchmarks,
-//!   measured over W warm-up + ITERS iterations with
+//! * `--bench [ITERS] [--warmup W] [--json PATH] [--sat-off FEATURE]
+//!   [--jobs N]` — the statistical benchmarks: every case's two pipeline
+//!   halves (`trace/<slug>`, `verify/<slug>`) plus the stage
+//!   micro-benchmarks, measured over W warm-up + ITERS iterations with
 //!   min/median/p90/max/MAD, optionally exported as versioned
 //!   `islaris-bench/v1` JSON. `--sat-off FEATURE` runs the whole suite
-//!   with one solver feature disabled (the per-feature A/B arm).
+//!   with one solver feature disabled (the per-feature A/B arm);
+//!   `--jobs N` verifies each case's blocks over N intra-case workers
+//!   (verdicts unchanged, wall-clock only).
 //! * `--sat-off FEATURE [--jobs N]` — the solver-feature ablation table:
 //!   runs the registry with all features on and with FEATURE off,
 //!   asserts the verdict rows byte-identical (heuristics may only change
@@ -73,7 +75,7 @@ fn usage() -> ! {
         "usage: fig12 [--jobs N] \
          [--sat-off FEATURE [--jobs N]] \
          [--bench [ITERS] [--warmup W] [--json PATH] [--solver-cache on|off] \
-         [--sat-off FEATURE]] \
+         [--sat-off FEATURE] [--jobs N]] \
          [--bench-compare OLD.json NEW.json [--threshold PCT]] [--trace-proof SLUG] \
          [--profile [--jobs N] [--profile-out PATH] [--profile-json PATH] [--hot-queries K] \
          [--solver-cache on|off]] \
@@ -81,7 +83,7 @@ fn usage() -> ! {
          [--serve PORT [--store DIR] [--workers N] [--queue-cap N] [--deadline-ms N] \
          [--port-file PATH] [--log PATH] [--trace-journal N]] \
          [--replay REQS.json --addr HOST:PORT [--clients N] [--json PATH] [--dump DIR] \
-         [--metrics-delta]] \
+         [--dump-headers DIR] [--metrics-delta]] \
          [--gen-requests PATH [--count N]] \
          [--check-log PATH] [--check-json PATH]"
     );
@@ -276,10 +278,11 @@ fn bench_mode(
     json_path: Option<&str>,
     solver_cache: bool,
     sat: SatConfig,
+    jobs: usize,
 ) {
     let env = BenchEnv::capture(warmup, iters);
     println!("{}", env.row());
-    let samples = islaris_bench::all_benches_configured(warmup, iters, solver_cache, sat);
+    let samples = islaris_bench::all_benches_jobs(warmup, iters, solver_cache, sat, jobs);
     for s in &samples {
         println!("{}", s.row());
     }
@@ -431,6 +434,7 @@ fn replay_mode(args: &[String]) {
     let mut clients = 1;
     let mut json_path: Option<String> = None;
     let mut dump_dir: Option<String> = None;
+    let mut dump_headers_dir: Option<String> = None;
     let mut metrics_delta = false;
     let mut i = 2;
     while i < args.len() {
@@ -456,6 +460,10 @@ fn replay_mode(args: &[String]) {
             }
             "--dump" => {
                 dump_dir = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--dump-headers" => {
+                dump_headers_dir = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -504,6 +512,27 @@ fn replay_mode(args: &[String]) {
         for r in &outcome.results {
             let path = format!("{dir}/{:04}.body", r.index);
             if let Err(e) = std::fs::write(&path, &r.body) {
+                eprintln!("writing {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    // Headers go to their own directory: they carry wall-clock values
+    // (`X-Islaris-Wall-Ns`), so mixing them into the body dump would
+    // break the byte-identical `diff -r` contract ci.sh relies on.
+    if let Some(dir) = dump_headers_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("creating {dir}: {e}");
+            exit(1);
+        }
+        for r in &outcome.results {
+            let path = format!("{dir}/{:04}.headers", r.index);
+            let text: String = r
+                .headers
+                .iter()
+                .map(|(k, v)| format!("{k}: {v}\n"))
+                .collect();
+            if let Err(e) = std::fs::write(&path, text) {
                 eprintln!("writing {path}: {e}");
                 exit(1);
             }
@@ -598,6 +627,7 @@ fn main() {
             let mut json_path: Option<String> = None;
             let mut solver_cache = false;
             let mut sat = SatConfig::default();
+            let mut jobs = 1;
             let mut i = 1;
             if let Some(v) = args.get(1).and_then(|s| s.parse::<usize>().ok()) {
                 iters = v;
@@ -605,6 +635,13 @@ fn main() {
             }
             while i < args.len() {
                 match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
                     "--warmup" => {
                         warmup = args
                             .get(i + 1)
@@ -627,7 +664,7 @@ fn main() {
                     _ => usage(),
                 }
             }
-            bench_mode(warmup, iters, json_path.as_deref(), solver_cache, sat);
+            bench_mode(warmup, iters, json_path.as_deref(), solver_cache, sat, jobs);
         }
         Some("--sat-off") => {
             let Some(feature) = args.get(1) else { usage() };

@@ -25,7 +25,7 @@ use islaris_cases::{
     binsearch_arm, binsearch_riscv, hvc, memcpy_arm, memcpy_riscv, pkvm, rbit, uart, unaligned,
     CaseCtx, CaseOutcome, ALL_CASES,
 };
-use islaris_core::{check_certificate, check_certificate_cached, Verifier};
+use islaris_core::{check_certificate, check_certificate_cached, run_jobs, Verifier};
 use islaris_isla::{trace_opcode, IslaConfig, Opcode};
 use islaris_models::ARM;
 use islaris_obs::{parse_json, validate_json, CertMetrics, Json, QueryTable, SolverMetrics};
@@ -200,6 +200,23 @@ pub fn case_benches_configured(
     solver_cache: bool,
     sat: SatConfig,
 ) -> Vec<Sample> {
+    case_benches_jobs(warmup, iters, solver_cache, sat, 1)
+}
+
+/// [`case_benches_configured`] with intra-case parallelism: each
+/// `verify/<slug>` iteration verifies blocks and replays certificates
+/// over `jobs` scoped workers (`fig12 --bench --jobs N`). The verdicts
+/// and counters are byte-identical across `jobs` values — only
+/// wall-clock changes — so samples stay comparable to `jobs = 1`
+/// baselines.
+#[must_use]
+pub fn case_benches_jobs(
+    warmup: usize,
+    iters: usize,
+    solver_cache: bool,
+    sat: SatConfig,
+    jobs: usize,
+) -> Vec<Sample> {
     let mut out = Vec::new();
     let ctx = CaseCtx::default().with_sat(sat);
     for def in ALL_CASES {
@@ -212,11 +229,21 @@ pub fn case_benches_configured(
             let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
             verifier.qcache = qcache.clone();
             verifier.solver.sat = art.sat;
+            verifier.jobs = jobs;
             let report = verifier.verify_all().unwrap();
-            let mut cm = CertMetrics::default();
-            let mut qt = QueryTable::default();
-            for block in &report.blocks {
-                check_certificate_cached(&block.cert, &mut cm, &mut qt, qcache.as_deref()).unwrap();
+            let replays = run_jobs(jobs, report.blocks.len(), |i| {
+                let mut cm = CertMetrics::default();
+                let mut qt = QueryTable::default();
+                check_certificate_cached(
+                    &report.blocks[i].cert,
+                    &mut cm,
+                    &mut qt,
+                    qcache.as_deref(),
+                )
+                .unwrap();
+            });
+            for r in replays {
+                r.unwrap_or_else(|p| panic!("{}", p.message));
             }
         }));
     }
@@ -347,7 +374,22 @@ pub fn all_benches_configured(
     solver_cache: bool,
     sat: SatConfig,
 ) -> Vec<Sample> {
-    let mut out = case_benches_configured(warmup, iters, solver_cache, sat);
+    all_benches_jobs(warmup, iters, solver_cache, sat, 1)
+}
+
+/// [`all_benches_configured`] with intra-case parallelism for the
+/// `verify/*` halves (see [`case_benches_jobs`]); the stage
+/// micro-benchmarks are single-threaded by construction and ignore
+/// `jobs`.
+#[must_use]
+pub fn all_benches_jobs(
+    warmup: usize,
+    iters: usize,
+    solver_cache: bool,
+    sat: SatConfig,
+    jobs: usize,
+) -> Vec<Sample> {
+    let mut out = case_benches_jobs(warmup, iters, solver_cache, sat, jobs);
     out.extend(stage_benches_configured(warmup, iters, sat));
     out
 }

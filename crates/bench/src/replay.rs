@@ -65,6 +65,10 @@ pub struct ReplayResult {
     pub body: Vec<u8>,
     /// Wall-clock latency in nanoseconds (telemetry only).
     pub wall_ns: u64,
+    /// Response headers as received (telemetry only — the server's
+    /// `X-Islaris-Wall-Ns` lives here; excluded from the stable report
+    /// and the body dump, which must stay byte-comparable across runs).
+    pub headers: Vec<(String, String)>,
 }
 
 /// The full outcome of one replay run.
@@ -244,6 +248,7 @@ fn client_loop(
             digest: fnv1a(&resp.body),
             wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             body: resp.body,
+            headers: resp.headers,
         });
     }
     Ok(out)
@@ -354,6 +359,28 @@ pub fn metrics_delta_report(before: &BTreeMap<String, u64>, after: &BTreeMap<Str
                 ("max_le", q(1, 1)),
             ]),
         ),
+        // Per-request-kind execution medians (pool execute stage only,
+        // queue wait excluded) from the per-kind histograms the daemon
+        // keeps alongside the aggregate. A kind that did not run in the
+        // bracketed interval reports null rather than 0 so "no traffic"
+        // and "instant" stay distinguishable.
+        (
+            "p50_exec_ns",
+            Json::Obj(
+                [("case", "case"), ("trace", "trace"), ("check", "check")]
+                    .into_iter()
+                    .map(|(key, kind)| {
+                        let h =
+                            histogram_delta(before, after, &format!("islaris_exec_{kind}_wall_ns"));
+                        let p50 = match quantile_from_counts(&h, 1, 2) {
+                            Some(v) => u64_json(v),
+                            None => Json::Null,
+                        };
+                        (key.to_string(), p50)
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -398,7 +425,11 @@ mod tests {
              islaris_errors_total{kind=\"unknown-case\"} 1\n\
              islaris_request_wall_ns_bucket{le=\"100\"} 13\n\
              islaris_request_wall_ns_bucket{le=\"500\"} 14\n\
-             islaris_request_wall_ns_bucket{le=\"+Inf\"} 14\n",
+             islaris_request_wall_ns_bucket{le=\"+Inf\"} 14\n\
+             islaris_exec_case_wall_ns_bucket{le=\"1000\"} 2\n\
+             islaris_exec_case_wall_ns_bucket{le=\"+Inf\"} 3\n\
+             islaris_exec_trace_wall_ns_bucket{le=\"200\"} 1\n\
+             islaris_exec_trace_wall_ns_bucket{le=\"+Inf\"} 1\n",
         )
         .unwrap();
         let d = metrics_delta_report(&before, &after);
@@ -415,6 +446,12 @@ mod tests {
         assert_eq!(h.get("p50_le").and_then(Json::as_u64), Some(100));
         assert_eq!(h.get("p90_le").and_then(Json::as_u64), Some(500));
         assert_eq!(h.get("max_le").and_then(Json::as_u64), Some(500));
+        // Per-kind exec medians: case has 3 samples (rank 2 -> le=1000),
+        // trace has 1 (its only bucket), check saw no traffic -> null.
+        let p50 = d.get("p50_exec_ns").unwrap();
+        assert_eq!(p50.get("case").and_then(Json::as_u64), Some(1000));
+        assert_eq!(p50.get("trace").and_then(Json::as_u64), Some(200));
+        assert_eq!(p50.get("check"), Some(&Json::Null));
     }
 
     #[test]
@@ -435,6 +472,7 @@ mod tests {
                     digest: 7,
                     body: Vec::new(),
                     wall_ns: 10,
+                    headers: Vec::new(),
                 },
                 ReplayResult {
                     index: 1,
@@ -442,6 +480,7 @@ mod tests {
                     digest: 9,
                     body: Vec::new(),
                     wall_ns: 20,
+                    headers: Vec::new(),
                 },
             ],
             wall_ns: 30,

@@ -69,7 +69,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use islaris_cases::{find_case, run_case_cached, CaseCtx, ALL_CASES};
+use islaris_cases::{find_case, run_case_jobs, CaseCtx, ALL_CASES};
 use islaris_core::{render_certificate, JobSlot, SubmitError, WorkerPool};
 use islaris_isla::{analyze_path, enumerate_paths, IslaConfig, Opcode, PathView, TraceCache};
 use islaris_itl::sexp::{expr_to_sexp, sexp_to_expr};
@@ -158,6 +158,13 @@ struct Metrics {
     request_ns: Arc<Histogram>,
     queue_wait_ns: Arc<Histogram>,
     exec_ns: Arc<Histogram>,
+    exec_case_ns: Arc<Histogram>,
+    exec_trace_ns: Arc<Histogram>,
+    exec_check_ns: Arc<Histogram>,
+    blocks_parallel: Arc<Counter>,
+    proof_trimmed: Arc<Counter>,
+    interned_terms: Arc<Gauge>,
+    intern_hits: Arc<Gauge>,
     journal_entries: Arc<Gauge>,
     journal_evicted: Arc<Gauge>,
     tcache_hits: Arc<Gauge>,
@@ -219,6 +226,37 @@ impl Metrics {
                 "Wall-clock a job waited in the queue, ns",
             ),
             exec_ns: r.histogram("islaris_exec_wall_ns", "Wall-clock a job body executed, ns"),
+            // Per-kind execution histograms (one metric per request kind:
+            // the registry is label-free for histograms by design, and
+            // three fixed kinds do not warrant a labelled family).
+            exec_case_ns: r.histogram(
+                "islaris_exec_case_wall_ns",
+                "Wall-clock a case job body executed, ns",
+            ),
+            exec_trace_ns: r.histogram(
+                "islaris_exec_trace_wall_ns",
+                "Wall-clock a trace job body executed, ns",
+            ),
+            exec_check_ns: r.histogram(
+                "islaris_exec_check_wall_ns",
+                "Wall-clock a check job body executed, ns",
+            ),
+            blocks_parallel: r.counter(
+                "islaris_blocks_parallel_total",
+                "Engine blocks scheduled as independent intra-case jobs",
+            ),
+            proof_trimmed: r.counter(
+                "islaris_proof_trimmed_clauses_total",
+                "Proof clauses dropped by backward dependency trimming",
+            ),
+            interned_terms: r.gauge(
+                "islaris_interned_terms",
+                "Terms interned in the hash-consed arena (process-wide)",
+            ),
+            intern_hits: r.gauge(
+                "islaris_intern_hits",
+                "Term constructions answered by an existing arena node",
+            ),
             journal_entries: r.gauge(
                 "islaris_trace_journal_entries",
                 "Requests held in the bounded trace journal",
@@ -729,6 +767,21 @@ fn stats_body(state: &Arc<ServerState>) -> String {
                 ("store", store(state.qcache.store_metrics())),
             ]),
         ),
+        (
+            "solver",
+            obj(vec![
+                (
+                    "blocks_parallel",
+                    u64_json(state.metrics.blocks_parallel.get()),
+                ),
+                (
+                    "proof_trimmed_clauses",
+                    u64_json(state.metrics.proof_trimmed.get()),
+                ),
+                ("interned_terms", u64_json(islaris_smt::interner_stats().0)),
+                ("intern_hits", u64_json(islaris_smt::interner_stats().1)),
+            ]),
+        ),
     ])
     .render()
 }
@@ -748,6 +801,9 @@ fn metrics_body(state: &Arc<ServerState>) -> String {
     m.tcache_misses.set(tstats.misses);
     m.tcache_unique.set(state.tcache.unique_traces() as u64);
     m.qcache_entries.set(state.qcache.len() as u64);
+    let (interned, hits) = islaris_smt::interner_stats();
+    m.interned_terms.set(interned);
+    m.intern_hits.set(hits);
     for (name, sm) in [
         ("traces", state.tcache.store_metrics()),
         ("queries", state.qcache.store_metrics()),
@@ -814,7 +870,7 @@ fn verify(state: &Arc<ServerState>, body: &[u8], rt: &ReqTrace) -> Result<String
                 } else {
                     job_state.metrics.stages.inc("execute");
                     let t_exec = Instant::now();
-                    let r = catch_unwind(AssertUnwindSafe(|| run_job(&job_state, &job)))
+                    let r = catch_unwind(AssertUnwindSafe(|| run_job(&job_state, &job, deadline)))
                         .unwrap_or_else(|_| {
                             Err(ApiError::new(
                                 500,
@@ -824,6 +880,11 @@ fn verify(state: &Arc<ServerState>, body: &[u8], rt: &ReqTrace) -> Result<String
                         });
                     let exec_ns = elapsed_ns(t_exec);
                     job_state.metrics.exec_ns.observe(exec_ns);
+                    match job.kind() {
+                        "case" => job_state.metrics.exec_case_ns.observe(exec_ns),
+                        "trace" => job_state.metrics.exec_trace_ns.observe(exec_ns),
+                        _ => job_state.metrics.exec_check_ns.observe(exec_ns),
+                    }
                     recorder.record_between("exec", "pool", t_exec, Instant::now());
                     job_state.log_event(
                         "execute",
@@ -890,6 +951,16 @@ enum Job {
 }
 
 impl Job {
+    /// The request kind ("case" / "trace" / "check") — keys the per-kind
+    /// execution histograms.
+    fn kind(&self) -> &'static str {
+        match self {
+            Job::Case { .. } => "case",
+            Job::Trace { .. } => "trace",
+            Job::Check { .. } => "check",
+        }
+    }
+
     /// The journal / event-log label.
     fn label(&self) -> String {
         match self {
@@ -980,9 +1051,13 @@ fn parse_job(j: &Json) -> Result<Job, ApiError> {
     }
 }
 
-fn run_job(state: &ServerState, job: &Job) -> Result<JobOutput, ApiError> {
+fn run_job(
+    state: &ServerState,
+    job: &Job,
+    deadline: Option<Instant>,
+) -> Result<JobOutput, ApiError> {
     match job {
-        Job::Case { slug } => run_case_job(state, slug),
+        Job::Case { slug } => run_case_job(state, slug, deadline),
         Job::Trace { arch, opcode } => run_trace_job(state, arch, *opcode),
         Job::Check { arch, opcode, spec } => run_check_job(state, arch, *opcode, spec),
     }
@@ -1002,12 +1077,39 @@ fn stripped_profile(profile_json: &str) -> Json {
     }
 }
 
-fn run_case_job(state: &ServerState, slug: &str) -> Result<JobOutput, ApiError> {
+fn run_case_job(
+    state: &ServerState,
+    slug: &str,
+    deadline: Option<Instant>,
+) -> Result<JobOutput, ApiError> {
     let def = find_case(slug)
         .ok_or_else(|| ApiError::new(404, "unknown-case", format!("no case `{slug}`")))?;
-    let ctx = CaseCtx::new(&state.tcache, 1);
+    // Intra-case parallelism: one request fans its per-instruction
+    // tracing, engine blocks, and certificate replays out over as many
+    // scoped worker threads as the pool has resident workers. The scoped
+    // threads are independent of the pool (re-submitting to the pool
+    // from inside a pool job could deadlock a full queue); results merge
+    // in block order so the response body is byte-identical to jobs = 1.
+    let jobs = state.pool.workers();
+    let ctx = CaseCtx::new(&state.tcache, jobs);
     let art = (def.build)(&ctx);
-    let (outcome, report) = run_case_cached(&art, Some(&state.qcache));
+    let (outcome, report) =
+        run_case_jobs(&art, Some(&state.qcache), jobs, deadline).map_err(|_| {
+            ApiError::new(
+                504,
+                "deadline-exceeded",
+                "deadline lapsed mid-case between block jobs",
+            )
+        })?;
+    state
+        .metrics
+        .blocks_parallel
+        .add(outcome.profile.engine.blocks_parallel);
+    state.metrics.proof_trimmed.add(
+        outcome.profile.isla_smt.trimmed
+            + outcome.profile.engine_smt.trimmed
+            + outcome.profile.cert.solver.trimmed,
+    );
     let certs: Vec<Json> = report
         .blocks
         .iter()

@@ -350,6 +350,75 @@ fn faulted_requests_never_take_a_trace_journal_slot() {
     server.join();
 }
 
+/// Regression: the pool's deadline check used to fire only at dequeue,
+/// so a deadline that lapsed *during* a long case ran the case to
+/// completion anyway. Now the intra-case scheduler re-checks the
+/// deadline between block jobs: a deadline that survives dequeue but
+/// lapses mid-case must yield a 504 whose body names the mid-case
+/// path, without skewing the pool's gauges — and the very next
+/// full-size job must succeed.
+#[test]
+fn deadline_lapsing_mid_case_interrupts_between_block_jobs() {
+    let server = start();
+    let port = server.port();
+    let before = metrics(port);
+
+    // memcpy_riscv runs tens of milliseconds per block-set even in
+    // release, so a 5ms deadline always lapses between its early block
+    // jobs (never after the last one, which would let the case finish);
+    // the retry loop only absorbs the (rare) run where the dequeue
+    // itself took >5ms and the pre-existing dequeue check answered
+    // first.
+    let mut mid_case = false;
+    for _ in 0..5 {
+        let (status, body) = rpc(
+            port,
+            "POST",
+            "/verify",
+            "{\"kind\":\"case\",\"slug\":\"memcpy_riscv\",\"deadline_ms\":5}",
+        );
+        assert_eq!(status, 504, "body: {body}");
+        assert_eq!(error_kind(&body), "deadline-exceeded");
+        if body.contains("mid-case") {
+            mid_case = true;
+            break;
+        }
+    }
+    assert!(mid_case, "deadline never lapsed between block jobs");
+
+    // The interrupted job retired cleanly: nothing left in flight or
+    // queued, no worker panicked, and the error was counted under its
+    // kind like any dequeue-time expiry. The 504 is written from inside
+    // the pool job, a moment before the worker decrements the in-flight
+    // gauge, so quiescence is polled rather than asserted on the first
+    // scrape.
+    let mut after = metrics(port);
+    for _ in 0..200 {
+        if after["islaris_in_flight"] == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        after = metrics(port);
+    }
+    assert_eq!(after["islaris_in_flight"], 0);
+    assert_eq!(after["islaris_queue_depth"], 0);
+    assert_eq!(after["islaris_job_panics"], before["islaris_job_panics"]);
+    assert!(kind_delta(&before, &after, "deadline-exceeded") >= 1);
+
+    // And the same slug verifies normally once the deadline pressure is
+    // gone — the pool was not wedged by the mid-case abort.
+    let (status, body) = rpc(
+        port,
+        "POST",
+        "/verify",
+        "{\"kind\":\"case\",\"slug\":\"hvc\"}",
+    );
+    assert_eq!(status, 200, "{body}");
+
+    server.stop();
+    server.join();
+}
+
 #[test]
 fn saturation_answers_overloaded_and_recovers() {
     // One worker, one queue slot: a burst of concurrent case jobs must

@@ -20,6 +20,6 @@ pub use pipeline::{
     ALL_CASES,
 };
 pub use report::{
-    run_case, run_case_cached, run_case_traced, trace_program_map, trace_program_map_with,
-    CaseArtifacts, CaseCtx, CaseOutcome,
+    run_case, run_case_cached, run_case_jobs, run_case_traced, trace_program_map,
+    trace_program_map_with, CaseArtifacts, CaseCtx, CaseOutcome,
 };

@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use islaris_asm::Program;
 use islaris_core::{
-    check_certificate_cached, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
+    check_certificate_cached, run_jobs, run_jobs_ok, ProgramSpec, Protocol, Report, Verifier,
+    VerifyError, DEADLINE_EXCEEDED,
 };
 use islaris_isla::{
     trace_opcode, CacheStats, CachedTrace, IslaConfig, IslaError, IslaStats, Opcode, TraceCache,
@@ -306,28 +307,87 @@ fn run_case_opts(
     trace: bool,
     qcache: Option<&Arc<QueryCache>>,
 ) -> (CaseOutcome, Report) {
+    run_case_opts_jobs(art, trace, qcache, 1, None)
+        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name))
+}
+
+/// [`run_case_cached`] with intra-case parallelism and an optional
+/// deadline: the engine's blocks and the per-block certificate replays
+/// are scheduled as independent jobs on up to `jobs` workers, with
+/// results merged in block order — outcome, certificates and every
+/// deterministic profile counter are byte-identical to `jobs == 1`.
+/// This is the daemon's single-request scaling path (a `POST /verify`
+/// finally uses all `--workers`).
+///
+/// # Errors
+///
+/// Returns a [`DEADLINE_EXCEEDED`] failure if `deadline` lapsed between
+/// jobs (the daemon maps it to `504`).
+///
+/// # Panics
+///
+/// Panics if verification or certificate checking genuinely fails — the
+/// bundled case studies are expected to verify.
+pub fn run_case_jobs(
+    art: &CaseArtifacts,
+    qcache: Option<&Arc<QueryCache>>,
+    jobs: usize,
+    deadline: Option<Instant>,
+) -> Result<(CaseOutcome, Report), VerifyError> {
+    run_case_opts_jobs(art, false, qcache, jobs, deadline)
+}
+
+fn run_case_opts_jobs(
+    art: &CaseArtifacts,
+    trace: bool,
+    qcache: Option<&Arc<QueryCache>>,
+    jobs: usize,
+    deadline: Option<Instant>,
+) -> Result<(CaseOutcome, Report), VerifyError> {
     let mut verifier = Verifier::new(art.prog_spec.clone(), art.protocol.clone());
     verifier.trace = trace;
     verifier.qcache = qcache.cloned();
     verifier.solver.sat = art.sat;
+    verifier.jobs = jobs;
+    verifier.deadline = deadline;
     let t0 = Instant::now();
-    let report = verifier
-        .verify_all()
-        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+    let report = match verifier.verify_all() {
+        Ok(r) => r,
+        Err(e) if e.message == DEADLINE_EXCEEDED => return Err(e),
+        Err(e) => panic!("case `{}`: {e}", art.name),
+    };
     let verify_time = t0.elapsed();
 
     let t1 = Instant::now();
+    // Per-block certificate replays are independent; schedule them like
+    // the engine blocks and merge counters in block order so profiles
+    // stay byte-identical across worker counts.
+    let replays = run_jobs(jobs, report.blocks.len(), |i| {
+        let block = &report.blocks[i];
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(VerifyError {
+                block: block.addr,
+                message: DEADLINE_EXCEEDED.into(),
+            });
+        }
+        let mut cm = CertMetrics::default();
+        let mut qt = QueryTable::default();
+        qt.absorb(&block.stats.queries);
+        check_certificate_cached(&block.cert, &mut cm, &mut qt, qcache.map(Arc::as_ref))
+            .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+        Ok((cm, qt))
+    });
     let mut cert_metrics = CertMetrics::default();
     let mut queries = QueryTable::default();
-    for block in &report.blocks {
-        queries.absorb(&block.stats.queries);
-        check_certificate_cached(
-            &block.cert,
-            &mut cert_metrics,
-            &mut queries,
-            qcache.map(Arc::as_ref),
-        )
-        .unwrap_or_else(|e| panic!("case `{}`: {e}", art.name));
+    for r in replays {
+        match r {
+            Ok(Ok((cm, qt))) => {
+                cert_metrics.absorb(&cm);
+                queries.absorb(&qt);
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(p) => std::panic::panic_any(p.message),
+        }
     }
     let cert_time = t1.elapsed();
 
@@ -366,11 +426,16 @@ fn run_case_opts(
             lia_queries: b.stats.lia_queries,
             obligations: b.stats.obligations,
             vacuous_branches: b.stats.vacuous_branches,
+            blocks_parallel: 0,
         });
         engine_smt.absorb(&b.stats.solver);
         session.absorb(&b.stats.session);
         query_cache.absorb(&b.stats.qcache);
     }
+    // Blocks scheduled as independent verification jobs: every block goes
+    // through the intra-case scheduler (inline when jobs <= 1), so this
+    // counts scheduled jobs, not workers, and stays deterministic.
+    engine.blocks_parallel = report.blocks.len() as u64;
     // Total shared-cache traffic for this case: the engine's side provers
     // plus the certificate replay.
     query_cache.absorb(&cert_metrics.qcache);
@@ -412,5 +477,5 @@ fn run_case_opts(
         profile,
         queries,
     };
-    (outcome, report)
+    Ok((outcome, report))
 }

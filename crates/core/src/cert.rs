@@ -23,7 +23,10 @@
 use islaris_itl::sexp::{expr_to_sexp, parse_sexp, sexp_to_expr, ParseError, Sexp};
 use islaris_obs::{fnv1a, CertMetrics, QueryTable, SolverMetrics};
 use islaris_smt::lia::{implies, IVar, LinAtom, LinTerm};
-use islaris_smt::{entails_logged, Expr, SolverConfig, Sort, Var};
+use islaris_smt::sat::Lit;
+use islaris_smt::{
+    entails_logged, entails_proof, entails_via_proof, Expr, RupProof, SolverConfig, Sort, Var,
+};
 
 /// One discharged side condition.
 #[derive(Debug, Clone)]
@@ -55,6 +58,14 @@ pub struct Certificate {
     /// FNV-1a digest over the rendered obligations in order, if sealed.
     /// `None` means "unordered bag of facts" (each still re-proved).
     pub digest: Option<u64>,
+    /// Optional stored refutation proofs, keyed by obligation index
+    /// (sorted, at most one per obligation). A proof is an *untrusted
+    /// accelerator* for replay: the checker re-verifies it against a
+    /// fresh bit-blasting of the obligation, and a stale or tampered
+    /// proof falls back to a full solve — it can never flip a verdict.
+    /// Proofs are excluded from the order digest, so attaching or
+    /// stripping them does not unseal a certificate.
+    pub proofs: Vec<(usize, RupProof)>,
 }
 
 impl Certificate {
@@ -65,7 +76,36 @@ impl Certificate {
         Certificate {
             obligations,
             digest,
+            proofs: Vec::new(),
         }
+    }
+
+    /// The stored proof for obligation `index`, if any.
+    #[must_use]
+    pub fn proof_for(&self, index: usize) -> Option<&RupProof> {
+        self.proofs
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .ok()
+            .map(|slot| &self.proofs[slot].1)
+    }
+
+    /// Re-proves every bitvector obligation and stores the trimmed,
+    /// hinted RUP refutation next to it, replacing any proofs already
+    /// attached. Returns the number of proofs attached. Obligations the
+    /// preprocessor decides outright get no proof (replay re-decides
+    /// them just as cheaply), and LIA obligations never carry one.
+    pub fn attach_proofs(&mut self) -> usize {
+        let cfg = SolverConfig::paranoid();
+        self.proofs.clear();
+        for (index, ob) in self.obligations.iter().enumerate() {
+            if let Obligation::Bv { facts, goal, sorts } = ob {
+                let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
+                if let Some(p) = entails_proof(facts, goal, &lookup, &cfg) {
+                    self.proofs.push((index, p));
+                }
+            }
+        }
+        self.proofs.len()
     }
 }
 
@@ -187,17 +227,25 @@ pub fn check_certificate_cached(
                 m.bv += 1;
                 let lookup = |v: Var| sorts.iter().find(|(w, _)| *w == v).map(|(_, s)| *s);
                 let mut sm = SolverMetrics::default();
-                let (ok, _digest) = match qcache {
-                    Some(cache) => cache.entails_logged(
-                        facts,
-                        goal,
-                        &lookup,
-                        &cfg,
-                        &mut sm,
-                        table,
-                        &mut m.qcache,
-                    ),
-                    None => entails_logged(facts, goal, &lookup, &cfg, &mut sm, table),
+                // A stored proof replays without CDCL search; if it fails
+                // to apply (stale or tampered), fall back to a full solve.
+                let fast = cert
+                    .proof_for(index)
+                    .is_some_and(|p| entails_via_proof(facts, goal, &lookup, &cfg, p, &mut sm));
+                let ok = fast || {
+                    let (ok, _digest) = match qcache {
+                        Some(cache) => cache.entails_logged(
+                            facts,
+                            goal,
+                            &lookup,
+                            &cfg,
+                            &mut sm,
+                            table,
+                            &mut m.qcache,
+                        ),
+                        None => entails_logged(facts, goal, &lookup, &cfg, &mut sm, table),
+                    };
+                    ok
                 };
                 m.solver.absorb(&sm);
                 ok
@@ -287,8 +335,45 @@ fn obligation_to_sexp(ob: &Obligation) -> Sexp {
     }
 }
 
+/// A SAT literal in DIMACS convention: variable `v` (0-based) prints as
+/// `v+1`, negated literals with a leading `-`.
+fn lit_to_sexp(l: Lit) -> Sexp {
+    let v = i64::from(l.var()) + 1;
+    Sexp::Atom(if l.is_pos() { v } else { -v }.to_string())
+}
+
+/// A stored refutation as `(proof <index> (clauses (cl …) …)
+/// (hints (h …) …))`: one `(cl …)` of DIMACS literals per proof clause
+/// (the last is the empty `(cl)`), and — when the proof is hinted — one
+/// parallel `(h …)` of checker-database indices per clause.
+fn proof_to_sexp(index: usize, p: &RupProof) -> Sexp {
+    let mut clause_items = vec![Sexp::Atom("clauses".into())];
+    for c in &p.clauses {
+        let mut items = vec![Sexp::Atom("cl".into())];
+        items.extend(c.iter().map(|&l| lit_to_sexp(l)));
+        clause_items.push(Sexp::List(items));
+    }
+    let mut out = vec![
+        Sexp::Atom("proof".into()),
+        Sexp::Atom(index.to_string()),
+        Sexp::List(clause_items),
+    ];
+    if !p.hints.is_empty() {
+        let mut hint_items = vec![Sexp::Atom("hints".into())];
+        for h in &p.hints {
+            let mut items = vec![Sexp::Atom("h".into())];
+            items.extend(h.iter().map(|n| Sexp::Atom(n.to_string())));
+            hint_items.push(Sexp::List(items));
+        }
+        out.push(Sexp::List(hint_items));
+    }
+    Sexp::List(out)
+}
+
 /// Renders a certificate in concrete S-expression syntax, one obligation
-/// per line (stable, diff-friendly — used by the golden files).
+/// per line (stable, diff-friendly — used by the golden files). Stored
+/// proofs render after the obligations they accelerate, one `(proof …)`
+/// form per line.
 #[must_use]
 pub fn render_certificate(cert: &Certificate) -> String {
     let mut out = String::from("(certificate\n");
@@ -297,6 +382,9 @@ pub fn render_certificate(cert: &Certificate) -> String {
     }
     for ob in &cert.obligations {
         out.push_str(&format!(" {}\n", obligation_to_sexp(ob)));
+    }
+    for (i, p) in &cert.proofs {
+        out.push_str(&format!(" {}\n", proof_to_sexp(*i, p)));
     }
     out.push_str(")\n");
     out
@@ -442,6 +530,60 @@ fn sexp_to_obligation(s: &Sexp) -> Result<Obligation, ParseError> {
     }
 }
 
+fn sexp_to_lit(s: &Sexp) -> Result<Lit, ParseError> {
+    let Some(a) = s.as_atom() else {
+        return perr(format!("expected a DIMACS literal, found `{s}`"));
+    };
+    let Ok(n) = a.parse::<i64>() else {
+        return perr(format!("bad DIMACS literal `{a}`"));
+    };
+    if n == 0 {
+        return perr("DIMACS literal 0 is reserved");
+    }
+    let Ok(var) = u32::try_from(n.unsigned_abs() - 1) else {
+        return perr(format!("DIMACS literal `{a}` out of range"));
+    };
+    Ok(Lit::with_sign(var, n > 0))
+}
+
+/// Parses the payload of a `(proof …)` form (everything after the tag).
+fn sexp_to_proof(items: &[Sexp]) -> Result<(usize, RupProof), ParseError> {
+    let Some(index) = items
+        .first()
+        .and_then(Sexp::as_atom)
+        .and_then(|a| a.parse::<usize>().ok())
+    else {
+        return perr("`proof` needs an obligation index");
+    };
+    let Some(clause_list) = items.get(1) else {
+        return perr("`proof` needs a `(clauses …)` list");
+    };
+    let mut proof = RupProof::default();
+    for c in tagged(clause_list, "clauses")? {
+        let lits = tagged(c, "cl")?
+            .iter()
+            .map(sexp_to_lit)
+            .collect::<Result<Vec<_>, _>>()?;
+        proof.clauses.push(lits);
+    }
+    if let Some(hint_list) = items.get(2) {
+        for h in tagged(hint_list, "hints")? {
+            let mut hints = Vec::new();
+            for n in tagged(h, "h")? {
+                let Some(n) = n.as_atom().and_then(|a| a.parse::<u32>().ok()) else {
+                    return perr(format!("bad hint index `{n}`"));
+                };
+                hints.push(n);
+            }
+            proof.hints.push(hints);
+        }
+        if proof.hints.len() != proof.clauses.len() {
+            return perr("`hints` must list one `(h …)` per proof clause");
+        }
+    }
+    Ok((index, proof))
+}
+
 /// Parses a certificate from [`render_certificate`]'s concrete syntax.
 ///
 /// # Errors
@@ -452,6 +594,7 @@ pub fn parse_certificate(input: &str) -> Result<Certificate, ParseError> {
     let items = tagged(&sexp, "certificate")?;
     let mut digest = None;
     let mut obligations = Vec::new();
+    let mut proofs = Vec::new();
     for item in items {
         if let Ok(d) = tagged(item, "digest") {
             let Some(a) = d.first().and_then(Sexp::as_atom) else {
@@ -466,11 +609,17 @@ pub fn parse_certificate(input: &str) -> Result<Certificate, ParseError> {
             digest = Some(v);
             continue;
         }
+        if let Ok(p) = tagged(item, "proof") {
+            proofs.push(sexp_to_proof(p)?);
+            continue;
+        }
         obligations.push(sexp_to_obligation(item)?);
     }
+    proofs.sort_by_key(|(i, _)| *i);
     Ok(Certificate {
         obligations,
         digest,
+        proofs,
     })
 }
 
@@ -511,6 +660,7 @@ mod tests {
                 sorts: vec![(Var(0), Sort::BitVec(64))],
             }],
             digest: None,
+            proofs: Vec::new(),
         };
         let err = check_certificate(&cert).expect_err("must fail");
         assert_eq!(err.index, 0);
@@ -544,6 +694,100 @@ mod tests {
         );
         assert_eq!(rendered, render_certificate(&parsed));
         assert!(check_certificate(&parsed).is_ok());
+    }
+
+    /// An obligation the preprocessor cannot decide: `x < y ∧ y < z ⟹
+    /// x < z` needs the SAT core, so attaching proofs has something to
+    /// store.
+    fn transitivity() -> Certificate {
+        let (x, y, z) = (Expr::var(Var(0)), Expr::var(Var(1)), Expr::var(Var(2)));
+        Certificate::sealed(vec![
+            Obligation::Bv {
+                facts: vec![
+                    Expr::cmp(BvCmp::Ult, x.clone(), y.clone()),
+                    Expr::cmp(BvCmp::Ult, y, z.clone()),
+                ],
+                goal: Expr::cmp(BvCmp::Ult, x, z),
+                sorts: vec![
+                    (Var(0), Sort::BitVec(16)),
+                    (Var(1), Sort::BitVec(16)),
+                    (Var(2), Sort::BitVec(16)),
+                ],
+            },
+            Obligation::Lia {
+                facts: vec![LinAtom::Le(LinTerm::constant(0), LinTerm::constant(1))],
+                goal: LinAtom::Le(LinTerm::constant(0), LinTerm::constant(2)),
+            },
+        ])
+    }
+
+    #[test]
+    fn attached_proofs_round_trip_and_accelerate_replay() {
+        let mut cert = transitivity();
+        let attached = cert.attach_proofs();
+        assert!(attached >= 1, "the bv obligation must yield a proof");
+        assert!(
+            cert.proof_for(0).is_some(),
+            "proof attached to the bv obligation"
+        );
+        assert!(
+            cert.proof_for(1).is_none(),
+            "lia obligations carry no proof"
+        );
+
+        // Proofs are excluded from the digest: the sealed certificate
+        // still checks, and the replay takes the proof path (no CDCL
+        // search: zero conflicts and decisions).
+        let mut m = CertMetrics::default();
+        check_certificate_metered(&cert, &mut m).expect("proof-backed replay checks");
+        assert_eq!(m.solver.conflicts, 0, "stored proof must skip search");
+        assert_eq!(m.solver.decisions, 0, "stored proof must skip search");
+        assert_eq!(m.solver.unsat, 1);
+
+        // Round trip through the concrete syntax preserves the proofs.
+        let rendered = render_certificate(&cert);
+        assert!(rendered.contains("(proof 0 (clauses"), "{rendered}");
+        let parsed = parse_certificate(&rendered).expect("parses");
+        assert_eq!(parsed.proofs.len(), cert.proofs.len());
+        assert_eq!(parsed.proofs[0].1, cert.proofs[0].1);
+        assert!(check_certificate(&parsed).is_ok());
+    }
+
+    #[test]
+    fn tampered_proofs_degrade_to_search_never_to_acceptance() {
+        // A valid obligation with a corrupted proof still checks — the
+        // replay falls back to a full solve …
+        let mut cert = transitivity();
+        assert!(cert.attach_proofs() >= 1);
+        {
+            let (_, p) = cert.proofs.first_mut().expect("proof attached");
+            p.clauses.truncate(p.clauses.len().saturating_sub(1));
+            p.clauses.push(Vec::new());
+            p.hints.clear();
+        }
+        assert!(
+            check_certificate(&cert).is_ok(),
+            "corrupt proof must fall back to search, not fail the obligation"
+        );
+
+        // … and an *invalid* obligation is rejected even when a forged
+        // "proof" is attached: acceptance needs the proof to check against
+        // the fresh re-blasting, which a forgery cannot.
+        let x = Expr::var(Var(0));
+        let mut bogus = Certificate {
+            obligations: vec![Obligation::Bv {
+                facts: vec![],
+                goal: Expr::eq(x, Expr::bv(64, 5)),
+                sorts: vec![(Var(0), Sort::BitVec(64))],
+            }],
+            digest: None,
+            proofs: vec![(0, RupProof::default())],
+        };
+        let err = check_certificate(&bogus).expect_err("must fail");
+        assert_eq!(err.index, 0);
+        bogus.proofs[0].1.clauses = vec![Vec::new()];
+        let err = check_certificate(&bogus).expect_err("must still fail");
+        assert_eq!(err.index, 0);
     }
 
     #[test]

@@ -150,7 +150,23 @@ pub struct Verifier {
     /// cases and threads: entries are keyed by the full rendered query
     /// text plus solver configuration.
     pub qcache: Option<Arc<QueryCache>>,
+    /// Intra-case parallelism: blocks are independently judged units
+    /// (each starts from its own spec), so [`Verifier::verify_all`]
+    /// schedules them as independent jobs on up to this many workers
+    /// (`1` = inline, `0` = ask the OS). Reports merge in block-address
+    /// order, so rendered output is byte-identical across worker counts.
+    pub jobs: usize,
+    /// Optional deadline checked *between* block jobs: a lapsed deadline
+    /// fails the next block with [`DEADLINE_EXCEEDED`] instead of
+    /// starting it, so a long case can be interrupted mid-way (the
+    /// daemon's 504 path). Blocks already running are not preempted.
+    pub deadline: Option<Instant>,
 }
+
+/// The [`VerifyError::message`] used when [`Verifier::deadline`] lapses
+/// between block jobs — callers match on it to map the failure to a
+/// timeout rather than a verification defect.
+pub const DEADLINE_EXCEEDED: &str = "deadline exceeded between block jobs";
 
 impl Verifier {
     /// Creates a verifier with default solver settings and fuel.
@@ -163,19 +179,47 @@ impl Verifier {
             fuel: 128,
             trace: false,
             qcache: None,
+            jobs: 1,
+            deadline: None,
         }
     }
 
-    /// Verifies every annotated block with `verify = true`.
+    /// Verifies every annotated block with `verify = true`, scheduling
+    /// blocks as independent jobs on up to [`Verifier::jobs`] workers.
+    /// Results merge in block-address order whatever order workers finish
+    /// in, so the report (and everything rendered from it) is
+    /// byte-identical across worker counts.
     ///
     /// # Errors
     ///
-    /// Returns the first block failure.
+    /// Returns the lowest-addressed block failure (the same failure a
+    /// sequential run reports first), or a [`DEADLINE_EXCEEDED`] failure
+    /// if [`Verifier::deadline`] lapsed before some block started.
     pub fn verify_all(&self) -> Result<Report, VerifyError> {
+        let addrs: Vec<u64> = self
+            .prog
+            .blocks
+            .iter()
+            .filter(|(_, ann)| ann.verify)
+            .map(|(addr, _)| *addr)
+            .collect();
+        let results = crate::pipeline::run_jobs(self.jobs, addrs.len(), |i| {
+            if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(VerifyError {
+                    block: addrs[i],
+                    message: DEADLINE_EXCEEDED.into(),
+                });
+            }
+            self.verify_block(addrs[i])
+        });
         let mut report = Report::default();
-        for (addr, ann) in &self.prog.blocks {
-            if ann.verify {
-                report.blocks.push(self.verify_block(*addr)?);
+        for r in results {
+            match r {
+                Ok(Ok(block)) => report.blocks.push(block),
+                Ok(Err(e)) => return Err(e),
+                // Preserve sequential semantics: a panic inside a block
+                // propagates to the caller rather than being swallowed.
+                Err(p) => std::panic::panic_any(p.message),
             }
         }
         Ok(report)

@@ -29,7 +29,7 @@ pub use cert::{
     check_certificate_metered, obligations_digest, parse_certificate, render_certificate,
     CertError, Certificate, Obligation, DIGEST_MISMATCH,
 };
-pub use engine::{BlockReport, BlockStats, Report, Verifier, VerifyError};
+pub use engine::{BlockReport, BlockStats, Report, Verifier, VerifyError, DEADLINE_EXCEEDED};
 pub use iospec::{accepts, uart, NoIo, Protocol, UartProtocol};
 pub use pipeline::{
     effective_jobs, run_jobs, run_jobs_ok, run_jobs_profiled, JobPanic, JobSlot, SubmitError,

@@ -67,6 +67,9 @@ pub struct SolverMetrics {
     /// Terms folded away before CNF: cross-fact constant propagation,
     /// gate-level constant short-circuits, and structural-hash hits.
     pub folded: u64,
+    /// Proof clauses dropped by backward dependency trimming before the
+    /// RUP checker replays a refutation.
+    pub trimmed: u64,
 }
 
 impl SolverMetrics {
@@ -86,13 +89,14 @@ impl SolverMetrics {
         self.reduced += o.reduced;
         self.minimized += o.minimized;
         self.folded += o.folded;
+        self.trimmed += o.trimmed;
     }
 
     fn render(&self) -> String {
         format!(
             "queries={} sat={} unsat={} unknown={} model_verifies={} \
              cnf_vars={} cnf_clauses={} propagations={} decisions={} conflicts={} \
-             restarts={} reduced={} minimized={} folded={}",
+             restarts={} reduced={} minimized={} folded={} trimmed={}",
             self.queries,
             self.sat,
             self.unsat,
@@ -106,7 +110,8 @@ impl SolverMetrics {
             self.restarts,
             self.reduced,
             self.minimized,
-            self.folded
+            self.folded,
+            self.trimmed
         )
     }
 }
@@ -267,6 +272,10 @@ pub struct EngineMetrics {
     /// Vacuous/refuted branches cut off (the non-backtracking engine's
     /// analogue of a search backtrack).
     pub vacuous_branches: u64,
+    /// Blocks scheduled as independent intra-case verification jobs.
+    /// Deterministic: counts jobs *scheduled*, not workers used, so it is
+    /// byte-identical across `--jobs` settings.
+    pub blocks_parallel: u64,
 }
 
 impl EngineMetrics {
@@ -278,6 +287,7 @@ impl EngineMetrics {
         self.lia_queries += o.lia_queries;
         self.obligations += o.obligations;
         self.vacuous_branches += o.vacuous_branches;
+        self.blocks_parallel += o.blocks_parallel;
     }
 }
 
@@ -447,13 +457,14 @@ impl CaseProfile {
         s.push_str(&format!("  isla.smt: {}\n", self.isla_smt.render()));
         s.push_str(&format!(
             "  engine  : events={} instructions={} smt_queries={} lia_queries={} obligations={} \
-             vacuous_branches={}\n",
+             vacuous_branches={} blocks_parallel={}\n",
             self.engine.events,
             self.engine.instructions,
             self.engine.smt_queries,
             self.engine.lia_queries,
             self.engine.obligations,
-            self.engine.vacuous_branches
+            self.engine.vacuous_branches,
+            self.engine.blocks_parallel
         ));
         s.push_str(&format!("  eng.smt : {}\n", self.engine_smt.render()));
         s.push_str(&format!(
@@ -506,6 +517,7 @@ impl CaseProfile {
                 ("reduced", m.reduced),
                 ("minimized", m.minimized),
                 ("folded", m.folded),
+                ("trimmed", m.trimmed),
             ])
         };
         format!(
@@ -529,6 +541,7 @@ impl CaseProfile {
                 ("lia_queries", self.engine.lia_queries),
                 ("obligations", self.engine.obligations),
                 ("vacuous_branches", self.engine.vacuous_branches),
+                ("blocks_parallel", self.engine.blocks_parallel),
             ]),
             solver(&self.engine_smt),
             kv(&[

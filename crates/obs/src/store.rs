@@ -150,6 +150,7 @@ pub fn solver_metrics_to_json(m: &SolverMetrics) -> Json {
         ("reduced", u64_json(m.reduced)),
         ("minimized", u64_json(m.minimized)),
         ("folded", u64_json(m.folded)),
+        ("trimmed", u64_json(m.trimmed)),
     ])
 }
 
@@ -173,6 +174,7 @@ pub fn solver_metrics_from_json(j: &Json) -> Option<SolverMetrics> {
         reduced: field("reduced")?,
         minimized: field("minimized")?,
         folded: field("folded")?,
+        trimmed: field("trimmed")?,
     })
 }
 
@@ -272,6 +274,7 @@ mod tests {
             reduced: 12,
             minimized: 13,
             folded: 14,
+            trimmed: 15,
         };
         assert_eq!(
             solver_metrics_from_json(&solver_metrics_to_json(&m)),

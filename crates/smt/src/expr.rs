@@ -3,10 +3,23 @@
 //! Expressions are immutable trees with [`Arc`]-shared children, so cloning
 //! a subterm is O(1) and traces can be shipped across threads for the
 //! parallel per-instruction verification the paper describes.
+//!
+//! Terms are *hash-consed* in a global arena: every constructor interns
+//! its node, so structurally equal terms share one allocation. Equality
+//! is therefore a pointer comparison and hashing reads one cached word,
+//! which is what makes the memo tables in `simplify`, the bit-blaster,
+//! and `Session` cheap — they would otherwise deep-compare whole trees
+//! on every probe. The arena holds only weak references (plus a
+//! hash-keyed bucket index swept as it is revisited), so dropping the
+//! last user of a term frees it; a long-lived daemon does not accumulate
+//! every term it ever built.
 
-use std::collections::BTreeSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
 use islaris_bv::Bv;
 
@@ -226,9 +239,35 @@ pub enum ExprKind {
     Concat(Expr, Expr),
 }
 
-/// An SMT expression; a cheaply clonable immutable tree.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Expr(Arc<ExprKind>);
+/// An interned expression node. The structural hash is computed once at
+/// interning time, so hashing a term is O(1) however deep it is.
+#[derive(Debug)]
+struct ExprNode {
+    hash: u64,
+    kind: ExprKind,
+}
+
+/// An SMT expression; a cheaply clonable immutable tree, hash-consed so
+/// that structurally equal terms share one allocation (see the module
+/// docs). Equality is a pointer comparison; hashing reads a cached word.
+#[derive(Clone)]
+pub struct Expr(Arc<ExprNode>);
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        // Sound *and complete* for structural equality: every constructor
+        // interns, so structurally equal terms are the same allocation.
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
 
 impl fmt::Debug for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -236,15 +275,77 @@ impl fmt::Debug for Expr {
     }
 }
 
+const INTERN_SHARDS: usize = 16;
+
+/// One shard of the arena: structural hash → weak refs to live nodes
+/// with that hash. Buckets are swept of dead entries as they are
+/// revisited; a full sweep runs when the entry count doubles, so the
+/// index itself stays proportional to the live term count.
+#[derive(Default)]
+struct InternShard {
+    buckets: HashMap<u64, Vec<Weak<ExprNode>>>,
+    sweep_at: usize,
+}
+
+static INTERNER: OnceLock<[Mutex<InternShard>; INTERN_SHARDS]> = OnceLock::new();
+static INTERNED_TERMS: AtomicU64 = AtomicU64::new(0);
+static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Interner traffic since process start: `(terms_allocated, arena_hits)`.
+/// Both are monotone process-wide counters (schedule-dependent in a
+/// parallel run — they feed `/metrics` and `/stats`, never per-case
+/// profiles, which must stay byte-identical across worker counts).
+#[must_use]
+pub fn interner_stats() -> (u64, u64) {
+    (
+        INTERNED_TERMS.load(Ordering::Relaxed),
+        INTERN_HITS.load(Ordering::Relaxed),
+    )
+}
+
 impl Expr {
     /// The top constructor of the expression.
     #[must_use]
     pub fn kind(&self) -> &ExprKind {
-        &self.0
+        &self.0.kind
     }
 
     fn mk(kind: ExprKind) -> Expr {
-        Expr(Arc::new(kind))
+        let mut h = DefaultHasher::new();
+        kind.hash(&mut h);
+        let hash = h.finish();
+        let shards =
+            INTERNER.get_or_init(|| std::array::from_fn(|_| Mutex::new(InternShard::default())));
+        let mut shard = shards[(hash as usize) % INTERN_SHARDS]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let node = {
+            let bucket = shard.buckets.entry(hash).or_default();
+            bucket.retain(|w| w.strong_count() > 0);
+            // Children were themselves interned, so the derived one-level
+            // ExprKind equality (pointer-equal children) is full
+            // structural equality here.
+            if let Some(node) = bucket.iter().find_map(|w| {
+                let n = w.upgrade()?;
+                (n.kind == kind).then_some(n)
+            }) {
+                INTERN_HITS.fetch_add(1, Ordering::Relaxed);
+                return Expr(node);
+            }
+            let node = Arc::new(ExprNode { hash, kind });
+            bucket.push(Arc::downgrade(&node));
+            node
+        };
+        INTERNED_TERMS.fetch_add(1, Ordering::Relaxed);
+        if shard.buckets.len() >= shard.sweep_at {
+            shard.buckets.retain(|_, v| {
+                v.retain(|w| w.strong_count() > 0);
+                !v.is_empty()
+            });
+            shard.sweep_at = (shard.buckets.len() * 2).max(1024);
+        }
+        drop(shard);
+        Expr(node)
     }
 
     /// A bitvector constant.
@@ -774,6 +875,37 @@ mod tests {
             fv.into_iter().collect::<Vec<_>>(),
             vec![Var(2), Var(3), Var(4)]
         );
+    }
+
+    #[test]
+    fn structurally_equal_terms_are_interned_to_one_allocation() {
+        let build = || {
+            Expr::add(
+                Expr::extract(63, 0, Expr::zero_extend(64, Expr::var(Var(38)))),
+                Expr::bv(64, 0x40),
+            )
+        };
+        let (a, b) = (build(), build());
+        assert!(Arc::ptr_eq(&a.0, &b.0), "two builds share one allocation");
+        assert_eq!(a, b);
+        // Hashing reads the cached structural hash, so equal terms hash
+        // identically through any hasher.
+        let digest = |e: &Expr| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        // The second build answered every constructor from the arena.
+        let before = interner_stats();
+        let c = build();
+        let after = interner_stats();
+        assert_eq!(after.0, before.0, "no new allocations for a rebuild");
+        assert!(after.1 >= before.1 + 4, "rebuild hits the arena per node");
+        assert_eq!(a, c);
+        // Distinct terms stay distinct.
+        assert_ne!(Expr::bv(64, 0x40), Expr::bv(64, 0x41));
+        assert_ne!(Expr::bv(32, 1), Expr::bv(64, 1));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod solver;
 pub mod store;
 
 pub use eval::{eval, eval_bits, eval_bool, EvalError};
-pub use expr::{BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen};
+pub use expr::{
+    interner_stats, BvBinop, BvCmp, BvUnop, Expr, ExprKind, Sort, SortError, Value, Var, VarGen,
+};
+pub use sat::RupProof;
 pub use sat::SatConfig;
 pub use session::{QueryCache, Session};
 pub use simplify::{
@@ -47,7 +50,8 @@ pub use simplify::{
 };
 pub use solver::{
     check_sat, check_sat_logged, check_sat_metered, entails, entails_logged, entails_metered,
-    maybe_sat, maybe_sat_metered, query_digest, Model, SmtResult, SolverConfig,
+    entails_proof, entails_via_proof, maybe_sat, maybe_sat_metered, query_digest, Model, SmtResult,
+    SolverConfig,
 };
 pub use store::{QueryStore, QUERY_MAGIC};
 

@@ -206,6 +206,34 @@ pub enum AssumptionOutcome {
 pub struct RupProof {
     /// Learned clauses in derivation order. The last entry must be empty.
     pub clauses: Vec<Vec<Lit>>,
+    /// Per-clause antecedent hints, parallel to `clauses` when present
+    /// (empty = unhinted). `hints[i]` lists checker-database indices —
+    /// original clauses first (`0..N`), then earlier proof clauses in
+    /// order (`N + j` for proof clause `j`) — expected to go unit one
+    /// after another under the negation of `clauses[i]`, ending with a
+    /// conflicting clause. Hints are *untrusted accelerators*: the
+    /// checker re-verifies every propagation they name and falls back to
+    /// full occurrence-list search when they are absent, stale, or wrong,
+    /// so bad hints degrade to search, never to acceptance.
+    pub hints: Vec<Vec<u32>>,
+}
+
+impl RupProof {
+    /// True iff every clause carries an antecedent hint list.
+    #[must_use]
+    pub fn is_hinted(&self) -> bool {
+        !self.clauses.is_empty() && self.hints.len() == self.clauses.len()
+    }
+
+    /// The same clause sequence without hints (the checker then uses full
+    /// occurrence-list search for every clause).
+    #[must_use]
+    pub fn strip_hints(&self) -> RupProof {
+        RupProof {
+            clauses: self.clauses.clone(),
+            hints: Vec::new(),
+        }
+    }
 }
 
 const LUBY_UNIT: u64 = 128;
@@ -298,6 +326,30 @@ pub struct SatSolver {
     /// Verbatim copies of the input clauses (including units), kept for
     /// RUP proof checking.
     original: Vec<Vec<Lit>>,
+    /// Checker-database index per stored clause: input clauses map to
+    /// their position in `original`, learned clauses to `original.len()`
+    /// plus their proof index (`u32::MAX` when the clause was never
+    /// logged, e.g. learned while proof logging was off).
+    checker_idx: Vec<u32>,
+    /// Checker indices whose clauses replay the root-level trail in
+    /// assignment order. Prefixed to every emitted hint list so the
+    /// hinted checker re-derives level-0 values before the chain proper.
+    root_hints: Vec<u32>,
+    /// Trail position per variable (meaningful while assigned); orders
+    /// conflict-minimisation hints by propagation time.
+    trail_pos: Vec<u32>,
+    /// Set when a root-level assignment has no logged derivation (clauses
+    /// learned while logging was off, or a proof already handed out):
+    /// hint emission degrades to empty per-clause hint lists, which the
+    /// checker treats as "search for this clause".
+    hints_poisoned: bool,
+    /// Checker index of the input clause that set `root_conflict`.
+    root_conflict_hint: Option<u32>,
+    /// Hints for the most recent [`SatSolver::analyze`] learned clause:
+    /// root chain, then minimisation reasons, then the resolved reasons
+    /// in propagation order, ending with the conflicting clause. Empty
+    /// when recording was off or some antecedent was unlogged.
+    analysis_hints: Vec<u32>,
 }
 
 impl SatSolver {
@@ -331,6 +383,7 @@ impl SatSolver {
         self.assign.push(None);
         self.level.push(0);
         self.reason.push(u32::MAX);
+        self.trail_pos.push(0);
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
@@ -431,14 +484,26 @@ impl SatSolver {
             return;
         }
         self.original.push(lits.clone());
+        let cidx = (self.original.len() - 1) as u32;
         match lits.len() {
-            0 => self.root_conflict = true,
+            0 => {
+                self.root_conflict = true;
+                self.root_conflict_hint.get_or_insert(cidx);
+            }
             1 => match self.value(lits[0]) {
-                Some(false) => self.root_conflict = true,
+                Some(false) => {
+                    self.root_conflict = true;
+                    self.root_conflict_hint.get_or_insert(cidx);
+                }
                 Some(true) => {}
-                None => self.enqueue(lits[0], u32::MAX),
+                None => {
+                    // The unit clause itself derives the root assignment.
+                    self.root_hints.push(cidx);
+                    self.enqueue(lits[0], u32::MAX);
+                }
             },
             _ => {
+                self.checker_idx.push(cidx);
                 let ci = self.clauses.len() as u32;
                 self.watches[lits[0].negate().index()].push(Watch {
                     ci,
@@ -467,6 +532,15 @@ impl SatSolver {
         self.level[l.var() as usize] = self.trail_lim.len() as u32;
         self.reason[l.var() as usize] = reason;
         self.phase[l.var() as usize] = l.is_pos();
+        self.trail_pos[l.var() as usize] = self.trail.len() as u32;
+        if self.trail_lim.is_empty() && reason != u32::MAX {
+            // Root-level propagation: extend the persistent root chain
+            // (or poison it if the reason clause was never logged).
+            match self.checker_idx[reason as usize] {
+                u32::MAX => self.hints_poisoned = true,
+                idx => self.root_hints.push(idx),
+            }
+        }
         self.trail.push(l);
     }
 
@@ -625,8 +699,21 @@ impl SatSolver {
         let mut trail_idx = self.trail.len();
         let mut reason_clause = conflict;
         let mut uip = None;
+        // Antecedent recording for hint emission: every clause this
+        // analysis resolves on, in resolution order (conflict first, then
+        // reasons walking the trail backwards). Reversed at emission time
+        // that is exactly the propagation order a hinted replay needs.
+        let record = !self.no_proof_log;
+        let mut rec: Vec<u32> = Vec::new();
+        let mut rec_ok = true;
 
         loop {
+            if record {
+                match self.checker_idx[reason_clause as usize] {
+                    u32::MAX => rec_ok = false,
+                    idx => rec.push(idx),
+                }
+            }
             let clen = self.clauses[reason_clause as usize].lits.len();
             for idx in 0..clen {
                 let l = self.clauses[reason_clause as usize].lits[idx];
@@ -666,6 +753,10 @@ impl SatSolver {
         }
 
         let uip = uip.expect("conflict at level > 0 has a UIP");
+        // Reasons of minimised-away literals, keyed by trail position: a
+        // hinted replay must re-derive those literals (they are no longer
+        // falsified by ¬C) before the main chain, in propagation order.
+        let mut min_hints: Vec<(u32, u32)> = Vec::new();
         if self.cfg.minimize {
             // Minimise: drop literals whose reason clause is covered by the
             // rest of the learned clause (non-recursive self-subsumption).
@@ -681,11 +772,18 @@ impl SatSolver {
                     if r == u32::MAX {
                         return true;
                     }
-                    !self.clauses[r as usize].lits.iter().all(|&q| {
+                    let redundant = self.clauses[r as usize].lits.iter().all(|&q| {
                         q.var() == l.var()
                             || self.seen[q.var() as usize]
                             || self.level[q.var() as usize] == 0
-                    })
+                    });
+                    if redundant && record {
+                        match self.checker_idx[r as usize] {
+                            u32::MAX => rec_ok = false,
+                            idx => min_hints.push((self.trail_pos[l.var() as usize], idx)),
+                        }
+                    }
+                    !redundant
                 })
                 .collect();
             self.minimized += (learned.len() - keep.len()) as u64;
@@ -722,6 +820,19 @@ impl SatSolver {
             self.seen[v as usize] = false;
         }
         self.seen_stack.clear();
+        // Emit the hint list for this learned clause: root chain, then
+        // minimisation reasons in trail order, then the recorded
+        // antecedents reversed (propagation order, conflict last). An
+        // unlogged antecedent leaves the clause unhinted — the checker
+        // then falls back to search for it.
+        self.analysis_hints.clear();
+        if record && rec_ok && !self.hints_poisoned {
+            self.analysis_hints.extend_from_slice(&self.root_hints);
+            min_hints.sort_unstable();
+            self.analysis_hints
+                .extend(min_hints.iter().map(|&(_, c)| c));
+            self.analysis_hints.extend(rec.iter().rev());
+        }
         (learned, backjump, lbd)
     }
 
@@ -773,9 +884,10 @@ impl SatSolver {
     }
 
     /// Installs a freshly learned clause (two or more literals) and
-    /// enqueues its asserting literal. Returns nothing; the caller has
-    /// already backtracked to the backjump level.
-    fn install_learned(&mut self, learned: Vec<Lit>, lbd: u32) {
+    /// enqueues its asserting literal. `cidx` is the clause's
+    /// checker-database index (`u32::MAX` when it was not logged). The
+    /// caller has already backtracked to the backjump level.
+    fn install_learned(&mut self, learned: Vec<Lit>, lbd: u32, cidx: u32) {
         let ci = self.clauses.len() as u32;
         self.watches[learned[0].negate().index()].push(Watch {
             ci,
@@ -786,6 +898,7 @@ impl SatSolver {
             blocker: learned[0],
         });
         let asserting = learned[0];
+        self.checker_idx.push(cidx);
         self.clauses.push(Clause {
             lits: learned,
             learned: true,
@@ -826,16 +939,21 @@ impl SatSolver {
             drop[ci as usize] = true;
         }
         let deleted = candidates.len() - keep_n;
-        // Compact the database, building the old→new index map.
+        // Compact the database, building the old→new index map. The
+        // checker-index column moves in lockstep (checker indices
+        // themselves are stable: the proof vector never shrinks).
         let mut remap = vec![u32::MAX; self.clauses.len()];
         let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len() - deleted);
+        let mut kept_idx: Vec<u32> = Vec::with_capacity(self.clauses.len() - deleted);
         for (ci, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
             if !drop[ci] {
                 remap[ci] = kept.len() as u32;
+                kept_idx.push(self.checker_idx[ci]);
                 kept.push(c);
             }
         }
         self.clauses = kept;
+        self.checker_idx = kept_idx;
         // Remap reasons; dropped clauses are never reasons (unlocked).
         for r in &mut self.reason {
             if *r != u32::MAX {
@@ -891,12 +1009,12 @@ impl SatSolver {
     /// conflicts, returning `None` (the caller reports "unknown").
     pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatOutcome> {
         if self.root_conflict {
-            self.log_proof_clause(Vec::new());
-            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+            let hints = self.root_refutation_hints(self.root_conflict_hint.unwrap_or(u32::MAX));
+            return Some(self.finish_unsat(hints));
         }
-        if self.propagate().is_some() {
-            self.log_proof_clause(Vec::new());
-            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+        if let Some(ci) = self.propagate() {
+            let hints = self.root_refutation_hints(self.checker_idx[ci as usize]);
+            return Some(self.finish_unsat(hints));
         }
         let mut restart_budget = self.initial_restart_budget();
         let mut restart_seq = 0u32;
@@ -908,26 +1026,38 @@ impl SatSolver {
                     return None;
                 }
                 if self.trail_lim.is_empty() {
-                    self.log_proof_clause(Vec::new());
-                    return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+                    let hints = self.root_refutation_hints(self.checker_idx[conflict as usize]);
+                    return Some(self.finish_unsat(hints));
                 }
                 let (learned, backjump, lbd) = self.analyze(conflict);
-                if !self.no_proof_log {
+                let cidx = if self.no_proof_log {
+                    u32::MAX
+                } else {
+                    let hints = std::mem::take(&mut self.analysis_hints);
                     self.proof.clauses.push(learned.clone());
-                }
+                    self.proof.hints.push(hints);
+                    (self.original.len() + self.proof.clauses.len() - 1) as u32
+                };
                 self.backtrack(backjump);
                 self.act_inc /= 0.95;
                 match learned.len() {
                     1 => {
                         if self.value(learned[0]) == Some(false) {
-                            self.log_proof_clause(Vec::new());
-                            return Some(SatOutcome::Unsat(std::mem::take(&mut self.proof)));
+                            // Root closure falsifies the just-learned unit:
+                            // replaying it after the root chain conflicts.
+                            let hints = self.root_refutation_hints(cidx);
+                            return Some(self.finish_unsat(hints));
                         }
                         if self.value(learned[0]).is_none() {
+                            if cidx == u32::MAX {
+                                self.hints_poisoned = true;
+                            } else {
+                                self.root_hints.push(cidx);
+                            }
                             self.enqueue(learned[0], u32::MAX);
                         }
                     }
-                    _ => self.install_learned(learned, lbd),
+                    _ => self.install_learned(learned, lbd, cidx),
                 }
                 self.maybe_reduce();
                 restart_budget = restart_budget.saturating_sub(1);
@@ -954,10 +1084,28 @@ impl SatSolver {
         }
     }
 
-    fn log_proof_clause(&mut self, clause: Vec<Lit>) {
-        if !self.no_proof_log {
-            self.proof.clauses.push(clause);
+    /// Hints deriving the empty clause from the root closure: the root
+    /// chain followed by `conflict_cidx`, the checker index of a clause
+    /// the closure falsifies. Empty (= "search") when unavailable.
+    fn root_refutation_hints(&self, conflict_cidx: u32) -> Vec<u32> {
+        if self.no_proof_log || self.hints_poisoned || conflict_cidx == u32::MAX {
+            return Vec::new();
         }
+        let mut h = self.root_hints.clone();
+        h.push(conflict_cidx);
+        h
+    }
+
+    /// Logs the final empty clause (with its hints) and hands the proof
+    /// out. The checker indices recorded so far point into that proof, so
+    /// hint emission is poisoned for any later solve on this instance.
+    fn finish_unsat(&mut self, hints: Vec<u32>) -> SatOutcome {
+        if !self.no_proof_log {
+            self.proof.clauses.push(Vec::new());
+            self.proof.hints.push(hints);
+        }
+        self.hints_poisoned = true;
+        SatOutcome::Unsat(std::mem::take(&mut self.proof))
     }
 
     /// MiniSat-style incremental solve under assumption literals.
@@ -1022,10 +1170,13 @@ impl SatSolver {
                             return Some(AssumptionOutcome::Unsat(Vec::new()));
                         }
                         if self.value(learned[0]).is_none() {
+                            // Unlogged root unit: later hint chains cannot
+                            // re-derive it, so stop emitting hints.
+                            self.hints_poisoned = true;
                             self.enqueue(learned[0], u32::MAX);
                         }
                     }
-                    _ => self.install_learned(learned, lbd),
+                    _ => self.install_learned(learned, lbd, u32::MAX),
                 }
                 self.maybe_reduce();
                 restart_budget = restart_budget.saturating_sub(1);
@@ -1133,14 +1284,25 @@ fn luby(unit: u64, i: u32) -> u64 {
 /// that later *deleted* learned clauses (database reduction) still check:
 /// every resolvent was derived from clauses present at learn time, all of
 /// which are in the checker's superset database.
+///
+/// When the proof carries antecedent hints (see [`RupProof::hints`]) the
+/// checker first replays exactly the hinted clauses — asserting ¬C and
+/// verifying that each named clause really is unit (or conflicting) before
+/// acting on it — which makes checking near-linear in the proof size. A
+/// clause whose hints fail to produce a conflict falls back to the full
+/// occurrence-list search, so hints can never turn an invalid proof into
+/// an accepted one.
 #[must_use]
 pub fn check_rup_proof(num_vars: u32, clauses: &[Vec<Lit>], proof: &RupProof) -> bool {
     if proof.clauses.last().map(Vec::is_empty) != Some(true) {
         return false;
     }
+    let hinted = proof.hints.len() == proof.clauses.len();
     let mut db: Vec<Vec<Lit>> = clauses.to_vec();
-    for learned in &proof.clauses {
-        if !rup_derivable(num_vars, &db, learned) {
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars as usize];
+    for (i, learned) in proof.clauses.iter().enumerate() {
+        let by_hints = hinted && rup_hinted(&db, learned, &proof.hints[i], &mut assign);
+        if !by_hints && !rup_derivable(num_vars, &db, learned) {
             return false;
         }
         db.push(learned.clone());
@@ -1177,6 +1339,58 @@ fn examine(c: &[Lit], assign: &[Option<bool>]) -> ClauseState {
         1 => ClauseState::Unit(unassigned.expect("one unassigned literal")),
         _ => ClauseState::Unresolved,
     }
+}
+
+/// Hint-guided variant of [`rup_derivable`]: asserts ¬`clause` and then
+/// examines only the hinted database clauses, in order, assigning each
+/// verified unit. Returns `true` iff a hinted clause is genuinely
+/// conflicting under the propagated assignment — the only way to accept.
+/// Satisfied or unresolved hints are skipped (stale hints lose speed, not
+/// soundness), out-of-range hints abort, and running out of hints without
+/// a conflict returns `false` so the caller falls back to full search.
+///
+/// `assign` is caller-provided scratch (all `None` between calls) so the
+/// per-clause cost is the hinted clauses, not a fresh `num_vars` vector.
+fn rup_hinted(db: &[Vec<Lit>], clause: &[Lit], hints: &[u32], assign: &mut [Option<bool>]) -> bool {
+    let mut trail: Vec<SatVar> = Vec::new();
+    let mut derived = false;
+    'assert: {
+        for &l in clause {
+            let neg = l.negate();
+            match assign[neg.var() as usize] {
+                Some(b) if b != neg.is_pos() => {
+                    // ¬C is self-contradictory; the clause is a tautology.
+                    derived = true;
+                    break 'assert;
+                }
+                Some(_) => {}
+                None => {
+                    assign[neg.var() as usize] = Some(neg.is_pos());
+                    trail.push(neg.var());
+                }
+            }
+        }
+        for &h in hints {
+            let Some(c) = db.get(h as usize) else {
+                break;
+            };
+            match examine(c, assign) {
+                ClauseState::Conflict => {
+                    derived = true;
+                    break;
+                }
+                ClauseState::Unit(l) => {
+                    assign[l.var() as usize] = Some(l.is_pos());
+                    trail.push(l.var());
+                }
+                ClauseState::Satisfied | ClauseState::Unresolved => {}
+            }
+        }
+    }
+    for v in trail {
+        assign[v as usize] = None;
+    }
+    derived
 }
 
 /// True iff asserting the negation of `clause` and unit-propagating over
@@ -1226,6 +1440,322 @@ fn rup_derivable(num_vars: u32, db: &[Vec<Lit>], clause: &[Lit]) -> bool {
         }
     }
     false
+}
+
+const NO_REASON: u32 = u32::MAX;
+/// Assignment-order base for per-derivation temporaries in the trimmer:
+/// root-level positions are below it, so sorting hints by position always
+/// replays persistent root units before derivation-local propagations.
+const TEMP_POS_BASE: u32 = 1 << 31;
+
+/// Forward-replay state for [`trim_proof`]: the clause database grown one
+/// proof clause at a time with persistent occurrence lists, a persistent
+/// root-level assignment (unit clauses and their propagation closure hold
+/// under *every* derivation, so they are computed once), and per-variable
+/// reason clauses for the backward dependency walk.
+struct Trimmer<'a> {
+    db: Vec<&'a [Lit]>,
+    /// occ[lit] = indices of db clauses containing that literal.
+    /// Propagation visits only the clauses containing the literal just
+    /// *falsified* — clauses containing the satisfied complement can
+    /// never become unit, so variable-indexed lists would examine them
+    /// for nothing (roughly half of all visits).
+    occ: Vec<Vec<u32>>,
+    assign: Vec<Option<bool>>,
+    /// Clause that propagated each variable ([`NO_REASON`] = unassigned
+    /// or asserted by the ¬C of the current derivation).
+    reason: Vec<u32>,
+    /// Assignment order per variable, for emitting hints in propagation
+    /// order (root positions first, then derivation temporaries).
+    pos: Vec<u32>,
+    root_trail_len: u32,
+    /// First clause found conflicting under the root assignment alone:
+    /// the database refutes itself by propagation, so every clause is
+    /// derivable from that conflict's dependency chain.
+    root_conflict: Option<u32>,
+    /// Epoch stamps replacing per-derivation hash sets in the backward
+    /// walk: a mark equals `epoch` iff set during the current walk.
+    /// `clause_mark` (parallel to `db`) plays "visited", `var_mark` plays
+    /// "variable of the clause being derived".
+    clause_mark: Vec<u32>,
+    var_mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'a> Trimmer<'a> {
+    fn new(num_vars: u32, clauses: &'a [Vec<Lit>]) -> Trimmer<'a> {
+        let n = num_vars as usize;
+        let mut t = Trimmer {
+            db: Vec::with_capacity(clauses.len()),
+            occ: vec![Vec::new(); 2 * n],
+            assign: vec![None; n],
+            reason: vec![NO_REASON; n],
+            pos: vec![0; n],
+            root_trail_len: 0,
+            root_conflict: None,
+            clause_mark: Vec::with_capacity(clauses.len()),
+            var_mark: vec![0; n],
+            epoch: 0,
+        };
+        for c in clauses {
+            t.admit(c);
+        }
+        t
+    }
+
+    /// Appends a clause to the database, extending the root-level
+    /// propagation closure if it is unit (or conflicting) under it.
+    fn admit(&mut self, c: &'a [Lit]) {
+        let idx = self.db.len() as u32;
+        self.db.push(c);
+        self.clause_mark.push(0);
+        for &l in c {
+            self.occ[l.0 as usize].push(idx);
+        }
+        if self.root_conflict.is_some() {
+            return;
+        }
+        match examine(c, &self.assign) {
+            ClauseState::Conflict => self.root_conflict = Some(idx),
+            ClauseState::Unit(l) => {
+                self.root_assign(l, idx);
+                self.propagate_root(l);
+            }
+            ClauseState::Satisfied | ClauseState::Unresolved => {}
+        }
+    }
+
+    fn root_assign(&mut self, l: Lit, why: u32) {
+        let v = l.var() as usize;
+        self.assign[v] = Some(l.is_pos());
+        self.reason[v] = why;
+        self.pos[v] = self.root_trail_len;
+        self.root_trail_len += 1;
+    }
+
+    fn propagate_root(&mut self, start: Lit) {
+        // The queue holds assigned (true) literals; only clauses
+        // containing the falsified complement are worth examining.
+        let mut queue = vec![start];
+        while let Some(t) = queue.pop() {
+            let falsified = t.negate().0 as usize;
+            let mut i = 0;
+            while i < self.occ[falsified].len() {
+                let ci = self.occ[falsified][i];
+                i += 1;
+                match examine(self.db[ci as usize], &self.assign) {
+                    ClauseState::Conflict => {
+                        self.root_conflict = Some(ci);
+                        return;
+                    }
+                    ClauseState::Unit(l) => {
+                        self.root_assign(l, ci);
+                        queue.push(l);
+                    }
+                    ClauseState::Satisfied | ClauseState::Unresolved => {}
+                }
+            }
+        }
+    }
+
+    /// Derives `clause` by unit propagation on top of the root closure,
+    /// returning the database indices its derivation depends on — reason
+    /// clauses in assignment order, the conflicting clause last — or
+    /// `None` if no conflict is reached (the clause is not RUP).
+    ///
+    /// `hints` (the input proof's, typically solver-recorded at learn
+    /// time) guide propagation: only the hinted clauses are examined, each
+    /// verified unit/conflicting before use, so a good chain replaces the
+    /// occurrence-list search entirely. Every hint-guided assignment is a
+    /// genuine unit consequence, so when the chain stalls the full search
+    /// simply continues from the propagated state — wrong hints lose
+    /// speed, never exactness, and the emitted dependency set always comes
+    /// from the backward walk over verified propagations.
+    fn derive(&mut self, clause: &[Lit], hints: &[u32]) -> Option<Vec<u32>> {
+        if let Some(k) = self.root_conflict {
+            return Some(self.backward(k, clause));
+        }
+        // Assert ¬C on top of the persistent root assignment. `temp` is
+        // both the undo trail and the propagation queue (processed in
+        // assignment order; entries are the assigned-true literals).
+        let mut temp: Vec<Lit> = Vec::new();
+        let mut temp_pos = TEMP_POS_BASE;
+        let mut conflict: Option<u32> = None;
+        for &l in clause {
+            let neg = l.negate();
+            let v = neg.var() as usize;
+            match self.assign[v] {
+                Some(b) if b == neg.is_pos() => {}
+                Some(_) => {
+                    // ¬C contradicts the root closure; the clause that
+                    // propagated the root value is the conflict.
+                    conflict = Some(self.reason[v]);
+                    break;
+                }
+                None => {
+                    self.assign[v] = Some(neg.is_pos());
+                    self.pos[v] = temp_pos;
+                    temp_pos += 1;
+                    temp.push(neg);
+                }
+            }
+        }
+        if conflict.is_none() {
+            for &h in hints {
+                let Some(&c) = self.db.get(h as usize) else {
+                    break;
+                };
+                match examine(c, &self.assign) {
+                    ClauseState::Conflict => {
+                        conflict = Some(h);
+                        break;
+                    }
+                    ClauseState::Unit(l) => {
+                        let u = l.var() as usize;
+                        self.assign[u] = Some(l.is_pos());
+                        self.reason[u] = h;
+                        self.pos[u] = temp_pos;
+                        temp_pos += 1;
+                        temp.push(l);
+                    }
+                    ClauseState::Satisfied | ClauseState::Unresolved => {}
+                }
+            }
+        }
+        if conflict.is_none() {
+            let mut qi = 0;
+            'prop: while qi < temp.len() {
+                let falsified = temp[qi].negate().0 as usize;
+                qi += 1;
+                let mut i = 0;
+                while i < self.occ[falsified].len() {
+                    let ci = self.occ[falsified][i];
+                    i += 1;
+                    match examine(self.db[ci as usize], &self.assign) {
+                        ClauseState::Conflict => {
+                            conflict = Some(ci);
+                            break 'prop;
+                        }
+                        ClauseState::Unit(l) => {
+                            let u = l.var() as usize;
+                            self.assign[u] = Some(l.is_pos());
+                            self.reason[u] = ci;
+                            self.pos[u] = temp_pos;
+                            temp_pos += 1;
+                            temp.push(l);
+                        }
+                        ClauseState::Satisfied | ClauseState::Unresolved => {}
+                    }
+                }
+            }
+        }
+        let deps = conflict.map(|k| self.backward(k, clause));
+        for l in temp {
+            let v = l.var() as usize;
+            self.assign[v] = None;
+            self.reason[v] = NO_REASON;
+            self.pos[v] = 0;
+        }
+        deps
+    }
+
+    /// Walks the implication graph backwards from `conflict`, collecting
+    /// the reason clauses it transitively depends on. Variables of the
+    /// clause being derived are supplied by ¬C in a replay, so their
+    /// reasons are not followed.
+    fn backward(&mut self, conflict: u32, clause: &[Lit]) -> Vec<u32> {
+        self.epoch += 1;
+        let e = self.epoch;
+        for l in clause {
+            self.var_mark[l.var() as usize] = e;
+        }
+        self.clause_mark[conflict as usize] = e;
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        let mut stack = vec![conflict];
+        while let Some(c) = stack.pop() {
+            for &l in self.db[c as usize] {
+                let v = l.var() as usize;
+                if self.var_mark[v] == e {
+                    continue;
+                }
+                let r = self.reason[v];
+                if r != NO_REASON && self.clause_mark[r as usize] != e {
+                    self.clause_mark[r as usize] = e;
+                    entries.push((self.pos[v], r));
+                    stack.push(r);
+                }
+            }
+        }
+        entries.sort_unstable();
+        let mut deps: Vec<u32> = entries.into_iter().map(|(_, c)| c).collect();
+        deps.push(conflict);
+        deps
+    }
+}
+
+/// Trims an RUP refutation to the clauses its final empty-clause conflict
+/// actually depends on (DRAT-trim's backward pass) and attaches
+/// per-clause antecedent hints (LRAT-style) for [`check_rup_proof`]'s
+/// hint-guided mode.
+///
+/// The proof is replayed forwards once, recording for each clause the
+/// reason clauses behind the conflict that derives it; a backward pass
+/// from the final empty clause then marks the proof clauses reachable
+/// through those dependencies, and only marked clauses are emitted (with
+/// hints remapped to the surviving numbering). Original clauses are never
+/// trimmed — the checker's database always starts from the full input.
+///
+/// Returns `None` when the proof does not replay (some clause is not RUP
+/// or the proof does not end with the empty clause); callers fall back to
+/// checking the untrimmed proof, which fails the same way.
+#[must_use]
+pub fn trim_proof(num_vars: u32, clauses: &[Vec<Lit>], proof: &RupProof) -> Option<RupProof> {
+    if proof.clauses.last().map(Vec::is_empty) != Some(true) {
+        return None;
+    }
+    let n = clauses.len() as u32;
+    let hinted = proof.is_hinted();
+    let mut t = Trimmer::new(num_vars, clauses);
+    let mut deps: Vec<Vec<u32>> = Vec::with_capacity(proof.clauses.len());
+    for (i, learned) in proof.clauses.iter().enumerate() {
+        // Solver-recorded hints (when present) steer each derivation
+        // straight to its conflict; the trimmer degrades to search per
+        // clause when a chain stalls, so stale hints cannot change the
+        // trimmed output's validity.
+        let hints: &[u32] = if hinted { &proof.hints[i] } else { &[] };
+        deps.push(t.derive(learned, hints)?);
+        t.admit(learned);
+    }
+    let p = proof.clauses.len();
+    let mut marked = vec![false; p];
+    marked[p - 1] = true;
+    for i in (0..p).rev() {
+        if marked[i] {
+            for &d in &deps[i] {
+                if d >= n {
+                    marked[(d - n) as usize] = true;
+                }
+            }
+        }
+    }
+    // Emit survivors, remapping hints to the trimmed checker numbering:
+    // originals 0..n, then surviving proof clauses in derivation order.
+    let mut new_idx = vec![u32::MAX; p];
+    let mut out = RupProof::default();
+    for i in 0..p {
+        if !marked[i] {
+            continue;
+        }
+        new_idx[i] = n + out.clauses.len() as u32;
+        out.clauses.push(proof.clauses[i].clone());
+        out.hints.push(
+            deps[i]
+                .iter()
+                .map(|&d| if d < n { d } else { new_idx[(d - n) as usize] })
+                .collect(),
+        );
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -1301,6 +1831,36 @@ mod tests {
         match s.solve() {
             SatOutcome::Unsat(p) => assert!(check_rup_proof(6, &cs, &p), "RUP proof must check"),
             SatOutcome::Sat(_) => panic!("PHP(3,2) is unsat"),
+        }
+    }
+
+    /// Proofs come out of the solver with learn-time antecedent hints:
+    /// every clause is hinted, the hinted checker accepts the proof as-is
+    /// (no trimming needed), and each hint chain really reaches its
+    /// conflict — stripping the hints must not change the verdict, and a
+    /// hinted check of a single clause must succeed without search.
+    #[test]
+    fn solver_proofs_carry_working_hints() {
+        for cfg in [SatConfig::all_on(), SatConfig::all_off()] {
+            let cs = pigeonhole_3_into_2();
+            let mut s = solver_with_config(cfg, 6, &cs);
+            let SatOutcome::Unsat(p) = s.solve() else {
+                panic!("PHP(3,2) is unsat");
+            };
+            assert!(p.is_hinted(), "solve must emit hints under {cfg:?}");
+            assert!(check_rup_proof(6, &cs, &p));
+            assert!(check_rup_proof(6, &cs, &p.strip_hints()));
+            // Replay each clause by its hints alone: every chain must end
+            // in a conflict (rup_hinted returns false on a stalled chain).
+            let mut db = cs.clone();
+            let mut assign = vec![None; 6];
+            for (i, c) in p.clauses.iter().enumerate() {
+                assert!(
+                    rup_hinted(&db, c, &p.hints[i], &mut assign),
+                    "hint chain for proof clause {i} stalled under {cfg:?}"
+                );
+                db.push(c.clone());
+            }
         }
     }
 
@@ -1628,12 +2188,115 @@ mod tests {
         let cs = vec![lits(&[1, 2])]; // satisfiable
         let bogus = RupProof {
             clauses: vec![Vec::new()],
+            hints: Vec::new(),
         };
         assert!(!check_rup_proof(2, &cs, &bogus));
         // Proof not ending in the empty clause is rejected.
         let not_ending = RupProof {
             clauses: vec![lits(&[1])],
+            hints: Vec::new(),
         };
         assert!(!check_rup_proof(2, &cs, &not_ending));
+    }
+
+    /// Solves an unsat instance and returns (original proof, clauses).
+    fn unsat_proof(num_vars: u32, cs: &[Vec<Lit>]) -> RupProof {
+        let mut s = solver_with(num_vars, cs);
+        match s.solve() {
+            SatOutcome::Unsat(p) => p,
+            SatOutcome::Sat(_) => panic!("instance must be unsat"),
+        }
+    }
+
+    #[test]
+    fn trimmed_proof_checks_with_and_without_hints() {
+        let cs = pigeonhole_3_into_2();
+        let proof = unsat_proof(6, &cs);
+        let trimmed = trim_proof(6, &cs, &proof).expect("valid proof trims");
+        assert!(trimmed.is_hinted(), "trimming attaches hints");
+        assert!(
+            trimmed.clauses.len() <= proof.clauses.len(),
+            "trimming never grows a proof"
+        );
+        assert_eq!(
+            trimmed.clauses.last().map(Vec::is_empty),
+            Some(true),
+            "trimmed proof still ends with the empty clause"
+        );
+        assert!(check_rup_proof(6, &cs, &trimmed), "hinted replay checks");
+        assert!(
+            check_rup_proof(6, &cs, &trimmed.strip_hints()),
+            "hints are an accelerator, not a crutch: search still checks"
+        );
+    }
+
+    #[test]
+    fn tampered_trimmed_proofs_are_rejected() {
+        let cs = pigeonhole_3_into_2();
+        let trimmed = trim_proof(6, &cs, &unsat_proof(6, &cs)).expect("valid proof trims");
+        // Dropping the final empty clause invalidates the refutation.
+        let mut headless = trimmed.clone();
+        headless.clauses.pop();
+        headless.hints.pop();
+        assert!(!check_rup_proof(6, &cs, &headless));
+        // Flipping a literal in a non-empty proof clause must be caught by
+        // the hinted checker (hints verify, never assume, propagations).
+        let target = trimmed.clauses.iter().position(|c| !c.is_empty());
+        if let Some(i) = target {
+            let mut flipped = trimmed.clone();
+            flipped.clauses[i][0] = flipped.clauses[i][0].negate();
+            // Rejected, or — if the mutated clause happens to still be
+            // RUP — the remaining proof must still end empty and check.
+            // Either way, acceptance implies genuine derivability: compare
+            // against the unhinted checker, the trusted base.
+            assert_eq!(
+                check_rup_proof(6, &cs, &flipped),
+                check_rup_proof(6, &cs, &flipped.strip_hints()),
+                "hints never change the verdict"
+            );
+        }
+        // Wildly wrong hints degrade to search, never to acceptance: a
+        // satisfiable instance with fabricated hints is still rejected.
+        let sat_cs = vec![lits(&[1, 2])];
+        let fabricated = RupProof {
+            clauses: vec![Vec::new()],
+            hints: vec![vec![0, 0, 0]],
+        };
+        assert!(!check_rup_proof(2, &sat_cs, &fabricated));
+    }
+
+    #[test]
+    fn trim_rejects_invalid_proofs() {
+        let sat_cs = vec![lits(&[1, 2])];
+        let bogus = RupProof {
+            clauses: vec![Vec::new()],
+            hints: Vec::new(),
+        };
+        assert!(trim_proof(2, &sat_cs, &bogus).is_none());
+        let not_ending = RupProof {
+            clauses: vec![lits(&[1])],
+            hints: Vec::new(),
+        };
+        assert!(trim_proof(2, &sat_cs, &not_ending).is_none());
+    }
+
+    #[test]
+    fn trimming_drops_unused_clauses() {
+        // x1 ∧ ¬x1 is the whole conflict; pad the proof with an unrelated
+        // but derivable clause (x3 ∨ x4 is an input, so RUP) and check the
+        // padding is trimmed away.
+        let cs = vec![lits(&[1]), lits(&[-1]), lits(&[3, 4])];
+        let padded = RupProof {
+            clauses: vec![lits(&[3, 4]), Vec::new()],
+            hints: Vec::new(),
+        };
+        assert!(check_rup_proof(4, &cs, &padded));
+        let trimmed = trim_proof(4, &cs, &padded).expect("padded proof is valid");
+        assert_eq!(
+            trimmed.clauses,
+            vec![Vec::<Lit>::new()],
+            "only the empty clause survives trimming"
+        );
+        assert!(check_rup_proof(4, &cs, &trimmed));
     }
 }

@@ -44,7 +44,7 @@ use islaris_obs::{fnv1a, CacheMetrics, QueryStats, QueryTable, SessionMetrics, S
 use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
 use crate::expr::{Expr, Sort, Var};
-use crate::sat::{check_rup_proof, AssumptionOutcome, Lit, SatOutcome};
+use crate::sat::{check_rup_proof, trim_proof, AssumptionOutcome, Lit, SatOutcome};
 use crate::simplify::simplify;
 use crate::solver::{Model, SmtResult, SolverConfig};
 
@@ -77,6 +77,7 @@ fn metrics_delta(after: &SolverMetrics, before: &SolverMetrics) -> SolverMetrics
         reduced: after.reduced - before.reduced,
         minimized: after.minimized - before.minimized,
         folded: after.folded - before.folded,
+        trimmed: after.trimmed - before.trimmed,
     }
 }
 
@@ -394,15 +395,22 @@ impl Session {
                 SmtResult::Sat(model)
             }
             Some(SatOutcome::Unsat(proof)) => {
-                let ok = check_rup_proof(
-                    blaster.sat_num_vars(),
-                    blaster.sat_original_clauses(),
-                    &proof,
-                );
+                // Same trim-then-check discipline as the scratch solver:
+                // trimming is untrusted, the checker is the base.
+                let num_vars = blaster.sat_num_vars();
+                let db = blaster.sat_original_clauses();
+                let trimmed = trim_proof(num_vars, db, &proof);
+                let ok = match &trimmed {
+                    Some(t) => check_rup_proof(num_vars, db, t),
+                    None => check_rup_proof(num_vars, db, &proof),
+                };
                 if !ok {
                     debug_assert!(false, "RUP proof failed to check");
                     m.unknown += 1;
                     return SmtResult::Unknown("internal error: RUP proof invalid".into());
+                }
+                if let Some(t) = &trimmed {
+                    m.trimmed += (proof.clauses.len() - t.clauses.len()) as u64;
                 }
                 m.unsat += 1;
                 SmtResult::Unsat

@@ -13,7 +13,7 @@ use islaris_obs::{fnv1a, QueryStats, QueryTable, SolverMetrics};
 use crate::cnf::{BlastError, Blaster};
 use crate::eval::eval_bool;
 use crate::expr::{Expr, Sort, Value, Var};
-use crate::sat::{check_rup_proof, SatConfig, SatOutcome};
+use crate::sat::{check_rup_proof, trim_proof, RupProof, SatConfig, SatOutcome};
 use crate::simplify::{propagate_constants, simplify};
 
 /// Configuration for a solver query.
@@ -152,14 +152,28 @@ pub fn check_sat(
 /// to [`check_sat`]'s; the counters are deterministic (the solver has no
 /// randomness), so profiles built from them are byte-comparable across
 /// runs.
-#[must_use]
-#[allow(clippy::too_many_lines)]
-pub fn check_sat_metered(
+/// The preprocessed form of a query: decided outright by simplification
+/// and folding, or bit-blasted and ready for the SAT core.
+enum Preblast {
+    /// Decided before reaching the SAT core.
+    Decided(SmtResult),
+    /// Blasted clauses plus the simplified assumptions (kept for model
+    /// verification on `Sat` answers).
+    Blasted(Box<Blaster>, Vec<Expr>),
+}
+
+/// The shared front half of every query — simplify each assumption, fold
+/// constants across facts, bit-blast — recording the same counters
+/// whichever caller runs it. Deterministic: the same assumption list
+/// always produces the same clause database, which is what lets a stored
+/// RUP proof be replayed against a fresh re-blasting
+/// ([`entails_via_proof`]).
+fn preblast(
     assumptions: &[Expr],
     sorts: &dyn Fn(Var) -> Option<Sort>,
     cfg: &SolverConfig,
     m: &mut SolverMetrics,
-) -> SmtResult {
+) -> Preblast {
     m.queries += 1;
     let mut simplified = Vec::with_capacity(assumptions.len());
     for a in assumptions {
@@ -168,7 +182,7 @@ pub fn check_sat_metered(
             Some(true) => continue,
             Some(false) => {
                 m.unsat += 1;
-                return SmtResult::Unsat;
+                return Preblast::Decided(SmtResult::Unsat);
             }
             None => simplified.push(s),
         }
@@ -192,7 +206,7 @@ pub fn check_sat_metered(
                 Some(true) => continue,
                 Some(false) => {
                     m.unsat += 1;
-                    return SmtResult::Unsat;
+                    return Preblast::Decided(SmtResult::Unsat);
                 }
                 None => simplified.push(s),
             }
@@ -200,7 +214,7 @@ pub fn check_sat_metered(
     }
     if simplified.is_empty() {
         m.sat += 1;
-        return SmtResult::Sat(Model::default());
+        return Preblast::Decided(SmtResult::Sat(Model::default()));
     }
 
     let mut blaster = Blaster::with_config(cfg.sat);
@@ -209,16 +223,31 @@ pub fn check_sat_metered(
             Ok(()) => {}
             Err(BlastError::Unsupported(msg)) => {
                 m.unknown += 1;
-                return SmtResult::Unknown(msg);
+                return Preblast::Decided(SmtResult::Unknown(msg));
             }
             Err(e) => {
                 m.unknown += 1;
-                return SmtResult::Unknown(e.to_string());
+                return Preblast::Decided(SmtResult::Unknown(e.to_string()));
             }
         }
     }
     m.cnf_vars += u64::from(blaster.sat_num_vars());
     m.cnf_clauses += blaster.sat_original_clauses().len() as u64;
+    Preblast::Blasted(Box::new(blaster), simplified)
+}
+
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn check_sat_metered(
+    assumptions: &[Expr],
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    m: &mut SolverMetrics,
+) -> SmtResult {
+    let (mut blaster, simplified) = match preblast(assumptions, sorts, cfg, m) {
+        Preblast::Decided(r) => return r,
+        Preblast::Blasted(b, s) => (b, s),
+    };
     let outcome = blaster.solve_limited(cfg.max_conflicts);
     m.propagations += blaster.sat_propagations();
     m.decisions += blaster.sat_decisions();
@@ -261,15 +290,25 @@ pub fn check_sat_metered(
         }
         Some(SatOutcome::Unsat(proof)) => {
             if cfg.check_proofs {
-                let ok = check_rup_proof(
-                    blaster.sat_num_vars(),
-                    blaster.sat_original_clauses(),
-                    &proof,
-                );
+                // Trim the proof to the clauses the final conflict actually
+                // depends on and attach antecedent hints, then replay through
+                // the trusted checker. Trimming is an untrusted accelerator:
+                // if it fails (it should not), the full proof is checked the
+                // slow way instead.
+                let num_vars = blaster.sat_num_vars();
+                let db = blaster.sat_original_clauses();
+                let trimmed = trim_proof(num_vars, db, &proof);
+                let ok = match &trimmed {
+                    Some(t) => check_rup_proof(num_vars, db, t),
+                    None => check_rup_proof(num_vars, db, &proof),
+                };
                 if !ok {
                     debug_assert!(false, "RUP proof failed to check");
                     m.unknown += 1;
                     return SmtResult::Unknown("internal error: RUP proof invalid".into());
+                }
+                if let Some(t) = &trimmed {
+                    m.trimmed += (proof.clauses.len() - t.clauses.len()) as u64;
                 }
             }
             m.unsat += 1;
@@ -369,6 +408,73 @@ pub fn entails_logged(
     q.push(Expr::not(goal.clone()));
     let (result, digest) = check_sat_logged(&q, sorts, cfg, m, table);
     (result.is_unsat(), digest)
+}
+
+/// Proves `facts ⟹ goal` and returns the trimmed, hinted RUP refutation
+/// of `facts ∧ ¬goal`'s bit-blasting — the proof section a certificate
+/// can store next to the obligation ([`entails_via_proof`] replays it).
+///
+/// `None` when no storable proof exists: the entailment does not hold,
+/// the query never reached the SAT core (decided by preprocessing, or an
+/// unsupported fragment), or the conflict budget ran out. A
+/// preprocessing-decided entailment needs no proof — replay re-decides it
+/// just as cheaply.
+#[must_use]
+pub fn entails_proof(
+    facts: &[Expr],
+    goal: &Expr,
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+) -> Option<RupProof> {
+    let mut q: Vec<Expr> = facts.to_vec();
+    q.push(Expr::not(goal.clone()));
+    let mut scratch = SolverMetrics::default();
+    let mut blaster = match preblast(&q, sorts, cfg, &mut scratch) {
+        Preblast::Decided(_) => return None,
+        Preblast::Blasted(b, _) => b,
+    };
+    match blaster.solve_limited(cfg.max_conflicts) {
+        Some(SatOutcome::Unsat(proof)) => {
+            let num_vars = blaster.sat_num_vars();
+            let db = blaster.sat_original_clauses();
+            Some(trim_proof(num_vars, db, &proof).unwrap_or(proof))
+        }
+        _ => None,
+    }
+}
+
+/// Replays a stored RUP proof against a fresh deterministic re-blasting
+/// of `facts ∧ ¬goal`. `true` means the proof checked — the blasted
+/// formula is unsatisfiable, so the entailment holds — and `m` recorded
+/// the replay (a query that never enters CDCL search). `false` means the
+/// stored proof does not apply (the query no longer reaches the SAT core,
+/// or the proof is stale or tampered): the caller must fall back to a
+/// full [`entails_metered`]-style solve, so a bad proof degrades to
+/// search, never to acceptance.
+#[must_use]
+pub fn entails_via_proof(
+    facts: &[Expr],
+    goal: &Expr,
+    sorts: &dyn Fn(Var) -> Option<Sort>,
+    cfg: &SolverConfig,
+    proof: &RupProof,
+    m: &mut SolverMetrics,
+) -> bool {
+    let mut q: Vec<Expr> = facts.to_vec();
+    q.push(Expr::not(goal.clone()));
+    match preblast(&q, sorts, cfg, m) {
+        Preblast::Decided(r) => r.is_unsat(),
+        Preblast::Blasted(blaster, _) => {
+            let num_vars = blaster.sat_num_vars();
+            let db = blaster.sat_original_clauses();
+            if check_rup_proof(num_vars, db, proof) {
+                m.unsat += 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
 }
 
 /// Can `facts ∧ extra` hold? `Unknown` counts as *possibly satisfiable*

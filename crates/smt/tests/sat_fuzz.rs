@@ -13,7 +13,9 @@
 //! `ISLARIS_PT_CASES`); failures print a seed replayable via
 //! `ISLARIS_PT_SEED`.
 
-use islaris_smt::sat::{check_rup_proof, AssumptionOutcome, Lit, SatConfig, SatOutcome, SatSolver};
+use islaris_smt::sat::{
+    check_rup_proof, trim_proof, AssumptionOutcome, Lit, RupProof, SatConfig, SatOutcome, SatSolver,
+};
 use islaris_testkit::{forall, Rng, TestResult};
 
 const CASES: u32 = 256;
@@ -77,7 +79,8 @@ fn model_satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
 }
 
 /// Re-proves unsatisfiability of `clauses` (+ `units`) on a fresh
-/// proof-logging reference solver and checks the RUP refutation.
+/// proof-logging reference solver and checks the RUP refutation — then
+/// puts the trimmed replay through its paces ([`checked_trimmed_replay`]).
 fn checked_unsat(num_vars: u32, clauses: &[Vec<Lit>], units: &[Lit]) -> Result<(), String> {
     let mut s = SatSolver::with_config(SatConfig::all_off());
     for _ in 0..num_vars {
@@ -92,12 +95,75 @@ fn checked_unsat(num_vars: u32, clauses: &[Vec<Lit>], units: &[Lit]) -> Result<(
         SatOutcome::Sat(_) => Err("re-proving solver found the instance satisfiable".into()),
         SatOutcome::Unsat(proof) => {
             if check_rup_proof(num_vars, &all, &proof) {
-                Ok(())
+                checked_trimmed_replay(num_vars, &all, &proof)
             } else {
                 Err("RUP refutation failed the proof checker".into())
             }
         }
     }
+}
+
+/// The trimmed-replay contract on one checker-accepted refutation:
+///
+/// (a) the trimmed proof carries hints, never grows, and re-checks via
+///     the hinted fast path;
+/// (b) stripping the hints still re-checks via full occurrence-list
+///     search (hints are an accelerator, not part of the proof);
+/// (c) tampering is caught: a proof truncated before its empty clause
+///     is rejected outright, corrupting every hint on a valid proof
+///     degrades to search (never flips the verdict), and mutating a
+///     proof clause yields the same verdict hinted and unhinted — so
+///     wrong hints can never manufacture an acceptance.
+fn checked_trimmed_replay(
+    num_vars: u32,
+    clauses: &[Vec<Lit>],
+    proof: &RupProof,
+) -> Result<(), String> {
+    let trimmed =
+        trim_proof(num_vars, clauses, proof).ok_or("a checker-accepted proof must trim")?;
+    if !trimmed.is_hinted() {
+        return Err("trimming must attach antecedent hints".into());
+    }
+    // Trimming must not depend on the input proof's own hints: the
+    // search-based derivation (exercised by stripping them) has to land
+    // on an equally valid trimmed proof.
+    let searched = trim_proof(num_vars, clauses, &proof.strip_hints())
+        .ok_or("a checker-accepted proof must trim without input hints")?;
+    if !check_rup_proof(num_vars, clauses, &searched) {
+        return Err("search-trimmed proof rejected".into());
+    }
+    if trimmed.clauses.len() > proof.clauses.len() {
+        return Err("trimming grew the proof".into());
+    }
+    if !check_rup_proof(num_vars, clauses, &trimmed) {
+        return Err("trimmed+hinted proof rejected".into());
+    }
+    if !check_rup_proof(num_vars, clauses, &trimmed.strip_hints()) {
+        return Err("trimmed proof with hints stripped rejected".into());
+    }
+    let mut headless = trimmed.clone();
+    headless.clauses.pop();
+    headless.hints.pop();
+    if check_rup_proof(num_vars, clauses, &headless) {
+        return Err("tampered (truncated) trimmed proof accepted".into());
+    }
+    let mut bad_hints = trimmed.clone();
+    for h in &mut bad_hints.hints {
+        *h = vec![0];
+    }
+    if !check_rup_proof(num_vars, clauses, &bad_hints) {
+        return Err("corrupt hints flipped a valid proof's verdict".into());
+    }
+    if let Some(i) = trimmed.clauses.iter().position(|c| !c.is_empty()) {
+        let mut flipped = trimmed.clone();
+        flipped.clauses[i][0] = flipped.clauses[i][0].negate();
+        let hinted = check_rup_proof(num_vars, clauses, &flipped);
+        let searched = check_rup_proof(num_vars, clauses, &flipped.strip_hints());
+        if hinted != searched {
+            return Err("hints changed the verdict on a mutated proof".into());
+        }
+    }
+    Ok(())
 }
 
 /// Differential run of one instance under `cfg` vs the all-off reference.
@@ -117,11 +183,24 @@ fn run_differential(cfg: SatConfig, inst: &Instance) -> Result<(), String> {
             }
         }
         (SatOutcome::Unsat(pt), SatOutcome::Unsat(pr)) => {
-            // Both solvers log proofs by default; both must check.
+            // Both solvers log proofs by default; both must check, and
+            // both must survive the trimmed replay + tamper battery. A
+            // fresh solve's proof carries learn-time hints, and those
+            // hints must be good enough that the hinted check accepts
+            // the proof even with the search fallback disabled (the
+            // stripped variant exercises pure search instead).
             for (who, p) in [("test", pt), ("reference", pr)] {
+                if !p.is_hinted() {
+                    return Err(format!("{cfg:?}: {who} proof left the solver unhinted"));
+                }
                 if !check_rup_proof(inst.num_vars, test.original_clauses(), p) {
                     return Err(format!("{cfg:?}: {who} RUP proof rejected"));
                 }
+                if !check_rup_proof(inst.num_vars, test.original_clauses(), &p.strip_hints()) {
+                    return Err(format!("{cfg:?}: {who} proof rejected without hints"));
+                }
+                checked_trimmed_replay(inst.num_vars, test.original_clauses(), p)
+                    .map_err(|e| format!("{cfg:?}: {who}: {e}"))?;
             }
         }
         _ => {

@@ -107,6 +107,7 @@ fn tampered_certificates_fail() {
     let subset = Certificate {
         obligations: good.obligations[..2.min(good.obligations.len())].to_vec(),
         digest: None,
+        proofs: Vec::new(),
     };
     check_certificate(&subset).expect("a prefix still re-proves");
 }

@@ -101,6 +101,56 @@ fn instruction_fanout_is_deterministic() {
     );
 }
 
+/// Intra-case block parallelism (`run_case_jobs`) is invisible in every
+/// observable output: stable rows, rendered profiles, and certificates
+/// are byte-identical across jobs {1, 4, 8} and across query-cache
+/// states (none / cold / warm). This is the determinism contract the
+/// daemon relies on to scale a single request without changing bodies.
+#[test]
+fn intra_case_jobs_are_deterministic() {
+    use islaris_cases::run_case_jobs;
+    use islaris_smt::QueryCache;
+    use std::sync::Arc;
+
+    let art = hvc::build_case();
+    let fingerprint = |qcache: Option<&Arc<QueryCache>>, jobs: usize| {
+        let (outcome, report) = run_case_jobs(&art, qcache, jobs, None).expect("no deadline set");
+        let certs: Vec<String> = report
+            .blocks
+            .iter()
+            .map(|b| format!("{:?}", b.cert))
+            .collect();
+        // Everything except the cache hit/miss rows must be byte-identical;
+        // those two rows are the only profile lines allowed to vary with
+        // cache state (DESIGN §9).
+        let profile: String = outcome
+            .profile
+            .render(outcome.name)
+            .lines()
+            .filter(|l| !l.starts_with("  cache") && !l.starts_with("  q.cache"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        (outcome.stable_row(), profile, certs)
+    };
+
+    let baseline = fingerprint(None, 1);
+    for jobs in [4, 8] {
+        assert_eq!(
+            baseline,
+            fingerprint(None, jobs),
+            "uncached run diverged at jobs={jobs}"
+        );
+    }
+    let qcache = Arc::new(QueryCache::new());
+    for (state, jobs) in [("cold", 4), ("warm", 8), ("warm", 1)] {
+        assert_eq!(
+            baseline,
+            fingerprint(Some(&qcache), jobs),
+            "{state} cached run diverged at jobs={jobs}"
+        );
+    }
+}
+
 /// A case whose build panics fails only its own row; the rest of the
 /// queue drains and verifies normally, and the failed row renders
 /// deterministically.

@@ -123,7 +123,7 @@ fn profile_reports_cdcl_counters() {
     let report = run_cases_with(&ALL_CASES[..3], 1, Some(&TraceCache::new()), None);
     assert!(report.all_ok(), "profiled cases must verify");
     let text = render_profiles(&report.profiles());
-    for key in ["restarts=", "reduced=", "minimized=", "folded="] {
+    for key in ["restarts=", "reduced=", "minimized=", "folded=", "trimmed="] {
         assert_eq!(
             text.matches(key).count(),
             9,
